@@ -1,0 +1,43 @@
+//! # `risc1-asm` — assembler and disassembler for RISC I
+//!
+//! A two-pass assembler for the textual RISC I assembly used throughout the
+//! examples and the CLI, plus the inverse disassembler. The syntax mirrors
+//! the instruction `Display` form of [`risc1_isa`]:
+//!
+//! ```text
+//! ; triangular numbers: t(n) = n + (n-1) + ... + 1
+//!         add   r16, r0, #0        ; acc := 0
+//!         add   r17, r26, #0       ; i := n   (first argument)
+//! loop:   sub   r0, r17, #0 {scc}  ; flags := i - 0
+//!         jmpr  eq, done
+//!         nop                      ; delay slot
+//!         add   r16, r16, r17
+//!         jmpr  alw, loop
+//!         sub   r17, r17, #1       ; delay slot does useful work
+//! done:   add   r26, r16, #0       ; return value
+//!         ret   r25, #8
+//!         nop
+//! ```
+//!
+//! * one instruction or directive per line; `;` starts a comment
+//! * labels end with `:` and may share a line with an instruction
+//! * immediates are written `#n` (decimal, `0x` hex, negative allowed)
+//! * `{scc}` after the operands asserts the set-condition-codes bit
+//! * `jmpr`/`callr` accept a label and assemble the PC-relative offset
+//! * pseudo-instructions: `nop`, `halt` (a `ret r0, #0`, which terminates
+//!   the program at depth 0), `mov rd, rs`, and `li rd, #imm32` (expands to
+//!   one or two words)
+//! * directives: `.entry <label>` (program entry point), `.word <n>`
+//!
+//! ```
+//! use risc1_asm::assemble;
+//! let prog = assemble("start: add r16, r0, #1\n halt\n nop\n").unwrap();
+//! assert_eq!(prog.len(), 3);
+//! ```
+
+mod asm;
+mod disasm;
+mod parse;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::{disassemble, disassemble_words};

@@ -1,0 +1,193 @@
+//! Line-level tokenising and operand parsing shared by the assembler.
+
+use risc1_isa::{Cond, Reg};
+
+/// One parsed operand token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// A register, `rN`.
+    Reg(Reg),
+    /// An immediate, `#n`.
+    Imm(i64),
+    /// A bare symbol (label reference or condition name).
+    Sym(String),
+}
+
+/// A source line reduced to its parts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Line {
+    /// Label defined on this line, without the colon.
+    pub label: Option<String>,
+    /// Mnemonic or directive (lowercased), if any.
+    pub op: Option<String>,
+    /// Operand tokens.
+    pub args: Vec<Token>,
+    /// Whether the `{scc}` marker was present.
+    pub scc: bool,
+}
+
+/// A parse failure with no positional info; the assembler attaches the line
+/// number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+/// Splits a raw source line into label / mnemonic / operands.
+pub fn parse_line(raw: &str) -> Result<Line, ParseError> {
+    let mut line = Line::default();
+    let code = raw.split(';').next().unwrap_or("").trim();
+    if code.is_empty() {
+        return Ok(line);
+    }
+
+    let mut rest = code;
+    if let Some(colon) = rest.find(':') {
+        let (lbl, after) = rest.split_at(colon);
+        let lbl = lbl.trim();
+        if !is_ident(lbl) {
+            return Err(ParseError(format!("invalid label `{lbl}`")));
+        }
+        line.label = Some(lbl.to_string());
+        rest = after[1..].trim();
+    }
+    if rest.is_empty() {
+        return Ok(line);
+    }
+
+    if let Some(stripped) = rest.strip_suffix("{scc}") {
+        line.scc = true;
+        rest = stripped.trim_end();
+    } else if rest.contains("{scc}") {
+        return Err(ParseError("`{scc}` must come last".into()));
+    }
+
+    let (op, operands) = match rest.split_once(char::is_whitespace) {
+        Some((op, tail)) => (op, tail.trim()),
+        None => (rest, ""),
+    };
+    line.op = Some(op.to_ascii_lowercase());
+
+    if !operands.is_empty() {
+        for part in operands.split(',') {
+            line.args.push(parse_token(part.trim())?);
+        }
+    }
+    Ok(line)
+}
+
+fn parse_token(s: &str) -> Result<Token, ParseError> {
+    if s.is_empty() {
+        return Err(ParseError("empty operand".into()));
+    }
+    if let Some(imm) = s.strip_prefix('#') {
+        return parse_int(imm)
+            .map(Token::Imm)
+            .ok_or_else(|| ParseError(format!("bad immediate `{s}`")));
+    }
+    if let Some(n) = s
+        .strip_prefix(['r', 'R'])
+        .and_then(|d| d.parse::<u8>().ok())
+    {
+        return Reg::new(n)
+            .map(Token::Reg)
+            .ok_or_else(|| ParseError(format!("no such register `{s}`")));
+    }
+    if is_ident(s) {
+        return Ok(Token::Sym(s.to_string()));
+    }
+    // Bare integers (no `#`) are accepted for directives like `.word`, so
+    // disassembler output reassembles unchanged.
+    if let Some(v) = parse_int(s) {
+        return Ok(Token::Imm(v));
+    }
+    Err(ParseError(format!("unrecognised operand `{s}`")))
+}
+
+/// Parses a decimal or `0x` hexadecimal integer with optional sign.
+pub fn parse_int(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Resolves a symbol token to a condition name.
+pub fn as_cond(t: &Token) -> Option<Cond> {
+    match t {
+        Token::Sym(s) => Cond::from_name(s),
+        _ => None,
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_line() {
+        let l = parse_line("loop: add r16, r0, #-3 {scc} ; comment").unwrap();
+        assert_eq!(l.label.as_deref(), Some("loop"));
+        assert_eq!(l.op.as_deref(), Some("add"));
+        assert!(l.scc);
+        assert_eq!(
+            l.args,
+            vec![Token::Reg(Reg::R16), Token::Reg(Reg::R0), Token::Imm(-3)]
+        );
+    }
+
+    #[test]
+    fn blank_and_comment_lines() {
+        assert_eq!(parse_line("").unwrap(), Line::default());
+        assert_eq!(parse_line("   ; only a comment").unwrap(), Line::default());
+    }
+
+    #[test]
+    fn label_only_line() {
+        let l = parse_line("top:").unwrap();
+        assert_eq!(l.label.as_deref(), Some("top"));
+        assert!(l.op.is_none());
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        assert_eq!(parse_int("0x1f"), Some(31));
+        assert_eq!(parse_int("-0x10"), Some(-16));
+        assert_eq!(parse_int("-12"), Some(-12));
+        assert_eq!(parse_int("zz"), None);
+    }
+
+    #[test]
+    fn symbols_and_conditions() {
+        let l = parse_line("jmpr eq, done").unwrap();
+        assert_eq!(as_cond(&l.args[0]), Some(Cond::Eq));
+        assert_eq!(l.args[1], Token::Sym("done".into()));
+    }
+
+    #[test]
+    fn rejects_bad_register_and_label() {
+        assert!(parse_line("add r32, r0, #0").is_err());
+        assert!(parse_line("3bad: nop").is_err());
+        assert!(parse_line("add r1, {scc} r2, #0").is_err());
+    }
+
+    #[test]
+    fn mnemonics_are_case_insensitive() {
+        let l = parse_line("ADD R16, R0, #1").unwrap();
+        assert_eq!(l.op.as_deref(), Some("add"));
+        assert_eq!(l.args[0], Token::Reg(Reg::R16));
+    }
+}

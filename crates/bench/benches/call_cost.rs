@@ -1,0 +1,17 @@
+//! E5 — procedure-call cost: times the call-cost measurement itself and
+//! the underlying call-loop kernels on each machine configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_call_cost");
+    g.sample_size(10);
+    g.bench_function("full_measurement", |b| {
+        b.iter(|| black_box(risc1_experiments::e5_call_cost::compute()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

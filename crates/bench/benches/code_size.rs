@@ -1,0 +1,37 @@
+//! E7 — code size: times both compilers over the suite (the byte counts
+//! themselves come from the experiment binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risc1_ir::{compile_cx, compile_risc, RiscOpts};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_code_size");
+    let suite = risc1_workloads::all();
+    g.bench_function("compile_suite_risc", |b| {
+        b.iter(|| {
+            let total: u64 = suite
+                .iter()
+                .map(|w| {
+                    compile_risc(&w.module, RiscOpts::default())
+                        .unwrap()
+                        .code_bytes()
+                })
+                .sum();
+            black_box(total)
+        })
+    });
+    g.bench_function("compile_suite_cx", |b| {
+        b.iter(|| {
+            let total: u64 = suite
+                .iter()
+                .map(|w| compile_cx(&w.module).unwrap().code_bytes())
+                .sum();
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E9 — delay slots: filled vs NOP builds and the suspended-pipeline
+//! model, timed on a loop-heavy workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risc1_core::{BranchModel, SimConfig};
+use risc1_ir::{compile_risc, run_risc_with, RiscOpts};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = risc1_workloads::by_id("sieve").unwrap();
+    let plain = compile_risc(
+        &w.module,
+        RiscOpts {
+            fill_delay_slots: false,
+        },
+    )
+    .unwrap();
+    let filled = compile_risc(&w.module, RiscOpts::default()).unwrap();
+    let args = w.small_args.clone();
+    let mut g = c.benchmark_group("e9_delay_slots");
+    g.sample_size(10);
+    g.bench_function("sieve_nop_slots", |b| {
+        b.iter(|| black_box(run_risc_with(&plain, &args, SimConfig::default()).unwrap()))
+    });
+    g.bench_function("sieve_filled_slots", |b| {
+        b.iter(|| black_box(run_risc_with(&filled, &args, SimConfig::default()).unwrap()))
+    });
+    g.bench_function("sieve_suspended_model", |b| {
+        let cfg = SimConfig {
+            branch_model: BranchModel::Suspended,
+            ..SimConfig::default()
+        };
+        b.iter(|| black_box(run_risc_with(&filled, &args, cfg.clone()).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E6 — the execution-time table: one benchmark per (machine, workload)
+//! pair over the whole suite (small arguments; the Criterion numbers are
+//! host time, the simulated-cycle table comes from the experiment binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risc1_core::SimConfig;
+use risc1_ir::{compile_cx, compile_risc, run_cx, run_risc_with, RiscOpts};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_exec_time");
+    g.sample_size(10);
+    for w in risc1_workloads::all() {
+        let risc = compile_risc(&w.module, RiscOpts::default()).unwrap();
+        let cx = compile_cx(&w.module).unwrap();
+        let args = w.small_args.clone();
+        g.bench_function(format!("risc/{}", w.id), |b| {
+            b.iter(|| {
+                black_box(run_risc_with(&risc, black_box(&args), SimConfig::default()).unwrap())
+            })
+        });
+        g.bench_function(format!("cx/{}", w.id), |b| {
+            b.iter(|| black_box(run_cx(&cx, black_box(&args)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

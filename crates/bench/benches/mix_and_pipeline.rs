@@ -1,0 +1,20 @@
+//! E11 (pipeline trace) and E12 (instruction mix): times the trace
+//! rendering and the mix aggregation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_e12");
+    g.sample_size(10);
+    g.bench_function("e11_pipeline_trace", |b| {
+        b.iter(|| black_box(risc1_experiments::e11_pipeline_trace::run()))
+    });
+    g.bench_function("e12_instruction_mix", |b| {
+        b.iter(|| black_box(risc1_experiments::e12_instruction_mix::compute()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Host-side simulator speed (not a paper artifact): simulated
+//! instructions per host second for both machines, useful when sizing
+//! experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use risc1_core::SimConfig;
+use risc1_ir::{compile_cx, compile_risc, run_cx, run_risc_with, RiscOpts};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = risc1_workloads::by_id("f_bit_test").unwrap();
+    let risc = compile_risc(&w.module, RiscOpts::default()).unwrap();
+    let cx = compile_cx(&w.module).unwrap();
+    let args = [400];
+    let (_, rs) = run_risc_with(&risc, &args, SimConfig::default()).unwrap();
+    let (_, cs) = run_cx(&cx, &args).unwrap();
+
+    let mut g = c.benchmark_group("simulator_throughput");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(rs.instructions));
+    g.bench_function("risc_insns", |b| {
+        b.iter(|| black_box(run_risc_with(&risc, &args, SimConfig::default()).unwrap()))
+    });
+    g.throughput(Throughput::Elements(cs.instructions));
+    g.bench_function("cx_insns", |b| {
+        b.iter(|| black_box(run_cx(&cx, &args).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

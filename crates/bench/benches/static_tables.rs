@@ -1,0 +1,66 @@
+//! Benchmarks for the static artifacts: Table I (E1), Table II (E2), the
+//! format figure (E3: encode/decode throughput), the window figure (E4)
+//! and the area model (E10). These regenerate in microseconds; the bench
+//! exists so every table has a harness target and any regression in the
+//! generators is visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risc1_isa::Instruction;
+use std::hint::black_box;
+
+fn bench_static(c: &mut Criterion) {
+    let mut g = c.benchmark_group("static_tables");
+    g.bench_function("e1_complexity", |b| {
+        b.iter(|| black_box(risc1_experiments::e1_complexity::run()))
+    });
+    g.bench_function("e2_instruction_set", |b| {
+        b.iter(|| black_box(risc1_experiments::e2_instruction_set::run()))
+    });
+    g.bench_function("e4_windows_figure", |b| {
+        b.iter(|| black_box(risc1_experiments::e4_windows_figure::run()))
+    });
+    g.bench_function("e10_area_model", |b| {
+        b.iter(|| black_box(risc1_experiments::e10_area::run()))
+    });
+    g.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    // E3's substance: the fixed 32-bit format decodes trivially. Measure
+    // decode throughput over the whole expressible word space sample.
+    let words: Vec<u32> = risc1_experiments::e3_formats::compute()
+        .into_iter()
+        .map(|(_, w)| w)
+        .cycle()
+        .take(4096)
+        .collect();
+    let mut g = c.benchmark_group("e3_formats");
+    g.bench_function("decode_4k_words", |b| {
+        b.iter(|| {
+            let mut n = 0u32;
+            for &w in &words {
+                if Instruction::decode(black_box(w)).is_ok() {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("encode_4k_insns", |b| {
+        let insns: Vec<Instruction> = words
+            .iter()
+            .map(|w| Instruction::decode(*w).unwrap())
+            .collect();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in &insns {
+                acc ^= black_box(i.encode());
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_static, bench_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E8 — the window sweep: one benchmark per window count on the
+//! call-heaviest workload (Ackermann), so the cost of overflow trapping is
+//! visible in host time as well as simulated cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use risc1_core::SimConfig;
+use risc1_ir::{compile_risc, run_risc_with, RiscOpts};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let w = risc1_workloads::by_id("acker").unwrap();
+    let prog = compile_risc(&w.module, RiscOpts::default()).unwrap();
+    let mut g = c.benchmark_group("e8_window_sweep");
+    g.sample_size(10);
+    for windows in [2usize, 4, 8, 16] {
+        let cfg = SimConfig {
+            windows,
+            stack_top: 0x40000,
+            ..SimConfig::default()
+        };
+        g.bench_function(format!("acker_w{windows}"), |b| {
+            b.iter(|| black_box(run_risc_with(&prog, &[3], cfg.clone()).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # `risc1-bench` — Criterion benchmarks, one group per evaluation artifact
+//!
+//! | bench target | experiments covered |
+//! |--------------|---------------------|
+//! | `static_tables` | E1 (Table I), E2 (Table II), E3 (formats), E4 (window figure), E10 (area model) |
+//! | `call_cost` | E5 (procedure-call cost) |
+//! | `exec_time` | E6 (execution-time table): per-workload RISC I and CX runs |
+//! | `code_size` | E7 (code size): both compilers over the suite |
+//! | `window_sweep` | E8 (overflow vs window count) |
+//! | `delay_slots` | E9 (slot filling and the suspended model) |
+//! | `mix_and_pipeline` | E11 (pipeline trace), E12 (instruction mix) |
+//! | `simulator_throughput` | not a paper artifact: host-side simulator speed |
+//!
+//! Run them all with `cargo bench`, or one group with
+//! `cargo bench --bench exec_time`.
+
+/// Workload ids used by the timing groups (the full suite).
+pub fn suite_ids() -> Vec<&'static str> {
+    risc1_workloads::all().iter().map(|w| w.id).collect()
+}

@@ -1,0 +1,223 @@
+//! Byte-accurate program builder for CX, with labels and branch fixups.
+//!
+//! The IR code generator and the tests construct CX programs through this
+//! builder instead of a textual assembler: labels are allocated with
+//! [`CxAsm::new_label`], bound with [`CxAsm::bind`], and every
+//! `disp16`-carrying instruction referencing a label is patched when
+//! [`CxAsm::finish`] resolves the stream.
+
+use crate::isa::{Op, Operand};
+use crate::program::CxProgram;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A forward-referenceable position in the instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A failure while building a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// `finish` was called while a label was still unbound.
+    UnboundLabel(Label),
+    /// A branch displacement exceeded 16 signed bits.
+    DispOutOfRange {
+        /// The offending label.
+        label: Label,
+        /// The displacement that did not fit.
+        delta: i64,
+    },
+    /// An instruction was emitted with the wrong number of operands.
+    WrongOperandCount {
+        /// The opcode.
+        op: Op,
+        /// Operands supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l:?} never bound"),
+            BuildError::DispOutOfRange { label, delta } => {
+                write!(f, "displacement {delta} to {label:?} exceeds 16 bits")
+            }
+            BuildError::WrongOperandCount { op, got } => {
+                write!(f, "`{op}` takes {} operands, got {got}", op.operand_count())
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental CX program builder.
+#[derive(Debug, Default)]
+pub struct CxAsm {
+    bytes: Vec<u8>,
+    labels: Vec<Option<u32>>,
+    /// (byte position of a disp16 field, target label)
+    fixups: Vec<(usize, Label)>,
+    symbols: HashMap<String, u32>,
+    errors: Vec<BuildError>,
+}
+
+impl CxAsm {
+    /// A fresh, empty builder.
+    pub fn new() -> CxAsm {
+        CxAsm::default()
+    }
+
+    /// Current byte offset (where the next instruction will start).
+    pub fn here(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Allocates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        debug_assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Records a symbol name at the current position (diagnostics only).
+    pub fn symbol(&mut self, name: &str) {
+        self.symbols.insert(name.to_string(), self.here());
+    }
+
+    /// Emits a non-branching instruction with its operand specifiers.
+    pub fn emit(&mut self, op: Op, operands: &[Operand]) {
+        debug_assert!(!op.has_disp16(), "use branch()/calls() for {op}");
+        if operands.len() != op.operand_count() {
+            self.errors.push(BuildError::WrongOperandCount {
+                op,
+                got: operands.len(),
+            });
+            return;
+        }
+        self.bytes.push(op as u8);
+        for o in operands {
+            o.encode(&mut self.bytes);
+        }
+    }
+
+    /// Emits a zero-operand instruction (`halt`, `ret`).
+    pub fn emit0(&mut self, op: Op) {
+        self.emit(op, &[]);
+    }
+
+    /// Emits a conditional or unconditional branch to `label`.
+    pub fn branch(&mut self, op: Op, label: Label) {
+        debug_assert!(op.has_disp16() && op != Op::Calls, "not a branch: {op}");
+        self.bytes.push(op as u8);
+        self.fixups.push((self.bytes.len(), label));
+        self.bytes.extend_from_slice(&[0, 0]);
+    }
+
+    /// Emits `calls #narg, label`.
+    pub fn calls(&mut self, narg: u8, label: Label) {
+        debug_assert!(narg < 64, "narg fits a short literal");
+        self.bytes.push(Op::Calls as u8);
+        Operand::Lit(narg).encode(&mut self.bytes);
+        self.fixups.push((self.bytes.len(), label));
+        self.bytes.extend_from_slice(&[0, 0]);
+    }
+
+    /// Resolves all fixups and returns the finished program.
+    ///
+    /// # Errors
+    /// Reports the first deferred emission error, unbound label, or
+    /// out-of-range displacement.
+    pub fn finish(mut self) -> Result<CxProgram, BuildError> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        for (pos, label) in self.fixups {
+            let target = self.labels[label.0].ok_or(BuildError::UnboundLabel(label))?;
+            // Displacement is relative to the first byte after the field.
+            let delta = target as i64 - (pos as i64 + 2);
+            let d =
+                i16::try_from(delta).map_err(|_| BuildError::DispOutOfRange { label, delta })?;
+            self.bytes[pos..pos + 2].copy_from_slice(&d.to_le_bytes());
+        }
+        Ok(CxProgram {
+            bytes: self.bytes,
+            entry_offset: 0,
+            data: Vec::new(),
+            symbols: self.symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::CReg;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = CxAsm::new();
+        let top = a.new_label();
+        let out = a.new_label();
+        a.bind(top);
+        a.emit(Op::TstL, &[Operand::Reg(CReg::R0)]); // 2 bytes
+        a.branch(Op::Beql, out); // 3 bytes, disp at 3..5
+        a.branch(Op::Brw, top); // 3 bytes, disp at 6..8
+        a.bind(out);
+        a.emit0(Op::Halt);
+        let p = a.finish().unwrap();
+        // beql: target 8, after-field 5 → +3
+        assert_eq!(i16::from_le_bytes([p.bytes[3], p.bytes[4]]), 3);
+        // brw: target 0, after-field 8 → −8
+        assert_eq!(i16::from_le_bytes([p.bytes[6], p.bytes[7]]), -8);
+    }
+
+    #[test]
+    fn unbound_label_is_reported() {
+        let mut a = CxAsm::new();
+        let l = a.new_label();
+        a.branch(Op::Brw, l);
+        assert!(matches!(a.finish(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn wrong_operand_count_is_reported() {
+        let mut a = CxAsm::new();
+        a.emit(Op::AddL3, &[Operand::Lit(1), Operand::Reg(CReg::R0)]);
+        assert!(matches!(
+            a.finish(),
+            Err(BuildError::WrongOperandCount {
+                op: Op::AddL3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn calls_encodes_narg_literal() {
+        let mut a = CxAsm::new();
+        let f = a.new_label();
+        a.calls(2, f);
+        a.bind(f);
+        a.emit0(Op::Ret);
+        let p = a.finish().unwrap();
+        assert_eq!(p.bytes[0], Op::Calls as u8);
+        assert_eq!(p.bytes[1], 2, "short literal narg");
+    }
+
+    #[test]
+    fn symbols_recorded() {
+        let mut a = CxAsm::new();
+        a.emit0(Op::Halt);
+        a.symbol("f");
+        a.emit0(Op::Ret);
+        let p = a.finish().unwrap();
+        assert_eq!(p.symbols["f"], 1);
+    }
+}

@@ -1,0 +1,940 @@
+//! The CX processor: byte-stream decode, general operand resolution, the
+//! VAX-style calling standard, and the microcoded cost model.
+
+use crate::cost;
+use crate::isa::{CReg, Cc, Op, Operand};
+use crate::program::CxProgram;
+use risc1_core::{MemError, Memory};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of one CX machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CxConfig {
+    /// Memory size in bytes.
+    pub mem_bytes: usize,
+    /// Address programs are loaded at.
+    pub code_base: u32,
+    /// Initial stack pointer (grows down).
+    pub stack_top: u32,
+    /// Maximum instructions before the simulator gives up.
+    pub fuel: u64,
+}
+
+impl Default for CxConfig {
+    fn default() -> Self {
+        CxConfig {
+            mem_bytes: 1 << 20,
+            code_base: 0x1000,
+            stack_top: 0xe0000,
+            fuel: 200_000_000,
+        }
+    }
+}
+
+/// Why a CX program failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CxError {
+    /// Memory fault.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Underlying fault.
+        err: MemError,
+    },
+    /// An undefined opcode or operand-specifier byte.
+    Decode {
+        /// PC of the instruction.
+        pc: u32,
+        /// The offending byte.
+        byte: u8,
+    },
+    /// A literal or immediate was used as a destination.
+    WriteToLiteral {
+        /// PC of the instruction.
+        pc: u32,
+    },
+    /// Integer division by zero (CX traps, like the VAX).
+    DivideByZero {
+        /// PC of the instruction.
+        pc: u32,
+    },
+    /// `ret` executed with no frame on the stack.
+    RetAtTopLevel {
+        /// PC of the instruction.
+        pc: u32,
+    },
+    /// Fuel exhausted.
+    OutOfFuel,
+    /// `step` called after `halt`.
+    AlreadyHalted,
+}
+
+impl fmt::Display for CxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CxError::Mem { pc, err } => write!(f, "memory fault at pc {pc:#010x}: {err}"),
+            CxError::Decode { pc, byte } => {
+                write!(f, "undecodable byte {byte:#04x} at pc {pc:#010x}")
+            }
+            CxError::WriteToLiteral { pc } => {
+                write!(f, "literal used as destination at pc {pc:#010x}")
+            }
+            CxError::DivideByZero { pc } => write!(f, "division by zero at pc {pc:#010x}"),
+            CxError::RetAtTopLevel { pc } => {
+                write!(f, "ret with empty call stack at pc {pc:#010x}")
+            }
+            CxError::OutOfFuel => write!(f, "instruction fuel exhausted"),
+            CxError::AlreadyHalted => write!(f, "cx cpu is halted"),
+        }
+    }
+}
+
+impl std::error::Error for CxError {}
+
+/// CX condition flags (VAX convention: for subtraction, C = borrow).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CxFlags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Signed overflow.
+    pub v: bool,
+    /// Carry/borrow.
+    pub c: bool,
+}
+
+impl Cc {
+    /// Evaluates the branch condition against the flags.
+    pub fn eval(self, f: CxFlags) -> bool {
+        let lss = f.n ^ f.v;
+        match self {
+            Cc::Eql => f.z,
+            Cc::Neq => !f.z,
+            Cc::Lss => lss,
+            Cc::Leq => f.z || lss,
+            Cc::Gtr => !f.z && !lss,
+            Cc::Geq => !lss,
+            Cc::Lssu => f.c,
+            Cc::Gtru => !f.c && !f.z,
+        }
+    }
+}
+
+/// Statistics for one CX run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CxStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Microcycles consumed.
+    pub cycles: u64,
+    /// Bytes fetched from the instruction stream (CISC fetch traffic).
+    pub ifetch_bytes: u64,
+    /// Data-memory reads.
+    pub data_reads: u64,
+    /// Data-memory writes.
+    pub data_writes: u64,
+    /// `calls` executed.
+    pub calls: u64,
+    /// `ret`s executed.
+    pub rets: u64,
+    /// Branches taken.
+    pub taken_branches: u64,
+    /// Deepest call depth.
+    pub max_depth: u64,
+    /// Dynamic opcode histogram.
+    pub op_counts: HashMap<Op, u64>,
+}
+
+impl CxStats {
+    /// Average microcycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Total data traffic.
+    pub fn data_traffic(&self) -> u64 {
+        self.data_reads + self.data_writes
+    }
+}
+
+/// A resolved operand location.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    Reg(CReg),
+    Mem(u32),
+    Val(u32),
+}
+
+/// The CX processor.
+#[derive(Debug, Clone)]
+pub struct CxCpu {
+    cfg: CxConfig,
+    /// Main memory (public for result inspection and argument setup).
+    pub mem: Memory,
+    regs: [u32; 15],
+    pc: u32,
+    flags: CxFlags,
+    depth: u64,
+    halted: bool,
+    stats: CxStats,
+}
+
+impl CxCpu {
+    /// A CX machine at reset.
+    pub fn new(cfg: CxConfig) -> CxCpu {
+        let mem = Memory::new(cfg.mem_bytes);
+        let mut regs = [0u32; 15];
+        regs[CReg::SP.number() as usize] = cfg.stack_top;
+        regs[CReg::FP.number() as usize] = cfg.stack_top;
+        let pc = cfg.code_base;
+        CxCpu {
+            cfg,
+            mem,
+            regs,
+            pc,
+            flags: CxFlags::default(),
+            depth: 0,
+            halted: false,
+            stats: CxStats::default(),
+        }
+    }
+
+    /// Loads a program and points the PC at its entry.
+    ///
+    /// # Errors
+    /// Fails if an image does not fit in memory.
+    pub fn load_program(&mut self, prog: &CxProgram) -> Result<(), MemError> {
+        self.mem.load_image(self.cfg.code_base, &prog.bytes)?;
+        for (addr, bytes) in &prog.data {
+            self.mem.load_image(*addr, bytes)?;
+        }
+        self.pc = self.cfg.code_base + prog.entry_offset;
+        self.mem.reset_traffic();
+        Ok(())
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: CReg) -> u32 {
+        self.regs[r.number() as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: CReg, v: u32) {
+        self.regs[r.number() as usize] = v;
+    }
+
+    /// The conventional return value (`R0`).
+    pub fn result(&self) -> i32 {
+        self.reg(CReg::R0) as i32
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Whether `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics so far (memory traffic synced).
+    pub fn stats(&self) -> CxStats {
+        let mut s = self.stats.clone();
+        s.data_reads = self.mem.traffic().reads;
+        s.data_writes = self.mem.traffic().writes;
+        s
+    }
+
+    /// Runs until `halt`.
+    ///
+    /// # Errors
+    /// Any [`CxError`]; state is left at the faulting instruction.
+    pub fn run(&mut self) -> Result<(), CxError> {
+        while !self.halted {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    /// See [`CxError`].
+    pub fn step(&mut self) -> Result<(), CxError> {
+        if self.halted {
+            return Err(CxError::AlreadyHalted);
+        }
+        if self.stats.instructions >= self.cfg.fuel {
+            return Err(CxError::OutOfFuel);
+        }
+        let pc = self.pc;
+        let mut cur = pc;
+        let opbyte = self.fetch_u8(&mut cur, pc)?;
+        let op = Op::from_code(opbyte).ok_or(CxError::Decode { pc, byte: opbyte })?;
+
+        let mut operands = Vec::with_capacity(op.operand_count());
+        for _ in 0..op.operand_count() {
+            operands.push(self.fetch_operand(&mut cur, pc)?);
+        }
+        let disp = if op.has_disp16() {
+            let lo = self.fetch_u8(&mut cur, pc)?;
+            let hi = self.fetch_u8(&mut cur, pc)?;
+            Some(i16::from_le_bytes([lo, hi]))
+        } else {
+            None
+        };
+        let insn_end = cur;
+        self.stats.ifetch_bytes += u64::from(insn_end - pc);
+
+        let mem_before = self.mem.traffic().total();
+        let mut cycles = cost::BASE + operands.iter().map(Operand::decode_cost).sum::<u64>();
+        cycles += op.extra_cycles();
+        let mut next_pc = insn_end;
+
+        match op {
+            Op::Halt => {
+                self.halted = true;
+            }
+            Op::MovL => {
+                let v = self.read_src(&operands[0], pc, 4)?;
+                self.write_dst(&operands[1], v, pc, 4)?;
+                self.set_nz(v);
+            }
+            Op::MovB => {
+                let v = self.read_src(&operands[0], pc, 1)?;
+                self.write_dst(&operands[1], v, pc, 1)?;
+                self.set_nz_byte(v);
+            }
+            Op::MovW => {
+                let v = self.read_src(&operands[0], pc, 2)?;
+                self.write_dst(&operands[1], v, pc, 2)?;
+                self.set_nz(v as u16 as i16 as i32 as u32);
+            }
+            Op::MovZBL => {
+                let v = self.read_src(&operands[0], pc, 1)? & 0xff;
+                self.write_dst(&operands[1], v, pc, 4)?;
+                self.set_nz(v);
+            }
+            Op::MovZWL => {
+                let v = self.read_src(&operands[0], pc, 2)? & 0xffff;
+                self.write_dst(&operands[1], v, pc, 4)?;
+                self.set_nz(v);
+            }
+            Op::ClrL => {
+                self.write_dst(&operands[0], 0, pc, 4)?;
+                self.set_nz(0);
+            }
+            Op::PushL => {
+                let v = self.read_src(&operands[0], pc, 4)?;
+                self.push(v, pc)?;
+                self.set_nz(v);
+            }
+            Op::AddL2 | Op::AddL3 => {
+                let a = self.read_src(&operands[0], pc, 4)?;
+                let (bsrc, dst) = if op == Op::AddL2 {
+                    (&operands[1], &operands[1])
+                } else {
+                    (&operands[1], &operands[2])
+                };
+                let b = self.read_src(bsrc, pc, 4)?;
+                let (v, carry) = b.overflowing_add(a);
+                self.flags = CxFlags {
+                    n: (v as i32) < 0,
+                    z: v == 0,
+                    v: ((a ^ v) & (b ^ v)) >> 31 != 0,
+                    c: carry,
+                };
+                self.write_dst(dst, v, pc, 4)?;
+            }
+            Op::SubL2 | Op::SubL3 => {
+                // dst := min − sub (sub is the first operand, as on the VAX)
+                let sub = self.read_src(&operands[0], pc, 4)?;
+                let (minsrc, dst) = if op == Op::SubL2 {
+                    (&operands[1], &operands[1])
+                } else {
+                    (&operands[1], &operands[2])
+                };
+                let min = self.read_src(minsrc, pc, 4)?;
+                let (v, borrow) = min.overflowing_sub(sub);
+                self.flags = CxFlags {
+                    n: (v as i32) < 0,
+                    z: v == 0,
+                    v: ((min ^ sub) & (min ^ v)) >> 31 != 0,
+                    c: borrow,
+                };
+                self.write_dst(dst, v, pc, 4)?;
+            }
+            Op::MulL3 => {
+                let a = self.read_src(&operands[0], pc, 4)? as i32;
+                let b = self.read_src(&operands[1], pc, 4)? as i32;
+                let v = a.wrapping_mul(b) as u32;
+                self.write_dst(&operands[2], v, pc, 4)?;
+                self.set_nz(v);
+            }
+            Op::DivL3 => {
+                let divisor = self.read_src(&operands[0], pc, 4)? as i32;
+                let dividend = self.read_src(&operands[1], pc, 4)? as i32;
+                if divisor == 0 {
+                    return Err(CxError::DivideByZero { pc });
+                }
+                let v = dividend.wrapping_div(divisor) as u32;
+                self.write_dst(&operands[2], v, pc, 4)?;
+                self.set_nz(v);
+            }
+            Op::AndL3 | Op::OrL3 | Op::XorL3 => {
+                let a = self.read_src(&operands[0], pc, 4)?;
+                let b = self.read_src(&operands[1], pc, 4)?;
+                let v = match op {
+                    Op::AndL3 => a & b,
+                    Op::OrL3 => a | b,
+                    _ => a ^ b,
+                };
+                self.write_dst(&operands[2], v, pc, 4)?;
+                self.set_nz(v);
+            }
+            Op::AshL => {
+                let count = self.read_src(&operands[0], pc, 4)? as i32;
+                let src = self.read_src(&operands[1], pc, 4)?;
+                let v = if count >= 0 {
+                    src << (count as u32 & 31)
+                } else {
+                    ((src as i32) >> ((-count) as u32 & 31)) as u32
+                };
+                self.write_dst(&operands[2], v, pc, 4)?;
+                self.set_nz(v);
+            }
+            Op::CmpL => {
+                let a = self.read_src(&operands[0], pc, 4)?;
+                let b = self.read_src(&operands[1], pc, 4)?;
+                let (v, borrow) = a.overflowing_sub(b);
+                self.flags = CxFlags {
+                    n: (v as i32) < 0,
+                    z: v == 0,
+                    v: ((a ^ b) & (a ^ v)) >> 31 != 0,
+                    c: borrow,
+                };
+            }
+            Op::TstL => {
+                let a = self.read_src(&operands[0], pc, 4)?;
+                self.set_nz(a);
+            }
+            Op::Brw => {
+                next_pc = insn_end.wrapping_add(disp.unwrap() as i32 as u32);
+                cycles += cost::TAKEN_BRANCH;
+                self.stats.taken_branches += 1;
+            }
+            Op::Beql
+            | Op::Bneq
+            | Op::Blss
+            | Op::Bleq
+            | Op::Bgtr
+            | Op::Bgeq
+            | Op::Blssu
+            | Op::Bgtru => {
+                let cc = op.condition().expect("conditional branch");
+                if cc.eval(self.flags) {
+                    next_pc = insn_end.wrapping_add(disp.unwrap() as i32 as u32);
+                    cycles += cost::TAKEN_BRANCH;
+                    self.stats.taken_branches += 1;
+                }
+            }
+            Op::Calls => {
+                let narg = self.read_src(&operands[0], pc, 4)?;
+                let target = insn_end.wrapping_add(disp.unwrap() as i32 as u32);
+                // Frame: [ret PC][saved FP][saved AP][narg][args…]
+                self.push(narg, pc)?;
+                self.push(self.reg(CReg::AP), pc)?;
+                self.push(self.reg(CReg::FP), pc)?;
+                self.push(insn_end, pc)?;
+                let sp = self.reg(CReg::SP);
+                self.set_reg(CReg::FP, sp);
+                self.set_reg(CReg::AP, sp + 12);
+                next_pc = target;
+                self.depth += 1;
+                self.stats.max_depth = self.stats.max_depth.max(self.depth);
+                self.stats.calls += 1;
+                self.stats.taken_branches += 1;
+            }
+            Op::Ret => {
+                if self.depth == 0 {
+                    return Err(CxError::RetAtTopLevel { pc });
+                }
+                let fp = self.reg(CReg::FP);
+                let ret_pc = self.read_mem(fp, pc)?;
+                let old_fp = self.read_mem(fp + 4, pc)?;
+                let old_ap = self.read_mem(fp + 8, pc)?;
+                let narg = self.read_mem(fp + 12, pc)?;
+                self.set_reg(CReg::SP, fp + 16 + narg * 4);
+                self.set_reg(CReg::FP, old_fp);
+                self.set_reg(CReg::AP, old_ap);
+                next_pc = ret_pc;
+                self.depth -= 1;
+                self.stats.rets += 1;
+                self.stats.taken_branches += 1;
+            }
+        }
+
+        let mem_accesses = self.mem.traffic().total() - mem_before;
+        cycles += mem_accesses * cost::MEM_ACCESS;
+        self.stats.cycles += cycles;
+        self.stats.instructions += 1;
+        *self.stats.op_counts.entry(op).or_insert(0) += 1;
+        self.pc = next_pc;
+        Ok(())
+    }
+
+    fn set_nz(&mut self, v: u32) {
+        self.flags = CxFlags {
+            n: (v as i32) < 0,
+            z: v == 0,
+            v: false,
+            c: self.flags.c,
+        };
+    }
+
+    fn set_nz_byte(&mut self, v: u32) {
+        self.flags = CxFlags {
+            n: (v as u8 as i8) < 0,
+            z: v as u8 == 0,
+            v: false,
+            c: self.flags.c,
+        };
+    }
+
+    fn fetch_u8(&self, cur: &mut u32, pc: u32) -> Result<u8, CxError> {
+        let b = self
+            .mem
+            .peek_u8(*cur)
+            .map_err(|err| CxError::Mem { pc, err })?;
+        *cur += 1;
+        Ok(b)
+    }
+
+    fn fetch_u32(&self, cur: &mut u32, pc: u32) -> Result<u32, CxError> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= u32::from(self.fetch_u8(cur, pc)?) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    /// Decodes one operand specifier from the instruction stream.
+    fn fetch_operand(&self, cur: &mut u32, pc: u32) -> Result<Operand, CxError> {
+        let b = self.fetch_u8(cur, pc)?;
+        if b < 0x40 {
+            return Ok(Operand::Lit(b));
+        }
+        let mode = b >> 4;
+        let regn = b & 0x0f;
+        let reg = CReg::new(regn);
+        Ok(match (mode, reg) {
+            (5, Some(r)) => Operand::Reg(r),
+            (6, Some(r)) => Operand::Deferred(r),
+            (7, Some(r)) => Operand::AutoDec(r),
+            (8, Some(r)) => Operand::AutoInc(r),
+            (8, None) => Operand::Imm(self.fetch_u32(cur, pc)?),
+            (9, None) => Operand::Abs(self.fetch_u32(cur, pc)?),
+            (0xa, Some(r)) => Operand::Disp8(self.fetch_u8(cur, pc)? as i8, r),
+            (0xc, Some(r)) => {
+                let lo = self.fetch_u8(cur, pc)?;
+                let hi = self.fetch_u8(cur, pc)?;
+                Operand::Disp16(i16::from_le_bytes([lo, hi]), r)
+            }
+            (0xe, Some(r)) => Operand::Disp32(self.fetch_u32(cur, pc)? as i32, r),
+            _ => return Err(CxError::Decode { pc, byte: b }),
+        })
+    }
+
+    /// Resolves an operand to a location, applying autoincrement/decrement
+    /// side effects.
+    fn resolve(&mut self, o: &Operand) -> Loc {
+        match *o {
+            Operand::Lit(v) => Loc::Val(u32::from(v)),
+            Operand::Imm(v) => Loc::Val(v),
+            Operand::Reg(r) => Loc::Reg(r),
+            Operand::Deferred(r) => Loc::Mem(self.reg(r)),
+            Operand::AutoDec(r) => {
+                let a = self.reg(r).wrapping_sub(4);
+                self.set_reg(r, a);
+                Loc::Mem(a)
+            }
+            Operand::AutoInc(r) => {
+                let a = self.reg(r);
+                self.set_reg(r, a.wrapping_add(4));
+                Loc::Mem(a)
+            }
+            Operand::Disp8(d, r) => Loc::Mem(self.reg(r).wrapping_add(d as i32 as u32)),
+            Operand::Disp16(d, r) => Loc::Mem(self.reg(r).wrapping_add(d as i32 as u32)),
+            Operand::Disp32(d, r) => Loc::Mem(self.reg(r).wrapping_add(d as u32)),
+            Operand::Abs(a) => Loc::Mem(a),
+        }
+    }
+
+    fn read_src(&mut self, o: &Operand, pc: u32, width: u32) -> Result<u32, CxError> {
+        match self.resolve(o) {
+            Loc::Val(v) => Ok(v),
+            Loc::Reg(r) => Ok(self.reg(r)),
+            Loc::Mem(a) => {
+                let v = match width {
+                    1 => self.mem.read_u8(a).map(u32::from),
+                    2 => self.mem.read_u16(a).map(u32::from),
+                    _ => self.mem.read_u32(a),
+                };
+                v.map_err(|err| CxError::Mem { pc, err })
+            }
+        }
+    }
+
+    fn write_dst(&mut self, o: &Operand, v: u32, pc: u32, width: u32) -> Result<(), CxError> {
+        match self.resolve(o) {
+            Loc::Val(_) => Err(CxError::WriteToLiteral { pc }),
+            Loc::Reg(r) => {
+                self.set_reg(r, v);
+                Ok(())
+            }
+            Loc::Mem(a) => {
+                let r = match width {
+                    1 => self.mem.write_u8(a, v as u8),
+                    2 => self.mem.write_u16(a, v as u16),
+                    _ => self.mem.write_u32(a, v),
+                };
+                r.map_err(|err| CxError::Mem { pc, err })
+            }
+        }
+    }
+
+    fn push(&mut self, v: u32, pc: u32) -> Result<(), CxError> {
+        let sp = self.reg(CReg::SP).wrapping_sub(4);
+        self.set_reg(CReg::SP, sp);
+        self.mem
+            .write_u32(sp, v)
+            .map_err(|err| CxError::Mem { pc, err })
+    }
+
+    fn read_mem(&mut self, a: u32, pc: u32) -> Result<u32, CxError> {
+        self.mem.read_u32(a).map_err(|err| CxError::Mem { pc, err })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CxAsm;
+
+    fn run(build: impl FnOnce(&mut CxAsm)) -> CxCpu {
+        let mut a = CxAsm::new();
+        build(&mut a);
+        let prog = a.finish().unwrap();
+        let mut cpu = CxCpu::new(CxConfig::default());
+        cpu.load_program(&prog).unwrap();
+        cpu.run().unwrap();
+        cpu
+    }
+
+    #[test]
+    fn mov_and_add_with_every_source_mode() {
+        let cpu = run(|a| {
+            a.emit(Op::MovL, &[Operand::Imm(1000), Operand::Reg(CReg::R1)]);
+            a.emit(Op::MovL, &[Operand::Lit(63), Operand::Reg(CReg::R2)]);
+            a.emit(
+                Op::AddL3,
+                &[
+                    Operand::Reg(CReg::R1),
+                    Operand::Reg(CReg::R2),
+                    Operand::Reg(CReg::R0),
+                ],
+            );
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), 1063);
+    }
+
+    #[test]
+    fn memory_operands_work_in_alu_ops() {
+        let cpu = run(|a| {
+            // M[0x2000] := 40; M[0x2004] := 2; R0 := M[0x2000] + M[0x2004]
+            a.emit(Op::MovL, &[Operand::Imm(40), Operand::Abs(0x2000)]);
+            a.emit(Op::MovL, &[Operand::Imm(2), Operand::Abs(0x2004)]);
+            a.emit(
+                Op::AddL3,
+                &[
+                    Operand::Abs(0x2000),
+                    Operand::Abs(0x2004),
+                    Operand::Reg(CReg::R0),
+                ],
+            );
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), 42);
+        // the add alone performed 2 reads; total traffic 2 writes + 2 reads
+        let s = cpu.stats();
+        assert_eq!(s.data_reads, 2);
+        assert_eq!(s.data_writes, 2);
+    }
+
+    #[test]
+    fn displacement_addressing() {
+        let cpu = run(|a| {
+            a.emit(Op::MovL, &[Operand::Imm(0x2000), Operand::Reg(CReg::R1)]);
+            a.emit(Op::MovL, &[Operand::Imm(7), Operand::Disp8(8, CReg::R1)]);
+            a.emit(
+                Op::MovL,
+                &[Operand::Disp16(8, CReg::R1), Operand::Reg(CReg::R0)],
+            );
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), 7);
+    }
+
+    #[test]
+    fn push_pop_via_autodec_autoinc() {
+        let cpu = run(|a| {
+            a.emit(Op::MovL, &[Operand::Imm(11), Operand::AutoDec(CReg::SP)]);
+            a.emit(Op::MovL, &[Operand::Imm(22), Operand::AutoDec(CReg::SP)]);
+            a.emit(
+                Op::MovL,
+                &[Operand::AutoInc(CReg::SP), Operand::Reg(CReg::R1)],
+            ); // 22
+            a.emit(
+                Op::MovL,
+                &[Operand::AutoInc(CReg::SP), Operand::Reg(CReg::R2)],
+            ); // 11
+            a.emit(
+                Op::SubL3,
+                &[
+                    Operand::Reg(CReg::R2),
+                    Operand::Reg(CReg::R1),
+                    Operand::Reg(CReg::R0),
+                ],
+            );
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), 11, "22 - 11");
+        assert_eq!(cpu.reg(CReg::SP), CxConfig::default().stack_top);
+    }
+
+    #[test]
+    fn sub_sets_borrow_and_branches_unsigned() {
+        let cpu = run(|a| {
+            let less = a.new_label();
+            let end = a.new_label();
+            a.emit(Op::CmpL, &[Operand::Lit(3), Operand::Lit(5)]);
+            a.branch(Op::Blssu, less);
+            a.emit(Op::MovL, &[Operand::Imm(0), Operand::Reg(CReg::R0)]);
+            a.branch(Op::Brw, end);
+            a.bind(less);
+            a.emit(Op::MovL, &[Operand::Imm(1), Operand::Reg(CReg::R0)]);
+            a.bind(end);
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), 1, "3 < 5 unsigned");
+    }
+
+    #[test]
+    fn loop_with_conditional_branch() {
+        // sum 1..=10 == 55
+        let cpu = run(|a| {
+            let top = a.new_label();
+            a.emit(Op::ClrL, &[Operand::Reg(CReg::R0)]);
+            a.emit(Op::MovL, &[Operand::Lit(10), Operand::Reg(CReg::R1)]);
+            a.bind(top);
+            a.emit(Op::AddL2, &[Operand::Reg(CReg::R1), Operand::Reg(CReg::R0)]);
+            a.emit(Op::SubL2, &[Operand::Lit(1), Operand::Reg(CReg::R1)]);
+            a.emit(Op::TstL, &[Operand::Reg(CReg::R1)]);
+            a.branch(Op::Bgtr, top);
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), 55);
+    }
+
+    #[test]
+    fn calls_and_ret_build_and_tear_frames() {
+        // f(a, b) = a - b; called with (50, 8)
+        let cpu = run(|a| {
+            let f = a.new_label();
+            // caller: push args right-to-left → arg0 on top
+            a.emit(Op::PushL, &[Operand::Lit(8)]); // b (arg1)
+            a.emit(Op::PushL, &[Operand::Lit(50)]); // a (arg0)
+            a.calls(2, f);
+            a.emit0(Op::Halt);
+            a.bind(f);
+            // args at 4(AP) and 8(AP)
+            a.emit(
+                Op::SubL3,
+                &[
+                    Operand::Disp8(8, CReg::AP),
+                    Operand::Disp8(4, CReg::AP),
+                    Operand::Reg(CReg::R0),
+                ],
+            );
+            a.emit0(Op::Ret);
+        });
+        assert_eq!(cpu.result(), 42);
+        let s = cpu.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.rets, 1);
+        assert_eq!(s.max_depth, 1);
+        assert_eq!(
+            cpu.reg(CReg::SP),
+            CxConfig::default().stack_top,
+            "ret popped frame and arguments"
+        );
+    }
+
+    #[test]
+    fn recursive_factorial_through_the_calling_standard() {
+        // fact(n) = n <= 1 ? 1 : n * fact(n-1)
+        let cpu = run(|a| {
+            let fact = a.new_label();
+            let rec = a.new_label();
+            a.emit(Op::PushL, &[Operand::Lit(10)]);
+            a.calls(1, fact);
+            a.emit0(Op::Halt);
+
+            a.bind(fact);
+            a.emit(Op::CmpL, &[Operand::Disp8(4, CReg::AP), Operand::Lit(1)]);
+            a.branch(Op::Bgtr, rec);
+            a.emit(Op::MovL, &[Operand::Lit(1), Operand::Reg(CReg::R0)]);
+            a.emit0(Op::Ret);
+            a.bind(rec);
+            a.emit(
+                Op::SubL3,
+                &[
+                    Operand::Lit(1),
+                    Operand::Disp8(4, CReg::AP),
+                    Operand::Reg(CReg::R1),
+                ],
+            );
+            a.emit(Op::PushL, &[Operand::Reg(CReg::R1)]);
+            a.calls(1, fact);
+            a.emit(
+                Op::MulL3,
+                &[
+                    Operand::Reg(CReg::R0),
+                    Operand::Disp8(4, CReg::AP),
+                    Operand::Reg(CReg::R0),
+                ],
+            );
+            a.emit0(Op::Ret);
+        });
+        assert_eq!(cpu.result(), 3_628_800);
+        assert_eq!(cpu.stats().max_depth, 10);
+    }
+
+    #[test]
+    fn division_and_divide_by_zero() {
+        let cpu = run(|a| {
+            a.emit(
+                Op::DivL3,
+                &[Operand::Lit(6), Operand::Imm(252), Operand::Reg(CReg::R0)],
+            );
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), 42);
+
+        let mut a = CxAsm::new();
+        a.emit(
+            Op::DivL3,
+            &[Operand::Lit(0), Operand::Lit(1), Operand::Reg(CReg::R0)],
+        );
+        a.emit0(Op::Halt);
+        let prog = a.finish().unwrap();
+        let mut cpu = CxCpu::new(CxConfig::default());
+        cpu.load_program(&prog).unwrap();
+        assert!(matches!(cpu.run(), Err(CxError::DivideByZero { .. })));
+    }
+
+    #[test]
+    fn ret_at_top_level_is_an_error() {
+        let mut a = CxAsm::new();
+        a.emit0(Op::Ret);
+        let prog = a.finish().unwrap();
+        let mut cpu = CxCpu::new(CxConfig::default());
+        cpu.load_program(&prog).unwrap();
+        assert!(matches!(cpu.run(), Err(CxError::RetAtTopLevel { .. })));
+    }
+
+    #[test]
+    fn undecodable_byte_is_an_error() {
+        let mut cpu = CxCpu::new(CxConfig::default());
+        cpu.load_program(&CxProgram {
+            bytes: vec![0xff],
+            ..CxProgram::default()
+        })
+        .unwrap();
+        assert!(matches!(cpu.run(), Err(CxError::Decode { byte: 0xff, .. })));
+    }
+
+    #[test]
+    fn fuel_guards_infinite_loops() {
+        let mut a = CxAsm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.branch(Op::Brw, top);
+        let prog = a.finish().unwrap();
+        let mut cpu = CxCpu::new(CxConfig {
+            fuel: 100,
+            ..CxConfig::default()
+        });
+        cpu.load_program(&prog).unwrap();
+        assert_eq!(cpu.run(), Err(CxError::OutOfFuel));
+    }
+
+    #[test]
+    fn cost_model_charges_memory_and_specifiers() {
+        // movl r1, r2: BASE only. movl @0x2000, r0: BASE + 2 (abs) + 1 mem.
+        let cheap = run(|a| {
+            a.emit(Op::MovL, &[Operand::Reg(CReg::R1), Operand::Reg(CReg::R2)]);
+            a.emit0(Op::Halt);
+        });
+        let costly = run(|a| {
+            a.emit(Op::MovL, &[Operand::Abs(0x2000), Operand::Reg(CReg::R0)]);
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(costly.stats().cycles - cheap.stats().cycles, 3);
+    }
+
+    #[test]
+    fn shifts_left_and_right() {
+        let cpu = run(|a| {
+            a.emit(
+                Op::MovL,
+                &[Operand::Imm(-64i32 as u32), Operand::Reg(CReg::R1)],
+            );
+            a.emit(
+                Op::AshL,
+                &[
+                    Operand::Imm(-3i32 as u32),
+                    Operand::Reg(CReg::R1),
+                    Operand::Reg(CReg::R2),
+                ],
+            );
+            a.emit(
+                Op::AshL,
+                &[
+                    Operand::Lit(2),
+                    Operand::Reg(CReg::R2),
+                    Operand::Reg(CReg::R0),
+                ],
+            );
+            a.emit0(Op::Halt);
+        });
+        assert_eq!(cpu.result(), -32, "(-64 >> 3) << 2");
+    }
+
+    #[test]
+    fn ifetch_bytes_reflect_variable_length() {
+        let cpu = run(|a| {
+            a.emit(Op::MovL, &[Operand::Imm(1), Operand::Reg(CReg::R0)]); // 1+5+1 = 7
+            a.emit0(Op::Halt); // 1
+        });
+        assert_eq!(cpu.stats().ifetch_bytes, 8);
+    }
+}

@@ -1,0 +1,166 @@
+//! CX disassembler: byte stream back to assembly text.
+
+use crate::isa::{CReg, Op, Operand};
+
+/// One decoded instruction: its text, byte offset and encoded length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedLine {
+    /// Byte offset within the stream.
+    pub offset: u32,
+    /// Encoded length in bytes.
+    pub len: u32,
+    /// Rendered assembly text.
+    pub text: String,
+}
+
+fn fetch_u8(bytes: &[u8], cur: &mut usize) -> Option<u8> {
+    let b = *bytes.get(*cur)?;
+    *cur += 1;
+    Some(b)
+}
+
+fn fetch_u32(bytes: &[u8], cur: &mut usize) -> Option<u32> {
+    let mut v = 0u32;
+    for i in 0..4 {
+        v |= u32::from(fetch_u8(bytes, cur)?) << (8 * i);
+    }
+    Some(v)
+}
+
+fn fetch_operand(bytes: &[u8], cur: &mut usize) -> Option<Operand> {
+    let b = fetch_u8(bytes, cur)?;
+    if b < 0x40 {
+        return Some(Operand::Lit(b));
+    }
+    let (mode, regn) = (b >> 4, b & 0x0f);
+    let reg = CReg::new(regn);
+    Some(match (mode, reg) {
+        (5, Some(r)) => Operand::Reg(r),
+        (6, Some(r)) => Operand::Deferred(r),
+        (7, Some(r)) => Operand::AutoDec(r),
+        (8, Some(r)) => Operand::AutoInc(r),
+        (8, None) => Operand::Imm(fetch_u32(bytes, cur)?),
+        (9, None) => Operand::Abs(fetch_u32(bytes, cur)?),
+        (0xa, Some(r)) => Operand::Disp8(fetch_u8(bytes, cur)? as i8, r),
+        (0xc, Some(r)) => {
+            let lo = fetch_u8(bytes, cur)?;
+            let hi = fetch_u8(bytes, cur)?;
+            Operand::Disp16(i16::from_le_bytes([lo, hi]), r)
+        }
+        (0xe, Some(r)) => Operand::Disp32(fetch_u32(bytes, cur)? as i32, r),
+        _ => return None,
+    })
+}
+
+/// Decodes one instruction starting at `offset`. Returns `None` when the
+/// bytes do not form a valid instruction (truncated or undefined).
+pub fn decode_one(bytes: &[u8], offset: u32) -> Option<DecodedLine> {
+    let mut cur = offset as usize;
+    let opbyte = fetch_u8(bytes, &mut cur)?;
+    let op = Op::from_code(opbyte)?;
+    let mut parts: Vec<String> = Vec::new();
+    for _ in 0..op.operand_count() {
+        parts.push(fetch_operand(bytes, &mut cur)?.to_string());
+    }
+    if op.has_disp16() {
+        let lo = fetch_u8(bytes, &mut cur)?;
+        let hi = fetch_u8(bytes, &mut cur)?;
+        let disp = i16::from_le_bytes([lo, hi]);
+        let target = (cur as i64 + i64::from(disp)) as u32;
+        parts.push(format!("{:#x}", target));
+    }
+    let text = if parts.is_empty() {
+        op.name().to_string()
+    } else {
+        format!("{} {}", op.name(), parts.join(", "))
+    };
+    Some(DecodedLine {
+        offset,
+        len: (cur - offset as usize) as u32,
+        text,
+    })
+}
+
+/// Disassembles a whole code stream; undecodable bytes render as `.byte`
+/// and decoding resynchronises at the next byte.
+pub fn disassemble(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    let mut offset = 0u32;
+    while (offset as usize) < bytes.len() {
+        match decode_one(bytes, offset) {
+            Some(line) => {
+                out.push_str(&format!("{:#06x}:  {}\n", line.offset, line.text));
+                offset += line.len;
+            }
+            None => {
+                out.push_str(&format!(
+                    "{:#06x}:  .byte {:#04x}\n",
+                    offset, bytes[offset as usize]
+                ));
+                offset += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CxAsm;
+
+    #[test]
+    fn round_trips_a_program_listing() {
+        let mut a = CxAsm::new();
+        let f = a.new_label();
+        a.emit(Op::MovL, &[Operand::Imm(40), Operand::Reg(CReg::R1)]);
+        a.emit(
+            Op::AddL3,
+            &[
+                Operand::Lit(2),
+                Operand::Disp8(-4, CReg::FP),
+                Operand::Reg(CReg::R0),
+            ],
+        );
+        a.emit(Op::PushL, &[Operand::Reg(CReg::R0)]);
+        a.calls(1, f);
+        a.bind(f);
+        a.emit0(Op::Ret);
+        a.emit0(Op::Halt);
+        let p = a.finish().unwrap();
+        let text = disassemble(&p.bytes);
+        assert!(text.contains("movl #40, r1"), "{text}");
+        assert!(text.contains("addl3 #2, -4(fp), r0"), "{text}");
+        assert!(text.contains("pushl r0"), "{text}");
+        assert!(text.contains("calls"), "{text}");
+        assert!(text.contains("ret"), "{text}");
+        assert!(text.contains("halt"), "{text}");
+        // Every line decoded — no .byte fallbacks in valid code.
+        assert!(!text.contains(".byte"), "{text}");
+    }
+
+    #[test]
+    fn branch_targets_are_absolute_offsets() {
+        let mut a = CxAsm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.emit(Op::TstL, &[Operand::Reg(CReg::R0)]);
+        a.branch(Op::Bneq, top);
+        let p = a.finish().unwrap();
+        let text = disassemble(&p.bytes);
+        assert!(text.contains("bneq 0x0"), "{text}");
+    }
+
+    #[test]
+    fn garbage_bytes_degrade_gracefully() {
+        let text = disassemble(&[0xff, 0x01, 0x51, 0x52]);
+        assert!(text.contains(".byte 0xff"));
+        assert!(text.contains("movl r1, r2"));
+    }
+
+    #[test]
+    fn truncated_instruction_is_not_decoded() {
+        // movl #imm needs 4 immediate bytes; give it only two.
+        assert!(decode_one(&[0x01, 0x8f, 0x01, 0x02], 0).is_none());
+    }
+}

@@ -1,0 +1,377 @@
+//! The CX instruction set: opcodes, registers, operand specifiers and the
+//! byte-stream encoding.
+//!
+//! Encoding follows the VAX scheme: a one-byte opcode, then one specifier
+//! per operand. A specifier is a mode/register byte, optionally followed by
+//! displacement or immediate bytes:
+//!
+//! | first byte | meaning | extra bytes |
+//! |-----------|----------|-------------|
+//! | `0x00`–`0x3F` | short literal 0–63 | — |
+//! | `0x5R` | register `R` | — |
+//! | `0x6R` | register deferred `(R)` | — |
+//! | `0x7R` | autodecrement `-(R)` | — |
+//! | `0x8R` | autoincrement `(R)+` | — |
+//! | `0x8F` | immediate (autoincrement on PC) | 4 (value) |
+//! | `0xAR` | byte displacement `d8(R)` | 1 |
+//! | `0xCR` | word displacement `d16(R)` | 2 |
+//! | `0xER` | long displacement `d32(R)` | 4 |
+//! | `0x9F` | absolute address | 4 |
+//!
+//! Conditional branches and `BRW`/`CALLS` carry a 16-bit displacement after
+//! their specifiers, relative to the end of the instruction.
+
+use std::fmt;
+
+/// A CX general register. `R0`–`R11` are general purpose (R0 carries return
+/// values); `AP`, `FP` and `SP` implement the calling standard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CReg(u8);
+
+impl CReg {
+    /// Creates a register from its number (0–14).
+    pub fn new(n: u8) -> Option<CReg> {
+        (n < 15).then_some(CReg(n))
+    }
+
+    /// Register number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+}
+
+macro_rules! cregs {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl CReg {
+            $(#[doc = concat!("Register ", stringify!($name), ".")]
+              pub const $name: CReg = CReg($n);)*
+        }
+    };
+}
+cregs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, AP = 12, FP = 13, SP = 14,
+}
+
+impl fmt::Display for CReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            12 => write!(f, "ap"),
+            13 => write!(f, "fp"),
+            14 => write!(f, "sp"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// An operand specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Short literal 0–63 (fits in the specifier byte).
+    Lit(u8),
+    /// Register direct.
+    Reg(CReg),
+    /// Register deferred: memory at `(R)`.
+    Deferred(CReg),
+    /// Autodecrement: `R -= 4`, then memory at `(R)` (the push idiom).
+    AutoDec(CReg),
+    /// Autoincrement: memory at `(R)`, then `R += 4` (the pop idiom).
+    AutoInc(CReg),
+    /// 32-bit immediate.
+    Imm(u32),
+    /// Byte displacement off a register: `d8(R)`.
+    Disp8(i8, CReg),
+    /// Word displacement off a register: `d16(R)`.
+    Disp16(i16, CReg),
+    /// Long displacement off a register: `d32(R)`.
+    Disp32(i32, CReg),
+    /// Absolute 32-bit address.
+    Abs(u32),
+}
+
+impl Operand {
+    /// Encoded size in bytes (specifier byte + extension).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Operand::Lit(_) | Operand::Reg(_) | Operand::Deferred(_) => 1,
+            Operand::AutoDec(_) | Operand::AutoInc(_) => 1,
+            Operand::Disp8(..) => 2,
+            Operand::Disp16(..) => 3,
+            Operand::Imm(_) | Operand::Disp32(..) | Operand::Abs(_) => 5,
+        }
+    }
+
+    /// Whether evaluating the operand as a *source* touches data memory.
+    pub fn reads_memory(&self) -> bool {
+        !matches!(self, Operand::Lit(_) | Operand::Reg(_) | Operand::Imm(_))
+    }
+
+    /// Appends the encoded specifier to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            Operand::Lit(v) => {
+                debug_assert!(v < 64);
+                out.push(v & 0x3f);
+            }
+            Operand::Reg(r) => out.push(0x50 | r.number()),
+            Operand::Deferred(r) => out.push(0x60 | r.number()),
+            Operand::AutoDec(r) => out.push(0x70 | r.number()),
+            Operand::AutoInc(r) => out.push(0x80 | r.number()),
+            Operand::Imm(v) => {
+                out.push(0x8f);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Operand::Disp8(d, r) => {
+                out.push(0xa0 | r.number());
+                out.push(d as u8);
+            }
+            Operand::Disp16(d, r) => {
+                out.push(0xc0 | r.number());
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            Operand::Disp32(d, r) => {
+                out.push(0xe0 | r.number());
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            Operand::Abs(a) => {
+                out.push(0x9f);
+                out.extend_from_slice(&a.to_le_bytes());
+            }
+        }
+    }
+
+    /// Microcycles charged for decoding this specifier (see [`crate::cost`]).
+    pub fn decode_cost(&self) -> u64 {
+        match self {
+            Operand::Lit(_) | Operand::Reg(_) => 0,
+            Operand::Deferred(_) | Operand::AutoDec(_) | Operand::AutoInc(_) => 1,
+            Operand::Imm(_) | Operand::Disp8(..) => 1,
+            Operand::Disp16(..) => 2,
+            Operand::Disp32(..) | Operand::Abs(_) => 2,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand::Lit(v) => write!(f, "#{v}"),
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Deferred(r) => write!(f, "({r})"),
+            Operand::AutoDec(r) => write!(f, "-({r})"),
+            Operand::AutoInc(r) => write!(f, "({r})+"),
+            Operand::Imm(v) => write!(f, "#{}", v as i32),
+            Operand::Disp8(d, r) => write!(f, "{d}({r})"),
+            Operand::Disp16(d, r) => write!(f, "{d}({r})"),
+            Operand::Disp32(d, r) => write!(f, "{d}({r})"),
+            Operand::Abs(a) => write!(f, "@{a:#x}"),
+        }
+    }
+}
+
+/// Branch conditions, tested against the VAX-style N/Z/V/C flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cc {
+    /// Z.
+    Eql,
+    /// !Z.
+    Neq,
+    /// N ^ V (signed <).
+    Lss,
+    /// Z | (N ^ V) (signed ≤).
+    Leq,
+    /// !Z & !(N ^ V) (signed >).
+    Gtr,
+    /// !(N ^ V) (signed ≥).
+    Geq,
+    /// C (unsigned <; VAX convention: C = borrow).
+    Lssu,
+    /// !C & !Z (unsigned >).
+    Gtru,
+}
+
+macro_rules! cx_ops {
+    ($(($variant:ident, $name:literal, $code:expr, $nops:expr, $extra:expr, $desc:literal)),* $(,)?) => {
+        /// A CX opcode.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum Op {
+            $(#[doc = $desc] $variant = $code,)*
+        }
+
+        impl Op {
+            /// All opcodes.
+            pub const ALL: &'static [Op] = &[$(Op::$variant),*];
+
+            /// Mnemonic.
+            pub fn name(self) -> &'static str {
+                match self { $(Op::$variant => $name,)* }
+            }
+
+            /// Number of operand specifiers.
+            pub fn operand_count(self) -> usize {
+                match self { $(Op::$variant => $nops,)* }
+            }
+
+            /// Extra execution microcycles beyond decode + specifiers +
+            /// memory (multiply/divide iterations, call frame building…).
+            pub fn extra_cycles(self) -> u64 {
+                match self { $(Op::$variant => $extra,)* }
+            }
+
+            /// Decodes an opcode byte.
+            pub fn from_code(b: u8) -> Option<Op> {
+                match b { $($code => Some(Op::$variant),)* _ => None }
+            }
+        }
+    };
+}
+
+cx_ops! {
+    (Halt,   "halt",   0x00, 0, 0,  "stop the machine"),
+    (MovL,   "movl",   0x01, 2, 0,  "dst := src (32-bit), sets N/Z"),
+    (MovB,   "movb",   0x02, 2, 0,  "dst := low byte of src (byte-wide access)"),
+    (MovW,   "movw",   0x03, 2, 0,  "dst := low 16 bits of src (16-bit access)"),
+    (MovZBL, "movzbl", 0x04, 2, 0,  "dst := zero-extended byte src"),
+    (MovZWL, "movzwl", 0x05, 2, 0,  "dst := zero-extended 16-bit src"),
+    (PushL,  "pushl",  0x06, 1, 0,  "push src on the stack"),
+    (ClrL,   "clrl",   0x07, 1, 0,  "dst := 0"),
+    (AddL2,  "addl2",  0x10, 2, 0,  "dst := dst + src"),
+    (AddL3,  "addl3",  0x11, 3, 0,  "dst := src1 + src2"),
+    (SubL2,  "subl2",  0x12, 2, 0,  "dst := dst - src"),
+    (SubL3,  "subl3",  0x13, 3, 0,  "dst := src2 - src1"),
+    (MulL3,  "mull3",  0x14, 3, 8,  "dst := src1 * src2 (microcoded multiply)"),
+    (DivL3,  "divl3",  0x15, 3, 12, "dst := src2 / src1 (microcoded divide)"),
+    (AndL3,  "andl3",  0x16, 3, 0,  "dst := src1 & src2"),
+    (OrL3,   "orl3",   0x17, 3, 0,  "dst := src1 | src2"),
+    (XorL3,  "xorl3",  0x18, 3, 0,  "dst := src1 ^ src2"),
+    (AshL,   "ashl",   0x19, 3, 1,  "dst := src shifted by count (negative = right)"),
+    (CmpL,   "cmpl",   0x1a, 2, 0,  "flags := src1 - src2"),
+    (TstL,   "tstl",   0x1b, 1, 0,  "flags := src - 0"),
+    (Beql,   "beql",   0x20, 0, 0,  "branch if equal (disp16)"),
+    (Bneq,   "bneq",   0x21, 0, 0,  "branch if not equal (disp16)"),
+    (Blss,   "blss",   0x22, 0, 0,  "branch if signed less (disp16)"),
+    (Bleq,   "bleq",   0x23, 0, 0,  "branch if signed less or equal (disp16)"),
+    (Bgtr,   "bgtr",   0x24, 0, 0,  "branch if signed greater (disp16)"),
+    (Bgeq,   "bgeq",   0x25, 0, 0,  "branch if signed greater or equal (disp16)"),
+    (Blssu,  "blssu",  0x26, 0, 0,  "branch if unsigned lower (disp16)"),
+    (Bgtru,  "bgtru",  0x27, 0, 0,  "branch if unsigned higher (disp16)"),
+    (Brw,    "brw",    0x28, 0, 0,  "unconditional branch (disp16)"),
+    (Calls,  "calls",  0x30, 1, 10, "call procedure: build stack frame (narg spec, disp16 target)"),
+    (Ret,    "ret",    0x31, 0, 8,  "return: tear down stack frame, pop arguments"),
+}
+
+impl Op {
+    /// Whether this opcode carries a 16-bit displacement after its
+    /// specifiers.
+    pub fn has_disp16(self) -> bool {
+        matches!(
+            self,
+            Op::Beql
+                | Op::Bneq
+                | Op::Blss
+                | Op::Bleq
+                | Op::Bgtr
+                | Op::Bgeq
+                | Op::Blssu
+                | Op::Bgtru
+                | Op::Brw
+                | Op::Calls
+        )
+    }
+
+    /// The branch condition, if this is a conditional branch.
+    pub fn condition(self) -> Option<Cc> {
+        Some(match self {
+            Op::Beql => Cc::Eql,
+            Op::Bneq => Cc::Neq,
+            Op::Blss => Cc::Lss,
+            Op::Bleq => Cc::Leq,
+            Op::Bgtr => Cc::Gtr,
+            Op::Bgeq => Cc::Geq,
+            Op::Blssu => Cc::Lssu,
+            Op::Bgtru => Cc::Gtru,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn opcode_bytes_unique() {
+        let set: HashSet<u8> = Op::ALL.iter().map(|o| *o as u8).collect();
+        assert_eq!(set.len(), Op::ALL.len());
+        for op in Op::ALL {
+            assert_eq!(Op::from_code(*op as u8), Some(*op));
+        }
+        assert_eq!(Op::from_code(0xff), None);
+    }
+
+    #[test]
+    fn operand_lengths() {
+        assert_eq!(Operand::Lit(5).encoded_len(), 1);
+        assert_eq!(Operand::Reg(CReg::R3).encoded_len(), 1);
+        assert_eq!(Operand::Disp8(-4, CReg::FP).encoded_len(), 2);
+        assert_eq!(Operand::Disp16(300, CReg::AP).encoded_len(), 3);
+        assert_eq!(Operand::Imm(7).encoded_len(), 5);
+        assert_eq!(Operand::Abs(0x2000).encoded_len(), 5);
+    }
+
+    #[test]
+    fn encode_matches_length() {
+        let all = [
+            Operand::Lit(63),
+            Operand::Reg(CReg::SP),
+            Operand::Deferred(CReg::R1),
+            Operand::AutoDec(CReg::SP),
+            Operand::AutoInc(CReg::R2),
+            Operand::Imm(0xdead_beef),
+            Operand::Disp8(-1, CReg::FP),
+            Operand::Disp16(-300, CReg::AP),
+            Operand::Disp32(1 << 20, CReg::R4),
+            Operand::Abs(0x1234),
+        ];
+        for o in all {
+            let mut buf = Vec::new();
+            o.encode(&mut buf);
+            assert_eq!(buf.len(), o.encoded_len(), "{o}");
+        }
+    }
+
+    #[test]
+    fn memory_touch_classification() {
+        assert!(!Operand::Lit(1).reads_memory());
+        assert!(!Operand::Reg(CReg::R0).reads_memory());
+        assert!(!Operand::Imm(1).reads_memory());
+        assert!(Operand::Deferred(CReg::R0).reads_memory());
+        assert!(Operand::Disp8(0, CReg::FP).reads_memory());
+        assert!(Operand::Abs(0).reads_memory());
+    }
+
+    #[test]
+    fn branch_metadata() {
+        assert!(Op::Beql.has_disp16());
+        assert_eq!(Op::Beql.condition(), Some(Cc::Eql));
+        assert!(Op::Brw.has_disp16());
+        assert_eq!(Op::Brw.condition(), None);
+        assert!(!Op::AddL2.has_disp16());
+        assert!(Op::Calls.has_disp16());
+    }
+
+    #[test]
+    fn register_display() {
+        assert_eq!(CReg::SP.to_string(), "sp");
+        assert_eq!(CReg::R7.to_string(), "r7");
+        assert!(CReg::new(15).is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! Loadable CX program images.
+
+use std::collections::HashMap;
+
+/// A CX program: a byte stream of variable-length instructions plus data
+/// images.
+#[derive(Debug, Clone, Default)]
+pub struct CxProgram {
+    /// The encoded instruction byte stream.
+    pub bytes: Vec<u8>,
+    /// Byte offset of the entry point within the code.
+    pub entry_offset: u32,
+    /// Data images: (absolute address, bytes).
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Symbol table: name → byte offset.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl CxProgram {
+    /// Static code size in bytes — the quantity the paper's code-size table
+    /// (E7) compares. Variable-length encoding is why CX wins this one.
+    pub fn code_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    /// Adds a data image at an absolute address.
+    pub fn add_data(&mut self, addr: u32, bytes: Vec<u8>) {
+        self.data.push((addr, bytes));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_bytes_counts_the_stream() {
+        let p = CxProgram {
+            bytes: vec![0; 17],
+            ..CxProgram::default()
+        };
+        assert_eq!(p.code_bytes(), 17);
+    }
+}

@@ -1,0 +1,219 @@
+//! # `risc1-cli` — the `risc1` command-line tool
+//!
+//! ```text
+//! risc1 asm <file.s>             assemble and disassemble back (listing)
+//! risc1 run <file.s> [args…]     assemble and execute; prints result + stats
+//! risc1 trace <file.s> [args…]   execute with the pipeline timing diagram
+//! risc1 bench <workload>         run a suite workload on both machines
+//! risc1 exp <id|all>             print an experiment report (e1…e12)
+//! risc1 list                     list suite workloads and experiments
+//! ```
+//!
+//! The library surface exists so the dispatch logic is unit-testable; the
+//! binary is a thin `main` over [`dispatch`].
+
+use risc1_asm::{assemble, disassemble};
+use risc1_core::{Cpu, SimConfig};
+use risc1_stats::measure_with;
+use std::fmt::Write as _;
+
+/// Result of a CLI invocation: the text to print, or an error message.
+pub type CliResult = Result<String, String>;
+
+/// Dispatches a command line (without the program name).
+///
+/// # Errors
+/// Returns a usage or execution error as a human-readable string.
+pub fn dispatch(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("asm") => cmd_asm(args.get(1).ok_or(USAGE)?),
+        Some("run") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], false),
+        Some("trace") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], true),
+        Some("bench") => cmd_bench(args.get(1).ok_or(USAGE)?),
+        Some("exp") => cmd_exp(args.get(1).ok_or(USAGE)?),
+        Some("list") => Ok(listing()),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "usage: risc1 <asm|run|trace|bench|exp|list> …
+  risc1 asm <file.s>            assemble + listing
+  risc1 run <file.s> [args…]    execute (args are main's integer arguments)
+  risc1 trace <file.s> [args…]  execute with a pipeline diagram
+  risc1 bench <workload-id>     run one suite workload on RISC I and CX
+  risc1 exp <e1…e12|all>        print an experiment report
+  risc1 list                    available workloads and experiments";
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_args(args: &[String]) -> Result<Vec<i32>, String> {
+    args.iter()
+        .map(|a| {
+            a.parse::<i32>()
+                .map_err(|e| format!("bad argument `{a}`: {e}"))
+        })
+        .collect()
+}
+
+fn cmd_asm(path: &str) -> CliResult {
+    let src = read(path)?;
+    let prog = assemble(&src).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "; {} instructions, {} bytes",
+        prog.len(),
+        prog.code_bytes()
+    );
+    out.push_str(&disassemble(&prog));
+    Ok(out)
+}
+
+fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
+    let src = read(path)?;
+    let prog = assemble(&src).map_err(|e| e.to_string())?;
+    let args = parse_args(rest)?;
+    let cfg = SimConfig {
+        record_trace: trace,
+        ..SimConfig::default()
+    };
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_program(&prog).map_err(|e| e.to_string())?;
+    cpu.set_args(&args);
+    cpu.run().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "result: {}", cpu.result());
+    let _ = writeln!(out, "{}", cpu.stats());
+    if trace {
+        let _ = writeln!(
+            out,
+            "\n{}",
+            risc1_core::pipeline::render_timing(cpu.trace(), 64)
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_bench(id: &str) -> CliResult {
+    let w = risc1_workloads::by_id(id)
+        .ok_or_else(|| format!("unknown workload `{id}` (try `risc1 list`)"))?;
+    let m = measure_with(&w, &w.args.clone(), SimConfig::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "{}: {}", w.id, w.description);
+    let _ = writeln!(out, "result        {}", m.result);
+    let _ = writeln!(
+        out,
+        "RISC I        {} instructions, {} cycles (cpi {:.2})",
+        m.risc.instructions,
+        m.risc.cycles,
+        m.risc.cpi()
+    );
+    let _ = writeln!(
+        out,
+        "CX            {} instructions, {} cycles (cpi {:.2})",
+        m.cx.instructions,
+        m.cx.cycles,
+        m.cx.cpi()
+    );
+    let _ = writeln!(
+        out,
+        "speedup       {:.2}x  (CX cycles / RISC I cycles)",
+        m.speedup()
+    );
+    let _ = writeln!(
+        out,
+        "code size     RISC I {} B vs CX {} B ({:.2}x)",
+        m.risc_code_bytes,
+        m.cx_code_bytes,
+        m.code_ratio()
+    );
+    Ok(out)
+}
+
+fn cmd_exp(id: &str) -> CliResult {
+    use risc1_experiments as e;
+    Ok(match id {
+        "e1" => e::e1_complexity::run(),
+        "e2" => e::e2_instruction_set::run(),
+        "e3" => e::e3_formats::run(),
+        "e4" => e::e4_windows_figure::run(),
+        "e5" => e::e5_call_cost::run(),
+        "e6" => e::e6_exec_time::run(),
+        "e7" => e::e7_code_size::run(),
+        "e8" => e::e8_window_sweep::run(),
+        "e9" => e::e9_delay_slots::run(),
+        "e10" => e::e10_area::run(),
+        "e11" => e::e11_pipeline_trace::run(),
+        "e12" => e::e12_instruction_mix::run(),
+        "ablations" => e::ablations::run(),
+        "all" => e::run_all(),
+        other => {
+            return Err(format!(
+                "unknown experiment `{other}` (e1…e12, ablations, all)"
+            ))
+        }
+    })
+}
+
+fn listing() -> String {
+    let mut out = String::from("workloads:\n");
+    for w in risc1_workloads::all() {
+        let _ = writeln!(out, "  {:16} {}", w.id, w.description);
+    }
+    out.push_str("\nexperiments: e1…e12, ablations, all (see DESIGN.md §3)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn usage_on_empty_or_unknown() {
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&s(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn list_shows_workloads() {
+        let out = dispatch(&s(&["list"])).unwrap();
+        assert!(out.contains("acker") && out.contains("sieve"));
+    }
+
+    #[test]
+    fn exp_rejects_unknown_id() {
+        assert!(dispatch(&s(&["exp", "e99"])).is_err());
+        assert!(dispatch(&s(&["exp", "e2"])).unwrap().contains("ldhi"));
+    }
+
+    #[test]
+    fn bench_runs_a_small_workload() {
+        let out = dispatch(&s(&["bench", "fib"])).unwrap();
+        assert!(out.contains("speedup"));
+        assert!(dispatch(&s(&["bench", "zzz"])).is_err());
+    }
+
+    #[test]
+    fn asm_and_run_roundtrip_through_a_temp_file() {
+        let dir = std::env::temp_dir().join("risc1_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.s");
+        std::fs::write(&path, "add r16, r26, #2\nadd r26, r16, #0\nhalt\nnop\n").unwrap();
+        let p = path.to_str().unwrap();
+        let asm = dispatch(&s(&["asm", p])).unwrap();
+        assert!(asm.contains("add r16, r26, #2"));
+        let run = dispatch(&s(&["run", p, "40"])).unwrap();
+        assert!(run.contains("result: 42"), "{run}");
+        let trace = dispatch(&s(&["trace", p, "40"])).unwrap();
+        assert!(trace.contains('E'));
+        let bad = dispatch(&s(&["run", p, "x"]));
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! The `risc1` binary: thin wrapper over [`risc1_cli::dispatch`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match risc1_cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

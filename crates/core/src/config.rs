@@ -1,0 +1,111 @@
+//! Simulator configuration.
+
+/// How transfers of control are timed.
+///
+/// RISC I's argument (and the subject of experiment E9): a *delayed* jump
+/// costs one cycle and exposes the slot to the compiler, whereas the naive
+/// *suspended pipeline* freezes instruction fetch for one cycle on every
+/// taken transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BranchModel {
+    /// The paper's design: the instruction after every transfer executes;
+    /// no timing penalty beyond the slot itself.
+    #[default]
+    Delayed,
+    /// The alternative the paper rejects: every *taken* transfer inserts one
+    /// bubble cycle. (Delay slots still execute — the program semantics do
+    /// not change, only the accounting — so the same binary is comparable
+    /// under both models.)
+    Suspended,
+}
+
+/// Complete configuration of one simulated RISC I machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of register windows in the file (the paper built 8; the
+    /// window-sweep experiment varies this from 2 to 16). Must be ≥ 2.
+    pub windows: usize,
+    /// Memory size in bytes.
+    pub mem_bytes: usize,
+    /// Byte address at which programs are loaded.
+    pub code_base: u32,
+    /// Initial program stack pointer (grows down). Used by compiled code for
+    /// the rare spills that do not fit the window.
+    pub stack_top: u32,
+    /// Top of the window-save stack (grows down). Spilled windows go here.
+    pub window_stack_top: u32,
+    /// Fixed cycle overhead of taking a window overflow/underflow trap, on
+    /// top of the 16 stores/loads themselves (models trap entry/exit).
+    pub trap_overhead_cycles: u64,
+    /// Branch timing model.
+    pub branch_model: BranchModel,
+    /// Whether the datapath has internal forwarding. Without it, an
+    /// instruction that reads the register written by its immediate
+    /// predecessor pays a one-cycle interlock bubble; RISC I had forwarding,
+    /// so the default is `true`. (Load results are never forwardable from
+    /// the same cycle: a load-use pair always pays one bubble when
+    /// forwarding is off, and none when on, matching the paper's
+    /// "internal forwarding" discussion.)
+    pub forwarding: bool,
+    /// Maximum number of instructions to execute before the simulator gives
+    /// up (guards against runaway programs in tests and fuzzing).
+    pub fuel: u64,
+    /// Record a full retired-instruction trace (needed only by the pipeline
+    /// diagram experiment; costs memory).
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            windows: 8,
+            mem_bytes: 1 << 20,
+            code_base: 0x1000,
+            stack_top: 0xe0000,
+            window_stack_top: 0xf0000,
+            trap_overhead_cycles: 8,
+            branch_model: BranchModel::Delayed,
+            forwarding: true,
+            fuel: 200_000_000,
+            record_trace: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with a specific number of register windows, other
+    /// parameters at their defaults.
+    pub fn with_windows(windows: usize) -> Self {
+        SimConfig {
+            windows,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Total physical registers implied by this configuration:
+    /// 10 globals + 16 per window (the paper's `10 + 16·w`; 138 for w = 8).
+    pub fn physical_registers(&self) -> usize {
+        crate::windows::GLOBALS + crate::windows::WINDOW_STRIDE * self.windows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = SimConfig::default();
+        assert_eq!(c.windows, 8);
+        assert_eq!(c.physical_registers(), 138, "the paper's register count");
+        assert_eq!(c.branch_model, BranchModel::Delayed);
+        assert!(c.forwarding);
+    }
+
+    #[test]
+    fn window_sweep_register_counts() {
+        assert_eq!(SimConfig::with_windows(2).physical_registers(), 42);
+        assert_eq!(SimConfig::with_windows(4).physical_registers(), 74);
+        assert_eq!(SimConfig::with_windows(16).physical_registers(), 266);
+    }
+}

@@ -1,0 +1,1058 @@
+//! The RISC I processor: functional execution plus the paper's timing model.
+//!
+//! Semantics implemented here, all per the paper / tech report:
+//!
+//! * **Delayed jumps.** Every transfer of control executes the instruction
+//!   that follows it before the target (there is no annulment in RISC I).
+//!   A transfer *in* a delay slot is architecturally undefined; the
+//!   simulator reports it as an error.
+//! * **Register windows.** `CALL`/`CALLR` advance the window before writing
+//!   the return address, so the link register is named in the *callee's*
+//!   window. `RET` reads its target in the callee's window, then retreats.
+//!   Overflow/underflow traps are serviced by a built-in 16-transfer
+//!   spill/fill sequence against a save stack in memory, fully accounted in
+//!   cycles and memory traffic.
+//! * **Timing.** 1 cycle per instruction, 2 for memory access instructions,
+//!   plus model-dependent bubbles (see [`crate::config::BranchModel`] and
+//!   the `forwarding` flag).
+//! * **Halt convention.** A `RET` (or `RETI`) executed at call depth 0
+//!   terminates the program; the return value is read from `r26` by
+//!   [`Cpu::result`].
+
+use crate::config::{BranchModel, SimConfig};
+use crate::exec::alu;
+use crate::mem::{MemError, Memory};
+use crate::program::Program;
+use crate::stats::ExecStats;
+use crate::windows::{WindowFile, SPILL_REGS};
+use risc1_isa::insn::Operands;
+use risc1_isa::psw::Flags;
+use risc1_isa::{Cond, DecodeError, Instruction, Opcode, Psw, Reg, Short2, INSN_BYTES};
+use std::fmt;
+
+/// Why the simulator stopped with an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A data or instruction access faulted.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// The underlying fault.
+        err: MemError,
+    },
+    /// The word at `pc` does not decode to an instruction.
+    Decode {
+        /// PC of the undecodable word.
+        pc: u32,
+        /// The decode failure.
+        err: DecodeError,
+    },
+    /// The configured fuel limit was exhausted (runaway program).
+    OutOfFuel,
+    /// A transfer of control sat in the delay slot of another transfer —
+    /// architecturally undefined on RISC I.
+    TransferInDelaySlot {
+        /// PC of the offending (second) transfer.
+        pc: u32,
+    },
+    /// The window-save stack ran into the program stack region.
+    WindowStackOverflow {
+        /// Save-stack pointer at the time of the failure.
+        ptr: u32,
+    },
+    /// `step` was called after the program halted.
+    AlreadyHalted,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Mem { pc, err } => write!(f, "memory fault at pc {pc:#010x}: {err}"),
+            ExecError::Decode { pc, err } => write!(f, "decode fault at pc {pc:#010x}: {err}"),
+            ExecError::OutOfFuel => write!(f, "instruction fuel exhausted"),
+            ExecError::TransferInDelaySlot { pc } => {
+                write!(f, "transfer of control in a delay slot at pc {pc:#010x}")
+            }
+            ExecError::WindowStackOverflow { ptr } => {
+                write!(f, "window-save stack overflow at {ptr:#010x}")
+            }
+            ExecError::AlreadyHalted => write!(f, "cpu is halted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Outcome of [`Cpu::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Halt {
+    /// The program is still running.
+    Running,
+    /// A `RET` at depth 0 terminated the program.
+    Returned,
+}
+
+/// Identity of a physical register, used by the hazard model (visible names
+/// are window-relative, so hazards must be tracked physically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhysId {
+    Global(u8),
+    Ring(usize),
+}
+
+/// One retired instruction in the optional execution trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retired {
+    /// Address the instruction was fetched from.
+    pub pc: u32,
+    /// The instruction itself.
+    pub insn: Instruction,
+    /// Cycle at which the instruction entered execute.
+    pub start_cycle: u64,
+    /// Cycles the instruction occupied (base + bubbles + traps).
+    pub cycles: u64,
+    /// Whether it sat in a delay slot.
+    pub in_delay_slot: bool,
+}
+
+/// The simulated processor.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    cfg: SimConfig,
+    /// Main memory (public so tests and experiments can inspect results).
+    pub mem: Memory,
+    regs: WindowFile,
+    pc: u32,
+    last_pc: u32,
+    flags: Flags,
+    interrupts_enabled: bool,
+    wstack_ptr: u32,
+    pending_target: Option<u32>,
+    last_write: Option<(PhysId, bool)>,
+    halted: bool,
+    stats: ExecStats,
+    trace: Vec<Retired>,
+    interrupt_handler: Option<u32>,
+    interrupt_pending: bool,
+}
+
+impl Cpu {
+    /// A processor with the given configuration, memory zeroed, at reset.
+    pub fn new(cfg: SimConfig) -> Cpu {
+        let mem = Memory::new(cfg.mem_bytes);
+        let regs = WindowFile::new(cfg.windows);
+        let wstack_ptr = cfg.window_stack_top;
+        let pc = cfg.code_base;
+        Cpu {
+            cfg,
+            mem,
+            regs,
+            pc,
+            last_pc: 0,
+            flags: Flags::default(),
+            interrupts_enabled: false,
+            wstack_ptr,
+            pending_target: None,
+            last_write: None,
+            halted: false,
+            stats: ExecStats::new(),
+            trace: Vec::new(),
+            interrupt_handler: None,
+            interrupt_pending: false,
+        }
+    }
+
+    /// The configuration this CPU was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Loads a program: code at the code base, data images, PC at the entry
+    /// point, global `r1` initialised as the program stack pointer, and all
+    /// traffic counters cleared.
+    ///
+    /// # Errors
+    /// Fails if any image falls outside memory.
+    pub fn load_program(&mut self, prog: &Program) -> Result<(), MemError> {
+        self.mem
+            .load_image(self.cfg.code_base, &prog.code_image())?;
+        for (addr, bytes) in &prog.data {
+            self.mem.load_image(*addr, bytes)?;
+        }
+        self.pc = self.cfg.code_base + prog.entry_offset;
+        self.regs.write(Reg::R1, self.cfg.stack_top);
+        self.mem.reset_traffic();
+        Ok(())
+    }
+
+    /// Writes procedure arguments into the incoming-parameter registers
+    /// (`r26`, `r27`, …) of the entry frame.
+    ///
+    /// # Panics
+    /// Panics if more than 6 arguments are supplied (the window has six
+    /// HIGH registers; larger argument lists go through memory).
+    pub fn set_args(&mut self, args: &[i32]) {
+        assert!(args.len() <= 6, "at most 6 register arguments");
+        for (i, &a) in args.iter().enumerate() {
+            self.regs.write(Reg::new(26 + i as u8).unwrap(), a as u32);
+        }
+    }
+
+    /// The entry frame's return value (`r26` by convention).
+    pub fn result(&self) -> i32 {
+        self.regs.read(Reg::R26) as i32
+    }
+
+    /// Reads a visible register of the current window.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs.read(r)
+    }
+
+    /// Reads a visible register as a signed value.
+    pub fn reg_i32(&self, r: Reg) -> i32 {
+        self.regs.read(r) as i32
+    }
+
+    /// Writes a visible register of the current window.
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        self.regs.write(r, v);
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Current condition flags.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// The PSW as `GETPSW` would read it.
+    pub fn psw(&self) -> Psw {
+        Psw {
+            flags: self.flags,
+            interrupts_enabled: self.interrupts_enabled,
+            cwp: self.regs.cwp(),
+            swp: self.regs.swp(),
+        }
+    }
+
+    /// Installs the interrupt handler address and enables interrupts.
+    /// Handlers run in their own register window (`CALLI` advances it and
+    /// leaves the interrupted PC in `r25`); they return with
+    /// `reti r25, #4`.
+    pub fn set_interrupt_handler(&mut self, addr: u32) {
+        self.interrupt_handler = Some(addr);
+        self.interrupts_enabled = true;
+    }
+
+    /// Posts an external interrupt. It is taken before the next
+    /// instruction at which interrupts are enabled and no delayed jump is
+    /// in flight (RISC I holds interrupts off during delay slots so the
+    /// saved PC always restarts a clean sequence).
+    pub fn raise_interrupt(&mut self) {
+        self.interrupt_pending = true;
+    }
+
+    /// Whether an interrupt is posted but not yet taken.
+    pub fn interrupt_pending(&self) -> bool {
+        self.interrupt_pending
+    }
+
+    /// Statistics accumulated so far (window counters synced).
+    pub fn stats(&self) -> ExecStats {
+        let mut s = self.stats.clone();
+        s.max_depth = self.regs.max_depth();
+        s.window_overflows = self.regs.overflows();
+        s.window_underflows = self.regs.underflows();
+        s
+    }
+
+    /// The register-window file (read-only), for experiments that inspect
+    /// residency.
+    pub fn windows(&self) -> &WindowFile {
+        &self.regs
+    }
+
+    /// The retired-instruction trace (empty unless
+    /// [`SimConfig::record_trace`] is set).
+    pub fn trace(&self) -> &[Retired] {
+        &self.trace
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Runs until the program returns from its entry frame.
+    ///
+    /// # Errors
+    /// Any [`ExecError`]; on error the CPU state is left at the faulting
+    /// instruction for inspection.
+    pub fn run(&mut self) -> Result<(), ExecError> {
+        while self.step()? == Halt::Running {}
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    /// See [`ExecError`].
+    pub fn step(&mut self) -> Result<Halt, ExecError> {
+        if self.halted {
+            return Err(ExecError::AlreadyHalted);
+        }
+        if self.stats.instructions >= self.cfg.fuel {
+            return Err(ExecError::OutOfFuel);
+        }
+        if self.interrupt_pending && self.interrupts_enabled && self.pending_target.is_none() {
+            self.take_interrupt()?;
+        }
+        let pc = self.pc;
+        let word = self
+            .mem
+            .peek_u32(pc)
+            .map_err(|err| ExecError::Mem { pc, err })?;
+        let insn = Instruction::decode(word).map_err(|err| ExecError::Decode { pc, err })?;
+
+        let in_delay_slot = self.pending_target.is_some();
+        if in_delay_slot && insn.opcode.is_transfer() {
+            return Err(ExecError::TransferInDelaySlot { pc });
+        }
+
+        self.stats.retire(insn.opcode);
+        if in_delay_slot {
+            self.stats.delay_slots += 1;
+            if insn.is_nop() {
+                self.stats.delay_slot_nops += 1;
+            }
+        }
+
+        let start_cycle = self.stats.cycles;
+        let mut cycles = insn.opcode.base_cycles();
+        cycles += self.hazard_bubbles(&insn);
+
+        let mut new_target: Option<u32> = None;
+        let mut new_write: Option<(PhysId, bool)> = None;
+        let mut halted = false;
+
+        match insn.opcode {
+            Opcode::Add
+            | Opcode::Addc
+            | Opcode::Sub
+            | Opcode::Subc
+            | Opcode::Subr
+            | Opcode::Subcr
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Sll
+            | Opcode::Srl
+            | Opcode::Sra => {
+                let (dest, a, b) = self.short_operands(&insn);
+                let out = alu(insn.opcode, a, b, self.flags.c);
+                self.regs.write(dest, out.value);
+                if insn.scc {
+                    self.flags = out.flags;
+                }
+                new_write = self.phys(dest).map(|p| (p, false));
+            }
+            Opcode::Ldl | Opcode::Ldsu | Opcode::Ldss | Opcode::Ldbu | Opcode::Ldbs => {
+                let (dest, a, b) = self.short_operands(&insn);
+                let addr = a.wrapping_add(b);
+                let v = self
+                    .load_value(insn.opcode, addr)
+                    .map_err(|err| ExecError::Mem { pc, err })?;
+                self.regs.write(dest, v);
+                self.stats.data_reads += 1;
+                new_write = self.phys(dest).map(|p| (p, true));
+            }
+            Opcode::Stl | Opcode::Sts | Opcode::Stb => {
+                let (data_reg, a, b) = self.short_operands(&insn);
+                let addr = a.wrapping_add(b);
+                let data = self.regs.read(data_reg);
+                self.store_value(insn.opcode, addr, data)
+                    .map_err(|err| ExecError::Mem { pc, err })?;
+                self.stats.data_writes += 1;
+            }
+            Opcode::Jmp | Opcode::Jmpr => {
+                let (cond, target) = self.jump_operands(&insn, pc);
+                if cond.eval(self.flags) {
+                    new_target = Some(target);
+                    self.stats.taken_transfers += 1;
+                }
+            }
+            Opcode::Call | Opcode::Callr => {
+                let (link, target) = match insn.operands {
+                    Operands::Short { dest, rs1, s2 } => {
+                        let a = self.regs.read(rs1);
+                        (dest, a.wrapping_add(self.s2_value(s2)))
+                    }
+                    Operands::Long { dest, imm19 } => (dest, pc.wrapping_add(imm19 as u32)),
+                    _ => unreachable!("call operand shapes"),
+                };
+                if self.regs.call_would_overflow() {
+                    cycles += self.spill_window()?;
+                }
+                self.regs.advance();
+                // The link register is named in the *new* window.
+                self.regs.write(link, pc);
+                new_write = self.phys(link).map(|p| (p, false));
+                new_target = Some(target);
+                self.stats.calls += 1;
+                self.stats.taken_transfers += 1;
+            }
+            Opcode::Ret | Opcode::Reti => {
+                let (_, a, b) = self.short_operands(&insn);
+                let target = a.wrapping_add(b);
+                if self.regs.ret_would_underflow() {
+                    cycles += self.fill_window(pc)?;
+                }
+                if self.regs.retreat() {
+                    new_target = Some(target);
+                    self.stats.rets += 1;
+                    self.stats.taken_transfers += 1;
+                    if insn.opcode == Opcode::Reti {
+                        self.interrupts_enabled = true;
+                    }
+                } else {
+                    halted = true;
+                }
+            }
+            Opcode::Calli => {
+                let (dest, _, _) = self.short_operands(&insn);
+                if self.regs.call_would_overflow() {
+                    cycles += self.spill_window()?;
+                }
+                self.regs.advance();
+                self.regs.write(dest, self.last_pc);
+                new_write = self.phys(dest).map(|p| (p, false));
+                self.interrupts_enabled = false;
+                self.stats.calls += 1;
+            }
+            Opcode::Ldhi => {
+                let (dest, imm19) = match insn.operands {
+                    Operands::Long { dest, imm19 } => (dest, imm19),
+                    _ => unreachable!("ldhi is long format"),
+                };
+                self.regs.write(dest, (imm19 as u32) << 13);
+                new_write = self.phys(dest).map(|p| (p, false));
+            }
+            Opcode::Gtlpc => {
+                let (dest, _, _) = self.short_operands(&insn);
+                self.regs.write(dest, self.last_pc);
+                new_write = self.phys(dest).map(|p| (p, false));
+            }
+            Opcode::Getpsw => {
+                let (dest, _, _) = self.short_operands(&insn);
+                let w = self.psw().to_word();
+                self.regs.write(dest, w);
+                new_write = self.phys(dest).map(|p| (p, false));
+            }
+            Opcode::Putpsw => {
+                let (_, a, b) = self.short_operands(&insn);
+                let psw = Psw::from_word(a.wrapping_add(b));
+                // CWP/SWP are owned by the window hardware; software writes
+                // to them are ignored (a full context switch would also
+                // reload the window file, which this simulator models via
+                // fresh `Cpu` instances instead).
+                self.flags = psw.flags;
+                self.interrupts_enabled = psw.interrupts_enabled;
+            }
+        }
+
+        if self.cfg.branch_model == BranchModel::Suspended && new_target.is_some() {
+            cycles += 1;
+            self.stats.bubble_cycles += 1;
+        }
+
+        self.stats.cycles += cycles;
+        self.last_write = new_write;
+        self.last_pc = pc;
+
+        if self.cfg.record_trace {
+            self.trace.push(Retired {
+                pc,
+                insn,
+                start_cycle,
+                cycles,
+                in_delay_slot,
+            });
+        }
+
+        if halted {
+            self.halted = true;
+            return Ok(Halt::Returned);
+        }
+
+        let next = match self.pending_target.take() {
+            Some(t) => t,
+            None => pc.wrapping_add(INSN_BYTES),
+        };
+        self.pending_target = new_target;
+        self.pc = next;
+        Ok(Halt::Running)
+    }
+
+    /// Extracts `(dest, rs1 value, s2 value)` from a short-format
+    /// instruction.
+    fn short_operands(&self, insn: &Instruction) -> (Reg, u32, u32) {
+        match insn.operands {
+            Operands::Short { dest, rs1, s2 } => (dest, self.regs.read(rs1), self.s2_value(s2)),
+            _ => unreachable!("short operands on {insn}"),
+        }
+    }
+
+    fn s2_value(&self, s2: Short2) -> u32 {
+        match s2 {
+            Short2::Reg(r) => self.regs.read(r),
+            Short2::Imm(v) => v as i32 as u32,
+        }
+    }
+
+    fn jump_operands(&self, insn: &Instruction, pc: u32) -> (Cond, u32) {
+        match insn.operands {
+            Operands::ShortCond { cond, rs1, s2 } => {
+                let t = self.regs.read(rs1).wrapping_add(self.s2_value(s2));
+                (cond, t)
+            }
+            Operands::LongCond { cond, imm19 } => (cond, pc.wrapping_add(imm19 as u32)),
+            _ => unreachable!("jump operand shapes"),
+        }
+    }
+
+    fn load_value(&mut self, op: Opcode, addr: u32) -> Result<u32, MemError> {
+        Ok(match op {
+            Opcode::Ldl => self.mem.read_u32(addr)?,
+            Opcode::Ldsu => self.mem.read_u16(addr)? as u32,
+            Opcode::Ldss => self.mem.read_u16(addr)? as i16 as i32 as u32,
+            Opcode::Ldbu => self.mem.read_u8(addr)? as u32,
+            Opcode::Ldbs => self.mem.read_u8(addr)? as i8 as i32 as u32,
+            _ => unreachable!("not a load"),
+        })
+    }
+
+    fn store_value(&mut self, op: Opcode, addr: u32, v: u32) -> Result<(), MemError> {
+        match op {
+            Opcode::Stl => self.mem.write_u32(addr, v),
+            Opcode::Sts => self.mem.write_u16(addr, v as u16),
+            Opcode::Stb => self.mem.write_u8(addr, v as u8),
+            _ => unreachable!("not a store"),
+        }
+    }
+
+    /// Physical identity of a visible register in the *current* window.
+    fn phys(&self, r: Reg) -> Option<PhysId> {
+        if r.is_zero() {
+            return None;
+        }
+        Some(match self.regs.physical_slot(self.regs.cwp() as usize, r) {
+            None => PhysId::Global(r.number()),
+            Some(i) => PhysId::Ring(i),
+        })
+    }
+
+    /// Forces the `CALLI` sequence: advance the window (spilling if
+    /// needed), save the interrupted PC in the new window's `r25`, disable
+    /// interrupts, and vector to the handler.
+    fn take_interrupt(&mut self) -> Result<(), ExecError> {
+        let handler = self.interrupt_handler.expect("pending implies handler");
+        self.interrupt_pending = false;
+        let mut cycles = self.cfg.trap_overhead_cycles;
+        if self.regs.call_would_overflow() {
+            cycles += self.spill_window()?;
+        }
+        self.regs.advance();
+        self.regs.write(Reg::R25, self.pc);
+        self.interrupts_enabled = false;
+        self.last_pc = self.pc;
+        self.pc = handler;
+        self.stats.cycles += cycles;
+        self.stats.trap_cycles += self.cfg.trap_overhead_cycles;
+        self.stats.calls += 1;
+        Ok(())
+    }
+
+    /// Interlock bubbles between the previous instruction's write and this
+    /// instruction's reads (see [`SimConfig::forwarding`]).
+    ///
+    /// With internal forwarding (the RISC I datapath, and the default) there
+    /// is no penalty: result buses bypass the register file. Without it,
+    /// reading a register written by the immediately preceding instruction
+    /// costs one bubble while the write drains.
+    fn hazard_bubbles(&mut self, insn: &Instruction) -> u64 {
+        if self.cfg.forwarding {
+            return 0;
+        }
+        let Some((written, _was_load)) = self.last_write else {
+            return 0;
+        };
+        let hazard = insn
+            .reads()
+            .into_iter()
+            .filter_map(|r| self.phys(r))
+            .any(|p| p == written);
+        if hazard {
+            self.stats.bubble_cycles += 1;
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Services a window overflow: 16 stores to the save stack. Returns the
+    /// cycles consumed.
+    fn spill_window(&mut self) -> Result<u64, ExecError> {
+        if self.wstack_ptr < self.cfg.stack_top + (SPILL_REGS as u32 * 4) {
+            return Err(ExecError::WindowStackOverflow {
+                ptr: self.wstack_ptr,
+            });
+        }
+        let saved = self.regs.spill_oldest();
+        for v in saved {
+            self.wstack_ptr -= 4;
+            let ptr = self.wstack_ptr;
+            self.mem
+                .write_u32(ptr, v)
+                .map_err(|err| ExecError::Mem { pc: self.pc, err })?;
+        }
+        self.stats.data_writes += SPILL_REGS as u64;
+        let cost = self.cfg.trap_overhead_cycles + SPILL_REGS as u64 * 2;
+        self.stats.trap_cycles += cost;
+        Ok(cost)
+    }
+
+    /// Services a window underflow: 16 loads from the save stack. Returns
+    /// the cycles consumed.
+    fn fill_window(&mut self, pc: u32) -> Result<u64, ExecError> {
+        let mut regs = [0u32; SPILL_REGS];
+        for slot in regs.iter_mut().rev() {
+            let ptr = self.wstack_ptr;
+            *slot = self
+                .mem
+                .read_u32(ptr)
+                .map_err(|err| ExecError::Mem { pc, err })?;
+            self.wstack_ptr += 4;
+        }
+        self.regs.fill_previous(regs);
+        self.stats.data_reads += SPILL_REGS as u64;
+        let cost = self.cfg.trap_overhead_cycles + SPILL_REGS as u64 * 2;
+        self.stats.trap_cycles += cost;
+        Ok(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_isa::Short2;
+
+    fn imm(v: i32) -> Short2 {
+        Short2::imm(v).unwrap()
+    }
+
+    /// Builds, loads and runs a program, returning the CPU for inspection.
+    fn run_program(insns: Vec<Instruction>) -> Cpu {
+        run_with(SimConfig::default(), insns, &[])
+    }
+
+    fn run_with(cfg: SimConfig, insns: Vec<Instruction>, args: &[i32]) -> Cpu {
+        let mut cpu = Cpu::new(cfg);
+        cpu.load_program(&Program::from_instructions(insns))
+            .unwrap();
+        cpu.set_args(args);
+        cpu.run().expect("program should halt cleanly");
+        cpu
+    }
+
+    fn halt_seq() -> Vec<Instruction> {
+        vec![Instruction::ret(Reg::R0, imm(0)), Instruction::nop()]
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut p = vec![
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, imm(40)),
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R16, imm(2)),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R16, Short2::ZERO),
+        ];
+        p.extend(halt_seq());
+        let cpu = run_program(p);
+        assert_eq!(cpu.result(), 42);
+        assert!(cpu.is_halted());
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip_through_memory() {
+        let mut p = vec![
+            // r16 := 0x2000 (data scratch; built with ldhi since 0x2000
+            // exceeds the 13-bit immediate), store −2, reload as halves
+            Instruction::ldhi(Reg::R16, 1),
+            Instruction::reg(Opcode::Add, Reg::R17, Reg::R0, imm(-2)), // 0xFFFF_FFFE
+            Instruction::reg(Opcode::Stl, Reg::R17, Reg::R16, imm(0)),
+            Instruction::reg(Opcode::Ldsu, Reg::R18, Reg::R16, imm(0)),
+            Instruction::reg(Opcode::Ldss, Reg::R19, Reg::R16, imm(0)),
+            Instruction::reg(Opcode::Ldbu, Reg::R20, Reg::R16, imm(3)),
+            Instruction::reg(Opcode::Ldbs, Reg::R21, Reg::R16, imm(3)),
+            Instruction::reg(Opcode::Ldl, Reg::R22, Reg::R16, imm(0)),
+        ];
+        p.extend(halt_seq());
+        let cpu = run_program(p);
+        assert_eq!(cpu.reg(Reg::R18), 0xfffe);
+        assert_eq!(cpu.reg_i32(Reg::R19), -2);
+        assert_eq!(cpu.reg(Reg::R20), 0xff);
+        assert_eq!(cpu.reg_i32(Reg::R21), -1);
+        assert_eq!(cpu.reg(Reg::R22), 0xffff_fffe);
+    }
+
+    #[test]
+    fn delayed_jump_executes_slot_then_target() {
+        // jmpr alw +12 skips exactly one instruction beyond its slot.
+        let mut p = vec![
+            Instruction::jmpr(Cond::Alw, 12), // 0: jump to 12
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, imm(1)), // 4: delay slot RUNS
+            Instruction::reg(Opcode::Add, Reg::R17, Reg::R0, imm(99)), // 8: skipped
+            Instruction::reg(Opcode::Add, Reg::R18, Reg::R0, imm(2)), // 12: target
+        ];
+        p.extend(halt_seq());
+        let cpu = run_program(p);
+        assert_eq!(cpu.reg(Reg::R16), 1, "delay slot executed");
+        assert_eq!(cpu.reg(Reg::R17), 0, "skipped instruction did not run");
+        assert_eq!(cpu.reg(Reg::R18), 2, "target executed");
+    }
+
+    #[test]
+    fn conditional_jump_taken_and_not_taken() {
+        // r16 = 5; compare to 5; jeq taken. Then compare to 6; jeq not taken.
+        let mut p = vec![
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, imm(5)),
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R16, imm(5)),
+            Instruction::jmpr(Cond::Eq, 12), // to +12 (skip the poison)
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R20, Reg::R0, imm(1)), // poison: skipped
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R16, imm(6)),
+            Instruction::jmpr(Cond::Eq, 12), // NOT taken
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R21, Reg::R0, imm(1)), // runs
+        ];
+        p.extend(halt_seq());
+        let cpu = run_program(p);
+        assert_eq!(cpu.reg(Reg::R20), 0);
+        assert_eq!(cpu.reg(Reg::R21), 1);
+    }
+
+    #[test]
+    fn call_and_ret_pass_parameters_through_window_overlap() {
+        // main: r10 := 7; call f; result comes back in r10.
+        // f: r26 (== caller r10) += 1; write into r26; ret.
+        let p = vec![
+            /* 0  */ Instruction::reg(Opcode::Add, Reg::R10, Reg::R0, imm(7)),
+            /* 4  */ Instruction::callr(Reg::R25, 12), // f at 4+12=16
+            /* 8  */ Instruction::nop(), // call delay slot
+            /* 12 */
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R10, Short2::ZERO), // result to r26
+            // (falls through to f? no: execution continues at 12 after ret, then needs halt)
+            /* 16 */
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(1)), // f body
+            /* 20 */ Instruction::ret(Reg::R25, imm(8)),
+            /* 24 */ Instruction::nop(), // ret delay slot
+        ];
+        // After ret, control returns to call_pc+8 = 12, which copies r10
+        // to r26 and falls through to 16... that would re-enter f. Add an
+        // explicit halt by making 12 the last "main" instruction jump to a
+        // halt stub instead — simpler: rebuild with halt at 12.
+        let p = {
+            let mut q = p;
+            q[3] = Instruction::ret(Reg::R0, imm(0)); // halt at depth 0 (r10 holds result)
+            q
+        };
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        cpu.run().unwrap();
+        assert_eq!(cpu.reg(Reg::R10), 8, "callee wrote r26 == caller r10");
+        let s = cpu.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.rets, 1);
+        assert_eq!(s.max_depth, 1);
+    }
+
+    #[test]
+    fn ret_at_depth_zero_halts_without_jumping() {
+        let cpu = run_program(halt_seq());
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.stats().rets, 0, "a halting ret is not a return");
+    }
+
+    #[test]
+    fn deep_recursion_overflows_and_recovers() {
+        // f(n): if n == 0 return 0; return f(n-1) + n  — triangular number,
+        // forcing window traps with a small file.
+        // Layout (entry = main at 0, f at 16):
+        let f_entry = 16;
+        let p = vec![
+            /* 0: main */
+            Instruction::reg(Opcode::Add, Reg::R10, Reg::R0, imm(20)), // arg n=20
+            Instruction::callr(Reg::R25, f_entry - 4),                 // call f
+            Instruction::nop(),
+            Instruction::ret(Reg::R0, imm(0)), // halt; result in r10
+            /* 16: f(n in r26) */
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R26, imm(0)),
+            Instruction::jmpr(Cond::Ne, 16), // if n != 0 goto recurse (at 20+16=36)
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, imm(0)), // base: return 0
+            Instruction::ret(Reg::R25, imm(8)),
+            Instruction::nop(),
+            /* 36: recurse */
+            Instruction::reg(Opcode::Sub, Reg::R10, Reg::R26, imm(1)), // arg = n-1
+            Instruction::callr(Reg::R25, f_entry - 44),                // call f (callr sits at 44)
+            Instruction::nop(),
+            /* 48: after call: r10 = f(n-1); return r10 + n */
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R10, Reg::R26.into()),
+            Instruction::ret(Reg::R25, imm(8)),
+            Instruction::nop(),
+        ];
+        let cfg = SimConfig::with_windows(4);
+        let mut cpu = Cpu::new(cfg);
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        cpu.run().unwrap();
+        assert_eq!(cpu.reg(Reg::R10), 210, "sum 1..=20");
+        let s = cpu.stats();
+        assert_eq!(s.calls, 21);
+        assert!(
+            s.window_overflows > 0,
+            "4-window file must spill at depth 21"
+        );
+        assert_eq!(s.window_overflows, s.window_underflows);
+        assert_eq!(s.max_depth, 21);
+        assert!(s.trap_cycles > 0);
+        // Spills and fills balance: 16 writes per overflow, 16 reads per
+        // underflow, plus no other memory traffic in this program.
+        assert_eq!(s.data_writes, 16 * s.window_overflows);
+        assert_eq!(s.data_reads, 16 * s.window_underflows);
+    }
+
+    #[test]
+    fn eight_window_default_never_spills_at_shallow_depth() {
+        // Same program as above but depth 5 on the default 8-window file.
+        let f_entry = 16;
+        let p = vec![
+            Instruction::reg(Opcode::Add, Reg::R10, Reg::R0, imm(5)),
+            Instruction::callr(Reg::R25, f_entry - 4),
+            Instruction::nop(),
+            Instruction::ret(Reg::R0, imm(0)),
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R26, imm(0)),
+            Instruction::jmpr(Cond::Ne, 16),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, imm(0)),
+            Instruction::ret(Reg::R25, imm(8)),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Sub, Reg::R10, Reg::R26, imm(1)),
+            Instruction::callr(Reg::R25, f_entry - 44),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R10, Reg::R26.into()),
+            Instruction::ret(Reg::R25, imm(8)),
+            Instruction::nop(),
+        ];
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        cpu.run().unwrap();
+        assert_eq!(cpu.reg(Reg::R10), 15);
+        assert_eq!(cpu.stats().window_overflows, 0);
+    }
+
+    #[test]
+    fn transfer_in_delay_slot_is_rejected() {
+        let p = vec![
+            Instruction::jmpr(Cond::Alw, 8),
+            Instruction::jmpr(Cond::Alw, 8), // in the delay slot: illegal
+        ];
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        let err = cpu.run().unwrap_err();
+        assert!(matches!(err, ExecError::TransferInDelaySlot { .. }));
+    }
+
+    #[test]
+    fn fuel_limit_stops_runaway_loops() {
+        let p = vec![
+            Instruction::jmpr(Cond::Alw, 0), // jump to self
+            Instruction::nop(),
+        ];
+        let cfg = SimConfig {
+            fuel: 1000,
+            ..SimConfig::default()
+        };
+        let mut cpu = Cpu::new(cfg);
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        assert_eq!(cpu.run().unwrap_err(), ExecError::OutOfFuel);
+    }
+
+    #[test]
+    fn misaligned_access_faults() {
+        let mut p = vec![
+            Instruction::ldhi(Reg::R16, 1), // r16 := 0x2000
+            Instruction::nop(),
+            Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R16, imm(2)), // misaligned
+        ];
+        p.extend(halt_seq());
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        let err = cpu.run().unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Mem {
+                err: MemError::Misaligned { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn load_constant_builds_full_constants() {
+        // Exercise the ldhi+add idiom across sign-extension edge cases.
+        for big in [
+            0xdead_beefu32,
+            0x0000_1000,
+            0xffff_f000,
+            0x7fff_ffff,
+            0x8000_0000,
+            123,
+            (-5i32) as u32,
+        ] {
+            let mut p = Instruction::load_constant(Reg::R16, big);
+            p.extend(halt_seq());
+            let cpu = run_program(p);
+            assert_eq!(cpu.reg(Reg::R16), big, "constant {big:#x}");
+        }
+    }
+
+    #[test]
+    fn getpsw_reflects_flags_and_putpsw_restores_them() {
+        let mut p = vec![
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R0, imm(0)), // Z=1, C=1
+            Instruction::reg(Opcode::Getpsw, Reg::R16, Reg::R0, Short2::ZERO),
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R0, imm(1)), // clobber flags
+            Instruction::reg(Opcode::Putpsw, Reg::R0, Reg::R16, Short2::ZERO),
+            Instruction::reg(Opcode::Getpsw, Reg::R17, Reg::R0, Short2::ZERO),
+        ];
+        p.extend(halt_seq());
+        let cpu = run_program(p);
+        let a = Psw::from_word(cpu.reg(Reg::R16));
+        let b = Psw::from_word(cpu.reg(Reg::R17));
+        assert_eq!(a.flags, b.flags, "putpsw restored the flags");
+        assert!(a.flags.z && a.flags.c);
+    }
+
+    #[test]
+    fn gtlpc_returns_previous_pc() {
+        let mut p = vec![
+            Instruction::nop(),                                               // pc 0x1000
+            Instruction::reg(Opcode::Gtlpc, Reg::R16, Reg::R0, Short2::ZERO), // pc 0x1004
+        ];
+        p.extend(halt_seq());
+        let cpu = run_program(p);
+        assert_eq!(cpu.reg(Reg::R16), 0x1000);
+    }
+
+    #[test]
+    fn suspended_model_charges_taken_transfers() {
+        let body = |_: ()| {
+            let mut p = vec![Instruction::jmpr(Cond::Alw, 8), Instruction::nop()];
+            p.extend(halt_seq());
+            p
+        };
+        let delayed = run_with(SimConfig::default(), body(()), &[]);
+        let suspended = run_with(
+            SimConfig {
+                branch_model: BranchModel::Suspended,
+                ..SimConfig::default()
+            },
+            body(()),
+            &[],
+        );
+        assert_eq!(
+            suspended.stats().cycles,
+            delayed.stats().cycles + 1,
+            "one taken jmpr costs one extra bubble under the suspended model"
+        );
+        assert_eq!(suspended.stats().bubble_cycles, 1);
+    }
+
+    #[test]
+    fn load_use_interlock_without_forwarding() {
+        let body = || {
+            let mut p = vec![
+                Instruction::ldhi(Reg::R16, 1), // r16 := 0x2000
+                Instruction::nop(),             // break the ldhi->ldl dependency
+                Instruction::reg(Opcode::Ldl, Reg::R16, Reg::R16, Short2::ZERO),
+                Instruction::reg(Opcode::Add, Reg::R17, Reg::R16, imm(1)), // uses loaded value
+            ];
+            p.extend(halt_seq());
+            p
+        };
+        let with_fwd = run_with(SimConfig::default(), body(), &[]);
+        let no_fwd = run_with(
+            SimConfig {
+                forwarding: false,
+                ..SimConfig::default()
+            },
+            body(),
+            &[],
+        );
+        assert_eq!(no_fwd.stats().cycles, with_fwd.stats().cycles + 1);
+    }
+
+    #[test]
+    fn window_stack_exhaustion_is_detected() {
+        // Infinite recursion: call self forever. The window save stack is
+        // finite, so the simulator must fail with WindowStackOverflow (not
+        // silently corrupt memory).
+        let p = vec![
+            Instruction::callr(Reg::R25, 0), // call self
+            Instruction::nop(),
+        ];
+        let cfg = SimConfig {
+            windows: 2,
+            stack_top: 0xe0000,
+            window_stack_top: 0xe0100, // tiny save area: 4 spills
+            ..SimConfig::default()
+        };
+        let mut cpu = Cpu::new(cfg);
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        let err = cpu.run().unwrap_err();
+        assert!(
+            matches!(err, ExecError::WindowStackOverflow { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn step_after_halt_errors() {
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(halt_seq()))
+            .unwrap();
+        cpu.run().unwrap();
+        assert_eq!(cpu.step(), Err(ExecError::AlreadyHalted));
+    }
+
+    #[test]
+    fn trace_records_when_enabled() {
+        let cfg = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        let mut prog = vec![Instruction::nop()];
+        prog.extend(halt_seq());
+        let cpu = run_with(cfg, prog, &[]);
+        // nop + halting ret retire; the ret's delay slot never runs because
+        // the machine stops at depth 0.
+        assert_eq!(cpu.trace().len(), 2);
+        assert_eq!(cpu.trace()[0].pc, 0x1000);
+        assert!(!cpu.trace()[1].in_delay_slot);
+        // Disabled by default:
+        let cpu2 = run_program(halt_seq());
+        assert!(cpu2.trace().is_empty());
+    }
+}

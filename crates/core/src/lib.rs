@@ -1,0 +1,52 @@
+//! # `risc1-core` — cycle-level simulator for the RISC I processor
+//!
+//! This crate is the paper's machine: a functional + timing simulator of the
+//! RISC I microarchitecture described in Patterson & Séquin (ISCA 1981).
+//! It provides:
+//!
+//! * [`mem::Memory`] — a byte-addressable little-endian memory with
+//!   alignment checking and traffic accounting,
+//! * [`windows::WindowFile`] — the overlapped register-window file (the
+//!   paper's central mechanism), with configurable window count, circular
+//!   overlap, and overflow/underflow spill machinery,
+//! * [`cpu::Cpu`] — the executor: delayed jumps, condition codes, window
+//!   traps serviced by a built-in (cycle-accounted) spill/fill sequence,
+//! * [`pipeline`] — the timing model: the paper's delayed-branch pipeline,
+//!   the "suspended pipeline" alternative it argues against, and load-use
+//!   interlock modelling with or without internal forwarding,
+//! * [`stats::ExecStats`] — every counter the evaluation experiments need.
+//!
+//! ## Example: run a tiny program
+//!
+//! ```
+//! use risc1_core::{Cpu, Program, SimConfig};
+//! use risc1_isa::{Instruction, Opcode, Reg, Short2};
+//!
+//! // main: r16 := 2 + 3, then return (halts at depth 0)
+//! let prog = Program::from_instructions(vec![
+//!     Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, Short2::imm(2).unwrap()),
+//!     Instruction::reg(Opcode::Add, Reg::R16, Reg::R16, Short2::imm(3).unwrap()),
+//!     Instruction::ret(Reg::R25, Short2::imm(0).unwrap()),
+//!     Instruction::nop(), // delay slot of the ret
+//! ]);
+//! let mut cpu = Cpu::new(SimConfig::default());
+//! cpu.load_program(&prog).unwrap();
+//! cpu.run().unwrap();
+//! assert_eq!(cpu.reg(risc1_isa::Reg::R16), 5);
+//! ```
+
+pub mod config;
+pub mod cpu;
+pub mod exec;
+pub mod mem;
+pub mod pipeline;
+pub mod program;
+pub mod stats;
+pub mod windows;
+
+pub use config::{BranchModel, SimConfig};
+pub use cpu::{Cpu, ExecError, Halt};
+pub use mem::{MemError, Memory};
+pub use program::Program;
+pub use stats::ExecStats;
+pub use windows::WindowFile;

@@ -1,0 +1,279 @@
+//! Byte-addressable main memory.
+//!
+//! Little-endian, with strict alignment (words on 4-byte, halves on 2-byte
+//! boundaries — RISC I had no unaligned access) and read/write traffic
+//! counters, because several of the paper's tables are really statements
+//! about memory traffic.
+
+use std::fmt;
+
+/// A memory access fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Address (plus access width) falls outside physical memory.
+    OutOfRange {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+    },
+    /// Address is not aligned to the access width.
+    Misaligned {
+        /// Faulting byte address.
+        addr: u32,
+        /// Access width in bytes.
+        width: u32,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, width } => {
+                write!(f, "address {addr:#010x} (width {width}) out of range")
+            }
+            MemError::Misaligned { addr, width } => {
+                write!(f, "address {addr:#010x} misaligned for width {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Traffic counters, split by direction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemTraffic {
+    /// Number of read accesses (any width).
+    pub reads: u64,
+    /// Number of write accesses (any width).
+    pub writes: u64,
+}
+
+impl MemTraffic {
+    /// Total accesses in either direction.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Flat little-endian memory.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+    traffic: MemTraffic,
+}
+
+impl Memory {
+    /// Creates a zero-filled memory of `size` bytes.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+            traffic: MemTraffic::default(),
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Read/write traffic accumulated so far.
+    pub fn traffic(&self) -> MemTraffic {
+        self.traffic
+    }
+
+    /// Resets the traffic counters (e.g. after program load, so experiments
+    /// measure only execution traffic).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = MemTraffic::default();
+    }
+
+    fn check(&self, addr: u32, width: u32) -> Result<usize, MemError> {
+        if !addr.is_multiple_of(width) {
+            return Err(MemError::Misaligned { addr, width });
+        }
+        let end = addr as u64 + width as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(MemError::OutOfRange { addr, width });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Reads a 32-bit word.
+    ///
+    /// # Errors
+    /// [`MemError::Misaligned`] unless `addr` is 4-aligned;
+    /// [`MemError::OutOfRange`] past the end of memory.
+    pub fn read_u32(&mut self, addr: u32) -> Result<u32, MemError> {
+        let i = self.check(addr, 4)?;
+        self.traffic.reads += 1;
+        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()))
+    }
+
+    /// Reads a 16-bit halfword (zero-extended to u16).
+    pub fn read_u16(&mut self, addr: u32) -> Result<u16, MemError> {
+        let i = self.check(addr, 2)?;
+        self.traffic.reads += 1;
+        Ok(u16::from_le_bytes(self.bytes[i..i + 2].try_into().unwrap()))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self, addr: u32) -> Result<u8, MemError> {
+        let i = self.check(addr, 1)?;
+        self.traffic.reads += 1;
+        Ok(self.bytes[i])
+    }
+
+    /// Writes a 32-bit word.
+    pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemError> {
+        let i = self.check(addr, 4)?;
+        self.traffic.writes += 1;
+        self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a 16-bit halfword.
+    pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemError> {
+        let i = self.check(addr, 2)?;
+        self.traffic.writes += 1;
+        self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), MemError> {
+        let i = self.check(addr, 1)?;
+        self.traffic.writes += 1;
+        self.bytes[i] = v;
+        Ok(())
+    }
+
+    /// Bulk-loads `data` at `addr` without touching traffic counters
+    /// (program/data loading, not simulated accesses).
+    pub fn load_image(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
+        let end = addr as u64 + data.len() as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(MemError::OutOfRange {
+                addr,
+                width: data.len() as u32,
+            });
+        }
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads a byte without traffic accounting (instruction-stream fetch
+    /// for the byte-coded CISC machine, debugger inspection).
+    pub fn peek_u8(&self, addr: u32) -> Result<u8, MemError> {
+        self.bytes
+            .get(addr as usize)
+            .copied()
+            .ok_or(MemError::OutOfRange { addr, width: 1 })
+    }
+
+    /// Reads a word without traffic accounting (used by debuggers/tests to
+    /// inspect results).
+    pub fn peek_u32(&self, addr: u32) -> Result<u32, MemError> {
+        if !addr.is_multiple_of(4) {
+            return Err(MemError::Misaligned { addr, width: 4 });
+        }
+        let i = addr as usize;
+        if i + 4 > self.bytes.len() {
+            return Err(MemError::OutOfRange { addr, width: 4 });
+        }
+        Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn word_roundtrip_and_endianness() {
+        let mut m = Memory::new(64);
+        m.write_u32(8, 0x1234_5678).unwrap();
+        assert_eq!(m.read_u32(8).unwrap(), 0x1234_5678);
+        assert_eq!(m.read_u8(8).unwrap(), 0x78, "little endian");
+        assert_eq!(m.read_u8(11).unwrap(), 0x12);
+        assert_eq!(m.read_u16(8).unwrap(), 0x5678);
+    }
+
+    #[test]
+    fn alignment_faults() {
+        let mut m = Memory::new(64);
+        assert_eq!(
+            m.read_u32(2),
+            Err(MemError::Misaligned { addr: 2, width: 4 })
+        );
+        assert_eq!(
+            m.write_u16(5, 0),
+            Err(MemError::Misaligned { addr: 5, width: 2 })
+        );
+        assert!(m.read_u8(5).is_ok());
+    }
+
+    #[test]
+    fn range_faults() {
+        let mut m = Memory::new(16);
+        assert!(m.read_u32(12).is_ok());
+        assert_eq!(
+            m.read_u32(16),
+            Err(MemError::OutOfRange { addr: 16, width: 4 })
+        );
+        // End-of-memory straddle.
+        assert!(m.write_u32(14, 0).is_err());
+        // Overflow-proof arithmetic near u32::MAX.
+        assert!(m.read_u8(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn traffic_counts_accesses_not_bytes() {
+        let mut m = Memory::new(64);
+        m.write_u32(0, 1).unwrap();
+        m.write_u8(4, 2).unwrap();
+        let _ = m.read_u16(0).unwrap();
+        assert_eq!(
+            m.traffic(),
+            MemTraffic {
+                reads: 1,
+                writes: 2
+            }
+        );
+        m.reset_traffic();
+        assert_eq!(m.traffic().total(), 0);
+    }
+
+    #[test]
+    fn load_image_bypasses_traffic() {
+        let mut m = Memory::new(64);
+        m.load_image(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.peek_u32(4).unwrap(), 0x0403_0201);
+        assert_eq!(m.traffic().total(), 0);
+        assert!(m.load_image(62, &[0; 4]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn bytes_compose_into_words(addr in 0u32..15, v in any::<u32>()) {
+            let addr = addr * 4;
+            let mut m = Memory::new(64);
+            m.write_u32(addr, v).unwrap();
+            let composed = (0..4).map(|k| (m.read_u8(addr + k).unwrap() as u32) << (8 * k))
+                .fold(0, |acc, b| acc | b);
+            prop_assert_eq!(composed, v);
+        }
+
+        #[test]
+        fn halves_compose_into_words(addr in 0u32..15, v in any::<u32>()) {
+            let addr = addr * 4;
+            let mut m = Memory::new(64);
+            m.write_u32(addr, v).unwrap();
+            let lo = m.read_u16(addr).unwrap() as u32;
+            let hi = m.read_u16(addr + 2).unwrap() as u32;
+            prop_assert_eq!(lo | (hi << 16), v);
+        }
+    }
+}

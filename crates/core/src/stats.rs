@@ -1,0 +1,163 @@
+//! Execution statistics — the raw material of every evaluation table.
+
+use risc1_isa::{Category, Opcode};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Counters accumulated over one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Instructions retired (delay-slot instructions included).
+    pub instructions: u64,
+    /// Total cycles, including trap servicing and timing-model bubbles.
+    pub cycles: u64,
+    /// Bubble cycles added by the timing model (interlocks, suspended-
+    /// pipeline penalties) — included in `cycles`.
+    pub bubble_cycles: u64,
+    /// Instruction fetches (one per retired instruction on RISC I).
+    pub ifetches: u64,
+    /// Data-memory reads issued by loads (and window fills).
+    pub data_reads: u64,
+    /// Data-memory writes issued by stores (and window spills).
+    pub data_writes: u64,
+    /// Procedure calls executed (`call`, `callr`).
+    pub calls: u64,
+    /// Returns executed.
+    pub rets: u64,
+    /// Transfers of control that were taken.
+    pub taken_transfers: u64,
+    /// Register-window overflow traps.
+    pub window_overflows: u64,
+    /// Register-window underflow traps.
+    pub window_underflows: u64,
+    /// Cycles spent inside window traps — included in `cycles`.
+    pub trap_cycles: u64,
+    /// Instructions executed in a delay slot.
+    pub delay_slots: u64,
+    /// Delay-slot instructions that were NOPs (unfilled slots).
+    pub delay_slot_nops: u64,
+    /// Deepest call depth reached.
+    pub max_depth: u64,
+    /// Dynamic opcode histogram.
+    pub opcode_counts: HashMap<Opcode, u64>,
+}
+
+impl ExecStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> ExecStats {
+        ExecStats::default()
+    }
+
+    /// Records one retired instruction of the given opcode.
+    pub fn retire(&mut self, op: Opcode) {
+        self.instructions += 1;
+        self.ifetches += 1;
+        *self.opcode_counts.entry(op).or_insert(0) += 1;
+    }
+
+    /// Total data-memory traffic (reads + writes).
+    pub fn data_traffic(&self) -> u64 {
+        self.data_reads + self.data_writes
+    }
+
+    /// Dynamic instruction count per category, for the instruction-mix
+    /// table (E12).
+    pub fn category_counts(&self) -> HashMap<Category, u64> {
+        let mut out = HashMap::new();
+        for (op, n) in &self.opcode_counts {
+            *out.entry(op.category()).or_insert(0) += n;
+        }
+        out
+    }
+
+    /// Fraction of delay slots the compiler filled with useful work
+    /// (1.0 − NOP share). Returns `None` when no slots were executed.
+    pub fn delay_slot_fill_rate(&self) -> Option<f64> {
+        (self.delay_slots > 0).then(|| 1.0 - self.delay_slot_nops as f64 / self.delay_slots as f64)
+    }
+
+    /// Average cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of all calls that overflowed the window file — the quantity
+    /// the paper's window-count design study (E8) plots.
+    pub fn overflow_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.window_overflows as f64 / self.calls as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "instructions {:>12}  cycles {:>12}  cpi {:.3}",
+            self.instructions,
+            self.cycles,
+            self.cpi()
+        )?;
+        writeln!(
+            f,
+            "data reads   {:>12}  data writes {:>8}  ifetches {:>12}",
+            self.data_reads, self.data_writes, self.ifetches
+        )?;
+        writeln!(
+            f,
+            "calls {:>8}  rets {:>8}  overflows {:>6}  underflows {:>6}  trap cycles {:>8}",
+            self.calls, self.rets, self.window_overflows, self.window_underflows, self.trap_cycles
+        )?;
+        write!(
+            f,
+            "delay slots {:>8} ({} nops)  max depth {}",
+            self.delay_slots, self.delay_slot_nops, self.max_depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retire_updates_histogram() {
+        let mut s = ExecStats::new();
+        s.retire(Opcode::Add);
+        s.retire(Opcode::Add);
+        s.retire(Opcode::Ldl);
+        assert_eq!(s.instructions, 3);
+        assert_eq!(s.opcode_counts[&Opcode::Add], 2);
+        assert_eq!(s.category_counts()[&Category::Load], 1);
+    }
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = ExecStats::new();
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.overflow_rate(), 0.0);
+        assert_eq!(s.delay_slot_fill_rate(), None);
+    }
+
+    #[test]
+    fn fill_rate() {
+        let s = ExecStats {
+            delay_slots: 10,
+            delay_slot_nops: 4,
+            ..ExecStats::new()
+        };
+        assert!((s.delay_slot_fill_rate().unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ExecStats::new().to_string().is_empty());
+    }
+}

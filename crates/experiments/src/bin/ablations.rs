@@ -1,0 +1,4 @@
+//! Prints the ablation studies (see `risc1_experiments::ablations`).
+fn main() {
+    print!("{}", risc1_experiments::ablations::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the e10_area experiment report (see `risc1_experiments::e10_area`).
+fn main() {
+    print!("{}", risc1_experiments::e10_area::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the e11_pipeline_trace experiment report (see `risc1_experiments::e11_pipeline_trace`).
+fn main() {
+    print!("{}", risc1_experiments::e11_pipeline_trace::run());
+}

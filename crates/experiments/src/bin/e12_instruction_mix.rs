@@ -1,0 +1,4 @@
+//! Prints the e12_instruction_mix experiment report (see `risc1_experiments::e12_instruction_mix`).
+fn main() {
+    print!("{}", risc1_experiments::e12_instruction_mix::run());
+}

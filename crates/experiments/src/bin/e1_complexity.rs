@@ -1,0 +1,4 @@
+//! Prints the e1_complexity experiment report (see `risc1_experiments::e1_complexity`).
+fn main() {
+    print!("{}", risc1_experiments::e1_complexity::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the e2_instruction_set experiment report (see `risc1_experiments::e2_instruction_set`).
+fn main() {
+    print!("{}", risc1_experiments::e2_instruction_set::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the e3_formats experiment report (see `risc1_experiments::e3_formats`).
+fn main() {
+    print!("{}", risc1_experiments::e3_formats::run());
+}

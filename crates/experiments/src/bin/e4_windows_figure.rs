@@ -1,0 +1,4 @@
+//! Prints the e4_windows_figure experiment report (see `risc1_experiments::e4_windows_figure`).
+fn main() {
+    print!("{}", risc1_experiments::e4_windows_figure::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the e5_call_cost experiment report (see `risc1_experiments::e5_call_cost`).
+fn main() {
+    print!("{}", risc1_experiments::e5_call_cost::run());
+}

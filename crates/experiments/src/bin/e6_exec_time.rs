@@ -1,0 +1,4 @@
+//! Prints the e6_exec_time experiment report (see `risc1_experiments::e6_exec_time`).
+fn main() {
+    print!("{}", risc1_experiments::e6_exec_time::run());
+}

@@ -1,0 +1,4 @@
+//! Prints the e7_code_size experiment report (see `risc1_experiments::e7_code_size`).
+fn main() {
+    print!("{}", risc1_experiments::e7_code_size::run());
+}

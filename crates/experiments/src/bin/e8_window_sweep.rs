@@ -1,0 +1,4 @@
+//! Prints the e8_window_sweep experiment report (see `risc1_experiments::e8_window_sweep`).
+fn main() {
+    print!("{}", risc1_experiments::e8_window_sweep::run());
+}

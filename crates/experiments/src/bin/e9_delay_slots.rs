@@ -1,0 +1,4 @@
+//! Prints the e9_delay_slots experiment report (see `risc1_experiments::e9_delay_slots`).
+fn main() {
+    print!("{}", risc1_experiments::e9_delay_slots::run());
+}

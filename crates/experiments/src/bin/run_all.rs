@@ -1,0 +1,4 @@
+//! Prints every experiment report in order (the full evaluation).
+fn main() {
+    print!("{}", risc1_experiments::run_all());
+}

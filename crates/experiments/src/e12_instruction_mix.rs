@@ -1,0 +1,124 @@
+//! E12 — dynamic instruction mix and memory traffic across the suite.
+//!
+//! The paper's compiler studies found loads/stores around a quarter to a
+//! third of executed instructions and transfers of control a fifth — the
+//! statistics that justified spending transistors on registers rather than
+//! on exotic instructions. This experiment reproduces the mix table from
+//! the running suite.
+
+use risc1_core::SimConfig;
+use risc1_isa::Category;
+use risc1_stats::{measure_with, table::percent, Table};
+use risc1_workloads::all;
+use std::collections::HashMap;
+
+/// Aggregated dynamic mix for one workload.
+#[derive(Debug, Clone)]
+pub struct MixRow {
+    /// Workload id.
+    pub id: &'static str,
+    /// Fraction of retired instructions per category (RISC I).
+    pub by_category: HashMap<Category, f64>,
+    /// Data-memory references per instruction (RISC I).
+    pub mem_per_instr: f64,
+    /// Instruction-stream bytes fetched per instruction on CX (variable
+    /// length, for contrast with RISC I's constant 4).
+    pub cx_bytes_per_instr: f64,
+}
+
+/// Measures the suite (small arguments; the mix is a code property).
+pub fn compute() -> Vec<MixRow> {
+    all()
+        .iter()
+        .map(|w| {
+            let m = measure_with(w, &w.small_args, SimConfig::default());
+            let total = m.risc.instructions.max(1) as f64;
+            let by_category = m
+                .risc
+                .category_counts()
+                .into_iter()
+                .map(|(c, n)| (c, n as f64 / total))
+                .collect();
+            MixRow {
+                id: w.id,
+                by_category,
+                mem_per_instr: m.risc.data_traffic() as f64 / total,
+                cx_bytes_per_instr: m.cx.ifetch_bytes as f64 / m.cx.instructions.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn run() -> String {
+    let rows = compute();
+    let mut t = Table::new(&[
+        "benchmark",
+        "alu",
+        "shift",
+        "load",
+        "store",
+        "transfer",
+        "mem/instr",
+        "CX bytes/instr",
+    ]);
+    let share = |r: &MixRow, c: Category| percent(*r.by_category.get(&c).unwrap_or(&0.0));
+    for r in &rows {
+        t.row(vec![
+            r.id.to_string(),
+            share(r, Category::Arithmetic),
+            share(r, Category::Shift),
+            share(r, Category::Load),
+            share(r, Category::Store),
+            share(r, Category::ControlTransfer),
+            format!("{:.2}", r.mem_per_instr),
+            format!("{:.1}", r.cx_bytes_per_instr),
+        ]);
+    }
+    format!(
+        "E12 — dynamic instruction mix on RISC I (share of retired instructions)\n\n{t}\n\
+         RISC I fetches a constant 4 bytes/instruction; CX averages the\n\
+         variable-length figure in the last column.\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        for r in compute() {
+            let s: f64 = r.by_category.values().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{}: {s}", r.id);
+        }
+    }
+
+    #[test]
+    fn alu_dominates_and_transfers_are_substantial() {
+        // The aggregate shape the paper reports for compiled code.
+        let rows = compute();
+        let avg = |c: Category| {
+            rows.iter()
+                .map(|r| r.by_category.get(&c).copied().unwrap_or(0.0))
+                .sum::<f64>()
+                / rows.len() as f64
+        };
+        assert!(avg(Category::Arithmetic) > 0.3);
+        let transfers = avg(Category::ControlTransfer);
+        assert!(
+            (0.05..0.45).contains(&transfers),
+            "transfers {transfers:.2}"
+        );
+    }
+
+    #[test]
+    fn cx_instructions_average_longer_than_four_bytes() {
+        // Memory operands make CX instructions long even though its
+        // encoding *can* go down to one byte — part of why code-size wins
+        // are smaller than CISC folklore suggested.
+        let rows = compute();
+        let avg = rows.iter().map(|r| r.cx_bytes_per_instr).sum::<f64>() / rows.len() as f64;
+        assert!(avg > 3.0, "avg {avg:.1}");
+    }
+}

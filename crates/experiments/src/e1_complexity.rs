@@ -1,0 +1,76 @@
+//! E1 — Table I: design complexity of contemporary machines vs RISC I.
+//!
+//! The CISC rows are the paper's published figures (we cannot re-measure
+//! 1978 silicon); the RISC I row is computed live from this repository's
+//! ISA tables, so it can never drift from the implementation.
+
+use risc1_isa::summary::{published_cisc_profiles, risc1_profile, MachineProfile};
+use risc1_stats::Table;
+
+/// All rows of Table I, RISC I last.
+pub fn compute() -> Vec<MachineProfile> {
+    let mut rows = published_cisc_profiles();
+    rows.push(risc1_profile());
+    rows
+}
+
+/// Renders Table I.
+pub fn run() -> String {
+    let mut t = Table::new(&[
+        "machine",
+        "year",
+        "instrs",
+        "microcode (Kbit)",
+        "insn size (bits)",
+        "execution model",
+    ]);
+    for p in compute() {
+        t.row(vec![
+            p.name.to_string(),
+            p.year.to_string(),
+            p.instructions.to_string(),
+            if p.microcode_bits == 0 {
+                "none (hardwired)".to_string()
+            } else {
+                (p.microcode_bits / 8192).to_string()
+            },
+            if p.insn_size_bits.0 == p.insn_size_bits.1 {
+                format!("{}", p.insn_size_bits.0)
+            } else {
+                format!("{}-{}", p.insn_size_bits.0, p.insn_size_bits.1)
+            },
+            p.execution_model.to_string(),
+        ]);
+    }
+    format!("E1 — Table I: architectural complexity comparison\n\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risc_is_the_only_unmicrocoded_machine() {
+        let rows = compute();
+        let (risc, cisc): (Vec<_>, Vec<_>) = rows.iter().partition(|p| p.name == "RISC I");
+        assert_eq!(risc.len(), 1);
+        assert_eq!(risc[0].microcode_bits, 0);
+        assert!(cisc.iter().all(|p| p.microcode_bits > 0));
+    }
+
+    #[test]
+    fn risc_has_the_fewest_instructions_and_fixed_size() {
+        let rows = compute();
+        let risc = rows.last().unwrap();
+        assert!(rows[..rows.len() - 1]
+            .iter()
+            .all(|p| p.instructions > risc.instructions * 6));
+        assert_eq!(risc.insn_size_bits, (32, 32));
+    }
+
+    #[test]
+    fn report_renders() {
+        let s = run();
+        assert!(s.contains("VAX-11/780") && s.contains("RISC I"));
+    }
+}

@@ -1,0 +1,46 @@
+//! E2 — Table II: the RISC I instruction set, generated from the ISA
+//! tables themselves.
+
+use risc1_isa::summary::{instruction_table, InstructionRow};
+use risc1_stats::Table;
+
+/// The listing, in Table II order.
+pub fn compute() -> Vec<InstructionRow> {
+    instruction_table()
+}
+
+/// Renders Table II.
+pub fn run() -> String {
+    let mut t = Table::new(&["mnemonic", "category", "format", "cycles", "semantics"]);
+    for r in compute() {
+        t.row(vec![
+            r.mnemonic.to_string(),
+            r.category.to_string(),
+            format!("{:?}", r.format).to_lowercase(),
+            r.cycles.to_string(),
+            r.description.to_string(),
+        ]);
+    }
+    format!(
+        "E2 — Table II: the {} RISC I instructions\n\n{t}",
+        compute().len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_one_rows() {
+        assert_eq!(compute().len(), 31);
+    }
+
+    #[test]
+    fn report_contains_every_mnemonic() {
+        let s = run();
+        for r in compute() {
+            assert!(s.contains(r.mnemonic), "{} missing", r.mnemonic);
+        }
+    }
+}

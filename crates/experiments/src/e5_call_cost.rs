@@ -1,0 +1,160 @@
+//! E5 — the cost of a procedure call.
+//!
+//! The paper motivates register windows with the observed cost of
+//! call-and-return on contemporary machines (the VAX `CALLS`/`RET` pair
+//! burns tens of cycles and many memory references). This experiment
+//! measures the *marginal* cost of one call+return on:
+//!
+//! * RISC I with the standard 8-window file (windows absorb everything),
+//! * RISC I with a 2-window file (every call spills — a model of a RISC
+//!   *without* enough registers, i.e. the conventional save/restore cost),
+//! * CX with its full calling standard.
+//!
+//! Method: a loop that calls a two-argument leaf procedure `n` times
+//! (call depth oscillates by one, the common case in compiled C), measured
+//! at two values of `n`; the difference isolates the per-call cost from
+//! fixed overhead. A *linear* recursion of unbounded depth would defeat
+//! any window file — that pathology is covered separately by E8. The
+//! 2-window row models a machine whose registers must be saved/restored on
+//! every call (every call overflows a 2-window file).
+
+use risc1_core::SimConfig;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::{compile_cx, compile_risc, run_cx, run_risc_with, RiscOpts};
+use risc1_stats::Table;
+
+/// Marginal cost of one call+return pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallCost {
+    /// Configuration name.
+    pub machine: &'static str,
+    /// Instructions per call+return.
+    pub instructions: f64,
+    /// Cycles per call+return.
+    pub cycles: f64,
+    /// Data-memory references per call+return.
+    pub mem_refs: f64,
+}
+
+fn call_loop_module() -> risc1_ir::Module {
+    // leaf(a, b) = a + b;   main(n): s = 0; for i in 0..n { s = leaf(s, i) }
+    let leaf = function("leaf", 2, 2, vec![ret(add(local(0), local(1)))]);
+    let main = function(
+        "main",
+        1,
+        3,
+        vec![
+            assign(1, konst(0)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(2), local(0)),
+                vec![
+                    assign(1, call(1, vec![local(1), local(2)])),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(1)),
+        ],
+    );
+    module(vec![main, leaf], vec![])
+}
+
+/// Measures all three configurations.
+pub fn compute() -> Vec<CallCost> {
+    let m = call_loop_module();
+    let (lo, hi) = (400, 1400);
+    let span = f64::from(hi - lo);
+
+    let risc_prog = compile_risc(&m, RiscOpts::default()).expect("compiles");
+    let risc_cost = |name: &'static str, windows: usize| {
+        // A 2-window file spills on every call; give the save stack room
+        // for the full chain depth.
+        let cfg = SimConfig {
+            windows,
+            stack_top: 0x40000,
+            ..SimConfig::default()
+        };
+        let (_, s1) = run_risc_with(&risc_prog, &[lo], cfg.clone()).expect("runs");
+        let (_, s2) = run_risc_with(&risc_prog, &[hi], cfg).expect("runs");
+        CallCost {
+            machine: name,
+            instructions: (s2.instructions - s1.instructions) as f64 / span,
+            cycles: (s2.cycles - s1.cycles) as f64 / span,
+            mem_refs: (s2.data_traffic() - s1.data_traffic()) as f64 / span,
+        }
+    };
+    let rows = vec![
+        risc_cost("RISC I (8 windows)", 8),
+        risc_cost("RISC I (2 windows: spill every call)", 2),
+        {
+            let cx_prog = compile_cx(&m).expect("compiles");
+            let (_, s1) = run_cx(&cx_prog, &[lo]).expect("runs");
+            let (_, s2) = run_cx(&cx_prog, &[hi]).expect("runs");
+            CallCost {
+                machine: "CX (CALLS/RET standard)",
+                instructions: (s2.instructions - s1.instructions) as f64 / span,
+                cycles: (s2.cycles - s1.cycles) as f64 / span,
+                mem_refs: (s2.data_traffic() - s1.data_traffic()) as f64 / span,
+            }
+        },
+    ];
+    rows
+}
+
+/// Renders the table.
+pub fn run() -> String {
+    let mut t = Table::new(&["machine", "instr/call", "cycles/call", "mem refs/call"]);
+    for c in compute() {
+        t.row(vec![
+            c.machine.to_string(),
+            format!("{:.1}", c.instructions),
+            format!("{:.1}", c.cycles),
+            format!("{:.1}", c.mem_refs),
+        ]);
+    }
+    format!(
+        "E5 — marginal cost of one procedure call + return\n\
+         (leaf call in a loop; per-call figures include argument passing,\n\
+         result return and the loop bookkeeping around the call)\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_eliminate_call_memory_traffic() {
+        let rows = compute();
+        let windows = &rows[0];
+        let spill = &rows[1];
+        let cx = &rows[2];
+        assert!(
+            windows.mem_refs < 0.5,
+            "8-window calls should touch no memory, got {:.2}",
+            windows.mem_refs
+        );
+        assert!(
+            spill.mem_refs > 20.0,
+            "forced spill/fill moves 2×16 registers, got {:.2}",
+            spill.mem_refs
+        );
+        assert!(
+            cx.mem_refs >= 8.0,
+            "CALLS+RET frame traffic, got {:.2}",
+            cx.mem_refs
+        );
+    }
+
+    #[test]
+    fn windowed_calls_are_cheapest_in_cycles() {
+        let rows = compute();
+        assert!(rows[0].cycles < rows[2].cycles / 2.0, "{rows:#?}");
+        assert!(rows[0].cycles < rows[1].cycles / 2.0, "{rows:#?}");
+    }
+
+    #[test]
+    fn report_renders() {
+        assert!(run().contains("CALLS"));
+    }
+}

@@ -1,0 +1,151 @@
+//! E8 — how many register windows are enough?
+//!
+//! The design study behind the paper's choice of 8 windows: sweep the file
+//! size over the call-heavy workloads and measure the fraction of calls
+//! that overflow plus the share of cycles lost to spill/fill traps. The
+//! paper's shape: overflows are frequent with 2–4 windows and become rare
+//! at 8 for typical call-depth locality.
+
+use risc1_core::SimConfig;
+use risc1_ir::RiscOpts;
+use risc1_stats::{measure_risc, table::percent, Table};
+use risc1_workloads::{all, Workload};
+
+/// Window counts swept.
+pub const WINDOW_COUNTS: &[usize] = &[2, 4, 6, 8, 12, 16];
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Workload id.
+    pub id: &'static str,
+    /// Number of windows.
+    pub windows: usize,
+    /// Overflow traps per call.
+    pub overflow_rate: f64,
+    /// Fraction of all cycles spent in window traps.
+    pub trap_cycle_share: f64,
+    /// Deepest call depth seen.
+    pub max_depth: u64,
+}
+
+fn call_heavy() -> Vec<Workload> {
+    all().into_iter().filter(|w| w.call_heavy).collect()
+}
+
+/// Sweeps a single workload at one window count.
+pub fn sweep_one(w: &Workload, windows: usize) -> SweepPoint {
+    let s = measure_risc(
+        w,
+        &w.small_args,
+        SimConfig::with_windows(windows),
+        RiscOpts::default(),
+    );
+    SweepPoint {
+        id: w.id,
+        windows,
+        overflow_rate: s.overflow_rate(),
+        trap_cycle_share: s.trap_cycles as f64 / s.cycles.max(1) as f64,
+        max_depth: s.max_depth,
+    }
+}
+
+/// Sweeps every call-heavy workload across [`WINDOW_COUNTS`] (small
+/// arguments keep the sweep fast; rates are depth-profile properties and
+/// barely move with input size).
+pub fn compute() -> Vec<SweepPoint> {
+    let mut out = Vec::new();
+    for w in call_heavy() {
+        for &n in WINDOW_COUNTS {
+            out.push(sweep_one(&w, n));
+        }
+    }
+    out
+}
+
+/// Renders the figure as a table (rows: workloads, columns: window counts).
+pub fn run() -> String {
+    let pts = compute();
+    let mut t = Table::new(&[
+        "benchmark",
+        "depth",
+        "w=2",
+        "w=4",
+        "w=6",
+        "w=8",
+        "w=12",
+        "w=16",
+    ]);
+    for w in call_heavy() {
+        let mine: Vec<&SweepPoint> = pts.iter().filter(|p| p.id == w.id).collect();
+        let mut row = vec![w.id.to_string(), mine[0].max_depth.to_string()];
+        row.extend(mine.iter().map(|p| percent(p.overflow_rate)));
+        t.row(row);
+    }
+    format!(
+        "E8 — register-window overflow rate vs file size\n\
+         (cells: window-overflow traps as a fraction of procedure calls)\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_rate_is_monotonically_nonincreasing_in_windows() {
+        let pts = compute();
+        for w in call_heavy() {
+            let mine: Vec<&SweepPoint> = pts.iter().filter(|p| p.id == w.id).collect();
+            for pair in mine.windows(2) {
+                assert!(
+                    pair[1].overflow_rate <= pair[0].overflow_rate + 1e-9,
+                    "{}: rate rose from w={} to w={}",
+                    w.id,
+                    pair[0].windows,
+                    pair[1].windows
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_windows_thrash_and_shallow_workloads_settle_by_eight() {
+        let pts = compute();
+        // With w=2 every call beyond the first overflows on deep recursion.
+        assert!(pts
+            .iter()
+            .filter(|p| p.windows == 2)
+            .any(|p| p.overflow_rate > 0.5));
+        // Quicksort's call depth is logarithmic-ish: by 8 windows the
+        // overflow rate must have collapsed relative to thrashing.
+        let q = |w: usize| {
+            pts.iter()
+                .find(|p| p.id == "qsort" && p.windows == w)
+                .expect("qsort sweep")
+                .overflow_rate
+        };
+        assert!(q(8) < 0.25, "qsort at w=8: {}", q(8));
+        assert!(q(8) < q(2) / 3.0, "w=8 {} vs w=2 {}", q(8), q(2));
+        // A shallow-call workload (string search: main → find, depth 2)
+        // never overflows an 8-window file — the paper's design point
+        // about typical C call-depth locality.
+        let shallow = risc1_workloads::by_id("e_string_search").unwrap();
+        let s = crate::e8_window_sweep::sweep_one(&shallow, 8);
+        assert_eq!(s.overflow_rate, 0.0, "shallow calls never spill at w=8");
+    }
+
+    #[test]
+    fn deep_recursion_defeats_any_fixed_file() {
+        // Ackermann's depth is far past 16 windows; it must still overflow
+        // there. (The paper: windows exploit *locality* of call depth, and
+        // Ackermann has none.)
+        let pts = compute();
+        let a16 = pts
+            .iter()
+            .find(|p| p.id == "acker" && p.windows == 16)
+            .expect("acker sweep");
+        assert!(a16.overflow_rate > 0.0);
+        assert!(a16.max_depth > 20, "depth {}", a16.max_depth);
+    }
+}

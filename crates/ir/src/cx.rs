@@ -1,0 +1,315 @@
+//! The CX (VAX-class CISC) code generator.
+//!
+//! This backend emits the idiomatic code a 1981 CISC compiler would: memory
+//! operands folded straight into ALU instructions (`addl3 4(ap), @a+20,
+//! r1`), arguments pushed on the stack, `calls`/`ret` building full frames,
+//! and native multiply/divide. Locals live in the stack frame:
+//!
+//! | storage | addressing |
+//! |---------|------------|
+//! | parameter *i* | `4+4i(ap)` |
+//! | non-param local *j* | `−4(j+1)(fp)` |
+//! | expression temporaries | `r1`–`r9` |
+//! | return value | `r0` |
+//!
+//! The entry stub pushes `main`'s arguments from the fixed `ARGV` area
+//! (written by the harness), calls `main`, and executes `halt`.
+
+use crate::ast::{BinOp, CmpOp, Cond, Expr, Function, Module, Stmt};
+use crate::layout::{Layout, ARGV_BASE};
+use crate::runner::CodegenError;
+use risc1_cisc::{CReg, CxAsm, CxProgram, Label, Op, Operand};
+
+const MAX_TEMPS: u8 = 9; // r1..r9
+
+/// Compiles a validated module to a CX program. The program starts at its
+/// entry stub; `main`'s arguments are read from [`ARGV_BASE`].
+///
+/// # Errors
+/// Validation errors, or [`CodegenError::OutOfRegisters`] if an expression
+/// needs more than the 9 temporary registers.
+pub fn compile_cx(module: &Module) -> Result<CxProgram, CodegenError> {
+    module.validate()?;
+    let layout = Layout::of(module);
+    let mut gen = CxGen {
+        asm: CxAsm::new(),
+        layout,
+        fn_labels: Vec::new(),
+    };
+    for _ in &module.functions {
+        let l = gen.asm.new_label();
+        gen.fn_labels.push(l);
+    }
+
+    // Entry stub.
+    let nargs = module.functions[0].params;
+    for j in (0..nargs).rev() {
+        gen.asm
+            .emit(Op::PushL, &[Operand::Abs(ARGV_BASE + 4 * j as u32)]);
+    }
+    gen.asm.calls(nargs as u8, gen.fn_labels[0]);
+    gen.asm.emit0(Op::Halt);
+
+    for (fid, func) in module.functions.iter().enumerate() {
+        gen.asm.bind(gen.fn_labels[fid]);
+        gen.asm.symbol(&func.name);
+        gen.function(func)?;
+    }
+
+    let mut prog = gen.asm.finish().map_err(CodegenError::CxBuild)?;
+    prog.data = gen.layout.data_images(module);
+    Ok(prog)
+}
+
+struct CxGen {
+    asm: CxAsm,
+    layout: Layout,
+    fn_labels: Vec<Label>,
+}
+
+impl CxGen {
+    fn temp(&self, depth: u8) -> Result<CReg, CodegenError> {
+        if depth >= MAX_TEMPS {
+            return Err(CodegenError::OutOfRegisters {
+                func: "<cx expression>".to_string(),
+            });
+        }
+        Ok(CReg::new(1 + depth).expect("r1..r9"))
+    }
+
+    /// Frame operand for a local variable.
+    fn local_operand(&self, func: &Function, v: usize) -> Operand {
+        if v < func.params {
+            let off = 4 + 4 * v as i32;
+            if let Ok(d8) = i8::try_from(off) {
+                Operand::Disp8(d8, CReg::AP)
+            } else {
+                Operand::Disp16(off as i16, CReg::AP)
+            }
+        } else {
+            let off = -4 * (v as i32 - func.params as i32 + 1);
+            if let Ok(d8) = i8::try_from(off) {
+                Operand::Disp8(d8, CReg::FP)
+            } else {
+                Operand::Disp16(off as i16, CReg::FP)
+            }
+        }
+    }
+
+    fn const_operand(v: i32) -> Operand {
+        if (0..64).contains(&v) {
+            Operand::Lit(v as u8)
+        } else {
+            Operand::Imm(v as u32)
+        }
+    }
+
+    fn function(&mut self, func: &Function) -> Result<(), CodegenError> {
+        let frame_locals = func.locals - func.params;
+        if frame_locals > 0 {
+            self.asm.emit(
+                Op::SubL2,
+                &[
+                    Self::const_operand(4 * frame_locals as i32),
+                    Operand::Reg(CReg::SP),
+                ],
+            );
+            // Zero-initialise frame locals (IR semantics: locals start 0).
+            for j in 0..frame_locals {
+                self.asm
+                    .emit(Op::ClrL, &[self.local_operand(func, func.params + j)]);
+            }
+        }
+        self.block(func, &func.body)?;
+        // Implicit return 0.
+        self.asm.emit(Op::ClrL, &[Operand::Reg(CReg::R0)]);
+        self.asm.emit0(Op::Ret);
+        Ok(())
+    }
+
+    fn block(&mut self, func: &Function, stmts: &[Stmt]) -> Result<(), CodegenError> {
+        for s in stmts {
+            self.stmt(func, s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, func: &Function, stmt: &Stmt) -> Result<(), CodegenError> {
+        match stmt {
+            Stmt::Assign(v, Expr::Call(f, args)) => {
+                self.user_call(func, *f, args)?;
+                self.asm.emit(
+                    Op::MovL,
+                    &[Operand::Reg(CReg::R0), self.local_operand(func, *v)],
+                );
+            }
+            Stmt::Expr(Expr::Call(f, args)) => self.user_call(func, *f, args)?,
+            Stmt::Assign(v, e) => {
+                let o = self.eval(func, e, 0)?;
+                self.asm.emit(Op::MovL, &[o, self.local_operand(func, *v)]);
+            }
+            Stmt::StoreW(g, idx, val) => {
+                let o_v = self.eval(func, val, 0)?;
+                let dst = self.element_operand(func, *g, idx, 1, false)?;
+                self.asm.emit(Op::MovL, &[o_v, dst]);
+            }
+            Stmt::StoreB(g, idx, val) => {
+                let o_v = self.eval(func, val, 0)?;
+                let dst = self.element_operand(func, *g, idx, 1, true)?;
+                self.asm.emit(Op::MovB, &[o_v, dst]);
+            }
+            Stmt::Return(e) => {
+                let o = self.eval(func, e, 0)?;
+                self.asm.emit(Op::MovL, &[o, Operand::Reg(CReg::R0)]);
+                self.asm.emit0(Op::Ret);
+            }
+            Stmt::If { cond, then, els } => {
+                let else_l = self.asm.new_label();
+                self.branch_unless(func, cond, else_l)?;
+                self.block(func, then)?;
+                if els.is_empty() {
+                    self.asm.bind(else_l);
+                } else {
+                    let end_l = self.asm.new_label();
+                    self.asm.branch(Op::Brw, end_l);
+                    self.asm.bind(else_l);
+                    self.block(func, els)?;
+                    self.asm.bind(end_l);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.asm.new_label();
+                let out = self.asm.new_label();
+                self.asm.bind(top);
+                self.branch_unless(func, cond, out)?;
+                self.block(func, body)?;
+                self.asm.branch(Op::Brw, top);
+                self.asm.bind(out);
+            }
+            Stmt::Expr(_) => {}
+        }
+        Ok(())
+    }
+
+    fn branch_unless(
+        &mut self,
+        func: &Function,
+        cond: &Cond,
+        target: Label,
+    ) -> Result<(), CodegenError> {
+        let a = self.eval(func, &cond.lhs, 0)?;
+        let b = self.eval(func, &cond.rhs, 1)?;
+        self.asm.emit(Op::CmpL, &[a, b]);
+        let br = match cond.op.negate() {
+            CmpOp::Eq => Op::Beql,
+            CmpOp::Ne => Op::Bneq,
+            CmpOp::Lt => Op::Blss,
+            CmpOp::Le => Op::Bleq,
+            CmpOp::Gt => Op::Bgtr,
+            CmpOp::Ge => Op::Bgeq,
+        };
+        self.asm.branch(br, target);
+        Ok(())
+    }
+
+    /// Evaluates an expression, returning the operand that names its value
+    /// — a literal, a frame slot, a memory operand, or a temporary
+    /// register. Non-trivial results land in temp `depth`.
+    fn eval(&mut self, func: &Function, e: &Expr, depth: u8) -> Result<Operand, CodegenError> {
+        Ok(match e {
+            Expr::Const(v) => Self::const_operand(*v),
+            Expr::Local(v) => self.local_operand(func, *v),
+            Expr::LoadW(g, idx) => {
+                if let Expr::Const(c) = idx.as_ref() {
+                    // The whole element address is a constant: fold it into
+                    // the parent instruction as an absolute operand — peak
+                    // CISC.
+                    Operand::Abs(self.layout.addr(*g).wrapping_add((*c as u32) << 2))
+                } else {
+                    self.element_operand(func, *g, idx, depth, false)?
+                }
+            }
+            Expr::LoadB(g, idx) => {
+                // Byte loads zero-extend through MOVZBL into a temp.
+                let src = if let Expr::Const(c) = idx.as_ref() {
+                    Operand::Abs(self.layout.addr(*g).wrapping_add(*c as u32))
+                } else {
+                    self.element_operand(func, *g, idx, depth, true)?
+                };
+                let t = self.temp(depth)?;
+                self.asm.emit(Op::MovZBL, &[src, Operand::Reg(t)]);
+                Operand::Reg(t)
+            }
+            Expr::Bin(op, a, b) => {
+                let oa = self.eval(func, a, depth)?;
+                let ob = self.eval(func, b, depth + 1)?;
+                let t = self.temp(depth)?;
+                let dst = Operand::Reg(t);
+                match op {
+                    BinOp::Add => self.asm.emit(Op::AddL3, &[oa, ob, dst]),
+                    BinOp::Sub => self.asm.emit(Op::SubL3, &[ob, oa, dst]),
+                    BinOp::Mul => self.asm.emit(Op::MulL3, &[oa, ob, dst]),
+                    BinOp::Div => self.asm.emit(Op::DivL3, &[ob, oa, dst]),
+                    BinOp::And => self.asm.emit(Op::AndL3, &[oa, ob, dst]),
+                    BinOp::Or => self.asm.emit(Op::OrL3, &[oa, ob, dst]),
+                    BinOp::Xor => self.asm.emit(Op::XorL3, &[oa, ob, dst]),
+                    BinOp::Shl => self.asm.emit(Op::AshL, &[ob, oa, dst]),
+                    BinOp::Shr => match b.as_ref() {
+                        Expr::Const(c) => {
+                            self.asm.emit(Op::AshL, &[Self::const_operand(-c), oa, dst]);
+                        }
+                        _ => {
+                            // negate the count, then shift
+                            let tc = self.temp(depth + 1)?;
+                            self.asm
+                                .emit(Op::SubL3, &[ob, Operand::Lit(0), Operand::Reg(tc)]);
+                            self.asm.emit(Op::AshL, &[Operand::Reg(tc), oa, dst]);
+                        }
+                    },
+                }
+                dst
+            }
+            Expr::Call(..) => unreachable!("validated: calls only at statement position"),
+        })
+    }
+
+    /// Materialises the address of `g[idx]` for a dynamic index and returns
+    /// a deferred operand through a temp register; for constant indices
+    /// returns an absolute operand.
+    fn element_operand(
+        &mut self,
+        func: &Function,
+        g: usize,
+        idx: &Expr,
+        depth: u8,
+        byte: bool,
+    ) -> Result<Operand, CodegenError> {
+        let base = self.layout.addr(g);
+        if let Expr::Const(c) = idx {
+            let shift = if byte { 0 } else { 2 };
+            return Ok(Operand::Abs(base.wrapping_add((*c as u32) << shift)));
+        }
+        let oi = self.eval(func, idx, depth)?;
+        let t = self.temp(depth)?;
+        if byte {
+            self.asm
+                .emit(Op::AddL3, &[oi, Operand::Imm(base), Operand::Reg(t)]);
+        } else {
+            self.asm
+                .emit(Op::AshL, &[Operand::Lit(2), oi, Operand::Reg(t)]);
+            self.asm
+                .emit(Op::AddL2, &[Operand::Imm(base), Operand::Reg(t)]);
+        }
+        Ok(Operand::Deferred(t))
+    }
+
+    fn user_call(&mut self, func: &Function, f: usize, args: &[Expr]) -> Result<(), CodegenError> {
+        // Push right-to-left so argument 0 ends on top.
+        for a in args.iter().rev() {
+            let o = self.eval(func, a, 0)?;
+            self.asm.emit(Op::PushL, &[o]);
+        }
+        self.asm.calls(args.len() as u8, self.fn_labels[f]);
+        Ok(())
+    }
+}

@@ -1,0 +1,178 @@
+//! The delay-slot-filling peephole pass.
+//!
+//! RISC I's delayed jumps expose one instruction slot after every transfer;
+//! a naive compiler leaves a NOP there, a good one moves useful work in.
+//! The paper reports its optimizer filled most slots. This pass implements
+//! the classic safe transformation: hoist the instruction *preceding* a
+//! PC-relative jump into its slot.
+//!
+//! The move `[X, jmpr, nop] → [jmpr, X]` is semantics-preserving iff:
+//!
+//! * `X` is a plain instruction (not itself a transfer),
+//! * `X` does not set condition codes (the jump's condition must still see
+//!   the flags that were live before `X`),
+//! * no label binds to `X`, to the jump, or to the NOP — otherwise some
+//!   other path would observe `X` executed a different number of times.
+//!
+//! Only `jmpr` slots are filled. `jmp rs1` reads a register the hoisted
+//! instruction might write; `callr`/`ret` slots execute in a *different
+//! register window*, so caller instructions cannot move there at all.
+
+use crate::rasm::{RItem, RiscAsm};
+use risc1_isa::Instruction;
+
+/// Runs the filler over a builder's stream in place. Returns the number of
+/// slots filled.
+pub fn fill_delay_slots(asm: &mut RiscAsm) -> usize {
+    let nop = Instruction::nop();
+    let mut filled = 0;
+    let mut i = 1; // need a predecessor
+    while i + 1 < asm.items.len() {
+        let is_candidate = matches!(asm.items[i], RItem::Jmpr { .. })
+            && matches!(&asm.items[i + 1], RItem::Insn(x) if *x == nop)
+            && matches!(&asm.items[i - 1], RItem::Insn(x)
+                        if !x.opcode.is_transfer() && !x.scc && *x != nop);
+        let label_blocks = asm
+            .labels
+            .iter()
+            .flatten()
+            .any(|&t| t == i - 1 || t == i || t == i + 1);
+        if is_candidate && !label_blocks {
+            // [X, jmpr, nop] → [jmpr, X]
+            asm.items.swap(i - 1, i);
+            asm.items.remove(i + 1);
+            for t in asm.labels.iter_mut().flatten() {
+                if *t > i + 1 {
+                    *t -= 1;
+                }
+            }
+            filled += 1;
+            // The jump now sits at i−1; continue after the moved X.
+        }
+        i += 1;
+    }
+    filled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_core::Program;
+    use risc1_isa::{Cond, Instruction, Opcode, Reg, Short2};
+
+    fn imm(v: i32) -> Short2 {
+        Short2::imm(v).unwrap()
+    }
+
+    fn add(d: Reg, s: Reg, v: i32) -> Instruction {
+        Instruction::reg(Opcode::Add, d, s, imm(v))
+    }
+
+    /// Build `[X, jmpr alw out, nop, …poison…, out: halt]`, fill, run, and
+    /// check X still executes exactly once.
+    #[test]
+    fn filled_program_behaves_identically() {
+        let build = |fill: bool| {
+            let mut a = RiscAsm::new();
+            let out = a.new_label();
+            a.push(add(Reg::R16, Reg::R0, 7)); // X
+            a.jmpr(Cond::Alw, out);
+            a.push(add(Reg::R17, Reg::R0, 99)); // skipped poison
+            a.bind(out);
+            a.push(Instruction::ret(Reg::R0, Short2::ZERO)); // halt
+            a.push(Instruction::nop());
+            let n = if fill { fill_delay_slots(&mut a) } else { 0 };
+            (a.finish(0).unwrap(), n)
+        };
+        let (plain, n0) = build(false);
+        let (filled, n1) = build(true);
+        assert_eq!(n0, 0);
+        assert_eq!(n1, 1);
+        assert_eq!(filled.words.len() + 1, plain.words.len(), "one NOP gone");
+
+        let run = |p: &Program| {
+            let mut cpu = risc1_core::Cpu::new(risc1_core::SimConfig::default());
+            cpu.load_program(p).unwrap();
+            cpu.run().unwrap();
+            (
+                cpu.reg(Reg::R16),
+                cpu.reg(Reg::R17),
+                cpu.stats().instructions,
+            )
+        };
+        let (a16, a17, ai) = run(&plain);
+        let (b16, b17, bi) = run(&filled);
+        assert_eq!((a16, a17), (7, 0));
+        assert_eq!((b16, b17), (7, 0), "semantics preserved");
+        assert_eq!(bi + 1, ai, "one instruction fewer executed");
+    }
+
+    #[test]
+    fn scc_setter_is_not_hoisted() {
+        let mut a = RiscAsm::new();
+        let out = a.new_label();
+        a.push(Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R16, imm(0)));
+        a.jmpr(Cond::Eq, out);
+        a.bind(out);
+        a.push(Instruction::nop());
+        assert_eq!(fill_delay_slots(&mut a), 0);
+    }
+
+    #[test]
+    fn labelled_predecessor_is_not_hoisted() {
+        let mut a = RiscAsm::new();
+        let out = a.new_label();
+        let join = a.new_label();
+        a.bind(join);
+        a.push(add(Reg::R16, Reg::R16, 1)); // join target: must not move
+        a.jmpr(Cond::Alw, out);
+        a.bind(out);
+        a.push(Instruction::nop());
+        assert_eq!(fill_delay_slots(&mut a), 0);
+    }
+
+    #[test]
+    fn transfer_predecessor_is_not_hoisted() {
+        let mut a = RiscAsm::new();
+        let out = a.new_label();
+        a.push(Instruction::ret(Reg::R25, imm(8)));
+        a.jmpr(Cond::Alw, out);
+        a.bind(out);
+        a.push(Instruction::nop());
+        assert_eq!(fill_delay_slots(&mut a), 0);
+    }
+
+    #[test]
+    fn loop_back_edge_gets_filled_and_loop_still_terminates() {
+        // acc += i; i -= 1; while i > 0 — the decrement lands in the slot.
+        let mut a = RiscAsm::new();
+        let top = a.new_label();
+        let out = a.new_label();
+        a.push(add(Reg::R16, Reg::R0, 0)); // acc = 0
+        a.push(add(Reg::R17, Reg::R0, 10)); // i = 10
+        a.bind(top);
+        a.push(Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R17, imm(0)));
+        a.jmpr(Cond::Eq, out);
+        a.push(Instruction::reg(
+            Opcode::Add,
+            Reg::R16,
+            Reg::R16,
+            Short2::Reg(Reg::R17),
+        ));
+        a.push(Instruction::reg(Opcode::Sub, Reg::R17, Reg::R17, imm(1)));
+        a.jmpr(Cond::Alw, top);
+        a.bind(out);
+        a.push(Instruction::ret(Reg::R0, Short2::ZERO));
+        a.push(Instruction::nop());
+
+        let filled = fill_delay_slots(&mut a);
+        assert_eq!(filled, 1, "back-edge slot takes the decrement");
+        let p = a.finish(0).unwrap();
+        let mut cpu = risc1_core::Cpu::new(risc1_core::SimConfig::default());
+        cpu.load_program(&p).unwrap();
+        cpu.run().unwrap();
+        assert_eq!(cpu.reg(Reg::R16), 55);
+        let s = cpu.stats();
+        assert!(s.delay_slot_fill_rate().unwrap() > 0.0);
+    }
+}

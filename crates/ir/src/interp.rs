@@ -1,0 +1,403 @@
+//! Reference interpreter — the semantic oracle.
+//!
+//! Every workload runs here first; the RISC I and CX backends are then
+//! differentially tested against this result (and against each other).
+
+use crate::ast::{BinOp, Cond, Expr, Function, Module, Stmt};
+use std::fmt;
+
+/// An interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Division by zero.
+    DivideByZero,
+    /// An array index fell outside its global.
+    IndexOutOfBounds {
+        /// Offending global.
+        global: usize,
+        /// Offending index.
+        index: i64,
+    },
+    /// The step budget was exhausted (runaway program).
+    OutOfFuel,
+    /// Wrong number of `main` arguments.
+    BadArgCount {
+        /// Expected (main's parameter count).
+        expected: usize,
+        /// Supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::DivideByZero => write!(f, "division by zero"),
+            InterpError::IndexOutOfBounds { global, index } => {
+                write!(f, "index {index} out of bounds for global {global}")
+            }
+            InterpError::OutOfFuel => write!(f, "interpreter fuel exhausted"),
+            InterpError::BadArgCount { expected, got } => {
+                write!(f, "main expects {expected} arguments, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Final observable state of an interpreted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpResult {
+    /// `main`'s return value.
+    pub value: i32,
+    /// Final contents of each global (words sign-preserved, bytes 0–255).
+    pub globals: Vec<Vec<i32>>,
+    /// Dynamic user-level procedure calls (for sanity cross-checks).
+    pub calls: u64,
+}
+
+struct Interp<'m> {
+    module: &'m Module,
+    globals: Vec<Vec<i32>>,
+    fuel: u64,
+    calls: u64,
+}
+
+enum Flow {
+    Normal,
+    Return(i32),
+}
+
+/// Runs `main(args…)` and returns the result plus final global state.
+///
+/// # Errors
+/// See [`InterpError`]. The default fuel is 200 million statements.
+pub fn interpret(module: &Module, args: &[i32]) -> Result<InterpResult, InterpError> {
+    interpret_with_fuel(module, args, 200_000_000)
+}
+
+/// [`interpret`] with an explicit statement budget.
+///
+/// # Errors
+/// See [`InterpError`].
+pub fn interpret_with_fuel(
+    module: &Module,
+    args: &[i32],
+    fuel: u64,
+) -> Result<InterpResult, InterpError> {
+    let main = &module.functions[0];
+    if args.len() != main.params {
+        return Err(InterpError::BadArgCount {
+            expected: main.params,
+            got: args.len(),
+        });
+    }
+    let globals = module
+        .globals
+        .iter()
+        .map(|g| {
+            let mut v: Vec<i32> = g
+                .init
+                .iter()
+                .map(|x| if g.bytes { *x & 0xff } else { *x })
+                .collect();
+            v.resize(g.len, 0);
+            v
+        })
+        .collect();
+    let mut it = Interp {
+        module,
+        globals,
+        fuel,
+        calls: 0,
+    };
+    let value = it.call(main, args)?;
+    Ok(InterpResult {
+        value,
+        globals: it.globals,
+        calls: it.calls,
+    })
+}
+
+impl<'m> Interp<'m> {
+    fn call(&mut self, func: &'m Function, args: &[i32]) -> Result<i32, InterpError> {
+        let mut locals = vec![0i32; func.locals];
+        locals[..args.len()].copy_from_slice(args);
+        match self.block(&func.body, &mut locals)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(0), // fall off the end → 0
+        }
+    }
+
+    fn block(&mut self, stmts: &'m [Stmt], locals: &mut [i32]) -> Result<Flow, InterpError> {
+        for stmt in stmts {
+            if self.fuel == 0 {
+                return Err(InterpError::OutOfFuel);
+            }
+            self.fuel -= 1;
+            match stmt {
+                Stmt::Assign(v, e) => locals[*v] = self.eval(e, locals)?,
+                Stmt::StoreW(g, i, val) => {
+                    let idx = self.eval(i, locals)?;
+                    let val = self.eval(val, locals)?;
+                    self.store(*g, idx, val, false)?;
+                }
+                Stmt::StoreB(g, i, val) => {
+                    let idx = self.eval(i, locals)?;
+                    let val = self.eval(val, locals)?;
+                    self.store(*g, idx, val & 0xff, true)?;
+                }
+                Stmt::If { cond, then, els } => {
+                    let branch = if self.cond(cond, locals)? { then } else { els };
+                    if let Flow::Return(v) = self.block(branch, locals)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Stmt::While { cond, body } => {
+                    while self.cond(cond, locals)? {
+                        if self.fuel == 0 {
+                            return Err(InterpError::OutOfFuel);
+                        }
+                        self.fuel -= 1;
+                        if let Flow::Return(v) = self.block(body, locals)? {
+                            return Ok(Flow::Return(v));
+                        }
+                    }
+                }
+                Stmt::Return(e) => return Ok(Flow::Return(self.eval(e, locals)?)),
+                Stmt::Expr(e) => {
+                    let _ = self.eval(e, locals)?;
+                }
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn cond(&mut self, c: &'m Cond, locals: &mut [i32]) -> Result<bool, InterpError> {
+        let a = self.eval(&c.lhs, locals)?;
+        let b = self.eval(&c.rhs, locals)?;
+        Ok(c.op.eval(a, b))
+    }
+
+    fn eval(&mut self, e: &'m Expr, locals: &mut [i32]) -> Result<i32, InterpError> {
+        Ok(match e {
+            Expr::Const(v) => *v,
+            Expr::Local(v) => locals[*v],
+            Expr::LoadW(g, i) => {
+                let idx = self.eval(i, locals)?;
+                self.load(*g, idx)?
+            }
+            Expr::LoadB(g, i) => {
+                let idx = self.eval(i, locals)?;
+                self.load(*g, idx)? & 0xff
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.eval(a, locals)?;
+                let b = self.eval(b, locals)?;
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(InterpError::DivideByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                    BinOp::Shl => ((a as u32) << (b as u32 & 31)) as i32,
+                    BinOp::Shr => a >> (b as u32 & 31),
+                }
+            }
+            Expr::Call(f, args) => {
+                let vals: Vec<i32> = args
+                    .iter()
+                    .map(|a| self.eval(a, locals))
+                    .collect::<Result<_, _>>()?;
+                self.calls += 1;
+                let func = &self.module.functions[*f];
+                self.call(func, &vals)?
+            }
+        })
+    }
+
+    fn load(&self, g: usize, idx: i32) -> Result<i32, InterpError> {
+        self.globals[g]
+            .get(
+                usize::try_from(idx).map_err(|_| InterpError::IndexOutOfBounds {
+                    global: g,
+                    index: idx as i64,
+                })?,
+            )
+            .copied()
+            .ok_or(InterpError::IndexOutOfBounds {
+                global: g,
+                index: idx as i64,
+            })
+    }
+
+    fn store(&mut self, g: usize, idx: i32, v: i32, _byte: bool) -> Result<(), InterpError> {
+        let slot = usize::try_from(idx)
+            .ok()
+            .and_then(|i| self.globals[g].get_mut(i))
+            .ok_or(InterpError::IndexOutOfBounds {
+                global: g,
+                index: idx as i64,
+            })?;
+        *slot = v;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::dsl::*;
+
+    #[test]
+    fn arithmetic_and_return() {
+        let m = module(
+            vec![function("main", 2, 2, vec![ret(mul(local(0), local(1)))])],
+            vec![],
+        );
+        assert_eq!(interpret(&m, &[6, 7]).unwrap().value, 42);
+    }
+
+    #[test]
+    fn fall_off_end_returns_zero() {
+        let m = module(vec![function("main", 0, 0, vec![])], vec![]);
+        assert_eq!(interpret(&m, &[]).unwrap().value, 0);
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        // fib(n) = n < 2 ? n : fib(n-1) + fib(n-2)
+        let fib = function(
+            "fib",
+            1,
+            3,
+            vec![
+                if_then(lt(local(0), konst(2)), vec![ret(local(0))]),
+                assign(1, call(1, vec![sub(local(0), konst(1))])),
+                assign(2, call(1, vec![sub(local(0), konst(2))])),
+                ret(add(local(1), local(2))),
+            ],
+        );
+        let main = function(
+            "main",
+            1,
+            2,
+            vec![assign(1, call(1, vec![local(0)])), ret(local(1))],
+        );
+        let m = module(vec![main, fib], vec![]);
+        let r = interpret(&m, &[10]).unwrap();
+        assert_eq!(r.value, 55);
+        assert!(r.calls > 100, "fib(10) makes many calls");
+    }
+
+    #[test]
+    fn globals_load_store_word_and_byte() {
+        let m = module(
+            vec![function(
+                "main",
+                0,
+                1,
+                vec![
+                    storew(0, konst(2), konst(-7)),
+                    storeb(1, konst(0), konst(300)), // wraps to 44
+                    ret(add(loadw(0, konst(2)), loadb(1, konst(0)))),
+                ],
+            )],
+            vec![global_words("w", 4), global_bytes("b", 4)],
+        );
+        let r = interpret(&m, &[]).unwrap();
+        assert_eq!(r.value, -7 + 44);
+        assert_eq!(r.globals[0][2], -7);
+        assert_eq!(r.globals[1][0], 44);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        // s = 0; i = n; while i > 0 { s += i; i -= 1 } return s
+        let m = module(
+            vec![function(
+                "main",
+                1,
+                3,
+                vec![
+                    assign(1, konst(0)),
+                    assign(2, local(0)),
+                    while_loop(
+                        gt(local(2), konst(0)),
+                        vec![
+                            assign(1, add(local(1), local(2))),
+                            assign(2, sub(local(2), konst(1))),
+                        ],
+                    ),
+                    ret(local(1)),
+                ],
+            )],
+            vec![],
+        );
+        assert_eq!(interpret(&m, &[100]).unwrap().value, 5050);
+    }
+
+    #[test]
+    fn division_errors() {
+        let m = module(
+            vec![function("main", 1, 1, vec![ret(div(konst(10), local(0)))])],
+            vec![],
+        );
+        assert_eq!(interpret(&m, &[2]).unwrap().value, 5);
+        assert_eq!(interpret(&m, &[0]), Err(InterpError::DivideByZero));
+        // truncating division
+        assert_eq!(interpret(&m, &[-3]).unwrap().value, -3);
+    }
+
+    #[test]
+    fn out_of_bounds_and_fuel() {
+        let m = module(
+            vec![function("main", 0, 0, vec![ret(loadw(0, konst(9)))])],
+            vec![global_words("w", 4)],
+        );
+        assert!(matches!(
+            interpret(&m, &[]),
+            Err(InterpError::IndexOutOfBounds { .. })
+        ));
+
+        let spin = module(
+            vec![function(
+                "main",
+                0,
+                0,
+                vec![while_loop(eq(konst(0), konst(0)), vec![])],
+            )],
+            vec![],
+        );
+        assert_eq!(
+            interpret_with_fuel(&spin, &[], 1000),
+            Err(InterpError::OutOfFuel)
+        );
+    }
+
+    #[test]
+    fn shifts_match_hardware_semantics() {
+        let m = module(
+            vec![function("main", 2, 2, vec![ret(shr(local(0), local(1)))])],
+            vec![],
+        );
+        assert_eq!(
+            interpret(&m, &[-64, 3]).unwrap().value,
+            -8,
+            "arithmetic shift"
+        );
+        assert_eq!(
+            interpret(&m, &[1, 33]).unwrap().value,
+            0,
+            "count mod 32: 1>>1"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Static data layout shared by both targets.
+//!
+//! Globals get identical absolute addresses on RISC I and CX, so after a
+//! differential run the two machines' memories can be compared array for
+//! array. The `main` argument vector also lives at a fixed address (the CX
+//! entry stub reads it; on RISC I arguments travel in registers but the
+//! harness still mirrors them here for uniformity).
+
+use crate::ast::{GlobalId, Module};
+
+/// Absolute address of the argument vector for `main` (up to 6 words).
+pub const ARGV_BASE: u32 = 0x7000;
+
+/// First address used for global arrays.
+pub const GLOBALS_BASE: u32 = 0x8000;
+
+/// Where each global array lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    addrs: Vec<u32>,
+    sizes: Vec<u32>,
+    /// One past the last allocated byte.
+    pub end: u32,
+}
+
+impl Layout {
+    /// Computes the layout for a module: arrays packed from
+    /// [`GLOBALS_BASE`], each 4-byte aligned.
+    pub fn of(module: &Module) -> Layout {
+        let mut addrs = Vec::with_capacity(module.globals.len());
+        let mut sizes = Vec::with_capacity(module.globals.len());
+        let mut cursor = GLOBALS_BASE;
+        for g in &module.globals {
+            let bytes = if g.bytes {
+                g.len as u32
+            } else {
+                g.len as u32 * 4
+            };
+            let padded = (bytes + 3) & !3;
+            addrs.push(cursor);
+            sizes.push(bytes);
+            cursor += padded;
+        }
+        Layout {
+            addrs,
+            sizes,
+            end: cursor,
+        }
+    }
+
+    /// Base address of global `g`.
+    pub fn addr(&self, g: GlobalId) -> u32 {
+        self.addrs[g]
+    }
+
+    /// Size in bytes of global `g` (unpadded).
+    pub fn size(&self, g: GlobalId) -> u32 {
+        self.sizes[g]
+    }
+
+    /// The initial-data images for a module under this layout, shared by
+    /// both program formats.
+    pub fn data_images(&self, module: &Module) -> Vec<(u32, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (g, def) in module.globals.iter().enumerate() {
+            if def.init.is_empty() {
+                continue;
+            }
+            let mut bytes = Vec::new();
+            if def.bytes {
+                bytes.extend(def.init.iter().map(|v| *v as u8));
+            } else {
+                for v in &def.init {
+                    bytes.extend_from_slice(&(*v as u32).to_le_bytes());
+                }
+            }
+            out.push((self.addr(g), bytes));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::dsl::*;
+
+    #[test]
+    fn arrays_are_packed_and_aligned() {
+        let m = module(
+            vec![function("main", 0, 0, vec![])],
+            vec![
+                global_words("a", 3), // 12 bytes
+                global_bytes("b", 5), // 5 → padded 8
+                global_words("c", 1), // 4
+            ],
+        );
+        let l = Layout::of(&m);
+        assert_eq!(l.addr(0), GLOBALS_BASE);
+        assert_eq!(l.addr(1), GLOBALS_BASE + 12);
+        assert_eq!(l.addr(2), GLOBALS_BASE + 20);
+        assert_eq!(l.end, GLOBALS_BASE + 24);
+        assert_eq!(l.size(1), 5);
+    }
+
+    #[test]
+    fn data_images_encode_widths() {
+        let m = module(
+            vec![function("main", 0, 0, vec![])],
+            vec![
+                global_init("w", vec![1, -1]),
+                global_bytes_init("b", vec![7, 300]),
+            ],
+        );
+        let l = Layout::of(&m);
+        let imgs = l.data_images(&m);
+        assert_eq!(imgs.len(), 2);
+        assert_eq!(imgs[0].1, vec![1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff]);
+        assert_eq!(imgs[1].1, vec![7, 44], "byte inits wrap mod 256");
+    }
+}

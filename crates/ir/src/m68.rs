@@ -1,0 +1,276 @@
+//! The MC (16-bit-word, 68000-class) code generator.
+//!
+//! Calling convention: arguments pushed right-to-left, `JSR`, caller pops
+//! with `ADDSP`; callee builds a frame with `LINK`/`UNLK`. Parameter *i*
+//! lives at `8+4i(fp)` (saved FP at `0(fp)`, return address at `4(fp)`),
+//! non-parameter local *j* at `−4(j+1)(fp)`. Results return in `D0`;
+//! expression temporaries use `D1`–`D5`; `A0` is the address temporary for
+//! dynamic array indexing. MC's ALU is two-address (`dst := dst op src`),
+//! so every non-trivial expression node costs a `move` plus the operation
+//! — exactly the code a 1981 compiler emitted for the 68000.
+
+use crate::ast::{BinOp, CmpOp, Cond, Expr, Function, Module, Stmt};
+use crate::layout::{Layout, ARGV_BASE};
+use crate::runner::CodegenError;
+use risc1_m68::{Ea, McAsm, McLabel, McOp, McProgram};
+
+const MAX_TEMPS: u8 = 5; // D1..D5
+
+/// Compiles a validated module to an MC program. Arguments are read from
+/// [`ARGV_BASE`] by the entry stub.
+///
+/// # Errors
+/// Validation errors, or [`CodegenError::OutOfRegisters`] when an
+/// expression needs more than the five data-register temporaries.
+pub fn compile_mc(module: &Module) -> Result<McProgram, CodegenError> {
+    module.validate()?;
+    let layout = Layout::of(module);
+    let mut gen = McGen {
+        asm: McAsm::new(),
+        layout,
+        fn_labels: Vec::new(),
+    };
+    for _ in &module.functions {
+        let l = gen.asm.new_label();
+        gen.fn_labels.push(l);
+    }
+
+    // Entry stub.
+    let nargs = module.functions[0].params;
+    for j in (0..nargs).rev() {
+        gen.asm
+            .emit(McOp::Move, Ea::Abs(ARGV_BASE + 4 * j as u32), Ea::Push);
+    }
+    gen.asm.branch(McOp::Jsr, gen.fn_labels[0]);
+    if nargs > 0 {
+        gen.asm.ext16(McOp::AddSp, 4 * nargs as i16);
+    }
+    gen.asm.emit0(McOp::Halt);
+
+    for (fid, func) in module.functions.iter().enumerate() {
+        gen.asm.bind(gen.fn_labels[fid]);
+        gen.asm.symbol(&func.name);
+        gen.function(func)?;
+    }
+
+    let mut prog = gen.asm.finish().map_err(CodegenError::McBuild)?;
+    prog.data = gen.layout.data_images(module);
+    Ok(prog)
+}
+
+struct McGen {
+    asm: McAsm,
+    layout: Layout,
+    fn_labels: Vec<McLabel>,
+}
+
+impl McGen {
+    fn temp(&self, depth: u8) -> Result<Ea, CodegenError> {
+        if depth >= MAX_TEMPS {
+            return Err(CodegenError::OutOfRegisters {
+                func: "<mc expression>".to_string(),
+            });
+        }
+        Ok(Ea::D(1 + depth))
+    }
+
+    fn local_operand(func: &Function, v: usize) -> Ea {
+        if v < func.params {
+            Ea::Frame(8 + 4 * v as i16)
+        } else {
+            Ea::Frame(-4 * (v as i16 - func.params as i16 + 1))
+        }
+    }
+
+    fn function(&mut self, func: &Function) -> Result<(), CodegenError> {
+        let frame_locals = func.locals - func.params;
+        self.asm.ext16(McOp::Link, 4 * frame_locals as i16);
+        for j in 0..frame_locals {
+            self.asm
+                .emit_dst(McOp::Clr, Self::local_operand(func, func.params + j));
+        }
+        self.block(func, &func.body)?;
+        // Implicit return 0.
+        self.asm.emit_dst(McOp::Clr, Ea::D(0));
+        self.asm.emit0(McOp::Unlk);
+        self.asm.emit0(McOp::Rts);
+        Ok(())
+    }
+
+    fn block(&mut self, func: &Function, stmts: &[Stmt]) -> Result<(), CodegenError> {
+        for s in stmts {
+            self.stmt(func, s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, func: &Function, stmt: &Stmt) -> Result<(), CodegenError> {
+        match stmt {
+            Stmt::Assign(v, Expr::Call(f, args)) => {
+                self.user_call(func, *f, args)?;
+                self.asm
+                    .emit(McOp::Move, Ea::D(0), Self::local_operand(func, *v));
+            }
+            Stmt::Expr(Expr::Call(f, args)) => self.user_call(func, *f, args)?,
+            Stmt::Assign(v, e) => {
+                let o = self.eval(func, e, 0)?;
+                self.asm.emit(McOp::Move, o, Self::local_operand(func, *v));
+            }
+            Stmt::StoreW(g, idx, val) => {
+                let o_v = self.eval(func, val, 0)?;
+                let dst = self.element_dst(func, *g, idx, 1, false)?;
+                self.asm.emit(McOp::Move, o_v, dst);
+            }
+            Stmt::StoreB(g, idx, val) => {
+                let o_v = self.eval(func, val, 0)?;
+                let dst = self.element_dst(func, *g, idx, 1, true)?;
+                self.asm.emit(McOp::MoveB, o_v, dst);
+            }
+            Stmt::Return(e) => {
+                let o = self.eval(func, e, 0)?;
+                self.asm.emit(McOp::Move, o, Ea::D(0));
+                self.asm.emit0(McOp::Unlk);
+                self.asm.emit0(McOp::Rts);
+            }
+            Stmt::If { cond, then, els } => {
+                let else_l = self.asm.new_label();
+                self.branch_unless(func, cond, else_l)?;
+                self.block(func, then)?;
+                if els.is_empty() {
+                    self.asm.bind(else_l);
+                } else {
+                    let end_l = self.asm.new_label();
+                    self.asm.branch(McOp::Bra, end_l);
+                    self.asm.bind(else_l);
+                    self.block(func, els)?;
+                    self.asm.bind(end_l);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.asm.new_label();
+                let out = self.asm.new_label();
+                self.asm.bind(top);
+                self.branch_unless(func, cond, out)?;
+                self.block(func, body)?;
+                self.asm.branch(McOp::Bra, top);
+                self.asm.bind(out);
+            }
+            Stmt::Expr(_) => {}
+        }
+        Ok(())
+    }
+
+    fn branch_unless(
+        &mut self,
+        func: &Function,
+        cond: &Cond,
+        target: McLabel,
+    ) -> Result<(), CodegenError> {
+        let lhs = self.eval(func, &cond.lhs, 0)?;
+        let rhs = self.eval(func, &cond.rhs, 1)?;
+        // flags := dst − src with dst = lhs.
+        self.asm.emit(McOp::Cmp, rhs, lhs);
+        let br = match cond.op.negate() {
+            CmpOp::Eq => McOp::Beq,
+            CmpOp::Ne => McOp::Bne,
+            CmpOp::Lt => McOp::Blt,
+            CmpOp::Le => McOp::Ble,
+            CmpOp::Gt => McOp::Bgt,
+            CmpOp::Ge => McOp::Bge,
+        };
+        self.asm.branch(br, target);
+        Ok(())
+    }
+
+    /// Evaluates an expression to an operand; non-trivial results land in
+    /// data-register temp `depth`.
+    fn eval(&mut self, func: &Function, e: &Expr, depth: u8) -> Result<Ea, CodegenError> {
+        Ok(match e {
+            Expr::Const(v) => Ea::imm(*v),
+            Expr::Local(v) => Self::local_operand(func, *v),
+            Expr::LoadW(g, idx) => {
+                if let Expr::Const(c) = idx.as_ref() {
+                    Ea::Abs(self.layout.addr(*g).wrapping_add((*c as u32) << 2))
+                } else {
+                    let t = self.temp(depth)?;
+                    let src = self.element_dst(func, *g, idx, depth, false)?;
+                    self.asm.emit(McOp::Move, src, t);
+                    t
+                }
+            }
+            Expr::LoadB(g, idx) => {
+                let src = if let Expr::Const(c) = idx.as_ref() {
+                    Ea::Abs(self.layout.addr(*g).wrapping_add(*c as u32))
+                } else {
+                    self.element_dst(func, *g, idx, depth, true)?
+                };
+                let t = self.temp(depth)?;
+                // Byte moves into a data register zero-extend.
+                self.asm.emit(McOp::MoveB, src, t);
+                t
+            }
+            Expr::Bin(op, a, b) => {
+                let oa = self.eval(func, a, depth)?;
+                let ob = self.eval(func, b, depth + 1)?;
+                let t = self.temp(depth)?;
+                if oa != t {
+                    self.asm.emit(McOp::Move, oa, t);
+                }
+                let mc = match op {
+                    BinOp::Add => McOp::Add,
+                    BinOp::Sub => McOp::Sub,
+                    BinOp::Mul => McOp::Mul,
+                    BinOp::Div => McOp::Divs,
+                    BinOp::And => McOp::And,
+                    BinOp::Or => McOp::Or,
+                    BinOp::Xor => McOp::Eor,
+                    BinOp::Shl => McOp::Lsl,
+                    BinOp::Shr => McOp::Asr,
+                };
+                self.asm.emit(mc, ob, t);
+                t
+            }
+            Expr::Call(..) => unreachable!("validated: calls only at statement position"),
+        })
+    }
+
+    /// Materialises the memory operand for `g[idx]`. Dynamic indices route
+    /// through `A0`: `idx<<scale + base → A0`, operand `(A0)`.
+    fn element_dst(
+        &mut self,
+        func: &Function,
+        g: usize,
+        idx: &Expr,
+        depth: u8,
+        byte: bool,
+    ) -> Result<Ea, CodegenError> {
+        let base = self.layout.addr(g);
+        if let Expr::Const(c) = idx {
+            let shift = if byte { 0 } else { 2 };
+            return Ok(Ea::Abs(base.wrapping_add((*c as u32) << shift)));
+        }
+        let oi = self.eval(func, idx, depth)?;
+        let t = self.temp(depth)?;
+        if oi != t {
+            self.asm.emit(McOp::Move, oi, t);
+        }
+        if !byte {
+            self.asm.emit(McOp::Lsl, Ea::Imm16(2), t);
+        }
+        self.asm.emit(McOp::Add, Ea::Imm(base), t);
+        self.asm.emit(McOp::Move, t, Ea::A(0));
+        Ok(Ea::Ind(0))
+    }
+
+    fn user_call(&mut self, func: &Function, f: usize, args: &[Expr]) -> Result<(), CodegenError> {
+        for a in args.iter().rev() {
+            let o = self.eval(func, a, 0)?;
+            self.asm.emit(McOp::Move, o, Ea::Push);
+        }
+        self.asm.branch(McOp::Jsr, self.fn_labels[f]);
+        if !args.is_empty() {
+            self.asm.ext16(McOp::AddSp, 4 * args.len() as i16);
+        }
+        Ok(())
+    }
+}

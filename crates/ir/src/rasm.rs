@@ -1,0 +1,225 @@
+//! Label-aware RISC I instruction-stream builder.
+//!
+//! The code generator emits a symbolic item stream ([`RItem`]) in which
+//! PC-relative transfers reference labels; [`RiscAsm::finish`] resolves
+//! them into a loadable [`Program`]. Keeping the stream symbolic until the
+//! end is what lets the delay-slot filler ([`crate::delay`]) reorder
+//! instructions without breaking branch offsets.
+
+use risc1_core::Program;
+use risc1_isa::encoding::fits_imm19;
+use risc1_isa::{Cond, Instruction, Reg, INSN_BYTES};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A label in the instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RLabel(pub(crate) usize);
+
+/// One symbolic item: a concrete instruction or a label-relative transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RItem {
+    /// A fully formed instruction.
+    Insn(Instruction),
+    /// `jmpr cond, label`.
+    Jmpr {
+        /// Jump condition.
+        cond: Cond,
+        /// Target.
+        label: RLabel,
+    },
+    /// `callr link, label`.
+    Callr {
+        /// Link register (named in the callee's window).
+        link: Reg,
+        /// Target.
+        label: RLabel,
+    },
+}
+
+impl RItem {
+    /// Whether the item is a transfer of control.
+    pub fn is_transfer(&self) -> bool {
+        match self {
+            RItem::Insn(i) => i.opcode.is_transfer(),
+            RItem::Jmpr { .. } | RItem::Callr { .. } => true,
+        }
+    }
+}
+
+/// A resolution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RasmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(RLabel),
+    /// A transfer's displacement exceeded the 19-bit field.
+    BranchOutOfRange {
+        /// The target label.
+        label: RLabel,
+        /// The displacement in bytes.
+        delta: i64,
+    },
+}
+
+impl fmt::Display for RasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RasmError::UnboundLabel(l) => write!(f, "label {l:?} never bound"),
+            RasmError::BranchOutOfRange { label, delta } => {
+                write!(f, "branch to {label:?} out of range ({delta} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RasmError {}
+
+/// The builder.
+#[derive(Debug, Default)]
+pub struct RiscAsm {
+    /// The symbolic stream (public within the crate for the delay filler).
+    pub(crate) items: Vec<RItem>,
+    /// Label bindings: label id → item index.
+    pub(crate) labels: Vec<Option<usize>>,
+    symbols: HashMap<String, usize>,
+}
+
+impl RiscAsm {
+    /// An empty builder.
+    pub fn new() -> RiscAsm {
+        RiscAsm::default()
+    }
+
+    /// Current item index.
+    pub fn here(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Allocates an unbound label.
+    pub fn new_label(&mut self) -> RLabel {
+        self.labels.push(None);
+        RLabel(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted item.
+    pub fn bind(&mut self, label: RLabel) {
+        debug_assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.items.len());
+    }
+
+    /// Records a symbol at the next item (diagnostics).
+    pub fn symbol(&mut self, name: &str) {
+        self.symbols.insert(name.to_string(), self.items.len());
+    }
+
+    /// Emits a concrete instruction.
+    pub fn push(&mut self, insn: Instruction) {
+        self.items.push(RItem::Insn(insn));
+    }
+
+    /// Emits `jmpr cond, label` followed by its delay-slot NOP.
+    pub fn jmpr(&mut self, cond: Cond, label: RLabel) {
+        self.items.push(RItem::Jmpr { cond, label });
+        self.push(Instruction::nop());
+    }
+
+    /// Emits `callr link, label` followed by its delay-slot NOP.
+    /// (Call slots stay NOPs: the slot executes in the *callee's* window,
+    /// so hoisting caller code into it would read the wrong registers.)
+    pub fn callr(&mut self, link: Reg, label: RLabel) {
+        self.items.push(RItem::Callr { link, label });
+        self.push(Instruction::nop());
+    }
+
+    /// Resolves labels and produces the program. Set `entry` to the item
+    /// index execution should start at (e.g. recorded with [`here`] before
+    /// emitting `main`).
+    ///
+    /// # Errors
+    /// [`RasmError`] on unbound labels or out-of-range branches.
+    ///
+    /// [`here`]: RiscAsm::here
+    pub fn finish(self, entry: usize) -> Result<Program, RasmError> {
+        let mut words = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let insn = match item {
+                RItem::Insn(i) => *i,
+                RItem::Jmpr { cond, label } => {
+                    let delta = self.delta(idx, *label)?;
+                    Instruction::jmpr(*cond, delta)
+                }
+                RItem::Callr { link, label } => {
+                    let delta = self.delta(idx, *label)?;
+                    Instruction::callr(*link, delta)
+                }
+            };
+            words.push(insn.encode());
+        }
+        Ok(Program {
+            words,
+            entry_offset: entry as u32 * INSN_BYTES,
+            data: Vec::new(),
+            symbols: self
+                .symbols
+                .into_iter()
+                .map(|(k, v)| (k, v as u32 * INSN_BYTES))
+                .collect(),
+        })
+    }
+
+    fn delta(&self, at: usize, label: RLabel) -> Result<i32, RasmError> {
+        let target = self.labels[label.0].ok_or(RasmError::UnboundLabel(label))?;
+        let delta = (target as i64 - at as i64) * i64::from(INSN_BYTES);
+        if !fits_imm19(delta as i32) || i64::from(delta as i32) != delta {
+            return Err(RasmError::BranchOutOfRange { label, delta });
+        }
+        Ok(delta as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_isa::{Opcode, Short2};
+
+    #[test]
+    fn labels_resolve_to_byte_offsets() {
+        let mut a = RiscAsm::new();
+        let top = a.new_label();
+        let out = a.new_label();
+        a.bind(top);
+        a.push(Instruction::nop()); // 0
+        a.jmpr(Cond::Eq, out); // 1 (+ nop at 2)
+        a.jmpr(Cond::Alw, top); // 3 (+ nop at 4)
+        a.bind(out);
+        a.push(Instruction::ret(Reg::R25, Short2::ZERO)); // 5
+        let p = a.finish(0).unwrap();
+        let j1 = Instruction::decode(p.words[1]).unwrap();
+        assert_eq!(j1, Instruction::jmpr(Cond::Eq, 16), "item 1 → item 5");
+        let j2 = Instruction::decode(p.words[3]).unwrap();
+        assert_eq!(j2, Instruction::jmpr(Cond::Alw, -12), "item 3 → item 0");
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut a = RiscAsm::new();
+        let l = a.new_label();
+        a.jmpr(Cond::Alw, l);
+        assert!(matches!(a.finish(0), Err(RasmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn entry_offset_in_bytes() {
+        let mut a = RiscAsm::new();
+        a.push(Instruction::nop());
+        let entry = a.here();
+        a.push(Instruction::reg(
+            Opcode::Add,
+            Reg::R16,
+            Reg::R0,
+            Short2::ZERO,
+        ));
+        let p = a.finish(entry).unwrap();
+        assert_eq!(p.entry_offset, 4);
+    }
+}

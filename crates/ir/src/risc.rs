@@ -1,0 +1,641 @@
+//! The RISC I code generator.
+//!
+//! ## Conventions (the register-window calling standard)
+//!
+//! | registers | use |
+//! |-----------|-----|
+//! | `r1` | program stack pointer (reserved, unused by generated code) |
+//! | `r10`–`r15` | outgoing arguments (become the callee's `r26`–`r31`) |
+//! | `r16`–`r16+L−1` | the function's `L` named locals (params copied in) |
+//! | `r16+L`–`r24` | expression temporaries |
+//! | `r25` | return address, written by `CALL` into the callee's window |
+//! | `r26`–`r31` | incoming arguments; `r26` doubles as the return value |
+//!
+//! A function returns with `ret r25, #8` (the call site plus its delay
+//! slot). Results travel "for free" through the window overlap: the callee
+//! writes `r26`, which *is* the caller's `r10`.
+//!
+//! RISC I has no multiply or divide instruction; `*` and `/` lower to calls
+//! to runtime routines (`__mul`, `__div`) appended to the program — exactly
+//! what the Berkeley C compiler did, and a real cost the paper's
+//! multiply-heavy benchmarks pay.
+//!
+//! Global `r8` is reserved as the **global data pointer**: a small entry
+//! stub loads it with [`crate::layout::GLOBALS_BASE`] once, and every
+//! global-array access addresses `r8 + offset`, folding constant element
+//! addresses into a single load/store — the idiom contemporary compilers
+//! used on register-rich machines.
+//!
+//! Expression temporaries never live across a call: user calls are
+//! restricted to statement position (see [`crate::ast`]), and the runtime
+//! routines execute in their own register window, so LOCAL-register
+//! temporaries survive them untouched.
+
+use crate::ast::{BinOp, CmpOp, Cond, Expr, Function, Module, Stmt};
+use crate::delay::fill_delay_slots;
+use crate::layout::Layout;
+use crate::rasm::{RLabel, RiscAsm};
+use crate::runner::CodegenError;
+use risc1_core::Program;
+use risc1_isa::insn::{IMM13_MAX, IMM13_MIN};
+use risc1_isa::{Cond as JCond, Instruction, Opcode, Reg, Short2};
+
+/// Options for the RISC backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RiscOpts {
+    /// Run the delay-slot-filling peephole pass (E9 toggles this).
+    pub fill_delay_slots: bool,
+}
+
+impl Default for RiscOpts {
+    fn default() -> Self {
+        RiscOpts {
+            fill_delay_slots: true,
+        }
+    }
+}
+
+const LOCAL_BASE: u8 = 16;
+const TEMP_LIMIT: u8 = 25; // r25 is the link register
+const ARG_BASE: u8 = 10;
+const PARAM_BASE: u8 = 26;
+/// Global register reserved as the global-data base pointer.
+const GLOBAL_PTR: Reg = Reg::R8;
+
+/// Compiles a validated module to a RISC I program. `main` (function 0) is
+/// the entry point; its arguments arrive in `r26…` (set them with
+/// [`risc1_core::Cpu::set_args`]) and its return lands in `r26`.
+///
+/// # Errors
+/// Validation errors, or [`CodegenError::OutOfRegisters`] when a function's
+/// locals plus its deepest expression exceed the 9 LOCAL registers
+/// available (the documented limit of this 1981-style compiler).
+pub fn compile_risc(module: &Module, opts: RiscOpts) -> Result<Program, CodegenError> {
+    module.validate()?;
+    let layout = Layout::of(module);
+    let mut gen = RiscGen {
+        asm: RiscAsm::new(),
+        layout,
+        fn_labels: Vec::new(),
+        mul_label: None,
+        div_label: None,
+        module,
+    };
+    for _ in &module.functions {
+        let l = gen.asm.new_label();
+        gen.fn_labels.push(l);
+    }
+
+    // Entry stub: establish the global-data pointer, forward the harness
+    // arguments (in this window's HIGH registers) to main's LOW registers,
+    // call main, expose its result in r26, halt via ret-at-depth-0.
+    let stub = gen.asm.new_label();
+    gen.asm.bind(stub);
+    gen.asm.symbol("__start");
+    let mut entry_item = gen.asm.here();
+    for i in Instruction::load_constant(GLOBAL_PTR, crate::layout::GLOBALS_BASE) {
+        gen.asm.push(i);
+    }
+    for p in 0..module.functions[0].params {
+        gen.asm.push(Instruction::reg(
+            Opcode::Add,
+            Reg::new(ARG_BASE + p as u8).expect("≤6"),
+            Reg::new(PARAM_BASE + p as u8).expect("≤6"),
+            Short2::ZERO,
+        ));
+    }
+    gen.asm.callr(Reg::R25, gen.fn_labels[0]);
+    gen.asm.push(Instruction::reg(
+        Opcode::Add,
+        Reg::R26,
+        Reg::R10,
+        Short2::ZERO,
+    ));
+    gen.asm.push(Instruction::ret(Reg::R0, Short2::ZERO));
+    gen.asm.push(Instruction::nop());
+
+    for (fid, func) in module.functions.iter().enumerate() {
+        gen.asm.bind(gen.fn_labels[fid]);
+        gen.asm.symbol(&func.name);
+        gen.function(fid, func)?;
+    }
+    gen.emit_runtime();
+
+    if opts.fill_delay_slots {
+        fill_delay_slots(&mut gen.asm);
+        // Re-derive the entry item from the (possibly shifted) stub label.
+        entry_item = gen.asm.labels[stub.0].expect("stub bound");
+    }
+
+    let mut prog = gen.asm.finish(entry_item).map_err(CodegenError::Rasm)?;
+    prog.data = gen.layout.data_images(module);
+    Ok(prog)
+}
+
+struct RiscGen<'m> {
+    asm: RiscAsm,
+    layout: Layout,
+    fn_labels: Vec<RLabel>,
+    mul_label: Option<RLabel>,
+    div_label: Option<RLabel>,
+    module: &'m Module,
+}
+
+impl<'m> RiscGen<'m> {
+    fn local_reg(&self, v: usize) -> Reg {
+        Reg::new(LOCAL_BASE + v as u8).expect("validated local index")
+    }
+
+    fn temp_reg(&self, func: &Function, depth: u8) -> Result<Reg, CodegenError> {
+        let n = LOCAL_BASE + func.locals as u8 + depth;
+        if n >= TEMP_LIMIT {
+            return Err(CodegenError::OutOfRegisters {
+                func: func.name.clone(),
+            });
+        }
+        Ok(Reg::new(n).expect("below r25"))
+    }
+
+    fn function(&mut self, _fid: usize, func: &Function) -> Result<(), CodegenError> {
+        // Prologue: copy incoming parameters into their LOCAL homes.
+        for p in 0..func.params {
+            let src = Reg::new(PARAM_BASE + p as u8).expect("≤6 params");
+            self.mov(self.local_reg(p), src);
+        }
+        self.block(func, &func.body)?;
+        // Implicit `return 0` for control that falls off the end.
+        self.push(Instruction::reg(
+            Opcode::Add,
+            Reg::R26,
+            Reg::R0,
+            Short2::ZERO,
+        ));
+        self.emit_ret();
+        Ok(())
+    }
+
+    fn block(&mut self, func: &Function, stmts: &[Stmt]) -> Result<(), CodegenError> {
+        for s in stmts {
+            self.stmt(func, s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, func: &Function, stmt: &Stmt) -> Result<(), CodegenError> {
+        match stmt {
+            Stmt::Assign(v, Expr::Call(f, args)) => {
+                self.user_call(func, *f, args)?;
+                self.mov(self.local_reg(*v), Reg::R10);
+            }
+            Stmt::Expr(Expr::Call(f, args)) => {
+                self.user_call(func, *f, args)?;
+            }
+            Stmt::Assign(v, e) => {
+                let dest = self.local_reg(*v);
+                match self.simple_s2(e) {
+                    Some(s2) => self.push(Instruction::reg(Opcode::Add, dest, Reg::R0, s2)),
+                    None => {
+                        let t = self.eval(func, e, 0)?;
+                        self.mov(dest, t);
+                    }
+                }
+            }
+            Stmt::StoreW(g, idx, val) => self.store(func, *g, idx, val, false)?,
+            Stmt::StoreB(g, idx, val) => self.store(func, *g, idx, val, true)?,
+            Stmt::Return(e) => {
+                match self.simple_s2(e) {
+                    Some(s2) => self.push(Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, s2)),
+                    None => {
+                        let t = self.eval(func, e, 0)?;
+                        self.mov(Reg::R26, t);
+                    }
+                }
+                self.emit_ret();
+            }
+            Stmt::If { cond, then, els } => {
+                let else_l = self.asm.new_label();
+                self.branch_unless(func, cond, else_l)?;
+                self.block(func, then)?;
+                if els.is_empty() {
+                    self.asm.bind(else_l);
+                } else {
+                    let end_l = self.asm.new_label();
+                    self.asm.jmpr(JCond::Alw, end_l);
+                    self.asm.bind(else_l);
+                    self.block(func, els)?;
+                    self.asm.bind(end_l);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let top = self.asm.new_label();
+                let out = self.asm.new_label();
+                self.asm.bind(top);
+                self.branch_unless(func, cond, out)?;
+                self.block(func, body)?;
+                self.asm.jmpr(JCond::Alw, top);
+                self.asm.bind(out);
+            }
+            Stmt::Expr(_) => {
+                // Call-free expression statements have no effects: nothing
+                // to emit.
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits `flags := lhs − rhs; jmpr !op, target`.
+    fn branch_unless(
+        &mut self,
+        func: &Function,
+        cond: &Cond,
+        target: RLabel,
+    ) -> Result<(), CodegenError> {
+        let ra = self.eval(func, &cond.lhs, 0)?;
+        let s2 = self.eval_s2(func, &cond.rhs, 1)?;
+        self.push(Instruction::reg_scc(Opcode::Sub, Reg::R0, ra, s2));
+        let jc = match cond.op.negate() {
+            CmpOp::Eq => JCond::Eq,
+            CmpOp::Ne => JCond::Ne,
+            CmpOp::Lt => JCond::Lt,
+            CmpOp::Le => JCond::Le,
+            CmpOp::Gt => JCond::Gt,
+            CmpOp::Ge => JCond::Ge,
+        };
+        self.asm.jmpr(jc, target);
+        Ok(())
+    }
+
+    /// Evaluates `e` and returns a register holding its value. Locals pass
+    /// through without a copy; anything else lands in temp slot `depth`.
+    fn eval(&mut self, func: &Function, e: &Expr, depth: u8) -> Result<Reg, CodegenError> {
+        if let Expr::Local(v) = e {
+            return Ok(self.local_reg(*v));
+        }
+        let t = self.temp_reg(func, depth)?;
+        self.eval_into(func, e, t, depth)?;
+        Ok(t)
+    }
+
+    /// Evaluates `e` into a [`Short2`] operand (immediates and locals used
+    /// directly; anything else through temp slot `depth`).
+    fn eval_s2(&mut self, func: &Function, e: &Expr, depth: u8) -> Result<Short2, CodegenError> {
+        if let Some(s2) = self.simple_s2(e) {
+            return Ok(s2);
+        }
+        Ok(Short2::Reg(self.eval(func, e, depth)?))
+    }
+
+    /// A `Short2` for the expression if it needs no code at all.
+    fn simple_s2(&self, e: &Expr) -> Option<Short2> {
+        match e {
+            Expr::Const(v) if (IMM13_MIN..=IMM13_MAX).contains(v) => Short2::imm(*v),
+            Expr::Local(v) => Some(Short2::Reg(self.local_reg(*v))),
+            _ => None,
+        }
+    }
+
+    fn eval_into(
+        &mut self,
+        func: &Function,
+        e: &Expr,
+        dest: Reg,
+        depth: u8,
+    ) -> Result<(), CodegenError> {
+        match e {
+            Expr::Const(v) => {
+                for i in Instruction::load_constant(dest, *v as u32) {
+                    self.push(i);
+                }
+            }
+            Expr::Local(v) => self.mov(dest, self.local_reg(*v)),
+            Expr::Bin(BinOp::Mul, a, b) => self.runtime_call(func, a, b, depth, dest, true)?,
+            Expr::Bin(BinOp::Div, a, b) => self.runtime_call(func, a, b, depth, dest, false)?,
+            Expr::Bin(op, a, b) => {
+                let ra = self.eval(func, a, depth)?;
+                let s2 = self.eval_s2(func, b, depth + 1)?;
+                let opcode = match op {
+                    BinOp::Add => Opcode::Add,
+                    BinOp::Sub => Opcode::Sub,
+                    BinOp::And => Opcode::And,
+                    BinOp::Or => Opcode::Or,
+                    BinOp::Xor => Opcode::Xor,
+                    BinOp::Shl => Opcode::Sll,
+                    BinOp::Shr => Opcode::Sra,
+                    BinOp::Mul | BinOp::Div => unreachable!("handled above"),
+                };
+                self.push(Instruction::reg(opcode, dest, ra, s2));
+            }
+            Expr::LoadW(g, idx) => self.load(func, *g, idx, dest, depth, false)?,
+            Expr::LoadB(g, idx) => self.load(func, *g, idx, dest, depth, true)?,
+            Expr::Call(..) => {
+                unreachable!("validated: calls only at statement position")
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the address of `g[idx]` into `dest` (clobbering temp
+    /// `depth`+), returning the constant byte offset to fold into the
+    /// load/store if the whole address is constant.
+    fn element_addr(
+        &mut self,
+        func: &Function,
+        g: usize,
+        idx: &Expr,
+        dest: Reg,
+        depth: u8,
+        byte: bool,
+    ) -> Result<Option<(Reg, Short2)>, CodegenError> {
+        let base = self.layout.addr(g);
+        let gp_off = base - crate::layout::GLOBALS_BASE;
+        let scale = if byte { 0 } else { 2 };
+        if let Expr::Const(c) = idx {
+            // Constant element: fold the whole offset into the load/store
+            // displacement off the global pointer — zero extra code.
+            let off = gp_off.wrapping_add((*c as u32) << scale);
+            if off <= IMM13_MAX as u32 {
+                return Ok(Some((
+                    GLOBAL_PTR,
+                    Short2::imm(off as i32).expect("checked"),
+                )));
+            }
+            let addr = base.wrapping_add((*c as u32) << scale);
+            for i in Instruction::load_constant(dest, addr) {
+                self.push(i);
+            }
+            return Ok(Some((dest, Short2::ZERO)));
+        }
+        // Dynamic index: dest := (idx << scale) + r8, displacement = gp_off.
+        self.eval_into(func, idx, dest, depth)?;
+        if scale != 0 {
+            self.push(Instruction::reg(
+                Opcode::Sll,
+                dest,
+                dest,
+                Short2::imm(scale).expect("small"),
+            ));
+        }
+        self.push(Instruction::reg(
+            Opcode::Add,
+            dest,
+            dest,
+            Short2::Reg(GLOBAL_PTR),
+        ));
+        if gp_off <= IMM13_MAX as u32 {
+            return Ok(Some((dest, Short2::imm(gp_off as i32).expect("checked"))));
+        }
+        // Far global: materialise the remaining offset in a second temp.
+        let tb = self.temp_reg(func, depth + 1)?;
+        for i in Instruction::load_constant(tb, gp_off) {
+            self.push(i);
+        }
+        self.push(Instruction::reg(Opcode::Add, dest, dest, Short2::Reg(tb)));
+        Ok(Some((dest, Short2::ZERO)))
+    }
+
+    fn load(
+        &mut self,
+        func: &Function,
+        g: usize,
+        idx: &Expr,
+        dest: Reg,
+        depth: u8,
+        byte: bool,
+    ) -> Result<(), CodegenError> {
+        let (rs1, s2) = self
+            .element_addr(func, g, idx, dest, depth, byte)?
+            .expect("always some");
+        let op = if byte { Opcode::Ldbu } else { Opcode::Ldl };
+        self.push(Instruction::reg(op, dest, rs1, s2));
+        Ok(())
+    }
+
+    fn store(
+        &mut self,
+        func: &Function,
+        g: usize,
+        idx: &Expr,
+        val: &Expr,
+        byte: bool,
+    ) -> Result<(), CodegenError> {
+        // Data first, then the address. Locals pass through without a
+        // temp, leaving the full temp file to the address computation.
+        let data = self.eval(func, val, 0)?;
+        let addr_depth = if matches!(val, Expr::Local(_)) { 0 } else { 1 };
+        let addr_t = self.temp_reg(func, addr_depth)?;
+        let (rs1, s2) = self
+            .element_addr(func, g, idx, addr_t, addr_depth, byte)?
+            .expect("always some");
+        let op = if byte { Opcode::Stb } else { Opcode::Stl };
+        self.push(Instruction::reg(op, data, rs1, s2));
+        Ok(())
+    }
+
+    /// Emits a call to `__mul`/`__div` with operands evaluated into the
+    /// argument registers. Temporaries survive: the routine runs in its own
+    /// window.
+    fn runtime_call(
+        &mut self,
+        func: &Function,
+        a: &Expr,
+        b: &Expr,
+        depth: u8,
+        dest: Reg,
+        is_mul: bool,
+    ) -> Result<(), CodegenError> {
+        let ra = self.eval(func, a, depth)?;
+        let s2 = self.eval_s2(func, b, depth + 1)?;
+        self.push(Instruction::reg(Opcode::Add, Reg::R10, ra, Short2::ZERO));
+        self.push(Instruction::reg(Opcode::Add, Reg::R11, Reg::R0, s2));
+        let label = if is_mul {
+            *self.mul_label.get_or_insert_with(|| self.asm.new_label())
+        } else {
+            *self.div_label.get_or_insert_with(|| self.asm.new_label())
+        };
+        self.asm.callr(Reg::R25, label);
+        self.mov(dest, Reg::R10);
+        Ok(())
+    }
+
+    fn user_call(&mut self, func: &Function, f: usize, args: &[Expr]) -> Result<(), CodegenError> {
+        // Stage arguments in temporaries first: evaluating a later argument
+        // may itself lower to a runtime call that clobbers r10–r15.
+        let mut staged: Vec<Short2> = Vec::with_capacity(args.len());
+        for (j, a) in args.iter().enumerate() {
+            if let Some(s2) = self.simple_s2(a) {
+                staged.push(s2);
+            } else {
+                let t = self.eval(func, a, j as u8)?;
+                // `eval` may return a local passthrough (safe) or the temp
+                // for slot j — either survives subsequent arguments because
+                // later slots are higher.
+                staged.push(Short2::Reg(t));
+            }
+        }
+        for (j, s2) in staged.into_iter().enumerate() {
+            let arg = Reg::new(ARG_BASE + j as u8).expect("≤6 args");
+            self.push(Instruction::reg(Opcode::Add, arg, Reg::R0, s2));
+        }
+        self.asm.callr(Reg::R25, self.fn_labels[f]);
+        Ok(())
+    }
+
+    fn emit_ret(&mut self) {
+        self.push(Instruction::ret(Reg::R25, Short2::imm(8).expect("8")));
+        self.push(Instruction::nop());
+    }
+
+    fn mov(&mut self, dest: Reg, src: Reg) {
+        if dest != src {
+            self.push(Instruction::reg(Opcode::Add, dest, src, Short2::ZERO));
+        }
+    }
+
+    fn push(&mut self, i: Instruction) {
+        self.asm.push(i);
+    }
+
+    /// Appends the `__mul`/`__div` runtime routines if referenced.
+    fn emit_runtime(&mut self) {
+        let _ = self.module;
+        if let Some(l) = self.mul_label {
+            self.asm.bind(l);
+            self.asm.symbol("__mul");
+            self.emit_mul();
+        }
+        if let Some(l) = self.div_label {
+            self.asm.bind(l);
+            self.asm.symbol("__div");
+            self.emit_div();
+        }
+    }
+
+    /// Shift-add multiply: args in r26/r27, result in r26.
+    ///
+    /// Sign-normalises the multiplier first (negation is exact mod 2³², so
+    /// `±(|a|·|b|)` equals `a·b` for every input including `i32::MIN`);
+    /// runtime is then proportional to the magnitude of `b` — a small
+    /// multiplier costs only a few iterations, as in the real routines.
+    fn emit_mul(&mut self) {
+        use Opcode::*;
+        let imm = |v: i32| Short2::imm(v).expect("small");
+        let top = self.asm.new_label();
+        let skip = self.asm.new_label();
+        let done = self.asm.new_label();
+        let a_pos = self.asm.new_label();
+        let b_pos = self.asm.new_label();
+        let no_neg = self.asm.new_label();
+        let r = |n: u8| Reg::new(n).expect("reg");
+        // r16 acc, r17 |a|, r18 |b|, r19 scratch, r20 sign
+        self.push(Instruction::reg(
+            Xor,
+            r(20),
+            Reg::R26,
+            Short2::Reg(Reg::R27),
+        ));
+        self.push(Instruction::reg(Add, r(16), Reg::R0, imm(0)));
+        self.push(Instruction::reg_scc(Add, r(17), Reg::R26, imm(0)));
+        self.asm.jmpr(JCond::Ge, a_pos);
+        self.push(Instruction::reg(Subr, r(17), r(17), imm(0)));
+        self.asm.bind(a_pos);
+        self.push(Instruction::reg_scc(Add, r(18), Reg::R27, imm(0)));
+        self.asm.jmpr(JCond::Ge, b_pos);
+        self.push(Instruction::reg(Subr, r(18), r(18), imm(0)));
+        self.asm.bind(b_pos);
+        self.asm.bind(top);
+        self.push(Instruction::reg_scc(Sub, Reg::R0, r(18), imm(0)));
+        self.asm.jmpr(JCond::Eq, done);
+        self.push(Instruction::reg(And, r(19), r(18), imm(1)));
+        self.push(Instruction::reg_scc(Sub, Reg::R0, r(19), imm(0)));
+        self.asm.jmpr(JCond::Eq, skip);
+        self.push(Instruction::reg(Add, r(16), r(16), Short2::Reg(r(17))));
+        self.asm.bind(skip);
+        self.push(Instruction::reg(Sll, r(17), r(17), imm(1)));
+        self.push(Instruction::reg(Srl, r(18), r(18), imm(1)));
+        self.asm.jmpr(JCond::Alw, top);
+        self.asm.bind(done);
+        self.push(Instruction::reg_scc(Add, Reg::R0, r(20), imm(0)));
+        self.asm.jmpr(JCond::Ge, no_neg);
+        self.push(Instruction::reg(Subr, r(16), r(16), imm(0)));
+        self.asm.bind(no_neg);
+        self.push(Instruction::reg(Add, Reg::R26, r(16), Short2::ZERO));
+        self.emit_ret();
+    }
+
+    /// Signed restoring divide: args in r26 (dividend) / r27 (divisor),
+    /// truncating quotient in r26. Divide-by-zero executes a deliberately
+    /// misaligned load so the simulator reports a fault (the machine's
+    /// equivalent of the VAX arithmetic trap).
+    fn emit_div(&mut self) {
+        use Opcode::*;
+        let imm = |v: i32| Short2::imm(v).expect("small");
+        let r = |n: u8| Reg::new(n).expect("reg");
+        let (a_pos, b_pos, top, no_sub, after, no_neg) = (
+            self.asm.new_label(),
+            self.asm.new_label(),
+            self.asm.new_label(),
+            self.asm.new_label(),
+            self.asm.new_label(),
+            self.asm.new_label(),
+        );
+        // r16 |a|, r17 |b|, r18 quotient, r19 remainder, r20 i, r21 bit,
+        // r22 sign, r23 scratch
+        // trap on divide by zero
+        self.push(Instruction::reg_scc(Sub, Reg::R0, Reg::R27, imm(0)));
+        self.asm.jmpr(JCond::Ne, a_pos);
+        self.push(Instruction::reg(Ldl, Reg::R0, Reg::R0, imm(1))); // misaligned: trap
+        self.asm.bind(a_pos);
+        // sign := a ^ b (bit 31); |a|, |b|
+        self.push(Instruction::reg(
+            Xor,
+            r(22),
+            Reg::R26,
+            Short2::Reg(Reg::R27),
+        ));
+        self.push(Instruction::reg(Add, r(16), Reg::R26, imm(0)));
+        self.push(Instruction::reg_scc(Sub, Reg::R0, r(16), imm(0)));
+        self.asm.jmpr(JCond::Ge, b_pos);
+        self.push(Instruction::reg(Subr, r(16), r(16), imm(0))); // r16 := 0 - r16
+        self.asm.bind(b_pos);
+        let b_done = self.asm.new_label();
+        self.push(Instruction::reg(Add, r(17), Reg::R27, imm(0)));
+        self.push(Instruction::reg_scc(Sub, Reg::R0, r(17), imm(0)));
+        self.asm.jmpr(JCond::Ge, b_done);
+        self.push(Instruction::reg(Subr, r(17), r(17), imm(0)));
+        self.asm.bind(b_done);
+        // q := 0; rem := 0; i := 31
+        self.push(Instruction::reg(Add, r(18), Reg::R0, imm(0)));
+        self.push(Instruction::reg(Add, r(19), Reg::R0, imm(0)));
+        self.push(Instruction::reg(Add, r(20), Reg::R0, imm(31)));
+        self.asm.bind(top);
+        // rem := rem<<1 | ((|a| >> i) & 1)
+        self.push(Instruction::reg(Sll, r(19), r(19), imm(1)));
+        self.push(Instruction::reg(Srl, r(23), r(16), Short2::Reg(r(20))));
+        self.push(Instruction::reg(And, r(23), r(23), imm(1)));
+        self.push(Instruction::reg(Or, r(19), r(19), Short2::Reg(r(23))));
+        // if rem >= |b| (unsigned): rem -= |b|; q |= 1 << i
+        self.push(Instruction::reg_scc(
+            Sub,
+            Reg::R0,
+            r(19),
+            Short2::Reg(r(17)),
+        ));
+        self.asm.jmpr(JCond::Lo, no_sub);
+        self.push(Instruction::reg(Sub, r(19), r(19), Short2::Reg(r(17))));
+        self.push(Instruction::reg(Add, r(23), Reg::R0, imm(1)));
+        self.push(Instruction::reg(Sll, r(23), r(23), Short2::Reg(r(20))));
+        self.push(Instruction::reg(Or, r(18), r(18), Short2::Reg(r(23))));
+        self.asm.bind(no_sub);
+        // i -= 1; while i >= 0
+        self.push(Instruction::reg_scc(Sub, r(20), r(20), imm(1)));
+        self.asm.jmpr(JCond::Ge, top);
+        // apply sign
+        self.push(Instruction::reg_scc(Sub, Reg::R0, r(22), imm(0)));
+        self.asm.jmpr(JCond::Ge, no_neg);
+        self.push(Instruction::reg(Subr, r(18), r(18), imm(0)));
+        self.asm.bind(no_neg);
+        self.push(Instruction::reg(Add, Reg::R26, r(18), Short2::ZERO));
+        self.emit_ret();
+        let _ = after;
+    }
+}

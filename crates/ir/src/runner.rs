@@ -1,0 +1,361 @@
+//! Compile-and-run helpers shared by tests, workloads and experiments.
+
+use crate::ast::ValidateError;
+use crate::layout::ARGV_BASE;
+use crate::rasm::RasmError;
+use risc1_cisc::{BuildError, CxConfig, CxCpu, CxProgram, CxStats};
+use risc1_core::{Cpu, ExecStats, Program, SimConfig};
+use risc1_m68::{McBuildError, McConfig, McCpu, McProgram, McStats};
+use std::fmt;
+
+/// A code-generation failure (either backend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The module failed structural validation.
+    Validate(ValidateError),
+    /// RISC label resolution failed.
+    Rasm(RasmError),
+    /// CX stream building failed.
+    CxBuild(BuildError),
+    /// MC stream building failed.
+    McBuild(McBuildError),
+    /// An expression (plus the function's locals) exceeded the register
+    /// budget of the simple 1981-style allocator.
+    OutOfRegisters {
+        /// Function (or context) that overflowed.
+        func: String,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::Validate(e) => write!(f, "validation: {e}"),
+            CodegenError::Rasm(e) => write!(f, "risc assembly: {e}"),
+            CodegenError::CxBuild(e) => write!(f, "cx assembly: {e}"),
+            CodegenError::McBuild(e) => write!(f, "mc assembly: {e}"),
+            CodegenError::OutOfRegisters { func } => {
+                write!(f, "out of registers compiling `{func}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<ValidateError> for CodegenError {
+    fn from(e: ValidateError) -> Self {
+        CodegenError::Validate(e)
+    }
+}
+
+/// Runs a compiled RISC I program with the given `main` arguments under the
+/// default configuration, returning `(result, stats)`.
+///
+/// # Errors
+/// Propagates simulator faults as boxed errors.
+pub fn run_risc(prog: &Program, args: &[i32]) -> Result<(i32, ExecStats), risc1_core::ExecError> {
+    run_risc_with(prog, args, SimConfig::default())
+}
+
+/// [`run_risc`] with an explicit simulator configuration.
+///
+/// # Errors
+/// Propagates simulator faults.
+pub fn run_risc_with(
+    prog: &Program,
+    args: &[i32],
+    cfg: SimConfig,
+) -> Result<(i32, ExecStats), risc1_core::ExecError> {
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_program(prog).expect("program fits memory");
+    cpu.set_args(args);
+    // Mirror the arguments into the ARGV area for uniformity with CX.
+    for (i, &a) in args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    cpu.run()?;
+    Ok((cpu.result(), cpu.stats()))
+}
+
+/// Runs a compiled CX program with the given `main` arguments under the
+/// default configuration, returning `(result, stats)`.
+///
+/// # Errors
+/// Propagates simulator faults.
+pub fn run_cx(prog: &CxProgram, args: &[i32]) -> Result<(i32, CxStats), risc1_cisc::CxError> {
+    run_cx_with(prog, args, CxConfig::default())
+}
+
+/// [`run_cx`] with an explicit machine configuration.
+///
+/// # Errors
+/// Propagates simulator faults.
+pub fn run_cx_with(
+    prog: &CxProgram,
+    args: &[i32],
+    cfg: CxConfig,
+) -> Result<(i32, CxStats), risc1_cisc::CxError> {
+    let mut cpu = CxCpu::new(cfg);
+    cpu.load_program(prog).expect("program fits memory");
+    for (i, &a) in args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    cpu.run()?;
+    Ok((cpu.result(), cpu.stats()))
+}
+
+/// Runs a compiled MC program with the given `main` arguments under the
+/// default configuration, returning `(result, stats)`.
+///
+/// # Errors
+/// Propagates simulator faults.
+pub fn run_mc(prog: &McProgram, args: &[i32]) -> Result<(i32, McStats), risc1_m68::McError> {
+    run_mc_with(prog, args, McConfig::default())
+}
+
+/// [`run_mc`] with an explicit machine configuration.
+///
+/// # Errors
+/// Propagates simulator faults.
+pub fn run_mc_with(
+    prog: &McProgram,
+    args: &[i32],
+    cfg: McConfig,
+) -> Result<(i32, McStats), risc1_m68::McError> {
+    let mut cpu = McCpu::new(cfg);
+    cpu.load_program(prog).expect("program fits memory");
+    for (i, &a) in args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    cpu.run()?;
+    Ok((cpu.result(), cpu.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::dsl::*;
+    use crate::interp::interpret;
+    use crate::risc::{compile_risc, RiscOpts};
+    use crate::{compile_cx, Module};
+    use proptest::prelude::*;
+
+    /// Compile and run a module on all four engines; assert agreement and
+    /// return the value.
+    fn tri_run(m: &Module, args: &[i32]) -> i32 {
+        let oracle = interpret(m, args).expect("interpreter succeeds");
+        let risc = compile_risc(m, RiscOpts::default()).expect("risc compiles");
+        let (rv, _) = run_risc(&risc, args).expect("risc runs");
+        let cx = compile_cx(m).expect("cx compiles");
+        let (cv, _) = run_cx(&cx, args).expect("cx runs");
+        let mc = crate::m68::compile_mc(m).expect("mc compiles");
+        let (mv, _) = run_mc(&mc, args).expect("mc runs");
+        assert_eq!(rv, oracle.value, "risc vs interpreter");
+        assert_eq!(cv, oracle.value, "cx vs interpreter");
+        assert_eq!(mv, oracle.value, "mc vs interpreter");
+        oracle.value
+    }
+
+    #[test]
+    fn arithmetic_module_agrees_everywhere() {
+        let m = module(
+            vec![function(
+                "main",
+                2,
+                3,
+                vec![
+                    assign(2, add(mul(local(0), local(1)), konst(1))),
+                    ret(sub(local(2), shr(local(0), konst(1)))),
+                ],
+            )],
+            vec![],
+        );
+        assert_eq!(tri_run(&m, &[6, 7]), 6 * 7 + 1 - 3);
+        assert_eq!(tri_run(&m, &[-5, 3]), -5 * 3 + 1 - (-3));
+    }
+
+    #[test]
+    fn recursion_agrees_everywhere() {
+        let fib = function(
+            "fib",
+            1,
+            3,
+            vec![
+                if_then(lt(local(0), konst(2)), vec![ret(local(0))]),
+                assign(1, call(1, vec![sub(local(0), konst(1))])),
+                assign(2, call(1, vec![sub(local(0), konst(2))])),
+                ret(add(local(1), local(2))),
+            ],
+        );
+        let main = function(
+            "main",
+            1,
+            2,
+            vec![assign(1, call(1, vec![local(0)])), ret(local(1))],
+        );
+        let m = module(vec![main, fib], vec![]);
+        assert_eq!(tri_run(&m, &[12]), 144);
+    }
+
+    #[test]
+    fn arrays_agree_everywhere() {
+        // Write i*i into a word array, xor-reduce; plus a byte array.
+        let m = module(
+            vec![function(
+                "main",
+                1,
+                3,
+                vec![
+                    assign(1, konst(0)),
+                    while_loop(
+                        lt(local(1), local(0)),
+                        vec![
+                            storew(0, local(1), mul(local(1), local(1))),
+                            storeb(1, local(1), add(local(1), konst(200))),
+                            assign(1, add(local(1), konst(1))),
+                        ],
+                    ),
+                    assign(1, konst(0)),
+                    assign(2, konst(0)),
+                    while_loop(
+                        lt(local(1), local(0)),
+                        vec![
+                            assign(2, bxor(local(2), loadw(0, local(1)))),
+                            assign(2, add(local(2), loadb(1, local(1)))),
+                            assign(1, add(local(1), konst(1))),
+                        ],
+                    ),
+                    ret(local(2)),
+                ],
+            )],
+            vec![global_words("sq", 40), global_bytes("by", 40)],
+        );
+        tri_run(&m, &[17]);
+    }
+
+    #[test]
+    fn division_agrees_everywhere() {
+        let m = module(
+            vec![function("main", 2, 2, vec![ret(div(local(0), local(1)))])],
+            vec![],
+        );
+        for (a, b) in [
+            (100, 7),
+            (-100, 7),
+            (100, -7),
+            (-100, -7),
+            (6, 3),
+            (0, 5),
+            (7, 100),
+        ] {
+            assert_eq!(tri_run(&m, &[a, b]), a / b, "{a}/{b}");
+        }
+    }
+
+    #[test]
+    fn delay_slot_filling_preserves_semantics_and_saves_cycles() {
+        let m = module(
+            vec![function(
+                "main",
+                1,
+                3,
+                vec![
+                    assign(1, konst(0)),
+                    assign(2, konst(0)),
+                    while_loop(
+                        lt(local(2), local(0)),
+                        vec![
+                            assign(1, add(local(1), local(2))),
+                            assign(2, add(local(2), konst(1))),
+                        ],
+                    ),
+                    ret(local(1)),
+                ],
+            )],
+            vec![],
+        );
+        let plain = compile_risc(
+            &m,
+            RiscOpts {
+                fill_delay_slots: false,
+            },
+        )
+        .unwrap();
+        let filled = compile_risc(
+            &m,
+            RiscOpts {
+                fill_delay_slots: true,
+            },
+        )
+        .unwrap();
+        let (v0, s0) = run_risc(&plain, &[50]).unwrap();
+        let (v1, s1) = run_risc(&filled, &[50]).unwrap();
+        assert_eq!(v0, 1225);
+        assert_eq!(v1, 1225);
+        assert!(s1.cycles < s0.cycles, "filled slots save cycles");
+        assert!(s1.delay_slot_fill_rate().unwrap() > s0.delay_slot_fill_rate().unwrap());
+        assert!(filled.code_bytes() < plain.code_bytes());
+    }
+
+    #[test]
+    fn out_of_registers_is_reported() {
+        // A function with 9 locals leaves no temp registers at all.
+        let m = module(
+            vec![function(
+                "main",
+                0,
+                9,
+                vec![ret(add(add(local(0), local(1)), add(local(2), local(3))))],
+            )],
+            vec![],
+        );
+        assert!(matches!(
+            compile_risc(&m, RiscOpts::default()),
+            Err(CodegenError::OutOfRegisters { .. })
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random arithmetic expressions evaluate identically on the
+        /// interpreter, RISC I and CX — the central differential test.
+        #[test]
+        fn random_expressions_agree(ops in proptest::collection::vec((0u8..7, any::<i8>()), 1..25),
+                                    a in -1000i32..1000, b in -1000i32..1000) {
+            // Build a straight-line program over two params and an
+            // accumulator, from a random op list.
+            let mut body = vec![assign(2, local(0))];
+            for (op, k) in &ops {
+                let rhs = if k % 2 == 0 { local(1) } else { konst(i32::from(*k)) };
+                let e = match op {
+                    0 => add(local(2), rhs),
+                    1 => sub(local(2), rhs),
+                    2 => mul(local(2), rhs),
+                    3 => band(local(2), rhs),
+                    4 => bor(local(2), rhs),
+                    5 => bxor(local(2), rhs),
+                    _ => shr(local(2), band(rhs, konst(7))),
+                };
+                body.push(assign(2, e));
+            }
+            body.push(ret(local(2)));
+            let m = module(vec![function("main", 2, 3, body)], vec![]);
+
+            let oracle = interpret(&m, &[a, b]).unwrap().value;
+            let risc = compile_risc(&m, RiscOpts::default()).unwrap();
+            let (rv, _) = run_risc(&risc, &[a, b]).unwrap();
+            prop_assert_eq!(rv, oracle, "risc mismatch");
+            let cx = compile_cx(&m).unwrap();
+            let (cv, _) = run_cx(&cx, &[a, b]).unwrap();
+            prop_assert_eq!(cv, oracle, "cx mismatch");
+        }
+    }
+}

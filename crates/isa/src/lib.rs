@@ -1,0 +1,45 @@
+//! # `risc1-isa` — the RISC I instruction set architecture
+//!
+//! This crate defines the complete instruction set of RISC I as published in
+//! Patterson & Séquin, *RISC I: A Reduced Instruction Set VLSI Computer*
+//! (ISCA 1981): 31 instructions, all 32 bits wide, in two formats
+//! (short-immediate and long-immediate), together with the register model,
+//! the processor status word (PSW), the condition-code algebra used by the
+//! conditional jumps, and binary encode/decode.
+//!
+//! The crate is pure data + arithmetic: it has no simulator state and no I/O,
+//! so every other crate in the workspace (simulator, assembler, compiler,
+//! experiments) can depend on it freely.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use risc1_isa::{Instruction, Opcode, Reg, Short2};
+//!
+//! // r16 = r26 + 40   (an "add immediate", setting no condition codes)
+//! let insn = Instruction::reg(Opcode::Add, Reg::R16, Reg::R26, Short2::imm(40).unwrap());
+//! let word = insn.encode();
+//! assert_eq!(Instruction::decode(word).unwrap(), insn);
+//! ```
+
+pub mod cond;
+pub mod encoding;
+pub mod insn;
+pub mod opcode;
+pub mod psw;
+pub mod reg;
+pub mod summary;
+
+pub use cond::Cond;
+pub use encoding::DecodeError;
+pub use insn::{Instruction, Short2};
+pub use opcode::{Category, Format, Opcode};
+pub use psw::Psw;
+pub use reg::{Reg, RegClass, NUM_VISIBLE_REGS};
+
+/// Width of one RISC I instruction in bytes. Every instruction is exactly one
+/// 32-bit word; this constant is what the program counter is advanced by.
+pub const INSN_BYTES: u32 = 4;
+
+/// Number of registers a procedure can see at any instant (the window).
+pub const WINDOW_VISIBLE: usize = NUM_VISIBLE_REGS;

@@ -1,0 +1,144 @@
+//! The processor status word.
+//!
+//! The PSW packs the four ALU condition flags, the interrupt-enable bit and
+//! the two window pointers (current and saved) into one 32-bit word so that
+//! `GETPSW`/`PUTPSW` can move the whole processor state through a register —
+//! that is how the trap handlers for window overflow context-switch the
+//! machine.
+
+use std::fmt;
+
+/// The four ALU condition flags.
+///
+/// `Flags` is deliberately a plain "C-spirit" struct with public fields: it
+/// carries no invariant beyond its field types and is pervasively constructed
+/// by the executor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Flags {
+    /// Zero: the last flag-setting result was 0.
+    pub z: bool,
+    /// Negative: bit 31 of the result.
+    pub n: bool,
+    /// Overflow: signed overflow of the last add/subtract.
+    pub v: bool,
+    /// Carry: carry out of the adder (for subtraction, C = no borrow).
+    pub c: bool,
+}
+
+/// The processor status word.
+///
+/// Bit layout (low to high):
+///
+/// | bits  | field |
+/// |-------|-------|
+/// | 0     | Z |
+/// | 1     | N |
+/// | 2     | V |
+/// | 3     | C |
+/// | 4     | I (interrupts enabled) |
+/// | 5–9   | CWP (current window pointer) |
+/// | 10–14 | SWP (saved window pointer) |
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Psw {
+    /// Condition flags.
+    pub flags: Flags,
+    /// Interrupts enabled.
+    pub interrupts_enabled: bool,
+    /// Current window pointer (which window the visible registers map to).
+    pub cwp: u8,
+    /// Saved window pointer (boundary of the windows resident in the file).
+    pub swp: u8,
+}
+
+impl Psw {
+    /// Packs the PSW into its 32-bit register representation.
+    pub fn to_word(self) -> u32 {
+        (self.flags.z as u32)
+            | (self.flags.n as u32) << 1
+            | (self.flags.v as u32) << 2
+            | (self.flags.c as u32) << 3
+            | (self.interrupts_enabled as u32) << 4
+            | ((self.cwp as u32) & 0x1f) << 5
+            | ((self.swp as u32) & 0x1f) << 10
+    }
+
+    /// Unpacks a PSW from its 32-bit register representation. Bits above 14
+    /// are ignored, as in the hardware.
+    pub fn from_word(w: u32) -> Psw {
+        Psw {
+            flags: Flags {
+                z: w & 1 != 0,
+                n: w >> 1 & 1 != 0,
+                v: w >> 2 & 1 != 0,
+                c: w >> 3 & 1 != 0,
+            },
+            interrupts_enabled: w >> 4 & 1 != 0,
+            cwp: (w >> 5 & 0x1f) as u8,
+            swp: (w >> 10 & 0x1f) as u8,
+        }
+    }
+}
+
+impl fmt::Display for Psw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}{} cwp={} swp={}]",
+            if self.flags.z { 'Z' } else { '-' },
+            if self.flags.n { 'N' } else { '-' },
+            if self.flags.v { 'V' } else { '-' },
+            if self.flags.c { 'C' } else { '-' },
+            if self.interrupts_enabled { 'I' } else { '-' },
+            self.cwp,
+            self.swp,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip_exhaustive_over_fields() {
+        for bits in 0..32u32 {
+            for cwp in [0u8, 1, 7, 15, 31] {
+                for swp in [0u8, 3, 31] {
+                    let psw = Psw {
+                        flags: Flags {
+                            z: bits & 1 != 0,
+                            n: bits & 2 != 0,
+                            v: bits & 4 != 0,
+                            c: bits & 8 != 0,
+                        },
+                        interrupts_enabled: bits & 16 != 0,
+                        cwp,
+                        swp,
+                    };
+                    assert_eq!(Psw::from_word(psw.to_word()), psw);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_bits_ignored() {
+        assert_eq!(Psw::from_word(0xffff_8000), Psw::from_word(0));
+    }
+
+    #[test]
+    fn display_shows_set_flags() {
+        let psw = Psw {
+            flags: Flags {
+                z: true,
+                n: false,
+                v: false,
+                c: true,
+            },
+            interrupts_enabled: true,
+            cwp: 2,
+            swp: 5,
+        };
+        assert_eq!(psw.to_string(), "[Z--CI cwp=2 swp=5]");
+    }
+}

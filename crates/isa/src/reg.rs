@@ -1,0 +1,196 @@
+//! The register model visible to one procedure.
+//!
+//! RISC I exposes 32 registers at any instant. The paper partitions them as:
+//!
+//! | Registers | Class  | Role |
+//! |-----------|--------|------|
+//! | r0        | Global | hardwired zero |
+//! | r1–r9     | Global | shared by all procedures |
+//! | r10–r15   | Low    | outgoing parameters (become the callee's HIGH) |
+//! | r16–r25   | Local  | private scratch of the current procedure |
+//! | r26–r31   | High   | incoming parameters (were the caller's LOW) |
+//!
+//! The LOW/HIGH overlap is what makes parameter passing free: a `CALL` only
+//! moves the current-window pointer and the caller's r10–r15 appear to the
+//! callee as r26–r31 without a single data move.
+
+use std::fmt;
+
+/// Number of registers visible to a procedure (one register window plus the
+/// globals).
+pub const NUM_VISIBLE_REGS: usize = 32;
+
+/// Index of the first LOW (outgoing-parameter) register.
+pub const LOW_BASE: u8 = 10;
+/// Index of the first LOCAL register.
+pub const LOCAL_BASE: u8 = 16;
+/// Index of the first HIGH (incoming-parameter) register.
+pub const HIGH_BASE: u8 = 26;
+/// Number of overlapping parameter registers (|LOW| = |HIGH| = 6).
+pub const OVERLAP: usize = 6;
+/// Number of LOCAL registers in a window.
+pub const LOCALS: usize = 10;
+/// Number of global registers (r0..r9).
+pub const GLOBALS: usize = 10;
+
+/// One of the 32 architecturally visible registers, `r0`–`r31`.
+///
+/// `Reg` is a validated newtype over the 5-bit register field of an
+/// instruction; constructing one via [`Reg::new`] can fail, and the `R0`…`R31`
+/// associated constants are provided for literal use.
+///
+/// ```
+/// use risc1_isa::{Reg, RegClass};
+/// assert_eq!(Reg::new(26).unwrap(), Reg::R26);
+/// assert_eq!(Reg::R26.class(), RegClass::High);
+/// assert!(Reg::R0.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// The architectural role of a register within the window scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegClass {
+    /// r0–r9: shared across all windows. r0 additionally reads as zero.
+    Global,
+    /// r10–r15: outgoing parameters — aliased to the callee's HIGH registers.
+    Low,
+    /// r16–r25: private to the current window.
+    Local,
+    /// r26–r31: incoming parameters — aliased to the caller's LOW registers.
+    High,
+}
+
+impl Reg {
+    /// Creates a register from its number. Returns `None` if `n >= 32`.
+    pub fn new(n: u8) -> Option<Self> {
+        (n < NUM_VISIBLE_REGS as u8).then_some(Reg(n))
+    }
+
+    /// Creates a register from a 5-bit instruction field without validation.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `n >= 32`.
+    pub(crate) fn from_field(n: u32) -> Self {
+        debug_assert!(n < 32);
+        Reg((n & 0x1f) as u8)
+    }
+
+    /// The register number, 0–31.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is `r0`, the hardwired-zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The window class this register belongs to.
+    pub fn class(self) -> RegClass {
+        match self.0 {
+            0..=9 => RegClass::Global,
+            10..=15 => RegClass::Low,
+            16..=25 => RegClass::Local,
+            _ => RegClass::High,
+        }
+    }
+
+    /// Whether the register lives in the windowed part of the file
+    /// (LOW/LOCAL/HIGH) as opposed to the globals.
+    pub fn is_windowed(self) -> bool {
+        self.0 >= LOW_BASE
+    }
+
+    /// Iterator over all 32 visible registers in ascending order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_VISIBLE_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg(r{})", self.0)
+    }
+}
+
+impl From<Reg> for u8 {
+    fn from(r: Reg) -> u8 {
+        r.0
+    }
+}
+
+macro_rules! reg_consts {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        impl Reg {
+            $(#[doc = concat!("Register r", stringify!($n), ".")]
+              pub const $name: Reg = Reg($n);)*
+        }
+    };
+}
+
+reg_consts! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29, R30 = 30, R31 = 31,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Reg::new(32).is_none());
+        assert!(Reg::new(255).is_none());
+        assert_eq!(Reg::new(31), Some(Reg::R31));
+    }
+
+    #[test]
+    fn classes_match_paper_partition() {
+        assert_eq!(Reg::R0.class(), RegClass::Global);
+        assert_eq!(Reg::R9.class(), RegClass::Global);
+        assert_eq!(Reg::R10.class(), RegClass::Low);
+        assert_eq!(Reg::R15.class(), RegClass::Low);
+        assert_eq!(Reg::R16.class(), RegClass::Local);
+        assert_eq!(Reg::R25.class(), RegClass::Local);
+        assert_eq!(Reg::R26.class(), RegClass::High);
+        assert_eq!(Reg::R31.class(), RegClass::High);
+    }
+
+    #[test]
+    fn only_r0_is_zero() {
+        assert!(Reg::R0.is_zero());
+        assert!(Reg::all().filter(|r| r.is_zero()).count() == 1);
+    }
+
+    #[test]
+    fn windowed_split() {
+        let windowed = Reg::all().filter(|r| r.is_windowed()).count();
+        assert_eq!(windowed, NUM_VISIBLE_REGS - GLOBALS);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R17.to_string(), "r17");
+        assert_eq!(format!("{:?}", Reg::R3), "Reg(r3)");
+    }
+
+    #[test]
+    fn class_sizes_sum_to_window() {
+        use RegClass::*;
+        let count = |c| Reg::all().filter(|r| r.class() == c).count();
+        assert_eq!(count(Global), GLOBALS);
+        assert_eq!(count(Low), OVERLAP);
+        assert_eq!(count(Local), LOCALS);
+        assert_eq!(count(High), OVERLAP);
+    }
+}

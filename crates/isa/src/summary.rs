@@ -1,0 +1,134 @@
+//! ISA-level summary metadata used by the complexity-comparison experiment
+//! (the paper's Table I) and the instruction-set listing (Table II).
+//!
+//! Everything about *RISC I itself* is computed live from the opcode tables
+//! so it can never drift from the implementation; the contemporary CISC
+//! machines are reproduced as published constants, clearly marked as such.
+
+use crate::opcode::{Category, Format, Opcode};
+
+/// A row of the paper's Table I: gross design characteristics of a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineProfile {
+    /// Machine name.
+    pub name: &'static str,
+    /// Year of introduction.
+    pub year: u16,
+    /// Number of machine instructions.
+    pub instructions: usize,
+    /// Control-store (microcode) size in bits; 0 for hardwired control.
+    pub microcode_bits: u64,
+    /// Smallest and largest instruction size, in bits.
+    pub insn_size_bits: (u16, u16),
+    /// Execution model, as the paper phrased it.
+    pub execution_model: &'static str,
+}
+
+/// The published Table I rows for the contemporary machines the paper
+/// compared against. These numbers are quoted from the paper, not measured.
+pub fn published_cisc_profiles() -> Vec<MachineProfile> {
+    vec![
+        MachineProfile {
+            name: "IBM 370/168",
+            year: 1973,
+            instructions: 208,
+            microcode_bits: 420 * 1024 * 8,
+            insn_size_bits: (16, 48),
+            execution_model: "reg-reg, reg-mem, mem-mem",
+        },
+        MachineProfile {
+            name: "VAX-11/780",
+            year: 1978,
+            instructions: 303,
+            microcode_bits: 480 * 1024 * 8,
+            insn_size_bits: (16, 456),
+            execution_model: "reg-reg, reg-mem, mem-mem",
+        },
+        MachineProfile {
+            name: "Xerox Dorado",
+            year: 1978,
+            instructions: 270,
+            microcode_bits: 136 * 1024 * 8,
+            insn_size_bits: (8, 24),
+            execution_model: "stack",
+        },
+        MachineProfile {
+            name: "Intel iAPX-432",
+            year: 1982,
+            instructions: 222,
+            microcode_bits: 64 * 1024 * 8,
+            insn_size_bits: (6, 321),
+            execution_model: "stack, mem-mem",
+        },
+    ]
+}
+
+/// The RISC I row of Table I, computed from this crate's actual tables
+/// (instruction count, fixed 32-bit size, no microcode, reg-reg model).
+pub fn risc1_profile() -> MachineProfile {
+    MachineProfile {
+        name: "RISC I",
+        year: 1981,
+        instructions: Opcode::ALL.len(),
+        microcode_bits: 0,
+        insn_size_bits: (32, 32),
+        execution_model: "reg-reg (load/store)",
+    }
+}
+
+/// A row of the instruction-set listing (the paper's Table II).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstructionRow {
+    /// Assembler mnemonic.
+    pub mnemonic: &'static str,
+    /// Table II grouping.
+    pub category: Category,
+    /// Binary format.
+    pub format: Format,
+    /// One-line semantics.
+    pub description: &'static str,
+    /// Base cycle cost.
+    pub cycles: u64,
+}
+
+/// The full instruction-set listing in Table II order.
+pub fn instruction_table() -> Vec<InstructionRow> {
+    Opcode::ALL
+        .iter()
+        .map(|op| InstructionRow {
+            mnemonic: op.mnemonic(),
+            category: op.category(),
+            format: op.format(),
+            description: op.description(),
+            cycles: op.base_cycles(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn risc1_row_reflects_implementation() {
+        let p = risc1_profile();
+        assert_eq!(p.instructions, 31);
+        assert_eq!(p.microcode_bits, 0);
+        assert_eq!(p.insn_size_bits, (32, 32));
+    }
+
+    #[test]
+    fn table_ii_has_all_instructions() {
+        let t = instruction_table();
+        assert_eq!(t.len(), Opcode::ALL.len());
+        assert!(t.iter().any(|r| r.mnemonic == "ldhi"));
+    }
+
+    #[test]
+    fn cisc_profiles_are_all_microcoded() {
+        for p in published_cisc_profiles() {
+            assert!(p.microcode_bits > 0, "{}", p.name);
+            assert!(p.instructions > 200, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Word-accurate MC program builder with labels.
+
+use crate::isa::{Ea, McOp};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A forward-referenceable label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct McLabel(usize);
+
+/// A finished MC program: 16-bit instruction words plus data images.
+#[derive(Debug, Clone, Default)]
+pub struct McProgram {
+    /// Instruction stream, one `u16` per word.
+    pub words: Vec<u16>,
+    /// Data images (absolute address, bytes).
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Symbols (name → byte offset).
+    pub symbols: HashMap<String, u32>,
+}
+
+impl McProgram {
+    /// Static code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.words.len() as u64 * 2
+    }
+
+    /// The code as a little-endian byte image.
+    pub fn code_image(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 2);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Adds a data image.
+    pub fn add_data(&mut self, addr: u32, bytes: Vec<u8>) {
+        self.data.push((addr, bytes));
+    }
+}
+
+/// A build failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McBuildError {
+    /// A referenced label was never bound.
+    UnboundLabel(McLabel),
+    /// A branch displacement exceeded 16 bits.
+    DispOutOfRange {
+        /// The target label.
+        label: McLabel,
+        /// The displacement in bytes.
+        delta: i64,
+    },
+}
+
+impl fmt::Display for McBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McBuildError::UnboundLabel(l) => write!(f, "label {l:?} never bound"),
+            McBuildError::DispOutOfRange { label, delta } => {
+                write!(f, "displacement {delta} to {label:?} exceeds 16 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for McBuildError {}
+
+/// Incremental builder.
+#[derive(Debug, Default)]
+pub struct McAsm {
+    words: Vec<u16>,
+    labels: Vec<Option<u32>>,
+    /// (word index of the disp16 extension, label)
+    fixups: Vec<(usize, McLabel)>,
+    symbols: HashMap<String, u32>,
+}
+
+impl McAsm {
+    /// An empty builder.
+    pub fn new() -> McAsm {
+        McAsm::default()
+    }
+
+    /// Current byte offset.
+    pub fn here(&self) -> u32 {
+        self.words.len() as u32 * 2
+    }
+
+    /// Allocates an unbound label.
+    pub fn new_label(&mut self) -> McLabel {
+        self.labels.push(None);
+        McLabel(self.labels.len() - 1)
+    }
+
+    /// Binds `label` here.
+    pub fn bind(&mut self, label: McLabel) {
+        debug_assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.here());
+    }
+
+    /// Records a symbol here.
+    pub fn symbol(&mut self, name: &str) {
+        self.symbols.insert(name.to_string(), self.here());
+    }
+
+    fn base_word(op: McOp, src: u8, dst: u8) -> u16 {
+        u16::from(op as u8) << 8 | u16::from(dst & 0xf) << 4 | u16::from(src & 0xf)
+    }
+
+    /// Emits a two-operand instruction.
+    pub fn emit(&mut self, op: McOp, src: Ea, dst: Ea) {
+        debug_assert!(op.has_src() && op.has_dst(), "{op} operand shape");
+        self.words.push(Self::base_word(op, src.spec(), dst.spec()));
+        src.encode_ext(&mut self.words);
+        dst.encode_ext(&mut self.words);
+    }
+
+    /// Emits a source-only instruction (`tst`).
+    pub fn emit_src(&mut self, op: McOp, src: Ea) {
+        debug_assert!(op.has_src() && !op.has_dst(), "{op} operand shape");
+        self.words.push(Self::base_word(op, src.spec(), 0));
+        src.encode_ext(&mut self.words);
+    }
+
+    /// Emits a destination-only instruction (`clr`).
+    pub fn emit_dst(&mut self, op: McOp, dst: Ea) {
+        debug_assert!(!op.has_src() && op.has_dst(), "{op} operand shape");
+        self.words.push(Self::base_word(op, 0, dst.spec()));
+        dst.encode_ext(&mut self.words);
+    }
+
+    /// Emits a no-operand instruction (`halt`, `rts`, `unlk`).
+    pub fn emit0(&mut self, op: McOp) {
+        debug_assert!(!op.has_src() && !op.has_dst() && !op.has_ext16());
+        self.words.push(Self::base_word(op, 0, 0));
+    }
+
+    /// Emits a branch or `jsr` to a label.
+    pub fn branch(&mut self, op: McOp, label: McLabel) {
+        debug_assert!(op.has_ext16() && op != McOp::Link && op != McOp::AddSp);
+        self.words.push(Self::base_word(op, 0, 0));
+        self.fixups.push((self.words.len(), label));
+        self.words.push(0);
+    }
+
+    /// Emits `link #frame_bytes` or `addsp #n`.
+    pub fn ext16(&mut self, op: McOp, v: i16) {
+        debug_assert!(matches!(op, McOp::Link | McOp::AddSp));
+        self.words.push(Self::base_word(op, 0, 0));
+        self.words.push(v as u16);
+    }
+
+    /// Resolves fixups and returns the program.
+    ///
+    /// # Errors
+    /// See [`McBuildError`].
+    pub fn finish(self) -> Result<McProgram, McBuildError> {
+        let mut words = self.words;
+        for (pos, label) in self.fixups {
+            let target = self.labels[label.0].ok_or(McBuildError::UnboundLabel(label))?;
+            // Displacement relative to the word after the extension.
+            let delta = i64::from(target) - (pos as i64 + 1) * 2;
+            let d =
+                i16::try_from(delta).map_err(|_| McBuildError::DispOutOfRange { label, delta })?;
+            words[pos] = d as u16;
+        }
+        Ok(McProgram {
+            words,
+            data: Vec::new(),
+            symbols: self.symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_word_packs_fields() {
+        let w = McAsm::base_word(McOp::Add, Ea::Imm16(5).spec(), Ea::D(3).spec());
+        assert_eq!(w >> 8, McOp::Add as u16);
+        assert_eq!(w >> 4 & 0xf, 3);
+        assert_eq!(w & 0xf, 15);
+    }
+
+    #[test]
+    fn instruction_sizes_vary() {
+        let mut a = McAsm::new();
+        a.emit(McOp::Move, Ea::D(0), Ea::D(1)); // 1 word
+        a.emit(McOp::Move, Ea::Imm16(7), Ea::D(1)); // 2 words
+        a.emit(McOp::Move, Ea::Abs(0x8000), Ea::Frame(-4)); // 1+2+1 words
+        a.emit0(McOp::Halt);
+        let p = a.finish().unwrap();
+        assert_eq!(p.words.len(), 1 + 2 + 4 + 1);
+        assert_eq!(p.code_bytes(), 16);
+    }
+
+    #[test]
+    fn branches_resolve_forward_and_back() {
+        let mut a = McAsm::new();
+        let top = a.new_label();
+        let out = a.new_label();
+        a.bind(top);
+        a.emit_src(McOp::Tst, Ea::D(0)); // 2 bytes
+        a.branch(McOp::Beq, out); // 4 bytes: disp at words[2]
+        a.branch(McOp::Bra, top); // disp at words[4]
+        a.bind(out);
+        a.emit0(McOp::Halt);
+        let p = a.finish().unwrap();
+        // beq: target byte 10, after-ext byte 6 → +4
+        assert_eq!(p.words[2] as i16, 4);
+        // bra: target 0, after-ext byte 10 → −10
+        assert_eq!(p.words[4] as i16, -10);
+    }
+
+    #[test]
+    fn unbound_label_reported() {
+        let mut a = McAsm::new();
+        let l = a.new_label();
+        a.branch(McOp::Bra, l);
+        assert!(matches!(a.finish(), Err(McBuildError::UnboundLabel(_))));
+    }
+}

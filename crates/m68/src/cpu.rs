@@ -1,0 +1,797 @@
+//! The MC processor: 16-bit-word decode, operand resolution, the
+//! stack-frame calling convention, and the 16-bit-bus cost model.
+
+use crate::builder::McProgram;
+use crate::isa::{Ea, McCc, McOp};
+use risc1_core::{MemError, Memory};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Configuration of an MC machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McConfig {
+    /// Memory size in bytes.
+    pub mem_bytes: usize,
+    /// Load address for programs.
+    pub code_base: u32,
+    /// Initial stack pointer (grows down).
+    pub stack_top: u32,
+    /// Instruction budget.
+    pub fuel: u64,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            mem_bytes: 1 << 20,
+            code_base: 0x1000,
+            stack_top: 0xe0000,
+            fuel: 200_000_000,
+        }
+    }
+}
+
+/// Cycles charged per 16-bit instruction word fetched over the bus.
+pub const WORD_FETCH: u64 = 2;
+/// Cycles per 32-bit data access (two bus transfers).
+pub const LONG_ACCESS: u64 = 4;
+/// Cycles per 8/16-bit data access.
+pub const SHORT_ACCESS: u64 = 2;
+
+/// Why an MC program failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McError {
+    /// Memory fault.
+    Mem {
+        /// PC of the faulting instruction.
+        pc: u32,
+        /// Underlying fault.
+        err: MemError,
+    },
+    /// Undefined opcode or spec nibble.
+    Decode {
+        /// PC of the instruction.
+        pc: u32,
+        /// The offending base word.
+        word: u16,
+    },
+    /// An immediate used as a destination.
+    WriteToImmediate {
+        /// PC of the instruction.
+        pc: u32,
+    },
+    /// Division by zero.
+    DivideByZero {
+        /// PC of the instruction.
+        pc: u32,
+    },
+    /// `rts` with no frame on the stack.
+    RtsAtTopLevel {
+        /// PC of the instruction.
+        pc: u32,
+    },
+    /// Fuel exhausted.
+    OutOfFuel,
+    /// Stepped after halt.
+    AlreadyHalted,
+}
+
+impl fmt::Display for McError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McError::Mem { pc, err } => write!(f, "memory fault at pc {pc:#010x}: {err}"),
+            McError::Decode { pc, word } => {
+                write!(f, "undecodable word {word:#06x} at pc {pc:#010x}")
+            }
+            McError::WriteToImmediate { pc } => {
+                write!(f, "immediate destination at pc {pc:#010x}")
+            }
+            McError::DivideByZero { pc } => write!(f, "division by zero at pc {pc:#010x}"),
+            McError::RtsAtTopLevel { pc } => write!(f, "rts with empty stack at pc {pc:#010x}"),
+            McError::OutOfFuel => write!(f, "instruction fuel exhausted"),
+            McError::AlreadyHalted => write!(f, "mc cpu is halted"),
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+/// MC flags.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McFlags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl McCc {
+    /// Evaluates against the flags.
+    pub fn eval(self, f: McFlags) -> bool {
+        let lt = f.n ^ f.v;
+        match self {
+            McCc::Eq => f.z,
+            McCc::Ne => !f.z,
+            McCc::Lt => lt,
+            McCc::Le => f.z || lt,
+            McCc::Gt => !f.z && !lt,
+            McCc::Ge => !lt,
+        }
+    }
+}
+
+/// Run statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Instruction-stream bytes fetched.
+    pub ifetch_bytes: u64,
+    /// Data reads.
+    pub data_reads: u64,
+    /// Data writes.
+    pub data_writes: u64,
+    /// Calls (`jsr`).
+    pub calls: u64,
+    /// Returns (`rts`).
+    pub rets: u64,
+    /// Taken branches.
+    pub taken_branches: u64,
+    /// Deepest call depth.
+    pub max_depth: u64,
+    /// Dynamic opcode histogram.
+    pub op_counts: HashMap<McOp, u64>,
+}
+
+impl McStats {
+    /// Average cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Total data traffic.
+    pub fn data_traffic(&self) -> u64 {
+        self.data_reads + self.data_writes
+    }
+}
+
+/// A resolved operand.
+#[derive(Debug, Clone, Copy)]
+enum Loc {
+    D(u8),
+    A(u8),
+    Mem(u32),
+    Val(u32),
+}
+
+/// The MC processor.
+#[derive(Debug, Clone)]
+pub struct McCpu {
+    cfg: McConfig,
+    /// Main memory (public for inspection and argument setup).
+    pub mem: Memory,
+    d: [u32; 6],
+    a: [u32; 2],
+    sp: u32,
+    fp: u32,
+    pc: u32,
+    flags: McFlags,
+    depth: u64,
+    halted: bool,
+    stats: McStats,
+    /// Data cycles accumulated during the current step.
+    step_data_cycles: u64,
+}
+
+impl McCpu {
+    /// An MC machine at reset.
+    pub fn new(cfg: McConfig) -> McCpu {
+        let mem = Memory::new(cfg.mem_bytes);
+        let (sp, pc) = (cfg.stack_top, cfg.code_base);
+        McCpu {
+            cfg,
+            mem,
+            d: [0; 6],
+            a: [0; 2],
+            sp,
+            fp: sp,
+            pc,
+            flags: McFlags::default(),
+            depth: 0,
+            halted: false,
+            stats: McStats::default(),
+            step_data_cycles: 0,
+        }
+    }
+
+    /// Loads a program.
+    ///
+    /// # Errors
+    /// Fails if an image does not fit.
+    pub fn load_program(&mut self, prog: &McProgram) -> Result<(), MemError> {
+        self.mem
+            .load_image(self.cfg.code_base, &prog.code_image())?;
+        for (addr, bytes) in &prog.data {
+            self.mem.load_image(*addr, bytes)?;
+        }
+        self.pc = self.cfg.code_base;
+        self.mem.reset_traffic();
+        Ok(())
+    }
+
+    /// Reads data register `Dn`.
+    pub fn dreg(&self, n: u8) -> u32 {
+        self.d[n as usize]
+    }
+
+    /// The conventional return value (`D0`).
+    pub fn result(&self) -> i32 {
+        self.d[0] as i32
+    }
+
+    /// Whether `halt` has executed.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Statistics (memory traffic synced).
+    pub fn stats(&self) -> McStats {
+        let mut s = self.stats.clone();
+        s.data_reads = self.mem.traffic().reads;
+        s.data_writes = self.mem.traffic().writes;
+        s
+    }
+
+    /// Runs to `halt`.
+    ///
+    /// # Errors
+    /// Any [`McError`].
+    pub fn run(&mut self) -> Result<(), McError> {
+        while !self.halted {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    fn fetch_word(&mut self, cur: &mut u32, pc: u32) -> Result<u16, McError> {
+        let lo = self
+            .mem
+            .peek_u8(*cur)
+            .map_err(|err| McError::Mem { pc, err })?;
+        let hi = self
+            .mem
+            .peek_u8(*cur + 1)
+            .map_err(|err| McError::Mem { pc, err })?;
+        *cur += 2;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    fn decode_ea(&mut self, spec: u8, cur: &mut u32, pc: u32) -> Result<Ea, McError> {
+        Ok(match spec {
+            0..=5 => Ea::D(spec),
+            6 | 7 => Ea::Ind(spec - 6),
+            8 | 9 => Ea::A(spec - 8),
+            10 => Ea::Push,
+            11 => Ea::Pop,
+            12 => Ea::Frame(self.fetch_word(cur, pc)? as i16),
+            13 | 14 => {
+                let lo = u32::from(self.fetch_word(cur, pc)?);
+                let hi = u32::from(self.fetch_word(cur, pc)?);
+                let v = lo | hi << 16;
+                if spec == 13 {
+                    Ea::Abs(v)
+                } else {
+                    Ea::Imm(v)
+                }
+            }
+            _ => Ea::Imm16(self.fetch_word(cur, pc)? as i16),
+        })
+    }
+
+    fn resolve(&mut self, ea: Ea) -> Loc {
+        match ea {
+            Ea::D(n) => Loc::D(n),
+            Ea::A(n) => Loc::A(n),
+            Ea::Ind(n) => Loc::Mem(self.a[n as usize]),
+            Ea::Push => {
+                self.sp = self.sp.wrapping_sub(4);
+                Loc::Mem(self.sp)
+            }
+            Ea::Pop => {
+                let addr = self.sp;
+                self.sp = self.sp.wrapping_add(4);
+                Loc::Mem(addr)
+            }
+            Ea::Frame(d) => Loc::Mem(self.fp.wrapping_add(d as i32 as u32)),
+            Ea::Abs(a) => Loc::Mem(a),
+            Ea::Imm(v) => Loc::Val(v),
+            Ea::Imm16(v) => Loc::Val(v as i32 as u32),
+        }
+    }
+
+    fn read(&mut self, ea: Ea, byte: bool, pc: u32) -> Result<u32, McError> {
+        match self.resolve(ea) {
+            Loc::Val(v) => Ok(v),
+            Loc::D(n) => Ok(if byte {
+                self.d[n as usize] & 0xff
+            } else {
+                self.d[n as usize]
+            }),
+            Loc::A(n) => Ok(self.a[n as usize]),
+            Loc::Mem(addr) => {
+                if byte {
+                    self.step_data_cycles += SHORT_ACCESS;
+                    self.mem
+                        .read_u8(addr)
+                        .map(u32::from)
+                        .map_err(|err| McError::Mem { pc, err })
+                } else {
+                    self.step_data_cycles += LONG_ACCESS;
+                    self.mem
+                        .read_u32(addr)
+                        .map_err(|err| McError::Mem { pc, err })
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, ea: Ea, v: u32, byte: bool, pc: u32) -> Result<(), McError> {
+        match self.resolve(ea) {
+            Loc::Val(_) => Err(McError::WriteToImmediate { pc }),
+            Loc::D(n) => {
+                // Byte writes to data registers zero-extend — this is the
+                // machine's `movzbl` equivalent, used for byte arrays.
+                self.d[n as usize] = if byte { v & 0xff } else { v };
+                Ok(())
+            }
+            Loc::A(n) => {
+                self.a[n as usize] = v;
+                Ok(())
+            }
+            Loc::Mem(addr) => {
+                if byte {
+                    self.step_data_cycles += SHORT_ACCESS;
+                    self.mem
+                        .write_u8(addr, v as u8)
+                        .map_err(|err| McError::Mem { pc, err })
+                } else {
+                    self.step_data_cycles += LONG_ACCESS;
+                    self.mem
+                        .write_u32(addr, v)
+                        .map_err(|err| McError::Mem { pc, err })
+                }
+            }
+        }
+    }
+
+    fn push_long(&mut self, v: u32, pc: u32) -> Result<(), McError> {
+        self.sp = self.sp.wrapping_sub(4);
+        self.step_data_cycles += LONG_ACCESS;
+        self.mem
+            .write_u32(self.sp, v)
+            .map_err(|err| McError::Mem { pc, err })
+    }
+
+    fn pop_long(&mut self, pc: u32) -> Result<u32, McError> {
+        let v = self
+            .mem
+            .read_u32(self.sp)
+            .map_err(|err| McError::Mem { pc, err })?;
+        self.step_data_cycles += LONG_ACCESS;
+        self.sp = self.sp.wrapping_add(4);
+        Ok(v)
+    }
+
+    fn set_nz(&mut self, v: u32) {
+        self.flags = McFlags {
+            n: (v as i32) < 0,
+            z: v == 0,
+            v: false,
+        };
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    /// See [`McError`].
+    pub fn step(&mut self) -> Result<(), McError> {
+        if self.halted {
+            return Err(McError::AlreadyHalted);
+        }
+        if self.stats.instructions >= self.cfg.fuel {
+            return Err(McError::OutOfFuel);
+        }
+        let pc = self.pc;
+        let mut cur = pc;
+        let base = self.fetch_word(&mut cur, pc)?;
+        let op = McOp::from_code((base >> 8) as u8).ok_or(McError::Decode { pc, word: base })?;
+        let src_spec = (base & 0xf) as u8;
+        let dst_spec = (base >> 4 & 0xf) as u8;
+
+        let src = if op.has_src() {
+            Some(self.decode_ea(src_spec, &mut cur, pc)?)
+        } else {
+            None
+        };
+        let dst = if op.has_dst() {
+            Some(self.decode_ea(dst_spec, &mut cur, pc)?)
+        } else {
+            None
+        };
+        let ext = if op.has_ext16() {
+            Some(self.fetch_word(&mut cur, pc)? as i16)
+        } else {
+            None
+        };
+        let insn_end = cur;
+        let fetched_words = u64::from(insn_end - pc) / 2;
+        self.stats.ifetch_bytes += fetched_words * 2;
+        self.step_data_cycles = 0;
+
+        let mut next_pc = insn_end;
+        let mut extra = op.extra_cycles();
+
+        match op {
+            McOp::Halt => self.halted = true,
+            McOp::Move => {
+                let v = self.read(src.unwrap(), false, pc)?;
+                self.write(dst.unwrap(), v, false, pc)?;
+                self.set_nz(v);
+            }
+            McOp::MoveB => {
+                let v = self.read(src.unwrap(), true, pc)?;
+                self.write(dst.unwrap(), v, true, pc)?;
+                self.set_nz(v & 0xff);
+            }
+            McOp::Clr => {
+                self.write(dst.unwrap(), 0, false, pc)?;
+                self.set_nz(0);
+            }
+            McOp::Add
+            | McOp::Sub
+            | McOp::Mul
+            | McOp::Divs
+            | McOp::And
+            | McOp::Or
+            | McOp::Eor
+            | McOp::Lsl
+            | McOp::Asr => {
+                let s = self.read(src.unwrap(), false, pc)?;
+                let dst_ea = dst.unwrap();
+                let d = self.read(dst_ea, false, pc)?;
+                let v = match op {
+                    McOp::Add => {
+                        let (v, _) = d.overflowing_add(s);
+                        self.flags = McFlags {
+                            n: (v as i32) < 0,
+                            z: v == 0,
+                            v: ((d ^ v) & (s ^ v)) >> 31 != 0,
+                        };
+                        v
+                    }
+                    McOp::Sub => {
+                        let v = d.wrapping_sub(s);
+                        self.flags = McFlags {
+                            n: (v as i32) < 0,
+                            z: v == 0,
+                            v: ((d ^ s) & (d ^ v)) >> 31 != 0,
+                        };
+                        v
+                    }
+                    McOp::Mul => {
+                        let v = (d as i32).wrapping_mul(s as i32) as u32;
+                        self.set_nz(v);
+                        v
+                    }
+                    McOp::Divs => {
+                        if s == 0 {
+                            return Err(McError::DivideByZero { pc });
+                        }
+                        let v = (d as i32).wrapping_div(s as i32) as u32;
+                        self.set_nz(v);
+                        v
+                    }
+                    McOp::And => {
+                        let v = d & s;
+                        self.set_nz(v);
+                        v
+                    }
+                    McOp::Or => {
+                        let v = d | s;
+                        self.set_nz(v);
+                        v
+                    }
+                    McOp::Eor => {
+                        let v = d ^ s;
+                        self.set_nz(v);
+                        v
+                    }
+                    McOp::Lsl => {
+                        let v = d << (s & 31);
+                        self.set_nz(v);
+                        v
+                    }
+                    _ => {
+                        let v = ((d as i32) >> (s & 31)) as u32;
+                        self.set_nz(v);
+                        v
+                    }
+                };
+                // Read-modify-write destinations resolve once more for the
+                // write; Pop/Push destinations would double their side
+                // effect, so the backend never uses them as RMW targets.
+                self.write(dst_ea, v, false, pc)?;
+            }
+            McOp::Cmp => {
+                let s = self.read(src.unwrap(), false, pc)?;
+                let d = self.read(dst.unwrap(), false, pc)?;
+                let v = d.wrapping_sub(s);
+                self.flags = McFlags {
+                    n: (v as i32) < 0,
+                    z: v == 0,
+                    v: ((d ^ s) & (d ^ v)) >> 31 != 0,
+                };
+            }
+            McOp::Tst => {
+                let s = self.read(src.unwrap(), false, pc)?;
+                self.set_nz(s);
+            }
+            McOp::Bra => {
+                next_pc = insn_end.wrapping_add(ext.unwrap() as i32 as u32);
+                self.stats.taken_branches += 1;
+            }
+            McOp::Beq | McOp::Bne | McOp::Blt | McOp::Ble | McOp::Bgt | McOp::Bge => {
+                if op.condition().expect("conditional").eval(self.flags) {
+                    next_pc = insn_end.wrapping_add(ext.unwrap() as i32 as u32);
+                    self.stats.taken_branches += 1;
+                    extra += 2;
+                }
+            }
+            McOp::Jsr => {
+                self.push_long(insn_end, pc)?;
+                next_pc = insn_end.wrapping_add(ext.unwrap() as i32 as u32);
+                self.depth += 1;
+                self.stats.max_depth = self.stats.max_depth.max(self.depth);
+                self.stats.calls += 1;
+                self.stats.taken_branches += 1;
+            }
+            McOp::Rts => {
+                if self.depth == 0 {
+                    return Err(McError::RtsAtTopLevel { pc });
+                }
+                next_pc = self.pop_long(pc)?;
+                self.depth -= 1;
+                self.stats.rets += 1;
+                self.stats.taken_branches += 1;
+            }
+            McOp::Link => {
+                let fp = self.fp;
+                self.push_long(fp, pc)?;
+                self.fp = self.sp;
+                self.sp = self.sp.wrapping_sub(ext.unwrap() as i32 as u32);
+            }
+            McOp::Unlk => {
+                self.sp = self.fp;
+                self.fp = self.pop_long(pc)?;
+            }
+            McOp::AddSp => {
+                self.sp = self.sp.wrapping_add(ext.unwrap() as i32 as u32);
+            }
+        }
+
+        self.stats.cycles += fetched_words * WORD_FETCH + self.step_data_cycles + extra;
+        self.stats.instructions += 1;
+        *self.stats.op_counts.entry(op).or_insert(0) += 1;
+        self.pc = next_pc;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::McAsm;
+
+    fn run(build: impl FnOnce(&mut McAsm)) -> McCpu {
+        let mut a = McAsm::new();
+        build(&mut a);
+        let prog = a.finish().unwrap();
+        let mut cpu = McCpu::new(McConfig::default());
+        cpu.load_program(&prog).unwrap();
+        cpu.run().unwrap();
+        cpu
+    }
+
+    #[test]
+    fn move_add_and_flags() {
+        let cpu = run(|a| {
+            a.emit(McOp::Move, Ea::Imm16(40), Ea::D(0));
+            a.emit(McOp::Add, Ea::Imm16(2), Ea::D(0));
+            a.emit0(McOp::Halt);
+        });
+        assert_eq!(cpu.result(), 42);
+    }
+
+    #[test]
+    fn memory_operands_and_absolute_addressing() {
+        let cpu = run(|a| {
+            a.emit(McOp::Move, Ea::Imm16(7), Ea::Abs(0x2000));
+            a.emit(McOp::Move, Ea::Abs(0x2000), Ea::D(1));
+            a.emit(McOp::Add, Ea::Abs(0x2000), Ea::D(1));
+            a.emit(McOp::Move, Ea::D(1), Ea::D(0));
+            a.emit0(McOp::Halt);
+        });
+        assert_eq!(cpu.result(), 14);
+    }
+
+    #[test]
+    fn byte_moves_zero_extend_into_registers() {
+        let cpu = run(|a| {
+            a.emit(McOp::Move, Ea::Imm16(-2), Ea::D(1)); // 0xFFFF_FFFE
+            a.emit(McOp::Move, Ea::Imm(0x2000), Ea::A(0));
+            a.emit(McOp::MoveB, Ea::D(1), Ea::Ind(0)); // store byte 0xFE
+            a.emit(McOp::MoveB, Ea::Ind(0), Ea::D(0)); // load zero-extended
+            a.emit0(McOp::Halt);
+        });
+        assert_eq!(cpu.result(), 0xfe);
+    }
+
+    #[test]
+    fn push_pop_and_stack_balance() {
+        let cpu = run(|a| {
+            a.emit(McOp::Move, Ea::Imm16(11), Ea::Push);
+            a.emit(McOp::Move, Ea::Imm16(31), Ea::Push);
+            a.emit(McOp::Move, Ea::Pop, Ea::D(0)); // 31
+            a.emit(McOp::Add, Ea::Pop, Ea::D(0)); // +11
+            a.emit0(McOp::Halt);
+        });
+        assert_eq!(cpu.result(), 42);
+        assert_eq!(cpu.sp, McConfig::default().stack_top);
+    }
+
+    #[test]
+    fn loop_with_branches() {
+        // sum 1..=10
+        let cpu = run(|a| {
+            let top = a.new_label();
+            a.emit_dst(McOp::Clr, Ea::D(0));
+            a.emit(McOp::Move, Ea::Imm16(10), Ea::D(1));
+            a.bind(top);
+            a.emit(McOp::Add, Ea::D(1), Ea::D(0));
+            a.emit(McOp::Sub, Ea::Imm16(1), Ea::D(1));
+            a.emit_src(McOp::Tst, Ea::D(1));
+            a.branch(McOp::Bgt, top);
+            a.emit0(McOp::Halt);
+        });
+        assert_eq!(cpu.result(), 55);
+    }
+
+    #[test]
+    fn jsr_link_frame_and_rts() {
+        // f(x) = x - 8, locals in the frame; called with 50.
+        let cpu = run(|a| {
+            let f = a.new_label();
+            a.emit(McOp::Move, Ea::Imm16(50), Ea::Push); // arg
+            a.branch(McOp::Jsr, f);
+            a.ext16(McOp::AddSp, 4); // pop arg
+            a.emit0(McOp::Halt);
+
+            a.bind(f);
+            a.ext16(McOp::Link, 4); // one local
+                                    // arg at fp+8 (saved fp at fp, ret addr at fp+4)
+            a.emit(McOp::Move, Ea::Frame(8), Ea::D(0));
+            a.emit(McOp::Sub, Ea::Imm16(8), Ea::D(0));
+            a.emit(McOp::Move, Ea::D(0), Ea::Frame(-4)); // spill to the local
+            a.emit(McOp::Move, Ea::Frame(-4), Ea::D(0)); // and back
+            a.emit0(McOp::Unlk);
+            a.emit0(McOp::Rts);
+        });
+        assert_eq!(cpu.result(), 42);
+        let s = cpu.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.rets, 1);
+        assert_eq!(cpu.sp, McConfig::default().stack_top, "stack balanced");
+    }
+
+    #[test]
+    fn recursive_factorial() {
+        let cpu = run(|a| {
+            let fact = a.new_label();
+            let rec = a.new_label();
+            a.emit(McOp::Move, Ea::Imm16(10), Ea::Push);
+            a.branch(McOp::Jsr, fact);
+            a.ext16(McOp::AddSp, 4);
+            a.emit0(McOp::Halt);
+
+            a.bind(fact);
+            a.ext16(McOp::Link, 0);
+            a.emit(McOp::Move, Ea::Frame(8), Ea::D(1));
+            a.emit(McOp::Cmp, Ea::Imm16(1), Ea::D(1)); // flags = n - 1
+            a.branch(McOp::Bgt, rec);
+            a.emit(McOp::Move, Ea::Imm16(1), Ea::D(0));
+            a.emit0(McOp::Unlk);
+            a.emit0(McOp::Rts);
+            a.bind(rec);
+            a.emit(McOp::Sub, Ea::Imm16(1), Ea::D(1));
+            a.emit(McOp::Move, Ea::D(1), Ea::Push);
+            a.branch(McOp::Jsr, fact);
+            a.ext16(McOp::AddSp, 4);
+            a.emit(McOp::Mul, Ea::Frame(8), Ea::D(0));
+            a.emit0(McOp::Unlk);
+            a.emit0(McOp::Rts);
+        });
+        assert_eq!(cpu.result(), 3_628_800);
+        assert_eq!(cpu.stats().max_depth, 10);
+    }
+
+    #[test]
+    fn cost_model_charges_words_and_accesses() {
+        // move d0,d1: 1 word = 2 cycles.
+        // move @0x2000,d0: 3 words + one long access = 6 + 4 = 10.
+        let cheap = run(|a| {
+            a.emit(McOp::Move, Ea::D(0), Ea::D(1));
+            a.emit0(McOp::Halt);
+        });
+        let costly = run(|a| {
+            a.emit(McOp::Move, Ea::Abs(0x2000), Ea::D(0));
+            a.emit0(McOp::Halt);
+        });
+        assert_eq!(costly.stats().cycles - cheap.stats().cycles, 8);
+    }
+
+    #[test]
+    fn errors_divide_rts_fuel_decode() {
+        let mut a = McAsm::new();
+        a.emit(McOp::Divs, Ea::Imm16(0), Ea::D(0));
+        let prog = a.finish().unwrap();
+        let mut cpu = McCpu::new(McConfig::default());
+        cpu.load_program(&prog).unwrap();
+        assert!(matches!(cpu.run(), Err(McError::DivideByZero { .. })));
+
+        let mut a = McAsm::new();
+        a.emit0(McOp::Rts);
+        let prog = a.finish().unwrap();
+        let mut cpu = McCpu::new(McConfig::default());
+        cpu.load_program(&prog).unwrap();
+        assert!(matches!(cpu.run(), Err(McError::RtsAtTopLevel { .. })));
+
+        let mut cpu = McCpu::new(McConfig::default());
+        cpu.load_program(&McProgram {
+            words: vec![0xff00],
+            ..McProgram::default()
+        })
+        .unwrap();
+        assert!(matches!(cpu.run(), Err(McError::Decode { .. })));
+
+        let mut a = McAsm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.branch(McOp::Bra, top);
+        let prog = a.finish().unwrap();
+        let mut cpu = McCpu::new(McConfig {
+            fuel: 50,
+            ..McConfig::default()
+        });
+        cpu.load_program(&prog).unwrap();
+        assert_eq!(cpu.run(), Err(McError::OutOfFuel));
+    }
+
+    #[test]
+    fn shifts() {
+        let cpu = run(|a| {
+            a.emit(McOp::Move, Ea::Imm16(-64), Ea::D(0));
+            a.emit(McOp::Asr, Ea::Imm16(3), Ea::D(0)); // -8
+            a.emit(McOp::Lsl, Ea::Imm16(2), Ea::D(0)); // -32
+            a.emit0(McOp::Halt);
+        });
+        assert_eq!(cpu.result(), -32);
+    }
+}

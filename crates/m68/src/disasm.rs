@@ -1,0 +1,147 @@
+//! MC disassembler: 16-bit instruction words back to assembly text.
+
+use crate::isa::{Ea, McOp};
+
+/// One decoded instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedLine {
+    /// Byte offset within the stream.
+    pub offset: u32,
+    /// Encoded length in bytes.
+    pub len: u32,
+    /// Rendered assembly text.
+    pub text: String,
+}
+
+fn fetch(words: &[u16], cur: &mut usize) -> Option<u16> {
+    let w = *words.get(*cur)?;
+    *cur += 1;
+    Some(w)
+}
+
+fn decode_ea(spec: u8, words: &[u16], cur: &mut usize) -> Option<Ea> {
+    Some(match spec {
+        0..=5 => Ea::D(spec),
+        6 | 7 => Ea::Ind(spec - 6),
+        8 | 9 => Ea::A(spec - 8),
+        10 => Ea::Push,
+        11 => Ea::Pop,
+        12 => Ea::Frame(fetch(words, cur)? as i16),
+        13 | 14 => {
+            let lo = u32::from(fetch(words, cur)?);
+            let hi = u32::from(fetch(words, cur)?);
+            let v = lo | hi << 16;
+            if spec == 13 {
+                Ea::Abs(v)
+            } else {
+                Ea::Imm(v)
+            }
+        }
+        _ => Ea::Imm16(fetch(words, cur)? as i16),
+    })
+}
+
+/// Decodes one instruction at word index `word_idx`.
+pub fn decode_one(words: &[u16], word_idx: usize) -> Option<DecodedLine> {
+    let mut cur = word_idx;
+    let base = fetch(words, &mut cur)?;
+    let op = McOp::from_code((base >> 8) as u8)?;
+    let mut parts: Vec<String> = Vec::new();
+    if op.has_src() {
+        parts.push(decode_ea((base & 0xf) as u8, words, &mut cur)?.to_string());
+    }
+    if op.has_dst() {
+        parts.push(decode_ea((base >> 4 & 0xf) as u8, words, &mut cur)?.to_string());
+    }
+    if op.has_ext16() {
+        let v = fetch(words, &mut cur)? as i16;
+        if op.condition().is_some() || matches!(op, McOp::Bra | McOp::Jsr) {
+            let target = (cur as i64 * 2 + i64::from(v)) as u32;
+            parts.push(format!("{target:#x}"));
+        } else {
+            parts.push(format!("#{v}"));
+        }
+    }
+    let text = if parts.is_empty() {
+        op.name().to_string()
+    } else {
+        format!("{} {}", op.name(), parts.join(", "))
+    };
+    Some(DecodedLine {
+        offset: word_idx as u32 * 2,
+        len: (cur - word_idx) as u32 * 2,
+        text,
+    })
+}
+
+/// Disassembles a whole word stream; undecodable words render as `.word`.
+pub fn disassemble(words: &[u16]) -> String {
+    let mut out = String::new();
+    let mut idx = 0usize;
+    while idx < words.len() {
+        match decode_one(words, idx) {
+            Some(line) => {
+                out.push_str(&format!("{:#06x}:  {}\n", line.offset, line.text));
+                idx += line.len as usize / 2;
+            }
+            None => {
+                out.push_str(&format!("{:#06x}:  .word {:#06x}\n", idx * 2, words[idx]));
+                idx += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::McAsm;
+
+    #[test]
+    fn round_trips_a_program_listing() {
+        let mut a = McAsm::new();
+        let f = a.new_label();
+        a.emit(McOp::Move, Ea::Imm16(40), Ea::D(0));
+        a.emit(McOp::Add, Ea::Frame(8), Ea::D(0));
+        a.emit(McOp::Move, Ea::D(0), Ea::Push);
+        a.branch(McOp::Jsr, f);
+        a.ext16(McOp::AddSp, 4);
+        a.bind(f);
+        a.ext16(McOp::Link, 8);
+        a.emit0(McOp::Unlk);
+        a.emit0(McOp::Rts);
+        a.emit0(McOp::Halt);
+        let p = a.finish().unwrap();
+        let text = disassemble(&p.words);
+        assert!(text.contains("move #40, d0"), "{text}");
+        assert!(text.contains("add 8(fp), d0"), "{text}");
+        assert!(text.contains("move d0, -(sp)"), "{text}");
+        assert!(text.contains("jsr"), "{text}");
+        assert!(text.contains("addsp #4"), "{text}");
+        assert!(text.contains("link #8"), "{text}");
+        assert!(text.contains("unlk") && text.contains("rts") && text.contains("halt"));
+        assert!(!text.contains(".word"), "{text}");
+    }
+
+    #[test]
+    fn branch_targets_resolve_to_byte_offsets() {
+        let mut a = McAsm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.emit_src(McOp::Tst, Ea::D(0));
+        a.branch(McOp::Bne, top);
+        let p = a.finish().unwrap();
+        let text = disassemble(&p.words);
+        assert!(text.contains("bne 0x0"), "{text}");
+    }
+
+    #[test]
+    fn garbage_and_truncation_degrade_gracefully() {
+        let text = disassemble(&[0xff00, 0x0100]); // bad opcode, then move d0,d0
+        assert!(text.contains(".word 0xff00"));
+        assert!(text.contains("move d0, d0"));
+        // Truncated immediate:
+        assert!(decode_one(&[(McOp::Move as u16) << 8 | 0x0f], 0).is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! The MC instruction set: 16-bit base words plus extension words.
+//!
+//! Base word layout: `[opcode:8][dst spec:4][src spec:4]`. Each spec may
+//! demand extension words, which follow the base word src-first:
+//!
+//! | spec | meaning | extension |
+//! |------|---------|-----------|
+//! | 0–5  | data register `D0`–`D5` | — |
+//! | 6    | `(A0)` memory deferred | — |
+//! | 7    | `(A1)` memory deferred | — |
+//! | 8    | address register `A0` | — |
+//! | 9    | address register `A1` | — |
+//! | 10   | `-(SP)` push | — |
+//! | 11   | `(SP)+` pop | — |
+//! | 12   | `d16(FP)` frame slot | 1 word |
+//! | 13   | `abs32` absolute address | 2 words |
+//! | 14   | `imm32` immediate | 2 words |
+//! | 15   | `imm16` sign-extended immediate | 1 word |
+//!
+//! Branches, `JSR`, `LINK` and `ADDSP` carry one extension word
+//! (displacement or count) and leave the spec nibbles zero.
+
+use std::fmt;
+
+/// An effective address (operand) of an MC instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ea {
+    /// Data register `D0`–`D5`.
+    D(u8),
+    /// Memory at `(A0)` or `(A1)` (index 0 or 1).
+    Ind(u8),
+    /// Address register `A0` or `A1` (index 0 or 1).
+    A(u8),
+    /// Push: `-(SP)`.
+    Push,
+    /// Pop: `(SP)+`.
+    Pop,
+    /// Frame slot `d16(FP)`.
+    Frame(i16),
+    /// Absolute 32-bit address.
+    Abs(u32),
+    /// 32-bit immediate.
+    Imm(u32),
+    /// 16-bit sign-extended immediate (half the size of `Imm`).
+    Imm16(i16),
+}
+
+impl Ea {
+    /// The spec nibble.
+    pub fn spec(&self) -> u8 {
+        match self {
+            Ea::D(n) => {
+                debug_assert!(*n < 6);
+                *n
+            }
+            Ea::Ind(n) => 6 + (n & 1),
+            Ea::A(n) => 8 + (n & 1),
+            Ea::Push => 10,
+            Ea::Pop => 11,
+            Ea::Frame(_) => 12,
+            Ea::Abs(_) => 13,
+            Ea::Imm(_) => 14,
+            Ea::Imm16(_) => 15,
+        }
+    }
+
+    /// Extension words this operand contributes.
+    pub fn ext_words(&self) -> usize {
+        match self {
+            Ea::Frame(_) | Ea::Imm16(_) => 1,
+            Ea::Abs(_) | Ea::Imm(_) => 2,
+            _ => 0,
+        }
+    }
+
+    /// Appends the extension words.
+    pub fn encode_ext(&self, out: &mut Vec<u16>) {
+        match *self {
+            Ea::Frame(d) => out.push(d as u16),
+            Ea::Imm16(v) => out.push(v as u16),
+            Ea::Abs(v) | Ea::Imm(v) => {
+                out.push(v as u16);
+                out.push((v >> 16) as u16);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether evaluating this operand as a source reads memory.
+    pub fn reads_memory(&self) -> bool {
+        matches!(self, Ea::Ind(_) | Ea::Pop | Ea::Frame(_) | Ea::Abs(_))
+    }
+
+    /// The cheapest immediate form for a constant.
+    pub fn imm(v: i32) -> Ea {
+        match i16::try_from(v) {
+            Ok(s) => Ea::Imm16(s),
+            Err(_) => Ea::Imm(v as u32),
+        }
+    }
+}
+
+impl fmt::Display for Ea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Ea::D(n) => write!(f, "d{n}"),
+            Ea::Ind(n) => write!(f, "(a{n})"),
+            Ea::A(n) => write!(f, "a{n}"),
+            Ea::Push => write!(f, "-(sp)"),
+            Ea::Pop => write!(f, "(sp)+"),
+            Ea::Frame(d) => write!(f, "{d}(fp)"),
+            Ea::Abs(a) => write!(f, "@{a:#x}"),
+            Ea::Imm(v) => write!(f, "#{}", v as i32),
+            Ea::Imm16(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Branch conditions (signed comparisons suffice for the IR backend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum McCc {
+    /// Z.
+    Eq,
+    /// !Z.
+    Ne,
+    /// N ^ V.
+    Lt,
+    /// Z | (N ^ V).
+    Le,
+    /// !Z & !(N ^ V).
+    Gt,
+    /// !(N ^ V).
+    Ge,
+}
+
+macro_rules! mc_ops {
+    ($(($v:ident, $name:literal, $code:expr, $nsrc:expr, $ndst:expr, $ext:expr, $extra:expr, $d:literal)),* $(,)?) => {
+        /// An MC opcode.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[repr(u8)]
+        pub enum McOp {
+            $(#[doc = $d] $v = $code,)*
+        }
+
+        impl McOp {
+            /// Every opcode.
+            pub const ALL: &'static [McOp] = &[$(McOp::$v),*];
+
+            /// Mnemonic.
+            pub fn name(self) -> &'static str {
+                match self { $(McOp::$v => $name,)* }
+            }
+
+            /// Whether the instruction takes a source operand.
+            pub fn has_src(self) -> bool {
+                match self { $(McOp::$v => $nsrc,)* }
+            }
+
+            /// Whether the instruction takes a destination operand.
+            pub fn has_dst(self) -> bool {
+                match self { $(McOp::$v => $ndst,)* }
+            }
+
+            /// Whether the opcode carries its own 16-bit extension word
+            /// (branch displacement, frame size, stack adjust).
+            pub fn has_ext16(self) -> bool {
+                match self { $(McOp::$v => $ext,)* }
+            }
+
+            /// Extra microcycles beyond fetch + operand traffic.
+            pub fn extra_cycles(self) -> u64 {
+                match self { $(McOp::$v => $extra,)* }
+            }
+
+            /// Decodes an opcode byte.
+            pub fn from_code(b: u8) -> Option<McOp> {
+                match b { $($code => Some(McOp::$v),)* _ => None }
+            }
+        }
+    };
+}
+
+mc_ops! {
+    (Halt,  "halt",  0x00, false, false, false, 0,  "stop the machine"),
+    (Move,  "move",  0x01, true,  true,  false, 0,  "dst := src (32-bit), sets N/Z"),
+    (MoveB, "move.b",0x02, true,  true,  false, 0,  "byte move: register destinations zero-extend"),
+    (Add,   "add",   0x10, true,  true,  false, 0,  "dst := dst + src"),
+    (Sub,   "sub",   0x11, true,  true,  false, 0,  "dst := dst - src"),
+    (Mul,   "muls",  0x12, true,  true,  false, 30, "dst := dst * src (long microcoded multiply)"),
+    (Divs,  "divs",  0x13, true,  true,  false, 60, "dst := dst / src (long microcoded divide)"),
+    (And,   "and",   0x14, true,  true,  false, 0,  "dst := dst & src"),
+    (Or,    "or",    0x15, true,  true,  false, 0,  "dst := dst | src"),
+    (Eor,   "eor",   0x16, true,  true,  false, 0,  "dst := dst ^ src"),
+    (Lsl,   "lsl",   0x17, true,  true,  false, 1,  "dst := dst << (src & 31)"),
+    (Asr,   "asr",   0x18, true,  true,  false, 1,  "dst := dst >> (src & 31) arithmetic"),
+    (Cmp,   "cmp",   0x20, true,  true,  false, 0,  "flags := dst - src"),
+    (Tst,   "tst",   0x21, true,  false, false, 0,  "flags := src - 0"),
+    (Clr,   "clr",   0x22, false, true,  false, 0,  "dst := 0"),
+    (Bra,   "bra",   0x30, false, false, true,  2,  "branch always (disp16)"),
+    (Beq,   "beq",   0x31, false, false, true,  0,  "branch if equal"),
+    (Bne,   "bne",   0x32, false, false, true,  0,  "branch if not equal"),
+    (Blt,   "blt",   0x33, false, false, true,  0,  "branch if less (signed)"),
+    (Ble,   "ble",   0x34, false, false, true,  0,  "branch if less or equal"),
+    (Bgt,   "bgt",   0x35, false, false, true,  0,  "branch if greater"),
+    (Bge,   "bge",   0x36, false, false, true,  0,  "branch if greater or equal"),
+    (Jsr,   "jsr",   0x40, false, false, true,  4,  "push return address, jump (disp16)"),
+    (Rts,   "rts",   0x41, false, false, false, 4,  "pop return address, jump"),
+    (Link,  "link",  0x42, false, false, true,  2,  "push FP, FP := SP, SP -= n"),
+    (Unlk,  "unlk",  0x43, false, false, false, 2,  "SP := FP, FP := pop"),
+    (AddSp, "addsp", 0x44, false, false, true,  0,  "SP += n (signed; pops call arguments)"),
+}
+
+impl McOp {
+    /// The branch condition, if conditional.
+    pub fn condition(self) -> Option<McCc> {
+        Some(match self {
+            McOp::Beq => McCc::Eq,
+            McOp::Bne => McCc::Ne,
+            McOp::Blt => McCc::Lt,
+            McOp::Ble => McCc::Le,
+            McOp::Bgt => McCc::Gt,
+            McOp::Bge => McCc::Ge,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for McOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn opcode_bytes_unique_and_roundtrip() {
+        let set: HashSet<u8> = McOp::ALL.iter().map(|o| *o as u8).collect();
+        assert_eq!(set.len(), McOp::ALL.len());
+        for op in McOp::ALL {
+            assert_eq!(McOp::from_code(*op as u8), Some(*op));
+        }
+        assert_eq!(McOp::from_code(0xff), None);
+    }
+
+    #[test]
+    fn spec_nibbles_are_distinct() {
+        let eas = [
+            Ea::D(0),
+            Ea::D(5),
+            Ea::Ind(0),
+            Ea::Ind(1),
+            Ea::A(0),
+            Ea::A(1),
+            Ea::Push,
+            Ea::Pop,
+            Ea::Frame(4),
+            Ea::Abs(8),
+            Ea::Imm(9),
+            Ea::Imm16(3),
+        ];
+        let specs: HashSet<u8> = eas.iter().map(Ea::spec).collect();
+        assert_eq!(specs.len(), eas.len());
+        assert!(eas.iter().all(|e| e.spec() < 16));
+    }
+
+    #[test]
+    fn extension_word_counts() {
+        assert_eq!(Ea::D(1).ext_words(), 0);
+        assert_eq!(Ea::Frame(-8).ext_words(), 1);
+        assert_eq!(Ea::Imm16(100).ext_words(), 1);
+        assert_eq!(Ea::Abs(0x12345).ext_words(), 2);
+        assert_eq!(Ea::Imm(0x12345).ext_words(), 2);
+    }
+
+    #[test]
+    fn imm_picks_the_short_form() {
+        assert_eq!(Ea::imm(100), Ea::Imm16(100));
+        assert_eq!(Ea::imm(-4), Ea::Imm16(-4));
+        assert_eq!(Ea::imm(70_000), Ea::Imm(70_000));
+        assert_eq!(Ea::imm(-70_000), Ea::Imm((-70_000i32) as u32));
+    }
+
+    #[test]
+    fn conditions_only_on_conditional_branches() {
+        assert_eq!(McOp::Bra.condition(), None);
+        assert_eq!(McOp::Beq.condition(), Some(McCc::Eq));
+        assert_eq!(McOp::Add.condition(), None);
+    }
+}

@@ -1,0 +1,46 @@
+//! # `risc1-m68` — "MC", the open 16-bit-word CISC baseline
+//!
+//! Besides the VAX, the RISC I paper benchmarks against the 16-bit
+//! microprocessors of its day — the Motorola 68000 and Zilog Z8002. Those
+//! are proprietary; this crate builds an open machine of the same *class*:
+//!
+//! * **16-bit instruction granularity** — a one-word base instruction plus
+//!   0–2 extension words per operand (displacement, absolute address or
+//!   immediate), so instructions are 2–10 bytes and average shorter than
+//!   RISC I's fixed 4;
+//! * **register + memory operands** — six data registers, two address
+//!   registers, push/pop and frame-relative modes;
+//! * **an expensive microcoded call** — `JSR` pushes the return address,
+//!   `LINK`/`UNLK` build and tear down stack frames, `RTS` pops — every
+//!   call walks memory, the behaviour register windows eliminate;
+//! * **a 16-bit-bus cost model** — every instruction word fetched and
+//!   every data access is charged bus time, and multiply/divide are long
+//!   microcoded iterations (the 68000 took ~70 clocks for `MULS`).
+//!
+//! MC is *not* binary-compatible with the 68000 (see DESIGN.md §5) — it
+//! reproduces the structural properties the paper's comparison relies on
+//! with a clean encoding.
+//!
+//! ```
+//! use risc1_m68::{McAsm, McCpu, McConfig, McOp, Ea};
+//!
+//! let mut a = McAsm::new();
+//! a.emit(McOp::Move, Ea::Imm(40), Ea::D(0));
+//! a.emit(McOp::Add, Ea::Imm(2), Ea::D(0));
+//! a.emit0(McOp::Halt);
+//! let prog = a.finish().unwrap();
+//! let mut cpu = McCpu::new(McConfig::default());
+//! cpu.load_program(&prog).unwrap();
+//! cpu.run().unwrap();
+//! assert_eq!(cpu.result(), 42);
+//! ```
+
+pub mod builder;
+pub mod cpu;
+pub mod disasm;
+pub mod isa;
+
+pub use builder::{McAsm, McBuildError, McLabel, McProgram};
+pub use cpu::{McConfig, McCpu, McError, McStats};
+pub use disasm::disassemble as disassemble_mc;
+pub use isa::{Ea, McCc, McOp};

@@ -1,0 +1,17 @@
+//! # `risc1-stats` — measurement harness and table rendering
+//!
+//! Every experiment in the evaluation follows the same shape: compile a
+//! workload for both machines, run it, and view the counters as a table.
+//! This crate provides that plumbing once:
+//!
+//! * [`measure::measure`] — compile + run one workload on RISC I and CX,
+//!   returning a [`measure::Measurement`] with every counter both tables
+//!   and figures draw from;
+//! * [`table::Table`] — fixed-width text tables (the format the experiment
+//!   binaries print, mirroring the paper's tables).
+
+pub mod measure;
+pub mod table;
+
+pub use measure::{measure, measure_risc, measure_with, Measurement};
+pub use table::Table;

@@ -1,0 +1,177 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (names, text).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A text table: headers plus rows, rendered with aligned columns.
+///
+/// ```
+/// use risc1_stats::Table;
+/// let mut t = Table::new(&["benchmark", "cycles"]);
+/// t.row(vec!["acker".into(), "123456".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("acker"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the table.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn columns(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self.columns();
+        let mut w = vec![0; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    fn align(cell: &str) -> Align {
+        // Numbers (and ratios like "2.5x", percentages) right-align.
+        let t = cell.trim_end_matches(['x', '%', '±']);
+        if !t.is_empty() && t.chars().all(|c| c.is_ascii_digit() || ".-+e".contains(c)) {
+            Align::Right
+        } else {
+            Align::Left
+        }
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String], head: bool| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = w - cell.chars().count();
+                let aligned = if head || Self::align(cell) == Align::Left {
+                    format!("{cell}{}", " ".repeat(pad))
+                } else {
+                    format!("{}{cell}", " ".repeat(pad))
+                };
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&aligned);
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render_row(f, &self.headers, true)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row, false)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio as the paper prints them, e.g. `2.4x`.
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "—".to_string()
+    } else {
+        format!("{:.2}x", num / den)
+    }
+}
+
+/// Formats a fraction as a percentage, e.g. `37.5%`.
+pub fn percent(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "n"]);
+        t.row(vec!["a".into(), "5".into()]);
+        t.row(vec!["long-name".into(), "123".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("a "));
+        assert!(lines[3].starts_with("long-name"));
+        // numeric column right-aligned: "5" under "123"'s last digit
+        let c5 = lines[2].rfind('5').unwrap();
+        let c3 = lines[3].rfind('3').unwrap();
+        assert_eq!(c5, c3);
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "extra".into()]);
+        t.row(vec![]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("extra"));
+    }
+
+    #[test]
+    fn ratio_and_percent_formatting() {
+        assert_eq!(ratio(5.0, 2.0), "2.50x");
+        assert_eq!(ratio(1.0, 0.0), "—");
+        assert_eq!(percent(0.375), "37.5%");
+    }
+
+    #[test]
+    fn alignment_classifier() {
+        assert_eq!(Table::align("123"), Align::Right);
+        assert_eq!(Table::align("2.50x"), Align::Right);
+        assert_eq!(Table::align("37.5%"), Align::Right);
+        assert_eq!(Table::align("acker"), Align::Left);
+        assert_eq!(Table::align(""), Align::Left);
+    }
+}

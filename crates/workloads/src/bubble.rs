@@ -1,0 +1,116 @@
+//! Bubble sort — the quadratic-sorting member of the suite (array traffic
+//! with predictable branches).
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+const N: usize = 512;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "bubble",
+        description: "bubble sort of an LCG-filled word array, then checksum",
+        module: build(),
+        args: vec![180],
+        small_args: vec![40],
+        call_heavy: false,
+    }
+}
+
+fn build() -> Module {
+    // locals: n=0, i=1, j=2, t=3, seed_then_sum=4
+    let main = function(
+        "main",
+        1,
+        5,
+        vec![
+            // fill with seed = (seed*33 + 5) & 0x1fff
+            assign(4, konst(1)),
+            assign(1, konst(0)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    assign(
+                        4,
+                        band(
+                            add(add(shl(local(4), konst(5)), local(4)), konst(5)),
+                            konst(8191),
+                        ),
+                    ),
+                    storew(0, local(1), local(4)),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            // bubble sort
+            assign(1, konst(0)),
+            while_loop(
+                lt(local(1), sub(local(0), konst(1))),
+                vec![
+                    assign(2, konst(0)),
+                    while_loop(
+                        lt(local(2), sub(sub(local(0), local(1)), konst(1))),
+                        vec![
+                            if_then(
+                                gt(loadw(0, local(2)), loadw(0, add(local(2), konst(1)))),
+                                vec![
+                                    assign(3, loadw(0, local(2))),
+                                    storew(0, local(2), loadw(0, add(local(2), konst(1)))),
+                                    storew(0, add(local(2), konst(1)), local(3)),
+                                ],
+                            ),
+                            assign(2, add(local(2), konst(1))),
+                        ],
+                    ),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            // verify sorted and checksum: sum of a[i]*1 with order penalty
+            assign(4, konst(0)),
+            assign(1, konst(1)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    if_then(
+                        gt(loadw(0, sub(local(1), konst(1))), loadw(0, local(1))),
+                        vec![ret(konst(-1))],
+                    ),
+                    assign(4, add(local(4), loadw(0, local(1)))),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            ret(local(4)),
+        ],
+    );
+    module(vec![main], vec![global_words("arr", N)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference(n: usize) -> i32 {
+        let mut seed = 1i32;
+        let mut arr: Vec<i32> = (0..n)
+            .map(|_| {
+                seed = ((seed << 5) + seed + 5) & 8191;
+                seed
+            })
+            .collect();
+        arr.sort_unstable();
+        arr.iter().skip(1).sum()
+    }
+
+    #[test]
+    fn sorts_and_checksums() {
+        for n in [2, 17, 60] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value, reference(n as usize), "n = {n}");
+            // final array is sorted
+            let g = &r.globals[0][..n as usize];
+            assert!(g.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

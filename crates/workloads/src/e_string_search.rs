@@ -1,0 +1,125 @@
+//! "E — string search": the paper's benchmark E, a naive substring search
+//! over byte strings, repeated to get measurable run time.
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+const TEXT_LEN: usize = 240;
+const PAT_LEN: usize = 5;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "e_string_search",
+        description: "string search (paper benchmark E): naive match over byte arrays",
+        module: build(),
+        args: vec![400],
+        small_args: vec![25],
+        call_heavy: false,
+    }
+}
+
+fn text_bytes() -> Vec<i32> {
+    // Pseudo-text with the pattern "RISCI" planted near the end.
+    let mut t: Vec<i32> = (0..TEXT_LEN as i32).map(|i| 97 + (i * 7 % 23)).collect();
+    let pat = pattern_bytes();
+    let at = TEXT_LEN - PAT_LEN - 3;
+    t[at..at + PAT_LEN].copy_from_slice(&pat);
+    t
+}
+
+fn pattern_bytes() -> [i32; PAT_LEN] {
+    [82, 73, 83, 67, 73] // "RISCI"
+}
+
+fn build() -> Module {
+    // find(tlen, plen): locals tlen=0, plen=1, i=2, j=3
+    let find = function(
+        "find",
+        2,
+        4,
+        vec![
+            assign(2, konst(0)),
+            while_loop(
+                le(local(2), sub(local(0), local(1))),
+                vec![
+                    assign(3, konst(0)),
+                    while_loop(
+                        lt(local(3), local(1)),
+                        vec![if_else(
+                            ne(loadb(0, add(local(2), local(3))), loadb(1, local(3))),
+                            vec![assign(3, add(local(1), konst(1)))], // mismatch: break
+                            vec![assign(3, add(local(3), konst(1)))],
+                        )],
+                    ),
+                    if_then(eq(local(3), local(1)), vec![ret(local(2))]),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(konst(-1)),
+        ],
+    );
+    // main(reps): locals reps=0, s=1, k=2, t=3
+    let main = function(
+        "main",
+        1,
+        4,
+        vec![
+            assign(1, konst(0)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(2), local(0)),
+                vec![
+                    assign(
+                        3,
+                        call(1, vec![konst(TEXT_LEN as i32), konst(PAT_LEN as i32)]),
+                    ),
+                    assign(1, add(local(1), add(local(3), konst(1)))),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(1)),
+        ],
+    );
+    module(
+        vec![main, find],
+        vec![
+            global_bytes_init("text", text_bytes()),
+            global_bytes_init("pat", pattern_bytes().to_vec()),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference_find() -> i32 {
+        let t: Vec<u8> = text_bytes().iter().map(|v| *v as u8).collect();
+        let p: Vec<u8> = pattern_bytes().iter().map(|v| *v as u8).collect();
+        t.windows(p.len())
+            .position(|w| w == &p[..])
+            .map_or(-1, |i| i as i32)
+    }
+
+    #[test]
+    fn finds_the_planted_pattern() {
+        let pos = reference_find();
+        assert_eq!(
+            pos,
+            (TEXT_LEN - PAT_LEN - 3) as i32,
+            "pattern sits near the end"
+        );
+        let r = interpret(&build(), &[1]).unwrap();
+        assert_eq!(r.value, pos + 1);
+    }
+
+    #[test]
+    fn repeats_accumulate() {
+        let pos = reference_find();
+        let r = interpret(&build(), &[7]).unwrap();
+        assert_eq!(r.value, 7 * (pos + 1));
+    }
+}

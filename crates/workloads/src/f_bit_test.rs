@@ -1,0 +1,82 @@
+//! "F — bit test": population counts over a pseudo-random stream. One of
+//! the paper's short C benchmarks exercising shift/mask sequences.
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "f_bit_test",
+        description: "bit test (paper benchmark F): popcount of an LCG stream via shift/mask",
+        module: build(),
+        args: vec![5000],
+        small_args: vec![300],
+        call_heavy: false,
+    }
+}
+
+fn build() -> Module {
+    // locals: reps=0, s=1, k=2, seed=3, v=4, c=5
+    // seed advances by seed*33+7 mod 2^15 — shifts and adds only, so the
+    // workload measures bit work, not multiply runtime.
+    let main = function(
+        "main",
+        1,
+        6,
+        vec![
+            assign(1, konst(0)),
+            assign(2, konst(0)),
+            assign(3, konst(1)),
+            while_loop(
+                lt(local(2), local(0)),
+                vec![
+                    assign(
+                        3,
+                        band(
+                            add(add(shl(local(3), konst(5)), local(3)), konst(7)),
+                            konst(32767),
+                        ),
+                    ),
+                    assign(4, local(3)),
+                    assign(5, konst(0)),
+                    while_loop(
+                        ne(local(4), konst(0)),
+                        vec![
+                            assign(5, add(local(5), band(local(4), konst(1)))),
+                            assign(4, shr(local(4), konst(1))),
+                        ],
+                    ),
+                    assign(1, add(local(1), local(5))),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(1)),
+        ],
+    );
+    module(vec![main], vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference(reps: i32) -> i32 {
+        let (mut s, mut seed) = (0i32, 1i32);
+        for _ in 0..reps {
+            seed = ((seed << 5) + seed + 7) & 32767;
+            s += seed.count_ones() as i32;
+        }
+        s
+    }
+
+    #[test]
+    fn matches_native_popcount() {
+        for reps in [1, 10, 257] {
+            let r = interpret(&build(), &[reps]).unwrap();
+            assert_eq!(r.value, reference(reps), "reps {reps}");
+        }
+    }
+}

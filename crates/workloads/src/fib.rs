@@ -1,0 +1,60 @@
+//! Recursive Fibonacci — small frames, deep call trees.
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "fib",
+        description: "naively recursive Fibonacci: deep call tree, tiny frames",
+        module: build(),
+        args: vec![20],
+        small_args: vec![12],
+        call_heavy: true,
+    }
+}
+
+fn build() -> Module {
+    let fib = function(
+        "fib",
+        1,
+        3,
+        vec![
+            if_then(lt(local(0), konst(2)), vec![ret(local(0))]),
+            assign(1, call(1, vec![sub(local(0), konst(1))])),
+            assign(2, call(1, vec![sub(local(0), konst(2))])),
+            ret(add(local(1), local(2))),
+        ],
+    );
+    let main = function(
+        "main",
+        1,
+        2,
+        vec![assign(1, call(1, vec![local(0)])), ret(local(1))],
+    );
+    module(vec![main, fib], vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            reference(n - 1) + reference(n - 2)
+        }
+    }
+
+    #[test]
+    fn matches_native_reference() {
+        for n in [0, 1, 2, 7, 15] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value as u64, reference(n as u64), "fib({n})");
+        }
+    }
+}

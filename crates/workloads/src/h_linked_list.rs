@@ -1,0 +1,149 @@
+//! "H — linked list": sorted insertion into a singly linked list kept in
+//! parallel arrays (index-linked, as a 1981 C program would on a machine
+//! without malloc in the benchmark loop).
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+const N: usize = 300;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "h_linked_list",
+        description: "linked list (paper benchmark H): sorted insertion + traversal",
+        module: build(),
+        args: vec![220],
+        small_args: vec![40],
+        call_heavy: false,
+    }
+}
+
+fn build() -> Module {
+    // globals: 0 = next[N], 1 = val[N]
+    // locals: n=0, head=1, k=2, seed=3, p=4, t=5, go=6
+    let main = function(
+        "main",
+        1,
+        7,
+        vec![
+            assign(1, konst(-1)),
+            assign(2, konst(0)),
+            assign(3, konst(1)),
+            while_loop(
+                lt(local(2), local(0)),
+                vec![
+                    assign(
+                        3,
+                        band(
+                            add(add(shl(local(3), konst(5)), local(3)), konst(3)),
+                            konst(8191),
+                        ),
+                    ),
+                    storew(1, local(2), local(3)),
+                    if_else(
+                        eq(local(1), konst(-1)),
+                        vec![storew(0, local(2), local(1)), assign(1, local(2))],
+                        vec![if_else(
+                            ge(loadw(1, local(1)), local(3)),
+                            vec![storew(0, local(2), local(1)), assign(1, local(2))],
+                            vec![
+                                assign(4, local(1)),
+                                assign(6, konst(1)),
+                                while_loop(
+                                    eq(local(6), konst(1)),
+                                    vec![
+                                        assign(5, loadw(0, local(4))),
+                                        if_else(
+                                            eq(local(5), konst(-1)),
+                                            vec![assign(6, konst(0))],
+                                            vec![if_else(
+                                                lt(loadw(1, local(5)), local(3)),
+                                                vec![assign(4, local(5))],
+                                                vec![assign(6, konst(0))],
+                                            )],
+                                        ),
+                                    ],
+                                ),
+                                storew(0, local(2), loadw(0, local(4))),
+                                storew(0, local(4), local(2)),
+                            ],
+                        )],
+                    ),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            // traverse: checksum with position weight
+            assign(2, konst(0)),
+            assign(4, local(1)),
+            while_loop(
+                ne(local(4), konst(-1)),
+                vec![
+                    assign(2, add(local(2), loadw(1, local(4)))),
+                    assign(4, loadw(0, local(4))),
+                ],
+            ),
+            ret(local(2)),
+        ],
+    );
+    module(
+        vec![main],
+        vec![global_words("next", N), global_words("val", N)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference(n: usize) -> i32 {
+        let mut seed = 1i32;
+        let vals: Vec<i32> = (0..n)
+            .map(|_| {
+                seed = ((seed << 5) + seed + 3) & 8191;
+                seed
+            })
+            .collect();
+        vals.iter().sum()
+    }
+
+    #[test]
+    fn traversal_sum_matches_insertion_set() {
+        for n in [1, 2, 25, 80] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value, reference(n as usize), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn list_ends_up_sorted() {
+        // Follow the links in the final global state; values must ascend.
+        let r = interpret(&build(), &[50]).unwrap();
+        let next = &r.globals[0];
+        let val = &r.globals[1];
+        // Find the head: the node not pointed to by anyone... simpler:
+        // walk from the minimum value node by re-deriving head: the chain
+        // visiting all 50 nodes in ascending order exists iff following
+        // from the min covers ascending values. Reconstruct by sorting:
+        let mut seen = 0;
+        // head = node whose value is minimal among inserted
+        let (head, _) = val
+            .iter()
+            .take(50)
+            .enumerate()
+            .min_by_key(|(_, v)| **v)
+            .unwrap();
+        let mut p = head as i32;
+        let mut last = i32::MIN;
+        while p != -1 {
+            let v = val[p as usize];
+            assert!(v >= last, "list order violated");
+            last = v;
+            seen += 1;
+            p = next[p as usize];
+        }
+        assert_eq!(seen, 50, "all nodes reachable");
+    }
+}

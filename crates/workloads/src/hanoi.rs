@@ -1,0 +1,60 @@
+//! Towers of Hanoi (move counting) — binary-recursive call stress.
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "hanoi",
+        description: "Towers of Hanoi move count: binary recursion, depth = n",
+        module: build(),
+        args: vec![14],
+        small_args: vec![8],
+        call_heavy: true,
+    }
+}
+
+fn build() -> Module {
+    // h(n) = n == 0 ? 0 : h(n-1) + h(n-1) + 1   (= 2^n − 1)
+    let h = function(
+        "hanoi",
+        1,
+        3,
+        vec![
+            if_then(eq(local(0), konst(0)), vec![ret(konst(0))]),
+            assign(1, call(1, vec![sub(local(0), konst(1))])),
+            assign(2, call(1, vec![sub(local(0), konst(1))])),
+            ret(add(add(local(1), local(2)), konst(1))),
+        ],
+    );
+    let main = function(
+        "main",
+        1,
+        2,
+        vec![assign(1, call(1, vec![local(0)])), ret(local(1))],
+    );
+    module(vec![main, h], vec![])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    #[test]
+    fn counts_two_to_the_n_minus_one_moves() {
+        for n in [0, 1, 5, 10] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value, (1 << n) - 1, "hanoi({n})");
+        }
+    }
+
+    #[test]
+    fn recursion_depth_equals_n() {
+        // Indirectly: calls = 2^(n+1) − 1 (every node of the call tree).
+        let r = interpret(&build(), &[6]).unwrap();
+        assert_eq!(r.calls, 127, "126 internal call edges + main's call");
+    }
+}

@@ -1,0 +1,163 @@
+//! Integer matrix multiply — the paper's multiply-bound benchmark. RISC I
+//! has no multiply instruction, so every inner-product step calls the
+//! software `__mul` routine; CX multiplies in microcode. This is the
+//! workload where the CISC machine claws back the most ground, exactly as
+//! the paper reports.
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::{Expr, Module};
+
+const DIM: usize = 16; // fixed row stride (arrays are 16×16)
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "intmm",
+        description: "n×n integer matrix multiply (16-wide rows): software mul on RISC I",
+        module: build(),
+        args: vec![14],
+        small_args: vec![6],
+        call_heavy: false,
+    }
+}
+
+fn build() -> Module {
+    // locals: n=0, i=1, j=2, k=3, s=4  (≤5 so the deep mul expression fits)
+    let row = |i: usize, j_expr: Expr| add(shl(local(i), konst(4)), j_expr);
+    let main = function(
+        "main",
+        1,
+        5,
+        vec![
+            // fill a[i][j] = ((i<<2)+j) & 15 − 7;  b[i][j] = ((i+j) & 7) − 3
+            assign(1, konst(0)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    assign(2, konst(0)),
+                    while_loop(
+                        lt(local(2), local(0)),
+                        vec![
+                            storew(
+                                0,
+                                row(1, local(2)),
+                                sub(
+                                    band(add(shl(local(1), konst(2)), local(2)), konst(15)),
+                                    konst(7),
+                                ),
+                            ),
+                            storew(
+                                1,
+                                row(1, local(2)),
+                                sub(band(add(local(1), local(2)), konst(7)), konst(3)),
+                            ),
+                            assign(2, add(local(2), konst(1))),
+                        ],
+                    ),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            // c := a × b
+            assign(1, konst(0)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    assign(2, konst(0)),
+                    while_loop(
+                        lt(local(2), local(0)),
+                        vec![
+                            assign(4, konst(0)),
+                            assign(3, konst(0)),
+                            while_loop(
+                                lt(local(3), local(0)),
+                                vec![
+                                    assign(
+                                        4,
+                                        add(
+                                            local(4),
+                                            mul(
+                                                loadw(0, row(1, local(3))),
+                                                loadw(1, add(shl(local(3), konst(4)), local(2))),
+                                            ),
+                                        ),
+                                    ),
+                                    assign(3, add(local(3), konst(1))),
+                                ],
+                            ),
+                            storew(2, row(1, local(2)), local(4)),
+                            assign(2, add(local(2), konst(1))),
+                        ],
+                    ),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            // checksum of c
+            assign(4, konst(0)),
+            assign(1, konst(0)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    assign(2, konst(0)),
+                    while_loop(
+                        lt(local(2), local(0)),
+                        vec![
+                            assign(4, bxor(local(4), loadw(2, row(1, local(2))))),
+                            assign(2, add(local(2), konst(1))),
+                        ],
+                    ),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            ret(local(4)),
+        ],
+    );
+    module(
+        vec![main],
+        vec![
+            global_words("a", DIM * DIM),
+            global_words("b", DIM * DIM),
+            global_words("c", DIM * DIM),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference(n: usize) -> i32 {
+        let mut a = [[0i32; DIM]; DIM];
+        let mut b = [[0i32; DIM]; DIM];
+        for (i, row) in a.iter_mut().enumerate().take(n) {
+            for (j, cell) in row.iter_mut().enumerate().take(n) {
+                *cell = (((i << 2) + j) & 15) as i32 - 7;
+            }
+        }
+        for (i, row) in b.iter_mut().enumerate().take(n) {
+            for (j, cell) in row.iter_mut().enumerate().take(n) {
+                *cell = ((i + j) & 7) as i32 - 3;
+            }
+        }
+        let mut sum = 0i32;
+        for arow in a.iter().take(n) {
+            for j in 0..n {
+                let mut s = 0i32;
+                for (ak, bk) in arow.iter().zip(b.iter()).take(n) {
+                    s = s.wrapping_add(ak.wrapping_mul(bk[j]));
+                }
+                sum ^= s;
+            }
+        }
+        sum
+    }
+
+    #[test]
+    fn matches_native_matmul() {
+        for n in [1, 4, 9] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value, reference(n as usize), "n = {n}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! # `risc1-workloads` — the paper's benchmark suite, reconstructed
+//!
+//! Patterson & Séquin evaluated RISC I on a set of C programs (string
+//! search, bit test, linked list, Ackermann, quicksort, puzzle, towers of
+//! Hanoi, matrix multiply, sorting, sieve-style bit work, recursive
+//! Fibonacci). The originals are not preserved, so this crate reconstructs
+//! each as a program in the shared IR ([`risc1_ir::ast`]), written *once*
+//! and compiled for both machines — the paper's methodology.
+//!
+//! Every workload carries two argument sets: `args` (paper-scale, used by
+//! the experiment binaries) and `small_args` (fast, used by tests and
+//! Criterion). Each workload module also contains a native-Rust reference
+//! implementation against which the IR interpreter is unit-tested, so the
+//! suite is pinned down three ways: Rust reference ↔ interpreter ↔ both
+//! simulators.
+
+pub mod acker;
+pub mod bubble;
+pub mod e_string_search;
+pub mod f_bit_test;
+pub mod fib;
+pub mod h_linked_list;
+pub mod hanoi;
+pub mod intmm;
+pub mod puzzle;
+pub mod qsort;
+pub mod sieve;
+
+use risc1_ir::Module;
+
+/// One benchmark: an IR module plus its standard inputs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short identifier (stable, used in tables).
+    pub id: &'static str,
+    /// Human-readable description, including which paper benchmark it
+    /// reconstructs.
+    pub description: &'static str,
+    /// The program.
+    pub module: Module,
+    /// Paper-scale arguments to `main`.
+    pub args: Vec<i32>,
+    /// Reduced arguments for fast tests and benches.
+    pub small_args: Vec<i32>,
+    /// Whether the workload is dominated by procedure calls (the paper
+    /// splits its analysis along this axis).
+    pub call_heavy: bool,
+}
+
+/// The full suite, in the order the evaluation tables print it.
+pub fn all() -> Vec<Workload> {
+    vec![
+        e_string_search::workload(),
+        f_bit_test::workload(),
+        h_linked_list::workload(),
+        sieve::workload(),
+        bubble::workload(),
+        qsort::workload(),
+        intmm::workload(),
+        puzzle::workload(),
+        acker::workload(),
+        fib::workload(),
+        hanoi::workload(),
+    ]
+}
+
+/// Looks a workload up by id.
+pub fn by_id(id: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interp::interpret;
+    use risc1_ir::{compile_cx, compile_mc, compile_risc, run_cx, run_mc, run_risc, RiscOpts};
+
+    #[test]
+    fn suite_has_eleven_unique_workloads() {
+        let ws = all();
+        assert_eq!(ws.len(), 11, "the paper's benchmark count");
+        let mut ids: Vec<_> = ws.iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 11);
+    }
+
+    #[test]
+    fn every_workload_validates_and_compiles_for_both_targets() {
+        for w in all() {
+            w.module
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", w.id));
+            compile_risc(&w.module, RiscOpts::default())
+                .unwrap_or_else(|e| panic!("{} risc: {e}", w.id));
+            compile_cx(&w.module).unwrap_or_else(|e| panic!("{} cx: {e}", w.id));
+            compile_mc(&w.module).unwrap_or_else(|e| panic!("{} mc: {e}", w.id));
+        }
+    }
+
+    /// The central differential test of the whole repository: every
+    /// workload computes the same answer on the interpreter, on RISC I, on
+    /// CX and on MC (small inputs to keep the suite fast).
+    #[test]
+    fn differential_small_inputs_agree_across_all_engines() {
+        for w in all() {
+            let oracle = interpret(&w.module, &w.small_args)
+                .unwrap_or_else(|e| panic!("{} interp: {e}", w.id));
+            let risc = compile_risc(&w.module, RiscOpts::default()).unwrap();
+            let (rv, rs) =
+                run_risc(&risc, &w.small_args).unwrap_or_else(|e| panic!("{} risc run: {e}", w.id));
+            let cx = compile_cx(&w.module).unwrap();
+            let (cv, cs) =
+                run_cx(&cx, &w.small_args).unwrap_or_else(|e| panic!("{} cx run: {e}", w.id));
+            let mc = compile_mc(&w.module).unwrap();
+            let (mv, ms) =
+                run_mc(&mc, &w.small_args).unwrap_or_else(|e| panic!("{} mc run: {e}", w.id));
+            assert_eq!(rv, oracle.value, "{}: risc vs oracle", w.id);
+            assert_eq!(cv, oracle.value, "{}: cx vs oracle", w.id);
+            assert_eq!(mv, oracle.value, "{}: mc vs oracle", w.id);
+            assert!(rs.instructions > 0 && cs.instructions > 0 && ms.instructions > 0);
+        }
+    }
+
+    #[test]
+    fn by_id_finds_everything() {
+        for w in all() {
+            assert_eq!(by_id(w.id).unwrap().id, w.id);
+        }
+        assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn call_heavy_flag_is_consistent_with_dynamic_behaviour() {
+        // Call-heavy workloads should execute calls at a visible rate on
+        // RISC I (quicksort is the lightest of them: its partition loop
+        // dominates at small n, but it still recurses throughout).
+        for w in all() {
+            let risc = compile_risc(&w.module, RiscOpts::default()).unwrap();
+            let (_, s) = run_risc(&risc, &w.small_args).unwrap();
+            let rate = s.calls as f64 / s.instructions.max(1) as f64;
+            if w.call_heavy {
+                assert!(rate > 1.0 / 200.0, "{} call rate {rate}", w.id);
+                assert!(s.calls > 10, "{} calls {}", w.id, s.calls);
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! "Puzzle" — recursive combinatorial search. The paper used Baskett's
+//! Puzzle (a 3-D packing search); its exact source is not preserved, so
+//! this reconstruction uses the N-queens search, which exercises the same
+//! machine behaviour: deep recursion with trial placement and undo against
+//! global arrays. (Substitution documented in DESIGN.md.)
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "puzzle",
+        description: "puzzle-class recursive search (N-queens stand-in for Baskett's Puzzle)",
+        module: build(),
+        args: vec![7],
+        small_args: vec![5],
+        call_heavy: true,
+    }
+}
+
+fn build() -> Module {
+    // globals: 0 = cols[16], 1 = diag1[32], 2 = diag2[32]
+    // solve(n, row): locals n=0, row=1, c=2, cnt=3, t=4
+    let solve = function(
+        "solve",
+        2,
+        5,
+        vec![
+            if_then(eq(local(1), local(0)), vec![ret(konst(1))]),
+            assign(3, konst(0)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(2), local(0)),
+                vec![
+                    if_then(
+                        eq(loadw(0, local(2)), konst(0)),
+                        vec![if_then(
+                            eq(loadw(1, add(local(1), local(2))), konst(0)),
+                            vec![if_then(
+                                eq(loadw(2, add(sub(local(1), local(2)), konst(16))), konst(0)),
+                                vec![
+                                    storew(0, local(2), konst(1)),
+                                    storew(1, add(local(1), local(2)), konst(1)),
+                                    storew(2, add(sub(local(1), local(2)), konst(16)), konst(1)),
+                                    assign(4, call(1, vec![local(0), add(local(1), konst(1))])),
+                                    assign(3, add(local(3), local(4))),
+                                    storew(0, local(2), konst(0)),
+                                    storew(1, add(local(1), local(2)), konst(0)),
+                                    storew(2, add(sub(local(1), local(2)), konst(16)), konst(0)),
+                                ],
+                            )],
+                        )],
+                    ),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(3)),
+        ],
+    );
+    let main = function(
+        "main",
+        1,
+        2,
+        vec![assign(1, call(1, vec![local(0), konst(0)])), ret(local(1))],
+    );
+    module(
+        vec![main, solve],
+        vec![
+            global_words("cols", 16),
+            global_words("diag1", 32),
+            global_words("diag2", 32),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    #[test]
+    fn counts_queens_solutions() {
+        // Known N-queens counts: 1, 0, 0, 2, 10, 4, 40, 92
+        for (n, expect) in [(1, 1), (4, 2), (5, 10), (6, 4), (7, 40)] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value, expect, "queens({n})");
+        }
+    }
+
+    #[test]
+    fn board_is_restored_after_search() {
+        let r = interpret(&build(), &[6]).unwrap();
+        assert!(r.globals.iter().all(|g| g.iter().all(|v| *v == 0)));
+    }
+}

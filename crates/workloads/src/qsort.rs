@@ -1,0 +1,131 @@
+//! Recursive quicksort — the paper's mixed workload: recursion plus heavy
+//! array traffic.
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+const N: usize = 512;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "qsort",
+        description: "recursive quicksort (Lomuto) of an LCG-filled word array",
+        module: build(),
+        args: vec![300],
+        small_args: vec![40],
+        call_heavy: true,
+    }
+}
+
+fn build() -> Module {
+    // main: locals n=0, i=1, seed_then_sum=2, t=3
+    let main = function(
+        "main",
+        1,
+        4,
+        vec![
+            assign(2, konst(1)),
+            assign(1, konst(0)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    assign(
+                        2,
+                        band(
+                            add(add(shl(local(2), konst(5)), local(2)), konst(9)),
+                            konst(8191),
+                        ),
+                    ),
+                    storew(0, local(1), local(2)),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            assign(3, call(1, vec![konst(0), sub(local(0), konst(1))])),
+            // verify + checksum
+            assign(2, konst(0)),
+            assign(1, konst(1)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    if_then(
+                        gt(loadw(0, sub(local(1), konst(1))), loadw(0, local(1))),
+                        vec![ret(konst(-1))],
+                    ),
+                    assign(2, add(local(2), loadw(0, local(1)))),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            ret(local(2)),
+        ],
+    );
+    // qs(lo, hi): locals lo=0, hi=1, i=2, j=3, pivot=4, tmp=5
+    let qs = function(
+        "qs",
+        2,
+        6,
+        vec![
+            if_then(ge(local(0), local(1)), vec![ret(konst(0))]),
+            assign(4, loadw(0, local(1))),
+            assign(2, local(0)),
+            assign(3, local(0)),
+            while_loop(
+                lt(local(3), local(1)),
+                vec![
+                    if_then(
+                        le(loadw(0, local(3)), local(4)),
+                        vec![
+                            assign(5, loadw(0, local(2))),
+                            storew(0, local(2), loadw(0, local(3))),
+                            storew(0, local(3), local(5)),
+                            assign(2, add(local(2), konst(1))),
+                        ],
+                    ),
+                    assign(3, add(local(3), konst(1))),
+                ],
+            ),
+            assign(5, loadw(0, local(2))),
+            storew(0, local(2), loadw(0, local(1))),
+            storew(0, local(1), local(5)),
+            assign(5, call(1, vec![local(0), sub(local(2), konst(1))])),
+            assign(5, call(1, vec![add(local(2), konst(1)), local(1)])),
+            ret(konst(0)),
+        ],
+    );
+    module(vec![main, qs], vec![global_words("arr", N)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference(n: usize) -> i32 {
+        let mut seed = 1i32;
+        let mut arr: Vec<i32> = (0..n)
+            .map(|_| {
+                seed = ((seed << 5) + seed + 9) & 8191;
+                seed
+            })
+            .collect();
+        arr.sort_unstable();
+        arr.iter().skip(1).sum()
+    }
+
+    #[test]
+    fn sorts_and_checksums() {
+        for n in [2, 3, 33, 100] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value, reference(n as usize), "n = {n}");
+            let g = &r.globals[0][..n as usize];
+            assert!(g.windows(2).all(|w| w[0] <= w[1]), "sorted for n = {n}");
+        }
+    }
+
+    #[test]
+    fn recursion_happens() {
+        let r = interpret(&build(), &[64]).unwrap();
+        assert!(r.calls > 40, "quicksort recursed ({} calls)", r.calls);
+    }
+}

@@ -1,0 +1,96 @@
+//! Sieve of Eratosthenes over a byte-flag array — the classic
+//! bit/byte-flag benchmark of the era (the paper's bit-oriented workload
+//! class).
+
+use crate::Workload;
+use risc1_ir::ast::dsl::*;
+use risc1_ir::Module;
+
+const FLAGS: usize = 8192;
+
+/// Builds the workload.
+pub fn workload() -> Workload {
+    Workload {
+        id: "sieve",
+        description: "sieve of Eratosthenes over byte flags (counts primes below n)",
+        module: build(),
+        args: vec![8190],
+        small_args: vec![600],
+        call_heavy: false,
+    }
+}
+
+fn build() -> Module {
+    // locals: n=0, i=1, count=2, j=3
+    let main = function(
+        "main",
+        1,
+        4,
+        vec![
+            assign(1, konst(2)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    storeb(0, local(1), konst(1)),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            assign(1, konst(2)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(1), local(0)),
+                vec![
+                    if_then(
+                        eq(loadb(0, local(1)), konst(1)),
+                        vec![
+                            assign(2, add(local(2), konst(1))),
+                            assign(3, add(local(1), local(1))),
+                            while_loop(
+                                lt(local(3), local(0)),
+                                vec![
+                                    storeb(0, local(3), konst(0)),
+                                    assign(3, add(local(3), local(1))),
+                                ],
+                            ),
+                        ],
+                    ),
+                    assign(1, add(local(1), konst(1))),
+                ],
+            ),
+            ret(local(2)),
+        ],
+    );
+    module(vec![main], vec![global_bytes("flags", FLAGS)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_ir::interpret;
+
+    fn reference(n: usize) -> i32 {
+        let mut flags = vec![true; n.max(2)];
+        let mut count = 0;
+        for i in 2..n {
+            if flags[i] {
+                count += 1;
+                let mut j = 2 * i;
+                while j < n {
+                    flags[j] = false;
+                    j += i;
+                }
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn counts_primes() {
+        for n in [10, 100, 1000] {
+            let r = interpret(&build(), &[n]).unwrap();
+            assert_eq!(r.value, reference(n as usize), "primes below {n}");
+        }
+        // π(100) = 25 as a hard anchor
+        assert_eq!(interpret(&build(), &[100]).unwrap().value, 25);
+    }
+}

@@ -1,0 +1,54 @@
+//! One program, two 1981 machines: compile the same IR source for RISC I
+//! and for the VAX-class CX machine, and watch the paper's comparison
+//! happen.
+//!
+//! ```text
+//! cargo run --example dueling_machines
+//! ```
+
+use risc1::ir::ast::dsl::*;
+use risc1::ir::{compile_cx, compile_risc, run_cx, run_risc, RiscOpts};
+
+fn main() {
+    // fn fib(n) { if n < 2 return n; a = fib(n-1); b = fib(n-2); return a+b }
+    let fib = function(
+        "fib",
+        1,
+        3,
+        vec![
+            if_then(lt(local(0), konst(2)), vec![ret(local(0))]),
+            assign(1, call(1, vec![sub(local(0), konst(1))])),
+            assign(2, call(1, vec![sub(local(0), konst(2))])),
+            ret(add(local(1), local(2))),
+        ],
+    );
+    let main_fn = function(
+        "main",
+        1,
+        2,
+        vec![assign(1, call(1, vec![local(0)])), ret(local(1))],
+    );
+    let m = module(vec![main_fn, fib], vec![]);
+
+    let risc = compile_risc(&m, RiscOpts::default()).expect("risc compiles");
+    let cx = compile_cx(&m).expect("cx compiles");
+    println!(
+        "static code: RISC I {} bytes, CX {} bytes ({:.2}x)\n",
+        risc.code_bytes(),
+        cx.code_bytes(),
+        risc.code_bytes() as f64 / cx.code_bytes() as f64
+    );
+
+    for n in [10, 15, 20] {
+        let (rv, rs) = run_risc(&risc, &[n]).expect("risc runs");
+        let (cv, cs) = run_cx(&cx, &[n]).expect("cx runs");
+        assert_eq!(rv, cv, "machines must agree");
+        println!(
+            "fib({n:2}) = {rv:5}   RISC I {:>9} cycles   CX {:>9} cycles   RISC I wins {:.2}x",
+            rs.cycles,
+            cs.cycles,
+            cs.cycles as f64 / rs.cycles as f64
+        );
+    }
+    println!("\n(the margin is the cost of CX's CALLS/RET frames vs register windows)");
+}

@@ -1,0 +1,45 @@
+//! Quickstart: assemble a RISC I program, run it, inspect the machine.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use risc1::asm::assemble;
+use risc1::core::{Cpu, SimConfig};
+
+fn main() {
+    // Triangular numbers, with the loop decrement scheduled into the
+    // branch delay slot — idiomatic RISC I assembly.
+    let src = "
+            add   r16, r0, #0        ; acc := 0
+            add   r17, r26, #0       ; i := n (first argument, in r26)
+    loop:   sub   r0, r17, #0 {scc}  ; set flags from i
+            jmpr  eq, done
+            nop
+            add   r16, r16, r17      ; acc += i
+            jmpr  alw, loop
+            sub   r17, r17, #1       ; delay slot: i -= 1
+    done:   add   r26, r16, #0       ; return value convention: r26
+            halt
+            nop
+    ";
+    let prog = assemble(src).expect("assembles");
+    println!(
+        "assembled {} instructions ({} bytes)\n",
+        prog.len(),
+        prog.code_bytes()
+    );
+
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).expect("loads");
+    cpu.set_args(&[100]);
+    cpu.run().expect("halts");
+
+    println!("triangular(100) = {}", cpu.result());
+    println!("\n{}", cpu.stats());
+    let stats = cpu.stats();
+    println!(
+        "\ndelay slots filled: {:.0}%  (the delay-slot `sub` runs on every iteration)",
+        stats.delay_slot_fill_rate().unwrap_or(0.0) * 100.0
+    );
+}

@@ -1,0 +1,38 @@
+//! The register-window design study: how the window count changes the
+//! overflow behaviour of a recursive workload — the experiment behind the
+//! paper's choice of 8 windows.
+//!
+//! ```text
+//! cargo run --example window_overflow_study
+//! ```
+
+use risc1::core::SimConfig;
+use risc1::ir::RiscOpts;
+use risc1::stats::measure_risc;
+use risc1::workloads::by_id;
+
+fn main() {
+    let qsort = by_id("qsort").expect("suite workload");
+    let hanoi = by_id("hanoi").expect("suite workload");
+    println!("window-overflow behaviour (traps per 100 calls / % of cycles in traps)\n");
+    println!(
+        "{:>8}  {:>22}  {:>22}",
+        "windows", "qsort(120)", "hanoi(10)"
+    );
+    for w in [2, 4, 6, 8, 12, 16] {
+        let cfg = SimConfig::with_windows(w);
+        let q = measure_risc(&qsort, &[120], cfg.clone(), RiscOpts::default());
+        let h = measure_risc(&hanoi, &[10], cfg, RiscOpts::default());
+        let cell = |s: &risc1::core::ExecStats| {
+            format!(
+                "{:>6.1} / {:>5.1}%",
+                s.overflow_rate() * 100.0,
+                s.trap_cycles as f64 / s.cycles as f64 * 100.0
+            )
+        };
+        println!("{w:>8}  {:>22}  {:>22}", cell(&q), cell(&h));
+    }
+    println!("\nquicksort settles quickly (shallow expected depth); hanoi's depth-10");
+    println!("recursion needs the full file. The paper picked 8 windows from the");
+    println!("same kind of depth-locality data.");
+}

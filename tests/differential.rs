@@ -1,0 +1,136 @@
+//! Property-based differential testing across the three engines using a
+//! structured random-program generator: loops, branches, array traffic and
+//! statement-level calls — the strongest correctness evidence in the
+//! repository.
+
+use proptest::prelude::*;
+use risc1::core::SimConfig;
+use risc1::ir::ast::dsl::*;
+use risc1::ir::ast::{Expr, Stmt};
+use risc1::ir::interp::interpret_with_fuel;
+use risc1::ir::{compile_cx, compile_mc, compile_risc, run_cx, run_mc, run_risc_with, RiscOpts};
+
+/// A short-fuel simulator config: random programs can loop forever (the
+/// interpreter filters most, but the fill-preservation test runs without
+/// an oracle), and the default 200M-instruction fuel would make a single
+/// runaway case dominate the suite.
+fn quick_cfg() -> SimConfig {
+    SimConfig {
+        fuel: 3_000_000,
+        ..SimConfig::default()
+    }
+}
+
+/// A call-free expression over locals 0..3, depth-bounded.
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-300i32..300).prop_map(konst),
+        (0usize..4).prop_map(local),
+        // reads from the word array, index clamped into range by & 15
+        (0usize..4).prop_map(|v| loadw(0, band(local(v), konst(15)))),
+    ];
+    leaf.prop_recursive(depth, 16, 2, |inner| {
+        (inner.clone(), inner, 0u8..7)
+            .prop_map(|(a, b, op)| match op {
+                0 => add(a, b),
+                1 => sub(a, b),
+                2 => mul(a, b),
+                3 => band(a, b),
+                4 => bor(a, b),
+                5 => bxor(a, b),
+                _ => shr(a, band(b, konst(15))),
+            })
+            .boxed()
+    })
+    .boxed()
+}
+
+/// A statement list with assignments, stores, branches and a bounded loop.
+fn arb_block() -> impl Strategy<Value = Vec<Stmt>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0usize..4, arb_expr(2)).prop_map(|(v, e)| assign(v, e)),
+            (arb_expr(1), arb_expr(1)).prop_map(|(i, v)| storew(0, band(i, konst(15)), v)),
+            (arb_expr(1), arb_expr(1), 0usize..4, arb_expr(1)).prop_map(|(a, b, v, e)| {
+                if_else(lt(a, b), vec![assign(v, e)], vec![assign(v, konst(0))])
+            }),
+            // statement-position call to the helper (locals 0..2 as args)
+            (0usize..4).prop_map(|v| assign(v, call(1, vec![local(0), local(1)]))),
+        ],
+        1..10,
+    )
+}
+
+fn build_module(body: Vec<Stmt>, ret_expr: Expr) -> risc1::ir::Module {
+    // A bounded counting loop wraps the random body so loops execute a few
+    // times without risking nontermination.
+    let mut main_body = vec![assign(3, konst(0))];
+    main_body.push(while_loop(lt(local(3), konst(4)), {
+        let mut b = body;
+        b.push(assign(3, add(local(3), konst(1))));
+        b
+    }));
+    main_body.push(ret(ret_expr));
+    let helper = function(
+        "helper",
+        2,
+        3,
+        vec![
+            assign(2, add(local(0), mul(local(1), konst(3)))),
+            ret(band(local(2), konst(0xffff))),
+        ],
+    );
+    module(
+        vec![function("main", 2, 4, main_body), helper],
+        vec![global_words("mem", 16)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_structured_programs_agree(body in arb_block(),
+                                        ret_e in arb_expr(2),
+                                        a in -50i32..50,
+                                        b in -50i32..50) {
+        let m = build_module(body, ret_e);
+        prop_assume!(m.validate().is_ok());
+        // The oracle first; bail out (rather than fail) on runaway loops.
+        let oracle = match interpret_with_fuel(&m, &[a, b], 200_000) {
+            Ok(r) => r,
+            Err(_) => return Ok(()),
+        };
+        let risc = compile_risc(&m, RiscOpts::default()).expect("risc compiles");
+        let (rv, _) = run_risc_with(&risc, &[a, b], quick_cfg()).expect("risc runs");
+        prop_assert_eq!(rv, oracle.value, "risc vs oracle");
+        let cx = compile_cx(&m).expect("cx compiles");
+        let (cv, _) = run_cx(&cx, &[a, b]).expect("cx runs");
+        prop_assert_eq!(cv, oracle.value, "cx vs oracle");
+        let mc = compile_mc(&m).expect("mc compiles");
+        let (mv, _) = run_mc(&mc, &[a, b]).expect("mc runs");
+        prop_assert_eq!(mv, oracle.value, "mc vs oracle");
+    }
+
+    /// Delay-slot filling — an optimization pass — must never change any
+    /// observable result.
+    #[test]
+    fn delay_fill_is_semantics_preserving(body in arb_block(),
+                                          a in -50i32..50,
+                                          b in -50i32..50) {
+        let m = build_module(body, local(0));
+        prop_assume!(m.validate().is_ok());
+        let plain = compile_risc(&m, RiscOpts { fill_delay_slots: false }).expect("compiles");
+        let filled = compile_risc(&m, RiscOpts { fill_delay_slots: true }).expect("compiles");
+        let rp = run_risc_with(&plain, &[a, b], quick_cfg());
+        let rf = run_risc_with(&filled, &[a, b], quick_cfg());
+        match (rp, rf) {
+            (Ok((v0, s0)), Ok((v1, s1))) => {
+                prop_assert_eq!(v0, v1, "value changed by slot filling");
+                prop_assert!(s1.cycles <= s0.cycles, "filling may never slow down");
+            }
+            (Err(_), Err(_)) => {} // both fault identically (e.g. div by zero)
+            (a, b) => prop_assert!(false, "one build faulted, the other did not: {a:?} vs {b:?}"),
+        }
+    }
+}

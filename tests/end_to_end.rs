@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: the full path from assembly text or IR
+//! source through both simulators, at realistic scales.
+
+use risc1::asm::assemble;
+use risc1::core::{Cpu, SimConfig};
+use risc1::ir::interp::interpret;
+use risc1::ir::{compile_cx, compile_risc, run_cx, run_risc, RiscOpts};
+use risc1::workloads;
+
+/// Assembly text → program → simulator, with procedure calls, window
+/// traffic, loads and stores all exercised in one source file.
+#[test]
+fn assembly_program_with_calls_and_memory() {
+    let src = "
+        ; main: sum of squares 1..n via a helper procedure, plus a memory
+        ; scratchpad round-trip.
+        .entry main
+    square: ; arg in r26, result to r26 = arg*arg via repeated addition
+            add   r16, r0, #0       ; acc
+            add   r17, r26, #0      ; counter
+    sqloop: sub   r0, r17, #0 {scc}
+            jmpr  eq, sqdone
+            nop
+            add   r16, r16, r26
+            jmpr  alw, sqloop
+            sub   r17, r17, #1
+    sqdone: add   r26, r16, #0
+            ret   r25, #8
+            nop
+    main:   add   r16, r0, #0       ; total
+            add   r17, r26, #0      ; i := n
+    mloop:  sub   r0, r17, #0 {scc}
+            jmpr  eq, mdone
+            nop
+            add   r10, r17, #0      ; arg := i
+            callr r25, square
+            nop
+            add   r16, r16, r10     ; total += i*i
+            jmpr  alw, mloop
+            sub   r17, r17, #1
+    mdone:  ldhi  r18, #1           ; scratch at 0x2000
+            stl   r16, r18, #0
+            ldl   r26, r18, #0      ; return via memory round-trip
+            halt
+            nop
+    ";
+    let prog = assemble(src).expect("assembles");
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).unwrap();
+    cpu.set_args(&[10]);
+    cpu.run().unwrap();
+    assert_eq!(cpu.result(), 385, "1²+…+10²");
+    let s = cpu.stats();
+    assert_eq!(s.calls, 10);
+    assert_eq!(s.rets, 10);
+    assert_eq!(s.data_reads, 1);
+    assert_eq!(s.data_writes, 1);
+}
+
+/// Paper-scale runs of the heaviest suite members, checked against the
+/// interpreter on both machines. This is the expensive, high-assurance
+/// version of the small differential test in `risc1-workloads`.
+#[test]
+fn paper_scale_differential_on_selected_workloads() {
+    for id in ["sieve", "qsort", "puzzle", "hanoi"] {
+        let w = workloads::by_id(id).unwrap();
+        let oracle = interpret(&w.module, &w.args).expect("interpreter");
+        let risc = compile_risc(&w.module, RiscOpts::default()).unwrap();
+        let (rv, rs) = run_risc(&risc, &w.args).expect("risc");
+        let cx = compile_cx(&w.module).unwrap();
+        let (cv, cs) = run_cx(&cx, &w.args).expect("cx");
+        assert_eq!(rv, oracle.value, "{id}: risc");
+        assert_eq!(cv, oracle.value, "{id}: cx");
+        assert!(rs.instructions > 10_000, "{id} should be substantial");
+        assert!(cs.instructions > 1_000, "{id} should be substantial");
+    }
+}
+
+/// Final memory state agrees between the two machines (same layout, same
+/// stores) — stronger than comparing only the return value.
+#[test]
+fn final_global_memory_agrees_between_machines() {
+    use risc1::ir::layout::Layout;
+    let w = workloads::by_id("qsort").unwrap();
+    let layout = Layout::of(&w.module);
+    let n = 64;
+
+    let risc_prog = compile_risc(&w.module, RiscOpts::default()).unwrap();
+    let mut rcpu = Cpu::new(SimConfig::default());
+    rcpu.load_program(&risc_prog).unwrap();
+    rcpu.set_args(&[n]);
+    rcpu.run().unwrap();
+
+    let cx_prog = compile_cx(&w.module).unwrap();
+    let mut ccpu = risc1::cisc::CxCpu::new(risc1::cisc::CxConfig::default());
+    ccpu.load_program(&cx_prog).unwrap();
+    ccpu.mem
+        .load_image(risc1::ir::layout::ARGV_BASE, &(n as u32).to_le_bytes())
+        .unwrap();
+    ccpu.run().unwrap();
+
+    let base = layout.addr(0);
+    for i in 0..n as u32 {
+        let a = rcpu.mem.peek_u32(base + 4 * i).unwrap();
+        let b = ccpu.mem.peek_u32(base + 4 * i).unwrap();
+        assert_eq!(a, b, "arr[{i}] differs between machines");
+    }
+}
+
+/// The interpreter's final-global view matches the RISC machine's memory.
+#[test]
+fn interpreter_globals_match_machine_memory() {
+    use risc1::ir::layout::Layout;
+    let w = workloads::by_id("sieve").unwrap();
+    let args = [200];
+    let oracle = interpret(&w.module, &args).unwrap();
+    let prog = compile_risc(&w.module, RiscOpts::default()).unwrap();
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).unwrap();
+    cpu.set_args(&args);
+    cpu.run().unwrap();
+    let layout = Layout::of(&w.module);
+    let base = layout.addr(0);
+    for (i, &v) in oracle.globals[0].iter().take(200).enumerate() {
+        let got = u32::from(cpu.mem.peek_u8(base + i as u32).unwrap());
+        assert_eq!(got, v as u32, "flags[{i}]");
+    }
+}
+
+/// Window counts must not change program results — only timing.
+#[test]
+fn results_invariant_under_window_count() {
+    let w = workloads::by_id("acker").unwrap();
+    let prog = compile_risc(&w.module, RiscOpts::default()).unwrap();
+    let mut reference = None;
+    for windows in [2, 3, 5, 8, 16] {
+        let cfg = SimConfig {
+            windows,
+            stack_top: 0x40000, // room for deep spills at tiny window counts
+            ..SimConfig::default()
+        };
+        let (v, s) = risc1::ir::run_risc_with(&prog, &[4], cfg).unwrap();
+        match reference {
+            None => reference = Some(v),
+            Some(r) => assert_eq!(v, r, "windows = {windows}"),
+        }
+        if windows == 2 {
+            assert!(s.window_overflows > 1000, "2 windows must thrash");
+        }
+    }
+}
+
+/// Branch-model and forwarding settings must not change results either.
+#[test]
+fn results_invariant_under_timing_models() {
+    use risc1::core::BranchModel;
+    let w = workloads::by_id("f_bit_test").unwrap();
+    let prog = compile_risc(&w.module, RiscOpts::default()).unwrap();
+    let mut values = Vec::new();
+    let mut cycles = Vec::new();
+    for (model, fwd) in [
+        (BranchModel::Delayed, true),
+        (BranchModel::Delayed, false),
+        (BranchModel::Suspended, true),
+        (BranchModel::Suspended, false),
+    ] {
+        let cfg = SimConfig {
+            branch_model: model,
+            forwarding: fwd,
+            ..SimConfig::default()
+        };
+        let (v, s) = risc1::ir::run_risc_with(&prog, &[150], cfg).unwrap();
+        values.push(v);
+        cycles.push(s.cycles);
+    }
+    assert!(values.windows(2).all(|w| w[0] == w[1]), "results differ");
+    assert!(cycles[0] < cycles[1], "no-forwarding must cost cycles");
+    assert!(cycles[0] < cycles[2], "suspended must cost cycles");
+    assert!(
+        cycles[3] >= cycles[1] && cycles[3] >= cycles[2],
+        "both penalties stack"
+    );
+}

@@ -1,0 +1,35 @@
+//! The `risc1` facade crate re-exports every subsystem; downstream users
+//! should be able to reach the whole API through it.
+
+#[test]
+fn all_subsystems_are_reachable() {
+    // isa
+    assert_eq!(risc1::isa::Opcode::ALL.len(), 31);
+    // core
+    let cfg = risc1::core::SimConfig::default();
+    assert_eq!(cfg.physical_registers(), 138);
+    // asm
+    let p = risc1::asm::assemble("halt\nnop\n").unwrap();
+    assert_eq!(p.len(), 2);
+    // cisc
+    assert!(risc1::cisc::Op::ALL.len() > 20);
+    // ir + workloads + stats + experiments
+    assert_eq!(risc1::workloads::all().len(), 11);
+    assert!(risc1::experiments::e2_instruction_set::run().contains("ldhi"));
+    let mut t = risc1::stats::Table::new(&["a"]);
+    t.row(vec!["1".into()]);
+    assert!(!t.is_empty());
+}
+
+#[test]
+fn facade_example_from_readme() {
+    // The README's five-line example must keep compiling.
+    use risc1::asm::assemble;
+    use risc1::core::{Cpu, SimConfig};
+    let prog = assemble("add r26, r26, #1\nhalt\nnop\n").unwrap();
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).unwrap();
+    cpu.set_args(&[41]);
+    cpu.run().unwrap();
+    assert_eq!(cpu.result(), 42);
+}

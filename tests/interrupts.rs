@@ -1,0 +1,133 @@
+//! Interrupt handling end to end: `CALLI`-style entry in a fresh register
+//! window, handler state isolated from the interrupted computation,
+//! `RETI` resume, and `GTLPC` visibility.
+//!
+//! The paper sells register windows for interrupts too: the handler gets
+//! its own window, so entry saves nothing and the interrupted frame's
+//! registers are untouched.
+
+use risc1::asm::assemble;
+use risc1::core::{Cpu, Halt, SimConfig};
+use risc1::isa::Reg;
+
+/// A busy loop in the main program; the handler bumps a counter in memory
+/// and returns. The interrupted loop's registers must be unchanged.
+fn build() -> risc1::core::Program {
+    assemble(
+        "
+        .entry main
+        ; interrupt handler: lives in its own window. The interrupted PC
+        ; is in r25 (written by the hardware CALLI sequence).
+        handler:
+            ldhi  r16, #1           ; counter cell at 0x2000
+            ldl   r17, r16, #0
+            add   r17, r17, #1
+            stl   r17, r16, #0
+            reti  r25, #0           ; resume the interrupted instruction
+            nop
+        main:
+            add   r16, r0, #0       ; loop counter (the handler must not
+            add   r17, r0, #1       ; see or touch these)
+            li    r18, #10000       ; loop bound (exceeds the 13-bit imm)
+        spin:
+            add   r16, r16, r17
+            sub   r0, r16, r18 {scc}
+            jmpr  ne, spin
+            nop
+            add   r26, r16, #0
+            halt
+            nop
+        ",
+    )
+    .expect("assembles")
+}
+
+#[test]
+fn interrupt_runs_handler_and_resumes_transparently() {
+    let prog = build();
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).unwrap();
+    let handler = cpu.config().code_base + prog.symbols["handler"];
+    cpu.set_interrupt_handler(handler);
+
+    // Let the loop get going, then interrupt it several times.
+    let mut fired = 0;
+    for k in 0..80_000 {
+        if cpu.step().unwrap() == Halt::Returned {
+            break;
+        }
+        if k % 1000 == 500 && fired < 7 {
+            cpu.raise_interrupt();
+            fired += 1;
+        }
+    }
+    assert!(cpu.is_halted(), "program must still finish");
+    assert_eq!(cpu.result(), 10_000, "interrupts were transparent");
+    assert_eq!(
+        cpu.mem.peek_u32(0x2000).unwrap(),
+        fired,
+        "each interrupt ran the handler exactly once"
+    );
+    assert!(fired >= 5);
+}
+
+#[test]
+fn interrupts_are_held_during_delay_slots() {
+    // Raise an interrupt while a delayed jump is in flight: the machine
+    // must take it only once no jump is pending, so resumption always
+    // restarts a clean instruction sequence.
+    let prog = build();
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).unwrap();
+    let handler = cpu.config().code_base + prog.symbols["handler"];
+    cpu.set_interrupt_handler(handler);
+
+    // Step to the first taken jmpr (pending target set), then raise.
+    let mut raised_in_slot = false;
+    for _ in 0..200 {
+        cpu.step().unwrap();
+        if !raised_in_slot && cpu.interrupt_pending() {
+            // already raised
+        }
+        if !raised_in_slot {
+            cpu.raise_interrupt();
+            raised_in_slot = true;
+        }
+        if cpu.mem.peek_u32(0x2000).unwrap() > 0 {
+            break;
+        }
+    }
+    assert_eq!(cpu.mem.peek_u32(0x2000).unwrap(), 1, "handler ran once");
+    // and the program still completes correctly
+    cpu.run().unwrap();
+    assert_eq!(cpu.result(), 10_000);
+}
+
+#[test]
+fn handler_window_is_isolated_from_the_interrupted_frame() {
+    // The handler clobbers r16/r17 — the same *names* the main loop uses —
+    // but in its own window, so the loop's values survive.
+    let prog = build();
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).unwrap();
+    let handler = cpu.config().code_base + prog.symbols["handler"];
+    cpu.set_interrupt_handler(handler);
+
+    // Run a little, snapshot r16, interrupt, run the handler to completion
+    // (6 instructions + resume), compare.
+    for _ in 0..50 {
+        cpu.step().unwrap();
+    }
+    let before = cpu.reg(Reg::R16);
+    cpu.raise_interrupt();
+    for _ in 0..8 {
+        cpu.step().unwrap();
+    }
+    assert_eq!(cpu.mem.peek_u32(0x2000).unwrap(), 1, "handler completed");
+    // After resume the loop continues from `before` (it may have advanced
+    // a few iterations since, so check monotonicity and window isolation
+    // via the final result instead of exact equality mid-flight).
+    assert!(cpu.reg(Reg::R16) >= before);
+    cpu.run().unwrap();
+    assert_eq!(cpu.result(), 10_000);
+}
