@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! risc1 asm <file.s>             assemble and disassemble back (listing)
+//! risc1 lint <file.s> [--json]   static analysis: CFG + dataflow findings
 //! risc1 run <file.s> [args…]     assemble and execute; prints result + stats
 //! risc1 trace <file.s> [args…]   execute with the pipeline timing diagram
 //! risc1 bench <workload>         run a suite workload on both machines
@@ -27,6 +28,7 @@ pub type CliResult = Result<String, String>;
 pub fn dispatch(args: &[String]) -> CliResult {
     match args.first().map(String::as_str) {
         Some("asm") => cmd_asm(args.get(1).ok_or(USAGE)?),
+        Some("lint") => cmd_lint(args.get(1).ok_or(USAGE)?, &args[2..]),
         Some("run") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], false),
         Some("trace") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], true),
         Some("bench") => cmd_bench(args.get(1).ok_or(USAGE)?),
@@ -37,8 +39,11 @@ pub fn dispatch(args: &[String]) -> CliResult {
 }
 
 /// The usage banner.
-pub const USAGE: &str = "usage: risc1 <asm|run|trace|bench|exp|list> …
+pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
   risc1 asm <file.s>            assemble + listing
+  risc1 lint <file.s> [--json] [--windows N]
+                                static analysis (CFG + dataflow); exits
+                                nonzero on error-severity findings
   risc1 run <file.s> [args…]    execute (args are main's integer arguments)
   risc1 trace <file.s> [args…]  execute with a pipeline diagram
   risc1 bench <workload-id>     run one suite workload on RISC I and CX
@@ -70,6 +75,37 @@ fn cmd_asm(path: &str) -> CliResult {
     );
     out.push_str(&disassemble(&prog));
     Ok(out)
+}
+
+fn cmd_lint(path: &str, rest: &[String]) -> CliResult {
+    let mut json = false;
+    let mut config = risc1_lint::LintConfig::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--windows" => {
+                let n = it.next().ok_or("--windows needs a value")?;
+                config.windows = n
+                    .parse()
+                    .map_err(|e| format!("bad --windows value `{n}`: {e}"))?;
+            }
+            other => return Err(format!("unknown lint flag `{other}`\n{USAGE}")),
+        }
+    }
+    let src = read(path)?;
+    let prog = assemble(&src).map_err(|e| e.to_string())?;
+    let diags = risc1_lint::lint_program(&prog, &config);
+    let rendered = if json {
+        risc1_lint::render_json(&diags)
+    } else {
+        risc1_lint::render_text(&diags)
+    };
+    if risc1_lint::has_errors(&diags) {
+        Err(rendered)
+    } else {
+        Ok(rendered)
+    }
 }
 
 fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {

@@ -8,9 +8,10 @@
 //!
 //! The move `[X, jmpr, nop] → [jmpr, X]` is semantics-preserving iff:
 //!
-//! * `X` is a plain instruction (not itself a transfer),
-//! * `X` does not set condition codes (the jump's condition must still see
-//!   the flags that were live before `X`),
+//! * `X` is safe in the jump's delay slot per
+//!   [`Instruction::safe_in_delay_slot_of`] — the one hazard definition
+//!   shared with the `risc1-lint` analyzer (not a transfer, no flag write a
+//!   conditional jump would consume, no operand clobber),
 //! * no label binds to `X`, to the jump, or to the NOP — otherwise some
 //!   other path would observe `X` executed a different number of times.
 //!
@@ -24,14 +25,20 @@ use risc1_isa::Instruction;
 /// Runs the filler over a builder's stream in place. Returns the number of
 /// slots filled.
 pub fn fill_delay_slots(asm: &mut RiscAsm) -> usize {
-    let nop = Instruction::nop();
     let mut filled = 0;
     let mut i = 1; // need a predecessor
     while i + 1 < asm.items.len() {
-        let is_candidate = matches!(asm.items[i], RItem::Jmpr { .. })
-            && matches!(&asm.items[i + 1], RItem::Insn(x) if *x == nop)
-            && matches!(&asm.items[i - 1], RItem::Insn(x)
-                        if !x.opcode.is_transfer() && !x.scc && *x != nop);
+        let is_candidate = match (&asm.items[i - 1], &asm.items[i], &asm.items[i + 1]) {
+            (RItem::Insn(x), RItem::Jmpr { cond, .. }, RItem::Insn(slot)) => {
+                // Hoisting a NOP would be a no-op; otherwise defer entirely
+                // to the shared hazard predicate, instantiated with the
+                // actual jump (its condition decides whether flags matter).
+                slot.is_nop()
+                    && !x.is_nop()
+                    && x.safe_in_delay_slot_of(&Instruction::jmpr(*cond, 0))
+            }
+            _ => false,
+        };
         let label_blocks = asm
             .labels
             .iter()

@@ -140,6 +140,19 @@ impl RiscAsm {
     ///
     /// [`here`]: RiscAsm::here
     pub fn finish(self, entry: usize) -> Result<Program, RasmError> {
+        self.resolve(entry)
+    }
+
+    /// [`finish`] by reference: resolves the current stream without
+    /// consuming the builder, so it can also serve mid-build checks such
+    /// as [`lint`].
+    ///
+    /// # Errors
+    /// [`RasmError`] on unbound labels or out-of-range branches.
+    ///
+    /// [`finish`]: RiscAsm::finish
+    /// [`lint`]: RiscAsm::lint
+    pub fn resolve(&self, entry: usize) -> Result<Program, RasmError> {
         let mut words = Vec::with_capacity(self.items.len());
         for (idx, item) in self.items.iter().enumerate() {
             let insn = match item {
@@ -161,10 +174,23 @@ impl RiscAsm {
             data: Vec::new(),
             symbols: self
                 .symbols
-                .into_iter()
-                .map(|(k, v)| (k, v as u32 * INSN_BYTES))
+                .iter()
+                .map(|(k, &v)| (k.clone(), v as u32 * INSN_BYTES))
                 .collect(),
         })
+    }
+
+    /// Resolves the stream and runs the static analyzer over it — the
+    /// adapter that lets codegen output be linted without reassembling.
+    ///
+    /// # Errors
+    /// [`RasmError`] when the stream itself does not resolve.
+    pub fn lint(
+        &self,
+        entry: usize,
+        config: &risc1_lint::LintConfig,
+    ) -> Result<Vec<risc1_lint::Diagnostic>, RasmError> {
+        Ok(risc1_lint::lint_program(&self.resolve(entry)?, config))
     }
 
     fn delta(&self, at: usize, label: RLabel) -> Result<i32, RasmError> {

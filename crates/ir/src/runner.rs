@@ -67,6 +67,18 @@ pub fn run_risc_with(
     args: &[i32],
     cfg: SimConfig,
 ) -> Result<(i32, ExecStats), risc1_core::ExecError> {
+    // In debug builds, hold the code generator to the analyzer's bar:
+    // nothing it emits may carry an error-severity finding (delay-slot
+    // faults, undecodable words, paths that run off the end of code).
+    #[cfg(debug_assertions)]
+    {
+        let diags = risc1_lint::lint_program(prog, &risc1_lint::LintConfig::from_sim(&cfg));
+        assert!(
+            !risc1_lint::has_errors(&diags),
+            "codegen produced a program the linter rejects:\n{}",
+            risc1_lint::render_text(&diags)
+        );
+    }
     let mut cpu = Cpu::new(cfg);
     cpu.load_program(prog).expect("program fits memory");
     cpu.set_args(args);

@@ -282,6 +282,88 @@ impl Instruction {
             Operands::ShortCond { .. } | Operands::LongCond { .. } => None,
         }
     }
+
+    /// Whether executing the instruction may change the condition flags:
+    /// any instruction with the `scc` bit set, plus `PUTPSW`, which rewrites
+    /// the whole status word.
+    pub fn sets_cc(&self) -> bool {
+        self.scc || self.opcode == Opcode::Putpsw
+    }
+
+    /// Whether the instruction's result depends on the condition flags (or
+    /// the PSW containing them): the carry-chained ALU ops, `GETPSW`, and
+    /// any conditional transfer whose condition actually tests flags
+    /// (`alw`/`nvr` do not).
+    pub fn reads_cc(&self) -> bool {
+        match self.opcode {
+            Opcode::Addc | Opcode::Subc | Opcode::Subcr | Opcode::Getpsw => true,
+            _ => self
+                .jump_cond()
+                .is_some_and(|c| !matches!(c, Cond::Alw | Cond::Nvr)),
+        }
+    }
+
+    /// The condition tested by a `JMP`/`JMPR`, `None` for everything else.
+    pub fn jump_cond(&self) -> Option<Cond> {
+        match self.operands {
+            Operands::ShortCond { cond, .. } | Operands::LongCond { cond, .. }
+                if self.opcode.uses_condition() =>
+            {
+                Some(cond)
+            }
+            _ => None,
+        }
+    }
+
+    /// The link register a call saves its return address into, `None` for
+    /// non-calls (and for a discarded r0 link).
+    pub fn link_reg(&self) -> Option<Reg> {
+        self.opcode.is_call().then(|| self.writes()).flatten()
+    }
+
+    /// Whether `self` can sit in the delay slot of `transfer` without
+    /// changing program meaning. This single predicate is shared by the
+    /// delay-slot filler (may it hoist the predecessor into the slot?) and
+    /// the linter (is an already-placed slot instruction hazard-free?):
+    ///
+    /// * a transfer in a transfer's shadow is a hardware fault;
+    /// * a flag-setter is unsafe when the transfer's condition reads flags —
+    ///   hoisting would make the jump test stale flags, and even in placed
+    ///   code an interrupt restart via `GTLPC` re-executes the jump *after*
+    ///   the slot ran;
+    /// * writing a register the transfer reads (`jmp rs1` / `ret rs1`) is
+    ///   unsafe for the same restart reason;
+    /// * when the transfer moves the register window, the slot executes in
+    ///   the *new* window, so only instructions confined to the shared
+    ///   global registers mean the same thing on both sides of the move.
+    pub fn safe_in_delay_slot_of(&self, transfer: &Instruction) -> bool {
+        debug_assert!(transfer.opcode.is_transfer());
+        if self.is_nop() {
+            return true;
+        }
+        if self.opcode.is_transfer() {
+            return false;
+        }
+        if self.sets_cc() && transfer.reads_cc() {
+            return false;
+        }
+        if let Some(w) = self.writes() {
+            if transfer.reads().contains(&w) {
+                return false;
+            }
+        }
+        if transfer.opcode.moves_window() {
+            let global_only = self
+                .reads()
+                .into_iter()
+                .chain(self.writes())
+                .all(|r| !r.is_windowed());
+            if !global_only {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 impl fmt::Display for Instruction {
@@ -361,5 +443,83 @@ mod tests {
         let r = Instruction::ret(Reg::R25, Short2::imm(8).unwrap());
         assert_eq!(r.reads(), vec![Reg::R25]);
         assert_eq!(r.writes(), None);
+    }
+
+    #[test]
+    fn condition_code_def_use() {
+        let plain = Instruction::reg(Opcode::Add, Reg::R1, Reg::R2, Short2::ZERO);
+        assert!(!plain.sets_cc() && !plain.reads_cc());
+        let scc = Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R1, Short2::ZERO);
+        assert!(scc.sets_cc());
+        let carry = Instruction::reg(Opcode::Addc, Reg::R1, Reg::R2, Short2::ZERO);
+        assert!(carry.reads_cc());
+
+        assert!(Instruction::jmpr(Cond::Eq, 8).reads_cc());
+        assert!(!Instruction::jmpr(Cond::Alw, 8).reads_cc());
+        assert!(!Instruction::jmpr(Cond::Nvr, 8).reads_cc());
+        assert_eq!(Instruction::jmpr(Cond::Lt, 8).jump_cond(), Some(Cond::Lt));
+        assert_eq!(plain.jump_cond(), None);
+    }
+
+    #[test]
+    fn link_registers() {
+        assert_eq!(Instruction::callr(Reg::R25, 8).link_reg(), Some(Reg::R25));
+        assert_eq!(
+            Instruction::call(Reg::R25, Reg::R2, Short2::ZERO).link_reg(),
+            Some(Reg::R25)
+        );
+        assert_eq!(Instruction::callr(Reg::R0, 8).link_reg(), None);
+        assert_eq!(Instruction::jmpr(Cond::Alw, 8).link_reg(), None);
+    }
+
+    #[test]
+    fn delay_slot_safety() {
+        let j_alw = Instruction::jmpr(Cond::Alw, 8);
+        let j_eq = Instruction::jmpr(Cond::Eq, 8);
+        let j_reg = Instruction::jmp(Cond::Alw, Reg::R5, Short2::ZERO);
+        let ret = Instruction::ret(Reg::R25, Short2::imm(8).unwrap());
+
+        let nop = Instruction::nop();
+        assert!(nop.safe_in_delay_slot_of(&ret), "nop is safe anywhere");
+
+        let add = Instruction::reg(Opcode::Add, Reg::R16, Reg::R16, Short2::ZERO);
+        assert!(add.safe_in_delay_slot_of(&j_alw));
+        assert!(add.safe_in_delay_slot_of(&j_eq));
+        assert!(
+            !add.safe_in_delay_slot_of(&ret),
+            "window-relative write in a window-moving slot"
+        );
+
+        let global = Instruction::reg(Opcode::Add, Reg::R2, Reg::R3, Short2::ZERO);
+        assert!(
+            global.safe_in_delay_slot_of(&ret),
+            "globals name the same state in both windows"
+        );
+
+        let scc = Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R16, Short2::ZERO);
+        assert!(!scc.safe_in_delay_slot_of(&j_eq), "condition reads flags");
+        assert!(scc.safe_in_delay_slot_of(&j_alw), "alw ignores flags");
+
+        let clobber = Instruction::reg(Opcode::Add, Reg::R5, Reg::R0, Short2::ZERO);
+        assert!(
+            !clobber.safe_in_delay_slot_of(&j_reg),
+            "writes the jump's base register"
+        );
+
+        assert!(
+            !j_alw.safe_in_delay_slot_of(&j_eq),
+            "transfer in a delay slot faults"
+        );
+    }
+
+    #[test]
+    fn delay_slot_metadata() {
+        assert!(Opcode::Jmpr.has_delay_slot());
+        assert!(Opcode::Ret.has_delay_slot());
+        assert!(!Opcode::Calli.has_delay_slot(), "calli falls through");
+        assert!(!Opcode::Add.has_delay_slot());
+        assert!(Opcode::Calli.is_call() && Opcode::Callr.is_call());
+        assert!(Opcode::Ret.is_ret() && Opcode::Reti.is_ret());
+        assert!(!Opcode::Jmp.is_call() && !Opcode::Jmp.is_ret());
     }
 }

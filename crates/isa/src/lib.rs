@@ -32,7 +32,7 @@ pub mod summary;
 
 pub use cond::Cond;
 pub use encoding::DecodeError;
-pub use insn::{Instruction, Short2};
+pub use insn::{Instruction, Operands, Short2};
 pub use opcode::{Category, Format, Opcode};
 pub use psw::Psw;
 pub use reg::{Reg, RegClass, NUM_VISIBLE_REGS};

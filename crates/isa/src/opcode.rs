@@ -179,6 +179,25 @@ impl Opcode {
         self.category() == Category::ControlTransfer
     }
 
+    /// Whether the instruction enters a procedure (advances the window and
+    /// records a return address).
+    pub fn is_call(self) -> bool {
+        matches!(self, Opcode::Call | Opcode::Callr | Opcode::Calli)
+    }
+
+    /// Whether the instruction leaves a procedure (moves back to the
+    /// previous window).
+    pub fn is_ret(self) -> bool {
+        matches!(self, Opcode::Ret | Opcode::Reti)
+    }
+
+    /// Whether the transfer exposes a delay slot. All transfers do except
+    /// `CALLI`, which traps in place: it has no target operand and execution
+    /// falls through to the next word.
+    pub fn has_delay_slot(self) -> bool {
+        self.is_transfer() && self != Opcode::Calli
+    }
+
     /// Whether this is a load.
     pub fn is_load(self) -> bool {
         self.category() == Category::Load

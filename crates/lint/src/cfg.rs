@@ -1,0 +1,694 @@
+//! Control-flow graph construction with RISC I delay-slot semantics.
+//!
+//! The decoder view of a program is a flat `Vec<u32>`; this module lifts it
+//! into per-function basic blocks. Two ISA mechanisms make this different
+//! from a textbook CFG:
+//!
+//! * **Delayed transfers.** Every transfer except `CALLI` executes the
+//!   following word — its delay slot — before control moves. A transfer and
+//!   its slot therefore form an indivisible two-word terminator: the block
+//!   containing a `jmpr` at word *i* extends through word *i + 1*, and its
+//!   successors leave from *i + 2* and the jump target. Instruction order
+//!   inside the pair matches dataflow order (the transfer reads its
+//!   operands *before* the slot runs, exactly as the simulator does).
+//! * **Register windows.** `CALL*`/`RET*` move the window, so call edges
+//!   are recorded separately ([`CallSite`]) rather than as ordinary CFG
+//!   edges, and the call graph supports the static window-depth analysis.
+//!
+//! Functions are discovered, not declared: the entry point plus every
+//! statically known call target (`callr`) starts a function, and each
+//! function's blocks are found by forward walk from its head. Indexed
+//! jumps (`jmp rs1`) have statically unknown targets; a function containing
+//! one is flagged so reachability-based rules can stand down.
+
+use crate::diag::{Diagnostic, Rule};
+use risc1_core::Program;
+use risc1_isa::{Cond, Instruction, Opcode, Reg, INSN_BYTES};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+/// Index of an instruction word within the code image.
+pub type InsnIdx = usize;
+/// Index of a block within its function's `blocks` vector.
+pub type BlockId = usize;
+
+/// A statically known (or unknown-target) call instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Word index of the `call`/`callr`/`calli`.
+    pub at: InsnIdx,
+    /// Head of the callee when statically known (`callr`); `None` for
+    /// indexed `call rs1` and `calli`.
+    pub target: Option<InsnIdx>,
+    /// The register the callee will find its return address in.
+    pub link: Option<Reg>,
+}
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Word-index range `start..end` (exclusive). For a block ending in a
+    /// delayed transfer, `end` includes the delay slot.
+    pub start: InsnIdx,
+    /// One past the last word of the block.
+    pub end: InsnIdx,
+    /// Intra-function successor blocks.
+    pub succs: Vec<BlockId>,
+    /// Word index of the terminating transfer, if the block ends in one.
+    pub term: Option<InsnIdx>,
+    /// Whether the block leaves the function (`ret`/`reti`, or an
+    /// unconditional transfer with no static successor).
+    pub exits: bool,
+    /// Whether execution can run past the end of code from this block.
+    pub falls_off: bool,
+    /// Head of another function this block jumps to without a call
+    /// (a tail transfer), if any.
+    pub tail_to: Option<InsnIdx>,
+}
+
+/// One discovered function: a head, its blocks, and its outgoing calls.
+#[derive(Debug, Clone)]
+pub struct FunctionCfg {
+    /// Word index of the function's first instruction.
+    pub head: InsnIdx,
+    /// Symbol bound exactly to the head, when the program has one.
+    pub name: Option<String>,
+    /// Whether this is the program entry point.
+    pub is_entry: bool,
+    /// Basic blocks, in ascending address order; block 0 starts at `head`.
+    pub blocks: Vec<BasicBlock>,
+    /// Call instructions inside this function.
+    pub calls: Vec<CallSite>,
+    /// Whether the function contains a reachable indexed jump (`jmp rs1`),
+    /// making its static successor set incomplete.
+    pub has_indexed_jump: bool,
+}
+
+impl FunctionCfg {
+    /// A printable name for messages: the bound symbol or `@+0xOFF`.
+    pub fn label(&self) -> String {
+        match &self.name {
+            Some(n) => n.clone(),
+            None => format!("@+0x{:04x}", self.head * INSN_BYTES as usize),
+        }
+    }
+
+    /// The block whose range contains `idx`, if any.
+    pub fn block_containing(&self, idx: InsnIdx) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| (b.start..b.end).contains(&idx))
+    }
+}
+
+/// The whole-program control-flow graph.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Decoded view of every code word (`None` = does not decode).
+    pub code: Vec<Option<Instruction>>,
+    /// Word index of the program entry point.
+    pub entry: InsnIdx,
+    /// Whether each word can execute on some path from the entry.
+    pub reachable: Vec<bool>,
+    /// Whether each word is the delay slot of some reachable transfer.
+    pub delay_slot: Vec<bool>,
+    /// Discovered functions; index 0 is the entry function.
+    pub functions: Vec<FunctionCfg>,
+    /// Whether any reachable indexed jump exists anywhere (suppresses
+    /// whole-program reachability claims).
+    pub has_indexed_jump: bool,
+    /// Structural problems found during construction (undecodable words,
+    /// out-of-range or slotless transfers).
+    pub issues: Vec<Diagnostic>,
+}
+
+/// Where control can go after the instruction at `i` finishes (including
+/// its delay slot, when it has one).
+enum Flow {
+    /// Ordinary instruction: falls into `i + 1`.
+    Seq,
+    /// `jmpr`/`jmp`: optional static target, optional fallthrough.
+    Jump {
+        target: Option<InsnIdx>,
+        falls: bool,
+        indexed: bool,
+    },
+    /// `call`/`callr`/`calli`: control returns to `ret_to` from the
+    /// caller's perspective.
+    Call { site: CallSite, ret_to: InsnIdx },
+    /// `ret`/`reti`: leaves the function.
+    Exit,
+}
+
+impl Cfg {
+    /// Builds the CFG for a program. Structural errors land in
+    /// [`Cfg::issues`]; the rule suite in [`crate::rules`] adds the
+    /// dataflow-based findings on top.
+    pub fn build(program: &Program) -> Cfg {
+        Builder::new(program).build()
+    }
+
+    /// Convenience: the entry function.
+    pub fn entry_function(&self) -> &FunctionCfg {
+        &self.functions[0]
+    }
+}
+
+struct Builder<'p> {
+    program: &'p Program,
+    code: Vec<Option<Instruction>>,
+    entry: InsnIdx,
+    reachable: Vec<bool>,
+    delay_slot: Vec<bool>,
+    issues: Vec<Diagnostic>,
+    issue_keys: BTreeSet<(u32, Rule)>,
+}
+
+impl<'p> Builder<'p> {
+    fn new(program: &'p Program) -> Builder<'p> {
+        let code: Vec<Option<Instruction>> = program
+            .words
+            .iter()
+            .map(|&w| Instruction::decode(w).ok())
+            .collect();
+        let n = code.len();
+        Builder {
+            program,
+            code,
+            entry: (program.entry_offset / INSN_BYTES) as usize,
+            reachable: vec![false; n],
+            delay_slot: vec![false; n],
+            issues: Vec::new(),
+            issue_keys: BTreeSet::new(),
+        }
+    }
+
+    fn issue(&mut self, rule: Rule, idx: InsnIdx, message: String) {
+        let pc = (idx * INSN_BYTES as usize) as u32;
+        if self.issue_keys.insert((pc, rule)) {
+            self.issues.push(Diagnostic::new(rule, pc, message));
+        }
+    }
+
+    fn at(&self, idx: InsnIdx) -> String {
+        match self.code.get(idx).copied().flatten() {
+            Some(insn) => format!("`{insn}`"),
+            None => format!(
+                "word 0x{:08x}",
+                self.program.words.get(idx).copied().unwrap_or(0)
+            ),
+        }
+    }
+
+    /// Classifies control flow out of the instruction at `i`, emitting
+    /// structural diagnostics for malformed transfers.
+    fn flow(&mut self, i: InsnIdx) -> Flow {
+        let insn = match self.code[i] {
+            Some(insn) => insn,
+            None => return Flow::Exit, // fault point; error emitted by caller
+        };
+        if !insn.opcode.is_transfer() {
+            return Flow::Seq;
+        }
+        if insn.opcode.has_delay_slot() && i + 1 >= self.code.len() {
+            self.issue(
+                Rule::MissingDelaySlot,
+                i,
+                format!(
+                    "{} is the last word of code; its delay slot is missing",
+                    self.at(i)
+                ),
+            );
+        }
+        let after = if insn.opcode.has_delay_slot() {
+            i + 2
+        } else {
+            i + 1
+        };
+        match insn.opcode {
+            Opcode::Jmpr => {
+                let cond = insn.jump_cond().unwrap_or(Cond::Alw);
+                Flow::Jump {
+                    target: (cond != Cond::Nvr)
+                        .then(|| self.relative_target(i))
+                        .flatten(),
+                    falls: cond != Cond::Alw,
+                    indexed: false,
+                }
+            }
+            Opcode::Jmp => Flow::Jump {
+                target: None,
+                falls: insn.jump_cond() != Some(Cond::Alw),
+                indexed: true,
+            },
+            Opcode::Callr => Flow::Call {
+                site: CallSite {
+                    at: i,
+                    target: self.relative_target(i),
+                    link: insn.link_reg(),
+                },
+                ret_to: after,
+            },
+            Opcode::Call | Opcode::Calli => Flow::Call {
+                site: CallSite {
+                    at: i,
+                    target: None,
+                    link: insn.link_reg(),
+                },
+                ret_to: after,
+            },
+            Opcode::Ret | Opcode::Reti => Flow::Exit,
+            _ => unreachable!("transfer opcodes are covered"),
+        }
+    }
+
+    /// Resolves a `jmpr`/`callr` byte offset to a word index, or emits
+    /// [`Rule::JumpOutOfRange`] and returns `None`.
+    fn relative_target(&mut self, i: InsnIdx) -> Option<InsnIdx> {
+        let insn = self.code[i]?;
+        let imm19 = match insn.operands {
+            risc1_isa::Operands::Long { imm19, .. }
+            | risc1_isa::Operands::LongCond { imm19, .. } => imm19,
+            _ => return None,
+        };
+        let bytes = INSN_BYTES as i64;
+        let target = i as i64 * bytes + imm19 as i64;
+        if target % bytes != 0 || target < 0 || target >= self.code.len() as i64 * bytes {
+            self.issue(
+                Rule::JumpOutOfRange,
+                i,
+                format!(
+                    "{} targets byte offset {target}, outside the {}-byte code image",
+                    self.at(i),
+                    self.code.len() * INSN_BYTES as usize
+                ),
+            );
+            return None;
+        }
+        Some((target / bytes) as usize)
+    }
+
+    /// Marks the delay slot of the transfer at `i` reachable and checks it
+    /// decodes.
+    fn visit_slot(&mut self, i: InsnIdx) {
+        if let Some(insn) = self.code.get(i).copied().flatten() {
+            if insn.opcode.has_delay_slot() && i + 1 < self.code.len() {
+                self.delay_slot[i + 1] = true;
+                if !self.reachable[i + 1] {
+                    self.reachable[i + 1] = true;
+                    if self.code[i + 1].is_none() {
+                        self.issue(
+                            Rule::UndecodableReachable,
+                            i + 1,
+                            format!("delay slot of {} does not decode", self.at(i)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whole-program reachability walk from the entry; returns the set of
+    /// statically known call-target heads, in address order.
+    fn walk_program(&mut self) -> (BTreeSet<InsnIdx>, bool) {
+        let mut heads = BTreeSet::new();
+        let mut indexed = false;
+        let mut work = VecDeque::from([self.entry]);
+        while let Some(i) = work.pop_front() {
+            if i >= self.code.len() || self.reachable[i] {
+                continue;
+            }
+            self.reachable[i] = true;
+            if self.code[i].is_none() {
+                self.issue(
+                    Rule::UndecodableReachable,
+                    i,
+                    format!("{} can execute but is not a valid instruction", self.at(i)),
+                );
+                continue;
+            }
+            match self.flow(i) {
+                Flow::Seq => work.push_back(i + 1),
+                Flow::Jump {
+                    target,
+                    falls,
+                    indexed: ix,
+                } => {
+                    self.visit_slot(i);
+                    indexed |= ix;
+                    if let Some(t) = target {
+                        work.push_back(t);
+                    }
+                    if falls {
+                        work.push_back(i + 2);
+                    }
+                }
+                Flow::Call { site, ret_to } => {
+                    self.visit_slot(i);
+                    if let Some(t) = site.target {
+                        heads.insert(t);
+                        work.push_back(t);
+                    }
+                    work.push_back(ret_to);
+                }
+                Flow::Exit => self.visit_slot(i),
+            }
+        }
+        (heads, indexed)
+    }
+
+    /// Walks one function from `head`, producing its blocks and calls.
+    fn walk_function(&mut self, head: InsnIdx, heads: &BTreeSet<InsnIdx>) -> FunctionCfg {
+        let len = self.code.len();
+        let mut leaders: BTreeSet<InsnIdx> = BTreeSet::from([head]);
+        let mut visited: BTreeSet<InsnIdx> = BTreeSet::new();
+        let mut calls: Vec<CallSite> = Vec::new();
+        let mut has_indexed_jump = false;
+
+        // Pass 1: discover the function's words and leaders.
+        let mut work = VecDeque::from([head]);
+        while let Some(i) = work.pop_front() {
+            if i >= len || !visited.insert(i) {
+                continue;
+            }
+            match self.flow(i) {
+                Flow::Seq => work.push_back(i + 1),
+                Flow::Jump {
+                    target,
+                    falls,
+                    indexed,
+                } => {
+                    visited.extend(self.slot_of(i));
+                    has_indexed_jump |= indexed;
+                    if let Some(t) = target {
+                        // A jump to another function's head is a tail
+                        // transfer, not part of this function's body.
+                        if t == head || !heads.contains(&t) {
+                            leaders.insert(t);
+                            work.push_back(t);
+                        }
+                    }
+                    if falls && i + 2 < len {
+                        leaders.insert(i + 2);
+                        work.push_back(i + 2);
+                    }
+                }
+                Flow::Call { site, ret_to } => {
+                    visited.extend(self.slot_of(i));
+                    calls.push(site);
+                    if ret_to < len {
+                        leaders.insert(ret_to);
+                        work.push_back(ret_to);
+                    }
+                }
+                Flow::Exit => {
+                    visited.extend(self.slot_of(i));
+                }
+            }
+        }
+
+        // Pass 2: cut blocks at leaders and transfer pairs.
+        let live_leaders: Vec<InsnIdx> = leaders
+            .iter()
+            .copied()
+            .filter(|l| visited.contains(l))
+            .collect();
+        let block_of: HashMap<InsnIdx, BlockId> = live_leaders
+            .iter()
+            .enumerate()
+            .map(|(id, &l)| (l, id))
+            .collect();
+        let mut blocks = Vec::with_capacity(live_leaders.len());
+        for &start in &live_leaders {
+            blocks.push(self.cut_block(start, len, &leaders, &block_of, heads, head));
+        }
+
+        FunctionCfg {
+            head,
+            name: self.symbol_at(head),
+            is_entry: head == self.entry,
+            blocks,
+            calls,
+            has_indexed_jump,
+        }
+    }
+
+    /// The slot index of the transfer at `i`, when it exists.
+    fn slot_of(&self, i: InsnIdx) -> Option<InsnIdx> {
+        let insn = self.code.get(i).copied().flatten()?;
+        (insn.opcode.has_delay_slot() && i + 1 < self.code.len()).then_some(i + 1)
+    }
+
+    /// Walks forward from `start` to the end of its basic block.
+    fn cut_block(
+        &mut self,
+        start: InsnIdx,
+        len: InsnIdx,
+        leaders: &BTreeSet<InsnIdx>,
+        block_of: &HashMap<InsnIdx, BlockId>,
+        heads: &BTreeSet<InsnIdx>,
+        head: InsnIdx,
+    ) -> BasicBlock {
+        let mut b = BasicBlock {
+            start,
+            end: start,
+            succs: Vec::new(),
+            term: None,
+            exits: false,
+            falls_off: false,
+            tail_to: None,
+        };
+        let mut succ_leaders: Vec<InsnIdx> = Vec::new();
+        let mut i = start;
+        loop {
+            if i >= len {
+                b.falls_off = true;
+                break;
+            }
+            if self.code[i].is_none() {
+                // Fault point: the undecodable-reachable error was already
+                // recorded by the whole-program walk.
+                b.end = i + 1;
+                b.exits = true;
+                break;
+            }
+            match self.flow(i) {
+                Flow::Seq => {
+                    b.end = i + 1;
+                    if leaders.contains(&(i + 1)) {
+                        succ_leaders.push(i + 1);
+                        break;
+                    }
+                    i += 1;
+                }
+                Flow::Jump {
+                    target,
+                    falls,
+                    indexed,
+                } => {
+                    b.term = Some(i);
+                    b.end = self.slot_of(i).map_or(i + 1, |s| s + 1);
+                    if let Some(t) = target {
+                        if t != head && heads.contains(&t) {
+                            b.tail_to = Some(t);
+                        } else {
+                            succ_leaders.push(t);
+                        }
+                    }
+                    if falls && i + 2 < len {
+                        succ_leaders.push(i + 2);
+                    } else if falls {
+                        b.falls_off = true;
+                    }
+                    // An unconditional indexed jump has no static
+                    // successor at all; treat it as a function exit.
+                    b.exits = indexed && !falls;
+                    break;
+                }
+                Flow::Call { ret_to, .. } => {
+                    b.term = Some(i);
+                    b.end = self.slot_of(i).map_or(i + 1, |s| s + 1);
+                    if ret_to < len {
+                        succ_leaders.push(ret_to);
+                    } else {
+                        b.falls_off = true;
+                    }
+                    break;
+                }
+                Flow::Exit => {
+                    b.term = Some(i);
+                    b.end = self.slot_of(i).map_or(i + 1, |s| s + 1);
+                    b.exits = true;
+                    break;
+                }
+            }
+        }
+        b.succs = succ_leaders
+            .into_iter()
+            .filter_map(|l| block_of.get(&l).copied())
+            .collect();
+        b
+    }
+
+    fn symbol_at(&self, idx: InsnIdx) -> Option<String> {
+        let off = (idx * INSN_BYTES as usize) as u32;
+        self.program
+            .symbols
+            .iter()
+            .find(|(_, &s)| s == off)
+            .map(|(n, _)| n.clone())
+    }
+
+    fn build(mut self) -> Cfg {
+        let (mut heads, has_indexed_jump) = if self.entry < self.code.len() {
+            self.walk_program()
+        } else {
+            (BTreeSet::new(), false)
+        };
+        heads.remove(&self.entry);
+
+        let mut functions = Vec::with_capacity(heads.len() + 1);
+        if self.entry < self.code.len() {
+            let all_heads: BTreeSet<InsnIdx> = heads.iter().copied().chain([self.entry]).collect();
+            functions.push(self.walk_function(self.entry, &all_heads));
+            for &h in &heads {
+                functions.push(self.walk_function(h, &all_heads));
+            }
+        }
+
+        Cfg {
+            code: self.code,
+            entry: self.entry,
+            reachable: self.reachable,
+            delay_slot: self.delay_slot,
+            functions,
+            has_indexed_jump,
+            issues: self.issues,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_isa::Short2;
+
+    fn prog(insns: Vec<Instruction>) -> Program {
+        Program::from_instructions(insns)
+    }
+
+    fn halt() -> Vec<Instruction> {
+        vec![Instruction::ret(Reg::R0, Short2::ZERO), Instruction::nop()]
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut insns = vec![
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, Short2::imm(1).unwrap()),
+            Instruction::reg(Opcode::Add, Reg::R17, Reg::R16, Short2::imm(2).unwrap()),
+        ];
+        insns.extend(halt());
+        let cfg = Cfg::build(&prog(insns));
+        assert_eq!(cfg.functions.len(), 1);
+        let f = cfg.entry_function();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!((f.blocks[0].start, f.blocks[0].end), (0, 4));
+        assert!(f.blocks[0].exits);
+        assert_eq!(f.blocks[0].term, Some(2));
+    }
+
+    #[test]
+    fn conditional_jump_splits_blocks_after_the_slot() {
+        // 0: sub r0, r16, #0 {scc}
+        // 1: jmpr eq, +16  (-> word 5)
+        // 2:   nop          (delay slot)
+        // 3: add r17, r0, #1
+        // 4..5: halt at word 5
+        let mut insns = vec![
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R16, Short2::ZERO),
+            Instruction::jmpr(Cond::Eq, 16),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R17, Reg::R0, Short2::imm(1).unwrap()),
+        ];
+        insns.extend(halt());
+        insns.push(Instruction::nop()); // pad so target word 5 exists
+        let cfg = Cfg::build(&prog(insns));
+        let f = cfg.entry_function();
+        assert!(cfg.issues.is_empty(), "{:?}", cfg.issues);
+        let b0 = &f.blocks[f.block_containing(0).unwrap()];
+        assert_eq!((b0.start, b0.end), (0, 3), "pair [jmpr, slot] ends block");
+        assert_eq!(b0.term, Some(1));
+        assert_eq!(b0.succs.len(), 2, "taken and fallthrough");
+        assert!(cfg.delay_slot[2]);
+        assert!(cfg.reachable.iter().take(6).all(|&r| r));
+    }
+
+    #[test]
+    fn callr_targets_become_functions() {
+        // entry: callr r25 -> f; halt. f: ret r25.
+        let insns = vec![
+            Instruction::callr(Reg::R25, 4 * 4), // word 0 -> word 4
+            Instruction::nop(),
+            Instruction::ret(Reg::R0, Short2::ZERO),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, Short2::imm(3).unwrap()),
+            Instruction::ret(Reg::R25, Short2::ZERO),
+            Instruction::nop(),
+        ];
+        let cfg = Cfg::build(&prog(insns));
+        assert_eq!(cfg.functions.len(), 2);
+        assert!(cfg.functions[0].is_entry);
+        assert_eq!(cfg.functions[1].head, 4);
+        assert_eq!(cfg.functions[0].calls.len(), 1);
+        assert_eq!(cfg.functions[0].calls[0].target, Some(4));
+        assert_eq!(cfg.functions[0].calls[0].link, Some(Reg::R25));
+        assert!(cfg.functions[1].blocks.iter().any(|b| b.exits));
+    }
+
+    #[test]
+    fn missing_slot_and_out_of_range_are_reported() {
+        let cfg = Cfg::build(&prog(vec![Instruction::jmpr(Cond::Alw, 400)]));
+        let rules: Vec<Rule> = cfg.issues.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::MissingDelaySlot));
+        assert!(rules.contains(&Rule::JumpOutOfRange));
+    }
+
+    #[test]
+    fn undecodable_reachable_word_is_an_issue() {
+        let mut p = prog(halt());
+        p.words.insert(0, 0); // opcode 0 does not decode
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.issues.len(), 1);
+        assert_eq!(cfg.issues[0].rule, Rule::UndecodableReachable);
+        assert_eq!(cfg.issues[0].pc, 0);
+    }
+
+    #[test]
+    fn unreachable_code_is_not_visited() {
+        let mut insns = halt();
+        insns.push(Instruction::reg(
+            Opcode::Add,
+            Reg::R16,
+            Reg::R0,
+            Short2::imm(9).unwrap(),
+        ));
+        let cfg = Cfg::build(&prog(insns));
+        assert_eq!(cfg.reachable, vec![true, true, false]);
+    }
+
+    #[test]
+    fn indexed_jump_is_flagged() {
+        let mut insns = vec![
+            Instruction::jmp(Cond::Alw, Reg::R16, Short2::ZERO),
+            Instruction::nop(),
+        ];
+        insns.extend(halt());
+        let cfg = Cfg::build(&prog(insns));
+        assert!(cfg.has_indexed_jump);
+        assert!(cfg.entry_function().has_indexed_jump);
+        let b = &cfg.entry_function().blocks[0];
+        assert!(
+            b.exits,
+            "unconditional indexed jump has no static successor"
+        );
+    }
+}

@@ -1,0 +1,317 @@
+//! Bitset dataflow over the 32-register window-relative file.
+//!
+//! Both passes run per function on the blocks built by [`crate::cfg`]:
+//!
+//! * **May-defined** (forward, union at joins): which registers have a
+//!   definition on *some* path from the function entry. A read of a
+//!   register outside this set is definitely never written — the basis of
+//!   the uninit-read rule with essentially no false positives.
+//! * **Liveness** (backward, union at joins): which registers may still be
+//!   read before being overwritten — the basis of the dead-store rule.
+//!
+//! State is a `u64` bitset: bits 1–31 are `r1`–`r31` in the *current
+//! window's* name space (r0 is hardwired zero and never tracked), bit 32 is
+//! the condition flags. Calls are modelled by a transfer-function summary
+//! of the whole callee execution as seen from the caller's window: the
+//! callee shares globals r1–r9 and writes its results into the caller's
+//! LOW registers r10–r15 (its own HIGH), and may set the flags. The
+//! caller's LOCAL registers r16–r25 are untouchable by a well-nested callee
+//! — which is exactly what makes window-relative dataflow tractable.
+
+use crate::cfg::{BasicBlock, FunctionCfg, InsnIdx};
+use risc1_isa::{Instruction, Reg};
+
+/// A set of dataflow facts: bits 1–31 = registers, bit 32 = flags.
+pub type BitSet = u64;
+
+/// Bit index of the condition flags pseudo-register.
+pub const FLAGS: u32 = 32;
+/// The flags as a [`BitSet`].
+pub const FLAGS_BIT: BitSet = 1 << FLAGS;
+/// Every tracked fact: r1–r31 and the flags.
+pub const ALL: BitSet = reg_range(1, 31) | FLAGS_BIT;
+
+/// The bit for one register (empty for r0).
+pub fn reg_bit(r: Reg) -> BitSet {
+    if r.is_zero() {
+        0
+    } else {
+        1 << r.number()
+    }
+}
+
+/// Bits for the inclusive register range `rLO..=rHI`.
+pub const fn reg_range(lo: u8, hi: u8) -> BitSet {
+    // ((1 << (hi+1)) - 1) minus ((1 << lo) - 1), avoiding overflow at 63.
+    let upper = if hi >= 63 {
+        !0u64
+    } else {
+        (1u64 << (hi + 1)) - 1
+    };
+    let lower = (1u64 << lo) - 1;
+    upper & !lower
+}
+
+/// The registers a [`BitSet`] names, for diagnostics.
+pub fn set_regs(s: BitSet) -> Vec<Reg> {
+    Reg::all().filter(|r| reg_bit(*r) & s != 0).collect()
+}
+
+/// Use/def facts for one instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effects {
+    /// Facts the instruction consumes.
+    pub uses: BitSet,
+    /// Facts the instruction produces.
+    pub defs: BitSet,
+}
+
+/// The architectural effect of the instruction itself: exactly the
+/// registers its operand fields read and write, plus the flags. This is
+/// what the uninit-read rule checks, so a call does *not* "use" all six
+/// outgoing-argument registers here.
+pub fn arch_effects(insn: &Instruction) -> Effects {
+    let mut uses: BitSet = insn.reads().into_iter().fold(0, |s, r| s | reg_bit(r));
+    let mut defs: BitSet = insn.writes().map(reg_bit).unwrap_or(0);
+    if insn.reads_cc() {
+        uses |= FLAGS_BIT;
+    }
+    if insn.sets_cc() {
+        defs |= FLAGS_BIT;
+    }
+    Effects { uses, defs }
+}
+
+/// The caller-visible effect of the instruction *including a summary of the
+/// callee* for calls: the callee may read the shared globals and its
+/// incoming arguments (the caller's r10–r15), and may write globals, the
+/// caller's LOW registers (its own HIGH r26–r31 alias them) and the flags.
+/// The link register is deliberately not a caller-side def — the call
+/// writes it into the *callee's* window.
+pub fn summary_effects(insn: &Instruction) -> Effects {
+    let mut e = arch_effects(insn);
+    if insn.opcode.is_call() {
+        // The architectural link write happens after the window moves, so
+        // it is not a def of any caller-window register.
+        e.defs &= !insn.link_reg().map(reg_bit).unwrap_or(0);
+        e.uses |= reg_range(1, 15) | FLAGS_BIT;
+        e.defs |= reg_range(1, 15) | FLAGS_BIT;
+    }
+    e
+}
+
+/// Per-block fixpoint results; indexed by `BlockId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowSets {
+    /// Facts at block entry.
+    pub ins: Vec<BitSet>,
+    /// Facts at block exit.
+    pub outs: Vec<BitSet>,
+}
+
+fn block_insns<'c>(
+    b: &BasicBlock,
+    code: &'c [Option<Instruction>],
+) -> impl Iterator<Item = (InsnIdx, Instruction)> + 'c {
+    let range = b.start..b.end.min(code.len());
+    range.filter_map(move |i| code[i].map(|insn| (i, insn)))
+}
+
+/// Forward may-defined analysis. `entry_defined` seeds the function's entry
+/// block (the block starting at `f.head`).
+pub fn may_defined(
+    f: &FunctionCfg,
+    code: &[Option<Instruction>],
+    entry_defined: BitSet,
+) -> FlowSets {
+    let n = f.blocks.len();
+    let entry_block = f.blocks.iter().position(|b| b.start == f.head);
+    let mut ins = vec![0u64; n];
+    let mut outs = vec![0u64; n];
+    if let Some(e) = entry_block {
+        ins[e] = entry_defined;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..n {
+            let mut inset = ins[id];
+            for (pid, pb) in f.blocks.iter().enumerate() {
+                if pb.succs.contains(&id) {
+                    inset |= outs[pid];
+                }
+            }
+            let mut out = inset;
+            for (_, insn) in block_insns(&f.blocks[id], code) {
+                out |= summary_effects(&insn).defs;
+            }
+            if inset != ins[id] || out != outs[id] {
+                ins[id] = inset;
+                outs[id] = out;
+                changed = true;
+            }
+        }
+    }
+    FlowSets { ins, outs }
+}
+
+/// Backward liveness. `exit_live` is what the world outside the function
+/// still reads after it returns (globals, the caller-visible HIGH
+/// registers holding results, the flags). Blocks that fall off the end of
+/// code or leave through an indexed jump conservatively treat *everything*
+/// as live.
+pub fn liveness(f: &FunctionCfg, code: &[Option<Instruction>], exit_live: BitSet) -> FlowSets {
+    let n = f.blocks.len();
+    let mut ins = vec![0u64; n];
+    let mut outs = vec![0u64; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in (0..n).rev() {
+            let b = &f.blocks[id];
+            let mut out = 0u64;
+            for &s in &b.succs {
+                out |= ins[s];
+            }
+            if b.exits || b.tail_to.is_some() {
+                out |= exit_live;
+            }
+            if b.falls_off || (b.exits && b.term.is_none()) {
+                out |= ALL;
+            }
+            let mut live = out;
+            let insns: Vec<(InsnIdx, Instruction)> = block_insns(b, code).collect();
+            for (_, insn) in insns.iter().rev() {
+                let e = summary_effects(insn);
+                live = (live & !e.defs) | e.uses;
+            }
+            if out != outs[id] || live != ins[id] {
+                outs[id] = out;
+                ins[id] = live;
+                changed = true;
+            }
+        }
+    }
+    FlowSets { ins, outs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use risc1_core::Program;
+    use risc1_isa::{Cond, Opcode, Short2};
+
+    fn imm(v: i32) -> Short2 {
+        Short2::imm(v).unwrap()
+    }
+
+    #[test]
+    fn reg_range_bits() {
+        assert_eq!(reg_range(1, 1), 0b10);
+        assert_eq!(reg_range(1, 3), 0b1110);
+        assert_eq!(reg_range(10, 15).count_ones(), 6);
+        assert_eq!(ALL.count_ones(), 32, "r1-r31 plus flags");
+    }
+
+    #[test]
+    fn arch_effects_of_common_shapes() {
+        let add = Instruction::reg(Opcode::Add, Reg::R16, Reg::R17, Short2::reg(Reg::R18));
+        let e = arch_effects(&add);
+        assert_eq!(e.uses, reg_bit(Reg::R17) | reg_bit(Reg::R18));
+        assert_eq!(e.defs, reg_bit(Reg::R16));
+
+        let scc = Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R16, imm(0));
+        assert_eq!(arch_effects(&scc).defs, FLAGS_BIT);
+        let j = Instruction::jmpr(Cond::Eq, 8);
+        assert_eq!(arch_effects(&j).uses, FLAGS_BIT);
+
+        // A call's architectural effect reads nothing (callr) — the callee
+        // summary only appears in summary_effects.
+        let call = Instruction::callr(Reg::R25, 8);
+        assert_eq!(arch_effects(&call).uses, 0);
+        let s = summary_effects(&call);
+        assert!(s.defs & reg_range(10, 15) == reg_range(10, 15));
+        assert!(
+            s.defs & reg_bit(Reg::R25) == 0,
+            "link lands in the callee window"
+        );
+        assert!(s.uses & reg_range(10, 15) == reg_range(10, 15));
+    }
+
+    /// acc never written before the loop reads it → stays outside
+    /// may-defined everywhere.
+    #[test]
+    fn may_defined_misses_never_written_reg() {
+        let p = Program::from_instructions(vec![
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R17, imm(1)), // r17 never defined
+            Instruction::ret(Reg::R0, Short2::ZERO),
+            Instruction::nop(),
+        ]);
+        let cfg = Cfg::build(&p);
+        let f = cfg.entry_function();
+        let sets = may_defined(f, &cfg.code, 0);
+        assert_eq!(sets.ins[0], 0);
+        assert_eq!(sets.outs[0], reg_bit(Reg::R16));
+    }
+
+    /// Around a diamond, a def on one branch joins in via union.
+    #[test]
+    fn may_defined_joins_with_union() {
+        // 0: jmpr eq +12 (-> 3)   1: nop
+        // 2: add r16, r0, #1      (fallthrough defines r16)
+        // 3: ret r0               4: nop
+        let p = Program::from_instructions(vec![
+            Instruction::jmpr(Cond::Eq, 12),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, imm(1)),
+            Instruction::ret(Reg::R0, Short2::ZERO),
+            Instruction::nop(),
+        ]);
+        let cfg = Cfg::build(&p);
+        let f = cfg.entry_function();
+        let sets = may_defined(f, &cfg.code, FLAGS_BIT);
+        let exit = f.block_containing(3).unwrap();
+        assert_eq!(sets.ins[exit] & reg_bit(Reg::R16), reg_bit(Reg::R16));
+    }
+
+    #[test]
+    fn liveness_sees_use_after_def() {
+        // r16 := 1; r17 := r16 + 1; ret. r16 live between, dead after.
+        let p = Program::from_instructions(vec![
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, imm(1)),
+            Instruction::reg(Opcode::Add, Reg::R17, Reg::R16, imm(1)),
+            Instruction::ret(Reg::R0, Short2::ZERO),
+            Instruction::nop(),
+        ]);
+        let cfg = Cfg::build(&p);
+        let f = cfg.entry_function();
+        let sets = liveness(f, &cfg.code, reg_range(1, 9));
+        // At block entry nothing is live except what the block itself
+        // needs: the first insn reads nothing (r0).
+        assert_eq!(sets.ins[0] & reg_bit(Reg::R16), 0);
+        // The exit-live set propagates to the block's out.
+        assert_eq!(sets.outs[0], reg_range(1, 9));
+    }
+
+    #[test]
+    fn loop_liveness_reaches_fixpoint() {
+        // top: r16 := r16 + 1; sub {scc}; jmpr ne top; ret
+        let p = Program::from_instructions(vec![
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R16, imm(1)),
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R16, imm(10)),
+            Instruction::jmpr(Cond::Ne, -8),
+            Instruction::nop(),
+            Instruction::ret(Reg::R0, Short2::ZERO),
+            Instruction::nop(),
+        ]);
+        let cfg = Cfg::build(&p);
+        let f = cfg.entry_function();
+        let sets = liveness(f, &cfg.code, 0);
+        let top = f.block_containing(0).unwrap();
+        assert!(
+            sets.ins[top] & reg_bit(Reg::R16) != 0,
+            "loop-carried register is live at the loop head"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! `risc1-lint` — CFG + dataflow static analysis for RISC I programs.
+//!
+//! The analyzer takes an assembled [`risc1_core::Program`], rebuilds its
+//! control-flow structure (basic blocks, delay-slot-aware edges, a call
+//! graph over discovered functions), runs bitset dataflow over the
+//! window-relative register file, and reports findings as structured
+//! [`Diagnostic`]s with text and JSON-lines rendering.
+//!
+//! The rule suite is grounded in RISC I's three signature mechanisms from
+//! Patterson & Séquin (ISCA 1981):
+//!
+//! * **Delayed jumps** — every transfer except `calli` executes the
+//!   following word before control moves. A transfer in a delay slot
+//!   faults; a slot that clobbers state the transfer consumed is an
+//!   interrupt-restart hazard (`gtlpc` re-executes the jump).
+//! * **Overlapped register windows** — the caller's LOW registers alias
+//!   the callee's HIGH registers, which is what makes window-relative
+//!   dataflow and the call-summary transfer function tractable, and why a
+//!   static call chain deeper than *windows − 1* guarantees overflow traps.
+//! * **The single condition-code bit per op (`scc`)** — tracked as a
+//!   pseudo-register so flag def-use hazards fall out of ordinary dataflow.
+//!
+//! Entry point: [`lint_program`]. Typical use:
+//!
+//! ```
+//! use risc1_lint::{lint_program, LintConfig};
+//! use risc1_core::Program;
+//! use risc1_isa::{Instruction, Reg, Short2};
+//!
+//! let program = Program::from_instructions(vec![
+//!     Instruction::ret(Reg::R0, Short2::ZERO),
+//!     Instruction::nop(),
+//! ]);
+//! let diags = lint_program(&program, &LintConfig::default());
+//! assert!(diags.is_empty());
+//! ```
+
+pub mod cfg;
+pub mod dataflow;
+pub mod diag;
+pub mod rules;
+
+pub use cfg::{BasicBlock, CallSite, Cfg, FunctionCfg};
+pub use diag::{render_json, render_text, Diagnostic, Rule, Severity};
+pub use rules::{has_errors, lint_program, LintConfig};

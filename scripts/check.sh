@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, and the tier-1 build+test cycle.
+# Everything runs offline; a clean exit here is the bar every PR must meet.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release -q
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."

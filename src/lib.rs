@@ -1,8 +1,8 @@
 //! # `risc1` — facade crate for the RISC I reproduction workspace.
 //!
 //! Re-exports every subsystem under one roof. See the individual crates for
-//! detail: [`isa`], [`core`], [`asm`], [`cisc`], [`ir`], [`workloads`],
-//! [`stats`], [`experiments`].
+//! detail: [`isa`], [`core`], [`asm`], [`cisc`], [`ir`], [`lint`],
+//! [`workloads`], [`stats`], [`experiments`].
 
 pub use risc1_asm as asm;
 pub use risc1_cisc as cisc;
@@ -10,5 +10,6 @@ pub use risc1_core as core;
 pub use risc1_experiments as experiments;
 pub use risc1_ir as ir;
 pub use risc1_isa as isa;
+pub use risc1_lint as lint;
 pub use risc1_stats as stats;
 pub use risc1_workloads as workloads;

@@ -1,0 +1,256 @@
+//! Integration suite for the static analyzer: every compiler-produced
+//! program in the repo must come out of `risc1-lint` with zero
+//! error-severity findings, and a deliberately buggy hand-written program
+//! must trip the headline rules — through the library API and through the
+//! `risc1 lint` CLI.
+
+use risc1::asm::assemble;
+use risc1::ir::{compile_risc, RiscOpts};
+use risc1::lint::{has_errors, lint_program, render_text, LintConfig, Rule, Severity};
+use risc1::workloads;
+
+fn assert_error_free(prog: &risc1::core::Program, what: &str) {
+    let diags = lint_program(prog, &LintConfig::default());
+    assert!(
+        !has_errors(&diags),
+        "{what} has error-severity lint findings:\n{}",
+        render_text(&diags)
+    );
+}
+
+/// Every suite workload, compiled with and without the delay-slot filler,
+/// lints clean of errors. The filled variant doubles as a check that
+/// `fill_delay_slots` only hoists instructions the shared hazard predicate
+/// allows — the analyzer re-derives the same predicate per slot.
+#[test]
+fn all_workloads_lint_error_free_with_and_without_delay_filling() {
+    for w in workloads::all() {
+        for fill in [false, true] {
+            let prog = compile_risc(
+                &w.module,
+                RiscOpts {
+                    fill_delay_slots: fill,
+                },
+            )
+            .expect("compiles");
+            assert_error_free(&prog, &format!("workload `{}` (fill={fill})", w.id));
+        }
+    }
+}
+
+/// The quickstart example's program (examples/quickstart.rs) is fully
+/// clean: no errors and no warnings, even with its hand-scheduled delay
+/// slot.
+#[test]
+fn quickstart_example_program_is_clean() {
+    let src = "
+            add   r16, r0, #0        ; acc := 0
+            add   r17, r26, #0       ; i := n (first argument, in r26)
+    loop:   sub   r0, r17, #0 {scc}  ; set flags from i
+            jmpr  eq, done
+            nop
+            add   r16, r16, r17      ; acc += i
+            jmpr  alw, loop
+            sub   r17, r17, #1       ; delay slot: i -= 1
+    done:   add   r26, r16, #0       ; return value convention: r26
+            halt
+            nop
+    ";
+    let prog = assemble(src).expect("assembles");
+    let diags = lint_program(&prog, &LintConfig::default());
+    assert!(
+        diags.iter().all(|d| d.severity == Severity::Info),
+        "quickstart program should be warning-free:\n{}",
+        render_text(&diags)
+    );
+}
+
+/// The interrupt demo's program (examples/interrupt_demo.rs): the handler
+/// is only entered asynchronously, so static analysis reports it
+/// unreachable — a warning, never an error.
+#[test]
+fn interrupt_demo_program_has_no_errors() {
+    let src = "
+        .entry main
+        handler:
+            ldhi  r16, #1
+            ldl   r17, r16, #0
+            add   r17, r17, #1
+            stl   r17, r16, #0
+            reti  r25, #0
+            nop
+        main:
+            add   r16, r0, #0
+            li    r18, #50000
+        spin:
+            add   r16, r16, #1
+            sub   r0, r16, r18 {scc}
+            jmpr  ne, spin
+            nop
+            add   r26, r16, #0
+            halt
+            nop
+    ";
+    let prog = assemble(src).expect("assembles");
+    let diags = lint_program(&prog, &LintConfig::default());
+    assert!(!has_errors(&diags), "{}", render_text(&diags));
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::UnreachableCode),
+        "the interrupt handler is statically unreachable:\n{}",
+        render_text(&diags)
+    );
+}
+
+/// The deliberately buggy acceptance program: one source exhibiting a
+/// branch into a delay slot, an uninitialized register read, and a static
+/// call chain deeper than the configured window file.
+const BUGGY_SRC: &str = "
+    .entry main
+    f8:     add   r26, r26, #1
+            ret   r25, #8
+            nop
+    f7:     callr r25, f8
+            nop
+            ret   r25, #8
+            nop
+    f6:     callr r25, f7
+            nop
+            ret   r25, #8
+            nop
+    f5:     callr r25, f6
+            nop
+            ret   r25, #8
+            nop
+    f4:     callr r25, f5
+            nop
+            ret   r25, #8
+            nop
+    f3:     callr r25, f4
+            nop
+            ret   r25, #8
+            nop
+    f2:     callr r25, f3
+            nop
+            ret   r25, #8
+            nop
+    f1:     callr r25, f2
+            nop
+            ret   r25, #8
+            nop
+    main:   callr r25, f1
+            nop
+            add   r16, r20, #0      ; BUG: r20 is never written
+            sub   r0, r16, #0 {scc}
+            jmpr  eq, inslot        ; BUG: targets the delay slot of jend
+            nop
+    jend:   jmpr  alw, end
+    inslot: add   r17, r0, #1       ; jend's delay slot, also a jump target
+    end:    halt
+            nop
+";
+
+#[test]
+fn buggy_program_trips_the_headline_rules() {
+    let prog = assemble(BUGGY_SRC).expect("assembles");
+    // main -> f1 -> … -> f8 is 8 nested calls; 8 windows hold 7 frames.
+    let diags = lint_program(&prog, &LintConfig { windows: 8 });
+    let fired: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+    assert!(
+        fired.contains(&Rule::BranchIntoDelaySlot),
+        "{}",
+        render_text(&diags)
+    );
+    assert!(fired.contains(&Rule::UninitRead), "{}", render_text(&diags));
+    assert!(
+        fired.contains(&Rule::WindowOverflowDepth),
+        "{}",
+        render_text(&diags)
+    );
+    let uninit = diags.iter().find(|d| d.rule == Rule::UninitRead).unwrap();
+    assert!(uninit.message.contains("r20"), "{}", uninit.message);
+
+    // A window file deep enough for the whole chain silences the depth rule.
+    let deep = lint_program(&prog, &LintConfig { windows: 16 });
+    assert!(!deep.iter().any(|d| d.rule == Rule::WindowOverflowDepth));
+}
+
+/// The same program through `risc1 lint` (warnings only → exit success),
+/// in both text and JSON renderings.
+#[test]
+fn cli_lint_reports_the_buggy_program() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("buggy.s");
+    std::fs::write(&path, BUGGY_SRC).unwrap();
+    let p = path.to_str().unwrap().to_string();
+
+    let text = risc1_cli::dispatch(&[String::from("lint"), p.clone()])
+        .expect("warnings do not fail the command");
+    assert!(text.contains("branch-into-delay-slot"), "{text}");
+    assert!(text.contains("uninit-read"), "{text}");
+    assert!(text.contains("window-overflow-depth"), "{text}");
+    assert!(text.contains("warning("), "summary line present: {text}");
+
+    let json = risc1_cli::dispatch(&[String::from("lint"), p.clone(), String::from("--json")])
+        .expect("warnings do not fail the command");
+    for line in json.lines() {
+        assert!(
+            line.starts_with("{\"rule\":\"") && line.ends_with("\"}"),
+            "JSON-lines shape: {line}"
+        );
+    }
+    assert!(json.contains("\"rule\":\"uninit-read\""), "{json}");
+
+    // A program with an error-severity finding makes the command fail.
+    let bad = dir.join("fault.s");
+    std::fs::write(
+        &bad,
+        "
+        jmpr alw, x
+        jmpr alw, x     ; transfer in the delay slot: hardware fault
+        x: halt
+        nop
+        ",
+    )
+    .unwrap();
+    let err = risc1_cli::dispatch(&[String::from("lint"), bad.to_str().unwrap().to_string()])
+        .expect_err("error findings fail the command");
+    assert!(err.contains("transfer-in-delay-slot"), "{err}");
+}
+
+/// The cross-crate end-to-end assembly program (tests/end_to_end.rs) also
+/// lints error-free — hand-written code with calls, loops and memory.
+#[test]
+fn end_to_end_assembly_program_is_error_free() {
+    let src = "
+        .entry main
+    square: add   r16, r0, #0
+            add   r17, r26, #0
+    sqloop: sub   r0, r17, #0 {scc}
+            jmpr  eq, sqdone
+            nop
+            add   r16, r16, r26
+            jmpr  alw, sqloop
+            sub   r17, r17, #1
+    sqdone: add   r26, r16, #0
+            ret   r25, #8
+            nop
+    main:   add   r16, r0, #0
+            add   r17, r26, #0
+    mloop:  sub   r0, r17, #0 {scc}
+            jmpr  eq, mdone
+            nop
+            add   r10, r17, #0
+            callr r25, square
+            nop
+            add   r16, r16, r10
+            jmpr  alw, mloop
+            sub   r17, r17, #1
+    mdone:  ldhi  r18, #1
+            stl   r16, r18, #0
+            ldl   r26, r18, #0
+            halt
+            nop
+    ";
+    assert_error_free(&assemble(src).expect("assembles"), "end-to-end program");
+}
