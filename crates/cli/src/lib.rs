@@ -3,18 +3,26 @@
 //! ```text
 //! risc1 asm <file.s>             assemble and disassemble back (listing)
 //! risc1 lint <file.s> [--json]   static analysis: CFG + dataflow findings
+//!   --trap-handler <sym>         declare a trap-vector entry point
+//!                                (repeatable); handlers must reti
 //! risc1 run <file.s> [args…]     assemble and execute; prints result + stats
+//!   --trap-handlers              install recovery stubs for vectorable faults
+//!   --inject <seed> [--rate N]   deterministic fault injection (N per 10000
+//!                                steps; default 20)
 //! risc1 trace <file.s> [args…]   execute with the pipeline timing diagram
 //! risc1 bench <workload>         run a suite workload on both machines
-//! risc1 exp <id|all>             print an experiment report (e1…e12)
+//! risc1 exp <id|all>             print an experiment report (e1…e13)
 //! risc1 list                     list suite workloads and experiments
 //! ```
 //!
 //! The library surface exists so the dispatch logic is unit-testable; the
-//! binary is a thin `main` over [`dispatch`].
+//! binary is a thin `main` over [`dispatch`]. Every user input error comes
+//! back as `Err(message)` — the binary prints it and exits nonzero, it
+//! never panics.
 
 use risc1_asm::{assemble, disassemble};
-use risc1_core::{Cpu, SimConfig};
+use risc1_core::inject::{install_recovery_handlers, RECOVERY_STUB_BASE};
+use risc1_core::{Cpu, FaultInjector, Halt, InjectConfig, SimConfig};
 use risc1_stats::measure_with;
 use std::fmt::Write as _;
 
@@ -44,10 +52,17 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
   risc1 lint <file.s> [--json] [--windows N]
                                 static analysis (CFG + dataflow); exits
                                 nonzero on error-severity findings
+       [--trap-handler <sym>]   declare a trap-vector entry point (symbol
+                                or byte offset; repeatable) - its body is
+                                live code and must return with reti
   risc1 run <file.s> [args…]    execute (args are main's integer arguments)
+       [--trap-handlers]        install recovery stubs: vectorable faults
+                                enter handlers instead of ending the run
+       [--inject <seed>]        deterministic fault injection from <seed>
+       [--rate N]               injection rate per 10000 steps (default 20)
   risc1 trace <file.s> [args…]  execute with a pipeline diagram
   risc1 bench <workload-id>     run one suite workload on RISC I and CX
-  risc1 exp <e1…e12|all>        print an experiment report
+  risc1 exp <e1…e13|all>        print an experiment report
   risc1 list                    available workloads and experiments";
 
 fn read(path: &str) -> Result<String, String> {
@@ -80,6 +95,7 @@ fn cmd_asm(path: &str) -> CliResult {
 fn cmd_lint(path: &str, rest: &[String]) -> CliResult {
     let mut json = false;
     let mut config = risc1_lint::LintConfig::default();
+    let mut handlers: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -90,11 +106,26 @@ fn cmd_lint(path: &str, rest: &[String]) -> CliResult {
                     .parse()
                     .map_err(|e| format!("bad --windows value `{n}`: {e}"))?;
             }
+            "--trap-handler" => {
+                let v = it
+                    .next()
+                    .ok_or("--trap-handler needs a symbol or byte offset")?;
+                handlers.push(v.clone());
+            }
             other => return Err(format!("unknown lint flag `{other}`\n{USAGE}")),
         }
     }
     let src = read(path)?;
     let prog = assemble(&src).map_err(|e| e.to_string())?;
+    for h in &handlers {
+        let off = match prog.symbols.get(h.as_str()) {
+            Some(&o) => o,
+            None => h.parse::<u32>().map_err(|_| {
+                format!("--trap-handler `{h}`: neither a symbol in this program nor a byte offset")
+            })?,
+        };
+        config.trap_handlers.push(off);
+    }
     let diags = risc1_lint::lint_program(&prog, &config);
     let rendered = if json {
         risc1_lint::render_json(&diags)
@@ -108,19 +139,99 @@ fn cmd_lint(path: &str, rest: &[String]) -> CliResult {
     }
 }
 
+/// Options accepted by `run`/`trace` after the file name.
+struct RunOpts {
+    args: Vec<i32>,
+    inject_seed: Option<u64>,
+    rate: Option<u32>,
+    trap_handlers: bool,
+}
+
+fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
+    let mut plain: Vec<String> = Vec::new();
+    let mut inject_seed = None;
+    let mut rate = None;
+    let mut trap_handlers = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trap-handlers" => trap_handlers = true,
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs a seed")?;
+                inject_seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --inject seed `{v}`: {e}"))?,
+                );
+            }
+            "--rate" => {
+                let v = it.next().ok_or("--rate needs a value")?;
+                rate = Some(
+                    v.parse::<u32>()
+                        .map_err(|e| format!("bad --rate value `{v}`: {e}"))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown run flag `{other}`\n{USAGE}"))
+            }
+            other => plain.push(other.to_string()),
+        }
+    }
+    if rate.is_some() && inject_seed.is_none() {
+        return Err("--rate only makes sense with --inject".to_string());
+    }
+    Ok(RunOpts {
+        args: parse_args(&plain)?,
+        inject_seed,
+        rate,
+        trap_handlers,
+    })
+}
+
 fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
     let src = read(path)?;
     let prog = assemble(&src).map_err(|e| e.to_string())?;
-    let args = parse_args(rest)?;
+    let opts = parse_run_opts(rest)?;
     let cfg = SimConfig {
         record_trace: trace,
         ..SimConfig::default()
     };
     let mut cpu = Cpu::new(cfg);
     cpu.load_program(&prog).map_err(|e| e.to_string())?;
-    cpu.set_args(&args);
-    cpu.run().map_err(|e| e.to_string())?;
+    cpu.try_set_args(&opts.args).map_err(|e| e.to_string())?;
+    if opts.trap_handlers || opts.inject_seed.is_some() {
+        install_recovery_handlers(&mut cpu, RECOVERY_STUB_BASE).map_err(|e| e.to_string())?;
+    }
     let mut out = String::new();
+    if let Some(seed) = opts.inject_seed {
+        let mut icfg = InjectConfig::with_seed(seed);
+        if let Some(r) = opts.rate {
+            icfg.rate = r;
+        }
+        let rate = icfg.rate;
+        let mut injector = FaultInjector::new(icfg);
+        let fault = loop {
+            injector.pre_step(&mut cpu);
+            match cpu.step() {
+                Ok(Halt::Running) => {}
+                Ok(Halt::Returned) => break None,
+                Err(e) => break Some(e),
+            }
+        };
+        let _ = writeln!(
+            out,
+            "injected {} faults (seed {seed}, rate {rate}/10000)",
+            injector.events().len()
+        );
+        for ev in injector.events() {
+            let _ = writeln!(out, "  {ev}");
+        }
+        if let Some(e) = fault {
+            let _ = writeln!(out, "{}", cpu.stats());
+            return Err(format!("{out}fault: {e}"));
+        }
+    } else {
+        cpu.run().map_err(|e| e.to_string())?;
+    }
     let _ = writeln!(out, "result: {}", cpu.result());
     let _ = writeln!(out, "{}", cpu.stats());
     if trace {
@@ -184,11 +295,12 @@ fn cmd_exp(id: &str) -> CliResult {
         "e10" => e::e10_area::run(),
         "e11" => e::e11_pipeline_trace::run(),
         "e12" => e::e12_instruction_mix::run(),
+        "e13" => e::e13_fault_recovery::run(),
         "ablations" => e::ablations::run(),
         "all" => e::run_all(),
         other => {
             return Err(format!(
-                "unknown experiment `{other}` (e1…e12, ablations, all)"
+                "unknown experiment `{other}` (e1…e13, ablations, all)"
             ))
         }
     })
@@ -199,7 +311,7 @@ fn listing() -> String {
     for w in risc1_workloads::all() {
         let _ = writeln!(out, "  {:16} {}", w.id, w.description);
     }
-    out.push_str("\nexperiments: e1…e12, ablations, all (see DESIGN.md §3)\n");
+    out.push_str("\nexperiments: e1…e13, ablations, all (see DESIGN.md §3)\n");
     out
 }
 
@@ -251,5 +363,55 @@ mod tests {
         assert!(trace.contains('E'));
         let bad = dispatch(&s(&["run", p, "x"]));
         assert!(bad.is_err());
+    }
+
+    fn write_temp(name: &str, src: &str) -> String {
+        let dir = std::env::temp_dir().join("risc1_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, src).unwrap();
+        path.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn lint_trap_handler_flag_declares_a_root() {
+        let p = write_temp(
+            "h.s",
+            ".entry main
+            handler:
+                add  r2, r24, #0
+                ret  r25, #0
+                nop
+            main:
+                halt
+                nop
+            ",
+        );
+        // Without the flag the handler is just dead code; with it, the
+        // body is live and the missing reti is a warning (exit code 0).
+        let bare = dispatch(&s(&["lint", &p])).unwrap();
+        assert!(!bare.contains("trap-handler-missing-reti"), "{bare}");
+        let flagged = dispatch(&s(&["lint", &p, "--trap-handler", "handler"])).unwrap();
+        assert!(flagged.contains("trap-handler-missing-reti"), "{flagged}");
+        assert!(!flagged.contains("unreachable-code"), "{flagged}");
+        let unknown = dispatch(&s(&["lint", &p, "--trap-handler", "nosuch"]));
+        assert!(unknown.unwrap_err().contains("nosuch"));
+    }
+
+    #[test]
+    fn run_injection_flags_are_deterministic_and_validated() {
+        let p = write_temp("inj.s", "add r16, r26, #2\nadd r26, r16, #0\nhalt\nnop\n");
+        let a = dispatch(&s(&["run", &p, "40", "--inject", "7", "--rate", "5000"]));
+        let b = dispatch(&s(&["run", &p, "40", "--inject", "7", "--rate", "5000"]));
+        assert_eq!(a, b, "identical seed must reproduce the run verbatim");
+        let text = match &a {
+            Ok(t) => t.clone(),
+            Err(t) => t.clone(),
+        };
+        assert!(text.contains("injected"), "{text}");
+        assert!(dispatch(&s(&["run", &p, "40", "--rate", "5"])).is_err());
+        assert!(dispatch(&s(&["run", &p, "40", "--inject", "x"])).is_err());
+        let handled = dispatch(&s(&["run", &p, "40", "--trap-handlers"])).unwrap();
+        assert!(handled.contains("result: 42"), "{handled}");
     }
 }

@@ -50,6 +50,14 @@ pub struct SimConfig {
     /// Maximum number of instructions to execute before the simulator gives
     /// up (guards against runaway programs in tests and fuzzing).
     pub fuel: u64,
+    /// Base address of a vectored trap table. When set, every trap cause
+    /// gets a handler pre-installed at
+    /// `trap_base + index · TRAP_VECTOR_STRIDE` (see
+    /// [`crate::trap::TrapKind`] and [`crate::cpu::TRAP_VECTOR_STRIDE`]);
+    /// when `None` (the default) faults surface as structured
+    /// [`crate::ExecError`]s unless handlers are installed one by one via
+    /// [`crate::Cpu::set_trap_handler`].
+    pub trap_base: Option<u32>,
     /// Record a full retired-instruction trace (needed only by the pipeline
     /// diagram experiment; costs memory).
     pub record_trace: bool,
@@ -67,6 +75,7 @@ impl Default for SimConfig {
             branch_model: BranchModel::Delayed,
             forwarding: true,
             fuel: 200_000_000,
+            trap_base: None,
             record_trace: false,
         }
     }

@@ -24,6 +24,7 @@ use crate::exec::alu;
 use crate::mem::{MemError, Memory};
 use crate::program::Program;
 use crate::stats::ExecStats;
+use crate::trap::{TrapCause, TrapKind};
 use crate::windows::{WindowFile, SPILL_REGS};
 use risc1_isa::insn::Operands;
 use risc1_isa::psw::Flags;
@@ -60,8 +61,67 @@ pub enum ExecError {
         /// Save-stack pointer at the time of the failure.
         ptr: u32,
     },
-    /// `step` was called after the program halted.
+    /// A second fault arrived while a trap handler was already running.
+    /// The trap unit refuses to recurse: the run terminates with both
+    /// causes preserved.
+    DoubleFault {
+        /// PC of the second fault.
+        pc: u32,
+        /// The trap being serviced when the second fault hit.
+        first: TrapKind,
+        /// The fault that arrived inside the handler.
+        second: TrapKind,
+    },
+    /// Historical: `step` after halt now idempotently returns
+    /// [`Halt::Returned`] instead of this error. The variant is retained
+    /// for API stability and is no longer produced by the simulator.
     AlreadyHalted,
+}
+
+impl ExecError {
+    /// The architectural trap this error corresponds to, if it is a
+    /// vectorable fault (fuel exhaustion, double faults and the historical
+    /// `AlreadyHalted` are not traps).
+    ///
+    /// For memory faults, an out-of-range access at the faulting PC itself
+    /// is classified as an instruction-access fault, anything else as a
+    /// data-access fault.
+    pub fn trap_cause(&self) -> Option<TrapCause> {
+        match *self {
+            ExecError::Mem { pc, err } => Some(match err {
+                MemError::Misaligned { addr, .. } => TrapCause {
+                    kind: TrapKind::Misaligned,
+                    pc,
+                    info: addr,
+                },
+                MemError::OutOfRange { addr, .. } => TrapCause {
+                    kind: if addr == pc {
+                        TrapKind::InstructionAccess
+                    } else {
+                        TrapKind::DataAccess
+                    },
+                    pc,
+                    info: addr,
+                },
+            }),
+            ExecError::Decode { pc, .. } => Some(TrapCause {
+                kind: TrapKind::Decode,
+                pc,
+                info: 0,
+            }),
+            ExecError::TransferInDelaySlot { pc } => Some(TrapCause {
+                kind: TrapKind::TransferInDelaySlot,
+                pc,
+                info: pc,
+            }),
+            ExecError::WindowStackOverflow { ptr } => Some(TrapCause {
+                kind: TrapKind::WindowStackExhausted,
+                pc: 0,
+                info: ptr,
+            }),
+            ExecError::OutOfFuel | ExecError::DoubleFault { .. } | ExecError::AlreadyHalted => None,
+        }
+    }
 }
 
 impl fmt::Display for ExecError {
@@ -76,12 +136,21 @@ impl fmt::Display for ExecError {
             ExecError::WindowStackOverflow { ptr } => {
                 write!(f, "window-save stack overflow at {ptr:#010x}")
             }
+            ExecError::DoubleFault { pc, first, second } => write!(
+                f,
+                "double fault at pc {pc:#010x}: {second} trap while servicing {first}"
+            ),
             ExecError::AlreadyHalted => write!(f, "cpu is halted"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Byte stride between trap vectors when a vectored table is configured
+/// via [`SimConfig::trap_base`]: four instruction words per vector, enough
+/// for a `reti`+slot stub or a jump to a larger handler.
+pub const TRAP_VECTOR_STRIDE: u32 = 16;
 
 /// Outcome of [`Cpu::step`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +167,53 @@ pub enum Halt {
 enum PhysId {
     Global(u8),
     Ring(usize),
+}
+
+/// More arguments than the entry window's six HIGH registers can hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TooManyArgs {
+    /// How many arguments were supplied.
+    pub given: usize,
+}
+
+impl fmt::Display for TooManyArgs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} register arguments supplied, but the window has six \
+             (larger argument lists go through memory)",
+            self.given
+        )
+    }
+}
+
+impl std::error::Error for TooManyArgs {}
+
+/// Internal outcome of one execution attempt: either an unrecoverable
+/// host-level stop, or an architectural fault that the trap unit may
+/// vector to a handler.
+enum StepEvent {
+    /// Not vectorable (fuel, faults inside spill/fill servicing, …).
+    Fatal(ExecError),
+    /// A vectorable architectural fault.
+    Trap {
+        kind: TrapKind,
+        /// PC of the faulting instruction (before the delay-slot restart
+        /// rule is applied).
+        pc: u32,
+        /// The info word the handler receives in `r23`.
+        info: u32,
+        /// The error to surface if no handler is installed.
+        err: ExecError,
+    },
+}
+
+/// Why a window spill could not be serviced.
+enum SpillFail {
+    /// The save stack is out of room (vectorable).
+    Exhausted { ptr: u32 },
+    /// A memory fault mid-spill (fatal: the frame is partially written).
+    Mem(ExecError),
 }
 
 /// One retired instruction in the optional execution trace.
@@ -134,6 +250,16 @@ pub struct Cpu {
     trace: Vec<Retired>,
     interrupt_handler: Option<u32>,
     interrupt_pending: bool,
+    trap_handlers: [Option<u32>; TrapKind::COUNT],
+    /// The trap currently being serviced; a second fault while this is set
+    /// terminates the run with [`ExecError::DoubleFault`].
+    active_trap: Option<TrapKind>,
+    /// An injected (forced) trap, delivered at the next clean instruction
+    /// boundary — see [`Cpu::inject_probe`].
+    pending_probe: Option<TrapKind>,
+    /// Runtime fuel limit; starts at [`SimConfig::fuel`] and can be
+    /// tightened (fault-injection "fuel jitter").
+    fuel_limit: u64,
 }
 
 impl Cpu {
@@ -143,6 +269,13 @@ impl Cpu {
         let regs = WindowFile::new(cfg.windows);
         let wstack_ptr = cfg.window_stack_top;
         let pc = cfg.code_base;
+        let mut trap_handlers = [None; TrapKind::COUNT];
+        if let Some(base) = cfg.trap_base {
+            for kind in TrapKind::ALL {
+                trap_handlers[kind.index()] = Some(base + kind.index() as u32 * TRAP_VECTOR_STRIDE);
+            }
+        }
+        let fuel_limit = cfg.fuel;
         Cpu {
             cfg,
             mem,
@@ -159,6 +292,10 @@ impl Cpu {
             trace: Vec::new(),
             interrupt_handler: None,
             interrupt_pending: false,
+            trap_handlers,
+            active_trap: None,
+            pending_probe: None,
+            fuel_limit,
         }
     }
 
@@ -190,12 +327,26 @@ impl Cpu {
     ///
     /// # Panics
     /// Panics if more than 6 arguments are supplied (the window has six
-    /// HIGH registers; larger argument lists go through memory).
+    /// HIGH registers; larger argument lists go through memory). Use
+    /// [`Cpu::try_set_args`] where the argument list is user input.
     pub fn set_args(&mut self, args: &[i32]) {
-        assert!(args.len() <= 6, "at most 6 register arguments");
+        self.try_set_args(args)
+            .expect("at most 6 register arguments");
+    }
+
+    /// Fallible form of [`Cpu::set_args`].
+    ///
+    /// # Errors
+    /// [`TooManyArgs`] if more than 6 arguments are supplied; no registers
+    /// are written in that case.
+    pub fn try_set_args(&mut self, args: &[i32]) -> Result<(), TooManyArgs> {
+        if args.len() > 6 {
+            return Err(TooManyArgs { given: args.len() });
+        }
         for (i, &a) in args.iter().enumerate() {
             self.regs.write(Reg::new(26 + i as u8).unwrap(), a as u32);
         }
+        Ok(())
     }
 
     /// The entry frame's return value (`r26` by convention).
@@ -260,6 +411,55 @@ impl Cpu {
         self.interrupt_pending
     }
 
+    /// Installs a handler for one trap cause. With a handler installed the
+    /// corresponding fault no longer terminates the run: the trap unit
+    /// enters the handler in a fresh window with the restart PC in `r25`,
+    /// the cause code in `r24` and the info word in `r23`; the handler
+    /// returns with `reti r25, #0` (re-execute) or `reti r25, #4` (skip).
+    pub fn set_trap_handler(&mut self, kind: TrapKind, addr: u32) {
+        self.trap_handlers[kind.index()] = Some(addr);
+    }
+
+    /// Removes the handler for one trap cause (faults of that kind revert
+    /// to structured [`ExecError`]s).
+    pub fn clear_trap_handler(&mut self, kind: TrapKind) {
+        self.trap_handlers[kind.index()] = None;
+    }
+
+    /// The handler installed for a trap cause, if any.
+    pub fn trap_handler(&self, kind: TrapKind) -> Option<u32> {
+        self.trap_handlers[kind.index()]
+    }
+
+    /// The trap currently being serviced (set on trap entry, cleared by
+    /// the handler's `RETI`).
+    pub fn active_trap(&self) -> Option<TrapKind> {
+        self.active_trap
+    }
+
+    /// Forces a trap of the given kind at the next clean instruction
+    /// boundary (not in a delay slot, not inside a handler) — the fault
+    /// injector's hook. The forced trap is *extra-architectural*: no
+    /// instruction actually faulted, so a handler that resumes with
+    /// `reti r25, #0` continues the program exactly where it was
+    /// interrupted. Without a handler the probe surfaces as the
+    /// corresponding structured [`ExecError`].
+    pub fn inject_probe(&mut self, kind: TrapKind) {
+        self.pending_probe = Some(kind);
+    }
+
+    /// The current fuel limit (instructions the run may retire in total).
+    pub fn fuel_limit(&self) -> u64 {
+        self.fuel_limit
+    }
+
+    /// Tightens or raises the fuel limit at runtime (the injector's "fuel
+    /// jitter" perturbation). A limit at or below the instructions already
+    /// retired makes the next `step` report [`ExecError::OutOfFuel`].
+    pub fn set_fuel_limit(&mut self, fuel: u64) {
+        self.fuel_limit = fuel;
+    }
+
     /// Statistics accumulated so far (window counters synced).
     pub fn stats(&self) -> ExecStats {
         let mut s = self.stats.clone();
@@ -288,6 +488,12 @@ impl Cpu {
 
     /// Runs until the program returns from its entry frame.
     ///
+    /// ## Halt convention
+    /// A `RET` (or `RETI`) executed at call depth 0 halts the machine; the
+    /// program's result is then read from `r26` of the entry window by
+    /// [`Cpu::result`]. Once halted, further `run`/`step` calls are
+    /// idempotent no-ops ([`Halt::Returned`]).
+    ///
     /// # Errors
     /// Any [`ExecError`]; on error the CPU state is left at the faulting
     /// instruction for inspection.
@@ -296,30 +502,99 @@ impl Cpu {
         Ok(())
     }
 
-    /// Executes one instruction.
+    /// Executes one instruction (or delivers one pending trap/interrupt).
+    ///
+    /// After the program has halted this is an idempotent no-op returning
+    /// [`Halt::Returned`].
     ///
     /// # Errors
-    /// See [`ExecError`].
+    /// See [`ExecError`]. A fault whose cause has a handler installed (see
+    /// [`Cpu::set_trap_handler`]) does not surface here: it vectors into
+    /// the handler and the step reports [`Halt::Running`].
     pub fn step(&mut self) -> Result<Halt, ExecError> {
         if self.halted {
-            return Err(ExecError::AlreadyHalted);
+            return Ok(Halt::Returned);
         }
-        if self.stats.instructions >= self.cfg.fuel {
+        if self.stats.instructions >= self.fuel_limit {
             return Err(ExecError::OutOfFuel);
         }
-        if self.interrupt_pending && self.interrupts_enabled && self.pending_target.is_none() {
-            self.take_interrupt()?;
+        // Pending probes and interrupts are delivered only at a clean
+        // boundary: no delayed jump in flight (the paper holds interrupts
+        // off during delay slots so the saved PC always restarts a clean
+        // sequence) and no handler already running.
+        if self.pending_target.is_none() && self.active_trap.is_none() {
+            if let Some(kind) = self.pending_probe.take() {
+                let pc = self.pc;
+                let (info, err) = self.probe_fault(kind, pc);
+                self.vector_trap(kind, pc, info, err)?;
+                return Ok(Halt::Running);
+            }
+            if self.interrupt_pending && self.interrupts_enabled {
+                match self.take_interrupt() {
+                    Ok(()) => {}
+                    Err(StepEvent::Fatal(e)) => return Err(e),
+                    Err(StepEvent::Trap {
+                        kind,
+                        pc,
+                        info,
+                        err,
+                    }) => {
+                        self.vector_trap(kind, pc, info, err)?;
+                        return Ok(Halt::Running);
+                    }
+                }
+            }
         }
+        match self.exec_one() {
+            Ok(h) => Ok(h),
+            Err(StepEvent::Fatal(e)) => Err(e),
+            Err(StepEvent::Trap {
+                kind,
+                pc,
+                info,
+                err,
+            }) => {
+                // The paper's `lastpc` rule: a fault in a delay slot
+                // restarts at the transfer that owns the slot, because the
+                // slot alone cannot re-establish the in-flight target.
+                let restart = if self.pending_target.is_some() {
+                    self.last_pc
+                } else {
+                    pc
+                };
+                self.vector_trap(kind, restart, info, err)?;
+                Ok(Halt::Running)
+            }
+        }
+    }
+
+    /// Fetches, decodes and executes exactly one instruction.
+    fn exec_one(&mut self) -> Result<Halt, StepEvent> {
         let pc = self.pc;
-        let word = self
-            .mem
-            .peek_u32(pc)
-            .map_err(|err| ExecError::Mem { pc, err })?;
-        let insn = Instruction::decode(word).map_err(|err| ExecError::Decode { pc, err })?;
+        let word = self.mem.peek_u32(pc).map_err(|err| StepEvent::Trap {
+            kind: match err {
+                MemError::Misaligned { .. } => TrapKind::Misaligned,
+                MemError::OutOfRange { .. } => TrapKind::InstructionAccess,
+            },
+            pc,
+            info: pc,
+            err: ExecError::Mem { pc, err },
+        })?;
+        let insn = Instruction::decode(word).map_err(|err| StepEvent::Trap {
+            kind: TrapKind::Decode,
+            pc,
+            info: word,
+            err: ExecError::Decode { pc, err },
+        })?;
 
         let in_delay_slot = self.pending_target.is_some();
         if in_delay_slot && insn.opcode.is_transfer() {
-            return Err(ExecError::TransferInDelaySlot { pc });
+            return Err(StepEvent::Trap {
+                kind: TrapKind::TransferInDelaySlot,
+                pc,
+                info: pc,
+                err: ExecError::TransferInDelaySlot { pc },
+            });
         }
 
         self.stats.retire(insn.opcode);
@@ -364,7 +639,7 @@ impl Cpu {
                 let addr = a.wrapping_add(b);
                 let v = self
                     .load_value(insn.opcode, addr)
-                    .map_err(|err| ExecError::Mem { pc, err })?;
+                    .map_err(|err| data_trap(pc, addr, err))?;
                 self.regs.write(dest, v);
                 self.stats.data_reads += 1;
                 new_write = self.phys(dest).map(|p| (p, true));
@@ -374,7 +649,7 @@ impl Cpu {
                 let addr = a.wrapping_add(b);
                 let data = self.regs.read(data_reg);
                 self.store_value(insn.opcode, addr, data)
-                    .map_err(|err| ExecError::Mem { pc, err })?;
+                    .map_err(|err| data_trap(pc, addr, err))?;
                 self.stats.data_writes += 1;
             }
             Opcode::Jmp | Opcode::Jmpr => {
@@ -394,7 +669,7 @@ impl Cpu {
                     _ => unreachable!("call operand shapes"),
                 };
                 if self.regs.call_would_overflow() {
-                    cycles += self.spill_window()?;
+                    cycles += self.spill_window(false).map_err(|f| spill_event(pc, f))?;
                 }
                 self.regs.advance();
                 // The link register is named in the *new* window.
@@ -408,7 +683,7 @@ impl Cpu {
                 let (_, a, b) = self.short_operands(&insn);
                 let target = a.wrapping_add(b);
                 if self.regs.ret_would_underflow() {
-                    cycles += self.fill_window(pc)?;
+                    cycles += self.fill_window(pc).map_err(StepEvent::Fatal)?;
                 }
                 if self.regs.retreat() {
                     new_target = Some(target);
@@ -416,6 +691,11 @@ impl Cpu {
                     self.stats.taken_transfers += 1;
                     if insn.opcode == Opcode::Reti {
                         self.interrupts_enabled = true;
+                        // A RETI while a trap is being serviced is the
+                        // handler's exit: the trap unit is re-armed.
+                        if self.active_trap.take().is_some() {
+                            self.stats.trap_returns += 1;
+                        }
                     }
                 } else {
                     halted = true;
@@ -424,7 +704,7 @@ impl Cpu {
             Opcode::Calli => {
                 let (dest, _, _) = self.short_operands(&insn);
                 if self.regs.call_would_overflow() {
-                    cycles += self.spill_window()?;
+                    cycles += self.spill_window(false).map_err(|f| spill_event(pc, f))?;
                 }
                 self.regs.advance();
                 self.regs.write(dest, self.last_pc);
@@ -557,13 +837,24 @@ impl Cpu {
     /// Forces the `CALLI` sequence: advance the window (spilling if
     /// needed), save the interrupted PC in the new window's `r25`, disable
     /// interrupts, and vector to the handler.
-    fn take_interrupt(&mut self) -> Result<(), ExecError> {
-        let handler = self.interrupt_handler.expect("pending implies handler");
-        self.interrupt_pending = false;
+    ///
+    /// An interrupt with no handler installed (e.g. a spurious one raised
+    /// by the fault injector) is dropped: the real machine would fetch a
+    /// null vector, but the simulator has nothing meaningful to run there.
+    fn take_interrupt(&mut self) -> Result<(), StepEvent> {
+        let Some(handler) = self.interrupt_handler else {
+            self.interrupt_pending = false;
+            return Ok(());
+        };
         let mut cycles = self.cfg.trap_overhead_cycles;
         if self.regs.call_would_overflow() {
-            cycles += self.spill_window()?;
+            // On failure the interrupt stays pending: it retries once the
+            // exhaustion handler (if any) has made room.
+            cycles += self
+                .spill_window(false)
+                .map_err(|f| spill_event(self.pc, f))?;
         }
+        self.interrupt_pending = false;
         self.regs.advance();
         self.regs.write(Reg::R25, self.pc);
         self.interrupts_enabled = false;
@@ -572,7 +863,99 @@ impl Cpu {
         self.stats.cycles += cycles;
         self.stats.trap_cycles += self.cfg.trap_overhead_cycles;
         self.stats.calls += 1;
+        self.stats.interrupts_taken += 1;
         Ok(())
+    }
+
+    /// Forces the trap-entry sequence — a `CALLI` carrying cause state:
+    /// fresh window, `r25` = restart PC, `r24` = cause code, `r23` = info
+    /// word, interrupts off, PC at the handler (no delay slot). Returns
+    /// the structured error instead when no handler is installed, or a
+    /// double fault when one is already running.
+    fn vector_trap(
+        &mut self,
+        kind: TrapKind,
+        restart: u32,
+        info: u32,
+        err: ExecError,
+    ) -> Result<(), ExecError> {
+        let Some(handler) = self.trap_handlers[kind.index()] else {
+            return Err(err);
+        };
+        if let Some(first) = self.active_trap {
+            return Err(ExecError::DoubleFault {
+                pc: restart,
+                first,
+                second: kind,
+            });
+        }
+        let mut cycles = self.cfg.trap_overhead_cycles;
+        if self.regs.call_would_overflow() {
+            // The exhaustion trap may spill into the reserved emergency
+            // frame — that is what the reserve exists for. If even that
+            // fails, no handler can be entered: surface the original
+            // fault.
+            let emergency = kind == TrapKind::WindowStackExhausted;
+            match self.spill_window(emergency) {
+                Ok(c) => cycles += c,
+                Err(_) => return Err(err),
+            }
+        }
+        self.regs.advance();
+        self.regs.write(Reg::R25, restart);
+        self.regs.write(Reg::R24, kind.code());
+        self.regs.write(Reg::R23, info);
+        self.interrupts_enabled = false;
+        self.active_trap = Some(kind);
+        self.pending_target = None;
+        self.last_write = None;
+        self.last_pc = restart;
+        self.pc = handler;
+        self.stats.cycles += cycles;
+        self.stats.trap_cycles += self.cfg.trap_overhead_cycles;
+        self.stats.trap_entries += 1;
+        self.stats.trap_entry_cycles += cycles;
+        self.stats.trap_counts[kind.index()] += 1;
+        self.stats.calls += 1;
+        Ok(())
+    }
+
+    /// The `(info word, unhandled error)` pair for a forced probe of
+    /// `kind` delivered at `pc` (see [`Cpu::inject_probe`]).
+    fn probe_fault(&self, kind: TrapKind, pc: u32) -> (u32, ExecError) {
+        match kind {
+            TrapKind::InstructionAccess | TrapKind::DataAccess => (
+                pc,
+                ExecError::Mem {
+                    pc,
+                    err: MemError::OutOfRange { addr: pc, width: 4 },
+                },
+            ),
+            TrapKind::Misaligned => {
+                let addr = pc | 2;
+                (
+                    addr,
+                    ExecError::Mem {
+                        pc,
+                        err: MemError::Misaligned { addr, width: 4 },
+                    },
+                )
+            }
+            TrapKind::Decode => (
+                self.mem.peek_u32(pc).unwrap_or(0),
+                ExecError::Decode {
+                    pc,
+                    err: DecodeError::UnknownOpcode(0x7f),
+                },
+            ),
+            TrapKind::TransferInDelaySlot => (pc, ExecError::TransferInDelaySlot { pc }),
+            TrapKind::WindowStackExhausted => (
+                self.wstack_ptr,
+                ExecError::WindowStackOverflow {
+                    ptr: self.wstack_ptr,
+                },
+            ),
+        }
     }
 
     /// Interlock bubbles between the previous instruction's write and this
@@ -604,9 +987,15 @@ impl Cpu {
 
     /// Services a window overflow: 16 stores to the save stack. Returns the
     /// cycles consumed.
-    fn spill_window(&mut self) -> Result<u64, ExecError> {
-        if self.wstack_ptr < self.cfg.stack_top + (SPILL_REGS as u32 * 4) {
-            return Err(ExecError::WindowStackOverflow {
+    ///
+    /// Program-initiated spills (`emergency == false`) keep one frame of
+    /// head-room free below themselves — the emergency reserve that lets
+    /// the exhaustion trap itself still enter a handler in a fresh window.
+    fn spill_window(&mut self, emergency: bool) -> Result<u64, SpillFail> {
+        let frame = SPILL_REGS as u32 * 4;
+        let reserve = if emergency { 0 } else { frame };
+        if self.wstack_ptr < self.cfg.stack_top + frame + reserve {
+            return Err(SpillFail::Exhausted {
                 ptr: self.wstack_ptr,
             });
         }
@@ -616,7 +1005,7 @@ impl Cpu {
             let ptr = self.wstack_ptr;
             self.mem
                 .write_u32(ptr, v)
-                .map_err(|err| ExecError::Mem { pc: self.pc, err })?;
+                .map_err(|err| SpillFail::Mem(ExecError::Mem { pc: self.pc, err }))?;
         }
         self.stats.data_writes += SPILL_REGS as u64;
         let cost = self.cfg.trap_overhead_cycles + SPILL_REGS as u64 * 2;
@@ -641,6 +1030,34 @@ impl Cpu {
         let cost = self.cfg.trap_overhead_cycles + SPILL_REGS as u64 * 2;
         self.stats.trap_cycles += cost;
         Ok(cost)
+    }
+}
+
+/// The trap event for a data-access fault at `addr` by the instruction at
+/// `pc`.
+fn data_trap(pc: u32, addr: u32, err: MemError) -> StepEvent {
+    StepEvent::Trap {
+        kind: match err {
+            MemError::Misaligned { .. } => TrapKind::Misaligned,
+            MemError::OutOfRange { .. } => TrapKind::DataAccess,
+        },
+        pc,
+        info: addr,
+        err: ExecError::Mem { pc, err },
+    }
+}
+
+/// The step event for a failed window spill requested by the instruction
+/// at `pc`.
+fn spill_event(pc: u32, f: SpillFail) -> StepEvent {
+    match f {
+        SpillFail::Exhausted { ptr } => StepEvent::Trap {
+            kind: TrapKind::WindowStackExhausted,
+            pc,
+            info: ptr,
+            err: ExecError::WindowStackOverflow { ptr },
+        },
+        SpillFail::Mem(e) => StepEvent::Fatal(e),
     }
 }
 
@@ -1029,12 +1446,291 @@ mod tests {
     }
 
     #[test]
-    fn step_after_halt_errors() {
+    fn step_after_halt_is_idempotent() {
         let mut cpu = Cpu::new(SimConfig::default());
         cpu.load_program(&Program::from_instructions(halt_seq()))
             .unwrap();
         cpu.run().unwrap();
-        assert_eq!(cpu.step(), Err(ExecError::AlreadyHalted));
+        let stats = cpu.stats();
+        // Further steps (and runs) are no-ops, not errors.
+        assert_eq!(cpu.step(), Ok(Halt::Returned));
+        assert_eq!(cpu.step(), Ok(Halt::Returned));
+        assert_eq!(cpu.run(), Ok(()));
+        assert_eq!(cpu.stats(), stats, "no work is done after halt");
+    }
+
+    /// Writes a `reti r25, #s2; nop` stub at `addr` and installs it as the
+    /// handler for `kind`.
+    fn install_stub(cpu: &mut Cpu, kind: TrapKind, addr: u32, s2: i32) {
+        let stub = [Instruction::reti(Reg::R25, imm(s2)), Instruction::nop()];
+        for (i, insn) in stub.iter().enumerate() {
+            cpu.mem
+                .load_image(addr + 4 * i as u32, &insn.encode().to_le_bytes())
+                .unwrap();
+        }
+        cpu.set_trap_handler(kind, addr);
+    }
+
+    #[test]
+    fn misaligned_fault_vectors_skips_and_continues() {
+        // Same program as `misaligned_access_faults`, but with a skip
+        // handler installed: the faulting load is dropped, r17 stays 0,
+        // and the program halts cleanly.
+        let mut p = vec![
+            Instruction::ldhi(Reg::R16, 1), // r16 := 0x2000
+            Instruction::nop(),
+            Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R16, imm(2)), // misaligned
+            Instruction::reg(Opcode::Add, Reg::R18, Reg::R0, imm(7)),
+        ];
+        p.extend(halt_seq());
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        install_stub(&mut cpu, TrapKind::Misaligned, 0x100, 4);
+        cpu.run().unwrap();
+        assert!(cpu.is_halted());
+        assert_eq!(cpu.reg(Reg::R17), 0, "faulting load was skipped");
+        assert_eq!(cpu.reg(Reg::R18), 7, "execution continued after the skip");
+        let s = cpu.stats();
+        assert_eq!(s.trap_entries, 1);
+        assert_eq!(s.trap_returns, 1);
+        assert_eq!(s.trap_count(TrapKind::Misaligned), 1);
+        assert!(s.trap_entry_cycles >= cpu.config().trap_overhead_cycles);
+    }
+
+    #[test]
+    fn trap_handler_sees_cause_and_info_registers() {
+        // Handler copies r23/r24 (info, cause) to globals r2/r3 so the
+        // test can observe them after resume.
+        let mut p = vec![
+            Instruction::ldhi(Reg::R16, 1),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R16, imm(2)), // misaligned at 0x2002
+        ];
+        p.extend(halt_seq());
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        let handler = [
+            Instruction::reg(Opcode::Add, Reg::R2, Reg::R23, Short2::ZERO),
+            Instruction::reg(Opcode::Add, Reg::R3, Reg::R24, Short2::ZERO),
+            Instruction::reg(Opcode::Add, Reg::R4, Reg::R25, Short2::ZERO),
+            Instruction::reti(Reg::R25, imm(4)),
+            Instruction::nop(),
+        ];
+        for (i, insn) in handler.iter().enumerate() {
+            cpu.mem
+                .load_image(0x200 + 4 * i as u32, &insn.encode().to_le_bytes())
+                .unwrap();
+        }
+        cpu.set_trap_handler(TrapKind::Misaligned, 0x200);
+        cpu.run().unwrap();
+        assert_eq!(cpu.reg(Reg::R2), 0x2002, "info word = fault address");
+        assert_eq!(cpu.reg(Reg::R3), TrapKind::Misaligned.code(), "cause code");
+        assert_eq!(cpu.reg(Reg::R4), 0x1008, "restart PC = faulting load");
+    }
+
+    #[test]
+    fn unhandled_faults_keep_structured_errors_with_cause() {
+        let mut p = vec![
+            Instruction::ldhi(Reg::R16, 1),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R16, imm(2)),
+        ];
+        p.extend(halt_seq());
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        let err = cpu.run().unwrap_err();
+        let cause = err.trap_cause().expect("vectorable fault has a cause");
+        assert_eq!(cause.kind, TrapKind::Misaligned);
+        assert_eq!(cause.info, 0x2002);
+    }
+
+    #[test]
+    fn fault_in_delay_slot_restarts_at_the_transfer() {
+        // jmpr jumps over a poison instruction; its delay slot loads
+        // through global r2, which holds a misaligned address. The lastpc
+        // rule: restart = the jmpr itself, so after the handler fixes r2
+        // and re-executes, the jump is replayed, the slot succeeds, and
+        // the poison instruction never runs.
+        let mut p = vec![
+            Instruction::ldhi(Reg::R2, 1),                           // 0x1000
+            Instruction::reg(Opcode::Add, Reg::R2, Reg::R2, imm(2)), // 0x1004: 0x2002
+            Instruction::jmpr(Cond::Alw, 12),                        // 0x1008 -> 0x1014
+            Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R2, Short2::ZERO), // 0x100c slot
+            Instruction::reg(Opcode::Add, Reg::R20, Reg::R0, imm(1)), // 0x1010 poison
+            Instruction::reg(Opcode::Add, Reg::R21, Reg::R0, imm(2)), // 0x1014 target
+        ];
+        p.extend(halt_seq());
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        // Handler: record the restart PC, repair the address, re-execute.
+        let handler = [
+            Instruction::reg(Opcode::Add, Reg::R4, Reg::R25, Short2::ZERO),
+            Instruction::reg(Opcode::Sub, Reg::R2, Reg::R2, imm(2)),
+            Instruction::reti(Reg::R25, imm(0)),
+            Instruction::nop(),
+        ];
+        for (i, insn) in handler.iter().enumerate() {
+            cpu.mem
+                .load_image(0x200 + 4 * i as u32, &insn.encode().to_le_bytes())
+                .unwrap();
+        }
+        cpu.set_trap_handler(TrapKind::Misaligned, 0x200);
+        cpu.run().unwrap();
+        assert_eq!(cpu.reg(Reg::R4), 0x1008, "restart is the transfer's PC");
+        assert_eq!(
+            cpu.reg(Reg::R20),
+            0,
+            "poison in the jumped-over gap never runs"
+        );
+        assert_eq!(cpu.reg(Reg::R21), 2);
+        assert_eq!(cpu.stats().trap_entries, 1, "re-execution succeeds");
+    }
+
+    #[test]
+    fn probe_resume_is_bit_for_bit_transparent() {
+        let build = || {
+            let mut p = vec![
+                Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, imm(40)),
+                Instruction::reg(Opcode::Add, Reg::R16, Reg::R16, imm(2)),
+                Instruction::reg(Opcode::Add, Reg::R26, Reg::R16, Short2::ZERO),
+            ];
+            p.extend(halt_seq());
+            p
+        };
+        let clean = run_program(build());
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(build()))
+            .unwrap();
+        install_stub(&mut cpu, TrapKind::Misaligned, 0x100, 0);
+        cpu.inject_probe(TrapKind::Misaligned);
+        cpu.step().unwrap(); // delivers the probe
+        assert_eq!(cpu.stats().trap_entries, 1);
+        cpu.run().unwrap();
+        assert_eq!(cpu.result(), clean.result());
+        assert_eq!(cpu.reg(Reg::R16), clean.reg(Reg::R16));
+    }
+
+    #[test]
+    fn probe_without_handler_is_a_structured_fault() {
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(halt_seq()))
+            .unwrap();
+        cpu.inject_probe(TrapKind::Decode);
+        let err = cpu.run().unwrap_err();
+        assert!(matches!(err, ExecError::Decode { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn faulting_handler_double_faults_instead_of_recursing() {
+        // The Misaligned handler itself performs a misaligned load.
+        let mut p = vec![
+            Instruction::ldhi(Reg::R16, 1),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R16, imm(2)),
+        ];
+        p.extend(halt_seq());
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        let handler = [
+            Instruction::ldhi(Reg::R16, 1),
+            Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R16, imm(2)), // faults again
+            Instruction::reti(Reg::R25, imm(4)),
+            Instruction::nop(),
+        ];
+        for (i, insn) in handler.iter().enumerate() {
+            cpu.mem
+                .load_image(0x200 + 4 * i as u32, &insn.encode().to_le_bytes())
+                .unwrap();
+        }
+        cpu.set_trap_handler(TrapKind::Misaligned, 0x200);
+        let err = cpu.run().unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DoubleFault {
+                pc: 0x204,
+                first: TrapKind::Misaligned,
+                second: TrapKind::Misaligned,
+            }
+        );
+    }
+
+    #[test]
+    fn window_exhaustion_recovers_through_the_emergency_reserve() {
+        // Deep recursion on a 2-window file with a tiny save area. The
+        // skip handler drops calls that can no longer be serviced, so the
+        // recursion unwinds and the program halts cleanly instead of
+        // dying with WindowStackOverflow.
+        let f_entry = 16;
+        let p = vec![
+            Instruction::reg(Opcode::Add, Reg::R10, Reg::R0, imm(20)),
+            Instruction::callr(Reg::R25, f_entry - 4),
+            Instruction::nop(),
+            Instruction::ret(Reg::R0, imm(0)),
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R26, imm(0)),
+            Instruction::jmpr(Cond::Ne, 16),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, imm(0)),
+            Instruction::ret(Reg::R25, imm(8)),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Sub, Reg::R10, Reg::R26, imm(1)),
+            Instruction::callr(Reg::R25, f_entry - 44),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R10, Reg::R26.into()),
+            Instruction::ret(Reg::R25, imm(8)),
+            Instruction::nop(),
+        ];
+        let cfg = SimConfig {
+            windows: 2,
+            stack_top: 0xe0000,
+            window_stack_top: 0xe0100, // 4 frames incl. the reserve
+            ..SimConfig::default()
+        };
+        let mut cpu = Cpu::new(cfg);
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        install_stub(&mut cpu, TrapKind::WindowStackExhausted, 0x100, 4);
+        cpu.run().unwrap();
+        assert!(cpu.is_halted(), "recovered to a clean halt");
+        let s = cpu.stats();
+        assert!(s.trap_count(TrapKind::WindowStackExhausted) > 0);
+        assert_eq!(s.trap_entries, s.trap_returns);
+    }
+
+    #[test]
+    fn try_set_args_rejects_more_than_six() {
+        let mut cpu = Cpu::new(SimConfig::default());
+        assert!(cpu.try_set_args(&[1, 2, 3, 4, 5, 6]).is_ok());
+        let err = cpu.try_set_args(&[0; 7]).unwrap_err();
+        assert_eq!(err.given, 7);
+        assert!(err.to_string().contains("7"));
+    }
+
+    #[test]
+    fn fuel_jitter_surface_works() {
+        let p = vec![
+            Instruction::jmpr(Cond::Alw, 0), // spin forever
+            Instruction::nop(),
+        ];
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&Program::from_instructions(p)).unwrap();
+        assert_eq!(cpu.fuel_limit(), SimConfig::default().fuel);
+        cpu.set_fuel_limit(100);
+        assert_eq!(cpu.run().unwrap_err(), ExecError::OutOfFuel);
+        assert!(cpu.stats().instructions <= 100);
+    }
+
+    #[test]
+    fn config_trap_base_preinstalls_the_vector_table() {
+        let cfg = SimConfig {
+            trap_base: Some(0x400),
+            ..SimConfig::default()
+        };
+        let cpu = Cpu::new(cfg);
+        for kind in TrapKind::ALL {
+            assert_eq!(
+                cpu.trap_handler(kind),
+                Some(0x400 + kind.index() as u32 * TRAP_VECTOR_STRIDE)
+            );
+        }
     }
 
     #[test]

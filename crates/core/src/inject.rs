@@ -1,0 +1,441 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! The injector perturbs a running [`Cpu`] from the *outside*: it never
+//! reaches into the step function, it only uses architectural surfaces —
+//! memory bit flips, [`Cpu::raise_interrupt`], [`Cpu::inject_probe`],
+//! [`Cpu::set_fuel_limit`]. Everything is driven by an in-repo
+//! xorshift-style PRNG, so **the same seed always produces the same
+//! injection schedule** (and, the CPU being deterministic, the same trap
+//! counts and final state).
+//!
+//! Call [`FaultInjector::pre_step`] before every [`Cpu::step`]; the
+//! injector rolls one die per step and, at the configured rate, applies
+//! one perturbation chosen among the enabled modes. Every applied event is
+//! recorded in [`FaultInjector::events`].
+//!
+//! [`install_recovery_handlers`] sets up the software half of the story: a
+//! block of `reti`-stub trap handlers that turn each vectorable fault into
+//! either *re-execute* or *skip-and-continue*, plus an interrupt handler
+//! that makes spurious interrupts fully transparent.
+
+use crate::cpu::Cpu;
+use crate::mem::MemError;
+use crate::trap::TrapKind;
+use risc1_isa::{Instruction, Reg, Short2};
+use std::fmt;
+
+/// Denominator of the injection rate: a rate of `n` means an expected `n`
+/// perturbations per [`RATE_DENOM`] instruction steps.
+pub const RATE_DENOM: u32 = 10_000;
+
+/// Default address of the recovery-stub block installed by
+/// [`install_recovery_handlers`] — below the default code base, in memory
+/// no program image touches.
+pub const RECOVERY_STUB_BASE: u32 = 0x100;
+
+/// An xorshift64-based PRNG (xorshift64* output scrambling, splitmix-style
+/// seeding) — small, fast, fully deterministic, no dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// A generator seeded from `seed` (any value, including 0, is fine:
+    /// the seed is scrambled into a non-zero state).
+    pub fn new(seed: u64) -> XorShift64 {
+        let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        s ^= s >> 31;
+        XorShift64 {
+            state: if s == 0 { 0x9e37_79b9_7f4a_7c15 } else { s },
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// A uniform value in `0..n` (0 when `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// True with probability `num / denom`.
+    pub fn chance(&mut self, num: u32, denom: u32) -> bool {
+        self.below(u64::from(denom.max(1))) < u64::from(num)
+    }
+}
+
+/// Which perturbation modes the injector may apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectModes {
+    /// Flip a random bit anywhere in physical memory (code, data, stacks).
+    pub bit_flips: bool,
+    /// Post an external interrupt at a random cycle.
+    pub spurious_interrupts: bool,
+    /// Force a decode trap at the next instruction boundary.
+    pub decode_probes: bool,
+    /// Force a misalignment trap at the next instruction boundary.
+    pub misalign_probes: bool,
+    /// Tighten the fuel limit by a random amount.
+    pub fuel_jitter: bool,
+    /// Flip a random bit inside the window-save-stack region.
+    pub wstack_corruption: bool,
+}
+
+impl InjectModes {
+    /// Every mode enabled.
+    pub fn all() -> InjectModes {
+        InjectModes {
+            bit_flips: true,
+            spurious_interrupts: true,
+            decode_probes: true,
+            misalign_probes: true,
+            fuel_jitter: true,
+            wstack_corruption: true,
+        }
+    }
+
+    /// Only the perturbations that are *transparent* under the recovery
+    /// handlers of [`install_recovery_handlers`]: spurious interrupts and
+    /// misalignment probes. A run injected with these and recovered must
+    /// reproduce the uninjected result bit for bit.
+    pub fn transparent() -> InjectModes {
+        InjectModes {
+            spurious_interrupts: true,
+            misalign_probes: true,
+            ..InjectModes::none()
+        }
+    }
+
+    /// No mode enabled (the injector becomes a no-op).
+    pub fn none() -> InjectModes {
+        InjectModes {
+            bit_flips: false,
+            spurious_interrupts: false,
+            decode_probes: false,
+            misalign_probes: false,
+            fuel_jitter: false,
+            wstack_corruption: false,
+        }
+    }
+
+    /// The enabled modes in a fixed, seed-stable order.
+    fn enabled(&self) -> Vec<ModeTag> {
+        let table = [
+            (self.bit_flips, ModeTag::BitFlip),
+            (self.spurious_interrupts, ModeTag::SpuriousInterrupt),
+            (self.decode_probes, ModeTag::DecodeProbe),
+            (self.misalign_probes, ModeTag::MisalignProbe),
+            (self.fuel_jitter, ModeTag::FuelJitter),
+            (self.wstack_corruption, ModeTag::WstackCorruption),
+        ];
+        table
+            .into_iter()
+            .filter_map(|(on, t)| on.then_some(t))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeTag {
+    BitFlip,
+    SpuriousInterrupt,
+    DecodeProbe,
+    MisalignProbe,
+    FuelJitter,
+    WstackCorruption,
+}
+
+/// Full injection campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectConfig {
+    /// PRNG seed — the campaign's identity. Same seed, same schedule.
+    pub seed: u64,
+    /// Expected perturbations per [`RATE_DENOM`] instruction steps.
+    pub rate: u32,
+    /// Which perturbations may be applied.
+    pub modes: InjectModes,
+}
+
+impl InjectConfig {
+    /// A campaign with the given seed, a moderate default rate and all
+    /// modes enabled.
+    pub fn with_seed(seed: u64) -> InjectConfig {
+        InjectConfig {
+            seed,
+            rate: 20,
+            modes: InjectModes::all(),
+        }
+    }
+}
+
+/// One applied perturbation, as recorded in the injection log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectKind {
+    /// A bit flip at `addr`, bit `bit`.
+    BitFlip {
+        /// Byte address of the flip.
+        addr: u32,
+        /// Bit index (0–7).
+        bit: u8,
+    },
+    /// An external interrupt was posted.
+    SpuriousInterrupt,
+    /// A forced decode trap was queued.
+    DecodeProbe,
+    /// A forced misalignment trap was queued.
+    MisalignProbe,
+    /// The fuel limit was tightened to `new_limit`.
+    FuelJitter {
+        /// The new fuel limit.
+        new_limit: u64,
+    },
+    /// A bit flip inside the window-save-stack region.
+    WstackCorruption {
+        /// Byte address of the flip.
+        addr: u32,
+        /// Bit index (0–7).
+        bit: u8,
+    },
+}
+
+impl fmt::Display for InjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            InjectKind::BitFlip { addr, bit } => write!(f, "bit-flip {addr:#010x}.{bit}"),
+            InjectKind::SpuriousInterrupt => write!(f, "spurious-interrupt"),
+            InjectKind::DecodeProbe => write!(f, "decode-probe"),
+            InjectKind::MisalignProbe => write!(f, "misalign-probe"),
+            InjectKind::FuelJitter { new_limit } => write!(f, "fuel-jitter limit={new_limit}"),
+            InjectKind::WstackCorruption { addr, bit } => {
+                write!(f, "wstack-corruption {addr:#010x}.{bit}")
+            }
+        }
+    }
+}
+
+/// One entry of the deterministic injection schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectEvent {
+    /// Instructions retired when the perturbation was applied.
+    pub at_instruction: u64,
+    /// What was applied.
+    pub kind: InjectKind,
+}
+
+impl fmt::Display for InjectEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:<10} {}", self.at_instruction, self.kind)
+    }
+}
+
+/// The seed-driven fault injector. Drive it with
+/// [`FaultInjector::pre_step`] before every [`Cpu::step`].
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    cfg: InjectConfig,
+    rng: XorShift64,
+    events: Vec<InjectEvent>,
+}
+
+impl FaultInjector {
+    /// An injector for the given campaign.
+    pub fn new(cfg: InjectConfig) -> FaultInjector {
+        FaultInjector {
+            rng: XorShift64::new(cfg.seed),
+            cfg,
+            events: Vec::new(),
+        }
+    }
+
+    /// The campaign configuration.
+    pub fn config(&self) -> &InjectConfig {
+        &self.cfg
+    }
+
+    /// The perturbations applied so far, in order.
+    pub fn events(&self) -> &[InjectEvent] {
+        &self.events
+    }
+
+    /// Rolls the per-step die and, when it comes up, applies one
+    /// perturbation chosen uniformly among the enabled modes.
+    pub fn pre_step(&mut self, cpu: &mut Cpu) {
+        if !self.rng.chance(self.cfg.rate, RATE_DENOM) {
+            return;
+        }
+        let enabled = self.cfg.modes.enabled();
+        if enabled.is_empty() {
+            return;
+        }
+        let tag = enabled[self.rng.below(enabled.len() as u64) as usize];
+        let kind = match tag {
+            ModeTag::BitFlip => {
+                let addr = self.rng.below(cpu.mem.size() as u64) as u32;
+                let bit = (self.rng.next_u64() & 7) as u8;
+                let _ = cpu.mem.flip_bit(addr, bit);
+                InjectKind::BitFlip { addr, bit }
+            }
+            ModeTag::SpuriousInterrupt => {
+                cpu.raise_interrupt();
+                InjectKind::SpuriousInterrupt
+            }
+            ModeTag::DecodeProbe => {
+                cpu.inject_probe(TrapKind::Decode);
+                InjectKind::DecodeProbe
+            }
+            ModeTag::MisalignProbe => {
+                cpu.inject_probe(TrapKind::Misaligned);
+                InjectKind::MisalignProbe
+            }
+            ModeTag::FuelJitter => {
+                let spent = cpu.stats().instructions;
+                let remaining = cpu.fuel_limit().saturating_sub(spent);
+                let cut = self.rng.below(remaining / 2 + 1);
+                let new_limit = cpu.fuel_limit() - cut;
+                cpu.set_fuel_limit(new_limit);
+                InjectKind::FuelJitter { new_limit }
+            }
+            ModeTag::WstackCorruption => {
+                let cfg = cpu.config();
+                let (lo, hi) = (cfg.stack_top, cfg.window_stack_top);
+                let len = u64::from(hi.saturating_sub(lo));
+                if len == 0 {
+                    return;
+                }
+                let addr = lo + self.rng.below(len) as u32;
+                let bit = (self.rng.next_u64() & 7) as u8;
+                let _ = cpu.mem.flip_bit(addr, bit);
+                InjectKind::WstackCorruption { addr, bit }
+            }
+        };
+        self.events.push(InjectEvent {
+            at_instruction: cpu.stats().instructions,
+            kind,
+        });
+    }
+}
+
+/// Installs the standard software recovery story on a CPU: one `reti`
+/// stub per trap cause at `base + index · 16`, plus an interrupt handler
+/// stub after them, and wires the trap table and interrupt vector to
+/// them.
+///
+/// Per-cause recovery policy (the `s2` of the stub's `reti r25, s2`):
+///
+/// | cause       | policy      | rationale                                  |
+/// |-------------|-------------|--------------------------------------------|
+/// | `ifetch`    | re-execute  | nothing to skip *to*; loops burn fuel       |
+/// | `daccess`   | skip (+4)   | drop the faulting load/store, continue      |
+/// | `misalign`  | re-execute  | transparent for injected probes             |
+/// | `decode`    | skip (+4)   | an undecodable word cannot be re-executed   |
+/// | `xfer-slot` | skip (+4)   | run the second transfer outside the slot    |
+/// | `wstack`    | skip (+4)   | drop the call, let the recursion unwind     |
+///
+/// A handler loop (e.g. re-executing a fetch that still faults) is bounded
+/// by fuel: each pass retires the stub's two instructions, so the run ends
+/// in a structured [`crate::ExecError::OutOfFuel`], never a hang.
+///
+/// # Errors
+/// A memory fault if the stub block does not fit at `base`.
+pub fn install_recovery_handlers(cpu: &mut Cpu, base: u32) -> Result<(), MemError> {
+    let resume = Short2::imm(0).expect("0 fits");
+    let skip = Short2::imm(4).expect("4 fits");
+    for kind in TrapKind::ALL {
+        let s2 = match kind {
+            TrapKind::InstructionAccess | TrapKind::Misaligned => resume,
+            TrapKind::DataAccess
+            | TrapKind::Decode
+            | TrapKind::TransferInDelaySlot
+            | TrapKind::WindowStackExhausted => skip,
+        };
+        let addr = base + kind.index() as u32 * crate::cpu::TRAP_VECTOR_STRIDE;
+        write_stub(cpu, addr, s2)?;
+        cpu.set_trap_handler(kind, addr);
+    }
+    let int_addr = base + TrapKind::COUNT as u32 * crate::cpu::TRAP_VECTOR_STRIDE;
+    write_stub(cpu, int_addr, resume)?;
+    cpu.set_interrupt_handler(int_addr);
+    Ok(())
+}
+
+fn write_stub(cpu: &mut Cpu, addr: u32, s2: Short2) -> Result<(), MemError> {
+    let stub = [Instruction::reti(Reg::R25, s2), Instruction::nop()];
+    for (i, insn) in stub.iter().enumerate() {
+        cpu.mem
+            .load_image(addr + 4 * i as u32, &insn.encode().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    #[test]
+    fn prng_is_deterministic_and_seed_sensitive() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        let mut c = XorShift64::new(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        // Zero seed works too.
+        assert_ne!(XorShift64::new(0).next_u64(), 0);
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn injector_logs_every_applied_event() {
+        let mut cpu = Cpu::new(SimConfig::default());
+        let mut inj = FaultInjector::new(InjectConfig {
+            seed: 1,
+            rate: RATE_DENOM, // fire every step
+            modes: InjectModes::all(),
+        });
+        for _ in 0..50 {
+            inj.pre_step(&mut cpu);
+        }
+        assert_eq!(inj.events().len(), 50);
+    }
+
+    #[test]
+    fn recovery_handlers_cover_every_cause() {
+        let mut cpu = Cpu::new(SimConfig::default());
+        install_recovery_handlers(&mut cpu, RECOVERY_STUB_BASE).unwrap();
+        for kind in TrapKind::ALL {
+            assert!(cpu.trap_handler(kind).is_some(), "{kind}");
+        }
+        // The stubs decode as reti instructions.
+        for kind in TrapKind::ALL {
+            let addr = cpu.trap_handler(kind).unwrap();
+            let word = cpu.mem.peek_u32(addr).unwrap();
+            let insn = Instruction::decode(word).unwrap();
+            assert_eq!(insn.opcode, risc1_isa::Opcode::Reti);
+        }
+    }
+}

@@ -38,15 +38,19 @@
 pub mod config;
 pub mod cpu;
 pub mod exec;
+pub mod inject;
 pub mod mem;
 pub mod pipeline;
 pub mod program;
 pub mod stats;
+pub mod trap;
 pub mod windows;
 
 pub use config::{BranchModel, SimConfig};
-pub use cpu::{Cpu, ExecError, Halt};
+pub use cpu::{Cpu, ExecError, Halt, TooManyArgs, TRAP_VECTOR_STRIDE};
+pub use inject::{FaultInjector, InjectConfig, InjectEvent, InjectKind, XorShift64};
 pub use mem::{MemError, Memory};
 pub use program::Program;
 pub use stats::ExecStats;
+pub use trap::{TrapCause, TrapKind};
 pub use windows::WindowFile;

@@ -163,6 +163,20 @@ impl Memory {
         Ok(())
     }
 
+    /// Flips one bit of one byte, bypassing traffic accounting — the fault
+    /// injector's corruption primitive.
+    ///
+    /// # Errors
+    /// [`MemError::OutOfRange`] past the end of memory.
+    pub fn flip_bit(&mut self, addr: u32, bit: u8) -> Result<(), MemError> {
+        let b = self
+            .bytes
+            .get_mut(addr as usize)
+            .ok_or(MemError::OutOfRange { addr, width: 1 })?;
+        *b ^= 1 << (bit & 7);
+        Ok(())
+    }
+
     /// Reads a byte without traffic accounting (instruction-stream fetch
     /// for the byte-coded CISC machine, debugger inspection).
     pub fn peek_u8(&self, addr: u32) -> Result<u8, MemError> {

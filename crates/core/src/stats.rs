@@ -1,5 +1,6 @@
 //! Execution statistics — the raw material of every evaluation table.
 
+use crate::trap::TrapKind;
 use risc1_isa::{Category, Opcode};
 use std::collections::HashMap;
 use std::fmt;
@@ -38,6 +39,18 @@ pub struct ExecStats {
     pub delay_slot_nops: u64,
     /// Deepest call depth reached.
     pub max_depth: u64,
+    /// Vectored trap entries (faults delivered to an installed handler;
+    /// window spill/fill servicing is *not* counted here).
+    pub trap_entries: u64,
+    /// Handler exits: `RETI` instructions that closed an active trap.
+    pub trap_returns: u64,
+    /// Cycles spent entering trap handlers (fixed overhead plus any
+    /// entry-time window spill) — included in `cycles`.
+    pub trap_entry_cycles: u64,
+    /// Vectored trap entries by cause, indexed by [`TrapKind::index`].
+    pub trap_counts: [u64; TrapKind::COUNT],
+    /// External interrupts taken (the `CALLI` entry sequence).
+    pub interrupts_taken: u64,
     /// Dynamic opcode histogram.
     pub opcode_counts: HashMap<Opcode, u64>,
 }
@@ -94,6 +107,17 @@ impl ExecStats {
             self.window_overflows as f64 / self.calls as f64
         }
     }
+
+    /// Vectored trap entries of one cause.
+    pub fn trap_count(&self, kind: TrapKind) -> u64 {
+        self.trap_counts[kind.index()]
+    }
+
+    /// Average cycles per vectored trap entry. Returns `None` when no
+    /// traps were taken.
+    pub fn trap_entry_cost(&self) -> Option<f64> {
+        (self.trap_entries > 0).then(|| self.trap_entry_cycles as f64 / self.trap_entries as f64)
+    }
 }
 
 impl fmt::Display for ExecStats {
@@ -119,7 +143,25 @@ impl fmt::Display for ExecStats {
             f,
             "delay slots {:>8} ({} nops)  max depth {}",
             self.delay_slots, self.delay_slot_nops, self.max_depth
-        )
+        )?;
+        if self.trap_entries > 0 || self.interrupts_taken > 0 {
+            let by_cause = TrapKind::ALL
+                .iter()
+                .filter(|k| self.trap_count(**k) > 0)
+                .map(|k| format!("{} {}", k, self.trap_count(*k)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            write!(
+                f,
+                "\ntraps {:>7} (returns {}, entry cycles {})  interrupts {}  [{}]",
+                self.trap_entries,
+                self.trap_returns,
+                self.trap_entry_cycles,
+                self.interrupts_taken,
+                by_cause
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,171 @@
+//! The architectural trap unit: cause codes and the software-visible trap
+//! convention.
+//!
+//! The real RISC I did not abort on a fault. Misaligned accesses,
+//! undecodable words and window-save-stack exhaustion were serviced
+//! through the same mechanism as external interrupts: force a `CALLI`-like
+//! entry into a handler running in a *fresh register window*, with the
+//! `lastpc` register providing a precise restart point even across delayed
+//! jumps. This module gives the simulator that machinery.
+//!
+//! ## Convention
+//!
+//! On trap entry the hardware sequence (see `Cpu::vector_trap`):
+//!
+//! 1. advances the register window (spilling the oldest frame if the file
+//!    is full, using the reserved emergency frame of the save stack if the
+//!    trap *is* the exhaustion trap),
+//! 2. writes the **restart PC** into `r25` of the new window — the
+//!    faulting instruction's address, or, when the fault happened in a
+//!    delay slot, the address of the transfer that owns the slot (the
+//!    paper's `lastpc` rule),
+//! 3. writes the **cause code** ([`TrapKind::code`]) into `r24`,
+//! 4. writes a cause-specific **info word** into `r23` (fault address,
+//!    undecodable word, save-stack pointer…),
+//! 5. disables interrupts and jumps to the handler — no delay slot, like
+//!    `CALLI`.
+//!
+//! The handler returns with `reti r25, #0` to *re-execute* the faulting
+//! instruction or `reti r25, #4` to *skip* it and continue. A fault taken
+//! while a handler is running does not recurse: it terminates the run with
+//! a structured double-fault error.
+
+use std::fmt;
+
+/// The architectural cause of a trap — one entry per vector in the trap
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// Instruction fetch fell outside physical memory.
+    InstructionAccess,
+    /// A load or store address fell outside physical memory.
+    DataAccess,
+    /// A load or store address was not aligned to its width.
+    Misaligned,
+    /// The fetched word does not decode to a RISC I instruction.
+    Decode,
+    /// A transfer of control sat in the delay slot of another transfer
+    /// (architecturally undefined; trapped rather than executed).
+    TransferInDelaySlot,
+    /// A window spill found the save stack full (deep recursion ran the
+    /// save area into the program stack region).
+    WindowStackExhausted,
+}
+
+impl TrapKind {
+    /// Number of trap vectors.
+    pub const COUNT: usize = 6;
+
+    /// Every kind, in vector order.
+    pub const ALL: [TrapKind; TrapKind::COUNT] = [
+        TrapKind::InstructionAccess,
+        TrapKind::DataAccess,
+        TrapKind::Misaligned,
+        TrapKind::Decode,
+        TrapKind::TransferInDelaySlot,
+        TrapKind::WindowStackExhausted,
+    ];
+
+    /// Index of this kind's vector in the trap table.
+    pub fn index(self) -> usize {
+        match self {
+            TrapKind::InstructionAccess => 0,
+            TrapKind::DataAccess => 1,
+            TrapKind::Misaligned => 2,
+            TrapKind::Decode => 3,
+            TrapKind::TransferInDelaySlot => 4,
+            TrapKind::WindowStackExhausted => 5,
+        }
+    }
+
+    /// The cause code the trap sequence writes into `r24` (vector index
+    /// plus one, so that zero never names a cause).
+    pub fn code(self) -> u32 {
+        self.index() as u32 + 1
+    }
+
+    /// The kind with the given cause code, if any.
+    pub fn from_code(code: u32) -> Option<TrapKind> {
+        (code >= 1)
+            .then(|| TrapKind::ALL.get(code as usize - 1).copied())
+            .flatten()
+    }
+
+    /// Short lowercase name, used in tables and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrapKind::InstructionAccess => "ifetch",
+            TrapKind::DataAccess => "daccess",
+            TrapKind::Misaligned => "misalign",
+            TrapKind::Decode => "decode",
+            TrapKind::TransferInDelaySlot => "xfer-slot",
+            TrapKind::WindowStackExhausted => "wstack",
+        }
+    }
+}
+
+impl fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully-described trap: what happened, where, and the info word the
+/// handler would have received in `r23`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrapCause {
+    /// The architectural cause.
+    pub kind: TrapKind,
+    /// The precise restart PC (`lastpc` rule: the faulting instruction, or
+    /// the owning transfer when the fault sat in a delay slot).
+    pub pc: u32,
+    /// Cause-specific detail: the fault address for access/alignment
+    /// faults, the raw word for decode faults, the save-stack pointer for
+    /// exhaustion.
+    pub info: u32,
+}
+
+impl fmt::Display for TrapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trap at pc {:#010x} (info {:#010x})",
+            self.kind, self.pc, self.info
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_are_nonzero() {
+        for k in TrapKind::ALL {
+            assert!(k.code() != 0);
+            assert_eq!(TrapKind::from_code(k.code()), Some(k));
+            assert_eq!(TrapKind::ALL[k.index()], k);
+        }
+        assert_eq!(TrapKind::from_code(0), None);
+        assert_eq!(TrapKind::from_code(99), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = TrapKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TrapKind::COUNT);
+    }
+
+    #[test]
+    fn cause_displays_kind_and_pc() {
+        let c = TrapCause {
+            kind: TrapKind::Misaligned,
+            pc: 0x1000,
+            info: 0x2002,
+        };
+        let s = c.to_string();
+        assert!(s.contains("misalign") && s.contains("0x00001000"));
+    }
+}

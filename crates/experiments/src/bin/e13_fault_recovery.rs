@@ -1,0 +1,4 @@
+//! Prints the e13_fault_recovery experiment report (see `risc1_experiments::e13_fault_recovery`).
+fn main() {
+    print!("{}", risc1_experiments::e13_fault_recovery::run());
+}

@@ -1,0 +1,226 @@
+//! E13 — trap architecture under fire: recovery rates and trap costs.
+//!
+//! The 1981 paper sells register windows for interrupt handling: entry is
+//! a `CALLI` into a fresh window, so taking a trap saves nothing and
+//! costs little. This experiment stresses that machinery with the
+//! deterministic fault injector: every suite workload runs under a
+//! seed-driven campaign of bit flips, spurious interrupts, forced faults,
+//! fuel jitter and window-stack corruption, once with per-cause recovery
+//! handlers installed and once bare. With handlers, a large share of
+//! campaigns still reach a clean halt; without them, every vectorable
+//! fault ends the run. A second table prices trap entry per cause.
+
+use risc1_core::{Cpu, InjectConfig, Program, SimConfig, TrapKind};
+use risc1_ir::{compile_risc, run_risc, run_risc_injected, InjectOutcome, RiscOpts};
+use risc1_isa::{Instruction, Opcode, Reg, Short2};
+use risc1_stats::Table;
+use risc1_workloads::all;
+
+/// Seeds swept per workload and handler setting.
+pub const SEEDS: u64 = 12;
+/// Expected number of injected perturbations per run. The per-workload
+/// rate is derived from this and the workload's uninjected instruction
+/// count, so a long benchmark is not simply drowned in faults.
+pub const TARGET_EVENTS: u64 = 5;
+
+/// Outcome tallies for one workload's injection campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryRow {
+    /// Workload id.
+    pub id: &'static str,
+    /// Injection rate used (perturbations per 10 000 steps).
+    pub rate: u32,
+    /// Seeds that halted with the uninjected result (handlers installed).
+    pub recovered: u64,
+    /// Seeds that halted cleanly but with a corrupted result.
+    pub wrong_result: u64,
+    /// Seeds that ended in a structured fault (handlers installed).
+    pub faulted: u64,
+    /// Seeds that halted cleanly with *no* handlers installed.
+    pub survived_bare: u64,
+    /// Dynamic trap entries observed across the handled sweep.
+    pub trap_entries: u64,
+    /// Trap entry cycles across the handled sweep.
+    pub trap_entry_cycles: u64,
+    /// Per-cause dynamic trap entries across the handled sweep.
+    pub trap_counts: [u64; TrapKind::COUNT],
+}
+
+/// Sweeps the whole suite (small arguments; the fuel limit is derived
+/// from each workload's uninjected instruction count so re-execution
+/// loops terminate quickly).
+pub fn compute() -> Vec<RecoveryRow> {
+    all()
+        .iter()
+        .map(|w| {
+            let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+            let (expect, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
+            let cfg = SimConfig {
+                fuel: base.instructions * 3 + 20_000,
+                ..SimConfig::default()
+            };
+            let rate = (TARGET_EVENTS * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32;
+            let mut row = RecoveryRow {
+                id: w.id,
+                rate,
+                recovered: 0,
+                wrong_result: 0,
+                faulted: 0,
+                survived_bare: 0,
+                trap_entries: 0,
+                trap_entry_cycles: 0,
+                trap_counts: [0; TrapKind::COUNT],
+            };
+            for seed in 0..SEEDS {
+                let mut icfg = InjectConfig::with_seed(seed);
+                icfg.rate = rate;
+                let rep = run_risc_injected(&prog, &w.small_args, cfg.clone(), icfg, true)
+                    .expect("setup is valid");
+                match rep.outcome {
+                    InjectOutcome::Halted { result } if result == expect => row.recovered += 1,
+                    InjectOutcome::Halted { .. } => row.wrong_result += 1,
+                    InjectOutcome::Faulted { .. } => row.faulted += 1,
+                }
+                row.trap_entries += rep.stats.trap_entries;
+                row.trap_entry_cycles += rep.stats.trap_entry_cycles;
+                for kind in TrapKind::ALL {
+                    row.trap_counts[kind.index()] += rep.stats.trap_count(kind);
+                }
+                let mut icfg = InjectConfig::with_seed(seed);
+                icfg.rate = rate;
+                let bare = run_risc_injected(&prog, &w.small_args, cfg.clone(), icfg, false)
+                    .expect("setup is valid");
+                if bare.is_halted() {
+                    row.survived_bare += 1;
+                }
+            }
+            row
+        })
+        .collect()
+}
+
+/// Measures the cycle cost of one trap entry for `kind` with a
+/// microbenchmark: a forced probe against an otherwise idle program, so
+/// the reading is exactly one vectored entry (fresh window — no spill).
+pub fn trap_entry_cost(kind: TrapKind) -> u64 {
+    let prog = Program::from_instructions(vec![
+        Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, Short2::ZERO),
+        Instruction::ret(Reg::R25, Short2::ZERO),
+        Instruction::nop(),
+    ]);
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(&prog).expect("fits");
+    risc1_core::inject::install_recovery_handlers(&mut cpu, 0x100).expect("fits");
+    cpu.inject_probe(kind);
+    cpu.step().expect("probe vectors");
+    let s = cpu.stats();
+    assert_eq!(s.trap_entries, 1);
+    s.trap_entry_cycles
+}
+
+/// Renders both tables.
+pub fn run() -> String {
+    let rows = compute();
+    let mut t = Table::new(&[
+        "benchmark",
+        "rate",
+        "recovered",
+        "wrong result",
+        "faulted",
+        "survived bare",
+        "trap entries",
+    ]);
+    let seeds = SEEDS;
+    for r in &rows {
+        t.row(vec![
+            r.id.to_string(),
+            r.rate.to_string(),
+            format!("{}/{seeds}", r.recovered),
+            format!("{}/{seeds}", r.wrong_result),
+            format!("{}/{seeds}", r.faulted),
+            format!("{}/{seeds}", r.survived_bare),
+            r.trap_entries.to_string(),
+        ]);
+    }
+
+    let mut c = Table::new(&["cause", "code", "entry cost (cycles)", "dynamic entries"]);
+    for kind in TrapKind::ALL {
+        let dynamic: u64 = rows.iter().map(|r| r.trap_counts[kind.index()]).sum();
+        c.row(vec![
+            kind.name().to_string(),
+            kind.code().to_string(),
+            trap_entry_cost(kind).to_string(),
+            dynamic.to_string(),
+        ]);
+    }
+    let entries: u64 = rows.iter().map(|r| r.trap_entries).sum();
+    let cycles: u64 = rows.iter().map(|r| r.trap_entry_cycles).sum();
+    let mean = cycles as f64 / entries.max(1) as f64;
+    format!(
+        "E13 — fault injection: recovery rates with the trap unit ({seeds} seeds \
+         per workload, ~{TARGET_EVENTS} perturbations per run)\n\
+         (recovered = clean halt with the uninjected result; survived bare = \
+         clean halt with no handlers installed)\n\n{t}\n\
+         Trap entry pricing (probe microbenchmark; fresh window, no spill):\n\n{c}\n\
+         mean dynamic entry cost across the sweep: {mean:.1} cycles \
+         ({entries} entries)\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_core::inject::InjectModes;
+
+    #[test]
+    fn handlers_never_hurt_and_traps_fire() {
+        let rows = compute();
+        let handled: u64 = rows.iter().map(|r| r.recovered + r.wrong_result).sum();
+        let bare: u64 = rows.iter().map(|r| r.survived_bare).sum();
+        assert!(
+            handled >= bare,
+            "clean halts with handlers ({handled}) vs bare ({bare})"
+        );
+        let entries: u64 = rows.iter().map(|r| r.trap_entries).sum();
+        assert!(entries > 0, "the campaign must actually vector traps");
+        let recovered: u64 = rows.iter().map(|r| r.recovered).sum();
+        assert!(recovered > 0, "some campaigns must fully recover");
+    }
+
+    #[test]
+    fn every_cause_has_a_positive_entry_cost() {
+        let overhead = SimConfig::default().trap_overhead_cycles;
+        for kind in TrapKind::ALL {
+            let cost = trap_entry_cost(kind);
+            assert!(
+                cost >= overhead,
+                "{kind}: cost {cost} below the configured overhead {overhead}"
+            );
+        }
+    }
+
+    #[test]
+    fn transparent_campaigns_reproduce_the_clean_result_bit_for_bit() {
+        // Spurious interrupts and misalignment probes with resume handlers
+        // are extra-architectural: every seed must reproduce the
+        // uninjected result exactly.
+        let w = risc1_workloads::by_id("fib").unwrap();
+        let prog = compile_risc(&w.module, RiscOpts::default()).unwrap();
+        let (expect, _) = run_risc(&prog, &w.small_args).unwrap();
+        for seed in 0..8 {
+            let icfg = InjectConfig {
+                seed,
+                rate: 200,
+                modes: InjectModes::transparent(),
+            };
+            let rep =
+                run_risc_injected(&prog, &w.small_args, SimConfig::default(), icfg, true).unwrap();
+            assert!(
+                rep.recovered(expect),
+                "seed {seed}: {:?} (events: {})",
+                rep.outcome,
+                rep.events.len()
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod e10_area;
 pub mod e11_pipeline_trace;
 pub mod e12_instruction_mix;
+pub mod e13_fault_recovery;
 pub mod e1_complexity;
 pub mod e2_instruction_set;
 pub mod e3_formats;
@@ -43,6 +44,7 @@ pub fn run_all() -> String {
         e10_area::run(),
         e11_pipeline_trace::run(),
         e12_instruction_mix::run(),
+        e13_fault_recovery::run(),
         ablations::run(),
     ]
     .join("\n\n")

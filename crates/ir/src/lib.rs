@@ -54,4 +54,7 @@ pub use cx::compile_cx;
 pub use interp::{interpret, InterpError};
 pub use m68::compile_mc;
 pub use risc::{compile_risc, RiscOpts};
-pub use runner::{run_cx, run_cx_with, run_mc, run_mc_with, run_risc, run_risc_with, CodegenError};
+pub use runner::{
+    run_cx, run_cx_with, run_mc, run_mc_with, run_risc, run_risc_injected, run_risc_with,
+    CodegenError, InjectOutcome, InjectReport, InjectSetupError,
+};

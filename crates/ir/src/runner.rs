@@ -4,7 +4,10 @@ use crate::ast::ValidateError;
 use crate::layout::ARGV_BASE;
 use crate::rasm::RasmError;
 use risc1_cisc::{BuildError, CxConfig, CxCpu, CxProgram, CxStats};
-use risc1_core::{Cpu, ExecStats, Program, SimConfig};
+use risc1_core::inject::RECOVERY_STUB_BASE;
+use risc1_core::{
+    Cpu, ExecError, ExecStats, FaultInjector, Halt, InjectConfig, InjectEvent, Program, SimConfig,
+};
 use risc1_m68::{McBuildError, McConfig, McCpu, McProgram, McStats};
 use std::fmt;
 
@@ -90,6 +93,129 @@ pub fn run_risc_with(
     }
     cpu.run()?;
     Ok((cpu.result(), cpu.stats()))
+}
+
+/// How a fault-injected run ended.
+///
+/// This is the harness trichotomy: every injected execution either halts
+/// cleanly (possibly after recovering from injected faults via the trap
+/// unit) or stops with a *structured* simulator fault. A fourth outcome —
+/// a panic — must never happen; `tests/fault_injection.rs` enforces this
+/// over every workload and many seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectOutcome {
+    /// The program reached a clean halt with `result` in `r26`.
+    Halted {
+        /// The program's return value.
+        result: i32,
+    },
+    /// Execution terminated with a structured fault.
+    Faulted {
+        /// The fault that ended the run.
+        error: ExecError,
+    },
+}
+
+/// Everything an injected run produced: outcome, execution statistics
+/// (including trap entry/return counters) and the injection schedule that
+/// was actually applied.
+#[derive(Debug, Clone)]
+pub struct InjectReport {
+    /// How the run ended.
+    pub outcome: InjectOutcome,
+    /// Simulator statistics at termination.
+    pub stats: ExecStats,
+    /// The faults the injector applied, in order.
+    pub events: Vec<InjectEvent>,
+}
+
+impl InjectReport {
+    /// True when the run halted cleanly.
+    pub fn is_halted(&self) -> bool {
+        matches!(self.outcome, InjectOutcome::Halted { .. })
+    }
+
+    /// True when the run halted cleanly *and* produced `expect` — i.e. the
+    /// injected faults were fully absorbed.
+    pub fn recovered(&self, expect: i32) -> bool {
+        self.outcome == InjectOutcome::Halted { result: expect }
+    }
+}
+
+/// A failure to *arrange* an injected run (before any instruction
+/// executes): the image does not fit memory, or more than six register
+/// arguments were supplied. Distinct from [`InjectOutcome::Faulted`],
+/// which is a structured fault of the simulated machine itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectSetupError {
+    /// Loading the program image (or the recovery stubs) faulted.
+    Load(risc1_core::MemError),
+    /// More than six register arguments.
+    Args(risc1_core::TooManyArgs),
+}
+
+impl fmt::Display for InjectSetupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectSetupError::Load(e) => write!(f, "loading program: {e}"),
+            InjectSetupError::Args(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for InjectSetupError {}
+
+/// Runs a compiled RISC I program under deterministic fault injection.
+///
+/// Identical `(prog, args, cfg, inject, recovery)` inputs produce an
+/// identical injection schedule, trap counts and final state. With
+/// `recovery` set, per-cause recovery stubs are installed at
+/// [`RECOVERY_STUB_BASE`] (below `code_base`, an area program images never
+/// touch) before execution, so vectorable faults enter handlers instead of
+/// terminating the run.
+///
+/// This function never panics on any seed: setup problems come back as
+/// `Err`, and every execution ends in the [`InjectOutcome`] trichotomy.
+///
+/// # Errors
+/// [`InjectSetupError`] when the run could not be arranged at all.
+pub fn run_risc_injected(
+    prog: &Program,
+    args: &[i32],
+    cfg: SimConfig,
+    inject: InjectConfig,
+    recovery: bool,
+) -> Result<InjectReport, InjectSetupError> {
+    let mut injector = FaultInjector::new(inject);
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_program(prog).map_err(InjectSetupError::Load)?;
+    cpu.try_set_args(args).map_err(InjectSetupError::Args)?;
+    if recovery {
+        risc1_core::inject::install_recovery_handlers(&mut cpu, RECOVERY_STUB_BASE)
+            .map_err(InjectSetupError::Load)?;
+    }
+    for (i, &a) in args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    let outcome = loop {
+        injector.pre_step(&mut cpu);
+        match cpu.step() {
+            Ok(Halt::Running) => {}
+            Ok(Halt::Returned) => {
+                break InjectOutcome::Halted {
+                    result: cpu.result(),
+                }
+            }
+            Err(error) => break InjectOutcome::Faulted { error },
+        }
+    };
+    Ok(InjectReport {
+        outcome,
+        stats: cpu.stats(),
+        events: injector.events().to_vec(),
+    })
 }
 
 /// Runs a compiled CX program with the given `main` arguments under the

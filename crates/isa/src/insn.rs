@@ -191,6 +191,12 @@ impl Instruction {
         Instruction::reg(Opcode::Ret, Reg::R0, rs1, s2)
     }
 
+    /// `reti rs1, s2`: like [`Instruction::ret`], but also re-enables
+    /// interrupts — the return path of interrupt and trap handlers.
+    pub fn reti(rs1: Reg, s2: Short2) -> Instruction {
+        Instruction::reg(Opcode::Reti, Reg::R0, rs1, s2)
+    }
+
     /// `ldhi dest, #imm19`: set the high 19 bits of `dest`, clear the rest.
     pub fn ldhi(dest: Reg, imm19: u32) -> Instruction {
         debug_assert!(imm19 < (1 << 19));

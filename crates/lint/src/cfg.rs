@@ -74,6 +74,9 @@ pub struct FunctionCfg {
     pub name: Option<String>,
     /// Whether this is the program entry point.
     pub is_entry: bool,
+    /// Whether this function was declared a trap-handler root (reachable
+    /// via the trap vector rather than any call instruction).
+    pub is_trap_handler: bool,
     /// Basic blocks, in ascending address order; block 0 starts at `head`.
     pub blocks: Vec<BasicBlock>,
     /// Call instructions inside this function.
@@ -144,7 +147,16 @@ impl Cfg {
     /// [`Cfg::issues`]; the rule suite in [`crate::rules`] adds the
     /// dataflow-based findings on top.
     pub fn build(program: &Program) -> Cfg {
-        Builder::new(program).build()
+        Builder::new(program, &[]).build()
+    }
+
+    /// Builds the CFG with extra function roots that hardware reaches
+    /// without any call instruction — trap-vector handlers. Each root
+    /// becomes a discovered function (marked
+    /// [`FunctionCfg::is_trap_handler`]) and its body counts as reachable,
+    /// so handler-only code is analyzed instead of flagged as dead.
+    pub fn build_with_roots(program: &Program, trap_roots: &[InsnIdx]) -> Cfg {
+        Builder::new(program, trap_roots).build()
     }
 
     /// Convenience: the entry function.
@@ -161,24 +173,32 @@ struct Builder<'p> {
     delay_slot: Vec<bool>,
     issues: Vec<Diagnostic>,
     issue_keys: BTreeSet<(u32, Rule)>,
+    trap_roots: BTreeSet<InsnIdx>,
 }
 
 impl<'p> Builder<'p> {
-    fn new(program: &'p Program) -> Builder<'p> {
+    fn new(program: &'p Program, trap_roots: &[InsnIdx]) -> Builder<'p> {
         let code: Vec<Option<Instruction>> = program
             .words
             .iter()
             .map(|&w| Instruction::decode(w).ok())
             .collect();
         let n = code.len();
+        let entry = (program.entry_offset / INSN_BYTES) as usize;
         Builder {
             program,
             code,
-            entry: (program.entry_offset / INSN_BYTES) as usize,
+            entry,
             reachable: vec![false; n],
             delay_slot: vec![false; n],
             issues: Vec::new(),
             issue_keys: BTreeSet::new(),
+            // The entry point keeps its entry role even when listed.
+            trap_roots: trap_roots
+                .iter()
+                .copied()
+                .filter(|&r| r < n && r != entry)
+                .collect(),
         }
     }
 
@@ -310,9 +330,12 @@ impl<'p> Builder<'p> {
     /// Whole-program reachability walk from the entry; returns the set of
     /// statically known call-target heads, in address order.
     fn walk_program(&mut self) -> (BTreeSet<InsnIdx>, bool) {
-        let mut heads = BTreeSet::new();
+        // Trap-handler roots are function heads the hardware jumps to; the
+        // walk starts from them as well so their bodies count as reachable.
+        let mut heads: BTreeSet<InsnIdx> = self.trap_roots.clone();
         let mut indexed = false;
-        let mut work = VecDeque::from([self.entry]);
+        let mut work: VecDeque<InsnIdx> = VecDeque::from([self.entry]);
+        work.extend(self.trap_roots.iter().copied());
         while let Some(i) = work.pop_front() {
             if i >= self.code.len() || self.reachable[i] {
                 continue;
@@ -426,6 +449,7 @@ impl<'p> Builder<'p> {
             head,
             name: self.symbol_at(head),
             is_entry: head == self.entry,
+            is_trap_handler: self.trap_roots.contains(&head),
             blocks,
             calls,
             has_indexed_jump,

@@ -94,6 +94,8 @@ rules! {
      "a register is read on a path where nothing ever wrote it"),
     (RetWithoutCall, "ret-without-call", Warning,
      "a ret consumes a return address that no reaching call produced"),
+    (TrapHandlerMissingReti, "trap-handler-missing-reti", Warning,
+     "a function reachable only via the trap vector returns with ret instead of reti, leaving the trap unit armed and interrupts masked"),
     (WindowOverflowDepth, "window-overflow-depth", Warning,
      "the static call chain is deep enough to guarantee register-window overflow traps"),
     (UnreachableCode, "unreachable-code", Warning,

@@ -31,19 +31,30 @@ pub struct LintConfig {
     /// Number of register windows on the target machine (the paper's
     /// hardware had 8); drives the call-depth rule.
     pub windows: usize,
+    /// Byte offsets (within the code image) of trap-handler entry points.
+    /// Each becomes an extra function root: hardware reaches it through
+    /// the trap vector, so its body is live code and must return with
+    /// `reti` (the trap-handler-missing-reti rule).
+    pub trap_handlers: Vec<u32>,
 }
 
 impl Default for LintConfig {
     fn default() -> Self {
-        LintConfig { windows: 8 }
+        LintConfig {
+            windows: 8,
+            trap_handlers: Vec::new(),
+        }
     }
 }
 
 impl LintConfig {
     /// Derives the lint-relevant parameters from a simulator config.
+    /// Handler roots are program-specific, not machine-specific, so the
+    /// list starts empty.
     pub fn from_sim(sim: &SimConfig) -> LintConfig {
         LintConfig {
             windows: sim.windows,
+            ..LintConfig::default()
         }
     }
 }
@@ -56,7 +67,13 @@ pub fn has_errors(diags: &[Diagnostic]) -> bool {
 /// Runs every rule over `program` and returns the findings, errors first,
 /// then by address.
 pub fn lint_program(program: &Program, config: &LintConfig) -> Vec<Diagnostic> {
-    let cfg = Cfg::build(program);
+    let roots: Vec<InsnIdx> = config
+        .trap_handlers
+        .iter()
+        .filter(|&&off| off % INSN_BYTES == 0)
+        .map(|&off| (off / INSN_BYTES) as InsnIdx)
+        .collect();
+    let cfg = Cfg::build_with_roots(program, &roots);
     let mut diags = cfg.issues.clone();
     let mut lints = Linter {
         program,
@@ -71,6 +88,7 @@ pub fn lint_program(program: &Program, config: &LintConfig) -> Vec<Diagnostic> {
     lints.fall_off_end();
     lints.unreachable_code();
     lints.call_depth();
+    lints.trap_handler_reti();
     diags.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.pc, d.rule));
     diags.dedup();
     diags
@@ -190,6 +208,11 @@ impl Linter<'_> {
                     }
                 }
             }
+        }
+        if f.is_trap_handler {
+            // Trap entry writes the precise-state triple into the fresh
+            // window: r25 = restart pc, r24 = cause, r23 = info.
+            defined |= reg_range(23, 25);
         }
         defined
     }
@@ -419,6 +442,44 @@ impl Linter<'_> {
             );
         }
     }
+
+    /// A trap-handler root that exits with `ret` instead of `reti`. The
+    /// machine executes the `ret` fine, but the trap unit stays armed (the
+    /// next vectorable fault is a double fault) and interrupts stay
+    /// masked. Stands down when the function is also a call target —
+    /// dual-use code may legitimately return with `ret` on the call path.
+    fn trap_handler_reti(&mut self) {
+        let called: HashSet<InsnIdx> = self
+            .cfg
+            .functions
+            .iter()
+            .flat_map(|f| f.calls.iter().filter_map(|s| s.target))
+            .collect();
+        for f in &self.cfg.functions {
+            if !f.is_trap_handler || called.contains(&f.head) {
+                continue;
+            }
+            for b in &f.blocks {
+                let Some(term) = b.term else { continue };
+                let Some(insn) = self.cfg.code[term] else {
+                    continue;
+                };
+                if insn.opcode == Opcode::Ret {
+                    self.push(
+                        Rule::TrapHandlerMissingReti,
+                        term,
+                        format!(
+                            "`{insn}`{} leaves trap handler {} without re-arming the trap \
+                             unit: the next fault double-faults and interrupts stay \
+                             disabled - return with `reti`",
+                            self.loc(term),
+                            f.label()
+                        ),
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -631,7 +692,10 @@ mod tests {
         let insns = call_chain(8);
         let warn = lint_program(
             &Program::from_instructions(insns.clone()),
-            &LintConfig { windows: 8 },
+            &LintConfig {
+                windows: 8,
+                ..LintConfig::default()
+            },
         );
         assert!(
             rules_of(&warn).contains(&Rule::WindowOverflowDepth),
@@ -639,7 +703,10 @@ mod tests {
         );
         let ok = lint_program(
             &Program::from_instructions(insns),
-            &LintConfig { windows: 16 },
+            &LintConfig {
+                windows: 16,
+                ..LintConfig::default()
+            },
         );
         assert!(!rules_of(&ok).contains(&Rule::WindowOverflowDepth));
     }
@@ -715,6 +782,70 @@ mod tests {
         let diags = lint(insns);
         assert!(
             rules_of(&diags).contains(&Rule::BranchIntoDelaySlot),
+            "{diags:?}"
+        );
+    }
+
+    /// The entry halts at words 0..2; the handler body starts at word 2.
+    fn handler_config() -> LintConfig {
+        LintConfig {
+            trap_handlers: vec![2 * INSN_BYTES],
+            ..LintConfig::default()
+        }
+    }
+
+    #[test]
+    fn trap_handler_returning_with_ret_is_flagged() {
+        let mut insns = halt();
+        // handler: stash the cause in a global, then (wrongly) plain ret.
+        insns.push(Instruction::reg(Opcode::Add, Reg::R2, Reg::R24, imm(0)));
+        insns.push(Instruction::ret(Reg::R25, Short2::ZERO));
+        insns.push(Instruction::nop());
+        let diags = lint_program(&Program::from_instructions(insns), &handler_config());
+        let rules = rules_of(&diags);
+        assert!(rules.contains(&Rule::TrapHandlerMissingReti), "{diags:?}");
+        assert!(
+            !rules.contains(&Rule::UnreachableCode),
+            "a handler root is live code: {diags:?}"
+        );
+        assert!(
+            !rules.contains(&Rule::UninitRead) && !rules.contains(&Rule::RetWithoutCall),
+            "trap entry defines r23-r25: {diags:?}"
+        );
+        assert!(!has_errors(&diags));
+    }
+
+    #[test]
+    fn trap_handler_returning_with_reti_is_clean() {
+        let mut insns = halt();
+        insns.push(Instruction::reg(Opcode::Add, Reg::R2, Reg::R24, imm(0)));
+        insns.push(Instruction::reti(Reg::R25, Short2::ZERO));
+        insns.push(Instruction::nop());
+        let diags = lint_program(&Program::from_instructions(insns), &handler_config());
+        assert!(rules_of(&diags).is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn dual_use_handler_stands_down() {
+        // entry callr's the function at word 4; the same head is declared
+        // a trap root. On the call path a plain ret is legitimate.
+        let insns = vec![
+            Instruction::callr(Reg::R25, 4 * INSN_BYTES as i32),
+            Instruction::nop(),
+            Instruction::ret(Reg::R0, Short2::ZERO),
+            Instruction::nop(),
+            // f:
+            Instruction::reg(Opcode::Add, Reg::R2, Reg::R26, imm(0)),
+            Instruction::ret(Reg::R25, Short2::ZERO),
+            Instruction::nop(),
+        ];
+        let config = LintConfig {
+            trap_handlers: vec![4 * INSN_BYTES],
+            ..LintConfig::default()
+        };
+        let diags = lint_program(&Program::from_instructions(insns), &config);
+        assert!(
+            !rules_of(&diags).contains(&Rule::TrapHandlerMissingReti),
             "{diags:?}"
         );
     }

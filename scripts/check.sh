@@ -16,4 +16,7 @@ cargo build --release -q
 echo "==> cargo test"
 cargo test -q
 
+echo "==> cargo test --test fault_injection (robustness sweep)"
+cargo test -q --test fault_injection
+
 echo "All checks passed."

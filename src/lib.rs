@@ -1,7 +1,7 @@
 //! # `risc1` — facade crate for the RISC I reproduction workspace.
 //!
 //! Re-exports every subsystem under one roof. See the individual crates for
-//! detail: [`isa`], [`core`], [`asm`], [`cisc`], [`ir`], [`lint`],
+//! detail: [`isa`], [`core`], [`asm`], [`cisc`], [`m68`], [`ir`], [`lint`],
 //! [`workloads`], [`stats`], [`experiments`].
 
 pub use risc1_asm as asm;
@@ -11,5 +11,6 @@ pub use risc1_experiments as experiments;
 pub use risc1_ir as ir;
 pub use risc1_isa as isa;
 pub use risc1_lint as lint;
+pub use risc1_m68 as m68;
 pub use risc1_stats as stats;
 pub use risc1_workloads as workloads;

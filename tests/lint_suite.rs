@@ -153,7 +153,13 @@ const BUGGY_SRC: &str = "
 fn buggy_program_trips_the_headline_rules() {
     let prog = assemble(BUGGY_SRC).expect("assembles");
     // main -> f1 -> … -> f8 is 8 nested calls; 8 windows hold 7 frames.
-    let diags = lint_program(&prog, &LintConfig { windows: 8 });
+    let diags = lint_program(
+        &prog,
+        &LintConfig {
+            windows: 8,
+            ..LintConfig::default()
+        },
+    );
     let fired: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
     assert!(
         fired.contains(&Rule::BranchIntoDelaySlot),
@@ -170,7 +176,13 @@ fn buggy_program_trips_the_headline_rules() {
     assert!(uninit.message.contains("r20"), "{}", uninit.message);
 
     // A window file deep enough for the whole chain silences the depth rule.
-    let deep = lint_program(&prog, &LintConfig { windows: 16 });
+    let deep = lint_program(
+        &prog,
+        &LintConfig {
+            windows: 16,
+            ..LintConfig::default()
+        },
+    );
     assert!(!deep.iter().any(|d| d.rule == Rule::WindowOverflowDepth));
 }
 
