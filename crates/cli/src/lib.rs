@@ -6,12 +6,19 @@
 //!   --trap-handler <sym>         declare a trap-vector entry point
 //!                                (repeatable); handlers must reti
 //! risc1 run <file.s> [args…]     assemble and execute; prints result + stats
+//!   --fuel N                     instruction budget (default 200M)
 //!   --trap-handlers              install recovery stubs for vectorable faults
 //!   --inject <seed> [--rate N]   deterministic fault injection (N per 10000
 //!                                steps; default 20)
+//!   --record <trace.json>        write a replayable journal of the campaign
+//!   --supervise                  checkpoint + rollback-and-retry supervisor
+//!     [--ckpt-every N]           checkpoint interval in instructions
+//!     [--max-retries K]          rollback attempts before the fault surfaces
+//! risc1 replay <trace.json>      re-execute a recorded campaign bit for bit
+//!   [--minimize [--out <path>]]  delta-debug the journal to a minimal subset
 //! risc1 trace <file.s> [args…]   execute with the pipeline timing diagram
 //! risc1 bench <workload>         run a suite workload on both machines
-//! risc1 exp <id|all>             print an experiment report (e1…e13)
+//! risc1 exp <id|all>             print an experiment report (e1…e14)
 //! risc1 list                     list suite workloads and experiments
 //! ```
 //!
@@ -22,7 +29,11 @@
 
 use risc1_asm::{assemble, disassemble};
 use risc1_core::inject::{install_recovery_handlers, RECOVERY_STUB_BASE};
-use risc1_core::{Cpu, FaultInjector, Halt, InjectConfig, SimConfig};
+use risc1_core::{Cpu, FaultInjector, Halt, InjectConfig, Journal, SimConfig, TrapKind};
+use risc1_ir::{
+    minimize_journal, record_risc_injected, recorded_outcome, replay_journal, run_risc_supervised,
+    SupervisorConfig, SupervisorOutcome,
+};
 use risc1_stats::measure_with;
 use std::fmt::Write as _;
 
@@ -38,6 +49,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("asm") => cmd_asm(args.get(1).ok_or(USAGE)?),
         Some("lint") => cmd_lint(args.get(1).ok_or(USAGE)?, &args[2..]),
         Some("run") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], false),
+        Some("replay") => cmd_replay(args.get(1).ok_or(USAGE)?, &args[2..]),
         Some("trace") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], true),
         Some("bench") => cmd_bench(args.get(1).ok_or(USAGE)?),
         Some("exp") => cmd_exp(args.get(1).ok_or(USAGE)?),
@@ -56,13 +68,23 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
                                 or byte offset; repeatable) - its body is
                                 live code and must return with reti
   risc1 run <file.s> [args…]    execute (args are main's integer arguments)
+       [--fuel N]               instruction budget (default 200M)
        [--trap-handlers]        install recovery stubs: vectorable faults
                                 enter handlers instead of ending the run
        [--inject <seed>]        deterministic fault injection from <seed>
        [--rate N]               injection rate per 10000 steps (default 20)
+       [--record <trace.json>]  write a replayable journal of the campaign
+                                (requires --inject)
+       [--supervise]            supervised run: incremental checkpoints +
+                                rollback-and-retry on structured faults
+       [--ckpt-every N]         checkpoint interval in instructions
+       [--max-retries K]        rollback attempts before the fault surfaces
+  risc1 replay <trace.json>     re-execute a recorded campaign bit for bit
+       [--minimize]             delta-debug to a minimal failing event set
+       [--out <path>]           write the minimized journal here
   risc1 trace <file.s> [args…]  execute with a pipeline diagram
   risc1 bench <workload-id>     run one suite workload on RISC I and CX
-  risc1 exp <e1…e13|all>        print an experiment report
+  risc1 exp <e1…e14|all>        print an experiment report
   risc1 list                    available workloads and experiments";
 
 fn read(path: &str) -> Result<String, String> {
@@ -145,6 +167,11 @@ struct RunOpts {
     inject_seed: Option<u64>,
     rate: Option<u32>,
     trap_handlers: bool,
+    record: Option<String>,
+    supervise: bool,
+    ckpt_every: Option<u64>,
+    max_retries: Option<u32>,
+    fuel: Option<u64>,
 }
 
 fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
@@ -152,10 +179,16 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
     let mut inject_seed = None;
     let mut rate = None;
     let mut trap_handlers = false;
+    let mut record = None;
+    let mut supervise = false;
+    let mut ckpt_every = None;
+    let mut max_retries = None;
+    let mut fuel = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trap-handlers" => trap_handlers = true,
+            "--supervise" => supervise = true,
             "--inject" => {
                 let v = it.next().ok_or("--inject needs a seed")?;
                 inject_seed = Some(
@@ -170,6 +203,31 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
                         .map_err(|e| format!("bad --rate value `{v}`: {e}"))?,
                 );
             }
+            "--record" => {
+                let v = it.next().ok_or("--record needs a file path")?;
+                record = Some(v.clone());
+            }
+            "--ckpt-every" => {
+                let v = it.next().ok_or("--ckpt-every needs a value")?;
+                ckpt_every = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --ckpt-every value `{v}`: {e}"))?,
+                );
+            }
+            "--max-retries" => {
+                let v = it.next().ok_or("--max-retries needs a value")?;
+                max_retries = Some(
+                    v.parse::<u32>()
+                        .map_err(|e| format!("bad --max-retries value `{v}`: {e}"))?,
+                );
+            }
+            "--fuel" => {
+                let v = it.next().ok_or("--fuel needs a value")?;
+                fuel = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --fuel value `{v}`: {e}"))?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown run flag `{other}`\n{USAGE}"))
             }
@@ -179,11 +237,27 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
     if rate.is_some() && inject_seed.is_none() {
         return Err("--rate only makes sense with --inject".to_string());
     }
+    if record.is_some() && inject_seed.is_none() {
+        return Err("--record only makes sense with --inject".to_string());
+    }
+    if record.is_some() && supervise {
+        return Err("--record and --supervise are mutually exclusive \
+                    (journals record a single attempt)"
+            .to_string());
+    }
+    if (ckpt_every.is_some() || max_retries.is_some()) && !supervise {
+        return Err("--ckpt-every/--max-retries only make sense with --supervise".to_string());
+    }
     Ok(RunOpts {
         args: parse_args(&plain)?,
         inject_seed,
         rate,
         trap_handlers,
+        record,
+        supervise,
+        ckpt_every,
+        max_retries,
+        fuel,
     })
 }
 
@@ -191,14 +265,28 @@ fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
     let src = read(path)?;
     let prog = assemble(&src).map_err(|e| e.to_string())?;
     let opts = parse_run_opts(rest)?;
-    let cfg = SimConfig {
+    let mut cfg = SimConfig {
         record_trace: trace,
         ..SimConfig::default()
     };
+    if let Some(fuel) = opts.fuel {
+        cfg.fuel = fuel;
+    }
+    let recovery = opts.trap_handlers || opts.inject_seed.is_some();
+    if opts.supervise {
+        return cmd_run_supervised(&prog, &opts, cfg, recovery);
+    }
+    if let (Some(seed), Some(record)) = (opts.inject_seed, &opts.record) {
+        let mut icfg = InjectConfig::with_seed(seed);
+        if let Some(r) = opts.rate {
+            icfg.rate = r;
+        }
+        return cmd_run_recorded(&prog, &opts, cfg, icfg, recovery, record);
+    }
     let mut cpu = Cpu::new(cfg);
     cpu.load_program(&prog).map_err(|e| e.to_string())?;
     cpu.try_set_args(&opts.args).map_err(|e| e.to_string())?;
-    if opts.trap_handlers || opts.inject_seed.is_some() {
+    if recovery {
         install_recovery_handlers(&mut cpu, RECOVERY_STUB_BASE).map_err(|e| e.to_string())?;
     }
     let mut out = String::new();
@@ -240,6 +328,176 @@ fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
             "\n{}",
             risc1_core::pipeline::render_timing(cpu.trace(), 64)
         );
+    }
+    Ok(out)
+}
+
+/// `run --supervise`: execute under the checkpoint + rollback-and-retry
+/// supervisor and render its report.
+fn cmd_run_supervised(
+    prog: &risc1_core::Program,
+    opts: &RunOpts,
+    cfg: SimConfig,
+    recovery: bool,
+) -> CliResult {
+    let inject = opts.inject_seed.map(|seed| {
+        let mut icfg = InjectConfig::with_seed(seed);
+        if let Some(r) = opts.rate {
+            icfg.rate = r;
+        }
+        icfg
+    });
+    let mut sup = SupervisorConfig::default();
+    if let Some(n) = opts.ckpt_every {
+        sup.ckpt_every = n;
+    }
+    if let Some(k) = opts.max_retries {
+        sup.max_retries = k;
+    }
+    let report = run_risc_supervised(prog, &opts.args, cfg, inject, recovery, sup)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "supervised run: {} attempt(s), {} rollback(s), {} instruction(s) discarded",
+        report.attempts, report.rollbacks, report.lost_instructions
+    );
+    let c = report.checkpoints;
+    let _ = writeln!(
+        out,
+        "checkpoints: {} taken, {} page(s) / {} byte(s) copied, \
+         {} modeled cycle(s) ({:.2}% overhead)",
+        c.checkpoints,
+        c.pages_copied,
+        c.bytes_copied,
+        c.modeled_cycles,
+        report.checkpoint_overhead() * 100.0
+    );
+    if !report.events.is_empty() {
+        let _ = writeln!(
+            out,
+            "injected {} fault(s) across attempts",
+            report.events.len()
+        );
+        for ev in &report.events {
+            let _ = writeln!(out, "  {ev}");
+        }
+    }
+    match report.outcome {
+        SupervisorOutcome::Halted { result } => {
+            let _ = writeln!(out, "result: {result}");
+            let _ = writeln!(out, "{}", report.stats);
+            Ok(out)
+        }
+        SupervisorOutcome::Faulted { error } => {
+            let _ = writeln!(out, "{}", report.stats);
+            Err(format!("{out}fault (retries exhausted): {error}"))
+        }
+        SupervisorOutcome::WatchdogExpired => {
+            let _ = writeln!(out, "{}", report.stats);
+            Err(format!("{out}watchdog budget expired"))
+        }
+    }
+}
+
+/// `run --inject --record`: run the campaign while writing a replayable
+/// journal.
+fn cmd_run_recorded(
+    prog: &risc1_core::Program,
+    opts: &RunOpts,
+    cfg: SimConfig,
+    icfg: InjectConfig,
+    recovery: bool,
+    record: &str,
+) -> CliResult {
+    let (journal, report) =
+        record_risc_injected(prog, &opts.args, cfg, icfg, recovery).map_err(|e| e.to_string())?;
+    std::fs::write(record, journal.to_json()).map_err(|e| format!("{record}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "recorded {} event(s) (seed {}, rate {}/10000) to {record}",
+        journal.events.len(),
+        icfg.seed,
+        icfg.rate
+    );
+    for ev in &report.events {
+        let _ = writeln!(out, "  {ev}");
+    }
+    match report.outcome {
+        risc1_ir::InjectOutcome::Halted { result } => {
+            let _ = writeln!(out, "result: {result}");
+            let _ = writeln!(out, "{}", report.stats);
+            Ok(out)
+        }
+        risc1_ir::InjectOutcome::Faulted { error } => {
+            let _ = writeln!(out, "{}", report.stats);
+            Err(format!("{out}fault: {error}"))
+        }
+    }
+}
+
+/// `replay <trace.json>`: re-execute a recorded campaign bit for bit,
+/// optionally delta-debugging it down to a minimal failing event set.
+fn cmd_replay(path: &str, rest: &[String]) -> CliResult {
+    let mut minimize = false;
+    let mut out_path: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--minimize" => minimize = true,
+            "--out" => {
+                let v = it.next().ok_or("--out needs a file path")?;
+                out_path = Some(v.clone());
+            }
+            other => return Err(format!("unknown replay flag `{other}`\n{USAGE}")),
+        }
+    }
+    if out_path.is_some() && !minimize {
+        return Err("--out only makes sense with --minimize".to_string());
+    }
+    let journal = Journal::from_json(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "journal: {} event(s), seed {}, rate {}/10000, recovery {}",
+        journal.events.len(),
+        journal.seed,
+        journal.rate,
+        if journal.recovery { "on" } else { "off" }
+    );
+    let report = replay_journal(&journal).map_err(|e| e.to_string())?;
+    let replayed = recorded_outcome(&report);
+    let _ = writeln!(out, "replayed outcome: {}", replayed.signature);
+    let _ = writeln!(out, "instructions: {}", replayed.instructions);
+    let counts: Vec<String> = TrapKind::ALL
+        .iter()
+        .map(|k| format!("{}={}", k.name(), replayed.trap_counts[k.index()]))
+        .collect();
+    let _ = writeln!(out, "trap counts: {}", counts.join(" "));
+    if let Some(recorded) = &journal.outcome {
+        if *recorded != replayed {
+            let _ = writeln!(out, "recorded outcome: {}", recorded.signature);
+            let _ = writeln!(out, "recorded instructions: {}", recorded.instructions);
+            return Err(format!("{out}replay DIVERGED from the recording"));
+        }
+        let _ = writeln!(out, "replay matches the recording bit for bit");
+    }
+    if minimize {
+        let minimized = minimize_journal(&journal).map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "minimized: {} event(s) -> {} event(s), same signature",
+            journal.events.len(),
+            minimized.events.len()
+        );
+        for ev in &minimized.events {
+            let _ = writeln!(out, "  {ev}");
+        }
+        if let Some(p) = out_path {
+            std::fs::write(&p, minimized.to_json()).map_err(|e| format!("{p}: {e}"))?;
+            let _ = writeln!(out, "wrote minimized journal to {p}");
+        }
     }
     Ok(out)
 }
@@ -296,11 +554,12 @@ fn cmd_exp(id: &str) -> CliResult {
         "e11" => e::e11_pipeline_trace::run(),
         "e12" => e::e12_instruction_mix::run(),
         "e13" => e::e13_fault_recovery::run(),
+        "e14" => e::e14_checkpoint_overhead::run(),
         "ablations" => e::ablations::run(),
         "all" => e::run_all(),
         other => {
             return Err(format!(
-                "unknown experiment `{other}` (e1…e13, ablations, all)"
+                "unknown experiment `{other}` (e1…e14, ablations, all)"
             ))
         }
     })
@@ -311,7 +570,7 @@ fn listing() -> String {
     for w in risc1_workloads::all() {
         let _ = writeln!(out, "  {:16} {}", w.id, w.description);
     }
-    out.push_str("\nexperiments: e1…e13, ablations, all (see DESIGN.md §3)\n");
+    out.push_str("\nexperiments: e1…e14, ablations, all (see DESIGN.md §3)\n");
     out
 }
 
@@ -396,6 +655,65 @@ mod tests {
         assert!(!flagged.contains("unreachable-code"), "{flagged}");
         let unknown = dispatch(&s(&["lint", &p, "--trap-handler", "nosuch"]));
         assert!(unknown.unwrap_err().contains("nosuch"));
+    }
+
+    #[test]
+    fn record_replay_and_minimize_round_trip_through_files() {
+        let p = write_temp("rec.s", "add r16, r26, #2\nadd r26, r16, #0\nhalt\nnop\n");
+        let trace = write_temp("rec_trace.json", "");
+        // Record a campaign (rate high enough to apply something).
+        let rec = dispatch(&s(&[
+            "run", &p, "40", "--inject", "9", "--rate", "4000", "--record", &trace,
+        ]));
+        let text = match &rec {
+            Ok(t) => t.clone(),
+            Err(t) => t.clone(),
+        };
+        assert!(text.contains("recorded"), "{text}");
+        // Replay must match the recording exactly, whatever the outcome.
+        let rep = dispatch(&s(&["replay", &trace])).unwrap();
+        assert!(rep.contains("replay matches the recording"), "{rep}");
+        // Minimize and write the result; the minimized journal replays too.
+        let min_path = write_temp("rec_trace.min.json", "");
+        let min = dispatch(&s(&["replay", &trace, "--minimize", "--out", &min_path])).unwrap();
+        assert!(min.contains("minimized:"), "{min}");
+        let again = dispatch(&s(&["replay", &min_path])).unwrap();
+        assert!(again.contains("replay matches the recording"), "{again}");
+        // Flag validation.
+        assert!(dispatch(&s(&["replay", &trace, "--out", "x"])).is_err());
+        assert!(dispatch(&s(&["run", &p, "40", "--record", &trace])).is_err());
+        assert!(dispatch(&s(&["replay", "/nonexistent.json"])).is_err());
+    }
+
+    #[test]
+    fn supervised_run_reports_checkpoints() {
+        let p = write_temp("sup.s", "add r16, r26, #2\nadd r26, r16, #0\nhalt\nnop\n");
+        let out = dispatch(&s(&[
+            "run",
+            &p,
+            "40",
+            "--supervise",
+            "--ckpt-every",
+            "2",
+            "--max-retries",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("supervised run"), "{out}");
+        assert!(out.contains("result: 42"), "{out}");
+        // Supervisor flags require --supervise; --record conflicts.
+        assert!(dispatch(&s(&["run", &p, "40", "--ckpt-every", "5"])).is_err());
+        assert!(dispatch(&s(&[
+            "run",
+            &p,
+            "40",
+            "--inject",
+            "1",
+            "--record",
+            "t.json",
+            "--supervise",
+        ]))
+        .is_err());
     }
 
     #[test]

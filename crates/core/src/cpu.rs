@@ -23,6 +23,7 @@ use crate::config::{BranchModel, SimConfig};
 use crate::exec::alu;
 use crate::mem::{MemError, Memory};
 use crate::program::Program;
+use crate::snapshot::{CpuState, RestoreError, Snapshot};
 use crate::stats::ExecStats;
 use crate::trap::{TrapCause, TrapKind};
 use crate::windows::{WindowFile, SPILL_REGS};
@@ -71,6 +72,10 @@ pub enum ExecError {
         first: TrapKind,
         /// The fault that arrived inside the handler.
         second: TrapKind,
+        /// Where to pick the failure up again: the last checkpoint taken
+        /// and the journal position reached, when a checkpointer and/or
+        /// recorder was attached to this CPU.
+        ctx: ReplayContext,
     },
     /// Historical: `step` after halt now idempotently returns
     /// [`Halt::Returned`] instead of this error. The variant is retained
@@ -136,7 +141,12 @@ impl fmt::Display for ExecError {
             ExecError::WindowStackOverflow { ptr } => {
                 write!(f, "window-save stack overflow at {ptr:#010x}")
             }
-            ExecError::DoubleFault { pc, first, second } => write!(
+            // `ctx` is deliberately not rendered: the Display string is the
+            // stable outcome signature that record–replay and journal
+            // minimization compare across runs.
+            ExecError::DoubleFault {
+                pc, first, second, ..
+            } => write!(
                 f,
                 "double fault at pc {pc:#010x}: {second} trap while servicing {first}"
             ),
@@ -146,6 +156,19 @@ impl fmt::Display for ExecError {
 }
 
 impl std::error::Error for ExecError {}
+
+/// Replay coordinates attached to a terminal fault: which snapshot the
+/// execution could be resumed from and how far into the recorded journal it
+/// had progressed. Both are `None` when no checkpointer or journal was
+/// attached — a bare `Cpu::run` loses nothing it ever had.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayContext {
+    /// Id of the last snapshot taken (see [`crate::snapshot::Checkpointer`]).
+    pub snapshot: Option<u64>,
+    /// Number of journal events applied when the fault hit (an index into
+    /// the recorded event list).
+    pub journal_pos: Option<u64>,
+}
 
 /// Byte stride between trap vectors when a vectored table is configured
 /// via [`SimConfig::trap_base`]: four instruction words per vector, enough
@@ -164,7 +187,7 @@ pub enum Halt {
 /// Identity of a physical register, used by the hazard model (visible names
 /// are window-relative, so hazards must be tracked physically).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PhysId {
+pub(crate) enum PhysId {
     Global(u8),
     Ring(usize),
 }
@@ -260,6 +283,13 @@ pub struct Cpu {
     /// Runtime fuel limit; starts at [`SimConfig::fuel`] and can be
     /// tightened (fault-injection "fuel jitter").
     fuel_limit: u64,
+    /// Id of the last snapshot taken of this CPU (set by the checkpoint
+    /// machinery via [`Cpu::note_checkpoint`]); attached to terminal
+    /// double faults.
+    last_snapshot: Option<u64>,
+    /// Journal position (events applied so far) noted by the fault
+    /// injector or replayer via [`Cpu::note_journal_position`].
+    journal_pos: Option<u64>,
 }
 
 impl Cpu {
@@ -296,6 +326,8 @@ impl Cpu {
             active_trap: None,
             pending_probe: None,
             fuel_limit,
+            last_snapshot: None,
+            journal_pos: None,
         }
     }
 
@@ -458,6 +490,94 @@ impl Cpu {
     /// retired makes the next `step` report [`ExecError::OutOfFuel`].
     pub fn set_fuel_limit(&mut self, fuel: u64) {
         self.fuel_limit = fuel;
+    }
+
+    /// Captures a complete, checksummed snapshot of this CPU (registers,
+    /// window stack, trap state, PSW, pc/lastpc, statistics and memory).
+    /// Restoring it with [`Cpu::restore`] guarantees bit-identical
+    /// continuation. Ad-hoc snapshots carry id 0; the incremental
+    /// [`crate::snapshot::Checkpointer`] hands out increasing ids.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::capture(self, 0)
+    }
+
+    /// Restores this CPU to a snapshot's exact state.
+    ///
+    /// # Errors
+    /// [`RestoreError`] when the snapshot's version or configuration does
+    /// not match, or its checksum no longer verifies.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), RestoreError> {
+        snap.restore_into(self)
+    }
+
+    /// Records that a snapshot with the given id was just taken — called
+    /// by the checkpoint machinery so terminal faults can carry their
+    /// resume point (see [`ReplayContext`]).
+    pub fn note_checkpoint(&mut self, id: u64) {
+        self.last_snapshot = Some(id);
+    }
+
+    /// Records the journal position (events applied so far) — called by
+    /// the fault injector and the replayer after each applied event.
+    pub fn note_journal_position(&mut self, pos: u64) {
+        self.journal_pos = Some(pos);
+    }
+
+    /// The replay coordinates attached to terminal faults.
+    pub fn replay_context(&self) -> ReplayContext {
+        ReplayContext {
+            snapshot: self.last_snapshot,
+            journal_pos: self.journal_pos,
+        }
+    }
+
+    /// Clones every field of the processor into a [`CpuState`] (the
+    /// register/state half of a snapshot; memory is captured separately).
+    pub(crate) fn capture_state(&self) -> CpuState {
+        CpuState {
+            regs: self.regs.clone(),
+            pc: self.pc,
+            last_pc: self.last_pc,
+            flags: self.flags,
+            interrupts_enabled: self.interrupts_enabled,
+            wstack_ptr: self.wstack_ptr,
+            pending_target: self.pending_target,
+            last_write: self.last_write,
+            halted: self.halted,
+            stats: self.stats.clone(),
+            trace: self.trace.clone(),
+            interrupt_handler: self.interrupt_handler,
+            interrupt_pending: self.interrupt_pending,
+            trap_handlers: self.trap_handlers,
+            active_trap: self.active_trap,
+            pending_probe: self.pending_probe,
+            fuel_limit: self.fuel_limit,
+            last_snapshot: self.last_snapshot,
+            journal_pos: self.journal_pos,
+        }
+    }
+
+    /// Overwrites every field of the processor from a [`CpuState`].
+    pub(crate) fn apply_state(&mut self, s: &CpuState) {
+        self.regs = s.regs.clone();
+        self.pc = s.pc;
+        self.last_pc = s.last_pc;
+        self.flags = s.flags;
+        self.interrupts_enabled = s.interrupts_enabled;
+        self.wstack_ptr = s.wstack_ptr;
+        self.pending_target = s.pending_target;
+        self.last_write = s.last_write;
+        self.halted = s.halted;
+        self.stats = s.stats.clone();
+        self.trace = s.trace.clone();
+        self.interrupt_handler = s.interrupt_handler;
+        self.interrupt_pending = s.interrupt_pending;
+        self.trap_handlers = s.trap_handlers;
+        self.active_trap = s.active_trap;
+        self.pending_probe = s.pending_probe;
+        self.fuel_limit = s.fuel_limit;
+        self.last_snapshot = s.last_snapshot;
+        self.journal_pos = s.journal_pos;
     }
 
     /// Statistics accumulated so far (window counters synced).
@@ -887,6 +1007,7 @@ impl Cpu {
                 pc: restart,
                 first,
                 second: kind,
+                ctx: self.replay_context(),
             });
         }
         let mut cycles = self.cfg.trap_overhead_cycles;
@@ -1650,6 +1771,7 @@ mod tests {
                 pc: 0x204,
                 first: TrapKind::Misaligned,
                 second: TrapKind::Misaligned,
+                ctx: ReplayContext::default(),
             }
         );
     }

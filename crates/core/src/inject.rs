@@ -326,6 +326,9 @@ impl FaultInjector {
             at_instruction: cpu.stats().instructions,
             kind,
         });
+        // Keep the CPU's replay context current: a terminal fault reports
+        // how many journal events had been applied when it struck.
+        cpu.note_journal_position(self.events.len() as u64);
     }
 }
 

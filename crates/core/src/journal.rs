@@ -1,0 +1,953 @@
+//! Record–replay journals: every nondeterministic input of a run, in a
+//! self-contained, serializable form.
+//!
+//! The simulator itself is deterministic; the only nondeterminism comes
+//! from the *outside* — the fault injector's perturbations (bit flips,
+//! spurious interrupts, probes, fuel jitter). A [`Journal`] captures a
+//! complete campaign: the program image, its arguments, the configuration,
+//! and every applied perturbation keyed by **step index** (the count of
+//! `pre_step` calls, *not* the retired-instruction count — trap and
+//! interrupt delivery steps do not retire an instruction, so several
+//! events can share one instruction index but never one step index).
+//! Re-applying the events at the recorded steps reproduces the run bit
+//! for bit.
+//!
+//! Journals serialize to plain JSON ([`Journal::to_json`] /
+//! [`Journal::from_json`]) with a hand-rolled writer and parser — the
+//! workspace deliberately has no external dependencies.
+
+use crate::config::{BranchModel, SimConfig};
+use crate::cpu::Cpu;
+use crate::inject::InjectKind;
+use crate::program::Program;
+use crate::trap::TrapKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Journal format version; bumped whenever the JSON shape changes.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One recorded perturbation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Step index (count of pre-step points since reset) at which the
+    /// event was applied. This is the replay key.
+    pub step: u64,
+    /// Instructions retired at that point — diagnostic only; several
+    /// events can share an instruction index.
+    pub at_instruction: u64,
+    /// What was applied.
+    pub kind: InjectKind,
+}
+
+impl fmt::Display for JournalEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {:<10} (insn {:<10}) {}",
+            self.step, self.at_instruction, self.kind
+        )
+    }
+}
+
+/// The outcome the recorded run ended with, for replay comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedOutcome {
+    /// Stable textual signature: `halt <result>` or the fault's Display
+    /// string (which deliberately omits replay context).
+    pub signature: String,
+    /// Instructions retired in total.
+    pub instructions: u64,
+    /// Per-cause trap counts, indexed by [`TrapKind::index`].
+    pub trap_counts: [u64; TrapKind::COUNT],
+}
+
+/// A complete, self-contained record of one injected run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    /// Format version ([`JOURNAL_VERSION`] when produced by this build).
+    pub version: u32,
+    /// Seed of the campaign that produced the events (provenance only —
+    /// replay applies the recorded events, it does not re-roll).
+    pub seed: u64,
+    /// Injection rate of the recording campaign (provenance only).
+    pub rate: u32,
+    /// Whether recovery handlers were installed for the recorded run.
+    pub recovery: bool,
+    /// Simulator configuration of the recorded run.
+    pub cfg: SimConfig,
+    /// Program text, one word per instruction.
+    pub words: Vec<u32>,
+    /// Entry offset into the text, in bytes.
+    pub entry_offset: u32,
+    /// Initial data images `(addr, bytes)`.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Arguments passed to the program.
+    pub args: Vec<i32>,
+    /// The perturbations, ordered by step index.
+    pub events: Vec<JournalEvent>,
+    /// The outcome the recording ended with, if the recorder stored one.
+    pub outcome: Option<RecordedOutcome>,
+}
+
+impl Journal {
+    /// Reconstructs the recorded program image.
+    pub fn program(&self) -> Program {
+        Program {
+            words: self.words.clone(),
+            entry_offset: self.entry_offset,
+            data: self.data.clone(),
+            symbols: HashMap::new(),
+        }
+    }
+
+    /// Re-applies one recorded perturbation to `cpu`, exactly as the
+    /// injector originally did.
+    pub fn apply_event(cpu: &mut Cpu, kind: InjectKind) {
+        match kind {
+            InjectKind::BitFlip { addr, bit } | InjectKind::WstackCorruption { addr, bit } => {
+                let _ = cpu.mem.flip_bit(addr, bit);
+            }
+            InjectKind::SpuriousInterrupt => cpu.raise_interrupt(),
+            InjectKind::DecodeProbe => cpu.inject_probe(TrapKind::Decode),
+            InjectKind::MisalignProbe => cpu.inject_probe(TrapKind::Misaligned),
+            InjectKind::FuelJitter { new_limit } => cpu.set_fuel_limit(new_limit),
+        }
+    }
+
+    /// Serializes the journal to JSON.
+    pub fn to_json(&self) -> String {
+        let mut w = Writer::new();
+        w.obj_open();
+        w.key("version");
+        w.num(i128::from(self.version));
+        w.key("seed");
+        w.num(i128::from(self.seed));
+        w.key("rate");
+        w.num(i128::from(self.rate));
+        w.key("recovery");
+        w.bool(self.recovery);
+        w.key("config");
+        write_config(&mut w, &self.cfg);
+        w.key("program");
+        w.obj_open();
+        w.key("entry_offset");
+        w.num(i128::from(self.entry_offset));
+        w.key("words");
+        w.arr_open();
+        for &word in &self.words {
+            w.num(i128::from(word));
+        }
+        w.arr_close();
+        w.key("data");
+        w.arr_open();
+        for (addr, bytes) in &self.data {
+            w.obj_open();
+            w.key("addr");
+            w.num(i128::from(*addr));
+            w.key("bytes");
+            w.arr_open();
+            for &b in bytes {
+                w.num(i128::from(b));
+            }
+            w.arr_close();
+            w.obj_close();
+        }
+        w.arr_close();
+        w.obj_close();
+        w.key("args");
+        w.arr_open();
+        for &a in &self.args {
+            w.num(i128::from(a));
+        }
+        w.arr_close();
+        w.key("events");
+        w.arr_open();
+        for ev in &self.events {
+            write_event(&mut w, ev);
+        }
+        w.arr_close();
+        w.key("outcome");
+        match &self.outcome {
+            None => w.null(),
+            Some(o) => {
+                w.obj_open();
+                w.key("signature");
+                w.str(&o.signature);
+                w.key("instructions");
+                w.num(i128::from(o.instructions));
+                w.key("trap_counts");
+                w.arr_open();
+                for &c in &o.trap_counts {
+                    w.num(i128::from(c));
+                }
+                w.arr_close();
+                w.obj_close();
+            }
+        }
+        w.obj_close();
+        w.finish()
+    }
+
+    /// Parses a journal from JSON.
+    ///
+    /// # Errors
+    /// [`JournalError`] on malformed JSON, a schema mismatch, or an
+    /// unsupported format version.
+    pub fn from_json(text: &str) -> Result<Journal, JournalError> {
+        let root = Parser::new(text).parse_document()?;
+        let obj = root.as_obj("journal")?;
+        let version = get(obj, "version")?.as_u32("version")?;
+        if version != JOURNAL_VERSION {
+            return Err(JournalError::Version { found: version });
+        }
+        let prog = get(obj, "program")?.as_obj("program")?;
+        let mut data = Vec::new();
+        for (i, item) in get(prog, "data")?.as_arr("data")?.iter().enumerate() {
+            let o = item.as_obj("data entry")?;
+            let addr = get(o, "addr")?.as_u32("data addr")?;
+            let bytes = get(o, "bytes")?
+                .as_arr("data bytes")?
+                .iter()
+                .map(|v| v.as_u8("data byte"))
+                .collect::<Result<Vec<u8>, _>>()
+                .map_err(|e| e.in_context(&format!("data[{i}]")))?;
+            data.push((addr, bytes));
+        }
+        let mut events = Vec::new();
+        for item in get(obj, "events")?.as_arr("events")? {
+            events.push(read_event(item.as_obj("event")?)?);
+        }
+        let outcome = match get(obj, "outcome")? {
+            Json::Null => None,
+            v => {
+                let o = v.as_obj("outcome")?;
+                let counts = get(o, "trap_counts")?.as_arr("trap_counts")?;
+                if counts.len() != TrapKind::COUNT {
+                    return Err(JournalError::schema("trap_counts must have 6 entries"));
+                }
+                let mut trap_counts = [0u64; TrapKind::COUNT];
+                for (slot, v) in trap_counts.iter_mut().zip(counts) {
+                    *slot = v.as_u64("trap count")?;
+                }
+                Some(RecordedOutcome {
+                    signature: get(o, "signature")?.as_str("signature")?.to_owned(),
+                    instructions: get(o, "instructions")?.as_u64("instructions")?,
+                    trap_counts,
+                })
+            }
+        };
+        Ok(Journal {
+            version,
+            seed: get(obj, "seed")?.as_u64("seed")?,
+            rate: get(obj, "rate")?.as_u32("rate")?,
+            recovery: get(obj, "recovery")?.as_bool("recovery")?,
+            cfg: read_config(get(obj, "config")?.as_obj("config")?)?,
+            words: get(prog, "words")?
+                .as_arr("words")?
+                .iter()
+                .map(|v| v.as_u32("word"))
+                .collect::<Result<_, _>>()?,
+            entry_offset: get(prog, "entry_offset")?.as_u32("entry_offset")?,
+            data,
+            args: get(obj, "args")?
+                .as_arr("args")?
+                .iter()
+                .map(|v| v.as_i32("arg"))
+                .collect::<Result<_, _>>()?,
+            events,
+            outcome,
+        })
+    }
+}
+
+fn write_config(w: &mut Writer, cfg: &SimConfig) {
+    w.obj_open();
+    w.key("windows");
+    w.num(cfg.windows as i128);
+    w.key("mem_bytes");
+    w.num(cfg.mem_bytes as i128);
+    w.key("code_base");
+    w.num(i128::from(cfg.code_base));
+    w.key("stack_top");
+    w.num(i128::from(cfg.stack_top));
+    w.key("window_stack_top");
+    w.num(i128::from(cfg.window_stack_top));
+    w.key("trap_overhead_cycles");
+    w.num(i128::from(cfg.trap_overhead_cycles));
+    w.key("branch_model");
+    w.str(match cfg.branch_model {
+        BranchModel::Delayed => "delayed",
+        BranchModel::Suspended => "suspended",
+    });
+    w.key("forwarding");
+    w.bool(cfg.forwarding);
+    w.key("fuel");
+    w.num(i128::from(cfg.fuel));
+    w.key("trap_base");
+    match cfg.trap_base {
+        None => w.null(),
+        Some(b) => w.num(i128::from(b)),
+    }
+    w.key("record_trace");
+    w.bool(cfg.record_trace);
+    w.obj_close();
+}
+
+fn read_config(obj: &[(String, Json)]) -> Result<SimConfig, JournalError> {
+    Ok(SimConfig {
+        windows: get(obj, "windows")?.as_u64("windows")? as usize,
+        mem_bytes: get(obj, "mem_bytes")?.as_u64("mem_bytes")? as usize,
+        code_base: get(obj, "code_base")?.as_u32("code_base")?,
+        stack_top: get(obj, "stack_top")?.as_u32("stack_top")?,
+        window_stack_top: get(obj, "window_stack_top")?.as_u32("window_stack_top")?,
+        trap_overhead_cycles: get(obj, "trap_overhead_cycles")?.as_u64("trap_overhead_cycles")?,
+        branch_model: match get(obj, "branch_model")?.as_str("branch_model")? {
+            "delayed" => BranchModel::Delayed,
+            "suspended" => BranchModel::Suspended,
+            other => {
+                return Err(JournalError::schema(&format!(
+                    "unknown branch_model {other:?}"
+                )))
+            }
+        },
+        forwarding: get(obj, "forwarding")?.as_bool("forwarding")?,
+        fuel: get(obj, "fuel")?.as_u64("fuel")?,
+        trap_base: match get(obj, "trap_base")? {
+            Json::Null => None,
+            v => Some(v.as_u32("trap_base")?),
+        },
+        record_trace: get(obj, "record_trace")?.as_bool("record_trace")?,
+    })
+}
+
+fn write_event(w: &mut Writer, ev: &JournalEvent) {
+    w.obj_open();
+    w.key("step");
+    w.num(i128::from(ev.step));
+    w.key("at_instruction");
+    w.num(i128::from(ev.at_instruction));
+    w.key("kind");
+    match ev.kind {
+        InjectKind::BitFlip { addr, bit } => {
+            w.str("bit-flip");
+            w.key("addr");
+            w.num(i128::from(addr));
+            w.key("bit");
+            w.num(i128::from(bit));
+        }
+        InjectKind::SpuriousInterrupt => w.str("spurious-interrupt"),
+        InjectKind::DecodeProbe => w.str("decode-probe"),
+        InjectKind::MisalignProbe => w.str("misalign-probe"),
+        InjectKind::FuelJitter { new_limit } => {
+            w.str("fuel-jitter");
+            w.key("new_limit");
+            w.num(i128::from(new_limit));
+        }
+        InjectKind::WstackCorruption { addr, bit } => {
+            w.str("wstack-corruption");
+            w.key("addr");
+            w.num(i128::from(addr));
+            w.key("bit");
+            w.num(i128::from(bit));
+        }
+    }
+    w.obj_close();
+}
+
+fn read_event(obj: &[(String, Json)]) -> Result<JournalEvent, JournalError> {
+    let kind = match get(obj, "kind")?.as_str("kind")? {
+        "bit-flip" => InjectKind::BitFlip {
+            addr: get(obj, "addr")?.as_u32("addr")?,
+            bit: get(obj, "bit")?.as_u8("bit")?,
+        },
+        "spurious-interrupt" => InjectKind::SpuriousInterrupt,
+        "decode-probe" => InjectKind::DecodeProbe,
+        "misalign-probe" => InjectKind::MisalignProbe,
+        "fuel-jitter" => InjectKind::FuelJitter {
+            new_limit: get(obj, "new_limit")?.as_u64("new_limit")?,
+        },
+        "wstack-corruption" => InjectKind::WstackCorruption {
+            addr: get(obj, "addr")?.as_u32("addr")?,
+            bit: get(obj, "bit")?.as_u8("bit")?,
+        },
+        other => {
+            return Err(JournalError::schema(&format!(
+                "unknown event kind {other:?}"
+            )))
+        }
+    };
+    Ok(JournalEvent {
+        step: get(obj, "step")?.as_u64("step")?,
+        at_instruction: get(obj, "at_instruction")?.as_u64("at_instruction")?,
+        kind,
+    })
+}
+
+/// Why a journal could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The text is not well-formed JSON.
+    Parse {
+        /// Byte offset of the problem.
+        pos: usize,
+        /// What was expected.
+        msg: String,
+    },
+    /// The JSON is well-formed but does not match the journal schema.
+    Schema(String),
+    /// The journal was written by an unsupported format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl JournalError {
+    fn schema(msg: &str) -> JournalError {
+        JournalError::Schema(msg.to_owned())
+    }
+
+    fn in_context(self, ctx: &str) -> JournalError {
+        match self {
+            JournalError::Schema(m) => JournalError::Schema(format!("{ctx}: {m}")),
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Parse { pos, msg } => write!(f, "invalid JSON at byte {pos}: {msg}"),
+            JournalError::Schema(msg) => write!(f, "journal schema error: {msg}"),
+            JournalError::Version { found } => write!(
+                f,
+                "journal version {found} (this build reads {JOURNAL_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+// ---------------------------------------------------------------------
+// Minimal JSON machinery (the workspace has no external dependencies).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are integers — the journal format uses no
+/// floats — held as `i128` so the full `u64` range round-trips.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(i128),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], JournalError> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(JournalError::schema(&format!("{what}: expected an object"))),
+        }
+    }
+
+    fn as_arr(&self, what: &str) -> Result<&[Json], JournalError> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(JournalError::schema(&format!("{what}: expected an array"))),
+        }
+    }
+
+    fn as_str(&self, what: &str) -> Result<&str, JournalError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(JournalError::schema(&format!("{what}: expected a string"))),
+        }
+    }
+
+    fn as_bool(&self, what: &str) -> Result<bool, JournalError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(JournalError::schema(&format!("{what}: expected a bool"))),
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<i128, JournalError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(JournalError::schema(&format!("{what}: expected a number"))),
+        }
+    }
+
+    fn as_u64(&self, what: &str) -> Result<u64, JournalError> {
+        u64::try_from(self.as_num(what)?)
+            .map_err(|_| JournalError::schema(&format!("{what}: out of u64 range")))
+    }
+
+    fn as_u32(&self, what: &str) -> Result<u32, JournalError> {
+        u32::try_from(self.as_num(what)?)
+            .map_err(|_| JournalError::schema(&format!("{what}: out of u32 range")))
+    }
+
+    fn as_u8(&self, what: &str) -> Result<u8, JournalError> {
+        u8::try_from(self.as_num(what)?)
+            .map_err(|_| JournalError::schema(&format!("{what}: out of u8 range")))
+    }
+
+    fn as_i32(&self, what: &str) -> Result<i32, JournalError> {
+        i32::try_from(self.as_num(what)?)
+            .map_err(|_| JournalError::schema(&format!("{what}: out of i32 range")))
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, JournalError> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| JournalError::schema(&format!("missing key {key:?}")))
+}
+
+/// Compact JSON writer.
+struct Writer {
+    out: String,
+    /// Whether the next emission at the current nesting level needs a
+    /// comma separator before it.
+    need_comma: bool,
+}
+
+impl Writer {
+    fn new() -> Writer {
+        Writer {
+            out: String::new(),
+            need_comma: false,
+        }
+    }
+
+    fn sep(&mut self) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        self.need_comma = true;
+    }
+
+    fn obj_open(&mut self) {
+        self.sep();
+        self.out.push('{');
+        self.need_comma = false;
+    }
+
+    fn obj_close(&mut self) {
+        self.out.push('}');
+        self.need_comma = true;
+    }
+
+    fn arr_open(&mut self) {
+        self.sep();
+        self.out.push('[');
+        self.need_comma = false;
+    }
+
+    fn arr_close(&mut self) {
+        self.out.push(']');
+        self.need_comma = true;
+    }
+
+    fn key(&mut self, k: &str) {
+        self.sep();
+        self.push_string(k);
+        self.out.push(':');
+        self.need_comma = false;
+    }
+
+    fn num(&mut self, n: i128) {
+        self.sep();
+        self.out.push_str(&n.to_string());
+    }
+
+    fn bool(&mut self, b: bool) {
+        self.sep();
+        self.out.push_str(if b { "true" } else { "false" });
+    }
+
+    fn null(&mut self) {
+        self.sep();
+        self.out.push_str("null");
+    }
+
+    fn str(&mut self, s: &str) {
+        self.sep();
+        self.push_string(s);
+    }
+
+    fn push_string(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Recursive-descent JSON parser, just large enough for the journal
+/// format (integers only; no floats, no exponents).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> JournalError {
+        JournalError::Parse {
+            pos: self.pos,
+            msg: msg.to_owned(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JournalError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, JournalError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JournalError> {
+        match self.peek() {
+            Some(b'{') => self.parse_obj(),
+            Some(b'[') => self.parse_arr(),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_num(),
+            Some(b't') | Some(b'f') => {
+                if self.eat_keyword("true") {
+                    Ok(Json::Bool(true))
+                } else if self.eat_keyword("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(self.err("expected a value"))
+                }
+            }
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Json::Null)
+                } else {
+                    Err(self.err("expected a value"))
+                }
+            }
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Json, JournalError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            entries.push((key, self.parse_value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Json, JournalError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JournalError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain UTF-8 up to the next quote/escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_num(&mut self) -> Result<Json, JournalError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
+            return Err(self.err("expected digits"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<i128>()
+            .map(Json::Num)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_journal() -> Journal {
+        Journal {
+            version: JOURNAL_VERSION,
+            seed: u64::MAX - 3, // exercises the full u64 range in JSON
+            rate: 150,
+            recovery: true,
+            cfg: SimConfig {
+                trap_base: Some(0x40),
+                ..SimConfig::default()
+            },
+            words: vec![0xdead_beef, 0x0000_0001, u32::MAX],
+            entry_offset: 8,
+            data: vec![(0x2000, vec![1, 2, 255]), (0x3000, vec![])],
+            args: vec![-7, 0, 1 << 30],
+            events: vec![
+                JournalEvent {
+                    step: 3,
+                    at_instruction: 3,
+                    kind: InjectKind::BitFlip {
+                        addr: 0x1234,
+                        bit: 7,
+                    },
+                },
+                JournalEvent {
+                    step: 4,
+                    at_instruction: 3,
+                    kind: InjectKind::SpuriousInterrupt,
+                },
+                JournalEvent {
+                    step: 90,
+                    at_instruction: 81,
+                    kind: InjectKind::FuelJitter {
+                        new_limit: u64::MAX / 2,
+                    },
+                },
+                JournalEvent {
+                    step: 91,
+                    at_instruction: 81,
+                    kind: InjectKind::DecodeProbe,
+                },
+                JournalEvent {
+                    step: 92,
+                    at_instruction: 82,
+                    kind: InjectKind::MisalignProbe,
+                },
+                JournalEvent {
+                    step: 100,
+                    at_instruction: 88,
+                    kind: InjectKind::WstackCorruption {
+                        addr: 0xe0004,
+                        bit: 0,
+                    },
+                },
+            ],
+            outcome: Some(RecordedOutcome {
+                signature: "double fault: \"quoted\"\nnext".to_owned(),
+                instructions: 12345,
+                trap_counts: [1, 0, 2, 0, 0, 3],
+            }),
+        }
+    }
+
+    #[test]
+    fn journal_round_trips_through_json() {
+        let j = sample_journal();
+        let text = j.to_json();
+        let back = Journal::from_json(&text).unwrap();
+        assert_eq!(back, j);
+
+        // No outcome round-trips as JSON null.
+        let mut j2 = j;
+        j2.outcome = None;
+        assert_eq!(Journal::from_json(&j2.to_json()).unwrap(), j2);
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_rejects_garbage() {
+        // Use a journal whose strings contain no ':' or ',' so the
+        // whitespace-injecting replace below cannot corrupt them.
+        let mut j = sample_journal();
+        j.outcome.as_mut().unwrap().signature = "halt 42".to_owned();
+        // Re-serialize with gratuitous whitespace: still parses.
+        let spaced = j.to_json().replace(',', " ,\n  ").replace(':', " : ");
+        assert_eq!(Journal::from_json(&spaced).unwrap(), j);
+
+        for bad in [
+            "",
+            "{",
+            "{\"version\":}",
+            "{\"version\":1} trailing",
+            "[1,2,",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "{\"version\":99999999999999999999999999999999999999999}",
+        ] {
+            assert!(
+                matches!(Journal::from_json(bad), Err(JournalError::Parse { .. })),
+                "{bad:?} should be a parse error"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_and_version_errors_are_distinguished() {
+        assert!(matches!(
+            Journal::from_json("{\"no_version\":true}"),
+            Err(JournalError::Schema(_))
+        ));
+        assert!(matches!(
+            Journal::from_json("{\"version\":2}"),
+            Err(JournalError::Version { found: 2 })
+        ));
+        assert!(matches!(
+            Journal::from_json("[1,2,3]"),
+            Err(JournalError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn program_reconstruction_matches() {
+        let j = sample_journal();
+        let p = j.program();
+        assert_eq!(p.words, j.words);
+        assert_eq!(p.entry_offset, j.entry_offset);
+        assert_eq!(p.data, j.data);
+        assert!(p.symbols.is_empty());
+    }
+}

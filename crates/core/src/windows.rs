@@ -120,6 +120,26 @@ impl WindowFile {
         (self.cwp + self.windows - (self.resident - 1)) % self.windows
     }
 
+    /// Feeds the complete state of the file (globals, ring, pointers,
+    /// counters) into `sink` in a fixed order — the snapshot-checksum
+    /// primitive.
+    pub(crate) fn for_each_word(&self, mut sink: impl FnMut(u64)) {
+        for &g in &self.globals {
+            sink(u64::from(g));
+        }
+        for &r in &self.ring {
+            sink(u64::from(r));
+        }
+        sink(self.windows as u64);
+        sink(self.cwp as u64);
+        sink(self.resident as u64);
+        sink(self.depth);
+        sink(self.spilled);
+        sink(self.max_depth);
+        sink(self.overflows);
+        sink(self.underflows);
+    }
+
     /// Physical ring index of `offset` within the 16 slots owned by
     /// `window`.
     fn slot(&self, window: usize, offset: usize) -> usize {

@@ -1,0 +1,4 @@
+//! Prints the e14_checkpoint_overhead experiment report (see `risc1_experiments::e14_checkpoint_overhead`).
+fn main() {
+    print!("{}", risc1_experiments::e14_checkpoint_overhead::run());
+}

@@ -1,0 +1,197 @@
+//! E14 — pricing checkpoints: modeled cost vs. checkpoint interval.
+//!
+//! The supervisor (PR 3) takes an incremental snapshot every N retired
+//! instructions so a fault can roll back instead of killing the run. Each
+//! checkpoint costs a fixed register/state copy plus one cycle per dirty
+//! memory word copied ([`CKPT_BASE_CYCLES`]; the cost is *modeled*
+//! deterministically, never perturbing the simulated machine). This
+//! experiment sweeps the interval across the workload suite and reports
+//! the overhead — modeled checkpoint cycles as a fraction of the run's
+//! execution cycles. The claim under test: at the default interval
+//! ([`DEFAULT_CKPT_EVERY`]) the mean overhead stays below 10%.
+
+use risc1_core::{SimConfig, CKPT_BASE_CYCLES};
+use risc1_ir::{
+    compile_risc, run_risc, run_risc_supervised, RiscOpts, SupervisorConfig, DEFAULT_CKPT_EVERY,
+};
+use risc1_stats::Table;
+use risc1_workloads::all;
+
+/// Checkpoint intervals swept (retired instructions between checkpoints).
+/// The middle entry is the supervisor default.
+pub const INTERVALS: [u64; 4] = [1_000, 5_000, DEFAULT_CKPT_EVERY, 100_000];
+
+/// Checkpoint cost at one interval for one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalCost {
+    /// The interval, in retired instructions.
+    pub interval: u64,
+    /// Checkpoints taken over the run.
+    pub checkpoints: u64,
+    /// Dirty pages copied in total.
+    pub pages_copied: u64,
+    /// Modeled checkpoint cycles in total.
+    pub modeled_cycles: u64,
+    /// Modeled checkpoint cycles / execution cycles.
+    pub overhead: f64,
+}
+
+/// One workload's row of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadRow {
+    /// Workload id.
+    pub id: &'static str,
+    /// Instructions the uninjected run retires.
+    pub instructions: u64,
+    /// Cycles the uninjected run takes.
+    pub cycles: u64,
+    /// Cost at each entry of [`INTERVALS`], in order.
+    pub costs: Vec<IntervalCost>,
+}
+
+/// Sweeps every workload (small arguments) across [`INTERVALS`] under the
+/// supervisor with injection disabled, so the only new cost is
+/// checkpointing itself.
+pub fn compute() -> Vec<OverheadRow> {
+    all()
+        .iter()
+        .map(|w| {
+            let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+            let (_, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
+            let costs = INTERVALS
+                .iter()
+                .map(|&interval| {
+                    let report = run_risc_supervised(
+                        &prog,
+                        &w.small_args,
+                        SimConfig::default(),
+                        None,
+                        false,
+                        SupervisorConfig {
+                            ckpt_every: interval,
+                            ..SupervisorConfig::default()
+                        },
+                    )
+                    .expect("setup is valid");
+                    IntervalCost {
+                        interval,
+                        checkpoints: report.checkpoints.checkpoints,
+                        pages_copied: report.checkpoints.pages_copied,
+                        modeled_cycles: report.checkpoints.modeled_cycles,
+                        overhead: report.checkpoint_overhead(),
+                    }
+                })
+                .collect();
+            OverheadRow {
+                id: w.id,
+                instructions: base.instructions,
+                cycles: base.cycles,
+                costs,
+            }
+        })
+        .collect()
+}
+
+/// Mean overhead across the suite at interval index `i` of [`INTERVALS`].
+pub fn mean_overhead(rows: &[OverheadRow], i: usize) -> f64 {
+    let sum: f64 = rows.iter().map(|r| r.costs[i].overhead).sum();
+    sum / rows.len().max(1) as f64
+}
+
+/// Renders the sweep.
+pub fn run() -> String {
+    let rows = compute();
+    let mut headers = vec!["benchmark".to_string(), "instructions".to_string()];
+    for &iv in &INTERVALS {
+        headers.push(format!("every {iv}"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    for r in &rows {
+        let mut cells = vec![r.id.to_string(), r.instructions.to_string()];
+        for c in &r.costs {
+            cells.push(format!(
+                "{:.2}% ({} ckpts)",
+                c.overhead * 100.0,
+                c.checkpoints
+            ));
+        }
+        t.row(cells);
+    }
+    let default_idx = INTERVALS
+        .iter()
+        .position(|&iv| iv == DEFAULT_CKPT_EVERY)
+        .expect("default interval is swept");
+    let mean = mean_overhead(&rows, default_idx) * 100.0;
+    format!(
+        "E14 — checkpoint overhead vs. interval (supervised runs, no injection;\n\
+         cost model: {CKPT_BASE_CYCLES} cycles per checkpoint + 1 cycle per dirty word copied)\n\n\
+         {t}\n\
+         mean overhead at the default interval ({DEFAULT_CKPT_EVERY} instructions): {mean:.2}%\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_at_the_default_interval_stays_under_ten_percent() {
+        let rows = compute();
+        let default_idx = INTERVALS
+            .iter()
+            .position(|&iv| iv == DEFAULT_CKPT_EVERY)
+            .unwrap();
+        let mean = mean_overhead(&rows, default_idx);
+        assert!(
+            mean <= 0.10,
+            "mean checkpoint overhead at the default interval is {:.2}%",
+            mean * 100.0
+        );
+    }
+
+    #[test]
+    fn denser_checkpointing_costs_monotonically_more() {
+        for r in compute() {
+            for pair in r.costs.windows(2) {
+                assert!(
+                    pair[0].modeled_cycles >= pair[1].modeled_cycles,
+                    "{}: interval {} costs less than interval {}",
+                    r.id,
+                    pair[0].interval,
+                    pair[1].interval
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn supervision_never_perturbs_the_run() {
+        // The checkpoint cost is modeled on the side: the supervised run's
+        // own statistics must equal the plain run's, bit for bit.
+        for w in all().iter().take(4) {
+            let prog = compile_risc(&w.module, RiscOpts::default()).unwrap();
+            let (result, stats) = run_risc(&prog, &w.small_args).unwrap();
+            let report = run_risc_supervised(
+                &prog,
+                &w.small_args,
+                SimConfig::default(),
+                None,
+                false,
+                SupervisorConfig {
+                    ckpt_every: 1_000,
+                    ..SupervisorConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(report.is_halted());
+            assert_eq!(
+                report.outcome,
+                risc1_ir::SupervisorOutcome::Halted { result },
+                "{}",
+                w.id
+            );
+            assert_eq!(report.stats, stats, "{}", w.id);
+        }
+    }
+}

@@ -18,6 +18,7 @@ pub mod e10_area;
 pub mod e11_pipeline_trace;
 pub mod e12_instruction_mix;
 pub mod e13_fault_recovery;
+pub mod e14_checkpoint_overhead;
 pub mod e1_complexity;
 pub mod e2_instruction_set;
 pub mod e3_formats;
@@ -45,6 +46,7 @@ pub fn run_all() -> String {
         e11_pipeline_trace::run(),
         e12_instruction_mix::run(),
         e13_fault_recovery::run(),
+        e14_checkpoint_overhead::run(),
         ablations::run(),
     ]
     .join("\n\n")

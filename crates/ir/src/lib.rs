@@ -46,15 +46,23 @@ pub mod interp;
 pub mod layout;
 pub mod m68;
 pub mod rasm;
+pub mod replay;
 pub mod risc;
 pub mod runner;
+pub mod supervise;
 
 pub use ast::{BinOp, CmpOp, Expr, Function, Global, Module, Stmt, ValidateError};
 pub use cx::compile_cx;
 pub use interp::{interpret, InterpError};
 pub use m68::compile_mc;
+pub use replay::{
+    minimize_journal, outcome_signature, record_risc_injected, recorded_outcome, replay_journal,
+};
 pub use risc::{compile_risc, RiscOpts};
 pub use runner::{
     run_cx, run_cx_with, run_mc, run_mc_with, run_risc, run_risc_injected, run_risc_with,
     CodegenError, InjectOutcome, InjectReport, InjectSetupError,
+};
+pub use supervise::{
+    run_risc_supervised, SupervisorConfig, SupervisorOutcome, SupervisorReport, DEFAULT_CKPT_EVERY,
 };

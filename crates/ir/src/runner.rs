@@ -187,18 +187,7 @@ pub fn run_risc_injected(
     recovery: bool,
 ) -> Result<InjectReport, InjectSetupError> {
     let mut injector = FaultInjector::new(inject);
-    let mut cpu = Cpu::new(cfg);
-    cpu.load_program(prog).map_err(InjectSetupError::Load)?;
-    cpu.try_set_args(args).map_err(InjectSetupError::Args)?;
-    if recovery {
-        risc1_core::inject::install_recovery_handlers(&mut cpu, RECOVERY_STUB_BASE)
-            .map_err(InjectSetupError::Load)?;
-    }
-    for (i, &a) in args.iter().enumerate() {
-        let _ = cpu
-            .mem
-            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
-    }
+    let mut cpu = setup_injected_cpu(prog, args, cfg, recovery)?;
     let outcome = loop {
         injector.pre_step(&mut cpu);
         match cpu.step() {
@@ -216,6 +205,32 @@ pub fn run_risc_injected(
         stats: cpu.stats(),
         events: injector.events().to_vec(),
     })
+}
+
+/// Arranges a CPU for an injected / recorded / replayed / supervised run:
+/// loads the program, sets register + ARGV-mirror arguments, and (when
+/// `recovery` is set) installs the per-cause recovery stubs at
+/// [`RECOVERY_STUB_BASE`]. Shared by every injection-flavoured entry point
+/// so they all start from bit-identical machines.
+pub(crate) fn setup_injected_cpu(
+    prog: &Program,
+    args: &[i32],
+    cfg: SimConfig,
+    recovery: bool,
+) -> Result<Cpu, InjectSetupError> {
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_program(prog).map_err(InjectSetupError::Load)?;
+    cpu.try_set_args(args).map_err(InjectSetupError::Args)?;
+    if recovery {
+        risc1_core::inject::install_recovery_handlers(&mut cpu, RECOVERY_STUB_BASE)
+            .map_err(InjectSetupError::Load)?;
+    }
+    for (i, &a) in args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    Ok(cpu)
 }
 
 /// Runs a compiled CX program with the given `main` arguments under the

@@ -19,4 +19,7 @@ cargo test -q
 echo "==> cargo test --test fault_injection (robustness sweep)"
 cargo test -q --test fault_injection
 
+echo "==> cargo test --test checkpoint_replay (replay determinism gate)"
+cargo test -q --test checkpoint_replay
+
 echo "All checks passed."

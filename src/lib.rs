@@ -14,3 +14,16 @@ pub use risc1_lint as lint;
 pub use risc1_m68 as m68;
 pub use risc1_stats as stats;
 pub use risc1_workloads as workloads;
+
+// Robustness surface, re-exported flat so downstream users get the whole
+// checkpoint / record–replay / supervision story without depending on
+// `risc1-core` or `risc1-ir` directly.
+pub use risc1_core::{
+    CheckpointStats, Checkpointer, Journal, JournalError, JournalEvent, RecordedOutcome,
+    ReplayContext, RestoreError, Snapshot,
+};
+pub use risc1_ir::{
+    minimize_journal, record_risc_injected, recorded_outcome, replay_journal, run_risc_injected,
+    run_risc_supervised, InjectOutcome, InjectReport, InjectSetupError, SupervisorConfig,
+    SupervisorOutcome, SupervisorReport,
+};

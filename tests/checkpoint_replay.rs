@@ -1,0 +1,262 @@
+//! The checkpoint/restore and record–replay contracts, enforced end to
+//! end across the whole workload suite.
+//!
+//! Three laws:
+//!
+//! 1. **Snapshot round-trip** (property test): snapshot at an arbitrary
+//!    instruction boundary, restore into a fresh machine, continue — the
+//!    result, `ExecStats`, and full machine digest must be bit-identical
+//!    to uninterrupted execution.
+//! 2. **Replay determinism**: for 16 seeds per workload, a recorded
+//!    faulting campaign replays to the identical outcome signature,
+//!    instruction count, per-cause trap counts, and full `ExecStats` —
+//!    including through JSON serialization; minimized journals still
+//!    reproduce the failure.
+//! 3. **Supervision rescues**: at least one workload that terminates with
+//!    a structured fault under plain injection completes cleanly under
+//!    the supervisor's rollback-and-retry.
+
+use proptest::prelude::*;
+use risc1::core::inject::{InjectConfig, InjectModes};
+use risc1::core::{Cpu, Halt, Program, SimConfig};
+use risc1::ir::layout::ARGV_BASE;
+use risc1::ir::{
+    compile_risc, minimize_journal, record_risc_injected, recorded_outcome, replay_journal,
+    run_risc, run_risc_injected, run_risc_supervised, RiscOpts, SupervisorConfig,
+    SupervisorOutcome,
+};
+use risc1::workloads::all;
+use risc1::Journal;
+use std::sync::OnceLock;
+
+/// One compiled workload: id, program, args, clean result, fuel-bounded
+/// config, and an injection rate tuned to ~4 perturbations per run.
+struct Compiled {
+    id: &'static str,
+    prog: Program,
+    args: Vec<i32>,
+    expect: i32,
+    cfg: SimConfig,
+    rate: u32,
+    instructions: u64,
+}
+
+fn suite() -> &'static Vec<Compiled> {
+    static SUITE: OnceLock<Vec<Compiled>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        all()
+            .iter()
+            .map(|w| {
+                let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+                let (expect, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
+                let cfg = SimConfig {
+                    fuel: base.instructions * 3 + 10_000,
+                    ..SimConfig::default()
+                };
+                let rate = (4 * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32;
+                Compiled {
+                    id: w.id,
+                    prog,
+                    args: w.small_args.clone(),
+                    expect,
+                    cfg,
+                    rate,
+                    instructions: base.instructions,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Sets a CPU up exactly like `run_risc_with` does (register args + ARGV
+/// mirror), so snapshot comparisons run the real execution path.
+fn fresh_cpu(w: &Compiled) -> Cpu {
+    let mut cpu = Cpu::new(w.cfg.clone());
+    cpu.load_program(&w.prog).expect("fits");
+    cpu.set_args(&w.args);
+    for (i, &a) in w.args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    cpu
+}
+
+/// Steps until at least `boundary` instructions have retired (trap
+/// delivery steps retire nothing, hence ≥) or the program halts.
+fn run_to_boundary(cpu: &mut Cpu, boundary: u64) {
+    while cpu.stats().instructions < boundary {
+        match cpu.step().expect("clean workloads do not fault") {
+            Halt::Running => {}
+            Halt::Returned => break,
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Law 1: snapshot / restore / continue is bit-identical to
+    /// uninterrupted execution — registers, memory, statistics, result —
+    /// at an arbitrary instruction boundary of an arbitrary workload.
+    #[test]
+    fn snapshot_round_trip_is_bit_identical(widx in 0usize..11, frac_permille in 0u64..1000) {
+        let w = &suite()[widx];
+        let boundary = w.instructions * frac_permille / 1000;
+
+        // Reference: run to completion untouched.
+        let mut reference = fresh_cpu(w);
+        reference.run().expect("clean run");
+        prop_assert_eq!(reference.result(), w.expect);
+
+        // Interrupted: run to the boundary, snapshot, keep going.
+        let mut original = fresh_cpu(w);
+        run_to_boundary(&mut original, boundary);
+        let snap = original.snapshot();
+        snap.verify().expect("fresh snapshots verify");
+        original.run().expect("clean continuation");
+
+        // Restored twin: a brand-new machine continued from the snapshot.
+        let mut twin = Cpu::new(w.cfg.clone());
+        twin.restore(&snap).expect("restore succeeds");
+        prop_assert_eq!(twin.stats().instructions, snap.at_instruction());
+        twin.run().expect("restored continuation");
+
+        for cpu in [&original, &twin] {
+            prop_assert_eq!(cpu.result(), w.expect, "{}", w.id);
+            prop_assert_eq!(&cpu.stats(), &reference.stats(), "{}", w.id);
+        }
+        // Full machine digest (registers, window file, memory, trap
+        // state): both timelines end in the same bits.
+        prop_assert_eq!(
+            original.snapshot().checksum(),
+            twin.snapshot().checksum(),
+            "{}", w.id
+        );
+    }
+}
+
+/// Law 2: every recorded campaign — 16 seeds per workload, recovery
+/// alternating — replays bit for bit, including through JSON; and every
+/// faulting journal still reproduces its failure after minimization.
+#[test]
+fn replay_is_deterministic_for_16_seeds_per_workload() {
+    let mut faulting: Vec<(usize, Journal)> = Vec::new();
+    for (widx, w) in suite().iter().enumerate() {
+        for seed in 0..16u64 {
+            let recovery = seed % 2 == 0;
+            let icfg = InjectConfig {
+                seed,
+                rate: w.rate,
+                modes: InjectModes::all(),
+            };
+            let (journal, recorded) =
+                record_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, recovery)
+                    .expect("setup is valid");
+            let want = journal
+                .outcome
+                .clone()
+                .expect("recorder stores the outcome");
+
+            let replayed = replay_journal(&journal).expect("replay sets up");
+            assert_eq!(
+                recorded_outcome(&replayed),
+                want,
+                "{} seed {seed}: outcome/trap-count divergence",
+                w.id
+            );
+            assert_eq!(
+                replayed.stats, recorded.stats,
+                "{} seed {seed}: full ExecStats divergence",
+                w.id
+            );
+
+            // Through JSON: parse(serialize(j)) replays identically too.
+            let back = Journal::from_json(&journal.to_json()).expect("parses");
+            assert_eq!(back, journal, "{} seed {seed}: JSON round-trip", w.id);
+
+            if want.signature.starts_with("fault") {
+                faulting.push((widx, journal));
+            }
+        }
+    }
+    assert!(
+        !faulting.is_empty(),
+        "some campaigns must fault (else nothing was injected)"
+    );
+
+    // Minimized journals reproduce the failure: one faulting campaign per
+    // workload that produced any (ddmin replays O(n²) times — keep it to
+    // journals of sane size).
+    let mut minimized_some = false;
+    let mut seen = std::collections::HashSet::new();
+    for (widx, journal) in &faulting {
+        if !seen.insert(*widx) || journal.events.len() > 32 {
+            continue;
+        }
+        let w = &suite()[*widx];
+        let min = minimize_journal(journal).expect("minimization replays");
+        assert!(
+            min.events.len() <= journal.events.len(),
+            "{}: minimization must not grow the journal",
+            w.id
+        );
+        assert_eq!(
+            min.outcome.as_ref().unwrap().signature,
+            journal.outcome.as_ref().unwrap().signature,
+            "{}: the minimized journal must reproduce the same failure",
+            w.id
+        );
+        minimized_some = true;
+    }
+    assert!(minimized_some, "at least one journal must get minimized");
+}
+
+/// Law 3 (the PR's acceptance criterion): at least one workload that
+/// terminates with a structured fault under plain injection completes
+/// cleanly — with the correct result — under the supervisor's
+/// rollback-and-retry.
+#[test]
+fn supervision_rescues_a_faulting_workload() {
+    let mut rescued = None;
+    'search: for w in suite() {
+        for seed in 0..16u64 {
+            let icfg = InjectConfig {
+                seed,
+                rate: w.rate,
+                modes: InjectModes::all(),
+            };
+            let plain = run_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, true)
+                .expect("setup is valid");
+            if plain.is_halted() {
+                continue;
+            }
+            let report = run_risc_supervised(
+                &w.prog,
+                &w.args,
+                w.cfg.clone(),
+                Some(icfg),
+                true,
+                SupervisorConfig {
+                    ckpt_every: (w.instructions / 8).max(500),
+                    max_retries: 8,
+                    ..SupervisorConfig::default()
+                },
+            )
+            .expect("setup is valid");
+            if report.outcome == (SupervisorOutcome::Halted { result: w.expect }) {
+                assert!(
+                    report.rollbacks >= 1,
+                    "{} seed {seed}: a rescue requires at least one rollback",
+                    w.id
+                );
+                assert!(report.checkpoints.checkpoints > 0 || report.rollbacks > 0);
+                rescued = Some((w.id, seed, report.attempts));
+                break 'search;
+            }
+        }
+    }
+    let (id, seed, attempts) = rescued
+        .expect("no faulting campaign was rescued by rollback-and-retry across the whole sweep");
+    assert!(attempts >= 2, "{id} seed {seed}: rescue implies a retry");
+}

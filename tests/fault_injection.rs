@@ -10,14 +10,30 @@
 
 use risc1::core::inject::{InjectConfig, InjectModes};
 use risc1::core::{ExecError, SimConfig, TrapKind};
-use risc1::ir::{compile_risc, run_risc, run_risc_injected, InjectOutcome, RiscOpts};
+use risc1::ir::{
+    compile_risc, record_risc_injected, run_risc, run_risc_injected, InjectOutcome, RiscOpts,
+};
 use risc1::workloads::all;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Compiles every workload once and pairs it with its uninjected result
-/// and a fuel-bounded configuration (so handler re-execution loops end in
-/// a structured `OutOfFuel` quickly instead of burning the default 200M).
-fn compiled_suite() -> Vec<(risc1::core::Program, Vec<i32>, i32, SimConfig, u32)> {
+/// Where the sweep dumps the journal of every faulting campaign, so a CI
+/// failure is reproducible from the uploaded artifacts alone:
+/// `risc1 replay target/replay-artifacts/<workload>_seed<N>.json`.
+const ARTIFACT_DIR: &str = "target/replay-artifacts";
+
+/// One compiled workload with its uninjected result and a fuel-bounded
+/// configuration (so handler re-execution loops end in a structured
+/// `OutOfFuel` quickly instead of burning the default 200M).
+struct Compiled {
+    id: &'static str,
+    prog: risc1::core::Program,
+    args: Vec<i32>,
+    expect: i32,
+    cfg: SimConfig,
+    rate: u32,
+}
+
+fn compiled_suite() -> Vec<Compiled> {
     all()
         .iter()
         .map(|w| {
@@ -30,7 +46,14 @@ fn compiled_suite() -> Vec<(risc1::core::Program, Vec<i32>, i32, SimConfig, u32)
             // ~4 expected perturbations per run regardless of workload
             // length, so short and long benchmarks are stressed equally.
             let rate = (4 * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32;
-            (prog, w.small_args.clone(), expect, cfg, rate)
+            Compiled {
+                id: w.id,
+                prog,
+                args: w.small_args.clone(),
+                expect,
+                cfg,
+                rate,
+            }
         })
         .collect()
 }
@@ -39,29 +62,35 @@ fn compiled_suite() -> Vec<(risc1::core::Program, Vec<i32>, i32, SimConfig, u32)
 fn trichotomy_holds_for_all_workloads_across_32_seeds() {
     let suite = compiled_suite();
     assert_eq!(suite.len(), 11, "the paper's full benchmark count");
+    let _ = std::fs::create_dir_all(ARTIFACT_DIR);
     let mut halted = 0u64;
     let mut faulted = 0u64;
-    for (prog, args, _, cfg, rate) in &suite {
+    for w in &suite {
         for seed in 0..32u64 {
             // Alternate handler installation so both halves of the design
             // see every workload: even seeds recover, odd seeds run bare.
             let recovery = seed % 2 == 0;
             let icfg = InjectConfig {
                 seed,
-                rate: *rate,
+                rate: w.rate,
                 modes: InjectModes::all(),
             };
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                run_risc_injected(prog, args, cfg.clone(), icfg, recovery)
-                    .expect("setup is valid")
-                    .outcome
+            let (journal, outcome) = catch_unwind(AssertUnwindSafe(|| {
+                let (journal, report) =
+                    record_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, recovery)
+                        .expect("setup is valid");
+                (journal, report.outcome)
             }))
             .unwrap_or_else(|_| panic!("seed {seed} (recovery {recovery}) panicked"));
             match outcome {
                 InjectOutcome::Halted { .. } => halted += 1,
                 InjectOutcome::Faulted { error } => {
-                    // A structured fault must render, not unwind.
+                    // A structured fault must render, not unwind — and its
+                    // journal lands in the artifact directory so the exact
+                    // campaign replays from the CI logs alone.
                     let _ = error.to_string();
+                    let path = format!("{ARTIFACT_DIR}/{}_seed{seed}.json", w.id);
+                    let _ = std::fs::write(path, journal.to_json());
                     faulted += 1;
                 }
             }
@@ -83,16 +112,17 @@ fn transparent_injection_reproduces_the_clean_result_bit_for_bit() {
     // workload and every seed must therefore reproduce the uninjected
     // result exactly.
     let mut trap_activity = 0u64;
-    for (prog, args, expect, cfg, _) in &compiled_suite() {
+    for w in &compiled_suite() {
         for seed in 0..4u64 {
             let icfg = InjectConfig {
                 seed,
                 rate: 150,
                 modes: InjectModes::transparent(),
             };
-            let rep = run_risc_injected(prog, args, cfg.clone(), icfg, true).expect("setup");
+            let rep =
+                run_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, true).expect("setup");
             assert!(
-                rep.recovered(*expect),
+                rep.recovered(w.expect),
                 "seed {seed}: outcome {:?} after {} events",
                 rep.outcome,
                 rep.events.len()
@@ -109,15 +139,15 @@ fn transparent_injection_reproduces_the_clean_result_bit_for_bit() {
 #[test]
 fn identical_seeds_reproduce_identical_runs() {
     let suite = compiled_suite();
-    let (prog, args, _, cfg, _) = &suite[5]; // qsort: recursion + data traffic
+    let w = &suite[5]; // qsort: recursion + data traffic
     for seed in [0u64, 1, 7, 0xdead_beef] {
         let icfg = InjectConfig {
             seed,
             rate: 80,
             modes: InjectModes::all(),
         };
-        let a = run_risc_injected(prog, args, cfg.clone(), icfg, true).expect("setup");
-        let b = run_risc_injected(prog, args, cfg.clone(), icfg, true).expect("setup");
+        let a = run_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, true).expect("setup");
+        let b = run_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, true).expect("setup");
         assert_eq!(
             a.events, b.events,
             "seed {seed}: schedule must be deterministic"
@@ -137,7 +167,7 @@ fn identical_seeds_reproduce_identical_runs() {
 #[test]
 fn different_seeds_produce_different_schedules() {
     let suite = compiled_suite();
-    let (prog, args, _, cfg, _) = &suite[4]; // bubble: long enough to fire often
+    let w = &suite[4]; // bubble: long enough to fire often
     let events: Vec<_> = [3u64, 4]
         .iter()
         .map(|&seed| {
@@ -146,7 +176,7 @@ fn different_seeds_produce_different_schedules() {
                 rate: 100,
                 modes: InjectModes::all(),
             };
-            run_risc_injected(prog, args, cfg.clone(), icfg, true)
+            run_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, true)
                 .expect("setup")
                 .events
         })
