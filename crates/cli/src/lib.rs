@@ -17,7 +17,9 @@
 //! risc1 replay <trace.json>      re-execute a recorded campaign bit for bit
 //!   [--minimize [--out <path>]]  delta-debug the journal to a minimal subset
 //! risc1 trace <file.s> [args…]   execute with the pipeline timing diagram
-//! risc1 bench <workload>         run a suite workload on both machines
+//! risc1 bench [<workload>]       one workload: RISC I vs CX; no id: time
+//!   [--quick] [--out <path>]     the suite cached vs. uncached decode and
+//!                                write BENCH_interp.json (CI perf gate)
 //! risc1 exp <id|all>             print an experiment report (e1…e14)
 //! risc1 list                     list suite workloads and experiments
 //! ```
@@ -51,7 +53,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("run") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], false),
         Some("replay") => cmd_replay(args.get(1).ok_or(USAGE)?, &args[2..]),
         Some("trace") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], true),
-        Some("bench") => cmd_bench(args.get(1).ok_or(USAGE)?),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("exp") => cmd_exp(args.get(1).ok_or(USAGE)?),
         Some("list") => Ok(listing()),
         _ => Err(USAGE.to_string()),
@@ -83,7 +85,13 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
        [--minimize]             delta-debug to a minimal failing event set
        [--out <path>]           write the minimized journal here
   risc1 trace <file.s> [args…]  execute with a pipeline diagram
-  risc1 bench <workload-id>     run one suite workload on RISC I and CX
+  risc1 bench [<workload-id>]   with an id: run one suite workload on
+                                RISC I and CX; without: time the whole
+                                suite cached vs. uncached decode and
+                                write BENCH_interp.json (CI perf gate)
+       [--quick]                small arguments + short timing budget
+       [--out <path>]           where to write the JSON (suite mode;
+                                default BENCH_interp.json)
   risc1 exp <e1…e14|all>        print an experiment report
   risc1 list                    available workloads and experiments";
 
@@ -502,7 +510,52 @@ fn cmd_replay(path: &str, rest: &[String]) -> CliResult {
     Ok(out)
 }
 
-fn cmd_bench(id: &str) -> CliResult {
+fn cmd_bench(args: &[String]) -> CliResult {
+    // A single positional id keeps the original RISC-vs-CX comparison;
+    // no positional (optionally `--quick` / `--out`) runs the host-side
+    // interpreter benchmark across the suite and writes BENCH_interp.json.
+    match args.first().map(String::as_str) {
+        Some(id) if !id.starts_with("--") => {
+            if args.len() > 1 {
+                return Err(format!("bench <workload-id> takes no flags\n{USAGE}"));
+            }
+            cmd_bench_one(id)
+        }
+        _ => cmd_bench_suite(args),
+    }
+}
+
+fn cmd_bench_suite(args: &[String]) -> CliResult {
+    let mut quick = false;
+    let mut out_path = "BENCH_interp.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_path = it
+                    .next()
+                    .ok_or_else(|| format!("--out needs a path\n{USAGE}"))?
+                    .clone();
+            }
+            other => return Err(format!("unknown bench flag `{other}`\n{USAGE}")),
+        }
+    }
+    let report = risc1_experiments::bench::run_suite(quick);
+    std::fs::write(&out_path, report.to_json()).map_err(|e| format!("{out_path}: {e}"))?;
+    let geomean = report.geomean_speedup();
+    let mut out = report.render();
+    let _ = writeln!(out, "\nwrote {out_path}");
+    // The CI perf gate: the decode cache must pay for itself in aggregate.
+    if geomean <= 1.0 {
+        return Err(format!(
+            "{out}\nperf gate failed: cached geomean speedup {geomean:.2}x is not > 1.0"
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_bench_one(id: &str) -> CliResult {
     let w = risc1_workloads::by_id(id)
         .ok_or_else(|| format!("unknown workload `{id}` (try `risc1 list`)"))?;
     let m = measure_with(&w, &w.args.clone(), SimConfig::default());
@@ -605,6 +658,29 @@ mod tests {
         let out = dispatch(&s(&["bench", "fib"])).unwrap();
         assert!(out.contains("speedup"));
         assert!(dispatch(&s(&["bench", "zzz"])).is_err());
+        assert!(dispatch(&s(&["bench", "fib", "--quick"])).is_err());
+    }
+
+    #[test]
+    fn bench_suite_writes_the_json_gate_artifact() {
+        let dir = std::env::temp_dir().join("risc1_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_interp.json");
+        let p = path.to_str().unwrap();
+        // Debug-build timing is too noisy for the >1.0 gate, so accept
+        // either verdict — both paths render the table and write the file.
+        let out = match dispatch(&s(&["bench", "--quick", "--out", p])) {
+            Ok(t) | Err(t) => t,
+        };
+        assert!(out.contains("geomean"), "{out}");
+        let json = std::fs::read_to_string(p).unwrap();
+        assert!(
+            json.contains("\"schema\": \"risc1-bench-interp/v1\""),
+            "{json}"
+        );
+        assert!(json.contains("\"id\": \"fib\""));
+        assert!(dispatch(&s(&["bench", "--bogus"])).is_err());
+        assert!(dispatch(&s(&["bench", "--out"])).is_err());
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct SimConfig {
     /// Record a full retired-instruction trace (needed only by the pipeline
     /// diagram experiment; costs memory).
     pub record_trace: bool,
+    /// Consult the predecoded instruction cache on fetch (see
+    /// `crate::icache`). Purely a speed knob: architectural state, statistics
+    /// and trap behaviour are bit-identical with it on or off, which the
+    /// `interp_equivalence` suite asserts. Default `true`; the bench harness
+    /// turns it off to measure the raw fetch→decode loop.
+    pub predecode: bool,
 }
 
 impl Default for SimConfig {
@@ -77,6 +83,7 @@ impl Default for SimConfig {
             fuel: 200_000_000,
             trap_base: None,
             record_trace: false,
+            predecode: true,
         }
     }
 }

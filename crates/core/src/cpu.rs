@@ -21,15 +21,15 @@
 
 use crate::config::{BranchModel, SimConfig};
 use crate::exec::alu;
+use crate::icache::{ICache, Line};
 use crate::mem::{MemError, Memory};
 use crate::program::Program;
 use crate::snapshot::{CpuState, RestoreError, Snapshot};
 use crate::stats::ExecStats;
 use crate::trap::{TrapCause, TrapKind};
 use crate::windows::{WindowFile, SPILL_REGS};
-use risc1_isa::insn::Operands;
 use risc1_isa::psw::Flags;
-use risc1_isa::{Cond, DecodeError, Instruction, Opcode, Psw, Reg, Short2, INSN_BYTES};
+use risc1_isa::{DecodeError, Instruction, Opcode, Psw, Reg, Short2, INSN_BYTES};
 use std::fmt;
 
 /// Why the simulator stopped with an error.
@@ -290,6 +290,10 @@ pub struct Cpu {
     /// Journal position (events applied so far) noted by the fault
     /// injector or replayer via [`Cpu::note_journal_position`].
     journal_pos: Option<u64>,
+    /// Predecoded instruction cache — *derived* state only (rebuilt from
+    /// memory on demand), so it is deliberately absent from
+    /// [`CpuState`]/snapshots/journals and from every checksum.
+    icache: ICache,
 }
 
 impl Cpu {
@@ -306,6 +310,7 @@ impl Cpu {
             }
         }
         let fuel_limit = cfg.fuel;
+        let icache = ICache::new(mem.page_count());
         Cpu {
             cfg,
             mem,
@@ -328,6 +333,7 @@ impl Cpu {
             fuel_limit,
             last_snapshot: None,
             journal_pos: None,
+            icache,
         }
     }
 
@@ -618,8 +624,81 @@ impl Cpu {
     /// Any [`ExecError`]; on error the CPU state is left at the faulting
     /// instruction for inspection.
     pub fn run(&mut self) -> Result<(), ExecError> {
-        while self.step()? == Halt::Running {}
+        self.run_to_halt()
+    }
+
+    /// Runs until the program returns from its entry frame, using the
+    /// batched fast path of [`Cpu::step_n`]. Identical architectural
+    /// behaviour to calling [`Cpu::step`] in a loop — this is merely the
+    /// cheap way to do it.
+    ///
+    /// # Errors
+    /// As [`Cpu::run`].
+    pub fn run_to_halt(&mut self) -> Result<(), ExecError> {
+        // Any large chunk works; bounded so a single call cannot monopolise
+        // a supervisor that interleaves other work between calls.
+        while self.step_n(1 << 20)? == Halt::Running {}
         Ok(())
+    }
+
+    /// Executes up to `n` steps (instruction executions or trap/interrupt
+    /// deliveries — the same unit [`Cpu::step`] counts one at a time).
+    ///
+    /// Architecturally equivalent to `n` calls to `step()`, but batched:
+    /// while no probe or interrupt is pending, the loop runs a *burst* that
+    /// skips the per-step probe/interrupt/fuel checks. The burst length is
+    /// pre-computed from the fuel remaining, and nothing inside a burst can
+    /// arm a probe or raise an interrupt (those come only from the outside
+    /// — injectors, supervisors, tests), so deferring the checks to burst
+    /// boundaries is exact, not approximate. Traps raised *by* executed
+    /// instructions still vector immediately, exactly as in `step()`.
+    ///
+    /// Returns [`Halt::Returned`] as soon as the program halts, otherwise
+    /// [`Halt::Running`] after `n` steps.
+    ///
+    /// # Errors
+    /// As [`Cpu::step`]; the CPU stops at the faulting instruction.
+    pub fn step_n(&mut self, n: u64) -> Result<Halt, ExecError> {
+        let mut left = n;
+        while left > 0 {
+            // Slow boundary: halt, armed events and fuel exhaustion take
+            // the canonical one-step path.
+            if self.halted {
+                return Ok(Halt::Returned);
+            }
+            if self.pending_probe.is_some()
+                || self.interrupt_pending
+                || self.stats.instructions >= self.fuel_limit
+            {
+                if self.step()? == Halt::Returned {
+                    return Ok(Halt::Returned);
+                }
+                left -= 1;
+                continue;
+            }
+            // Fast burst: long enough to amortise the boundary checks,
+            // short enough that fuel cannot overshoot (trap deliveries
+            // retire no instruction, so the burst can only *under*-consume
+            // fuel, never overrun it).
+            let burst = left.min(self.fuel_limit - self.stats.instructions);
+            let mut done = 0;
+            while done < burst {
+                done += 1;
+                match self.exec_one() {
+                    Ok(Halt::Running) => {}
+                    other => {
+                        if self.finish_exec(other)? == Halt::Returned {
+                            return Ok(Halt::Returned);
+                        }
+                        // A trap vectored; fall back to the boundary so
+                        // the fuel bound is recomputed.
+                        break;
+                    }
+                }
+            }
+            left -= done;
+        }
+        Ok(Halt::Running)
     }
 
     /// Executes one instruction (or delivers one pending trap/interrupt).
@@ -665,7 +744,14 @@ impl Cpu {
                 }
             }
         }
-        match self.exec_one() {
+        let r = self.exec_one();
+        self.finish_exec(r)
+    }
+
+    /// The epilogue shared by [`Cpu::step`] and the [`Cpu::step_n`] burst
+    /// loop: surfaces fatal errors, vectors trappable faults.
+    fn finish_exec(&mut self, r: Result<Halt, StepEvent>) -> Result<Halt, ExecError> {
+        match r {
             Ok(h) => Ok(h),
             Err(StepEvent::Fatal(e)) => Err(e),
             Err(StepEvent::Trap {
@@ -688,9 +774,10 @@ impl Cpu {
         }
     }
 
-    /// Fetches, decodes and executes exactly one instruction.
-    fn exec_one(&mut self) -> Result<Halt, StepEvent> {
-        let pc = self.pc;
+    /// Fetches and decodes the word at `pc` the slow way, mapping failures
+    /// onto their architectural traps. The predecode cache never caches a
+    /// failing fetch, so this is also the only source of fetch traps.
+    fn fetch_decode(&mut self, pc: u32) -> Result<Instruction, StepEvent> {
         let word = self.mem.peek_u32(pc).map_err(|err| StepEvent::Trap {
             kind: match err {
                 MemError::Misaligned { .. } => TrapKind::Misaligned,
@@ -700,15 +787,40 @@ impl Cpu {
             info: pc,
             err: ExecError::Mem { pc, err },
         })?;
-        let insn = Instruction::decode(word).map_err(|err| StepEvent::Trap {
+        Instruction::decode(word).map_err(|err| StepEvent::Trap {
             kind: TrapKind::Decode,
             pc,
             info: word,
             err: ExecError::Decode { pc, err },
-        })?;
+        })
+    }
 
+    /// Fetches, decodes and executes exactly one instruction.
+    fn exec_one(&mut self) -> Result<Halt, StepEvent> {
+        let pc = self.pc;
+        // Fast fetch: the prepared line, when the cache can serve one
+        // (fills lazily; polls the dirty-page channel so self-modified
+        // text is re-decoded). Anything it cannot serve — including every
+        // faulting fetch — takes the architectural slow path, which pays
+        // the full decode + prepare cost per step. Both paths feed the
+        // same executor, so caching cannot change semantics.
+        let line = match self.cfg.predecode {
+            true => match self.icache.fetch(&mut self.mem, pc) {
+                Some(line) => line,
+                None => Line::prepare(self.fetch_decode(pc)?),
+            },
+            false => Line::prepare(self.fetch_decode(pc)?),
+        };
+        self.exec_prepared(pc, &line)
+    }
+
+    /// Executes one prepared instruction. This is the single executor body
+    /// shared by the cached and uncached fetch paths: all semantics live
+    /// here, operating on the pre-extracted fields of [`Line`].
+    #[inline]
+    fn exec_prepared(&mut self, pc: u32, line: &Line) -> Result<Halt, StepEvent> {
         let in_delay_slot = self.pending_target.is_some();
-        if in_delay_slot && insn.opcode.is_transfer() {
+        if in_delay_slot && line.is_transfer {
             return Err(StepEvent::Trap {
                 kind: TrapKind::TransferInDelaySlot,
                 pc,
@@ -717,23 +829,25 @@ impl Cpu {
             });
         }
 
-        self.stats.retire(insn.opcode);
+        self.stats.retire(line.op);
         if in_delay_slot {
             self.stats.delay_slots += 1;
-            if insn.is_nop() {
+            if line.insn.is_nop() {
                 self.stats.delay_slot_nops += 1;
             }
         }
 
         let start_cycle = self.stats.cycles;
-        let mut cycles = insn.opcode.base_cycles();
-        cycles += self.hazard_bubbles(&insn);
+        let mut cycles = u64::from(line.base_cycles);
+        if !self.cfg.forwarding {
+            cycles += self.hazard_bubbles(&line.insn);
+        }
 
         let mut new_target: Option<u32> = None;
         let mut new_write: Option<(PhysId, bool)> = None;
         let mut halted = false;
 
-        match insn.opcode {
+        match line.op {
             Opcode::Add
             | Opcode::Addc
             | Opcode::Sub
@@ -746,62 +860,63 @@ impl Cpu {
             | Opcode::Sll
             | Opcode::Srl
             | Opcode::Sra => {
-                let (dest, a, b) = self.short_operands(&insn);
-                let out = alu(insn.opcode, a, b, self.flags.c);
-                self.regs.write(dest, out.value);
-                if insn.scc {
+                let a = self.regs.read(line.rs1);
+                let b = self.s2_value(line.s2);
+                let out = alu(line.op, a, b, self.flags.c);
+                self.regs.write(line.dest, out.value);
+                if line.scc {
                     self.flags = out.flags;
                 }
-                new_write = self.phys(dest).map(|p| (p, false));
+                new_write = self.note_write(line.dest, false);
             }
             Opcode::Ldl | Opcode::Ldsu | Opcode::Ldss | Opcode::Ldbu | Opcode::Ldbs => {
-                let (dest, a, b) = self.short_operands(&insn);
-                let addr = a.wrapping_add(b);
+                let addr = self
+                    .regs
+                    .read(line.rs1)
+                    .wrapping_add(self.s2_value(line.s2));
                 let v = self
-                    .load_value(insn.opcode, addr)
+                    .load_value(line.op, addr)
                     .map_err(|err| data_trap(pc, addr, err))?;
-                self.regs.write(dest, v);
+                self.regs.write(line.dest, v);
                 self.stats.data_reads += 1;
-                new_write = self.phys(dest).map(|p| (p, true));
+                new_write = self.note_write(line.dest, true);
             }
             Opcode::Stl | Opcode::Sts | Opcode::Stb => {
-                let (data_reg, a, b) = self.short_operands(&insn);
-                let addr = a.wrapping_add(b);
-                let data = self.regs.read(data_reg);
-                self.store_value(insn.opcode, addr, data)
+                // `dest` names the data register in store encodings.
+                let addr = self
+                    .regs
+                    .read(line.rs1)
+                    .wrapping_add(self.s2_value(line.s2));
+                let data = self.regs.read(line.dest);
+                self.store_value(line.op, addr, data)
                     .map_err(|err| data_trap(pc, addr, err))?;
                 self.stats.data_writes += 1;
             }
             Opcode::Jmp | Opcode::Jmpr => {
-                let (cond, target) = self.jump_operands(&insn, pc);
-                if cond.eval(self.flags) {
-                    new_target = Some(target);
+                if line.cond.eval(self.flags) {
+                    new_target = Some(self.transfer_target(line, pc));
                     self.stats.taken_transfers += 1;
                 }
             }
             Opcode::Call | Opcode::Callr => {
-                let (link, target) = match insn.operands {
-                    Operands::Short { dest, rs1, s2 } => {
-                        let a = self.regs.read(rs1);
-                        (dest, a.wrapping_add(self.s2_value(s2)))
-                    }
-                    Operands::Long { dest, imm19 } => (dest, pc.wrapping_add(imm19 as u32)),
-                    _ => unreachable!("call operand shapes"),
-                };
+                let link = line.dest;
+                let target = self.transfer_target(line, pc);
                 if self.regs.call_would_overflow() {
                     cycles += self.spill_window(false).map_err(|f| spill_event(pc, f))?;
                 }
                 self.regs.advance();
                 // The link register is named in the *new* window.
                 self.regs.write(link, pc);
-                new_write = self.phys(link).map(|p| (p, false));
+                new_write = self.note_write(link, false);
                 new_target = Some(target);
                 self.stats.calls += 1;
                 self.stats.taken_transfers += 1;
             }
             Opcode::Ret | Opcode::Reti => {
-                let (_, a, b) = self.short_operands(&insn);
-                let target = a.wrapping_add(b);
+                let target = self
+                    .regs
+                    .read(line.rs1)
+                    .wrapping_add(self.s2_value(line.s2));
                 if self.regs.ret_would_underflow() {
                     cycles += self.fill_window(pc).map_err(StepEvent::Fatal)?;
                 }
@@ -809,7 +924,7 @@ impl Cpu {
                     new_target = Some(target);
                     self.stats.rets += 1;
                     self.stats.taken_transfers += 1;
-                    if insn.opcode == Opcode::Reti {
+                    if line.op == Opcode::Reti {
                         self.interrupts_enabled = true;
                         // A RETI while a trap is being serviced is the
                         // handler's exit: the trap unit is re-armed.
@@ -822,38 +937,34 @@ impl Cpu {
                 }
             }
             Opcode::Calli => {
-                let (dest, _, _) = self.short_operands(&insn);
                 if self.regs.call_would_overflow() {
                     cycles += self.spill_window(false).map_err(|f| spill_event(pc, f))?;
                 }
                 self.regs.advance();
-                self.regs.write(dest, self.last_pc);
-                new_write = self.phys(dest).map(|p| (p, false));
+                self.regs.write(line.dest, self.last_pc);
+                new_write = self.note_write(line.dest, false);
                 self.interrupts_enabled = false;
                 self.stats.calls += 1;
             }
             Opcode::Ldhi => {
-                let (dest, imm19) = match insn.operands {
-                    Operands::Long { dest, imm19 } => (dest, imm19),
-                    _ => unreachable!("ldhi is long format"),
-                };
-                self.regs.write(dest, (imm19 as u32) << 13);
-                new_write = self.phys(dest).map(|p| (p, false));
+                self.regs.write(line.dest, (line.imm19 as u32) << 13);
+                new_write = self.note_write(line.dest, false);
             }
             Opcode::Gtlpc => {
-                let (dest, _, _) = self.short_operands(&insn);
-                self.regs.write(dest, self.last_pc);
-                new_write = self.phys(dest).map(|p| (p, false));
+                self.regs.write(line.dest, self.last_pc);
+                new_write = self.note_write(line.dest, false);
             }
             Opcode::Getpsw => {
-                let (dest, _, _) = self.short_operands(&insn);
                 let w = self.psw().to_word();
-                self.regs.write(dest, w);
-                new_write = self.phys(dest).map(|p| (p, false));
+                self.regs.write(line.dest, w);
+                new_write = self.note_write(line.dest, false);
             }
             Opcode::Putpsw => {
-                let (_, a, b) = self.short_operands(&insn);
-                let psw = Psw::from_word(a.wrapping_add(b));
+                let word = self
+                    .regs
+                    .read(line.rs1)
+                    .wrapping_add(self.s2_value(line.s2));
+                let psw = Psw::from_word(word);
                 // CWP/SWP are owned by the window hardware; software writes
                 // to them are ignored (a full context switch would also
                 // reload the window file, which this simulator models via
@@ -875,7 +986,7 @@ impl Cpu {
         if self.cfg.record_trace {
             self.trace.push(Retired {
                 pc,
-                insn,
+                insn: line.insn,
                 start_cycle,
                 cycles,
                 in_delay_slot,
@@ -896,15 +1007,6 @@ impl Cpu {
         Ok(Halt::Running)
     }
 
-    /// Extracts `(dest, rs1 value, s2 value)` from a short-format
-    /// instruction.
-    fn short_operands(&self, insn: &Instruction) -> (Reg, u32, u32) {
-        match insn.operands {
-            Operands::Short { dest, rs1, s2 } => (dest, self.regs.read(rs1), self.s2_value(s2)),
-            _ => unreachable!("short operands on {insn}"),
-        }
-    }
-
     fn s2_value(&self, s2: Short2) -> u32 {
         match s2 {
             Short2::Reg(r) => self.regs.read(r),
@@ -912,14 +1014,16 @@ impl Cpu {
         }
     }
 
-    fn jump_operands(&self, insn: &Instruction, pc: u32) -> (Cond, u32) {
-        match insn.operands {
-            Operands::ShortCond { cond, rs1, s2 } => {
-                let t = self.regs.read(rs1).wrapping_add(self.s2_value(s2));
-                (cond, t)
-            }
-            Operands::LongCond { cond, imm19 } => (cond, pc.wrapping_add(imm19 as u32)),
-            _ => unreachable!("jump operand shapes"),
+    /// Target of a control transfer: PC-relative for long shapes,
+    /// register + short-source-2 for short shapes.
+    #[inline]
+    fn transfer_target(&self, line: &Line, pc: u32) -> u32 {
+        if line.long {
+            pc.wrapping_add(line.imm19 as u32)
+        } else {
+            self.regs
+                .read(line.rs1)
+                .wrapping_add(self.s2_value(line.s2))
         }
     }
 
@@ -940,6 +1044,20 @@ impl Cpu {
             Opcode::Sts => self.mem.write_u16(addr, v as u16),
             Opcode::Stb => self.mem.write_u8(addr, v as u8),
             _ => unreachable!("not a store"),
+        }
+    }
+
+    /// Hazard-model bookkeeping for a register write: the physical
+    /// identity the *next* instruction's reads are checked against. With
+    /// internal forwarding (the RISC I datapath, and the default) the
+    /// hazard model never fires, so the translation — two extra window
+    /// computations per instruction — is skipped entirely.
+    #[inline]
+    fn note_write(&self, r: Reg, was_load: bool) -> Option<(PhysId, bool)> {
+        if self.cfg.forwarding {
+            None
+        } else {
+            self.phys(r).map(|p| (p, was_load))
         }
     }
 
@@ -1185,7 +1303,7 @@ fn spill_event(pc: u32, f: SpillFail) -> StepEvent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use risc1_isa::Short2;
+    use risc1_isa::{Cond, Short2};
 
     fn imm(v: i32) -> Short2 {
         Short2::imm(v).unwrap()

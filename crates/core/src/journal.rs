@@ -291,6 +291,8 @@ fn write_config(w: &mut Writer, cfg: &SimConfig) {
     }
     w.key("record_trace");
     w.bool(cfg.record_trace);
+    w.key("predecode");
+    w.bool(cfg.predecode);
     w.obj_close();
 }
 
@@ -318,6 +320,7 @@ fn read_config(obj: &[(String, Json)]) -> Result<SimConfig, JournalError> {
             v => Some(v.as_u32("trap_base")?),
         },
         record_trace: get(obj, "record_trace")?.as_bool("record_trace")?,
+        predecode: get(obj, "predecode")?.as_bool("predecode")?,
     })
 }
 

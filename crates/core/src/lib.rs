@@ -38,6 +38,7 @@
 pub mod config;
 pub mod cpu;
 pub mod exec;
+mod icache;
 pub mod inject;
 pub mod journal;
 pub mod mem;
@@ -57,6 +58,6 @@ pub use program::Program;
 pub use snapshot::{
     CheckpointStats, Checkpointer, RestoreError, Snapshot, CKPT_BASE_CYCLES, SNAPSHOT_VERSION,
 };
-pub use stats::ExecStats;
+pub use stats::{ExecStats, OpcodeCounts};
 pub use trap::{TrapCause, TrapKind};
 pub use windows::WindowFile;

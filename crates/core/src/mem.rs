@@ -7,11 +7,25 @@
 //!
 //! Memory also tracks *dirty pages*: every mutation (stores, image loads,
 //! injected bit flips) marks the [`PAGE_BYTES`]-sized page it touched. The
-//! checkpoint subsystem ([`crate::snapshot`]) uses this to keep periodic
-//! snapshots incremental — only pages written since the previous checkpoint
-//! are copied and re-checksummed.
+//! dirty-page machinery has two independent consumers:
+//!
+//! * the checkpoint subsystem ([`crate::snapshot`]) reads and clears the
+//!   `dirty` bitmap to keep periodic snapshots incremental — only pages
+//!   written since the previous checkpoint are copied and re-checksummed;
+//! * the predecoded instruction cache (`crate::icache`) drains its own
+//!   channel (`code_dirty*`) so that writes over already-decoded text
+//!   invalidate exactly the pages they touched. The channels are fed by the
+//!   same `mark_dirty` entry point but cleared independently, so taking a
+//!   checkpoint never hides a self-modifying store from the decode cache
+//!   (and vice versa).
 
 use std::fmt;
+
+/// Cap on the exact pending-page list of the decode-cache channel. Once a
+/// run dirties more distinct pages than this between drains (bulk loads,
+/// memset-style stores with predecoding off), the channel degrades to a
+/// single flush-everything flag instead of growing without bound.
+const CODE_DIRTY_PENDING_CAP: usize = 1024;
 
 /// Size of one dirty-tracking page in bytes. Small enough that sparse
 /// writes stay cheap to checkpoint, large enough that the page bitmap and
@@ -68,13 +82,60 @@ impl MemTraffic {
     }
 }
 
+/// One invalidation notice from the decode-cache dirty channel (see
+/// [`Memory::drain_code_dirty`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CodeDirty {
+    /// Exactly this page was written.
+    Page(usize),
+    /// Drop everything: wholesale restore or channel overflow.
+    All,
+}
+
+/// Bit-scan iterator over one dirty-bitmap word: yields `base + bit` for
+/// every set bit, ascending.
+struct BitScan {
+    base: usize,
+    bits: u64,
+}
+
+impl Iterator for BitScan {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            return None;
+        }
+        let b = self.bits.trailing_zeros() as usize;
+        self.bits &= self.bits - 1;
+        Some(self.base + b)
+    }
+}
+
 /// Flat little-endian memory.
 #[derive(Debug, Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
     traffic: MemTraffic,
-    /// Dirty-page bitmap, one bit per [`PAGE_BYTES`] page.
+    /// Dirty-page bitmap, one bit per [`PAGE_BYTES`] page — the checkpoint
+    /// consumer ([`Memory::dirty_pages`] / [`Memory::clear_dirty`]).
     dirty: Vec<u64>,
+    /// Decode-cache consumer: bitmap of pages dirtied since the cache last
+    /// drained (deduplicates `code_dirty_pages` pushes in O(1)).
+    code_dirty: Vec<u64>,
+    /// Exact list of newly-dirtied page indices for the decode cache —
+    /// bounded by [`CODE_DIRTY_PENDING_CAP`], after which `code_dirty_all`
+    /// takes over.
+    code_dirty_pages: Vec<u32>,
+    /// Flush-everything flag for the decode cache: set by
+    /// [`Memory::mark_all_dirty`] (wholesale restores) and by pending-list
+    /// overflow.
+    code_dirty_all: bool,
+    /// Pages the decode cache currently holds lines for (registered via
+    /// [`Memory::note_code_page`]). Writes to *unregistered* pages — the
+    /// overwhelmingly common case, since data pages outnumber text pages —
+    /// never touch the channel at all, so an ordinary store costs one bit
+    /// test here instead of a push/drain round-trip with the cache.
+    code_pages: Vec<u64>,
 }
 
 impl Memory {
@@ -85,6 +146,10 @@ impl Memory {
             bytes: vec![0; size],
             traffic: MemTraffic::default(),
             dirty: vec![0; pages.div_ceil(64)],
+            code_dirty: vec![0; pages.div_ceil(64)],
+            code_dirty_pages: Vec::new(),
+            code_dirty_all: false,
+            code_pages: vec![0; pages.div_ceil(64)],
         }
     }
 
@@ -133,32 +198,77 @@ impl Memory {
             .is_some_and(|w| w & (1 << (idx % 64)) != 0)
     }
 
-    /// Indices of all dirty pages, in ascending order.
-    pub fn dirty_pages(&self) -> Vec<usize> {
-        let mut out = Vec::new();
-        for (w, &bits) in self.dirty.iter().enumerate() {
-            let mut bits = bits;
-            while bits != 0 {
-                let b = bits.trailing_zeros() as usize;
-                let idx = w * 64 + b;
-                if idx < self.page_count() {
-                    out.push(idx);
-                }
-                bits &= bits - 1;
-            }
-        }
-        out
+    /// Indices of all dirty pages, in ascending order. Allocation-free:
+    /// scans the bitmap lazily, so the per-checkpoint cost is proportional
+    /// to the bitmap, not to a freshly collected `Vec`.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = usize> + '_ {
+        let page_count = self.page_count();
+        self.dirty.iter().enumerate().flat_map(move |(w, &bits)| {
+            BitScan { base: w * 64, bits }.filter(move |&idx| idx < page_count)
+        })
     }
 
-    /// Clears the dirty-page map (a checkpoint was just taken).
+    /// Clears the dirty-page map (a checkpoint was just taken). The
+    /// decode-cache channel is deliberately untouched: the two consumers
+    /// of the dirty tracker are independent.
     pub fn clear_dirty(&mut self) {
         self.dirty.iter_mut().for_each(|w| *w = 0);
     }
 
     /// Marks every page dirty (conservative reset after a wholesale
-    /// restore, when the incremental baseline is no longer valid).
+    /// restore, when the incremental baseline is no longer valid). Also
+    /// arms the decode cache's flush-everything flag, which is what makes
+    /// `restore()`/`rollback()`/`revert_to()` invalidate stale predecoded
+    /// lines without any snapshot-side bookkeeping.
     pub fn mark_all_dirty(&mut self) {
         self.dirty.iter_mut().for_each(|w| *w = !0);
+        self.code_dirty_all = true;
+        self.code_dirty_pages.clear();
+        self.code_dirty.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Whether the decode-cache invalidation channel has pending pages —
+    /// the O(1) poll the fetch fast path performs before trusting a cached
+    /// line.
+    #[inline]
+    pub(crate) fn code_dirty_pending(&self) -> bool {
+        self.code_dirty_all || !self.code_dirty_pages.is_empty()
+    }
+
+    /// Drains the decode-cache invalidation channel: calls `f` with
+    /// [`CodeDirty::Page`] for every page written since the previous drain,
+    /// or with [`CodeDirty::All`] once when the channel overflowed or
+    /// [`Memory::mark_all_dirty`] ran. Clears the channel either way.
+    pub(crate) fn drain_code_dirty(&mut self, mut f: impl FnMut(CodeDirty)) {
+        // The cache drops every page this drain names, so their
+        // registration bits drop with them — the cache re-registers on
+        // refill.
+        if self.code_dirty_all {
+            self.code_dirty_all = false;
+            self.code_pages.iter_mut().for_each(|w| *w = 0);
+            f(CodeDirty::All);
+        } else {
+            for &idx in &self.code_dirty_pages {
+                let idx = idx as usize;
+                if let Some(w) = self.code_pages.get_mut(idx / 64) {
+                    *w &= !(1 << (idx % 64));
+                }
+                f(CodeDirty::Page(idx));
+            }
+        }
+        self.code_dirty_pages.clear();
+        self.code_dirty.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Registers page `idx` as holding decoded lines: from now on, any
+    /// write to it raises the invalidation channel. The decode cache calls
+    /// this when it first fills a line in the page; the registration drops
+    /// automatically when a drain names the page.
+    #[inline]
+    pub(crate) fn note_code_page(&mut self, idx: usize) {
+        if let Some(w) = self.code_pages.get_mut(idx / 64) {
+            *w |= 1 << (idx % 64);
+        }
     }
 
     /// Copies page `idx` from `src` into this memory — the incremental
@@ -174,16 +284,52 @@ impl Memory {
         self.bytes[start..end].copy_from_slice(&src.bytes[start..end]);
     }
 
+    #[inline]
     fn mark_dirty(&mut self, addr: u32, width: usize) {
+        // Callers validate bounds before mutating; the tracker relies on it.
+        debug_assert!(addr as u64 + width.max(1) as u64 <= self.bytes.len() as u64);
         let first = addr as usize / PAGE_BYTES;
         let last = (addr as usize + width.max(1) - 1) / PAGE_BYTES;
         for idx in first..=last {
             if let Some(w) = self.dirty.get_mut(idx / 64) {
                 *w |= 1 << (idx % 64);
             }
+            self.note_code_dirty(idx);
         }
     }
 
+    /// Feeds the decode-cache channel with one dirtied page index. Writes
+    /// to pages the cache holds nothing for are filtered out here; for the
+    /// rest, the bitmap deduplicates, so a page written a million times
+    /// between drains occupies one pending slot.
+    #[inline]
+    fn note_code_dirty(&mut self, idx: usize) {
+        if self.code_dirty_all {
+            return;
+        }
+        if self
+            .code_pages
+            .get(idx / 64)
+            .is_none_or(|w| w & (1 << (idx % 64)) == 0)
+        {
+            return;
+        }
+        let Some(w) = self.code_dirty.get_mut(idx / 64) else {
+            return;
+        };
+        if *w & (1 << (idx % 64)) != 0 {
+            return;
+        }
+        *w |= 1 << (idx % 64);
+        if self.code_dirty_pages.len() >= CODE_DIRTY_PENDING_CAP {
+            self.code_dirty_all = true;
+            self.code_dirty_pages.clear();
+        } else {
+            self.code_dirty_pages.push(idx as u32);
+        }
+    }
+
+    #[inline]
     fn check(&self, addr: u32, width: u32) -> Result<usize, MemError> {
         if !addr.is_multiple_of(width) {
             return Err(MemError::Misaligned { addr, width });
@@ -200,48 +346,60 @@ impl Memory {
     /// # Errors
     /// [`MemError::Misaligned`] unless `addr` is 4-aligned;
     /// [`MemError::OutOfRange`] past the end of memory.
+    #[inline]
     pub fn read_u32(&mut self, addr: u32) -> Result<u32, MemError> {
         let i = self.check(addr, 4)?;
         self.traffic.reads += 1;
+        debug_assert!(i + 4 <= self.bytes.len());
         Ok(u32::from_le_bytes(self.bytes[i..i + 4].try_into().unwrap()))
     }
 
     /// Reads a 16-bit halfword (zero-extended to u16).
+    #[inline]
     pub fn read_u16(&mut self, addr: u32) -> Result<u16, MemError> {
         let i = self.check(addr, 2)?;
         self.traffic.reads += 1;
+        debug_assert!(i + 2 <= self.bytes.len());
         Ok(u16::from_le_bytes(self.bytes[i..i + 2].try_into().unwrap()))
     }
 
     /// Reads one byte.
+    #[inline]
     pub fn read_u8(&mut self, addr: u32) -> Result<u8, MemError> {
         let i = self.check(addr, 1)?;
         self.traffic.reads += 1;
+        debug_assert!(i < self.bytes.len());
         Ok(self.bytes[i])
     }
 
     /// Writes a 32-bit word.
+    #[inline]
     pub fn write_u32(&mut self, addr: u32, v: u32) -> Result<(), MemError> {
         let i = self.check(addr, 4)?;
         self.traffic.writes += 1;
+        debug_assert!(i + 4 <= self.bytes.len());
         self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
         self.mark_dirty(addr, 4);
         Ok(())
     }
 
     /// Writes a 16-bit halfword.
+    #[inline]
     pub fn write_u16(&mut self, addr: u32, v: u16) -> Result<(), MemError> {
         let i = self.check(addr, 2)?;
         self.traffic.writes += 1;
+        debug_assert!(i + 2 <= self.bytes.len());
         self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
         self.mark_dirty(addr, 2);
         Ok(())
     }
 
     /// Writes one byte.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, v: u8) -> Result<(), MemError> {
         let i = self.check(addr, 1)?;
         self.traffic.writes += 1;
+        debug_assert!(i < self.bytes.len());
         self.bytes[i] = v;
         self.mark_dirty(addr, 1);
         Ok(())
@@ -279,6 +437,7 @@ impl Memory {
 
     /// Reads a byte without traffic accounting (instruction-stream fetch
     /// for the byte-coded CISC machine, debugger inspection).
+    #[inline]
     pub fn peek_u8(&self, addr: u32) -> Result<u8, MemError> {
         self.bytes
             .get(addr as usize)
@@ -286,8 +445,9 @@ impl Memory {
             .ok_or(MemError::OutOfRange { addr, width: 1 })
     }
 
-    /// Reads a word without traffic accounting (used by debuggers/tests to
-    /// inspect results).
+    /// Reads a word without traffic accounting (instruction fetch, and
+    /// debugger/test inspection of results).
+    #[inline]
     pub fn peek_u32(&self, addr: u32) -> Result<u32, MemError> {
         if !addr.is_multiple_of(4) {
             return Err(MemError::Misaligned { addr, width: 4 });
@@ -369,21 +529,26 @@ mod tests {
         assert!(m.load_image(62, &[0; 4]).is_err());
     }
 
+    /// The collected form of the lazy [`Memory::dirty_pages`] iterator.
+    fn dirty(m: &Memory) -> Vec<usize> {
+        m.dirty_pages().collect()
+    }
+
     #[test]
     fn writes_mark_exactly_the_touched_pages() {
         let mut m = Memory::new(4 * PAGE_BYTES);
         assert_eq!(m.page_count(), 4);
-        assert!(m.dirty_pages().is_empty(), "fresh memory is clean");
+        assert!(dirty(&m).is_empty(), "fresh memory is clean");
         m.write_u32(0, 1).unwrap();
         m.write_u8(2 * PAGE_BYTES as u32 + 5, 7).unwrap();
-        assert_eq!(m.dirty_pages(), vec![0, 2]);
+        assert_eq!(dirty(&m), vec![0, 2]);
         assert!(m.page_is_dirty(0) && !m.page_is_dirty(1));
         m.clear_dirty();
-        assert!(m.dirty_pages().is_empty());
+        assert!(dirty(&m).is_empty());
         // Failed writes mark nothing.
         assert!(m.write_u32(2, 1).is_err());
         assert!(m.write_u32(!3u32, 1).is_err());
-        assert!(m.dirty_pages().is_empty());
+        assert!(dirty(&m).is_empty());
     }
 
     #[test]
@@ -391,10 +556,90 @@ mod tests {
         let mut m = Memory::new(4 * PAGE_BYTES);
         // A load that straddles a page boundary marks both pages.
         m.load_image(PAGE_BYTES as u32 - 2, &[1, 2, 3, 4]).unwrap();
-        assert_eq!(m.dirty_pages(), vec![0, 1]);
+        assert_eq!(dirty(&m), vec![0, 1]);
         m.clear_dirty();
         m.flip_bit(3 * PAGE_BYTES as u32, 0).unwrap();
-        assert_eq!(m.dirty_pages(), vec![3]);
+        assert_eq!(dirty(&m), vec![3]);
+    }
+
+    /// The collected form of one [`Memory::drain_code_dirty`] call:
+    /// `(flushed_everything, exact_pages)`.
+    fn drain(m: &mut Memory) -> (bool, Vec<usize>) {
+        let mut all = false;
+        let mut pages = Vec::new();
+        m.drain_code_dirty(|d| match d {
+            CodeDirty::Page(idx) => pages.push(idx),
+            CodeDirty::All => all = true,
+        });
+        (all, pages)
+    }
+
+    #[test]
+    fn code_dirty_channel_is_independent_of_checkpoint_clears() {
+        let mut m = Memory::new(4 * PAGE_BYTES);
+        for idx in 0..4 {
+            m.note_code_page(idx);
+        }
+        assert!(!m.code_dirty_pending());
+        m.write_u32(0, 1).unwrap();
+        m.write_u32(2 * PAGE_BYTES as u32, 2).unwrap();
+        // A checkpoint clears its own bitmap but must not swallow the
+        // decode cache's view of the same writes.
+        m.clear_dirty();
+        assert!(m.code_dirty_pending());
+        assert_eq!(drain(&mut m), (false, vec![0, 2]));
+        assert!(!m.code_dirty_pending());
+        // Deduplication: many stores to one page pend once (the drain
+        // dropped page 1's registration, so re-register first).
+        m.note_code_page(1);
+        for _ in 0..10 {
+            m.write_u32(PAGE_BYTES as u32, 3).unwrap();
+        }
+        assert_eq!(drain(&mut m), (false, vec![1]));
+    }
+
+    #[test]
+    fn unregistered_pages_never_raise_the_code_dirty_channel() {
+        let mut m = Memory::new(4 * PAGE_BYTES);
+        m.note_code_page(1);
+        // Data-page writes (nothing decoded there) stay off the channel …
+        m.write_u32(0, 1).unwrap();
+        m.write_u32(3 * PAGE_BYTES as u32, 2).unwrap();
+        assert!(!m.code_dirty_pending());
+        // … while the registered page pends, and a drain naming it drops
+        // the registration along with the cached lines.
+        m.write_u32(PAGE_BYTES as u32, 3).unwrap();
+        assert_eq!(drain(&mut m), (false, vec![1]));
+        m.write_u32(PAGE_BYTES as u32, 4).unwrap();
+        assert!(!m.code_dirty_pending(), "registration dropped at drain");
+    }
+
+    #[test]
+    fn mark_all_dirty_arms_the_flush_everything_flag() {
+        let mut m = Memory::new(4 * PAGE_BYTES);
+        for idx in 0..4 {
+            m.note_code_page(idx);
+        }
+        m.write_u32(0, 1).unwrap();
+        m.mark_all_dirty();
+        assert_eq!(drain(&mut m), (true, vec![]));
+        // The flush-everything drain dropped every registration; a
+        // re-registered page pends exactly again.
+        m.note_code_page(1);
+        m.write_u32(PAGE_BYTES as u32, 2).unwrap();
+        assert_eq!(drain(&mut m), (false, vec![1]));
+    }
+
+    #[test]
+    fn code_dirty_overflow_degrades_to_full_flush() {
+        let mut m = Memory::new((CODE_DIRTY_PENDING_CAP + 8) * PAGE_BYTES);
+        for idx in 0..CODE_DIRTY_PENDING_CAP + 1 {
+            m.note_code_page(idx);
+            m.write_u32((idx * PAGE_BYTES) as u32, 1).unwrap();
+        }
+        let (all, pages) = drain(&mut m);
+        assert!(all, "past the cap the channel must degrade, not grow");
+        assert!(pages.is_empty());
     }
 
     #[test]
@@ -420,9 +665,9 @@ mod tests {
         assert_eq!(m.page_count(), 2);
         assert_eq!(m.page(1).len(), 8);
         m.write_u32(PAGE_BYTES as u32 + 4, 9).unwrap();
-        assert_eq!(m.dirty_pages(), vec![1]);
+        assert_eq!(dirty(&m), vec![1]);
         m.mark_all_dirty();
-        assert_eq!(m.dirty_pages(), vec![0, 1]);
+        assert_eq!(dirty(&m), vec![0, 1]);
     }
 
     proptest! {

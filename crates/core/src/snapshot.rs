@@ -146,10 +146,9 @@ fn hash_stats(h: &mut Fnv64, s: &ExecStats) {
     for &c in &s.trap_counts {
         h.write_u64(c);
     }
-    // The opcode histogram is a HashMap; iterate in the ISA's fixed order
-    // so the digest is independent of hash-map layout.
+    // The opcode histogram, in the ISA's fixed order.
     for &op in Opcode::ALL {
-        h.write_u64(s.opcode_counts.get(&op).copied().unwrap_or(0));
+        h.write_u64(s.opcode_counts.get(op));
     }
 }
 
@@ -214,6 +213,7 @@ fn hash_config(h: &mut Fnv64, cfg: &SimConfig) {
     h.write_u64(cfg.fuel);
     hash_opt_u64(h, cfg.trap_base.map(u64::from));
     h.write_u8(u8::from(cfg.record_trace));
+    h.write_u8(u8::from(cfg.predecode));
 }
 
 /// Why a snapshot could not be restored.
@@ -418,13 +418,14 @@ impl Checkpointer {
     /// image, re-digests only those pages, recaptures the register/state
     /// half, and re-checksums. Returns the new snapshot id.
     pub fn checkpoint(&mut self, cpu: &mut Cpu) -> u64 {
-        let dirty = cpu.mem.dirty_pages();
         let mut bytes = 0u64;
-        for &idx in &dirty {
+        let mut pages_copied = 0u64;
+        for idx in cpu.mem.dirty_pages() {
             self.snap.mem.sync_page_from(&cpu.mem, idx);
             let page = self.snap.mem.page(idx);
             bytes += page.len() as u64;
             self.snap.page_sums[idx] = page_sum(page);
+            pages_copied += 1;
         }
         self.snap.mem.set_traffic(cpu.mem.traffic());
         self.snap.id += 1;
@@ -434,7 +435,7 @@ impl Checkpointer {
         self.snap.at_instruction = self.snap.state.stats.instructions;
         self.snap.checksum = self.snap.compute_checksum();
         self.stats.checkpoints += 1;
-        self.stats.pages_copied += dirty.len() as u64;
+        self.stats.pages_copied += pages_copied;
         self.stats.bytes_copied += bytes;
         self.stats.modeled_cycles += CKPT_BASE_CYCLES + bytes / 4;
         self.snap.id

@@ -4,6 +4,83 @@ use crate::trap::TrapKind;
 use risc1_isa::{Category, Opcode};
 use std::collections::HashMap;
 use std::fmt;
+use std::ops::Index;
+
+/// Number of slots in the dense opcode histogram: the opcode field is
+/// 7 bits, so every legal discriminant fits below 128.
+const OPCODE_SLOTS: usize = 128;
+
+/// Dense dynamic-opcode histogram, indexed by opcode discriminant.
+///
+/// This replaces the former `HashMap<Opcode, u64>`: `retire` runs once per
+/// simulated instruction, and a hash-and-probe on that path cost more than
+/// the rest of the bookkeeping combined. The discriminant of [`Opcode`] *is*
+/// its 7-bit encoding (see `risc1_isa::opcode`), so a flat 128-slot array
+/// gives a branch-free single-store bump. The `HashMap` shape survives for
+/// callers and serialization via [`OpcodeCounts::to_map`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpcodeCounts([u64; OPCODE_SLOTS]);
+
+impl Default for OpcodeCounts {
+    fn default() -> Self {
+        OpcodeCounts([0; OPCODE_SLOTS])
+    }
+}
+
+impl OpcodeCounts {
+    /// All-zero histogram.
+    pub fn new() -> OpcodeCounts {
+        OpcodeCounts::default()
+    }
+
+    /// Increments the count for one retired opcode.
+    #[inline]
+    pub fn bump(&mut self, op: Opcode) {
+        self.0[op as u8 as usize] += 1;
+    }
+
+    /// The count for one opcode (zero if never retired).
+    #[inline]
+    pub fn get(&self, op: Opcode) -> u64 {
+        self.0[op as u8 as usize]
+    }
+
+    /// Iterates over `(opcode, count)` pairs with non-zero counts, in
+    /// Table II order.
+    pub fn iter(&self) -> impl Iterator<Item = (Opcode, u64)> + '_ {
+        Opcode::ALL
+            .iter()
+            .map(|&op| (op, self.get(op)))
+            .filter(|&(_, n)| n > 0)
+    }
+
+    /// Total retired instructions across all opcodes.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// The histogram in its former `HashMap` shape (non-zero entries only),
+    /// for callers and serializers that want keyed access.
+    pub fn to_map(&self) -> HashMap<Opcode, u64> {
+        self.iter().collect()
+    }
+}
+
+impl Index<Opcode> for OpcodeCounts {
+    type Output = u64;
+    fn index(&self, op: Opcode) -> &u64 {
+        &self.0[op as u8 as usize]
+    }
+}
+
+/// `&Opcode` indexing mirrors the old `HashMap<Opcode, u64>` call sites
+/// (`counts[&Opcode::Add]`).
+impl Index<&Opcode> for OpcodeCounts {
+    type Output = u64;
+    fn index(&self, op: &Opcode) -> &u64 {
+        &self.0[*op as u8 as usize]
+    }
+}
 
 /// Counters accumulated over one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -51,8 +128,9 @@ pub struct ExecStats {
     pub trap_counts: [u64; TrapKind::COUNT],
     /// External interrupts taken (the `CALLI` entry sequence).
     pub interrupts_taken: u64,
-    /// Dynamic opcode histogram.
-    pub opcode_counts: HashMap<Opcode, u64>,
+    /// Dynamic opcode histogram (dense, discriminant-indexed; see
+    /// [`OpcodeCounts`]).
+    pub opcode_counts: OpcodeCounts,
 }
 
 impl ExecStats {
@@ -62,10 +140,11 @@ impl ExecStats {
     }
 
     /// Records one retired instruction of the given opcode.
+    #[inline]
     pub fn retire(&mut self, op: Opcode) {
         self.instructions += 1;
         self.ifetches += 1;
-        *self.opcode_counts.entry(op).or_insert(0) += 1;
+        self.opcode_counts.bump(op);
     }
 
     /// Total data-memory traffic (reads + writes).
@@ -77,7 +156,7 @@ impl ExecStats {
     /// table (E12).
     pub fn category_counts(&self) -> HashMap<Category, u64> {
         let mut out = HashMap::new();
-        for (op, n) in &self.opcode_counts {
+        for (op, n) in self.opcode_counts.iter() {
             *out.entry(op.category()).or_insert(0) += n;
         }
         out
@@ -178,6 +257,30 @@ mod tests {
         assert_eq!(s.instructions, 3);
         assert_eq!(s.opcode_counts[&Opcode::Add], 2);
         assert_eq!(s.category_counts()[&Category::Load], 1);
+    }
+
+    #[test]
+    fn every_opcode_discriminant_fits_the_dense_histogram() {
+        // The histogram indexes by `op as u8`; the 7-bit opcode field
+        // guarantees this stays below OPCODE_SLOTS.
+        for &op in Opcode::ALL {
+            assert!((op as u8 as usize) < OPCODE_SLOTS, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_map_accessor_matches_dense_counts() {
+        let mut s = ExecStats::new();
+        s.retire(Opcode::Add);
+        s.retire(Opcode::Ldl);
+        s.retire(Opcode::Ldl);
+        let map = s.opcode_counts.to_map();
+        assert_eq!(map.len(), 2, "only non-zero entries survive");
+        assert_eq!(map[&Opcode::Add], 1);
+        assert_eq!(map[&Opcode::Ldl], 2);
+        assert_eq!(s.opcode_counts.total(), 3);
+        assert_eq!(s.opcode_counts[Opcode::Add], 1);
+        assert_eq!(s.opcode_counts.get(Opcode::Xor), 0);
     }
 
     #[test]

@@ -37,10 +37,33 @@ pub const WINDOW_STRIDE: usize = 16;
 pub const SPILL_REGS: usize = 16;
 
 /// The register file with overlapped windows.
+///
+/// ## Storage layout (an interpreter-speed concern, not an architectural
+/// one)
+///
+/// All registers live in one flat `store`: the 10 globals first, then the
+/// `16·w` ring slots. Register access is the hottest operation in the
+/// whole simulator (two reads and a write on a typical instruction), so
+/// the visible-name → store-index translation — a branchy computation
+/// involving a modulo by the window count — is not done per access.
+/// Instead `maps` precomputes, once at construction, the full 32-entry
+/// translation table for *every possible* `cwp`; `read`/`write` are then
+/// a two-load table walk, and a `CALL`/`RET` switches tables by moving
+/// `cwp` alone. The tables are a pure function of the window geometry
+/// (never of register *values*), so none of this is visible state:
+/// snapshots and checksums see exactly the globals-then-ring words they
+/// always did.
 #[derive(Debug, Clone)]
 pub struct WindowFile {
-    globals: [u32; GLOBALS],
-    ring: Vec<u32>,
+    /// Globals (`store[..GLOBALS]`) followed by the ring.
+    store: Vec<u32>,
+    /// `maps[w][n]` = store index backing visible register `n` when
+    /// `cwp == w`. Entry 0 (r0) points at a global slot but is never used:
+    /// `read`/`write` special-case r0 first.
+    maps: Vec<[u16; 32]>,
+    /// Inline copy of `maps[cwp]`, refreshed whenever `cwp` moves, so the
+    /// per-access path never chases the `maps` Vec pointer.
+    cur: [u16; 32],
     windows: usize,
     cwp: usize,
     /// Number of windows currently resident in the file (1..=windows−1).
@@ -62,9 +85,10 @@ impl WindowFile {
     /// Panics if `windows < 2` (with fewer there is no ring to overlap).
     pub fn new(windows: usize) -> WindowFile {
         assert!(windows >= 2, "need at least 2 register windows");
-        WindowFile {
-            globals: [0; GLOBALS],
-            ring: vec![0; WINDOW_STRIDE * windows],
+        let mut f = WindowFile {
+            store: vec![0; GLOBALS + WINDOW_STRIDE * windows],
+            maps: Vec::new(),
+            cur: [0; 32],
             windows,
             cwp: 0,
             resident: 1,
@@ -73,7 +97,22 @@ impl WindowFile {
             max_depth: 0,
             overflows: 0,
             underflows: 0,
-        }
+        };
+        f.maps = (0..windows)
+            .map(|w| {
+                let mut map = [0u16; 32];
+                for r in Reg::all() {
+                    let n = r.number();
+                    map[n as usize] = match f.physical_slot(w, r) {
+                        None => n as u16,
+                        Some(i) => (GLOBALS + i) as u16,
+                    };
+                }
+                map
+            })
+            .collect();
+        f.cur = f.maps[f.cwp];
+        f
     }
 
     /// Number of windows in the file.
@@ -124,11 +163,10 @@ impl WindowFile {
     /// counters) into `sink` in a fixed order — the snapshot-checksum
     /// primitive.
     pub(crate) fn for_each_word(&self, mut sink: impl FnMut(u64)) {
-        for &g in &self.globals {
-            sink(u64::from(g));
-        }
-        for &r in &self.ring {
-            sink(u64::from(r));
+        // `store` is globals-then-ring, so this walks the same words in
+        // the same order the split representation did.
+        for &w in &self.store {
+            sink(u64::from(w));
         }
         sink(self.windows as u64);
         sink(self.cwp as u64);
@@ -163,26 +201,26 @@ impl WindowFile {
     }
 
     /// Reads visible register `r` in the current window. r0 reads as zero.
+    #[inline]
     pub fn read(&self, r: Reg) -> u32 {
         if r.is_zero() {
             return 0;
         }
-        match self.physical_slot(self.cwp, r) {
-            None => self.globals[r.number() as usize],
-            Some(i) => self.ring[i],
-        }
+        // `& 31` keeps the array index branch-free; register numbers are
+        // below 32 by construction.
+        let i = self.cur[r.number() as usize & 31];
+        self.store[i as usize]
     }
 
     /// Writes visible register `r` in the current window. Writes to r0 are
     /// discarded.
+    #[inline]
     pub fn write(&mut self, r: Reg, v: u32) {
         if r.is_zero() {
             return;
         }
-        match self.physical_slot(self.cwp, r) {
-            None => self.globals[r.number() as usize] = v,
-            Some(i) => self.ring[i] = v,
-        }
+        let i = self.cur[r.number() as usize & 31];
+        self.store[i as usize] = v;
     }
 
     /// All 32 visible registers of the current window, r0 first.
@@ -212,10 +250,10 @@ impl WindowFile {
         let prev = (o + self.windows - 1) % self.windows;
         let mut out = [0; SPILL_REGS];
         for (k, slot) in out.iter_mut().take(6).enumerate() {
-            *slot = self.ring[self.slot(prev, k)]; // HIGH of o = LOW of o−1
+            *slot = self.store[GLOBALS + self.slot(prev, k)]; // HIGH of o = LOW of o−1
         }
         for (k, slot) in out.iter_mut().skip(6).enumerate() {
-            *slot = self.ring[self.slot(o, 6 + k)]; // LOCALs of o
+            *slot = self.store[GLOBALS + self.slot(o, 6 + k)]; // LOCALs of o
         }
         self.resident -= 1;
         self.spilled += 1;
@@ -230,6 +268,7 @@ impl WindowFile {
     pub fn advance(&mut self) {
         assert!(!self.call_would_overflow(), "advance on a full window file");
         self.cwp = (self.cwp + 1) % self.windows;
+        self.cur = self.maps[self.cwp];
         self.resident += 1;
         self.depth += 1;
         self.max_depth = self.max_depth.max(self.depth);
@@ -250,12 +289,12 @@ impl WindowFile {
         let t = (self.cwp + self.windows - 1) % self.windows;
         let prev = (t + self.windows - 1) % self.windows;
         for (k, &v) in regs.iter().take(6).enumerate() {
-            let i = self.slot(prev, k);
-            self.ring[i] = v;
+            let i = GLOBALS + self.slot(prev, k);
+            self.store[i] = v;
         }
         for (k, &v) in regs.iter().skip(6).enumerate() {
-            let i = self.slot(t, 6 + k);
-            self.ring[i] = v;
+            let i = GLOBALS + self.slot(t, 6 + k);
+            self.store[i] = v;
         }
         self.resident += 1;
         self.spilled -= 1;
@@ -275,6 +314,7 @@ impl WindowFile {
         }
         assert!(!self.ret_would_underflow(), "retreat into a spilled window");
         self.cwp = (self.cwp + self.windows - 1) % self.windows;
+        self.cur = self.maps[self.cwp];
         self.resident -= 1;
         self.depth -= 1;
         true

@@ -1,0 +1,289 @@
+//! Offline interpreter benchmark — the decode cache's receipt.
+//!
+//! PR 4 added a predecoded instruction cache to the simulator core
+//! (DESIGN.md §11): prepared instruction lines shadow memory so the hot
+//! loop skips fetch → `peek_u32` → decode → operand extraction on every
+//! step, and `run_to_halt` executes in bursts that hoist the per-step
+//! probe/interrupt/fuel checks out to burst boundaries. This module
+//! measures what the whole fast path buys, *host-side*, against the
+//! interpreter's canonical baseline:
+//!
+//! - **cached**: `predecode: true` (the default) driven through the
+//!   batched `run_to_halt` fast path;
+//! - **uncached**: `predecode: false` driven through the one-at-a-time
+//!   `step()` loop — fetch, decode, prepare, and every boundary check
+//!   paid per instruction, exactly the pre-cache execution model.
+//!
+//! No external benchmarking crate is involved — plain
+//! `std::time::Instant`, best-of-N — so the numbers regenerate in the
+//! offline CI image. The machine-readable output, `BENCH_interp.json`,
+//! is the repo's canonical perf gate: CI runs `risc1 bench --quick` and
+//! fails if the cached mode is not faster in aggregate.
+//!
+//! The two modes are *bit-identical* in simulated behaviour (same
+//! result, stats, memory image — `tests/interp_equivalence.rs` is the
+//! proof); only host wall time may differ. The harness asserts the
+//! result/instruction agreement outright on every run.
+
+use risc1_core::{Cpu, Halt, Program, SimConfig};
+use risc1_ir::layout::ARGV_BASE;
+use risc1_ir::{compile_risc, RiscOpts};
+use risc1_stats::Table;
+use risc1_workloads::all;
+use std::time::{Duration, Instant};
+
+/// One workload's cached-vs-uncached timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRow {
+    /// Workload id.
+    pub id: &'static str,
+    /// Simulated instructions one run retires (identical in both modes).
+    pub instructions: u64,
+    /// Simulated instructions per host second, decode cache on.
+    pub cached_ips: f64,
+    /// Simulated instructions per host second, decode cache off.
+    pub uncached_ips: f64,
+}
+
+impl BenchRow {
+    /// Host-time speedup of the cached mode over the uncached one.
+    pub fn speedup(&self) -> f64 {
+        self.cached_ips / self.uncached_ips.max(1e-9)
+    }
+}
+
+/// The whole suite's timings plus the run mode that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Whether the run used small arguments and a short timing budget.
+    pub quick: bool,
+    /// One row per suite workload, in suite order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Geometric mean of the per-workload speedups — the aggregate the
+    /// CI gate checks against 1.0.
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let ln_sum: f64 = self.rows.iter().map(|r| r.speedup().ln()).sum();
+        (ln_sum / self.rows.len() as f64).exp()
+    }
+
+    /// Renders the report as the `BENCH_interp.json` document. The
+    /// writer is hand-rolled (no serde in the offline image); the schema
+    /// is documented in README.md §Benchmarks.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"risc1-bench-interp/v1\",\n");
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str("  \"unit\": \"simulated instructions per host second\",\n");
+        s.push_str("  \"workloads\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"instructions\": {}, \"cached_ips\": {:.1}, \
+                 \"uncached_ips\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                r.id,
+                r.instructions,
+                r.cached_ips,
+                r.uncached_ips,
+                r.speedup(),
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"geomean_speedup\": {:.3}\n",
+            self.geomean_speedup()
+        ));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the report as a text table for the CLI.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(&[
+            "benchmark",
+            "instructions",
+            "cached (insns/s)",
+            "uncached (insns/s)",
+            "speedup",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.id.to_string(),
+                r.instructions.to_string(),
+                format!("{:.2e}", r.cached_ips),
+                format!("{:.2e}", r.uncached_ips),
+                format!("{:.2}x", r.speedup()),
+            ]);
+        }
+        format!(
+            "Interpreter benchmark — predecoded instruction cache on vs. off\n\
+             ({} arguments; best-of-N host timing, simulated behaviour is\n\
+             bit-identical in both modes)\n\n{t}\n\
+             geomean speedup: {:.2}x\n",
+            if self.quick { "small" } else { "paper-scale" },
+            self.geomean_speedup()
+        )
+    }
+}
+
+/// One measured execution: the cpu is built and loaded outside the timed
+/// region, so the reading is the interpreter loop itself, not setup. The
+/// cached mode runs the batched `run_to_halt` fast path; the uncached
+/// mode steps one instruction at a time — the canonical baseline the
+/// fast path exists to beat.
+fn timed_run(prog: &Program, args: &[i32], predecode: bool) -> (u64, i32, Duration) {
+    let cfg = SimConfig {
+        predecode,
+        ..SimConfig::default()
+    };
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_program(prog).expect("program fits memory");
+    cpu.set_args(args);
+    for (i, &a) in args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    let t = Instant::now();
+    if predecode {
+        cpu.run().expect("suite runs clean");
+    } else {
+        while cpu.step().expect("suite runs clean") == Halt::Running {}
+    }
+    let dt = t.elapsed();
+    (cpu.stats().instructions, cpu.result(), dt)
+}
+
+/// Reps per same-mode block (see [`best_pair`]).
+const BLOCK: u32 = 3;
+
+/// Best-of-N timing for one program, both modes at once: after a warmup,
+/// repeat alternating *blocks* of cached and uncached reps until `budget`
+/// host time is spent (always at least two block pairs), keeping each
+/// mode's fastest rep. The block structure matters twice over on a shared
+/// host: alternating the modes exposes both to the same frequency/quota
+/// drift instead of letting it bias the ratio, while running each mode a
+/// few reps at a stretch lets the host's branch predictors reach steady
+/// state — the two interpreter paths evict each other's state, and for
+/// short workloads that retraining is a visible fraction of a rep, which
+/// best-of keeps out of the reading by discarding each block's cold lap.
+/// Asserts the modes agree on simulated behaviour; returns
+/// `(instructions, cached ips, uncached ips)`.
+fn best_pair(id: &str, prog: &Program, args: &[i32], budget: Duration) -> (u64, f64, f64) {
+    let (mut best_c, mut best_u) = (Duration::MAX, Duration::MAX);
+    let mut spent = Duration::ZERO;
+    let (mut cached, mut uncached) = ((0u64, 0i32), (0u64, 0i32));
+    let mut blocks = 0u32;
+    while blocks < 2 || (spent < budget && blocks < 200) {
+        for _ in 0..BLOCK {
+            let (n, r, dt) = timed_run(prog, args, true);
+            cached = (n, r);
+            best_c = best_c.min(dt);
+            spent += dt;
+        }
+        for _ in 0..BLOCK {
+            let (n, r, dt) = timed_run(prog, args, false);
+            uncached = (n, r);
+            best_u = best_u.min(dt);
+            spent += dt;
+        }
+        assert_eq!(
+            cached, uncached,
+            "{id}: cached and uncached runs must agree on simulated behaviour"
+        );
+        blocks += 1;
+    }
+    let ips = |d: Duration| cached.0 as f64 / d.as_secs_f64().max(1e-9);
+    (cached.0, ips(best_c), ips(best_u))
+}
+
+/// Benchmarks the full suite. `quick` uses each workload's small
+/// arguments and a short per-mode budget (the CI smoke configuration);
+/// the full run uses paper-scale arguments and a longer budget.
+pub fn run_suite(quick: bool) -> BenchReport {
+    let budget = if quick {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    };
+    let rows = all()
+        .iter()
+        .map(|w| {
+            let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+            let args = if quick { &w.small_args } else { &w.args };
+            let (instructions, cached_ips, uncached_ips) = best_pair(w.id, &prog, args, budget);
+            BenchRow {
+                id: w.id,
+                instructions,
+                cached_ips,
+                uncached_ips,
+            }
+        })
+        .collect();
+    BenchReport { quick, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_times_every_workload_and_emits_valid_rows() {
+        let rep = run_suite(true);
+        assert_eq!(rep.rows.len(), 11, "the paper's full benchmark count");
+        for r in &rep.rows {
+            assert!(r.instructions > 0, "{}", r.id);
+            assert!(r.cached_ips > 0.0 && r.uncached_ips > 0.0, "{}", r.id);
+        }
+        // Host timing is noisy in debug tests, so only sanity-bound the
+        // aggregate here; the real ≥-gate runs in release via the CLI.
+        assert!(rep.geomean_speedup() > 0.0);
+    }
+
+    #[test]
+    fn json_document_carries_the_schema_and_every_workload() {
+        let rep = BenchReport {
+            quick: true,
+            rows: vec![
+                BenchRow {
+                    id: "fib",
+                    instructions: 1000,
+                    cached_ips: 4.0e7,
+                    uncached_ips: 1.0e7,
+                },
+                BenchRow {
+                    id: "qsort",
+                    instructions: 2000,
+                    cached_ips: 3.0e7,
+                    uncached_ips: 1.5e7,
+                },
+            ],
+        };
+        let json = rep.to_json();
+        assert!(json.contains("\"schema\": \"risc1-bench-interp/v1\""));
+        assert!(json.contains("\"id\": \"fib\""));
+        assert!(json.contains("\"speedup\": 4.000"));
+        assert!(json.contains("\"geomean_speedup\": 2.828"));
+        // Balanced braces/brackets — the document parses as JSON.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn geomean_of_an_empty_report_is_neutral() {
+        let rep = BenchReport {
+            quick: true,
+            rows: vec![],
+        };
+        assert_eq!(rep.geomean_speedup(), 1.0);
+    }
+}

@@ -11,7 +11,10 @@
 //! fault ends the run. A second table prices trap entry per cause.
 
 use risc1_core::{Cpu, InjectConfig, Program, SimConfig, TrapKind};
-use risc1_ir::{compile_risc, run_risc, run_risc_injected, InjectOutcome, RiscOpts};
+use risc1_ir::{
+    compile_risc, default_threads, parallel_map, run_risc, run_risc_injected, seed_jobs,
+    InjectOutcome, RiscOpts,
+};
 use risc1_isa::{Instruction, Opcode, Reg, Short2};
 use risc1_stats::Table;
 use risc1_workloads::all;
@@ -46,57 +49,117 @@ pub struct RecoveryRow {
     pub trap_counts: [u64; TrapKind::COUNT],
 }
 
+/// One workload compiled and calibrated for injection: program, expected
+/// clean result, fuel-bounded config and derived injection rate.
+struct Calibrated {
+    prog: Program,
+    args: Vec<i32>,
+    expect: i32,
+    cfg: SimConfig,
+    rate: u32,
+}
+
+/// What one `(workload, seed)` job contributes to its row — merged
+/// serially in canonical seed order after the parallel sweep.
+struct SeedTally {
+    recovered: u64,
+    wrong_result: u64,
+    faulted: u64,
+    survived_bare: u64,
+    trap_entries: u64,
+    trap_entry_cycles: u64,
+    trap_counts: [u64; TrapKind::COUNT],
+}
+
 /// Sweeps the whole suite (small arguments; the fuel limit is derived
 /// from each workload's uninjected instruction count so re-execution
-/// loops terminate quickly).
+/// loops terminate quickly) on the machine's available parallelism.
 pub fn compute() -> Vec<RecoveryRow> {
-    all()
+    compute_with_threads(default_threads())
+}
+
+/// [`compute`] with an explicit worker count. Results are byte-identical
+/// for any `threads` (asserted in tests): jobs are farmed out dynamically
+/// but folded in canonical `(workload, seed)` order.
+pub fn compute_with_threads(threads: usize) -> Vec<RecoveryRow> {
+    let workloads = all();
+    let setups = parallel_map(&workloads, threads, |_, w| {
+        let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+        let (expect, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
+        let cfg = SimConfig {
+            fuel: base.instructions * 3 + 20_000,
+            ..SimConfig::default()
+        };
+        let rate = (TARGET_EVENTS * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32;
+        Calibrated {
+            prog,
+            args: w.small_args.clone(),
+            expect,
+            cfg,
+            rate,
+        }
+    });
+    let jobs = seed_jobs(setups.len(), SEEDS);
+    let tallies = parallel_map(&jobs, threads, |_, &(wi, seed)| {
+        let s = &setups[wi];
+        let mut icfg = InjectConfig::with_seed(seed);
+        icfg.rate = s.rate;
+        let rep =
+            run_risc_injected(&s.prog, &s.args, s.cfg.clone(), icfg, true).expect("setup is valid");
+        let mut t = SeedTally {
+            recovered: 0,
+            wrong_result: 0,
+            faulted: 0,
+            survived_bare: 0,
+            trap_entries: rep.stats.trap_entries,
+            trap_entry_cycles: rep.stats.trap_entry_cycles,
+            trap_counts: [0; TrapKind::COUNT],
+        };
+        match rep.outcome {
+            InjectOutcome::Halted { result } if result == s.expect => t.recovered = 1,
+            InjectOutcome::Halted { .. } => t.wrong_result = 1,
+            InjectOutcome::Faulted { .. } => t.faulted = 1,
+        }
+        for kind in TrapKind::ALL {
+            t.trap_counts[kind.index()] = rep.stats.trap_count(kind);
+        }
+        let mut icfg = InjectConfig::with_seed(seed);
+        icfg.rate = s.rate;
+        let bare = run_risc_injected(&s.prog, &s.args, s.cfg.clone(), icfg, false)
+            .expect("setup is valid");
+        if bare.is_halted() {
+            t.survived_bare = 1;
+        }
+        t
+    });
+    let mut rows: Vec<RecoveryRow> = workloads
         .iter()
-        .map(|w| {
-            let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
-            let (expect, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
-            let cfg = SimConfig {
-                fuel: base.instructions * 3 + 20_000,
-                ..SimConfig::default()
-            };
-            let rate = (TARGET_EVENTS * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32;
-            let mut row = RecoveryRow {
-                id: w.id,
-                rate,
-                recovered: 0,
-                wrong_result: 0,
-                faulted: 0,
-                survived_bare: 0,
-                trap_entries: 0,
-                trap_entry_cycles: 0,
-                trap_counts: [0; TrapKind::COUNT],
-            };
-            for seed in 0..SEEDS {
-                let mut icfg = InjectConfig::with_seed(seed);
-                icfg.rate = rate;
-                let rep = run_risc_injected(&prog, &w.small_args, cfg.clone(), icfg, true)
-                    .expect("setup is valid");
-                match rep.outcome {
-                    InjectOutcome::Halted { result } if result == expect => row.recovered += 1,
-                    InjectOutcome::Halted { .. } => row.wrong_result += 1,
-                    InjectOutcome::Faulted { .. } => row.faulted += 1,
-                }
-                row.trap_entries += rep.stats.trap_entries;
-                row.trap_entry_cycles += rep.stats.trap_entry_cycles;
-                for kind in TrapKind::ALL {
-                    row.trap_counts[kind.index()] += rep.stats.trap_count(kind);
-                }
-                let mut icfg = InjectConfig::with_seed(seed);
-                icfg.rate = rate;
-                let bare = run_risc_injected(&prog, &w.small_args, cfg.clone(), icfg, false)
-                    .expect("setup is valid");
-                if bare.is_halted() {
-                    row.survived_bare += 1;
-                }
-            }
-            row
+        .zip(&setups)
+        .map(|(w, s)| RecoveryRow {
+            id: w.id,
+            rate: s.rate,
+            recovered: 0,
+            wrong_result: 0,
+            faulted: 0,
+            survived_bare: 0,
+            trap_entries: 0,
+            trap_entry_cycles: 0,
+            trap_counts: [0; TrapKind::COUNT],
         })
-        .collect()
+        .collect();
+    for (&(wi, _), t) in jobs.iter().zip(&tallies) {
+        let row = &mut rows[wi];
+        row.recovered += t.recovered;
+        row.wrong_result += t.wrong_result;
+        row.faulted += t.faulted;
+        row.survived_bare += t.survived_bare;
+        row.trap_entries += t.trap_entries;
+        row.trap_entry_cycles += t.trap_entry_cycles;
+        for k in 0..TrapKind::COUNT {
+            row.trap_counts[k] += t.trap_counts[k];
+        }
+    }
+    rows
 }
 
 /// Measures the cycle cost of one trap entry for `kind` with a
@@ -185,6 +248,13 @@ mod tests {
         assert!(entries > 0, "the campaign must actually vector traps");
         let recovered: u64 = rows.iter().map(|r| r.recovered).sum();
         assert!(recovered > 0, "some campaigns must fully recover");
+    }
+
+    #[test]
+    fn campaign_rows_are_independent_of_thread_count() {
+        // The parallel runner's contract, end to end through a real
+        // experiment: serial and parallel sweeps agree byte for byte.
+        assert_eq!(compute_with_threads(1), compute_with_threads(3));
     }
 
     #[test]

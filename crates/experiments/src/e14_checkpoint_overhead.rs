@@ -12,7 +12,8 @@
 
 use risc1_core::{SimConfig, CKPT_BASE_CYCLES};
 use risc1_ir::{
-    compile_risc, run_risc, run_risc_supervised, RiscOpts, SupervisorConfig, DEFAULT_CKPT_EVERY,
+    compile_risc, default_threads, parallel_map, run_risc, run_risc_supervised, RiscOpts,
+    SupervisorConfig, DEFAULT_CKPT_EVERY,
 };
 use risc1_stats::Table;
 use risc1_workloads::all;
@@ -51,43 +52,53 @@ pub struct OverheadRow {
 
 /// Sweeps every workload (small arguments) across [`INTERVALS`] under the
 /// supervisor with injection disabled, so the only new cost is
-/// checkpointing itself.
+/// checkpointing itself. Runs on the machine's available parallelism.
 pub fn compute() -> Vec<OverheadRow> {
-    all()
+    compute_with_threads(default_threads())
+}
+
+/// [`compute`] with an explicit worker count; the sweep is a parallel map
+/// over `(workload, interval)` jobs merged in canonical order, so the
+/// result is byte-identical for any `threads`.
+pub fn compute_with_threads(threads: usize) -> Vec<OverheadRow> {
+    let workloads = all();
+    let setups = parallel_map(&workloads, threads, |_, w| {
+        let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+        let (_, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
+        (prog, base)
+    });
+    let jobs: Vec<(usize, u64)> = (0..workloads.len())
+        .flat_map(|wi| INTERVALS.iter().map(move |&iv| (wi, iv)))
+        .collect();
+    let costs = parallel_map(&jobs, threads, |_, &(wi, interval)| {
+        let report = run_risc_supervised(
+            &setups[wi].0,
+            &workloads[wi].small_args,
+            SimConfig::default(),
+            None,
+            false,
+            SupervisorConfig {
+                ckpt_every: interval,
+                ..SupervisorConfig::default()
+            },
+        )
+        .expect("setup is valid");
+        IntervalCost {
+            interval,
+            checkpoints: report.checkpoints.checkpoints,
+            pages_copied: report.checkpoints.pages_copied,
+            modeled_cycles: report.checkpoints.modeled_cycles,
+            overhead: report.checkpoint_overhead(),
+        }
+    });
+    workloads
         .iter()
-        .map(|w| {
-            let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
-            let (_, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
-            let costs = INTERVALS
-                .iter()
-                .map(|&interval| {
-                    let report = run_risc_supervised(
-                        &prog,
-                        &w.small_args,
-                        SimConfig::default(),
-                        None,
-                        false,
-                        SupervisorConfig {
-                            ckpt_every: interval,
-                            ..SupervisorConfig::default()
-                        },
-                    )
-                    .expect("setup is valid");
-                    IntervalCost {
-                        interval,
-                        checkpoints: report.checkpoints.checkpoints,
-                        pages_copied: report.checkpoints.pages_copied,
-                        modeled_cycles: report.checkpoints.modeled_cycles,
-                        overhead: report.checkpoint_overhead(),
-                    }
-                })
-                .collect();
-            OverheadRow {
-                id: w.id,
-                instructions: base.instructions,
-                cycles: base.cycles,
-                costs,
-            }
+        .enumerate()
+        .map(|(wi, w)| OverheadRow {
+            id: w.id,
+            instructions: setups[wi].1.instructions,
+            cycles: setups[wi].1.cycles,
+            costs: costs[wi * INTERVALS.len()..(wi + 1) * INTERVALS.len()].to_vec(),
         })
         .collect()
 }
@@ -163,6 +174,11 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sweep_rows_are_independent_of_thread_count() {
+        assert_eq!(compute_with_threads(1), compute_with_threads(4));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! ```
 
 pub mod ablations;
+pub mod bench;
 pub mod e10_area;
 pub mod e11_pipeline_trace;
 pub mod e12_instruction_mix;

@@ -1,0 +1,167 @@
+//! Deterministic parallel campaign runner.
+//!
+//! Every multi-seed experiment in this repo — fault-injection sweeps,
+//! checkpoint-overhead grids, the CI trichotomy test — is a map over
+//! independent `(workload, seed)` jobs whose per-job work is itself
+//! deterministic. That makes them embarrassingly parallel *if* the merge
+//! is careful: results must come back in a canonical order, or report
+//! bytes would depend on thread scheduling.
+//!
+//! [`parallel_map`] is that careful map. Scheduling is dynamic (workers
+//! steal the next job index from a shared atomic counter, so a slow job
+//! doesn't idle the other threads), but each result is tagged with its
+//! input index and the output is reassembled in input order. The result is
+//! therefore **byte-identical for any thread count, including 1** — a
+//! property `tests` below and `e13`/`e14` assert outright. Plain
+//! `std::thread::scope`, no dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A sensible worker count for campaign runs: the machine's available
+/// parallelism, or 1 when that cannot be determined.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, on `threads` worker threads, returning the
+/// results in input order regardless of scheduling.
+///
+/// `f` receives `(index, &item)` so jobs can be labelled without threading
+/// context through the item type. Worker panics are propagated to the
+/// caller with their original payload, after the remaining workers drain.
+pub fn parallel_map<I, T, F>(items: &[I], threads: usize, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut got = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        got.push((i, f(i, item)));
+                    }
+                    got
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    // Canonical merge: reassemble by input index.
+    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+    for (i, v) in buckets.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("every index was claimed exactly once"))
+        .collect()
+}
+
+/// The `(workload, seed)` cross product in canonical order: all seeds of
+/// workload 0, then all seeds of workload 1, … The unit of work-stealing
+/// for injection campaigns — one flat job list keeps long workloads from
+/// serialising behind each other.
+pub fn seed_jobs(workloads: usize, seeds: u64) -> Vec<(usize, u64)> {
+    (0..workloads)
+        .flat_map(|w| (0..seeds).map(move |s| (w, s)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::dsl::*;
+    use crate::{compile_risc, run_risc_injected, RiscOpts};
+    use risc1_core::inject::{InjectConfig, InjectModes};
+    use risc1_core::SimConfig;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = parallel_map(&items, 1, |i, &x| (i as u64) * 1000 + x * x);
+        for threads in [2, 3, 8, 64] {
+            let par = parallel_map(&items, threads, |i, &x| (i as u64) * 1000 + x * x);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_item_inputs() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn seed_jobs_enumerate_the_cross_product_canonically() {
+        assert_eq!(
+            seed_jobs(2, 3),
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+        assert!(seed_jobs(0, 5).is_empty());
+    }
+
+    /// The load-bearing property: a real injection campaign — traps,
+    /// recovery stubs, seed-driven schedules — merged from any number of
+    /// threads must equal the serial run byte for byte.
+    #[test]
+    fn injected_campaign_reports_are_identical_for_any_thread_count() {
+        // Recursive fib: recursion drives window traffic, which gives the
+        // injector surface to perturb.
+        let fib = function(
+            "fib",
+            1,
+            3,
+            vec![
+                if_then(lt(local(0), konst(2)), vec![ret(local(0))]),
+                assign(1, call(1, vec![sub(local(0), konst(1))])),
+                assign(2, call(1, vec![sub(local(0), konst(2))])),
+                ret(add(local(1), local(2))),
+            ],
+        );
+        let main = function(
+            "main",
+            1,
+            2,
+            vec![assign(1, call(1, vec![local(0)])), ret(local(1))],
+        );
+        let m = module(vec![main, fib], vec![]);
+        let prog = compile_risc(&m, RiscOpts::default()).expect("compiles");
+        let cfg = SimConfig {
+            fuel: 200_000,
+            ..SimConfig::default()
+        };
+        let jobs = seed_jobs(1, 12);
+        let run = |_: usize, job: &(usize, u64)| {
+            let icfg = InjectConfig {
+                seed: job.1,
+                rate: 120,
+                modes: InjectModes::all(),
+            };
+            run_risc_injected(&prog, &[9], cfg.clone(), icfg, job.1.is_multiple_of(2)).expect("setup")
+        };
+        let serial = parallel_map(&jobs, 1, run);
+        for threads in [2, 5] {
+            assert_eq!(
+                serial,
+                parallel_map(&jobs, threads, run),
+                "{threads} threads"
+            );
+        }
+    }
+}

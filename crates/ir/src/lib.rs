@@ -40,6 +40,7 @@
 //! ```
 
 pub mod ast;
+pub mod campaign;
 pub mod cx;
 pub mod delay;
 pub mod interp;
@@ -52,6 +53,7 @@ pub mod runner;
 pub mod supervise;
 
 pub use ast::{BinOp, CmpOp, Expr, Function, Global, Module, Stmt, ValidateError};
+pub use campaign::{default_threads, parallel_map, seed_jobs};
 pub use cx::compile_cx;
 pub use interp::{interpret, InterpError};
 pub use m68::compile_mc;

@@ -119,7 +119,7 @@ pub enum InjectOutcome {
 /// Everything an injected run produced: outcome, execution statistics
 /// (including trap entry/return counters) and the injection schedule that
 /// was actually applied.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectReport {
     /// How the run ended.
     pub outcome: InjectOutcome,

@@ -11,7 +11,8 @@
 use risc1::core::inject::{InjectConfig, InjectModes};
 use risc1::core::{ExecError, SimConfig, TrapKind};
 use risc1::ir::{
-    compile_risc, record_risc_injected, run_risc, run_risc_injected, InjectOutcome, RiscOpts,
+    compile_risc, default_threads, parallel_map, record_risc_injected, run_risc, run_risc_injected,
+    seed_jobs, InjectOutcome, RiscOpts,
 };
 use risc1::workloads::all;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -63,36 +64,41 @@ fn trichotomy_holds_for_all_workloads_across_32_seeds() {
     let suite = compiled_suite();
     assert_eq!(suite.len(), 11, "the paper's full benchmark count");
     let _ = std::fs::create_dir_all(ARTIFACT_DIR);
+    // The 11×32 sweep is the slowest test in the repo; each (workload,
+    // seed) campaign is independent, so farm them out on the deterministic
+    // parallel runner and fold/write artifacts in canonical order after.
+    let jobs = seed_jobs(suite.len(), 32);
+    let outcomes = parallel_map(&jobs, default_threads(), |_, &(wi, seed)| {
+        let w = &suite[wi];
+        // Alternate handler installation so both halves of the design
+        // see every workload: even seeds recover, odd seeds run bare.
+        let recovery = seed % 2 == 0;
+        let icfg = InjectConfig {
+            seed,
+            rate: w.rate,
+            modes: InjectModes::all(),
+        };
+        catch_unwind(AssertUnwindSafe(|| {
+            let (journal, report) =
+                record_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, recovery)
+                    .expect("setup is valid");
+            (journal, report.outcome)
+        }))
+        .unwrap_or_else(|_| panic!("{} seed {seed} (recovery {recovery}) panicked", w.id))
+    });
     let mut halted = 0u64;
     let mut faulted = 0u64;
-    for w in &suite {
-        for seed in 0..32u64 {
-            // Alternate handler installation so both halves of the design
-            // see every workload: even seeds recover, odd seeds run bare.
-            let recovery = seed % 2 == 0;
-            let icfg = InjectConfig {
-                seed,
-                rate: w.rate,
-                modes: InjectModes::all(),
-            };
-            let (journal, outcome) = catch_unwind(AssertUnwindSafe(|| {
-                let (journal, report) =
-                    record_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, recovery)
-                        .expect("setup is valid");
-                (journal, report.outcome)
-            }))
-            .unwrap_or_else(|_| panic!("seed {seed} (recovery {recovery}) panicked"));
-            match outcome {
-                InjectOutcome::Halted { .. } => halted += 1,
-                InjectOutcome::Faulted { error } => {
-                    // A structured fault must render, not unwind — and its
-                    // journal lands in the artifact directory so the exact
-                    // campaign replays from the CI logs alone.
-                    let _ = error.to_string();
-                    let path = format!("{ARTIFACT_DIR}/{}_seed{seed}.json", w.id);
-                    let _ = std::fs::write(path, journal.to_json());
-                    faulted += 1;
-                }
+    for (&(wi, seed), (journal, outcome)) in jobs.iter().zip(&outcomes) {
+        match outcome {
+            InjectOutcome::Halted { .. } => halted += 1,
+            InjectOutcome::Faulted { error } => {
+                // A structured fault must render, not unwind — and its
+                // journal lands in the artifact directory so the exact
+                // campaign replays from the CI logs alone.
+                let _ = error.to_string();
+                let path = format!("{ARTIFACT_DIR}/{}_seed{seed}.json", suite[wi].id);
+                let _ = std::fs::write(path, journal.to_json());
+                faulted += 1;
             }
         }
     }

@@ -1,0 +1,226 @@
+//! The decode cache's correctness law: caching is invisible.
+//!
+//! PR 4's predecoded instruction cache (`crates/core/src/icache.rs`) is
+//! pure derived state — with it on or off, every simulated observable
+//! must be bit-identical: final result, `ExecStats` (instruction mix,
+//! cycles, traps, spills), the entire memory image, the visible register
+//! window, and the window-file position. This suite holds the cache to
+//! that bar three ways:
+//!
+//! 1. deterministically across all eleven suite workloads,
+//! 2. property-style under seed-driven fault injection (where traps,
+//!    recovery stubs, and snapshot restores stress the invalidation
+//!    paths), and
+//! 3. with a hand-assembled self-modifying program that overwrites its
+//!    own already-executed-and-cached text and only produces the right
+//!    answer if the stale line is dropped.
+//!
+//! Snapshot checksums deliberately cover `SimConfig` (so a restore
+//! cannot silently cross configurations), which makes them useless for
+//! cross-mode comparison — the digest here is hand-rolled over the raw
+//! memory pages instead.
+
+use proptest::prelude::*;
+use risc1::core::inject::{InjectConfig, InjectModes};
+use risc1::core::{Cpu, ExecStats, Halt, Program, SimConfig};
+use risc1::ir::{compile_risc, run_risc, run_risc_injected, RiscOpts};
+use risc1::isa::{Cond, Instruction, Opcode, Reg, Short2};
+use risc1::workloads::all;
+use std::sync::OnceLock;
+
+/// Mirror of the runtime argument area (`risc1_ir::layout::ARGV_BASE`):
+/// the runner writes args both to registers and here, so the memory
+/// digests only match if both modes see the same argv image.
+const ARGV_BASE: u32 = risc1::ir::layout::ARGV_BASE;
+
+/// Everything a program can observably leave behind.
+#[derive(Debug, PartialEq)]
+struct FinalState {
+    result: i32,
+    pc: u32,
+    stats: ExecStats,
+    visible: [u32; 32],
+    cwp: u8,
+    depth: u64,
+    mem_digest: u64,
+}
+
+/// FNV-1a over every memory page. `Snapshot::checksum` is unusable here
+/// because it folds in the `SimConfig` (which differs by construction
+/// across the two modes); this digest covers memory content only.
+fn mem_digest(cpu: &Cpu) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for idx in 0..cpu.mem.page_count() {
+        for &b in cpu.mem.page(idx) {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn capture(cpu: &Cpu) -> FinalState {
+    FinalState {
+        result: cpu.result(),
+        pc: cpu.pc(),
+        stats: cpu.stats(),
+        visible: cpu.windows().visible(),
+        cwp: cpu.windows().cwp(),
+        depth: cpu.windows().depth(),
+        mem_digest: mem_digest(cpu),
+    }
+}
+
+/// Runs `prog` to halt in the given mode and captures the final state.
+/// The cached mode goes through the batched `run_to_halt` fast path, the
+/// uncached mode through the one-at-a-time `step()` loop — the same two
+/// paths the benchmark harness compares.
+fn run_mode(prog: &Program, args: &[i32], predecode: bool) -> FinalState {
+    let cfg = SimConfig {
+        predecode,
+        ..SimConfig::default()
+    };
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_program(prog).expect("program fits memory");
+    cpu.set_args(args);
+    for (i, &a) in args.iter().enumerate() {
+        cpu.mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes())
+            .expect("argv mirror fits");
+    }
+    if predecode {
+        cpu.run().expect("suite runs clean");
+    } else {
+        while cpu.step().expect("suite runs clean") == Halt::Running {}
+    }
+    capture(&cpu)
+}
+
+#[test]
+fn every_workload_is_bit_identical_with_and_without_the_cache() {
+    for w in all() {
+        let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+        let cached = run_mode(&prog, &w.small_args, true);
+        let uncached = run_mode(&prog, &w.small_args, false);
+        assert_eq!(cached, uncached, "{}: cache must be invisible", w.id);
+    }
+}
+
+/// One compiled workload plus the fuel/rate bounds the injection sweep
+/// uses, shared across proptest cases (compiling per-case would dominate
+/// the suite's runtime).
+struct Compiled {
+    prog: Program,
+    args: Vec<i32>,
+    fuel: u64,
+    rate: u32,
+}
+
+fn compiled_suite() -> &'static Vec<Compiled> {
+    static SUITE: OnceLock<Vec<Compiled>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        all()
+            .iter()
+            .map(|w| {
+                let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+                let (_, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
+                Compiled {
+                    prog,
+                    args: w.small_args.clone(),
+                    fuel: base.instructions * 3 + 10_000,
+                    rate: (4 * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The law under fire: a seed-driven fault campaign — register and
+    /// memory corruption, forced traps, recovery re-execution — produces
+    /// the *exact same* `InjectReport` (outcome, stats, and the full
+    /// event log) whether or not the decode cache is enabled. Injected
+    /// memory writes land through the same dirty-channel stores use, so
+    /// this leans hard on invalidation.
+    #[test]
+    fn injected_campaigns_are_mode_independent(
+        wi in 0usize..11,
+        seed in any::<u64>(),
+        recovery in any::<bool>(),
+    ) {
+        let c = &compiled_suite()[wi];
+        let inject = InjectConfig { seed, rate: c.rate, modes: InjectModes::all() };
+        let run = |predecode| {
+            let cfg = SimConfig { predecode, fuel: c.fuel, ..SimConfig::default() };
+            run_risc_injected(&c.prog, &c.args, cfg, inject, recovery)
+                .expect("setup succeeds")
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
+
+/// Splits a value into `#imm` chunks an `add` can carry (13-bit signed).
+fn imm_chunks(mut v: u32) -> Vec<Short2> {
+    let mut out = Vec::new();
+    while v > 0 {
+        let chunk = v.min(4095);
+        out.push(Short2::imm(chunk as i32).expect("chunk fits imm13"));
+        v -= chunk;
+    }
+    out
+}
+
+#[test]
+fn self_modifying_code_invalidates_already_executed_text() {
+    let imm = |v: i32| Short2::imm(v).expect("fits imm13");
+    let patch_word = Instruction::nop().encode();
+
+    // The program below runs its loop body twice. Pass one executes the
+    // original `add r26, r26, #10` (caching that line), then *stores a
+    // nop over it*; pass two re-executes the same address. A correct
+    // cache re-decodes and adds nothing — acc ends at 10. A stale cache
+    // replays the old line — acc ends at 20.
+    let mut insns = vec![
+        // r20 = address of the patch target (code_base + 4 * L).
+        Instruction::reg(Opcode::Add, Reg::R20, Reg::R0, imm(1)),
+        Instruction::reg(Opcode::Sll, Reg::R20, Reg::R20, imm(12)),
+        // Placeholder: patched with the real offset once L is known.
+        Instruction::nop(),
+        // r21 = the nop encoding, built as ldhi + imm13 chunks.
+        Instruction::ldhi(Reg::R21, patch_word >> 13),
+    ];
+    for chunk in imm_chunks(patch_word & 0x1fff) {
+        insns.push(Instruction::reg(Opcode::Add, Reg::R21, Reg::R21, chunk));
+    }
+    insns.extend([
+        Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, imm(0)), // acc = 0
+        Instruction::reg(Opcode::Add, Reg::R17, Reg::R0, imm(0)), // pass = 0
+    ]);
+    let l = insns.len(); // loop head / patch target
+    insns.extend([
+        Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(10)), // PATCHED
+        Instruction::reg(Opcode::Stl, Reg::R21, Reg::R20, imm(0)),  // text[L] = nop
+        Instruction::reg(Opcode::Add, Reg::R17, Reg::R17, imm(1)),
+        Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R17, imm(2)),
+    ]);
+    let j = insns.len();
+    insns.extend([
+        Instruction::jmpr(Cond::Lt, 4 * (l as i32 - j as i32)),
+        Instruction::nop(), // delay slot
+        Instruction::ret(Reg::R0, imm(0)),
+        Instruction::nop(), // return delay slot
+    ]);
+    // Resolve the placeholder: r20 = 0x1000 + 4 * L.
+    insns[2] = Instruction::reg(Opcode::Add, Reg::R20, Reg::R20, imm(4 * l as i32));
+    assert_eq!(SimConfig::default().code_base, 0x1000, "address math above");
+
+    let prog = Program::from_instructions(insns);
+    let cached = run_mode(&prog, &[], true);
+    let uncached = run_mode(&prog, &[], false);
+    assert_eq!(
+        cached.result, 10,
+        "stale cached line survived the overwrite (20 = add ran twice)"
+    );
+    assert_eq!(cached, uncached, "cache must be invisible");
+}
