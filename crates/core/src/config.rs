@@ -61,12 +61,98 @@ pub struct SimConfig {
     /// Record a full retired-instruction trace (needed only by the pipeline
     /// diagram experiment; costs memory).
     pub record_trace: bool,
-    /// Consult the predecoded instruction cache on fetch (see
-    /// `crate::icache`). Purely a speed knob: architectural state, statistics
-    /// and trap behaviour are bit-identical with it on or off, which the
-    /// `interp_equivalence` suite asserts. Default `true`; the bench harness
-    /// turns it off to measure the raw fetch→decode loop.
-    pub predecode: bool,
+    /// Which execution engine drives the interpreter loop. Purely a speed
+    /// knob: architectural state, statistics and trap behaviour are
+    /// bit-identical across all three tiers, which the `interp_equivalence`
+    /// suite asserts three ways.
+    pub engine: ExecEngine,
+    /// Per-kind macro-op fusion toggles, consulted only by the superblock
+    /// engine (see `crate::superblock`). All on by default; experiment e15
+    /// sweeps them off one at a time.
+    pub fusion: FusionConfig,
+}
+
+/// The interpreter tier driving instruction execution. Each tier is strictly
+/// a host-speed optimisation over the one below it; all three funnel through
+/// the same `exec_prepared` executor, so architectural behaviour is
+/// bit-identical (the three-way equivalence law in `interp_equivalence`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Fetch → decode → prepare → execute, one instruction at a time. The
+    /// baseline tier the bench harness measures the others against.
+    Uncached,
+    /// PR 4's predecoded instruction cache: prepared lines are cached per
+    /// page and invalidated through the code-dirty channel.
+    Cached,
+    /// Superblocks formed over the predecoded lines: straight-line runs
+    /// execute as chained blocks with one PC lookup per block and macro-op
+    /// fusion of common adjacent pairs (see `crate::superblock`).
+    #[default]
+    Superblock,
+}
+
+impl ExecEngine {
+    /// The CLI / serialization spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecEngine::Uncached => "uncached",
+            ExecEngine::Cached => "cached",
+            ExecEngine::Superblock => "superblock",
+        }
+    }
+
+    /// Parses the CLI / serialization spelling.
+    pub fn from_name(s: &str) -> Option<ExecEngine> {
+        match s {
+            "uncached" => Some(ExecEngine::Uncached),
+            "cached" => Some(ExecEngine::Cached),
+            "superblock" => Some(ExecEngine::Superblock),
+            _ => None,
+        }
+    }
+}
+
+/// Per-kind macro-op fusion switches (superblock engine only). Fusion never
+/// changes architectural behaviour — these exist so e15 can measure how much
+/// each kind contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusionConfig {
+    /// Fuse SCC-setting ALU op + conditional JMP/JMPR reading those flags.
+    pub cmp_branch: bool,
+    /// Fuse LDHI + dependent immediate-ALU constant construction.
+    pub ldhi_imm: bool,
+    /// Fuse a delayed transfer with a safe delay-slot instruction.
+    pub transfer_slot: bool,
+    /// Fuse an ALU op feeding the address register of the next load.
+    pub addr_feed: bool,
+    /// Fuse two adjacent plain ALU/LDHI ops (the catch-all pair, tried
+    /// after every specialised kind).
+    pub alu_pair: bool,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig {
+            cmp_branch: true,
+            ldhi_imm: true,
+            transfer_slot: true,
+            addr_feed: true,
+            alu_pair: true,
+        }
+    }
+}
+
+impl FusionConfig {
+    /// All kinds disabled (superblocks still form; pairs never fuse).
+    pub fn none() -> FusionConfig {
+        FusionConfig {
+            cmp_branch: false,
+            ldhi_imm: false,
+            transfer_slot: false,
+            addr_feed: false,
+            alu_pair: false,
+        }
+    }
 }
 
 impl Default for SimConfig {
@@ -83,7 +169,8 @@ impl Default for SimConfig {
             fuel: 200_000_000,
             trap_base: None,
             record_trace: false,
-            predecode: true,
+            engine: ExecEngine::Superblock,
+            fusion: FusionConfig::default(),
         }
     }
 }
@@ -116,6 +203,20 @@ mod tests {
         assert_eq!(c.physical_registers(), 138, "the paper's register count");
         assert_eq!(c.branch_model, BranchModel::Delayed);
         assert!(c.forwarding);
+        assert_eq!(c.engine, ExecEngine::Superblock);
+        assert_eq!(c.fusion, FusionConfig::default());
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for e in [
+            ExecEngine::Uncached,
+            ExecEngine::Cached,
+            ExecEngine::Superblock,
+        ] {
+            assert_eq!(ExecEngine::from_name(e.name()), Some(e));
+        }
+        assert_eq!(ExecEngine::from_name("fast"), None);
     }
 
     #[test]

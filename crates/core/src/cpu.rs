@@ -19,18 +19,20 @@
 //!   terminates the program; the return value is read from `r26` by
 //!   [`Cpu::result`].
 
-use crate::config::{BranchModel, SimConfig};
+use crate::config::{BranchModel, ExecEngine, SimConfig};
 use crate::exec::alu;
 use crate::icache::{ICache, Line};
 use crate::mem::{MemError, Memory};
 use crate::program::Program;
 use crate::snapshot::{CpuState, RestoreError, Snapshot};
-use crate::stats::ExecStats;
+use crate::stats::{ExecStats, FuseKind};
+use crate::superblock::{BOp, BlockCache};
 use crate::trap::{TrapCause, TrapKind};
 use crate::windows::{WindowFile, SPILL_REGS};
 use risc1_isa::psw::Flags;
 use risc1_isa::{DecodeError, Instruction, Opcode, Psw, Reg, Short2, INSN_BYTES};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why the simulator stopped with an error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -294,6 +296,10 @@ pub struct Cpu {
     /// memory on demand), so it is deliberately absent from
     /// [`CpuState`]/snapshots/journals and from every checksum.
     icache: ICache,
+    /// Superblock cache (engine `Superblock` only) — derived state, same
+    /// snapshot/checksum exemption as the icache. Invalidated in lockstep
+    /// with it by [`Cpu::drain_code_invalidations`].
+    blocks: BlockCache,
 }
 
 impl Cpu {
@@ -311,6 +317,7 @@ impl Cpu {
         }
         let fuel_limit = cfg.fuel;
         let icache = ICache::new(mem.page_count());
+        let blocks = BlockCache::new(mem.page_count());
         Cpu {
             cfg,
             mem,
@@ -334,6 +341,7 @@ impl Cpu {
             last_snapshot: None,
             journal_pos: None,
             icache,
+            blocks,
         }
     }
 
@@ -682,21 +690,146 @@ impl Cpu {
             // fuel, never overrun it).
             let burst = left.min(self.fuel_limit - self.stats.instructions);
             let mut done = 0;
-            while done < burst {
-                done += 1;
-                match self.exec_one() {
-                    Ok(Halt::Running) => {}
-                    other => {
-                        if self.finish_exec(other)? == Halt::Returned {
-                            return Ok(Halt::Returned);
+            if self.cfg.engine == ExecEngine::Superblock {
+                if self.exec_block_burst(burst, &mut done)? == Halt::Returned {
+                    return Ok(Halt::Returned);
+                }
+            } else {
+                while done < burst {
+                    done += 1;
+                    match self.exec_one() {
+                        Ok(Halt::Running) => {}
+                        other => {
+                            if self.finish_exec(other)? == Halt::Returned {
+                                return Ok(Halt::Returned);
+                            }
+                            // A trap vectored; fall back to the boundary so
+                            // the fuel bound is recomputed.
+                            break;
                         }
-                        // A trap vectored; fall back to the boundary so
-                        // the fuel bound is recomputed.
-                        break;
                     }
                 }
             }
             left -= done;
+        }
+        Ok(Halt::Running)
+    }
+
+    /// The superblock burst: up to `burst` step units, block at a time.
+    /// `done` is incremented by the step units consumed (one per retired
+    /// instruction or trapping execution attempt — exactly what the
+    /// one-at-a-time loop would count). Returns early — with the fuel
+    /// boundary to be recomputed by the caller — after any vectored trap,
+    /// mirroring the cached burst's `break`.
+    fn exec_block_burst(&mut self, burst: u64, done: &mut u64) -> Result<Halt, ExecError> {
+        while *done < burst {
+            // A delayed jump in flight means the next instruction is a
+            // delay slot whose successor depends on the pending target:
+            // single-step it (blocks are entered only on clean boundaries).
+            if self.pending_target.is_some() {
+                *done += 1;
+                match self.exec_one() {
+                    Ok(Halt::Running) => continue,
+                    other => return self.finish_exec(other),
+                }
+            }
+            self.drain_code_invalidations();
+            let pc = self.pc;
+            let idx = match self.blocks.resolve(pc) {
+                Some(idx) => Some(idx),
+                None => self.blocks.build(&mut self.mem, pc, &self.cfg),
+            };
+            let Some(idx) = idx else {
+                // Unblockable text (about to trap): the canonical one-step
+                // path raises the architectural fault.
+                *done += 1;
+                match self.exec_one() {
+                    Ok(Halt::Running) => continue,
+                    other => return self.finish_exec(other),
+                }
+            };
+            let (insns, end, ops) = {
+                let b = self.blocks.block(idx);
+                (u64::from(b.insns), b.end, Arc::clone(&b.ops))
+            };
+            if insns > burst - *done {
+                // The block could overrun the step/fuel budget; preserve
+                // the exact `n`-step contract by single-stepping instead.
+                *done += 1;
+                match self.exec_one() {
+                    Ok(Halt::Running) => continue,
+                    other => return self.finish_exec(other),
+                }
+            }
+            self.stats.blocks_entered += 1;
+            let before = self.stats.instructions;
+            let mut dirtied = false;
+            for op in ops.iter() {
+                let pc = self.pc;
+                let r = match op {
+                    BOp::One(line) => {
+                        let r = self.exec_prepared(pc, line);
+                        // Instructions that write memory (stores; window
+                        // spills on the call/return ops) can overwrite
+                        // text later in this very block. The channel poll
+                        // is O(1); if anything is pending, bail to the
+                        // boundary where the drain and a fresh build see
+                        // the new bytes — exactly what the
+                        // per-instruction engines observe.
+                        if (line.op.is_store() || line.op.moves_window())
+                            && self.mem.code_dirty_pending()
+                        {
+                            dirtied = true;
+                        }
+                        r
+                    }
+                    BOp::CmpBranch { a, b } => {
+                        self.fuse_cmp_branch(pc, a, b);
+                        Ok(Halt::Running)
+                    }
+                    BOp::LdhiImm {
+                        a,
+                        b,
+                        hi,
+                        value,
+                        flags,
+                    } => {
+                        self.fuse_ldhi_imm(pc, a, b, *hi, *value, *flags);
+                        Ok(Halt::Running)
+                    }
+                    BOp::TransferSlot { a, b } => {
+                        self.fuse_transfer_slot(pc, a, b);
+                        Ok(Halt::Running)
+                    }
+                    BOp::AddrFeed { a, b } => self.fuse_addr_feed(pc, a, b).map(|()| Halt::Running),
+                    BOp::AluPair { a, b } => {
+                        self.fuse_alu_pair(pc, a, b);
+                        Ok(Halt::Running)
+                    }
+                };
+                match r {
+                    Ok(Halt::Running) => {}
+                    other => {
+                        let retired = self.stats.instructions - before;
+                        self.stats.block_instructions += retired;
+                        *done += retired;
+                        self.blocks.forget_last();
+                        return self.finish_exec(other);
+                    }
+                }
+                if dirtied {
+                    break;
+                }
+            }
+            let retired = self.stats.instructions - before;
+            self.stats.block_instructions += retired;
+            *done += retired;
+            if dirtied {
+                self.blocks.forget_last();
+            } else {
+                let taken = self.pending_target.is_some() || self.pc != end;
+                self.blocks.note_exit(idx, taken);
+            }
         }
         Ok(Halt::Running)
     }
@@ -795,21 +928,42 @@ impl Cpu {
         })
     }
 
+    /// Drains the code-dirty channel, fanning every invalidation event out
+    /// to the predecode cache *and* the superblock cache. Always combined:
+    /// the drain clears page registrations as it goes, so a one-sided
+    /// drain would silently starve the other consumer.
+    #[inline]
+    fn drain_code_invalidations(&mut self) {
+        if !self.mem.code_dirty_pending() {
+            return;
+        }
+        let (mem, icache, blocks) = (&mut self.mem, &mut self.icache, &mut self.blocks);
+        mem.drain_code_dirty(|d| {
+            icache.invalidate(d);
+            blocks.invalidate(d);
+        });
+    }
+
     /// Fetches, decodes and executes exactly one instruction.
     fn exec_one(&mut self) -> Result<Halt, StepEvent> {
         let pc = self.pc;
         // Fast fetch: the prepared line, when the cache can serve one
-        // (fills lazily; polls the dirty-page channel so self-modified
-        // text is re-decoded). Anything it cannot serve — including every
-        // faulting fetch — takes the architectural slow path, which pays
-        // the full decode + prepare cost per step. Both paths feed the
-        // same executor, so caching cannot change semantics.
-        let line = match self.cfg.predecode {
-            true => match self.icache.fetch(&mut self.mem, pc) {
-                Some(line) => line,
-                None => Line::prepare(self.fetch_decode(pc)?),
-            },
-            false => Line::prepare(self.fetch_decode(pc)?),
+        // (fills lazily; the channel drain first re-decodes self-modified
+        // text). Anything it cannot serve — including every faulting
+        // fetch — takes the architectural slow path, which pays the full
+        // decode + prepare cost per step. Both paths feed the same
+        // executor, so caching cannot change semantics. The superblock
+        // engine lands here too for its single-step cases (delay slots,
+        // unblockable text, `step()` calls).
+        let line = match self.cfg.engine {
+            ExecEngine::Uncached => Line::prepare(self.fetch_decode(pc)?),
+            ExecEngine::Cached | ExecEngine::Superblock => {
+                self.drain_code_invalidations();
+                match self.icache.fetch(&mut self.mem, pc) {
+                    Some(line) => line,
+                    None => Line::prepare(self.fetch_decode(pc)?),
+                }
+            }
         };
         self.exec_prepared(pc, &line)
     }
@@ -1025,6 +1179,198 @@ impl Cpu {
                 .read(line.rs1)
                 .wrapping_add(self.s2_value(line.s2))
         }
+    }
+
+    // ── Fused-pair handlers (superblock engine) ─────────────────────────
+    //
+    // Each handler is the two-instruction `exec_prepared` sequence with
+    // the per-instruction scaffolding collapsed. Fusion is gated (at block
+    // build time) on `forwarding && !record_trace`, so the hazard
+    // bookkeeping is a constant `last_write = None` and there is no trace
+    // push; and blocks are entered only with no delayed jump in flight, so
+    // the pair's first instruction is never in a delay slot. `pa` is the
+    // first instruction's address; `pb = pa + 4` the second's.
+
+    /// SCC-setting ALU op + conditional JMP/JMPR reading its flags.
+    /// Neither half can fault or halt.
+    fn fuse_cmp_branch(&mut self, pa: u32, a: &Line, b: &Line) {
+        self.stats.retire(a.op);
+        let out = alu(
+            a.op,
+            self.regs.read(a.rs1),
+            self.s2_value(a.s2),
+            self.flags.c,
+        );
+        self.regs.write(a.dest, out.value);
+        // `a.scc` is a fusion precondition, so the latch is unconditional.
+        self.flags = out.flags;
+        let pb = pa.wrapping_add(INSN_BYTES);
+        self.stats.retire(b.op);
+        let mut cycles = u64::from(a.base_cycles) + u64::from(b.base_cycles);
+        let mut target = None;
+        if b.cond.eval(self.flags) {
+            // Short-form targets read registers after `a`'s write — the
+            // same order the unfused sequence observes.
+            target = Some(self.transfer_target(b, pb));
+            self.stats.taken_transfers += 1;
+            if self.cfg.branch_model == BranchModel::Suspended {
+                cycles += 1;
+                self.stats.bubble_cycles += 1;
+            }
+        }
+        self.stats.cycles += cycles;
+        self.last_write = None;
+        self.last_pc = pb;
+        self.stats.fused_pairs[FuseKind::CmpBranch.index()] += 1;
+        self.pending_target = target;
+        self.pc = pb.wrapping_add(INSN_BYTES);
+    }
+
+    /// LDHI + immediate ALU constant construction; both results were
+    /// computed at block build. Cannot fault.
+    fn fuse_ldhi_imm(&mut self, pa: u32, a: &Line, b: &Line, hi: u32, value: u32, flags: Flags) {
+        self.stats.retire(a.op);
+        self.regs.write(a.dest, hi);
+        self.stats.retire(b.op);
+        self.regs.write(b.dest, value);
+        if b.scc {
+            self.flags = flags;
+        }
+        self.stats.cycles += u64::from(a.base_cycles) + u64::from(b.base_cycles);
+        self.last_write = None;
+        self.last_pc = pa.wrapping_add(INSN_BYTES);
+        self.stats.fused_pairs[FuseKind::LdhiImm.index()] += 1;
+        self.pc = pa.wrapping_add(2 * INSN_BYTES);
+    }
+
+    /// Conditional transfer + safe (ALU/LDHI) delay-slot instruction,
+    /// retired as one unit that leaves no jump in flight. Cannot fault.
+    fn fuse_transfer_slot(&mut self, pa: u32, a: &Line, b: &Line) {
+        self.stats.retire(a.op);
+        let mut cycles = u64::from(a.base_cycles) + u64::from(b.base_cycles);
+        let mut target = None;
+        // The condition is evaluated on the pre-slot flags, and short-form
+        // target operands are read before the slot writes — both exactly
+        // as the unfused transfer, which executes first.
+        if a.cond.eval(self.flags) {
+            target = Some(self.transfer_target(a, pa));
+            self.stats.taken_transfers += 1;
+            if self.cfg.branch_model == BranchModel::Suspended {
+                cycles += 1;
+                self.stats.bubble_cycles += 1;
+            }
+        }
+        let pb = pa.wrapping_add(INSN_BYTES);
+        self.stats.retire(b.op);
+        if target.is_some() {
+            // The slot sits in a delay slot only when the transfer took
+            // (an untaken conditional leaves no target pending, and the
+            // unfused accounting checks exactly that).
+            self.stats.delay_slots += 1;
+            if b.insn.is_nop() {
+                self.stats.delay_slot_nops += 1;
+            }
+        }
+        if b.op == Opcode::Ldhi {
+            self.regs.write(b.dest, (b.imm19 as u32) << 13);
+        } else {
+            let out = alu(
+                b.op,
+                self.regs.read(b.rs1),
+                self.s2_value(b.s2),
+                self.flags.c,
+            );
+            self.regs.write(b.dest, out.value);
+            if b.scc {
+                self.flags = out.flags;
+            }
+        }
+        self.stats.cycles += cycles;
+        self.last_write = None;
+        self.last_pc = pb;
+        self.stats.fused_pairs[FuseKind::TransferSlot.index()] += 1;
+        self.pending_target = None;
+        self.pc = match target {
+            Some(t) => t,
+            None => pb.wrapping_add(INSN_BYTES),
+        };
+    }
+
+    /// ALU op feeding the address register of the next load. The load can
+    /// fault; `a` is committed fully first, so a trap on `b` leaves
+    /// precisely the state the unfused sequence would — restart at `pb`.
+    fn fuse_addr_feed(&mut self, pa: u32, a: &Line, b: &Line) -> Result<(), StepEvent> {
+        self.stats.retire(a.op);
+        let out = alu(
+            a.op,
+            self.regs.read(a.rs1),
+            self.s2_value(a.s2),
+            self.flags.c,
+        );
+        self.regs.write(a.dest, out.value);
+        if a.scc {
+            self.flags = out.flags;
+        }
+        self.stats.cycles += u64::from(a.base_cycles);
+        self.last_write = None;
+        self.last_pc = pa;
+        let pb = pa.wrapping_add(INSN_BYTES);
+        self.pc = pb;
+        self.stats.retire(b.op);
+        let addr = self.regs.read(b.rs1).wrapping_add(self.s2_value(b.s2));
+        let v = self
+            .load_value(b.op, addr)
+            .map_err(|err| data_trap(pb, addr, err))?;
+        self.regs.write(b.dest, v);
+        self.stats.data_reads += 1;
+        self.stats.cycles += u64::from(b.base_cycles);
+        self.last_pc = pb;
+        self.stats.fused_pairs[FuseKind::AddrFeed.index()] += 1;
+        self.pc = pb.wrapping_add(INSN_BYTES);
+        Ok(())
+    }
+
+    /// Two adjacent plain ALU/LDHI ops retired back-to-back — the
+    /// catch-all pair. Neither half can fault or halt.
+    fn fuse_alu_pair(&mut self, pa: u32, a: &Line, b: &Line) {
+        self.stats.retire(a.op);
+        if a.op == Opcode::Ldhi {
+            self.regs.write(a.dest, (a.imm19 as u32) << 13);
+        } else {
+            let out = alu(
+                a.op,
+                self.regs.read(a.rs1),
+                self.s2_value(a.s2),
+                self.flags.c,
+            );
+            self.regs.write(a.dest, out.value);
+            if a.scc {
+                self.flags = out.flags;
+            }
+        }
+        let pb = pa.wrapping_add(INSN_BYTES);
+        self.stats.retire(b.op);
+        if b.op == Opcode::Ldhi {
+            self.regs.write(b.dest, (b.imm19 as u32) << 13);
+        } else {
+            // `b`'s operands are read after `a`'s write — the order the
+            // unfused sequence observes.
+            let out = alu(
+                b.op,
+                self.regs.read(b.rs1),
+                self.s2_value(b.s2),
+                self.flags.c,
+            );
+            self.regs.write(b.dest, out.value);
+            if b.scc {
+                self.flags = out.flags;
+            }
+        }
+        self.stats.cycles += u64::from(a.base_cycles) + u64::from(b.base_cycles);
+        self.last_write = None;
+        self.last_pc = pb;
+        self.stats.fused_pairs[FuseKind::AluPair.index()] += 1;
+        self.pc = pb.wrapping_add(INSN_BYTES);
     }
 
     fn load_value(&mut self, op: Opcode, addr: u32) -> Result<u32, MemError> {
@@ -1990,5 +2336,107 @@ mod tests {
         // Disabled by default:
         let cpu2 = run_program(halt_seq());
         assert!(cpu2.trace().is_empty());
+    }
+
+    /// A loop dense in fusable idioms: LDHI+imm constant, ALU→load address
+    /// feed, compare+branch, and a bare transfer+slot, iterated enough to
+    /// exercise block chaining.
+    fn fusion_workout() -> Vec<Instruction> {
+        let mut p = vec![
+            // r16 := 0x2000 + 8 (LDHI + imm pair), seed [r16] with 7.
+            Instruction::ldhi(Reg::R16, 1),
+            Instruction::reg(Opcode::Add, Reg::R16, Reg::R16, imm(8)),
+            Instruction::reg(Opcode::Add, Reg::R17, Reg::R0, imm(7)),
+            Instruction::reg(Opcode::Stl, Reg::R17, Reg::R16, imm(0)),
+            Instruction::reg(Opcode::Add, Reg::R20, Reg::R0, imm(0)), // i
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, imm(0)), // acc
+            // loop: r18 := r16 + 0 (addr feed) ; r19 := [r18]
+            Instruction::reg(Opcode::Add, Reg::R18, Reg::R16, imm(0)),
+            Instruction::reg(Opcode::Ldl, Reg::R19, Reg::R18, imm(0)),
+            Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, Short2::reg(Reg::R19)),
+            Instruction::reg(Opcode::Add, Reg::R20, Reg::R20, imm(1)),
+            // compare + conditional branch back to loop (8 insns up).
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R20, imm(25)),
+            Instruction::jmpr(Cond::Lt, -5 * INSN_BYTES as i32),
+            Instruction::nop(), // the branch's delay slot
+        ];
+        p.extend(halt_seq());
+        p
+    }
+
+    #[test]
+    fn engines_agree_and_superblocks_fuse() {
+        let run_engine = |engine| {
+            let cfg = SimConfig {
+                engine,
+                ..SimConfig::default()
+            };
+            run_with(cfg, fusion_workout(), &[])
+        };
+        let unc = run_engine(ExecEngine::Uncached);
+        let cac = run_engine(ExecEngine::Cached);
+        let sup = run_engine(ExecEngine::Superblock);
+        assert_eq!(unc.result(), 7 * 25);
+        assert_eq!(unc.stats(), cac.stats());
+        assert_eq!(cac.stats(), sup.stats());
+        for r in [Reg::R16, Reg::R18, Reg::R19, Reg::R20, Reg::R26] {
+            assert_eq!(unc.reg(r), sup.reg(r), "{r:?}");
+        }
+        // And the superblock engine actually engaged.
+        assert!(sup.stats().blocks_entered > 0, "blocks formed");
+        assert!(sup.stats().mean_block_len().unwrap() > 1.0);
+        assert!(
+            sup.stats().fused(FuseKind::CmpBranch) >= 25,
+            "loop branch fused each iteration"
+        );
+        assert!(sup.stats().fused(FuseKind::AddrFeed) >= 25);
+        assert!(sup.stats().fused(FuseKind::LdhiImm) >= 1);
+        assert_eq!(unc.stats().fused_total(), 0, "uncached engine never fuses");
+    }
+
+    /// The superblock engine must be exact under any chopping of the
+    /// timeline: `step()` one at a time, odd `step_n` sizes, and one
+    /// straight `run()` all retire the same architectural stats.
+    #[test]
+    fn superblock_is_exact_under_any_step_chopping() {
+        let run_chopped = |chunk: u64| {
+            let mut cpu = Cpu::new(SimConfig::default());
+            cpu.load_program(&Program::from_instructions(fusion_workout()))
+                .unwrap();
+            loop {
+                let halt = if chunk == 0 {
+                    cpu.step().unwrap()
+                } else {
+                    cpu.step_n(chunk).unwrap()
+                };
+                if halt == Halt::Returned {
+                    break;
+                }
+            }
+            cpu
+        };
+        let straight = run_program(fusion_workout());
+        for chunk in [0, 1, 3, 7, 100] {
+            let chopped = run_chopped(chunk);
+            assert_eq!(chopped.stats(), straight.stats(), "chunk {chunk}");
+            assert_eq!(chopped.result(), straight.result(), "chunk {chunk}");
+        }
+    }
+
+    /// Exact-`n` contract: `step_n(n)` performs exactly `n` step units
+    /// even when blocks would overrun the budget mid-block.
+    #[test]
+    fn step_n_is_exact_about_n_under_superblock() {
+        let mut a = Cpu::new(SimConfig::default());
+        a.load_program(&Program::from_instructions(fusion_workout()))
+            .unwrap();
+        let mut b = a.clone();
+        // 17 deliberately lands mid-block.
+        assert_eq!(a.step_n(17).unwrap(), Halt::Running);
+        for _ in 0..17 {
+            b.step().unwrap();
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.pc(), b.pc());
     }
 }

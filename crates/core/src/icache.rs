@@ -11,13 +11,14 @@
 //! Correctness hinges on invalidation, and invalidation rides the existing
 //! dirty-page machinery: [`crate::mem::Memory`] feeds a dedicated
 //! decode-cache channel from the same `mark_dirty` entry point that the
-//! checkpoint subsystem uses. Before trusting any cached line the fetch
-//! path polls that channel (an O(1) flag check) and drops exactly the pages
-//! that were written — so self-modifying code, snapshot `restore()`, and
-//! `revert_to()` all see freshly decoded text. The cache holds *derived*
-//! state only: it never appears in snapshots, journals, or checksums, and
-//! the `interp_equivalence` suite asserts runs with and without it are
-//! bit-identical.
+//! checkpoint subsystem uses. Before trusting any cached line the CPU polls
+//! that channel (an O(1) flag check, `Cpu::drain_code_invalidations`) and
+//! fans each event out to this cache *and* the superblock cache, dropping
+//! exactly the pages that were written — so self-modifying code, snapshot
+//! `restore()`, and `revert_to()` all see freshly decoded text. The cache
+//! holds *derived* state only: it never appears in snapshots, journals, or
+//! checksums, and the `interp_equivalence` suite asserts runs with and
+//! without it are bit-identical.
 //!
 //! Scope note: the whole address space is shadowed, not just the text
 //! segment — recovery stubs (e.g. at `RECOVERY_STUB_BASE`, below
@@ -118,11 +119,13 @@ impl ICache {
     /// out-of-range addresses and undecodable words — which the caller
     /// must route through the uncached fetch path for proper trap
     /// delivery.
+    ///
+    /// The caller is responsible for draining the memory's code-dirty
+    /// channel first (`Cpu::drain_code_invalidations`): the drain is shared
+    /// with the superblock cache, and a one-sided drain here would swallow
+    /// invalidations the block cache still needs.
     #[inline]
     pub(crate) fn fetch(&mut self, mem: &mut Memory, pc: u32) -> Option<Line> {
-        if mem.code_dirty_pending() {
-            self.invalidate_from(mem);
-        }
         if pc & 3 != 0 {
             return None;
         }
@@ -147,20 +150,27 @@ impl ICache {
         Some(line)
     }
 
-    /// Drains the memory's invalidation channel, dropping every page it
-    /// names (or everything, after a wholesale restore or channel
-    /// overflow).
+    /// Applies one invalidation event from the code-dirty channel, dropping
+    /// the page it names (or everything, after a wholesale restore or
+    /// channel overflow).
     #[cold]
-    fn invalidate_from(&mut self, mem: &mut Memory) {
-        let pages = &mut self.pages;
-        mem.drain_code_dirty(|d| match d {
+    pub(crate) fn invalidate(&mut self, d: CodeDirty) {
+        match d {
             CodeDirty::Page(idx) => {
-                if let Some(p) = pages.get_mut(idx) {
+                if let Some(p) = self.pages.get_mut(idx) {
                     *p = None;
                 }
             }
-            CodeDirty::All => pages.iter_mut().for_each(|p| *p = None),
-        });
+            CodeDirty::All => self.pages.iter_mut().for_each(|p| *p = None),
+        }
+    }
+
+    /// Test helper: drain the channel into this cache alone.
+    #[cfg(test)]
+    fn sync(&mut self, mem: &mut Memory) {
+        if mem.code_dirty_pending() {
+            mem.drain_code_dirty(|d| self.invalidate(d));
+        }
     }
 }
 
@@ -177,10 +187,11 @@ mod tests {
         let mut mem = Memory::new(4 * PAGE_BYTES);
         mem.write_u32(8, add_word()).unwrap();
         let mut ic = ICache::new(mem.page_count());
+        ic.sync(&mut mem);
         let a = ic.fetch(&mut mem, 8).expect("decodes");
         assert_eq!(a.op, Opcode::Add);
-        // Hit path: same line, no channel pending.
-        assert!(!mem.code_dirty_pending(), "fetch drained the channel");
+        // Hit path: same line, channel still quiet.
+        assert!(!mem.code_dirty_pending(), "no new invalidations");
         let b = ic.fetch(&mut mem, 8).expect("hits");
         assert_eq!(a, b);
     }
@@ -212,9 +223,11 @@ mod tests {
         mem.write_u32(0, add_word()).unwrap();
         let mut ic = ICache::new(mem.page_count());
         assert_eq!(ic.fetch(&mut mem, 0).unwrap().op, Opcode::Add);
-        // Overwrite the cached word: the next fetch must re-decode.
+        // Overwrite the cached word: after a drain the next fetch must
+        // re-decode.
         mem.write_u32(0, sub).unwrap();
         assert!(mem.code_dirty_pending());
+        ic.sync(&mut mem);
         assert_eq!(ic.fetch(&mut mem, 0).unwrap().op, Opcode::Sub);
     }
 
@@ -237,6 +250,7 @@ mod tests {
         ic.fetch(&mut mem, 0).unwrap();
         ic.fetch(&mut mem, PAGE_BYTES as u32).unwrap();
         mem.mark_all_dirty();
+        ic.sync(&mut mem);
         // Still correct after the flush (content unchanged), and the
         // internal pages were rebuilt from scratch.
         assert_eq!(ic.fetch(&mut mem, 0).unwrap().op, Opcode::Add);

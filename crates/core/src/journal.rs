@@ -16,7 +16,7 @@
 //! [`Journal::from_json`]) with a hand-rolled writer and parser — the
 //! workspace deliberately has no external dependencies.
 
-use crate::config::{BranchModel, SimConfig};
+use crate::config::{BranchModel, ExecEngine, FusionConfig, SimConfig};
 use crate::cpu::Cpu;
 use crate::inject::InjectKind;
 use crate::program::Program;
@@ -291,8 +291,21 @@ fn write_config(w: &mut Writer, cfg: &SimConfig) {
     }
     w.key("record_trace");
     w.bool(cfg.record_trace);
-    w.key("predecode");
-    w.bool(cfg.predecode);
+    w.key("engine");
+    w.str(cfg.engine.name());
+    w.key("fusion");
+    w.obj_open();
+    w.key("cmp_branch");
+    w.bool(cfg.fusion.cmp_branch);
+    w.key("ldhi_imm");
+    w.bool(cfg.fusion.ldhi_imm);
+    w.key("transfer_slot");
+    w.bool(cfg.fusion.transfer_slot);
+    w.key("addr_feed");
+    w.bool(cfg.fusion.addr_feed);
+    w.key("alu_pair");
+    w.bool(cfg.fusion.alu_pair);
+    w.obj_close();
     w.obj_close();
 }
 
@@ -320,8 +333,44 @@ fn read_config(obj: &[(String, Json)]) -> Result<SimConfig, JournalError> {
             v => Some(v.as_u32("trap_base")?),
         },
         record_trace: get(obj, "record_trace")?.as_bool("record_trace")?,
-        predecode: get(obj, "predecode")?.as_bool("predecode")?,
+        engine: read_engine(obj)?,
+        fusion: match get(obj, "fusion") {
+            Ok(v) => {
+                let f = v.as_obj("fusion")?;
+                FusionConfig {
+                    cmp_branch: get(f, "cmp_branch")?.as_bool("cmp_branch")?,
+                    ldhi_imm: get(f, "ldhi_imm")?.as_bool("ldhi_imm")?,
+                    transfer_slot: get(f, "transfer_slot")?.as_bool("transfer_slot")?,
+                    addr_feed: get(f, "addr_feed")?.as_bool("addr_feed")?,
+                    // Absent in journals written before this kind existed;
+                    // the default reproduces their behaviour (fusion never
+                    // changes architectural state).
+                    alu_pair: match get(f, "alu_pair") {
+                        Ok(v) => v.as_bool("alu_pair")?,
+                        Err(_) => true,
+                    },
+                }
+            }
+            // Journals written before the superblock engine carry no
+            // fusion block; the defaults reproduce their behaviour.
+            Err(_) => FusionConfig::default(),
+        },
     })
+}
+
+/// Reads the execution-engine field, accepting the legacy `"predecode"`
+/// boolean of pre-superblock journals (`true` → cached, `false` →
+/// uncached) so old recordings stay replayable.
+fn read_engine(obj: &[(String, Json)]) -> Result<ExecEngine, JournalError> {
+    if let Ok(v) = get(obj, "engine") {
+        let name = v.as_str("engine")?;
+        return ExecEngine::from_name(name)
+            .ok_or_else(|| JournalError::schema(&format!("unknown engine {name:?}")));
+    }
+    match get(obj, "predecode")?.as_bool("predecode")? {
+        true => Ok(ExecEngine::Cached),
+        false => Ok(ExecEngine::Uncached),
+    }
 }
 
 fn write_event(w: &mut Writer, ev: &JournalEvent) {

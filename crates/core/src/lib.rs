@@ -46,18 +46,19 @@ pub mod pipeline;
 pub mod program;
 pub mod snapshot;
 pub mod stats;
+mod superblock;
 pub mod trap;
 pub mod windows;
 
-pub use config::{BranchModel, SimConfig};
+pub use config::{BranchModel, ExecEngine, FusionConfig, SimConfig};
 pub use cpu::{Cpu, ExecError, Halt, ReplayContext, TooManyArgs, TRAP_VECTOR_STRIDE};
 pub use inject::{FaultInjector, InjectConfig, InjectEvent, InjectKind, XorShift64};
 pub use journal::{Journal, JournalError, JournalEvent, RecordedOutcome, JOURNAL_VERSION};
-pub use mem::{MemError, Memory, PAGE_BYTES};
+pub use mem::{MemError, Memory, CODE_DIRTY_PENDING_CAP, PAGE_BYTES};
 pub use program::Program;
 pub use snapshot::{
     CheckpointStats, Checkpointer, RestoreError, Snapshot, CKPT_BASE_CYCLES, SNAPSHOT_VERSION,
 };
-pub use stats::{ExecStats, OpcodeCounts};
+pub use stats::{ExecStats, FuseKind, OpcodeCounts};
 pub use trap::{TrapCause, TrapKind};
 pub use windows::WindowFile;

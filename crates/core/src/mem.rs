@@ -24,8 +24,10 @@ use std::fmt;
 /// Cap on the exact pending-page list of the decode-cache channel. Once a
 /// run dirties more distinct pages than this between drains (bulk loads,
 /// memset-style stores with predecoding off), the channel degrades to a
-/// single flush-everything flag instead of growing without bound.
-const CODE_DIRTY_PENDING_CAP: usize = 1024;
+/// single flush-everything flag instead of growing without bound. Public so
+/// the overflow-degradation equivalence test can size its program to force
+/// the flush-all path.
+pub const CODE_DIRTY_PENDING_CAP: usize = 1024;
 
 /// Size of one dirty-tracking page in bytes. Small enough that sparse
 /// writes stay cheap to checkpoint, large enough that the page bitmap and

@@ -14,7 +14,7 @@
 //! reproducible in CI): a fixed [`CKPT_BASE_CYCLES`] for the register/state
 //! copy plus one cycle per memory word copied.
 
-use crate::config::{BranchModel, SimConfig};
+use crate::config::{BranchModel, ExecEngine, SimConfig};
 use crate::cpu::{Cpu, PhysId, Retired};
 use crate::mem::Memory;
 use crate::stats::ExecStats;
@@ -119,6 +119,10 @@ fn hash_opt_u64(h: &mut Fnv64, v: Option<u64>) {
     }
 }
 
+/// Hashes the *architectural* counters only — the same set `ExecStats`'s
+/// `PartialEq` compares. Host telemetry (`fused_pairs`, `blocks_entered`,
+/// `block_instructions`) depends on how the timeline was chopped into
+/// bursts, and the snapshot round-trip law quantifies over choppings.
 fn hash_stats(h: &mut Fnv64, s: &ExecStats) {
     for v in [
         s.instructions,
@@ -213,7 +217,18 @@ fn hash_config(h: &mut Fnv64, cfg: &SimConfig) {
     h.write_u64(cfg.fuel);
     hash_opt_u64(h, cfg.trap_base.map(u64::from));
     h.write_u8(u8::from(cfg.record_trace));
-    h.write_u8(u8::from(cfg.predecode));
+    h.write_u8(match cfg.engine {
+        ExecEngine::Uncached => 0,
+        ExecEngine::Cached => 1,
+        ExecEngine::Superblock => 2,
+    });
+    h.write_u8(
+        u8::from(cfg.fusion.cmp_branch)
+            | u8::from(cfg.fusion.ldhi_imm) << 1
+            | u8::from(cfg.fusion.transfer_slot) << 2
+            | u8::from(cfg.fusion.addr_feed) << 3
+            | u8::from(cfg.fusion.alu_pair) << 4,
+    );
 }
 
 /// Why a snapshot could not be restored.

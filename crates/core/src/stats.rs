@@ -82,8 +82,70 @@ impl Index<&Opcode> for OpcodeCounts {
     }
 }
 
+/// The macro-op pair shapes the superblock engine fuses (see
+/// `crate::superblock`). Mirrors the fusion-opportunity taxonomy of Celio
+/// et al.'s renewed-RISC case, specialised to RISC I idioms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseKind {
+    /// SCC-setting ALU op immediately followed by a conditional JMP/JMPR
+    /// that reads the flags it just set.
+    CmpBranch,
+    /// LDHI followed by an immediate ALU op completing a 32-bit constant.
+    LdhiImm,
+    /// A delayed transfer and its (safe) delay-slot instruction, executed
+    /// as one unit.
+    TransferSlot,
+    /// An ALU op whose result feeds the address register of the next load.
+    AddrFeed,
+    /// Two adjacent plain ALU/LDHI ops retired through one handler. The
+    /// catch-all pair — tried last, so the specialised kinds above keep
+    /// their matches.
+    AluPair,
+}
+
+impl FuseKind {
+    /// Number of fusion kinds (array sizing).
+    pub const COUNT: usize = 5;
+
+    /// Every kind, in display order.
+    pub const ALL: [FuseKind; FuseKind::COUNT] = [
+        FuseKind::CmpBranch,
+        FuseKind::LdhiImm,
+        FuseKind::TransferSlot,
+        FuseKind::AddrFeed,
+        FuseKind::AluPair,
+    ];
+
+    /// Dense index for counter arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short human/JSON name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuseKind::CmpBranch => "cmp_branch",
+            FuseKind::LdhiImm => "ldhi_imm",
+            FuseKind::TransferSlot => "transfer_slot",
+            FuseKind::AddrFeed => "addr_feed",
+            FuseKind::AluPair => "alu_pair",
+        }
+    }
+}
+
 /// Counters accumulated over one simulation run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Everything except the final three fields is *architectural*: a function
+/// of the program and `SimConfig` alone, identical across execution engines
+/// and across any chopping of the run into `step_n` bursts. The final three
+/// (`fused_pairs`, `blocks_entered`, `block_instructions`) are **host-engine
+/// telemetry**: they describe what the superblock machinery did, which
+/// legitimately depends on how the timeline was sliced (a `step()` prefix
+/// forms different blocks than a straight `run()`). `PartialEq` therefore
+/// compares only the architectural fields — the equivalence and
+/// snapshot-round-trip laws stay exact while telemetry remains observable.
+#[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     /// Instructions retired (delay-slot instructions included).
     pub instructions: u64,
@@ -131,7 +193,47 @@ pub struct ExecStats {
     /// Dynamic opcode histogram (dense, discriminant-indexed; see
     /// [`OpcodeCounts`]).
     pub opcode_counts: OpcodeCounts,
+    /// Host telemetry: instruction pairs retired through a fused handler,
+    /// by [`FuseKind::index`]. Excluded from `PartialEq` (see type docs).
+    pub fused_pairs: [u64; FuseKind::COUNT],
+    /// Host telemetry: superblock bodies entered. Excluded from `PartialEq`.
+    pub blocks_entered: u64,
+    /// Host telemetry: instructions retired inside superblock bodies (the
+    /// numerator of mean block length). Excluded from `PartialEq`.
+    pub block_instructions: u64,
 }
+
+/// Architectural fields only — see the type docs. Telemetry fields
+/// (`fused_pairs`, `blocks_entered`, `block_instructions`) are excluded on
+/// purpose: block formation depends on how the timeline is chopped into
+/// bursts, and the equivalence laws quantify over choppings.
+impl PartialEq for ExecStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.instructions == other.instructions
+            && self.cycles == other.cycles
+            && self.bubble_cycles == other.bubble_cycles
+            && self.ifetches == other.ifetches
+            && self.data_reads == other.data_reads
+            && self.data_writes == other.data_writes
+            && self.calls == other.calls
+            && self.rets == other.rets
+            && self.taken_transfers == other.taken_transfers
+            && self.window_overflows == other.window_overflows
+            && self.window_underflows == other.window_underflows
+            && self.trap_cycles == other.trap_cycles
+            && self.delay_slots == other.delay_slots
+            && self.delay_slot_nops == other.delay_slot_nops
+            && self.max_depth == other.max_depth
+            && self.trap_entries == other.trap_entries
+            && self.trap_returns == other.trap_returns
+            && self.trap_entry_cycles == other.trap_entry_cycles
+            && self.trap_counts == other.trap_counts
+            && self.interrupts_taken == other.interrupts_taken
+            && self.opcode_counts == other.opcode_counts
+    }
+}
+
+impl Eq for ExecStats {}
 
 impl ExecStats {
     /// Fresh, all-zero statistics.
@@ -197,6 +299,23 @@ impl ExecStats {
     pub fn trap_entry_cost(&self) -> Option<f64> {
         (self.trap_entries > 0).then(|| self.trap_entry_cycles as f64 / self.trap_entries as f64)
     }
+
+    /// Fused pairs of one kind (telemetry; superblock engine only).
+    pub fn fused(&self, kind: FuseKind) -> u64 {
+        self.fused_pairs[kind.index()]
+    }
+
+    /// Total fused pairs across all kinds (telemetry).
+    pub fn fused_total(&self) -> u64 {
+        self.fused_pairs.iter().sum()
+    }
+
+    /// Mean superblock body length in instructions, or `None` if no block
+    /// was ever entered (telemetry).
+    pub fn mean_block_len(&self) -> Option<f64> {
+        (self.blocks_entered > 0)
+            .then(|| self.block_instructions as f64 / self.blocks_entered as f64)
+    }
 }
 
 impl fmt::Display for ExecStats {
@@ -238,6 +357,22 @@ impl fmt::Display for ExecStats {
                 self.trap_entry_cycles,
                 self.interrupts_taken,
                 by_cause
+            )?;
+        }
+        if self.blocks_entered > 0 {
+            let by_kind = FuseKind::ALL
+                .iter()
+                .filter(|k| self.fused(**k) > 0)
+                .map(|k| format!("{} {}", k.name(), self.fused(*k)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            write!(
+                f,
+                "\nsuperblocks {:>6} (mean len {:.2}, fused pairs {})  [{}]",
+                self.blocks_entered,
+                self.mean_block_len().unwrap_or(0.0),
+                self.fused_total(),
+                by_kind
             )?;
         }
         Ok(())
@@ -304,5 +439,44 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!ExecStats::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_host_telemetry() {
+        let a = ExecStats {
+            instructions: 10,
+            ..ExecStats::new()
+        };
+        let b = ExecStats {
+            instructions: 10,
+            fused_pairs: [3, 0, 1, 0, 2],
+            blocks_entered: 4,
+            block_instructions: 17,
+            ..ExecStats::new()
+        };
+        assert_eq!(a, b, "telemetry must not affect equivalence laws");
+        let c = ExecStats {
+            instructions: 11,
+            ..ExecStats::new()
+        };
+        assert_ne!(a, c, "architectural fields still compare");
+    }
+
+    #[test]
+    fn fusion_accessors() {
+        let s = ExecStats {
+            fused_pairs: [2, 3, 4, 5, 6],
+            blocks_entered: 2,
+            block_instructions: 9,
+            ..ExecStats::new()
+        };
+        assert_eq!(s.fused(FuseKind::CmpBranch), 2);
+        assert_eq!(s.fused_total(), 20);
+        assert!((s.mean_block_len().unwrap() - 4.5).abs() < 1e-12);
+        assert_eq!(ExecStats::new().mean_block_len(), None);
+        for (i, k) in FuseKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.name().is_empty());
+        }
     }
 }

@@ -1,0 +1,635 @@
+//! Superblock execution: block formation, chaining, and macro-op fusion
+//! over the predecoded instruction cache.
+//!
+//! The cached engine (PR 4) removed decode from the hot loop but still pays
+//! a PC→line lookup, an invalidation-channel poll and a full dispatch per
+//! retired instruction. This module removes the per-instruction overheads
+//! for straight-line runs: consecutive prepared [`Line`]s are grouped into
+//! **superblocks** that end at a transfer of control (including its delay
+//! slot) or at a page boundary, and a block body executes as a tight loop —
+//! one PC lookup, one channel poll and one boundary check per *block*
+//! instead of per instruction. Hot loops additionally skip the PC lookup
+//! via **chaining**: each block remembers the block index of its last taken
+//! and fall-through successors, validated before reuse.
+//!
+//! On top of formation, a **macro-op fusion** pass (in the spirit of Celio
+//! et al.'s renewed-RISC fusion study) rewrites common adjacent pairs into
+//! single fused ops — compare+conditional-jump, LDHI+immediate-ALU constant
+//! construction, delayed transfer+safe slot, ALU→load address feeding, and
+//! a catch-all adjacent ALU/LDHI pair (tried last, so the specialised
+//! shapes keep their matches) — executed by dedicated handlers in `Cpu`
+//! whose observable effects are
+//! proved bit-identical to running the two instructions through
+//! `exec_prepared` (the three-way `interp_equivalence` law).
+//!
+//! Correctness of invalidation rides the same code-dirty channel as the
+//! icache: every page a block's instructions were decoded from is
+//! registered with [`Memory`], and `Cpu::drain_code_invalidations` fans
+//! each channel event out to both caches. Invalidation is
+//! block-granular: a dirtied page kills exactly the blocks that read it.
+//! Like the icache, the whole structure is *derived* state — absent from
+//! snapshots, journals, and checksums.
+
+use crate::config::SimConfig;
+use crate::exec::alu;
+use crate::icache::Line;
+use crate::mem::{CodeDirty, Memory, PAGE_BYTES};
+use risc1_isa::psw::Flags;
+use risc1_isa::{Instruction, Opcode, Short2};
+use std::sync::Arc;
+
+/// Sentinel for "no successor cached" in [`Block::succ`].
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Dead blocks tolerated before a wholesale rebuild of the cache (see
+/// [`BlockCache::maybe_compact`]).
+const COMPACT_DEAD_MIN: usize = 64;
+
+/// One operation of a superblock body: either a single prepared line or a
+/// fused pair. Fused variants carry both original lines — `a` executes
+/// first — plus any values the builder could precompute.
+#[derive(Debug, Clone)]
+pub(crate) enum BOp {
+    /// An unfused prepared instruction, executed via `exec_prepared`.
+    One(Line),
+    /// SCC-setting ALU op `a` + conditional JMP/JMPR `b` reading its flags.
+    CmpBranch {
+        /// The flag-setting ALU instruction.
+        a: Line,
+        /// The conditional transfer.
+        b: Line,
+    },
+    /// LDHI `a` + immediate ALU op `b` completing a constant; the result
+    /// is a build-time constant.
+    LdhiImm {
+        /// The LDHI.
+        a: Line,
+        /// The dependent immediate ALU op.
+        b: Line,
+        /// `a`'s value: `imm19 << 13`.
+        hi: u32,
+        /// `b`'s precomputed result.
+        value: u32,
+        /// `b`'s precomputed flags (latched only if `b.scc`).
+        flags: Flags,
+    },
+    /// Conditional transfer `a` + safe (ALU/LDHI) delay-slot instruction
+    /// `b`, executed as one unit.
+    TransferSlot {
+        /// The transfer.
+        a: Line,
+        /// The delay-slot instruction.
+        b: Line,
+    },
+    /// ALU op `a` feeding the address register of load `b`.
+    AddrFeed {
+        /// The address-forming ALU instruction.
+        a: Line,
+        /// The dependent load.
+        b: Line,
+    },
+    /// Two adjacent plain ALU/LDHI ops retired through one handler — the
+    /// catch-all pair, tried after every specialised kind.
+    AluPair {
+        /// The first instruction.
+        a: Line,
+        /// The second instruction.
+        b: Line,
+    },
+}
+
+impl BOp {
+    /// Instructions this op retires when it completes.
+    #[cfg(test)]
+    fn insns(&self) -> u32 {
+        match self {
+            BOp::One(_) => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// A formed superblock: the ops, the worst-case retire count (for fuel
+/// accounting), and the chaining slots.
+#[derive(Debug, Clone)]
+pub(crate) struct Block {
+    /// Entry PC.
+    pub start: u32,
+    /// Address just past the last included instruction — the fall-through
+    /// PC when the block exits without a taken transfer.
+    pub end: u32,
+    /// The block body. `Arc` so execution can hold the ops while `Cpu`
+    /// mutates itself (and so `Cpu: Clone + Send` stays cheap).
+    pub ops: Arc<[BOp]>,
+    /// Total instructions if every op completes (= `end − start` in words).
+    pub insns: u32,
+    /// Cleared when a page the block spans is invalidated.
+    pub alive: bool,
+    /// Cached successor block indices: `succ[1]` for a taken exit,
+    /// `succ[0]` for fall-through. Hints only — validated (`alive` and
+    /// matching `start`) before use.
+    pub succ: [u32; 2],
+}
+
+/// The superblock cache: blocks by entry PC, with per-page registration
+/// for block-granular invalidation and chaining state.
+#[derive(Debug, Clone)]
+pub(crate) struct BlockCache {
+    /// Entry PC → block index, direct-mapped by word address: `map[pc/4]`
+    /// is the index of the block starting at `pc`, or [`NO_BLOCK`]. A
+    /// plain indexed load keeps the per-block-entry lookup at a couple of
+    /// nanoseconds — call/return-heavy code enters a block every three or
+    /// four instructions, where a hashed map's probe cost alone erased
+    /// most of the engine's win. Entries are cleared when the block dies,
+    /// so a present entry is always alive. Sized to cover memory lazily
+    /// on first build, so non-superblock configurations never pay the
+    /// allocation.
+    map: Vec<u32>,
+    /// `map`'s target length in words (memory size / 4).
+    map_words: usize,
+    blocks: Vec<Block>,
+    /// For each memory page, the indices of blocks decoded from it. May
+    /// retain indices of dead blocks (filtered on use); fully rebuilt on
+    /// compaction.
+    by_page: Vec<Vec<u32>>,
+    /// Dead blocks awaiting compaction.
+    dead: usize,
+    /// The block most recently executed to completion, and whether it
+    /// exited via a taken transfer — the chaining source for the next
+    /// resolve.
+    last: Option<(u32, bool)>,
+}
+
+impl BlockCache {
+    /// An empty cache over `page_count` memory pages.
+    pub(crate) fn new(page_count: usize) -> BlockCache {
+        BlockCache {
+            map: Vec::new(),
+            map_words: page_count * (PAGE_BYTES / 4),
+            blocks: Vec::new(),
+            by_page: vec![Vec::new(); page_count],
+            dead: 0,
+            last: None,
+        }
+    }
+
+    /// The block at `idx`.
+    #[inline]
+    pub(crate) fn block(&self, idx: u32) -> &Block {
+        &self.blocks[idx as usize]
+    }
+
+    /// Finds a live block starting at `pc`: first via the previous block's
+    /// chain slot (no hashing), then via the map. Chains the previous
+    /// block to the result.
+    #[inline]
+    pub(crate) fn resolve(&mut self, pc: u32) -> Option<u32> {
+        if let Some((p, taken)) = self.last {
+            if let Some(pb) = self.blocks.get(p as usize) {
+                if pb.alive {
+                    let cand = pb.succ[taken as usize];
+                    if let Some(cb) = self.blocks.get(cand as usize) {
+                        if cb.alive && cb.start == pc {
+                            return Some(cand);
+                        }
+                    }
+                }
+            }
+        }
+        let idx = *self.map.get(pc as usize / 4)?;
+        if idx == NO_BLOCK {
+            return None;
+        }
+        let b = &self.blocks[idx as usize];
+        // A misaligned `pc` lands in some aligned block's map slot; the
+        // start check rejects it (alive is implied by map presence, but
+        // stays cheap insurance).
+        if !b.alive || b.start != pc {
+            return None;
+        }
+        self.chain_to(idx);
+        Some(idx)
+    }
+
+    /// Records that the block at `idx` just completed, exiting taken or
+    /// fall-through — the source end of the next chain link.
+    #[inline]
+    pub(crate) fn note_exit(&mut self, idx: u32, taken: bool) {
+        self.last = Some((idx, taken));
+    }
+
+    /// Drops the chaining source (the last block aborted mid-body, so its
+    /// successor would be bogus).
+    #[inline]
+    pub(crate) fn forget_last(&mut self) {
+        self.last = None;
+    }
+
+    /// Caches `idx` as the successor of the previously completed block.
+    fn chain_to(&mut self, idx: u32) {
+        if let Some((p, taken)) = self.last {
+            if let Some(pb) = self.blocks.get_mut(p as usize) {
+                if pb.alive {
+                    pb.succ[taken as usize] = idx;
+                }
+            }
+        }
+    }
+
+    /// Applies one invalidation event: kills every block registered on the
+    /// named page (or everything).
+    #[cold]
+    pub(crate) fn invalidate(&mut self, d: CodeDirty) {
+        match d {
+            CodeDirty::Page(idx) => {
+                let Some(list) = self.by_page.get_mut(idx) else {
+                    return;
+                };
+                for bi in list.drain(..) {
+                    if let Some(b) = self.blocks.get_mut(bi as usize) {
+                        if b.alive {
+                            b.alive = false;
+                            self.dead += 1;
+                            if let Some(slot) = self.map.get_mut(b.start as usize / 4) {
+                                *slot = NO_BLOCK;
+                            }
+                        }
+                    }
+                }
+            }
+            CodeDirty::All => self.clear(),
+        }
+    }
+
+    /// Drops everything (wholesale restore, channel overflow, compaction).
+    fn clear(&mut self) {
+        self.map.fill(NO_BLOCK);
+        self.blocks.clear();
+        self.by_page.iter_mut().for_each(Vec::clear);
+        self.dead = 0;
+        self.last = None;
+    }
+
+    /// Rebuilds from scratch once dead blocks dominate — block indices are
+    /// never reused while any stale reference could exist, so a full clear
+    /// is the only compaction that keeps chain validation trivial.
+    fn maybe_compact(&mut self) {
+        if self.dead > COMPACT_DEAD_MIN && self.dead * 2 > self.blocks.len() {
+            self.clear();
+        }
+    }
+
+    /// Forms, fuses and registers a new block starting at `pc`. Returns
+    /// `None` when not even the first word yields a prepared line
+    /// (misaligned, out of range, undecodable) — the caller must take the
+    /// architectural one-step path, which raises the proper trap.
+    pub(crate) fn build(&mut self, mem: &mut Memory, start: u32, cfg: &SimConfig) -> Option<u32> {
+        let lines = collect_lines(mem, start)?;
+        let word = start as usize / 4;
+        if self.map.len() <= word {
+            // Grow the direct map just past the highest entry PC seen,
+            // power-of-two stepped (code clusters near `code_base`, so
+            // this stays a few KB; covering all of memory up front would
+            // cost a megabyte-scale fill on the first build — measurable
+            // against a short program's whole runtime).
+            let len = (word + 1)
+                .next_power_of_two()
+                .clamp(word + 1, self.map_words);
+            self.map.resize(len, NO_BLOCK);
+        }
+        self.maybe_compact();
+        let ops = fuse(&lines, cfg);
+        let insns = lines.len() as u32;
+        let end = start.wrapping_add(4 * insns);
+        let idx = self.blocks.len() as u32;
+        self.blocks.push(Block {
+            start,
+            end,
+            ops: ops.into(),
+            insns,
+            alive: true,
+            succ: [NO_BLOCK; 2],
+        });
+        if let Some(slot) = self.map.get_mut(start as usize / 4) {
+            *slot = idx;
+        }
+        let first = start as usize / PAGE_BYTES;
+        let last = (end as usize - 4) / PAGE_BYTES;
+        for page in first..=last {
+            mem.note_code_page(page);
+            if let Some(list) = self.by_page.get_mut(page) {
+                list.push(idx);
+            }
+        }
+        self.chain_to(idx);
+        Some(idx)
+    }
+}
+
+/// Collects the prepared lines of one superblock: consecutive decodable
+/// words from `start`, ending after a transfer (and, when safe, its delay
+/// slot) or at a page boundary. Returns `None` if not even the first word
+/// prepares.
+fn collect_lines(mem: &Memory, start: u32) -> Option<Vec<Line>> {
+    if start & 3 != 0 {
+        return None;
+    }
+    let mut lines = Vec::new();
+    let mut pc = start;
+    while let Some(line) = prepare_at(mem, pc) {
+        lines.push(line);
+        pc = pc.wrapping_add(4);
+        if line.is_transfer {
+            // CALLI traps in place (no slot); every other transfer exposes
+            // a delay slot, included when it is itself block-safe. A slot
+            // that is another transfer raises TransferInDelaySlot — left
+            // out so the one-step path delivers the trap.
+            if line.op.has_delay_slot() {
+                if let Some(slot) = prepare_at(mem, pc) {
+                    if !slot.is_transfer {
+                        lines.push(slot);
+                    }
+                }
+            }
+            break;
+        }
+        if (pc as usize).is_multiple_of(PAGE_BYTES) {
+            break;
+        }
+    }
+    (!lines.is_empty()).then_some(lines)
+}
+
+/// Prepares the word at `pc`, or `None` for anything the slow path must
+/// handle (never cached, mirroring `ICache::fetch`).
+fn prepare_at(mem: &Memory, pc: u32) -> Option<Line> {
+    let word = mem.peek_u32(pc).ok()?;
+    Some(Line::prepare(Instruction::decode(word).ok()?))
+}
+
+/// Whether the opcode is a plain ALU/shift op (the `alu` dispatch set).
+fn is_alu(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Add
+            | Opcode::Addc
+            | Opcode::Sub
+            | Opcode::Subc
+            | Opcode::Subr
+            | Opcode::Subcr
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Sll
+            | Opcode::Srl
+            | Opcode::Sra
+    )
+}
+
+/// ALU ops that consult the incoming carry flag — excluded from build-time
+/// constant folding.
+fn reads_carry(op: Opcode) -> bool {
+    matches!(op, Opcode::Addc | Opcode::Subc | Opcode::Subcr)
+}
+
+/// The greedy left-to-right fusion pass: non-overlapping adjacent pairs,
+/// first matching kind wins. Fusion is attempted only under the default
+/// datapath (forwarding on, no trace recording): the fused handlers elide
+/// the hazard bookkeeping and trace pushes those modes need, and gating
+/// here keeps them exact rather than conditional.
+fn fuse(lines: &[Line], cfg: &SimConfig) -> Vec<BOp> {
+    let fusable = cfg.forwarding && !cfg.record_trace;
+    let mut ops = Vec::with_capacity(lines.len());
+    let mut i = 0;
+    while i < lines.len() {
+        if fusable && i + 1 < lines.len() {
+            if let Some(op) = try_fuse(&lines[i], &lines[i + 1], cfg) {
+                ops.push(op);
+                i += 2;
+                continue;
+            }
+        }
+        ops.push(BOp::One(lines[i]));
+        i += 1;
+    }
+    ops
+}
+
+/// Attempts to fuse the adjacent pair `(a, b)`.
+fn try_fuse(a: &Line, b: &Line, cfg: &SimConfig) -> Option<BOp> {
+    let f = &cfg.fusion;
+    // Compare + conditional jump: `a` deterministically latches the flags
+    // `b` tests, and nothing between them can fault.
+    if f.cmp_branch && is_alu(a.op) && a.scc && b.op.uses_condition() {
+        return Some(BOp::CmpBranch { a: *a, b: *b });
+    }
+    // Transfer + safe slot: target operands are read before the slot runs
+    // in the unfused sequence too, so executing them as a unit is exact.
+    // Only ALU/LDHI slots qualify — no faults, no window moves, no PSW.
+    if f.transfer_slot && a.op.uses_condition() && (is_alu(b.op) || b.op == Opcode::Ldhi) {
+        return Some(BOp::TransferSlot { a: *a, b: *b });
+    }
+    // LDHI + immediate ALU: the whole pair is a build-time constant when
+    // the ALU op ignores carry and its only dynamic input is `a`'s result.
+    if f.ldhi_imm
+        && a.op == Opcode::Ldhi
+        && !a.dest.is_zero()
+        && is_alu(b.op)
+        && !reads_carry(b.op)
+        && b.rs1 == a.dest
+    {
+        if let Short2::Imm(imm) = b.s2 {
+            let hi = (a.imm19 as u32) << 13;
+            let out = alu(b.op, hi, imm as i32 as u32, false);
+            return Some(BOp::LdhiImm {
+                a: *a,
+                b: *b,
+                hi,
+                value: out.value,
+                flags: out.flags,
+            });
+        }
+    }
+    // ALU feeding the address register of the next load.
+    if f.addr_feed && is_alu(a.op) && b.op.is_load() && b.rs1 == a.dest && !a.dest.is_zero() {
+        return Some(BOp::AddrFeed { a: *a, b: *b });
+    }
+    // Catch-all: any two adjacent plain ALU/LDHI ops. Tried last so the
+    // specialised kinds above keep their matches; neither half can fault.
+    if f.alu_pair
+        && (is_alu(a.op) || a.op == Opcode::Ldhi)
+        && (is_alu(b.op) || b.op == Opcode::Ldhi)
+    {
+        return Some(BOp::AluPair { a: *a, b: *b });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use risc1_isa::{Cond, Reg};
+
+    fn mem_with(words: &[u32]) -> Memory {
+        let mut mem = Memory::new(4 * PAGE_BYTES);
+        for (i, &w) in words.iter().enumerate() {
+            mem.write_u32(4 * i as u32, w).unwrap();
+        }
+        mem
+    }
+
+    fn add(dest: Reg, rs1: Reg, imm: i32) -> u32 {
+        Instruction::reg(Opcode::Add, dest, rs1, Short2::imm(imm).unwrap()).encode()
+    }
+
+    fn add_scc(dest: Reg, rs1: Reg, imm: i32) -> u32 {
+        Instruction::reg_scc(Opcode::Add, dest, rs1, Short2::imm(imm).unwrap()).encode()
+    }
+
+    fn jmpr(cond: Cond, off: i32) -> u32 {
+        Instruction::jmpr(cond, off).encode()
+    }
+
+    #[test]
+    fn block_ends_after_transfer_and_slot() {
+        let mem = mem_with(&[
+            add(Reg::R16, Reg::R0, 1),
+            add(Reg::R17, Reg::R0, 2),
+            jmpr(Cond::Alw, -8),
+            add(Reg::R18, Reg::R0, 3), // delay slot, included
+            add(Reg::R19, Reg::R0, 4), // past the block
+        ]);
+        let lines = collect_lines(&mem, 0).unwrap();
+        assert_eq!(lines.len(), 4, "two ALUs + transfer + slot");
+        assert_eq!(lines[2].op, Opcode::Jmpr);
+    }
+
+    #[test]
+    fn transfer_slot_that_is_a_transfer_is_left_out() {
+        let mem = mem_with(&[jmpr(Cond::Alw, 8), jmpr(Cond::Alw, 8)]);
+        let lines = collect_lines(&mem, 0).unwrap();
+        assert_eq!(lines.len(), 1, "the trapping slot takes the slow path");
+    }
+
+    #[test]
+    fn block_stops_at_page_boundary() {
+        let words: Vec<u32> = (0..40).map(|_| add(Reg::R16, Reg::R16, 1)).collect();
+        let mem = mem_with(&words);
+        let lines = collect_lines(&mem, 0).unwrap();
+        assert_eq!(lines.len(), PAGE_BYTES / 4, "one page of instructions");
+    }
+
+    #[test]
+    fn undecodable_or_misaligned_start_is_refused() {
+        let mem = mem_with(&[0xffff_ffff]);
+        assert!(collect_lines(&mem, 0).is_none(), "undecodable first word");
+        assert!(collect_lines(&mem, 2).is_none(), "misaligned");
+        let far = 16 * PAGE_BYTES as u32;
+        assert!(collect_lines(&mem, far).is_none(), "out of range");
+    }
+
+    #[test]
+    fn fusion_finds_all_four_kinds() {
+        let cfg = SimConfig::default();
+        let ldl = Instruction::reg(Opcode::Ldl, Reg::R17, Reg::R16, Short2::imm(0).unwrap());
+        let mem = mem_with(&[
+            Instruction::ldhi(Reg::R16, 5).encode(),
+            add(Reg::R16, Reg::R16, 9), // ldhi+imm pair
+            add(Reg::R16, Reg::R16, 4),
+            ldl.encode(), // addr-feed pair
+            add_scc(Reg::R0, Reg::R17, -1),
+            jmpr(Cond::Eq, 8),         // cmp+branch pair
+            add(Reg::R18, Reg::R0, 1), // its slot, unfused
+        ]);
+        let lines = collect_lines(&mem, 0).unwrap();
+        let ops = fuse(&lines, &cfg);
+        assert!(matches!(ops[0], BOp::LdhiImm { value, .. } if value == (5 << 13) + 9));
+        assert!(matches!(ops[1], BOp::AddrFeed { .. }));
+        assert!(matches!(ops[2], BOp::CmpBranch { .. }));
+        assert!(matches!(ops[3], BOp::One(_)));
+        assert_eq!(ops.iter().map(BOp::insns).sum::<u32>(), 7);
+
+        // Bare transfer + slot (no preceding scc ALU) fuses as a unit.
+        let mem2 = mem_with(&[
+            add(Reg::R16, Reg::R0, 1),
+            jmpr(Cond::Alw, -4),
+            add(Reg::R17, Reg::R0, 2),
+        ]);
+        let ops2 = fuse(&collect_lines(&mem2, 0).unwrap(), &cfg);
+        assert!(matches!(ops2[1], BOp::TransferSlot { .. }));
+    }
+
+    #[test]
+    fn fusion_respects_config_gates() {
+        let mem = mem_with(&[
+            add_scc(Reg::R0, Reg::R17, -1),
+            jmpr(Cond::Eq, 8),
+            add(Reg::R18, Reg::R0, 1),
+        ]);
+        let lines = collect_lines(&mem, 0).unwrap();
+        let cfg = SimConfig {
+            fusion: crate::config::FusionConfig::none(),
+            ..SimConfig::default()
+        };
+        assert!(fuse(&lines, &cfg)
+            .iter()
+            .all(|op| matches!(op, BOp::One(_))));
+        let traced = SimConfig {
+            record_trace: true,
+            ..SimConfig::default()
+        };
+        assert!(
+            fuse(&lines, &traced)
+                .iter()
+                .all(|op| matches!(op, BOp::One(_))),
+            "tracing disables fusion entirely"
+        );
+    }
+
+    #[test]
+    fn invalidation_is_block_granular_and_compaction_clears() {
+        let cfg = SimConfig::default();
+        let mut mem = Memory::new(4 * PAGE_BYTES);
+        // One block in page 0, one in page 1.
+        mem.write_u32(0, jmpr(Cond::Alw, 0)).unwrap();
+        mem.write_u32(4, add(Reg::R16, Reg::R0, 1)).unwrap();
+        mem.write_u32(PAGE_BYTES as u32, jmpr(Cond::Alw, 0))
+            .unwrap();
+        let mut cache = BlockCache::new(mem.page_count());
+        let b0 = cache.build(&mut mem, 0, &cfg).unwrap();
+        let b1 = cache.build(&mut mem, PAGE_BYTES as u32, &cfg).unwrap();
+        assert_eq!(cache.resolve(0), Some(b0));
+        cache.invalidate(CodeDirty::Page(0));
+        assert_eq!(cache.resolve(0), None, "page-0 block died");
+        assert_eq!(
+            cache.resolve(PAGE_BYTES as u32),
+            Some(b1),
+            "page-1 block survives"
+        );
+        cache.invalidate(CodeDirty::All);
+        assert_eq!(cache.resolve(PAGE_BYTES as u32), None);
+        assert!(cache.blocks.is_empty(), "All is a full clear");
+    }
+
+    #[test]
+    fn chaining_links_and_validates_successors() {
+        let cfg = SimConfig::default();
+        let mut mem = Memory::new(4 * PAGE_BYTES);
+        mem.write_u32(0, jmpr(Cond::Alw, (PAGE_BYTES) as i32))
+            .unwrap();
+        mem.write_u32(4, add(Reg::R16, Reg::R0, 1)).unwrap();
+        mem.write_u32(PAGE_BYTES as u32, jmpr(Cond::Alw, 0))
+            .unwrap();
+        let mut cache = BlockCache::new(mem.page_count());
+        let b0 = cache.build(&mut mem, 0, &cfg).unwrap();
+        cache.note_exit(b0, true);
+        let b1 = cache.build(&mut mem, PAGE_BYTES as u32, &cfg).unwrap();
+        assert_eq!(cache.block(b0).succ[1], b1, "build chained the exit");
+        cache.note_exit(b0, true);
+        assert_eq!(cache.resolve(PAGE_BYTES as u32), Some(b1), "chain hit");
+        // Kill the successor: the stale chain slot must not resolve.
+        cache.invalidate(CodeDirty::Page(1));
+        cache.note_exit(b0, true);
+        assert_eq!(cache.resolve(PAGE_BYTES as u32), None);
+    }
+}

@@ -1,54 +1,80 @@
-//! Offline interpreter benchmark — the decode cache's receipt.
+//! Offline interpreter benchmark — the execution engines' receipt.
 //!
 //! PR 4 added a predecoded instruction cache to the simulator core
-//! (DESIGN.md §11): prepared instruction lines shadow memory so the hot
-//! loop skips fetch → `peek_u32` → decode → operand extraction on every
-//! step, and `run_to_halt` executes in bursts that hoist the per-step
-//! probe/interrupt/fuel checks out to burst boundaries. This module
-//! measures what the whole fast path buys, *host-side*, against the
-//! interpreter's canonical baseline:
+//! (DESIGN.md §11) and PR 5 layered a superblock engine over it
+//! (DESIGN.md §12): straight-line blocks formed over the cached lines,
+//! chained block-to-block so hot loops re-enter without a map lookup,
+//! with macro-op fusion collapsing adjacent pair idioms into one
+//! handler. This module measures what each tier buys, *host-side*,
+//! against the interpreter's canonical baseline:
 //!
-//! - **cached**: `predecode: true` (the default) driven through the
-//!   batched `run_to_halt` fast path;
-//! - **uncached**: `predecode: false` driven through the one-at-a-time
+//! - **superblock**: `engine: superblock` (the default) driven through
+//!   the batched `run_to_halt` fast path — blocks, chaining, fusion;
+//! - **cached**: `engine: cached` through the same batched path — the
+//!   PR 4 line cache without block formation;
+//! - **uncached**: `engine: uncached` driven through the one-at-a-time
 //!   `step()` loop — fetch, decode, prepare, and every boundary check
 //!   paid per instruction, exactly the pre-cache execution model.
 //!
 //! No external benchmarking crate is involved — plain
 //! `std::time::Instant`, best-of-N — so the numbers regenerate in the
-//! offline CI image. The machine-readable output, `BENCH_interp.json`,
-//! is the repo's canonical perf gate: CI runs `risc1 bench --quick` and
-//! fails if the cached mode is not faster in aggregate.
+//! offline CI image. The machine-readable output, `BENCH_interp.json`
+//! (schema `risc1-bench-interp/v2`), is the repo's canonical perf gate:
+//! CI runs `risc1 bench --quick` and fails unless *both* ratios beat
+//! 1.0 in aggregate — cached over uncached, and superblock over cached.
+//! An optional `--baseline <file>` comparison additionally fails the
+//! gate if either aggregate regressed more than 10% against a stored
+//! report.
 //!
-//! The two modes are *bit-identical* in simulated behaviour (same
+//! The three engines are *bit-identical* in simulated behaviour (same
 //! result, stats, memory image — `tests/interp_equivalence.rs` is the
 //! proof); only host wall time may differ. The harness asserts the
-//! result/instruction agreement outright on every run.
+//! result/stats agreement outright on every run.
 
-use risc1_core::{Cpu, Halt, Program, SimConfig};
+use risc1_core::{Cpu, ExecEngine, ExecStats, FuseKind, Halt, Program, SimConfig};
 use risc1_ir::layout::ARGV_BASE;
 use risc1_ir::{compile_risc, RiscOpts};
 use risc1_stats::Table;
 use risc1_workloads::all;
 use std::time::{Duration, Instant};
 
-/// One workload's cached-vs-uncached timing.
+/// One workload's three-engine timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// Workload id.
     pub id: &'static str,
-    /// Simulated instructions one run retires (identical in both modes).
+    /// Simulated instructions one run retires (identical in all modes).
     pub instructions: u64,
-    /// Simulated instructions per host second, decode cache on.
+    /// Simulated instructions per host second, superblock engine.
+    pub superblock_ips: f64,
+    /// Simulated instructions per host second, plain decode cache.
     pub cached_ips: f64,
-    /// Simulated instructions per host second, decode cache off.
+    /// Simulated instructions per host second, no caching at all.
     pub uncached_ips: f64,
+    /// Fused pairs the superblock run retired, by kind
+    /// (`FuseKind::ALL` order).
+    pub fused: [u64; FuseKind::COUNT],
+    /// Mean formed-block length (instructions per entered block) in the
+    /// superblock run.
+    pub mean_block_len: f64,
 }
 
 impl BenchRow {
-    /// Host-time speedup of the cached mode over the uncached one.
-    pub fn speedup(&self) -> f64 {
+    /// Host-time speedup of the cached engine over the uncached one.
+    pub fn cached_speedup(&self) -> f64 {
         self.cached_ips / self.uncached_ips.max(1e-9)
+    }
+
+    /// Host-time speedup of the superblock engine over the cached one —
+    /// the tier PR 5 adds, measured against the tier it builds on.
+    pub fn superblock_speedup(&self) -> f64 {
+        self.superblock_ips / self.cached_ips.max(1e-9)
+    }
+
+    /// Fraction of retired instructions covered by fused pairs.
+    pub fn fused_fraction(&self) -> f64 {
+        let pairs: u64 = self.fused.iter().sum();
+        (2 * pairs) as f64 / (self.instructions.max(1)) as f64
     }
 }
 
@@ -61,15 +87,28 @@ pub struct BenchReport {
     pub rows: Vec<BenchRow>,
 }
 
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (mut ln_sum, mut n) = (0.0f64, 0usize);
+    for v in vals {
+        ln_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 1.0;
+    }
+    (ln_sum / n as f64).exp()
+}
+
 impl BenchReport {
-    /// Geometric mean of the per-workload speedups — the aggregate the
-    /// CI gate checks against 1.0.
-    pub fn geomean_speedup(&self) -> f64 {
-        if self.rows.is_empty() {
-            return 1.0;
-        }
-        let ln_sum: f64 = self.rows.iter().map(|r| r.speedup().ln()).sum();
-        (ln_sum / self.rows.len() as f64).exp()
+    /// Geometric mean of the per-workload cached-over-uncached speedups.
+    pub fn geomean_cached_speedup(&self) -> f64 {
+        geomean(self.rows.iter().map(BenchRow::cached_speedup))
+    }
+
+    /// Geometric mean of the per-workload superblock-over-cached
+    /// speedups — the aggregate the CI gate checks against 1.0.
+    pub fn geomean_superblock_speedup(&self) -> f64 {
+        geomean(self.rows.iter().map(BenchRow::superblock_speedup))
     }
 
     /// Renders the report as the `BENCH_interp.json` document. The
@@ -77,26 +116,41 @@ impl BenchReport {
     /// is documented in README.md §Benchmarks.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"risc1-bench-interp/v1\",\n");
+        s.push_str("  \"schema\": \"risc1-bench-interp/v2\",\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str("  \"unit\": \"simulated instructions per host second\",\n");
         s.push_str("  \"workloads\": [\n");
         for (i, r) in self.rows.iter().enumerate() {
+            let fused: Vec<String> = FuseKind::ALL
+                .iter()
+                .map(|k| format!("\"{}\": {}", k.name(), r.fused[k.index()]))
+                .collect();
             s.push_str(&format!(
-                "    {{\"id\": \"{}\", \"instructions\": {}, \"cached_ips\": {:.1}, \
-                 \"uncached_ips\": {:.1}, \"speedup\": {:.3}}}{}\n",
+                "    {{\"id\": \"{}\", \"instructions\": {}, \
+                 \"superblock_ips\": {:.1}, \"cached_ips\": {:.1}, \
+                 \"uncached_ips\": {:.1}, \"cached_speedup\": {:.3}, \
+                 \"superblock_speedup\": {:.3}, \"mean_block_len\": {:.2}, \
+                 \"fused\": {{{}}}}}{}\n",
                 r.id,
                 r.instructions,
+                r.superblock_ips,
                 r.cached_ips,
                 r.uncached_ips,
-                r.speedup(),
+                r.cached_speedup(),
+                r.superblock_speedup(),
+                r.mean_block_len,
+                fused.join(", "),
                 if i + 1 == self.rows.len() { "" } else { "," }
             ));
         }
         s.push_str("  ],\n");
         s.push_str(&format!(
-            "  \"geomean_speedup\": {:.3}\n",
-            self.geomean_speedup()
+            "  \"geomean_cached_speedup\": {:.3},\n",
+            self.geomean_cached_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"geomean_superblock_speedup\": {:.3}\n",
+            self.geomean_superblock_speedup()
         ));
         s.push_str("}\n");
         s
@@ -107,38 +161,86 @@ impl BenchReport {
         let mut t = Table::new(&[
             "benchmark",
             "instructions",
+            "superblock (insns/s)",
             "cached (insns/s)",
             "uncached (insns/s)",
-            "speedup",
+            "sb/cached",
+            "cached/unc",
+            "blk len",
+            "fused",
         ]);
         for r in &self.rows {
             t.row(vec![
                 r.id.to_string(),
                 r.instructions.to_string(),
+                format!("{:.2e}", r.superblock_ips),
                 format!("{:.2e}", r.cached_ips),
                 format!("{:.2e}", r.uncached_ips),
-                format!("{:.2}x", r.speedup()),
+                format!("{:.2}x", r.superblock_speedup()),
+                format!("{:.2}x", r.cached_speedup()),
+                format!("{:.1}", r.mean_block_len),
+                format!("{:.0}%", 100.0 * r.fused_fraction()),
             ]);
         }
         format!(
-            "Interpreter benchmark — predecoded instruction cache on vs. off\n\
+            "Interpreter benchmark — superblock vs. cached vs. uncached\n\
              ({} arguments; best-of-N host timing, simulated behaviour is\n\
-             bit-identical in both modes)\n\n{t}\n\
-             geomean speedup: {:.2}x\n",
+             bit-identical across all engines)\n\n{t}\n\
+             geomean superblock/cached: {:.2}x   geomean cached/uncached: {:.2}x\n",
             if self.quick { "small" } else { "paper-scale" },
-            self.geomean_speedup()
+            self.geomean_superblock_speedup(),
+            self.geomean_cached_speedup()
         )
     }
 }
 
+/// Pulls `"key": <number>` out of a report document this module wrote
+/// earlier. Good enough for our own hand-rolled JSON; not a general
+/// parser.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares this run's aggregates against a previously stored
+/// `BENCH_interp.json`. Errors (failing the gate) if either geomean
+/// dropped more than 10% below the baseline; otherwise returns a
+/// one-line summary of the comparison.
+pub fn check_against_baseline(report: &BenchReport, baseline_json: &str) -> Result<String, String> {
+    let checks = [
+        ("geomean_cached_speedup", report.geomean_cached_speedup()),
+        (
+            "geomean_superblock_speedup",
+            report.geomean_superblock_speedup(),
+        ),
+    ];
+    let mut parts = Vec::new();
+    for (key, now) in checks {
+        let base = json_number(baseline_json, key)
+            .ok_or_else(|| format!("baseline file has no numeric \"{key}\""))?;
+        if now < base * 0.9 {
+            return Err(format!(
+                "perf regression: {key} {now:.3} is more than 10% below baseline {base:.3}"
+            ));
+        }
+        parts.push(format!("{key} {now:.3} vs baseline {base:.3}"));
+    }
+    Ok(format!("baseline check ok: {}", parts.join(", ")))
+}
+
 /// One measured execution: the cpu is built and loaded outside the timed
 /// region, so the reading is the interpreter loop itself, not setup. The
-/// cached mode runs the batched `run_to_halt` fast path; the uncached
-/// mode steps one instruction at a time — the canonical baseline the
-/// fast path exists to beat.
-fn timed_run(prog: &Program, args: &[i32], predecode: bool) -> (u64, i32, Duration) {
+/// cached and superblock engines run the batched `run_to_halt` fast
+/// path; the uncached engine steps one instruction at a time — the
+/// canonical baseline both fast tiers exist to beat.
+fn timed_run(prog: &Program, args: &[i32], engine: ExecEngine) -> (ExecStats, i32, Duration) {
     let cfg = SimConfig {
-        predecode,
+        engine,
         ..SimConfig::default()
     };
     let mut cpu = Cpu::new(cfg);
@@ -150,79 +252,93 @@ fn timed_run(prog: &Program, args: &[i32], predecode: bool) -> (u64, i32, Durati
             .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
     }
     let t = Instant::now();
-    if predecode {
-        cpu.run().expect("suite runs clean");
-    } else {
+    if engine == ExecEngine::Uncached {
         while cpu.step().expect("suite runs clean") == Halt::Running {}
+    } else {
+        cpu.run().expect("suite runs clean");
     }
     let dt = t.elapsed();
-    (cpu.stats().instructions, cpu.result(), dt)
+    (cpu.stats(), cpu.result(), dt)
 }
 
-/// Reps per same-mode block (see [`best_pair`]).
+/// Reps per same-engine block (see [`best_trio`]).
 const BLOCK: u32 = 3;
 
-/// Best-of-N timing for one program, both modes at once: after a warmup,
-/// repeat alternating *blocks* of cached and uncached reps until `budget`
-/// host time is spent (always at least two block pairs), keeping each
-/// mode's fastest rep. The block structure matters twice over on a shared
-/// host: alternating the modes exposes both to the same frequency/quota
-/// drift instead of letting it bias the ratio, while running each mode a
-/// few reps at a stretch lets the host's branch predictors reach steady
-/// state — the two interpreter paths evict each other's state, and for
-/// short workloads that retraining is a visible fraction of a rep, which
-/// best-of keeps out of the reading by discarding each block's cold lap.
-/// Asserts the modes agree on simulated behaviour; returns
-/// `(instructions, cached ips, uncached ips)`.
-fn best_pair(id: &str, prog: &Program, args: &[i32], budget: Duration) -> (u64, f64, f64) {
-    let (mut best_c, mut best_u) = (Duration::MAX, Duration::MAX);
+/// Best-of-N timing for one program, all three engines at once: after a
+/// warmup, repeat alternating *blocks* of superblock, cached, and
+/// uncached reps until `budget` host time is spent (always at least two
+/// block rounds), keeping each engine's fastest rep. The block structure
+/// matters twice over on a shared host: alternating the engines exposes
+/// all of them to the same frequency/quota drift instead of letting it
+/// bias the ratios, while running each engine a few reps at a stretch
+/// lets the host's branch predictors reach steady state — the
+/// interpreter paths evict each other's state, and for short workloads
+/// that retraining is a visible fraction of a rep, which best-of keeps
+/// out of the reading by discarding each block's cold lap. Asserts the
+/// engines agree on simulated behaviour; returns the finished
+/// [`BenchRow`].
+fn best_trio(id: &'static str, prog: &Program, args: &[i32], budget: Duration) -> BenchRow {
+    let mut best = [Duration::MAX; 3];
     let mut spent = Duration::ZERO;
-    let (mut cached, mut uncached) = ((0u64, 0i32), (0u64, 0i32));
-    let mut blocks = 0u32;
-    while blocks < 2 || (spent < budget && blocks < 200) {
-        for _ in 0..BLOCK {
-            let (n, r, dt) = timed_run(prog, args, true);
-            cached = (n, r);
-            best_c = best_c.min(dt);
-            spent += dt;
+    let mut rounds = 0u32;
+    let engines = [
+        ExecEngine::Superblock,
+        ExecEngine::Cached,
+        ExecEngine::Uncached,
+    ];
+    let mut last: [Option<(ExecStats, i32)>; 3] = [None, None, None];
+    while rounds < 2 || (spent < budget && rounds < 200) {
+        for (slot, &engine) in engines.iter().enumerate() {
+            for _ in 0..BLOCK {
+                let (stats, result, dt) = timed_run(prog, args, engine);
+                last[slot] = Some((stats, result));
+                best[slot] = best[slot].min(dt);
+                spent += dt;
+            }
         }
-        for _ in 0..BLOCK {
-            let (n, r, dt) = timed_run(prog, args, false);
-            uncached = (n, r);
-            best_u = best_u.min(dt);
-            spent += dt;
+        let sb = last[0].as_ref().unwrap();
+        for other in &last[1..] {
+            // ExecStats equality is architectural (host-side telemetry
+            // like fused-pair counts is excluded by design), so this is
+            // exactly the cross-engine law.
+            assert_eq!(
+                Some(sb),
+                other.as_ref(),
+                "{id}: engines must agree on simulated behaviour"
+            );
         }
-        assert_eq!(
-            cached, uncached,
-            "{id}: cached and uncached runs must agree on simulated behaviour"
-        );
-        blocks += 1;
+        rounds += 1;
     }
-    let ips = |d: Duration| cached.0 as f64 / d.as_secs_f64().max(1e-9);
-    (cached.0, ips(best_c), ips(best_u))
+    let (sb_stats, _) = last[0].clone().unwrap();
+    let instructions = sb_stats.instructions;
+    let ips = |d: Duration| instructions as f64 / d.as_secs_f64().max(1e-9);
+    BenchRow {
+        id,
+        instructions,
+        superblock_ips: ips(best[0]),
+        cached_ips: ips(best[1]),
+        uncached_ips: ips(best[2]),
+        fused: std::array::from_fn(|i| sb_stats.fused(FuseKind::ALL[i])),
+        mean_block_len: sb_stats.mean_block_len().unwrap_or(0.0),
+    }
 }
 
 /// Benchmarks the full suite. `quick` uses each workload's small
-/// arguments and a short per-mode budget (the CI smoke configuration);
-/// the full run uses paper-scale arguments and a longer budget.
+/// arguments and a short per-workload budget (the CI smoke
+/// configuration); the full run uses paper-scale arguments and a longer
+/// budget.
 pub fn run_suite(quick: bool) -> BenchReport {
     let budget = if quick {
-        Duration::from_millis(20)
+        Duration::from_millis(30)
     } else {
-        Duration::from_millis(300)
+        Duration::from_millis(450)
     };
     let rows = all()
         .iter()
         .map(|w| {
             let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
             let args = if quick { &w.small_args } else { &w.args };
-            let (instructions, cached_ips, uncached_ips) = best_pair(w.id, &prog, args, budget);
-            BenchRow {
-                id: w.id,
-                instructions,
-                cached_ips,
-                uncached_ips,
-            }
+            best_trio(w.id, &prog, args, budget)
         })
         .collect();
     BenchReport { quick, rows }
@@ -232,17 +348,35 @@ pub fn run_suite(quick: bool) -> BenchReport {
 mod tests {
     use super::*;
 
+    fn row(id: &'static str, sb: f64, c: f64, u: f64) -> BenchRow {
+        BenchRow {
+            id,
+            instructions: 1000,
+            superblock_ips: sb,
+            cached_ips: c,
+            uncached_ips: u,
+            fused: [10, 2, 3, 5, 4],
+            mean_block_len: 6.5,
+        }
+    }
+
     #[test]
     fn quick_suite_times_every_workload_and_emits_valid_rows() {
         let rep = run_suite(true);
         assert_eq!(rep.rows.len(), 11, "the paper's full benchmark count");
         for r in &rep.rows {
             assert!(r.instructions > 0, "{}", r.id);
-            assert!(r.cached_ips > 0.0 && r.uncached_ips > 0.0, "{}", r.id);
+            assert!(
+                r.superblock_ips > 0.0 && r.cached_ips > 0.0 && r.uncached_ips > 0.0,
+                "{}",
+                r.id
+            );
+            assert!(r.mean_block_len > 1.0, "{}: superblocks never formed", r.id);
         }
         // Host timing is noisy in debug tests, so only sanity-bound the
-        // aggregate here; the real ≥-gate runs in release via the CLI.
-        assert!(rep.geomean_speedup() > 0.0);
+        // aggregates here; the real ≥-gate runs in release via the CLI.
+        assert!(rep.geomean_cached_speedup() > 0.0);
+        assert!(rep.geomean_superblock_speedup() > 0.0);
     }
 
     #[test]
@@ -250,25 +384,18 @@ mod tests {
         let rep = BenchReport {
             quick: true,
             rows: vec![
-                BenchRow {
-                    id: "fib",
-                    instructions: 1000,
-                    cached_ips: 4.0e7,
-                    uncached_ips: 1.0e7,
-                },
-                BenchRow {
-                    id: "qsort",
-                    instructions: 2000,
-                    cached_ips: 3.0e7,
-                    uncached_ips: 1.5e7,
-                },
+                row("fib", 8.0e7, 4.0e7, 1.0e7),
+                row("qsort", 4.5e7, 3.0e7, 1.5e7),
             ],
         };
         let json = rep.to_json();
-        assert!(json.contains("\"schema\": \"risc1-bench-interp/v1\""));
+        assert!(json.contains("\"schema\": \"risc1-bench-interp/v2\""));
         assert!(json.contains("\"id\": \"fib\""));
-        assert!(json.contains("\"speedup\": 4.000"));
-        assert!(json.contains("\"geomean_speedup\": 2.828"));
+        assert!(json.contains("\"cached_speedup\": 4.000"));
+        assert!(json.contains("\"superblock_speedup\": 2.000"));
+        assert!(json.contains("\"fused\": {\"cmp_branch\": 10, \"ldhi_imm\": 2"));
+        assert!(json.contains("\"geomean_cached_speedup\": 2.828"));
+        assert!(json.contains("\"geomean_superblock_speedup\": 1.732"));
         // Balanced braces/brackets — the document parses as JSON.
         assert_eq!(
             json.matches('{').count(),
@@ -284,6 +411,38 @@ mod tests {
             quick: true,
             rows: vec![],
         };
-        assert_eq!(rep.geomean_speedup(), 1.0);
+        assert_eq!(rep.geomean_cached_speedup(), 1.0);
+        assert_eq!(rep.geomean_superblock_speedup(), 1.0);
+    }
+
+    #[test]
+    fn baseline_comparison_accepts_parity_and_rejects_regressions() {
+        let now = BenchReport {
+            quick: true,
+            rows: vec![row("fib", 8.0e7, 4.0e7, 1.0e7)],
+        };
+        // cached 4.0x, superblock 2.0x.
+        let same = now.to_json();
+        assert!(check_against_baseline(&now, &same).is_ok());
+        // Modest improvement over the stored numbers also passes.
+        let older = same
+            .replace(
+                "\"geomean_cached_speedup\": 4.000",
+                "\"geomean_cached_speedup\": 3.8",
+            )
+            .replace(
+                "\"geomean_superblock_speedup\": 2.000",
+                "\"geomean_superblock_speedup\": 1.9",
+            );
+        assert!(check_against_baseline(&now, &older).is_ok());
+        // More than 10% below either stored aggregate fails the gate.
+        let faster = same.replace(
+            "\"geomean_superblock_speedup\": 2.000",
+            "\"geomean_superblock_speedup\": 2.5",
+        );
+        let err = check_against_baseline(&now, &faster).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+        // A file without the keys is an error, not a silent pass.
+        assert!(check_against_baseline(&now, "{}").is_err());
     }
 }

@@ -1,0 +1,4 @@
+//! Prints the e15_fusion_ablation experiment report (see `risc1_experiments::e15_fusion_ablation`).
+fn main() {
+    print!("{}", risc1_experiments::e15_fusion_ablation::run());
+}

@@ -20,6 +20,7 @@ pub mod e11_pipeline_trace;
 pub mod e12_instruction_mix;
 pub mod e13_fault_recovery;
 pub mod e14_checkpoint_overhead;
+pub mod e15_fusion_ablation;
 pub mod e1_complexity;
 pub mod e2_instruction_set;
 pub mod e3_formats;
@@ -48,6 +49,7 @@ pub fn run_all() -> String {
         e12_instruction_mix::run(),
         e13_fault_recovery::run(),
         e14_checkpoint_overhead::run(),
+        e15_fusion_ablation::run(),
         ablations::run(),
     ]
     .join("\n\n")

@@ -17,9 +17,24 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// A sensible worker count for campaign runs: the machine's available
-/// parallelism, or 1 when that cannot be determined.
+/// A sensible worker count for campaign runs: the `RISC1_THREADS`
+/// environment variable when it is a positive integer (so CI and
+/// benchmark scripts can pin the worker count without touching code),
+/// else the machine's available parallelism, or 1 when that cannot be
+/// determined. Thread count never changes campaign *results* — the
+/// canonical merge below guarantees that — only how fast they arrive.
 pub fn default_threads() -> usize {
+    threads_from(std::env::var("RISC1_THREADS").ok().as_deref())
+}
+
+/// [`default_threads`] with the environment value passed in, so the
+/// override logic is testable without mutating process state.
+fn threads_from(env: Option<&str>) -> usize {
+    if let Some(n) = env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        if n >= 1 {
+            return n;
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -108,6 +123,18 @@ mod tests {
     }
 
     #[test]
+    fn thread_override_parses_positive_integers_and_ignores_junk() {
+        assert_eq!(threads_from(Some("3")), 3);
+        assert_eq!(threads_from(Some(" 12 ")), 12);
+        let fallback = threads_from(None);
+        assert!(fallback >= 1);
+        assert_eq!(threads_from(Some("0")), fallback);
+        assert_eq!(threads_from(Some("-2")), fallback);
+        assert_eq!(threads_from(Some("lots")), fallback);
+        assert_eq!(threads_from(Some("")), fallback);
+    }
+
+    #[test]
     fn seed_jobs_enumerate_the_cross_product_canonically() {
         assert_eq!(
             seed_jobs(2, 3),
@@ -153,7 +180,8 @@ mod tests {
                 rate: 120,
                 modes: InjectModes::all(),
             };
-            run_risc_injected(&prog, &[9], cfg.clone(), icfg, job.1.is_multiple_of(2)).expect("setup")
+            run_risc_injected(&prog, &[9], cfg.clone(), icfg, job.1.is_multiple_of(2))
+                .expect("setup")
         };
         let serial = parallel_map(&jobs, 1, run);
         for threads in [2, 5] {

@@ -22,10 +22,12 @@ cargo test -q --test fault_injection
 echo "==> cargo test --test checkpoint_replay (replay determinism gate)"
 cargo test -q --test checkpoint_replay
 
-echo "==> cargo test --test interp_equivalence (decode-cache equivalence law)"
+echo "==> cargo test --test interp_equivalence (three-engine equivalence law)"
 cargo test -q --test interp_equivalence
 
-echo "==> risc1 bench --quick (interpreter perf gate: cached must beat uncached)"
-cargo run -q --release -p risc1-cli --bin risc1 -- bench --quick --out BENCH_interp.json
+echo "==> risc1 bench --quick (perf gate: each tier must beat the one below,"
+echo "    and geomeans must stay within 10% of the checked-in baseline)"
+cargo run -q --release -p risc1-cli --bin risc1 -- bench --quick \
+  --out target/BENCH_interp.json --baseline BENCH_interp.json
 
 echo "All checks passed."

@@ -1,28 +1,37 @@
-//! The decode cache's correctness law: caching is invisible.
+//! The execution engines' correctness law: acceleration is invisible.
 //!
-//! PR 4's predecoded instruction cache (`crates/core/src/icache.rs`) is
-//! pure derived state — with it on or off, every simulated observable
-//! must be bit-identical: final result, `ExecStats` (instruction mix,
-//! cycles, traps, spills), the entire memory image, the visible register
-//! window, and the window-file position. This suite holds the cache to
-//! that bar three ways:
+//! PR 4 added a predecoded instruction cache (`crates/core/src/icache.rs`)
+//! and PR 5 layered a superblock engine over it
+//! (`crates/core/src/superblock.rs`): straight-line blocks formed over
+//! the cached lines, chained block-to-block, with macro-op fusion inside.
+//! All of that is pure derived state — under any of the three engines
+//! (`uncached`, `cached`, `superblock`), every simulated observable must
+//! be bit-identical: final result, `ExecStats` (instruction mix, cycles,
+//! traps, spills), the entire memory image, the visible register window,
+//! and the window-file position. This suite holds all engines to that
+//! bar five ways:
 //!
-//! 1. deterministically across all eleven suite workloads,
+//! 1. deterministically across all eleven suite workloads (three-way),
 //! 2. property-style under seed-driven fault injection (where traps,
 //!    recovery stubs, and snapshot restores stress the invalidation
-//!    paths), and
+//!    paths),
 //! 3. with a hand-assembled self-modifying program that overwrites its
-//!    own already-executed-and-cached text and only produces the right
-//!    answer if the stale line is dropped.
+//!    own already-executed-and-cached text,
+//! 4. with a program that patches the middle of an already-chained hot
+//!    loop while it runs — the store must kill the formed blocks, and
+//! 5. by dirtying more registered code pages than the pending channel
+//!    can hold, forcing the overflow → flush-everything fallback.
 //!
 //! Snapshot checksums deliberately cover `SimConfig` (so a restore
 //! cannot silently cross configurations), which makes them useless for
-//! cross-mode comparison — the digest here is hand-rolled over the raw
+//! cross-engine comparison — the digest here is hand-rolled over the raw
 //! memory pages instead.
 
 use proptest::prelude::*;
 use risc1::core::inject::{InjectConfig, InjectModes};
-use risc1::core::{Cpu, ExecStats, Halt, Program, SimConfig};
+use risc1::core::{
+    Cpu, ExecEngine, ExecStats, Halt, Program, SimConfig, CODE_DIRTY_PENDING_CAP, PAGE_BYTES,
+};
 use risc1::ir::{compile_risc, run_risc, run_risc_injected, RiscOpts};
 use risc1::isa::{Cond, Instruction, Opcode, Reg, Short2};
 use risc1::workloads::all;
@@ -47,7 +56,7 @@ struct FinalState {
 
 /// FNV-1a over every memory page. `Snapshot::checksum` is unusable here
 /// because it folds in the `SimConfig` (which differs by construction
-/// across the two modes); this digest covers memory content only.
+/// across the engines); this digest covers memory content only.
 fn mem_digest(cpu: &Cpu) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for idx in 0..cpu.mem.page_count() {
@@ -70,13 +79,14 @@ fn capture(cpu: &Cpu) -> FinalState {
     }
 }
 
-/// Runs `prog` to halt in the given mode and captures the final state.
-/// The cached mode goes through the batched `run_to_halt` fast path, the
-/// uncached mode through the one-at-a-time `step()` loop — the same two
-/// paths the benchmark harness compares.
-fn run_mode(prog: &Program, args: &[i32], predecode: bool) -> FinalState {
+/// Runs `prog` to halt under the given engine and captures the final
+/// state. The cached and superblock engines go through the batched
+/// `run_to_halt` fast path, the uncached engine through the
+/// one-at-a-time `step()` loop — the same paths the benchmark harness
+/// compares.
+fn run_mode(prog: &Program, args: &[i32], engine: ExecEngine) -> FinalState {
     let cfg = SimConfig {
-        predecode,
+        engine,
         ..SimConfig::default()
     };
     let mut cpu = Cpu::new(cfg);
@@ -87,22 +97,43 @@ fn run_mode(prog: &Program, args: &[i32], predecode: bool) -> FinalState {
             .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes())
             .expect("argv mirror fits");
     }
-    if predecode {
-        cpu.run().expect("suite runs clean");
-    } else {
+    if engine == ExecEngine::Uncached {
         while cpu.step().expect("suite runs clean") == Halt::Running {}
+    } else {
+        cpu.run().expect("suite runs clean");
     }
     capture(&cpu)
 }
 
 #[test]
-fn every_workload_is_bit_identical_with_and_without_the_cache() {
+fn every_workload_is_bit_identical_across_all_three_engines() {
+    let mut fused_anywhere = 0u64;
     for w in all() {
         let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
-        let cached = run_mode(&prog, &w.small_args, true);
-        let uncached = run_mode(&prog, &w.small_args, false);
+        let uncached = run_mode(&prog, &w.small_args, ExecEngine::Uncached);
+        let cached = run_mode(&prog, &w.small_args, ExecEngine::Cached);
+        let superblock = run_mode(&prog, &w.small_args, ExecEngine::Superblock);
         assert_eq!(cached, uncached, "{}: cache must be invisible", w.id);
+        assert_eq!(
+            superblock, uncached,
+            "{}: superblocks must be invisible",
+            w.id
+        );
+        // The superblock engine must actually engage (not silently fall
+        // back to single-stepping), and must never fuse elsewhere.
+        assert!(
+            superblock.stats.blocks_entered > 0,
+            "{}: superblock engine never entered a block",
+            w.id
+        );
+        assert_eq!(uncached.stats.fused_total(), 0, "{}", w.id);
+        assert_eq!(cached.stats.fused_total(), 0, "{}", w.id);
+        fused_anywhere += superblock.stats.fused_total();
     }
+    assert!(
+        fused_anywhere > 0,
+        "macro-op fusion never fired across the whole suite"
+    );
 }
 
 /// One compiled workload plus the fuel/rate bounds the injection sweep
@@ -140,23 +171,25 @@ proptest! {
     /// The law under fire: a seed-driven fault campaign — register and
     /// memory corruption, forced traps, recovery re-execution — produces
     /// the *exact same* `InjectReport` (outcome, stats, and the full
-    /// event log) whether or not the decode cache is enabled. Injected
-    /// memory writes land through the same dirty-channel stores use, so
-    /// this leans hard on invalidation.
+    /// event log) under all three engines. Injected memory writes land
+    /// through the same dirty-channel stores use, so this leans hard on
+    /// invalidation.
     #[test]
-    fn injected_campaigns_are_mode_independent(
+    fn injected_campaigns_are_engine_independent(
         wi in 0usize..11,
         seed in any::<u64>(),
         recovery in any::<bool>(),
     ) {
         let c = &compiled_suite()[wi];
         let inject = InjectConfig { seed, rate: c.rate, modes: InjectModes::all() };
-        let run = |predecode| {
-            let cfg = SimConfig { predecode, fuel: c.fuel, ..SimConfig::default() };
+        let run = |engine| {
+            let cfg = SimConfig { engine, fuel: c.fuel, ..SimConfig::default() };
             run_risc_injected(&c.prog, &c.args, cfg, inject, recovery)
                 .expect("setup succeeds")
         };
-        prop_assert_eq!(run(true), run(false));
+        let uncached = run(ExecEngine::Uncached);
+        prop_assert_eq!(run(ExecEngine::Cached), uncached.clone());
+        prop_assert_eq!(run(ExecEngine::Superblock), uncached);
     }
 }
 
@@ -171,28 +204,35 @@ fn imm_chunks(mut v: u32) -> Vec<Short2> {
     out
 }
 
+/// Emits a prologue that leaves `r20 = code_base + 4*target` (patched in
+/// by the caller once the target index is known — slot 2 is a
+/// placeholder) and `r21 = word`, built as ldhi + imm13 chunks.
+fn patch_prologue(word: u32) -> Vec<Instruction> {
+    let imm = |v: i32| Short2::imm(v).expect("fits imm13");
+    let mut insns = vec![
+        Instruction::reg(Opcode::Add, Reg::R20, Reg::R0, imm(1)),
+        Instruction::reg(Opcode::Sll, Reg::R20, Reg::R20, imm(12)),
+        // Placeholder: patched with the real offset once the target is
+        // known.
+        Instruction::nop(),
+        Instruction::ldhi(Reg::R21, word >> 13),
+    ];
+    for chunk in imm_chunks(word & 0x1fff) {
+        insns.push(Instruction::reg(Opcode::Add, Reg::R21, Reg::R21, chunk));
+    }
+    insns
+}
+
 #[test]
 fn self_modifying_code_invalidates_already_executed_text() {
     let imm = |v: i32| Short2::imm(v).expect("fits imm13");
-    let patch_word = Instruction::nop().encode();
 
     // The program below runs its loop body twice. Pass one executes the
     // original `add r26, r26, #10` (caching that line), then *stores a
     // nop over it*; pass two re-executes the same address. A correct
     // cache re-decodes and adds nothing — acc ends at 10. A stale cache
     // replays the old line — acc ends at 20.
-    let mut insns = vec![
-        // r20 = address of the patch target (code_base + 4 * L).
-        Instruction::reg(Opcode::Add, Reg::R20, Reg::R0, imm(1)),
-        Instruction::reg(Opcode::Sll, Reg::R20, Reg::R20, imm(12)),
-        // Placeholder: patched with the real offset once L is known.
-        Instruction::nop(),
-        // r21 = the nop encoding, built as ldhi + imm13 chunks.
-        Instruction::ldhi(Reg::R21, patch_word >> 13),
-    ];
-    for chunk in imm_chunks(patch_word & 0x1fff) {
-        insns.push(Instruction::reg(Opcode::Add, Reg::R21, Reg::R21, chunk));
-    }
+    let mut insns = patch_prologue(Instruction::nop().encode());
     insns.extend([
         Instruction::reg(Opcode::Add, Reg::R26, Reg::R0, imm(0)), // acc = 0
         Instruction::reg(Opcode::Add, Reg::R17, Reg::R0, imm(0)), // pass = 0
@@ -216,11 +256,135 @@ fn self_modifying_code_invalidates_already_executed_text() {
     assert_eq!(SimConfig::default().code_base, 0x1000, "address math above");
 
     let prog = Program::from_instructions(insns);
-    let cached = run_mode(&prog, &[], true);
-    let uncached = run_mode(&prog, &[], false);
+    let uncached = run_mode(&prog, &[], ExecEngine::Uncached);
+    let cached = run_mode(&prog, &[], ExecEngine::Cached);
+    let superblock = run_mode(&prog, &[], ExecEngine::Superblock);
     assert_eq!(
         cached.result, 10,
         "stale cached line survived the overwrite (20 = add ran twice)"
     );
     assert_eq!(cached, uncached, "cache must be invisible");
+    assert_eq!(superblock, uncached, "superblocks must be invisible");
+}
+
+#[test]
+fn patching_the_middle_of_a_chained_hot_loop_is_observed() {
+    let imm = |v: i32| Short2::imm(v).expect("fits imm13");
+    let patch_word = Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(1)).encode();
+
+    // A ten-iteration loop whose body opens with `add r26, r26, #11`.
+    // The first five iterations run that original text — under the
+    // superblock engine the loop is block-formed, chained, and hot by
+    // then. On iteration five the loop stores `add r26, r26, #1` over
+    // its own first instruction; iterations six through ten must execute
+    // the patched text. acc = 5*11 + 5*1 = 60 only if the store kills
+    // the already-chained blocks mid-flight; a stale block replays the
+    // old body for 110.
+    let mut insns = patch_prologue(patch_word);
+    let l = insns.len(); // loop head / patch target
+    insns.extend([
+        Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(11)), // PATCHED at i == 5
+        Instruction::reg(Opcode::Add, Reg::R17, Reg::R17, imm(1)),  // i += 1
+        Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R17, imm(5)),
+        Instruction::jmpr(Cond::Ne, 3 * 4), // i != 5: skip the patch store
+        Instruction::nop(),                 // delay slot
+        Instruction::reg(Opcode::Stl, Reg::R21, Reg::R20, imm(0)), // text[L] = add #1
+        Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R17, imm(10)),
+    ]);
+    let j = insns.len();
+    insns.extend([
+        Instruction::jmpr(Cond::Lt, 4 * (l as i32 - j as i32)),
+        Instruction::nop(), // delay slot
+        Instruction::ret(Reg::R0, imm(0)),
+        Instruction::nop(), // return delay slot
+    ]);
+    insns[2] = Instruction::reg(Opcode::Add, Reg::R20, Reg::R20, imm(4 * l as i32));
+    assert_eq!(SimConfig::default().code_base, 0x1000, "address math above");
+
+    let prog = Program::from_instructions(insns);
+    let uncached = run_mode(&prog, &[], ExecEngine::Uncached);
+    let cached = run_mode(&prog, &[], ExecEngine::Cached);
+    let superblock = run_mode(&prog, &[], ExecEngine::Superblock);
+    assert_eq!(
+        superblock.result, 60,
+        "a stale superblock replayed the pre-patch loop body"
+    );
+    assert_eq!(cached, uncached, "cache must be invisible");
+    assert_eq!(superblock, uncached, "superblocks must be invisible");
+    assert!(
+        superblock.stats.blocks_entered >= 5,
+        "the loop never got hot under the superblock engine"
+    );
+}
+
+#[test]
+fn dirty_channel_overflow_falls_back_to_flushing_everything() {
+    let imm = |v: i32| Short2::imm(v).expect("fits imm13");
+    let insns_per_page = PAGE_BYTES / 4;
+    // One more code page than the pending channel can hold, so patching
+    // all of them mid-run must overflow the channel and trip the
+    // flush-everything fallback rather than dropping invalidations.
+    let body_pages = CODE_DIRTY_PENDING_CAP + 1;
+    let body_len = body_pages * insns_per_page;
+
+    // body: `add r26, r26, #1` filling `body_pages` whole pages, run
+    // twice by the tail's pass counter. `code_base` is page-aligned, so
+    // the body covers exactly `body_pages` pages.
+    let mut insns = vec![Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(1)); body_len];
+    let j = insns.len() + 2;
+    insns.extend([
+        Instruction::reg(Opcode::Add, Reg::R17, Reg::R17, imm(1)), // pass += 1
+        Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R17, imm(2)),
+        Instruction::jmpr(Cond::Lt, 4 * -(j as i32)), // pass < 2: rerun the body
+        Instruction::nop(),                           // delay slot
+        Instruction::ret(Reg::R0, imm(0)),
+        Instruction::nop(), // return delay slot
+    ]);
+    assert_eq!(SimConfig::default().code_base % PAGE_BYTES as u32, 0);
+    let prog = Program::from_instructions(insns);
+
+    // After pass one every body page is registered as executed code.
+    // The host then bulk-patches the whole body to `add r26, r26, #2`
+    // through `load_image` — same dirty channel as stores — and resumes.
+    // acc = body_len * (1 + 2) only if all the patches are observed.
+    let patched = Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(2)).encode();
+    let mut page_image = Vec::with_capacity(PAGE_BYTES);
+    for _ in 0..insns_per_page {
+        page_image.extend_from_slice(&patched.to_le_bytes());
+    }
+    let run = |engine| {
+        let cfg = SimConfig {
+            engine,
+            ..SimConfig::default()
+        };
+        let code_base = cfg.code_base;
+        let mut cpu = Cpu::new(cfg);
+        cpu.load_program(&prog).expect("program fits memory");
+        assert_eq!(
+            cpu.step_n(body_len as u64).expect("pass one runs clean"),
+            Halt::Running
+        );
+        assert_eq!(cpu.pc(), code_base + 4 * body_len as u32, "mid-tail");
+        for p in 0..body_pages {
+            cpu.mem
+                .load_image(code_base + (p * PAGE_BYTES) as u32, &page_image)
+                .expect("patch fits memory");
+        }
+        if engine == ExecEngine::Uncached {
+            while cpu.step().expect("pass two runs clean") == Halt::Running {}
+        } else {
+            cpu.run().expect("pass two runs clean");
+        }
+        capture(&cpu)
+    };
+    let uncached = run(ExecEngine::Uncached);
+    let cached = run(ExecEngine::Cached);
+    let superblock = run(ExecEngine::Superblock);
+    assert_eq!(
+        uncached.result,
+        3 * body_len as i32,
+        "pass two must see the patched body"
+    );
+    assert_eq!(cached, uncached, "cache must be invisible");
+    assert_eq!(superblock, uncached, "superblocks must be invisible");
 }
