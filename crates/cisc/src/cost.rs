@@ -12,15 +12,24 @@
 //! counted — the observation that motivated register windows in the first
 //! place.
 
-/// Cycles to fetch and dispatch any opcode.
-pub const BASE: u64 = 2;
+use risc1_isa::spec;
 
-/// Cycles per data-memory access (read or write).
-pub const MEM_ACCESS: u64 = 1;
+/// Cycles to fetch and dispatch any opcode: the RISC execute cycle plus one
+/// microcycle of decode/dispatch overhead — the irreducible tax of the
+/// microcoded control store the paper argues against.
+pub const BASE: u64 = spec::EXECUTE_CYCLES + DISPATCH_OVERHEAD;
+
+/// The microcode decode/dispatch overhead per instruction.
+pub const DISPATCH_OVERHEAD: u64 = 1;
+
+/// Cycles per data-memory access (read or write) — the same memory, so the
+/// same transfer cost the spec table charges RISC loads and stores.
+pub const MEM_ACCESS: u64 = spec::MEM_TRANSFER_CYCLES;
 
 /// Extra cycle charged when a branch is taken (the microengine refills the
-/// instruction buffer).
-pub const TAKEN_BRANCH: u64 = 1;
+/// instruction buffer) — the spec table's taken-transfer bubble: CX has no
+/// delay slots to hide it.
+pub const TAKEN_BRANCH: u64 = spec::TAKEN_TRANSFER_BUBBLE;
 
 #[cfg(test)]
 mod tests {

@@ -5,6 +5,8 @@
 //! risc1 lint <file.s> [--json]   static analysis: CFG + dataflow findings
 //!   --trap-handler <sym>         declare a trap-vector entry point
 //!                                (repeatable); handlers must reti
+//! risc1 lint --spec-audit        cross-check every opcode fact against the
+//!                                executable ISA spec table
 //! risc1 run <file.s> [args…]     assemble and execute; prints result + stats
 //!   --fuel N                     instruction budget (default 200M)
 //!   --engine <tier>              uncached | cached | superblock (default)
@@ -44,6 +46,8 @@ use risc1_ir::{
 use risc1_stats::measure_with;
 use std::fmt::Write as _;
 
+mod spec_audit;
+
 /// Result of a CLI invocation: the text to print, or an error message.
 pub type CliResult = Result<String, String>;
 
@@ -54,6 +58,14 @@ pub type CliResult = Result<String, String>;
 pub fn dispatch(args: &[String]) -> CliResult {
     match args.first().map(String::as_str) {
         Some("asm") => cmd_asm(args.get(1).ok_or(USAGE)?),
+        Some("lint") if args.get(1).map(String::as_str) == Some("--spec-audit") => {
+            if let Some(extra) = args.get(2) {
+                return Err(format!(
+                    "lint --spec-audit takes no arguments, got `{extra}`\n{USAGE}"
+                ));
+            }
+            spec_audit::run()
+        }
         Some("lint") => cmd_lint(args.get(1).ok_or(USAGE)?, &args[2..]),
         Some("run") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], false),
         Some("replay") => cmd_replay(args.get(1).ok_or(USAGE)?, &args[2..]),
@@ -74,6 +86,10 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
        [--trap-handler <sym>]   declare a trap-vector entry point (symbol
                                 or byte offset; repeatable) - its body is
                                 live code and must return with reti
+  risc1 lint --spec-audit       audit the executable ISA spec table against
+                                the opcode metadata, codec, assembler and
+                                icache over all 128 opcode points; exits
+                                nonzero on any divergence
   risc1 run <file.s> [args…]    execute (args are main's integer arguments)
        [--fuel N]               instruction budget (default 200M)
        [--engine <tier>]        interpreter tier: uncached | cached |
@@ -706,6 +722,18 @@ mod tests {
     fn list_shows_workloads() {
         let out = dispatch(&s(&["list"])).unwrap();
         assert!(out.contains("acker") && out.contains("sieve"));
+    }
+
+    #[test]
+    fn spec_audit_passes_on_the_tree() {
+        let out = dispatch(&s(&["lint", "--spec-audit"])).unwrap();
+        assert!(out.contains("spec-audit: ok"), "{out}");
+    }
+
+    #[test]
+    fn spec_audit_rejects_stray_arguments() {
+        let err = dispatch(&s(&["lint", "--spec-audit", "foo.s"])).unwrap_err();
+        assert!(err.contains("takes no arguments"), "{err}");
     }
 
     #[test]

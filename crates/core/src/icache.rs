@@ -28,6 +28,7 @@
 
 use crate::mem::{CodeDirty, Memory, PAGE_BYTES};
 use risc1_isa::insn::Operands;
+use risc1_isa::spec::{self, Transfer};
 use risc1_isa::{Cond, Instruction, Opcode, Reg, Short2};
 
 /// Decoded slots per page: one per 32-bit word.
@@ -49,9 +50,10 @@ pub(crate) struct Line {
     pub scc: bool,
     /// Whether the operands were a long (19-bit immediate) shape.
     pub long: bool,
-    /// Precomputed `op.is_transfer()`.
+    /// Precomputed transfer flag, from the spec table's `transfer` column.
     pub is_transfer: bool,
-    /// Precomputed `op.base_cycles()`.
+    /// Precomputed base cycle cost, from the spec table's `base_cycles`
+    /// column.
     pub base_cycles: u8,
     /// Destination / link / store-data register (short shapes).
     pub dest: Reg,
@@ -79,13 +81,14 @@ impl Line {
                 (Reg::R0, Reg::R0, Short2::ZERO, imm19, cond, true)
             }
         };
+        let entry = spec::entry(insn.opcode);
         Line {
             insn,
             op: insn.opcode,
             scc: insn.scc,
             long,
-            is_transfer: insn.opcode.is_transfer(),
-            base_cycles: insn.opcode.base_cycles() as u8,
+            is_transfer: entry.transfer != Transfer::None,
+            base_cycles: entry.base_cycles,
             dest,
             rs1,
             s2,
@@ -93,6 +96,13 @@ impl Line {
             cond,
         }
     }
+}
+
+/// The base cycle cost a prepared cache line carries for `insn`. Exposed so
+/// the `--spec-audit` pass can cross-check the engine's per-line cost
+/// against the spec table without reaching into the private cache type.
+pub fn prepared_base_cycles(insn: &Instruction) -> u8 {
+    Line::prepare(*insn).base_cycles
 }
 
 /// The cache proper: one lazily-allocated line array per memory page.

@@ -52,6 +52,7 @@ pub mod windows;
 
 pub use config::{BranchModel, ExecEngine, FusionConfig, SimConfig};
 pub use cpu::{Cpu, ExecError, Halt, ReplayContext, TooManyArgs, TRAP_VECTOR_STRIDE};
+pub use icache::prepared_base_cycles;
 pub use inject::{FaultInjector, InjectConfig, InjectEvent, InjectKind, XorShift64};
 pub use journal::{Journal, JournalError, JournalEvent, RecordedOutcome, JOURNAL_VERSION};
 pub use mem::{MemError, Memory, CODE_DIRTY_PENDING_CAP, PAGE_BYTES};

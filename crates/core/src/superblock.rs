@@ -367,29 +367,16 @@ fn prepare_at(mem: &Memory, pc: u32) -> Option<Line> {
     Some(Line::prepare(Instruction::decode(word).ok()?))
 }
 
-/// Whether the opcode is a plain ALU/shift op (the `alu` dispatch set).
+/// Whether the opcode is a plain ALU/shift op (the `alu` dispatch set) —
+/// the spec table's ALU group.
 fn is_alu(op: Opcode) -> bool {
-    matches!(
-        op,
-        Opcode::Add
-            | Opcode::Addc
-            | Opcode::Sub
-            | Opcode::Subc
-            | Opcode::Subr
-            | Opcode::Subcr
-            | Opcode::And
-            | Opcode::Or
-            | Opcode::Xor
-            | Opcode::Sll
-            | Opcode::Srl
-            | Opcode::Sra
-    )
+    risc1_isa::spec::entry(op).is_alu()
 }
 
 /// ALU ops that consult the incoming carry flag — excluded from build-time
-/// constant folding.
+/// constant folding. The spec table's `FlagsRead::Carry` rows.
 fn reads_carry(op: Opcode) -> bool {
-    matches!(op, Opcode::Addc | Opcode::Subc | Opcode::Subcr)
+    risc1_isa::spec::entry(op).reads_carry()
 }
 
 /// The greedy left-to-right fusion pass: non-overlapping adjacent pairs,

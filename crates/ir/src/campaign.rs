@@ -24,12 +24,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// determined. Thread count never changes campaign *results* — the
 /// canonical merge below guarantees that — only how fast they arrive.
 pub fn default_threads() -> usize {
-    threads_from(std::env::var("RISC1_THREADS").ok().as_deref())
+    parse_threads(std::env::var("RISC1_THREADS").ok().as_deref())
 }
 
-/// [`default_threads`] with the environment value passed in, so the
-/// override logic is testable without mutating process state.
-fn threads_from(env: Option<&str>) -> usize {
+/// [`default_threads`] with the environment value passed in: the single
+/// parser of `RISC1_THREADS` overrides, public so every consumer (the
+/// campaign runner, the differential fuzz harness) shares one definition
+/// of what a valid override is — and so the logic is testable without
+/// mutating process state. Malformed or non-positive values fall back to
+/// the machine's available parallelism.
+pub fn parse_threads(env: Option<&str>) -> usize {
     if let Some(n) = env.and_then(|v| v.trim().parse::<usize>().ok()) {
         if n >= 1 {
             return n;
@@ -124,14 +128,14 @@ mod tests {
 
     #[test]
     fn thread_override_parses_positive_integers_and_ignores_junk() {
-        assert_eq!(threads_from(Some("3")), 3);
-        assert_eq!(threads_from(Some(" 12 ")), 12);
-        let fallback = threads_from(None);
+        assert_eq!(parse_threads(Some("3")), 3);
+        assert_eq!(parse_threads(Some(" 12 ")), 12);
+        let fallback = parse_threads(None);
         assert!(fallback >= 1);
-        assert_eq!(threads_from(Some("0")), fallback);
-        assert_eq!(threads_from(Some("-2")), fallback);
-        assert_eq!(threads_from(Some("lots")), fallback);
-        assert_eq!(threads_from(Some("")), fallback);
+        assert_eq!(parse_threads(Some("0")), fallback);
+        assert_eq!(parse_threads(Some("-2")), fallback);
+        assert_eq!(parse_threads(Some("lots")), fallback);
+        assert_eq!(parse_threads(Some("")), fallback);
     }
 
     #[test]

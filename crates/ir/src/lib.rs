@@ -53,7 +53,7 @@ pub mod runner;
 pub mod supervise;
 
 pub use ast::{BinOp, CmpOp, Expr, Function, Global, Module, Stmt, ValidateError};
-pub use campaign::{default_threads, parallel_map, seed_jobs};
+pub use campaign::{default_threads, parallel_map, parse_threads, seed_jobs};
 pub use cx::compile_cx;
 pub use interp::{interpret, InterpError};
 pub use m68::compile_mc;

@@ -49,10 +49,10 @@ impl fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Whether an opcode is allowed to assert the `scc` bit. Only the ALU and
-/// shift group drives the condition-code logic.
+/// shift group drives the condition-code logic. This is the spec table's
+/// `scc_allowed` column.
 pub fn scc_allowed(op: Opcode) -> bool {
-    use crate::opcode::Category;
-    matches!(op.category(), Category::Arithmetic | Category::Shift)
+    crate::spec::entry(op).scc_allowed
 }
 
 impl Instruction {

@@ -245,68 +245,31 @@ impl Instruction {
 
     /// The registers this instruction *reads* when executed, in the current
     /// window's name space. Used by the pipeline hazard model and the
-    /// delay-slot filler.
+    /// delay-slot filler. Derived from the spec table's operand roles.
     pub fn reads(&self) -> Vec<Reg> {
-        let mut out = Vec::with_capacity(3);
-        let mut push = |r: Reg| {
-            if !r.is_zero() {
-                out.push(r);
-            }
-        };
-        match self.operands {
-            Operands::Short { dest, rs1, s2 } => {
-                push(rs1);
-                if let Short2::Reg(r) = s2 {
-                    push(r);
-                }
-                // Stores read their data register (carried in `dest`).
-                if self.opcode.is_store() {
-                    push(dest);
-                }
-            }
-            Operands::ShortCond { rs1, s2, .. } => {
-                push(rs1);
-                if let Short2::Reg(r) = s2 {
-                    push(r);
-                }
-            }
-            Operands::Long { .. } | Operands::LongCond { .. } => {}
-        }
-        out
+        crate::spec::reg_reads(self)
     }
 
     /// The register this instruction *writes*, if any (r0 writes are
-    /// discarded and reported as `None`).
+    /// discarded and reported as `None`). Derived from the spec table's
+    /// `dest` role.
     pub fn writes(&self) -> Option<Reg> {
-        if self.opcode.is_store() || self.opcode == Opcode::Putpsw {
-            return None;
-        }
-        match self.operands {
-            Operands::Short { dest, .. } | Operands::Long { dest, .. } => {
-                (!dest.is_zero()).then_some(dest)
-            }
-            Operands::ShortCond { .. } | Operands::LongCond { .. } => None,
-        }
+        crate::spec::reg_write(self)
     }
 
     /// Whether executing the instruction may change the condition flags:
     /// any instruction with the `scc` bit set, plus `PUTPSW`, which rewrites
-    /// the whole status word.
+    /// the whole status word. Derived from the spec table's flag defs.
     pub fn sets_cc(&self) -> bool {
-        self.scc || self.opcode == Opcode::Putpsw
+        crate::spec::sets_condition_codes(self)
     }
 
     /// Whether the instruction's result depends on the condition flags (or
     /// the PSW containing them): the carry-chained ALU ops, `GETPSW`, and
     /// any conditional transfer whose condition actually tests flags
-    /// (`alw`/`nvr` do not).
+    /// (`alw`/`nvr` do not). Derived from the spec table's flag uses.
     pub fn reads_cc(&self) -> bool {
-        match self.opcode {
-            Opcode::Addc | Opcode::Subc | Opcode::Subcr | Opcode::Getpsw => true,
-            _ => self
-                .jump_cond()
-                .is_some_and(|c| !matches!(c, Cond::Alw | Cond::Nvr)),
-        }
+        crate::spec::reads_condition_codes(self)
     }
 
     /// The condition tested by a `JMP`/`JMPR`, `None` for everything else.
@@ -342,33 +305,11 @@ impl Instruction {
     /// * when the transfer moves the register window, the slot executes in
     ///   the *new* window, so only instructions confined to the shared
     ///   global registers mean the same thing on both sides of the move.
+    ///
+    /// Every fact consulted (transfer class, flag def/use, register def/use,
+    /// window motion) comes from the spec table.
     pub fn safe_in_delay_slot_of(&self, transfer: &Instruction) -> bool {
-        debug_assert!(transfer.opcode.is_transfer());
-        if self.is_nop() {
-            return true;
-        }
-        if self.opcode.is_transfer() {
-            return false;
-        }
-        if self.sets_cc() && transfer.reads_cc() {
-            return false;
-        }
-        if let Some(w) = self.writes() {
-            if transfer.reads().contains(&w) {
-                return false;
-            }
-        }
-        if transfer.opcode.moves_window() {
-            let global_only = self
-                .reads()
-                .into_iter()
-                .chain(self.writes())
-                .all(|r| !r.is_windowed());
-            if !global_only {
-                return false;
-            }
-        }
-        true
+        crate::spec::safe_in_delay_slot(self, transfer)
     }
 }
 

@@ -28,6 +28,7 @@ pub mod insn;
 pub mod opcode;
 pub mod psw;
 pub mod reg;
+pub mod spec;
 pub mod summary;
 
 pub use cond::Cond;

@@ -67,16 +67,21 @@ pub struct Effects {
 }
 
 /// The architectural effect of the instruction itself: exactly the
-/// registers its operand fields read and write, plus the flags. This is
-/// what the uninit-read rule checks, so a call does *not* "use" all six
-/// outgoing-argument registers here.
+/// registers its operand fields read and write, plus the flags, all taken
+/// from the ISA spec table (`risc1_isa::spec`) — the analyzer maintains no
+/// per-opcode def/use knowledge of its own. This is what the uninit-read
+/// rule checks, so a call does *not* "use" all six outgoing-argument
+/// registers here.
 pub fn arch_effects(insn: &Instruction) -> Effects {
-    let mut uses: BitSet = insn.reads().into_iter().fold(0, |s, r| s | reg_bit(r));
-    let mut defs: BitSet = insn.writes().map(reg_bit).unwrap_or(0);
-    if insn.reads_cc() {
+    use risc1_isa::spec;
+    let mut uses: BitSet = spec::reg_reads(insn)
+        .into_iter()
+        .fold(0, |s, r| s | reg_bit(r));
+    let mut defs: BitSet = spec::reg_write(insn).map(reg_bit).unwrap_or(0);
+    if spec::reads_condition_codes(insn) {
         uses |= FLAGS_BIT;
     }
-    if insn.sets_cc() {
+    if spec::sets_condition_codes(insn) {
         defs |= FLAGS_BIT;
     }
     Effects { uses, defs }

@@ -100,8 +100,12 @@ rules! {
      "the static call chain is deep enough to guarantee register-window overflow traps"),
     (UnreachableCode, "unreachable-code", Warning,
      "a decodable instruction can never execute"),
+    (SpecIllegalEncoding, "spec-illegal-encoding", Warning,
+     "an instruction's operand shape is one the ISA spec table rejects - it decodes, but the assembler could never have produced it"),
     (DeadStore, "dead-store", Info,
      "a register is written and then never read before being overwritten"),
+    (DeadSccSet, "dead-scc-set", Info,
+     "an instruction sets the condition codes but nothing reads them before the next setter"),
     (RecursiveCallGraph, "recursive-call-graph", Info,
      "the call graph has a cycle, so window overflow depends on runtime depth"),
 }

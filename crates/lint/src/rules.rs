@@ -85,6 +85,7 @@ pub fn lint_program(program: &Program, config: &LintConfig) -> Vec<Diagnostic> {
     lints.delay_slot_rules();
     lints.branch_into_slot();
     lints.dataflow_rules();
+    lints.spec_illegal_encoding();
     lints.fall_off_end();
     lints.unreachable_code();
     lints.call_depth();
@@ -241,6 +242,7 @@ impl Linter<'_> {
                         continue;
                     };
                     self.report_dead_store(i, &insn, l);
+                    self.report_dead_scc(i, &insn, l);
                     let e = summary_effects(&insn);
                     l = (l & !e.defs) | e.uses;
                 }
@@ -315,6 +317,49 @@ impl Linter<'_> {
                         "`{insn}`{} writes {w}, which is overwritten before any read",
                         self.loc(i)
                     ),
+                );
+            }
+        }
+    }
+
+    /// An `{scc}` bit whose flags nothing reads before the next flag
+    /// write. The machine executes it fine, but it poisons the delay-slot
+    /// filler (a flag-setter is never safe in a conditional transfer's
+    /// shadow) for no benefit. `live` is the live-after set of the
+    /// instruction, so the rule is exact up to the call-summary and
+    /// function-exit conservatism of the liveness pass.
+    fn report_dead_scc(&mut self, i: InsnIdx, insn: &Instruction, live: BitSet) {
+        if insn.scc && live & FLAGS_BIT == 0 {
+            self.push(
+                Rule::DeadSccSet,
+                i,
+                format!(
+                    "`{insn}`{} sets the condition codes but nothing reads them \
+                     before the next setter",
+                    self.loc(i)
+                ),
+            );
+        }
+    }
+
+    /// Reachable words whose decoded operand shape the ISA spec table
+    /// rejects: the word executes, but the assembler could never have
+    /// produced it, so it is almost certainly a miscomputed constant or
+    /// data executed as code (e.g. a `ret` with a non-zero ignored dest
+    /// field, or a shift count the barrel shifter silently masks).
+    fn spec_illegal_encoding(&mut self) {
+        for i in 0..self.cfg.code.len() {
+            if !self.cfg.reachable[i] {
+                continue;
+            }
+            let Some(insn) = self.cfg.code[i] else {
+                continue;
+            };
+            if let Err(v) = risc1_isa::spec::validate(&insn) {
+                self.push(
+                    Rule::SpecIllegalEncoding,
+                    i,
+                    format!("`{insn}`{}: {v}", self.loc(i)),
                 );
             }
         }
@@ -619,6 +664,80 @@ mod tests {
         ];
         insns.extend(halt());
         assert!(!rules_of(&lint(insns)).contains(&Rule::DeadStore));
+    }
+
+    #[test]
+    fn dead_scc_set_is_flagged_and_consumed_flags_are_not() {
+        // The first {scc} is overwritten by the second before any read; the
+        // second feeds the conditional jump and is live.
+        let mut insns = vec![
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R26, imm(1)),
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R26, imm(0)),
+            Instruction::jmpr(Cond::Eq, 8),
+            Instruction::nop(),
+        ];
+        insns.extend(halt());
+        let diags = lint(insns);
+        let dead: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::DeadSccSet)
+            .collect();
+        assert_eq!(dead.len(), 1, "{diags:?}");
+        assert_eq!(dead[0].pc, 0, "only the overwritten setter is dead");
+        assert_eq!(dead[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn scc_live_across_a_branch_join_is_not_dead() {
+        // The setter's flags are read on the fall-through path only; the
+        // union at the join must keep it live.
+        let mut insns = vec![
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R26, imm(0)),
+            Instruction::jmpr(Cond::Alw, 8),
+            Instruction::nop(),
+            Instruction::reg(Opcode::Addc, Reg::R16, Reg::R0, imm(0)), // reads carry
+        ];
+        insns.extend(halt());
+        let diags = lint(insns);
+        assert!(!rules_of(&diags).contains(&Rule::DeadSccSet), "{diags:?}");
+    }
+
+    #[test]
+    fn spec_illegal_encoding_flags_noncanonical_words() {
+        use risc1_isa::Operands;
+        // A shift count the barrel shifter masks, and a ret carrying junk
+        // in its architecturally-ignored dest field.
+        let ret_bad = Instruction {
+            opcode: Opcode::Ret,
+            scc: false,
+            operands: Operands::Short {
+                dest: Reg::R5,
+                rs1: Reg::R25,
+                s2: imm(8),
+            },
+        };
+        let mut insns = vec![
+            Instruction::callr(Reg::R25, 4 * INSN_BYTES as i32),
+            Instruction::nop(),
+        ];
+        insns.extend(halt());
+        insns.push(Instruction::reg(Opcode::Sll, Reg::R2, Reg::R2, imm(33)));
+        insns.push(ret_bad);
+        insns.push(Instruction::nop());
+        let diags = lint(insns);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::SpecIllegalEncoding)
+            .collect();
+        assert_eq!(hits.len(), 2, "{diags:?}");
+        assert!(hits.iter().any(|d| d.message.contains("shift count")));
+        assert!(hits.iter().any(|d| d.message.contains("must be r0")));
+        assert!(!has_errors(&diags), "the words still execute");
+    }
+
+    #[test]
+    fn canonical_programs_are_spec_legal() {
+        assert!(!rules_of(&lint(call_chain(2))).contains(&Rule::SpecIllegalEncoding));
     }
 
     #[test]

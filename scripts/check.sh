@@ -25,6 +25,13 @@ cargo test -q --test checkpoint_replay
 echo "==> cargo test --test interp_equivalence (three-engine equivalence law)"
 cargo test -q --test interp_equivalence
 
+echo "==> risc1 lint --spec-audit (ISA spec table vs metadata/codec/assembler/icache)"
+cargo run -q --release -p risc1-cli --bin risc1 -- lint --spec-audit
+
+echo "==> cargo test --test spec_differential (spec-vs-engines differential fuzz,"
+echo "    fixed-seed quick profile: 200 generated + 48 injected cases)"
+cargo test -q --release --test spec_differential
+
 echo "==> risc1 bench --quick (perf gate: each tier must beat the one below,"
 echo "    and geomeans must stay within 10% of the checked-in baseline)"
 cargo run -q --release -p risc1-cli --bin risc1 -- bench --quick \

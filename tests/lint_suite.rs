@@ -230,6 +230,87 @@ fn cli_lint_reports_the_buggy_program() {
     assert!(err.contains("transfer-in-delay-slot"), "{err}");
 }
 
+/// Fixture for `dead-scc-set`, one of the two spec-table-driven rules: an
+/// `{scc}` whose flags are overwritten before anything reads them fires,
+/// while the consumed setter right after it stays quiet.
+#[test]
+fn dead_scc_set_fixture_flags_only_the_unread_setter() {
+    let src = "
+            add   r16, r26, #0
+            sub   r0, r16, #1 {scc}   ; DEAD: overwritten before any reader
+            sub   r0, r16, #2 {scc}   ; live: jmpr reads these flags
+            jmpr  gt, done
+            nop
+            add   r16, r16, #1
+    done:   add   r26, r16, #0
+            halt
+            nop
+    ";
+    let prog = assemble(src).expect("assembles");
+    let diags = lint_program(&prog, &LintConfig::default());
+    let dead: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::DeadSccSet)
+        .collect();
+    assert_eq!(dead.len(), 1, "{}", render_text(&diags));
+    assert_eq!(dead[0].pc, 4, "the unread setter, not the consumed one");
+    assert_eq!(dead[0].severity, Severity::Info);
+}
+
+/// Fixture for `spec-illegal-encoding`: words that decode fine but carry an
+/// operand shape the spec table's `validate` rejects — the assembler could
+/// never have produced them. Assembly cannot express these, so the program
+/// is built from instruction literals.
+#[test]
+fn spec_illegal_encoding_fixture_flags_noncanonical_words() {
+    use risc1::isa::{Instruction, Opcode, Operands, Reg, Short2};
+    let insns = vec![
+        // Shift count #40: legal to execute (the shifter masks to 5 bits)
+        // but outside the canonical 0..=31.
+        Instruction {
+            opcode: Opcode::Sll,
+            scc: false,
+            operands: Operands::Short {
+                dest: Reg::R16,
+                rs1: Reg::R16,
+                s2: Short2::imm(40).expect("fits imm13"),
+            },
+        },
+        // A ret whose architecturally-ignored dest field names r5.
+        Instruction {
+            opcode: Opcode::Ret,
+            scc: false,
+            operands: Operands::Short {
+                dest: Reg::R5,
+                rs1: Reg::R0,
+                s2: Short2::ZERO,
+            },
+        },
+        Instruction::nop(),
+    ];
+    let prog = risc1::core::Program::from_instructions(insns);
+    let diags = lint_program(&prog, &LintConfig::default());
+    let illegal: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == Rule::SpecIllegalEncoding)
+        .collect();
+    assert_eq!(illegal.len(), 2, "{}", render_text(&diags));
+    assert!(
+        illegal[0].message.contains("shift count"),
+        "{}",
+        illegal[0].message
+    );
+    assert!(
+        illegal[1].message.contains("must be r0"),
+        "{}",
+        illegal[1].message
+    );
+    assert!(
+        !has_errors(&diags),
+        "both findings are warnings, not errors"
+    );
+}
+
 /// The cross-crate end-to-end assembly program (tests/end_to_end.rs) also
 /// lints error-free — hand-written code with calls, loops and memory.
 #[test]

@@ -1,0 +1,628 @@
+//! Generative differential fuzzing: every engine against the executable spec.
+//!
+//! The spec module (`crates/isa/src/spec.rs`) carries a fourth, deliberately
+//! slow execution engine — a reference interpreter defined directly against
+//! the per-instruction semantics table, sharing no datapath code with
+//! `risc1-core` (independent window-ring indexing, independent flag algebra).
+//! This suite generates random *valid* programs from the spec table — every
+//! opcode and operand shape is reachable through some gadget — and asserts
+//! that the uncached, cached, and superblock engines all produce the exact
+//! state the spec interpreter does: result, final PC, the visible window,
+//! window position and depth, a digest of all of memory, and the
+//! stats-visible counters.
+//!
+//! Program shape: a prologue pins `r9` at a scratch data region, then a
+//! random sequence of self-contained gadgets — straight-line ALU/memory
+//! runs, compare-and-skip forward branches, bounded counted loops,
+//! register-indexed jumps, calls (both `callr` and register-indexed `call`)
+//! into generated leaf functions, and a `calli`/`reti` trap-nest — ending in
+//! the halting `ret`. Gadgets keep call depth far below the window count
+//! (the spec machine has no spill/fill and faults on overflow) and keep all
+//! memory traffic inside an aligned scratch window, so every generated
+//! program halts cleanly on all four machines.
+//!
+//! A seeded fault-injection variant reruns the same generated programs under
+//! a deterministic injection campaign and holds the three production engines
+//! to bit-identical `InjectReport`s (the spec machine models no injection,
+//! so it sits that variant out).
+
+use proptest::prelude::*;
+use proptest::{collection, sample};
+use risc1::core::inject::{InjectConfig, InjectModes};
+use risc1::core::{Cpu, ExecEngine, ExecStats, Halt, Program, SimConfig};
+use risc1::ir::{default_threads, parallel_map, run_risc_injected};
+use risc1::isa::spec::{SpecState, SpecStats};
+use risc1::isa::{Cond, Instruction, Opcode, Reg, Short2};
+use std::collections::HashSet;
+
+/// Where programs load (must match `SimConfig::default().code_base` — the
+/// indexed-jump and indexed-call gadgets materialize absolute addresses).
+const CODE_BASE: u32 = 0x1000;
+
+/// Scratch data region all generated loads/stores stay inside. `ldhi`
+/// reaches it exactly: `0x4_0000 == 0x20 << 13`.
+const DATA_BASE: u32 = 0x4_0000;
+
+/// Number of 4-byte-aligned scratch slots (aligned for every access width).
+const DATA_WORDS: i32 = 64;
+
+/// Spec-interpreter instruction budget — generated programs retire a few
+/// hundred instructions, so hitting this means the generator lost its
+/// termination guarantee.
+const SPEC_FUEL: u64 = 100_000;
+
+const ALU_OPS: [Opcode; 12] = [
+    Opcode::Add,
+    Opcode::Addc,
+    Opcode::Sub,
+    Opcode::Subc,
+    Opcode::Subr,
+    Opcode::Subcr,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Sll,
+    Opcode::Srl,
+    Opcode::Sra,
+];
+
+const MEM_OPS: [Opcode; 8] = [
+    Opcode::Ldl,
+    Opcode::Ldsu,
+    Opcode::Ldss,
+    Opcode::Ldbu,
+    Opcode::Ldbs,
+    Opcode::Stl,
+    Opcode::Sts,
+    Opcode::Stb,
+];
+
+/// Destination pool for gadgets in the main body. Reserved: r8 (loop
+/// counter), r9 (data base), r0 (hardwired zero).
+fn main_pool() -> Vec<Reg> {
+    vec![
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R16,
+        Reg::R17,
+        Reg::R18,
+        Reg::R19,
+        Reg::R20,
+        Reg::R21,
+        Reg::R22,
+        Reg::R23,
+        Reg::R24,
+        Reg::R25,
+        Reg::R26,
+        Reg::R27,
+    ]
+}
+
+/// Destination pool where r25 holds a live return address: function bodies,
+/// call delay slots, and `calli` bodies.
+fn linkless_pool() -> Vec<Reg> {
+    main_pool().into_iter().filter(|r| *r != Reg::R25).collect()
+}
+
+fn imm(v: i32) -> Short2 {
+    Short2::imm(v).expect("gadget immediate fits imm13")
+}
+
+/// One straight-line, non-transfer instruction writing only into `dests`:
+/// ALU/shift (with and without `{scc}`), aligned loads and stores through
+/// r9, `ldhi`, and the PSW trio.
+fn arb_simple(dests: Vec<Reg>) -> BoxedStrategy<Instruction> {
+    let mut srcs = dests.clone();
+    srcs.push(Reg::R0);
+    srcs.push(Reg::R9);
+
+    let alu = (
+        sample::select(ALU_OPS.to_vec()),
+        sample::select(dests.clone()),
+        sample::select(srcs.clone()),
+        prop_oneof![
+            sample::select(srcs.clone()).prop_map(Short2::Reg),
+            (-4096i32..=4095).prop_map(imm),
+        ],
+        any::<bool>(),
+    )
+        .prop_map(|(op, dest, rs1, s2, scc)| {
+            // Keep shift-count immediates canonical (0..=31); register
+            // counts are masked identically by every machine.
+            let s2 = match (op, s2) {
+                (Opcode::Sll | Opcode::Srl | Opcode::Sra, Short2::Imm(v)) => {
+                    imm(i32::from(v).rem_euclid(32))
+                }
+                (_, s2) => s2,
+            };
+            if scc {
+                Instruction::reg_scc(op, dest, rs1, s2)
+            } else {
+                Instruction::reg(op, dest, rs1, s2)
+            }
+        });
+
+    let mem = (
+        sample::select(MEM_OPS.to_vec()),
+        sample::select(dests.clone()),
+        0i32..DATA_WORDS,
+    )
+        .prop_map(|(op, r, slot)| Instruction::reg(op, r, Reg::R9, imm(4 * slot)));
+
+    let ldhi =
+        (sample::select(dests.clone()), 0u32..(1 << 19)).prop_map(|(d, v)| Instruction::ldhi(d, v));
+
+    let psw = (
+        0u8..3,
+        sample::select(dests),
+        sample::select(srcs),
+        -4096i32..=4095,
+    )
+        .prop_map(|(which, dest, rs1, v)| match which {
+            0 => Instruction::reg(Opcode::Getpsw, dest, Reg::R0, Short2::ZERO),
+            1 => Instruction::reg(Opcode::Gtlpc, dest, Reg::R0, Short2::ZERO),
+            _ => Instruction::reg(Opcode::Putpsw, Reg::R0, rs1, imm(v)),
+        });
+
+    prop_oneof![alu.boxed(), mem.boxed(), ldhi.boxed(), psw.boxed()].boxed()
+}
+
+/// One self-contained gadget. Every variant executes to its own end and
+/// leaves the PC at the next gadget.
+#[derive(Debug, Clone)]
+enum Piece {
+    /// A run of simple instructions.
+    Straight(Vec<Instruction>),
+    /// `sub{scc} r0, rs1, #v; jmpr cond, +skip; <delay>; <skipped…>` — both
+    /// arms converge right after the skipped block.
+    Branch {
+        cmp_rs1: Reg,
+        cmp_s2: i32,
+        cond: Cond,
+        delay: Instruction,
+        skipped: Vec<Instruction>,
+    },
+    /// A counted loop on r8: `add r8, r0, #n; <body>; sub{scc} r8, r8, #1;
+    /// jmpr gt, -…; <delay>`.
+    Loop {
+        iters: i32,
+        body: Vec<Instruction>,
+        delay: Instruction,
+    },
+    /// `nop; calli r25; <body>; reti r25, #…; nop` — a trap-style nest that
+    /// pushes a window in place and returns through `reti`.
+    Calli { body: Vec<Instruction> },
+    /// A call into generated function `sel % funcs.len()`, either `callr`
+    /// or a register-indexed `call` through r7.
+    CallFn {
+        sel: usize,
+        indexed: bool,
+        delay: Instruction,
+    },
+    /// A register-indexed `jmp cond` to the very next gadget — taken or
+    /// not, execution lands in the same place.
+    JmpAbs { cond: Cond, delay: Instruction },
+}
+
+/// A generated program: gadgets for the main body plus bodies for the leaf
+/// functions the call gadgets target.
+#[derive(Debug, Clone)]
+struct GenProgram {
+    main: Vec<Piece>,
+    funcs: Vec<Vec<Piece>>,
+}
+
+fn arb_main_piece() -> BoxedStrategy<Piece> {
+    let simple = arb_simple(main_pool());
+    let linkless = arb_simple(linkless_pool());
+    let conds = sample::select(Cond::ALL.to_vec());
+
+    let straight = collection::vec(simple.clone(), 1..4).prop_map(Piece::Straight);
+    let branch = (
+        sample::select(main_pool()),
+        -16i32..=16,
+        sample::select(Cond::ALL.to_vec()),
+        simple.clone(),
+        collection::vec(simple.clone(), 1..3),
+    )
+        .prop_map(|(cmp_rs1, cmp_s2, cond, delay, skipped)| Piece::Branch {
+            cmp_rs1,
+            cmp_s2,
+            cond,
+            delay,
+            skipped,
+        });
+    let looped = (
+        1i32..=5,
+        collection::vec(simple.clone(), 1..3),
+        simple.clone(),
+    )
+        .prop_map(|(iters, body, delay)| Piece::Loop { iters, body, delay });
+    let calli = collection::vec(linkless.clone(), 0..3).prop_map(|body| Piece::Calli { body });
+    let callfn =
+        (0usize..64, any::<bool>(), linkless).prop_map(|(sel, indexed, delay)| Piece::CallFn {
+            sel,
+            indexed,
+            delay,
+        });
+    let jmpabs = (conds, simple).prop_map(|(cond, delay)| Piece::JmpAbs { cond, delay });
+
+    prop_oneof![
+        straight.boxed(),
+        branch.boxed(),
+        looped.boxed(),
+        calli.boxed(),
+        callfn.boxed(),
+        jmpabs.boxed(),
+    ]
+    .boxed()
+}
+
+/// Function-body gadgets: no calls (call depth stays ≤ 2 with the `calli`
+/// nest counted) and nothing that clobbers the live link in r25.
+fn arb_func_piece() -> BoxedStrategy<Piece> {
+    let simple = arb_simple(linkless_pool());
+    let straight = collection::vec(simple.clone(), 1..4).prop_map(Piece::Straight);
+    let branch = (
+        sample::select(linkless_pool()),
+        -16i32..=16,
+        sample::select(Cond::ALL.to_vec()),
+        simple.clone(),
+        collection::vec(simple.clone(), 1..3),
+    )
+        .prop_map(|(cmp_rs1, cmp_s2, cond, delay, skipped)| Piece::Branch {
+            cmp_rs1,
+            cmp_s2,
+            cond,
+            delay,
+            skipped,
+        });
+    let looped = (1i32..=5, collection::vec(simple.clone(), 1..3), simple)
+        .prop_map(|(iters, body, delay)| Piece::Loop { iters, body, delay });
+    prop_oneof![straight.boxed(), branch.boxed(), looped.boxed()].boxed()
+}
+
+fn arb_gen_program() -> BoxedStrategy<GenProgram> {
+    (
+        collection::vec(arb_main_piece(), 2..8),
+        collection::vec(collection::vec(arb_func_piece(), 1..4), 0..3),
+    )
+        .prop_map(|(main, funcs)| GenProgram { main, funcs })
+        .boxed()
+}
+
+/// Emits one gadget at the current end of `out`. Call gadgets record a
+/// fixup (function start indices are unknown until the whole main body is
+/// laid out).
+fn emit(
+    out: &mut Vec<Instruction>,
+    p: &Piece,
+    n_funcs: usize,
+    fixups: &mut Vec<(usize, usize, bool)>,
+) {
+    match p {
+        Piece::Straight(v) => out.extend(v.iter().copied()),
+        Piece::Branch {
+            cmp_rs1,
+            cmp_s2,
+            cond,
+            delay,
+            skipped,
+        } => {
+            out.push(Instruction::reg_scc(
+                Opcode::Sub,
+                Reg::R0,
+                *cmp_rs1,
+                imm(*cmp_s2),
+            ));
+            out.push(Instruction::jmpr(*cond, 4 * (2 + skipped.len() as i32)));
+            out.push(*delay);
+            out.extend(skipped.iter().copied());
+        }
+        Piece::Loop { iters, body, delay } => {
+            out.push(Instruction::reg(Opcode::Add, Reg::R8, Reg::R0, imm(*iters)));
+            out.extend(body.iter().copied());
+            out.push(Instruction::reg_scc(Opcode::Sub, Reg::R8, Reg::R8, imm(1)));
+            out.push(Instruction::jmpr(Cond::Gt, -4 * (body.len() as i32 + 1)));
+            out.push(*delay);
+        }
+        Piece::Calli { body } => {
+            // The anchor nop pins last_pc, so the calli's link (and the
+            // reti target computed from it) is position-exact.
+            out.push(Instruction::nop());
+            out.push(Instruction::reg(
+                Opcode::Calli,
+                Reg::R25,
+                Reg::R0,
+                Short2::ZERO,
+            ));
+            out.extend(body.iter().copied());
+            out.push(Instruction::reti(Reg::R25, imm(16 + 4 * body.len() as i32)));
+            out.push(Instruction::nop()); // reti delay slot
+        }
+        Piece::CallFn {
+            sel,
+            indexed,
+            delay,
+        } => {
+            if n_funcs == 0 {
+                return;
+            }
+            let fi = sel % n_funcs;
+            if *indexed {
+                fixups.push((out.len(), fi, true));
+                out.push(Instruction::nop()); // patched: add r7, r0, #(addr >> 2)
+                out.push(Instruction::reg(Opcode::Sll, Reg::R7, Reg::R7, imm(2)));
+                out.push(Instruction::call(Reg::R25, Reg::R7, Short2::ZERO));
+            } else {
+                fixups.push((out.len(), fi, false));
+                out.push(Instruction::nop()); // patched: callr r25, #offset
+            }
+            out.push(*delay);
+        }
+        Piece::JmpAbs { cond, delay } => {
+            let target = CODE_BASE + 4 * (out.len() as u32 + 4);
+            assert!(
+                target >> 2 <= 4095,
+                "program outgrew the indexed-jump gadget"
+            );
+            out.push(Instruction::reg(
+                Opcode::Add,
+                Reg::R7,
+                Reg::R0,
+                imm((target >> 2) as i32),
+            ));
+            out.push(Instruction::reg(Opcode::Sll, Reg::R7, Reg::R7, imm(2)));
+            out.push(Instruction::jmp(*cond, Reg::R7, Short2::ZERO));
+            out.push(*delay);
+        }
+    }
+}
+
+/// Lays a generated program out as instructions: prologue, main gadgets,
+/// halting return, then each function body (entered at its first word,
+/// returning with `ret r25, #8`).
+fn build(gp: &GenProgram) -> Program {
+    let mut out = vec![Instruction::ldhi(Reg::R9, DATA_BASE >> 13)];
+    let mut fixups: Vec<(usize, usize, bool)> = Vec::new();
+    for p in &gp.main {
+        emit(&mut out, p, gp.funcs.len(), &mut fixups);
+    }
+    out.push(Instruction::ret(Reg::R0, Short2::ZERO));
+    out.push(Instruction::nop());
+
+    let mut starts = Vec::new();
+    for f in &gp.funcs {
+        starts.push(out.len());
+        let mut no_fixups = Vec::new();
+        for p in f {
+            emit(&mut out, p, 0, &mut no_fixups);
+        }
+        assert!(no_fixups.is_empty(), "function bodies make no calls");
+        out.push(Instruction::ret(Reg::R25, imm(8)));
+        out.push(Instruction::nop());
+    }
+
+    for (at, fi, indexed) in fixups {
+        if indexed {
+            let addr = CODE_BASE + 4 * starts[fi] as u32;
+            assert!(addr >> 2 <= 4095, "program outgrew the indexed-call gadget");
+            out[at] = Instruction::reg(Opcode::Add, Reg::R7, Reg::R0, imm((addr >> 2) as i32));
+        } else {
+            out[at] = Instruction::callr(Reg::R25, 4 * (starts[fi] as i32 - at as i32));
+        }
+    }
+    Program::from_instructions(out)
+}
+
+/// Opcodes a generated program is *guaranteed* to retire (branch-skipped
+/// blocks excluded, function bodies counted only when some gadget calls).
+fn guaranteed_opcodes(gp: &GenProgram, cov: &mut HashSet<Opcode>) {
+    cov.insert(Opcode::Ldhi); // prologue
+    cov.insert(Opcode::Ret); // halting return
+    let calls = gp
+        .main
+        .iter()
+        .any(|p| matches!(p, Piece::CallFn { .. }) && !gp.funcs.is_empty());
+    let mut walk = |pieces: &[Piece]| {
+        for p in pieces {
+            match p {
+                Piece::Straight(v) => cov.extend(v.iter().map(|i| i.opcode)),
+                Piece::Branch { delay, .. } => {
+                    cov.extend([Opcode::Sub, Opcode::Jmpr, delay.opcode]);
+                }
+                Piece::Loop { body, delay, .. } => {
+                    cov.extend(body.iter().map(|i| i.opcode));
+                    cov.extend([Opcode::Add, Opcode::Sub, Opcode::Jmpr, delay.opcode]);
+                }
+                Piece::Calli { body } => {
+                    cov.extend(body.iter().map(|i| i.opcode));
+                    cov.extend([Opcode::Calli, Opcode::Reti]);
+                }
+                Piece::CallFn { indexed, delay, .. } if !gp.funcs.is_empty() => {
+                    cov.extend(if *indexed {
+                        vec![Opcode::Add, Opcode::Sll, Opcode::Call]
+                    } else {
+                        vec![Opcode::Callr]
+                    });
+                    cov.insert(delay.opcode);
+                }
+                Piece::CallFn { .. } => {}
+                Piece::JmpAbs { delay, .. } => {
+                    cov.extend([Opcode::Add, Opcode::Sll, Opcode::Jmp, delay.opcode]);
+                }
+            }
+        }
+    };
+    walk(&gp.main);
+    if calls {
+        for f in &gp.funcs {
+            walk(f);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Running and comparing
+// ---------------------------------------------------------------------------
+
+/// The projection every machine must agree on. Stats are the spec-visible
+/// subset: the spec machine models no pipeline bubbles or traps, so engine
+/// cycle counts are compared with those components removed (all zero for
+/// generated programs anyway — no window pressure, default forwarding).
+#[derive(Debug, PartialEq)]
+struct Final {
+    result: i32,
+    pc: u32,
+    visible: [u32; 32],
+    cwp: u8,
+    depth: u64,
+    mem_digest: u64,
+    stats: SpecStats,
+}
+
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn spec_view(s: &ExecStats) -> SpecStats {
+    SpecStats {
+        instructions: s.instructions,
+        cycles: s.cycles - s.bubble_cycles - s.trap_cycles - s.trap_entry_cycles,
+        ifetches: s.ifetches,
+        data_reads: s.data_reads,
+        data_writes: s.data_writes,
+        calls: s.calls,
+        rets: s.rets,
+        taken_transfers: s.taken_transfers,
+        delay_slots: s.delay_slots,
+        delay_slot_nops: s.delay_slot_nops,
+    }
+}
+
+fn run_engine(prog: &Program, engine: ExecEngine) -> Final {
+    let cfg = SimConfig {
+        engine,
+        ..SimConfig::default()
+    };
+    let mut cpu = Cpu::new(cfg);
+    cpu.load_program(prog)
+        .expect("generated program fits memory");
+    if engine == ExecEngine::Uncached {
+        while cpu.step().expect("generated programs run clean") == Halt::Running {}
+    } else {
+        cpu.run().expect("generated programs run clean");
+    }
+    let stats = cpu.stats();
+    Final {
+        result: cpu.result(),
+        pc: cpu.pc(),
+        visible: cpu.windows().visible(),
+        cwp: cpu.windows().cwp(),
+        depth: cpu.windows().depth(),
+        mem_digest: fnv1a((0..cpu.mem.page_count()).flat_map(|i| cpu.mem.page(i).iter().copied())),
+        stats: spec_view(&stats),
+    }
+}
+
+fn run_spec(prog: &Program) -> Final {
+    let cfg = SimConfig::default();
+    assert_eq!(cfg.code_base, CODE_BASE, "gadget address math");
+    let mut st = SpecState::new(cfg.mem_bytes, cfg.windows);
+    st.load_words(cfg.code_base, &prog.words);
+    for (addr, bytes) in &prog.data {
+        st.load_image(*addr, bytes);
+    }
+    st.set_pc(cfg.code_base + prog.entry_offset);
+    // Mirror the loader ABI: `Cpu::load_program` seeds global r1 as the
+    // program stack pointer.
+    st.write_reg(Reg::R1, cfg.stack_top);
+    st.run(SPEC_FUEL)
+        .expect("generated programs halt cleanly on the spec machine");
+    Final {
+        result: st.result(),
+        pc: st.pc(),
+        visible: st.visible(),
+        cwp: st.cwp(),
+        depth: st.depth(),
+        mem_digest: fnv1a(st.mem_bytes().iter().copied()),
+        stats: *st.stats(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The differential law: every production engine retires generated
+    /// programs into exactly the state the spec interpreter defines.
+    #[test]
+    fn generated_programs_agree_with_the_spec_on_every_engine(gp in arb_gen_program()) {
+        let prog = build(&gp);
+        let spec = run_spec(&prog);
+        let engines = [ExecEngine::Uncached, ExecEngine::Cached, ExecEngine::Superblock];
+        // The three engines are independent jobs — run them through the
+        // campaign runner's parallel map, honouring `RISC1_THREADS` via the
+        // shared parsed accessor.
+        let finals = parallel_map(&engines, default_threads().min(engines.len()), |_, &engine| {
+            run_engine(&prog, engine)
+        });
+        for (engine, got) in engines.iter().zip(&finals) {
+            prop_assert_eq!(got, &spec, "{:?} diverged from the spec interpreter", engine);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The same generated programs under a seeded fault-injection campaign:
+    /// all three production engines must produce bit-identical reports
+    /// (outcome, stats, and the full event log).
+    #[test]
+    fn injected_generated_programs_are_engine_independent(
+        gp in arb_gen_program(),
+        seed in any::<u64>(),
+        recovery in any::<bool>(),
+    ) {
+        let prog = build(&gp);
+        let inject = InjectConfig { seed, rate: 50, modes: InjectModes::all() };
+        let engines = [ExecEngine::Uncached, ExecEngine::Cached, ExecEngine::Superblock];
+        let reports = parallel_map(&engines, default_threads().min(engines.len()), |_, &engine| {
+            let cfg = SimConfig { engine, fuel: 200_000, ..SimConfig::default() };
+            run_risc_injected(&prog, &[], cfg, inject, recovery).expect("setup succeeds")
+        });
+        prop_assert_eq!(&reports[1], &reports[0], "cached vs uncached");
+        prop_assert_eq!(&reports[2], &reports[0], "superblock vs uncached");
+    }
+}
+
+/// Aggregate coverage: across a deterministic sample of generated programs,
+/// every one of the 31 opcodes is guaranteed to retire (not merely appear
+/// in dead or skipped code).
+#[test]
+fn the_generator_guarantees_every_opcode_retires() {
+    let mut rng = TestRng::deterministic("spec_differential::coverage");
+    let strat = arb_gen_program();
+    let mut cov = HashSet::new();
+    for _ in 0..300 {
+        guaranteed_opcodes(&strat.generate(&mut rng), &mut cov);
+    }
+    let missing: Vec<&Opcode> = Opcode::ALL.iter().filter(|op| !cov.contains(op)).collect();
+    assert!(
+        missing.is_empty(),
+        "generator never guarantees these opcodes retire: {missing:?}"
+    );
+}
