@@ -25,6 +25,9 @@
 //!   [--baseline <file>]          uncached and write BENCH_interp.json
 //!                                (CI perf gate; --baseline also fails on
 //!                                >10% regression vs. a stored report)
+//! risc1 serve <--tcp addr|--stdin|--smoke>
+//!                                fault-tolerant batch execution service
+//!                                (JSON jobs, fair-share queues, dedup)
 //! risc1 exp <id|all>             print an experiment report (e1…e15)
 //! risc1 list                     list suite workloads and experiments
 //! ```
@@ -35,9 +38,10 @@
 //! never panics.
 
 use risc1_asm::{assemble, disassemble};
+use risc1_core::deadline::DEADLINE_POLL_STEPS;
 use risc1_core::inject::{install_recovery_handlers, RECOVERY_STUB_BASE};
 use risc1_core::{
-    Cpu, ExecEngine, FaultInjector, Halt, InjectConfig, Journal, SimConfig, TrapKind,
+    Cpu, Deadline, ExecEngine, FaultInjector, Halt, InjectConfig, Journal, SimConfig, TrapKind,
 };
 use risc1_ir::{
     minimize_journal, record_risc_injected, recorded_outcome, replay_journal, run_risc_supervised,
@@ -46,6 +50,7 @@ use risc1_ir::{
 use risc1_stats::measure_with;
 use std::fmt::Write as _;
 
+mod serve_cmd;
 mod spec_audit;
 
 /// Result of a CLI invocation: the text to print, or an error message.
@@ -71,6 +76,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         Some("replay") => cmd_replay(args.get(1).ok_or(USAGE)?, &args[2..]),
         Some("trace") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], true),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("serve") => serve_cmd::run(&args[1..]),
         Some("exp") => cmd_exp(args.get(1).ok_or(USAGE)?),
         Some("list") => Ok(listing()),
         _ => Err(USAGE.to_string()),
@@ -92,6 +98,8 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
                                 nonzero on any divergence
   risc1 run <file.s> [args…]    execute (args are main's integer arguments)
        [--fuel N]               instruction budget (default 200M)
+       [--timeout-ms N]         wall-clock budget; polled between steps,
+                                so it never perturbs the machine
        [--engine <tier>]        interpreter tier: uncached | cached |
                                 superblock (default; fastest — all tiers
                                 are architecturally bit-identical)
@@ -119,6 +127,18 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
                                 default BENCH_interp.json)
        [--baseline <file>]      also fail if either geomean regressed
                                 more than 10% vs. a stored report
+  risc1 serve --tcp <addr>      batch execution service: newline-delimited
+                                JSON jobs over TCP (fair-share queuing,
+                                dedup, watchdogs, crash-only workers)
+  risc1 serve --stdin           same protocol over stdin/stdout
+  risc1 serve --smoke           self-test: start a real TCP server, run a
+                                mixed 3-job campaign through sockets and
+                                assert bit-identity with direct execution
+       [--threads N]            worker threads (default: parallelism)
+       [--queue-cap N]          per-client queue bound (default 64)
+       [--cache-cap N]          dedup result-cache entries (default 256)
+       [--artifact-dir <dir>]   panic-journal funnel (default
+                                target/replay-artifacts)
   risc1 exp <e1…e15|all>        print an experiment report
   risc1 list                    available workloads and experiments
 
@@ -210,6 +230,7 @@ struct RunOpts {
     ckpt_every: Option<u64>,
     max_retries: Option<u32>,
     fuel: Option<u64>,
+    timeout_ms: Option<u64>,
     engine: Option<ExecEngine>,
 }
 
@@ -223,6 +244,7 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
     let mut ckpt_every = None;
     let mut max_retries = None;
     let mut fuel = None;
+    let mut timeout_ms = None;
     let mut engine = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -268,6 +290,13 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
                         .map_err(|e| format!("bad --fuel value `{v}`: {e}"))?,
                 );
             }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                timeout_ms = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --timeout-ms value `{v}`: {e}"))?,
+                );
+            }
             "--engine" => {
                 let v = it.next().ok_or("--engine needs a tier name")?;
                 engine = Some(parse_engine(v)?);
@@ -292,6 +321,10 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
     if (ckpt_every.is_some() || max_retries.is_some()) && !supervise {
         return Err("--ckpt-every/--max-retries only make sense with --supervise".to_string());
     }
+    if timeout_ms.is_some() && record.is_some() {
+        return Err("--timeout-ms and --record are mutually exclusive                     (journals record a complete campaign)"
+            .to_string());
+    }
     Ok(RunOpts {
         args: parse_args(&plain)?,
         inject_seed,
@@ -302,6 +335,7 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
         ckpt_every,
         max_retries,
         fuel,
+        timeout_ms,
         engine,
     })
 }
@@ -342,6 +376,7 @@ fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
     if recovery {
         install_recovery_handlers(&mut cpu, RECOVERY_STUB_BASE).map_err(|e| e.to_string())?;
     }
+    let deadline = opts.timeout_ms.map(Deadline::after_ms);
     let mut out = String::new();
     if let Some(seed) = opts.inject_seed {
         let mut icfg = InjectConfig::with_seed(seed);
@@ -350,9 +385,19 @@ fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
         }
         let rate = icfg.rate;
         let mut injector = FaultInjector::new(icfg);
+        let mut step: u64 = 0;
+        let mut timed_out = false;
         let fault = loop {
+            if let Some(d) = deadline {
+                if Deadline::should_poll(step) && d.expired() {
+                    timed_out = true;
+                    break None;
+                }
+            }
             injector.pre_step(&mut cpu);
-            match cpu.step() {
+            let halt = cpu.step();
+            step += 1;
+            match halt {
                 Ok(Halt::Running) => {}
                 Ok(Halt::Returned) => break None,
                 Err(e) => break Some(e),
@@ -366,9 +411,32 @@ fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
         for ev in injector.events() {
             let _ = writeln!(out, "  {ev}");
         }
+        if timed_out {
+            let _ = writeln!(out, "{}", cpu.stats());
+            return Err(format!(
+                "{out}timeout: wall-clock budget ({} ms) expired",
+                opts.timeout_ms.unwrap_or(0)
+            ));
+        }
         if let Some(e) = fault {
             let _ = writeln!(out, "{}", cpu.stats());
             return Err(format!("{out}fault: {e}"));
+        }
+    } else if let Some(d) = deadline {
+        // Batch `step_n` between wall-clock polls: same architectural
+        // behaviour as `run()`, one syscall per poll interval.
+        loop {
+            if d.expired() {
+                let _ = writeln!(out, "{}", cpu.stats());
+                return Err(format!(
+                    "{out}timeout: wall-clock budget ({} ms) expired",
+                    opts.timeout_ms.unwrap_or(0)
+                ));
+            }
+            match cpu.step_n(DEADLINE_POLL_STEPS).map_err(|e| e.to_string())? {
+                Halt::Running => {}
+                Halt::Returned => break,
+            }
         }
     } else {
         cpu.run().map_err(|e| e.to_string())?;
@@ -407,6 +475,7 @@ fn cmd_run_supervised(
     if let Some(k) = opts.max_retries {
         sup.max_retries = k;
     }
+    sup.deadline = opts.timeout_ms.map(Deadline::after_ms);
     let report = run_risc_supervised(prog, &opts.args, cfg, inject, recovery, sup)
         .map_err(|e| e.to_string())?;
     let mut out = String::new();
@@ -449,6 +518,10 @@ fn cmd_run_supervised(
         SupervisorOutcome::WatchdogExpired => {
             let _ = writeln!(out, "{}", report.stats);
             Err(format!("{out}watchdog budget expired"))
+        }
+        SupervisorOutcome::DeadlineExceeded => {
+            let _ = writeln!(out, "{}", report.stats);
+            Err(format!("{out}timeout: wall-clock budget expired"))
         }
     }
 }

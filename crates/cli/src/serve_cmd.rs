@@ -1,0 +1,326 @@
+//! `risc1 serve`: the fault-tolerant batch execution service, over TCP or
+//! stdin/stdout, plus the `--smoke` self-test CI gates on.
+
+use risc1_core::json::{get, Json, Parser};
+use risc1_core::{InjectConfig, SimConfig};
+use risc1_ir::{
+    compile_risc, run_risc, run_risc_deadline, run_risc_injected, RiscOpts, TimedOutcome,
+};
+use risc1_serve::{serve_lines, serve_tcp, wire, ExecService, JobOutput, ServiceConfig};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+
+type CliResult = Result<String, String>;
+
+struct ServeOpts {
+    mode: Mode,
+    threads: Option<usize>,
+    queue_cap: Option<usize>,
+    cache_cap: Option<usize>,
+    artifact_dir: Option<String>,
+}
+
+enum Mode {
+    Tcp(String),
+    Stdin,
+    Smoke,
+}
+
+fn parse_opts(rest: &[String]) -> Result<ServeOpts, String> {
+    let mut mode = None;
+    let mut threads = None;
+    let mut queue_cap = None;
+    let mut cache_cap = None;
+    let mut artifact_dir = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tcp" => {
+                let v = it.next().ok_or("--tcp needs an address (host:port)")?;
+                mode = Some(Mode::Tcp(v.clone()));
+            }
+            "--stdin" => mode = Some(Mode::Stdin),
+            "--smoke" => mode = Some(Mode::Smoke),
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                threads = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --threads value `{v}`: {e}"))?,
+                );
+            }
+            "--queue-cap" => {
+                let v = it.next().ok_or("--queue-cap needs a value")?;
+                queue_cap = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --queue-cap value `{v}`: {e}"))?,
+                );
+            }
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a value")?;
+                cache_cap = Some(
+                    v.parse::<usize>()
+                        .map_err(|e| format!("bad --cache-cap value `{v}`: {e}"))?,
+                );
+            }
+            "--artifact-dir" => {
+                let v = it.next().ok_or("--artifact-dir needs a path")?;
+                artifact_dir = Some(v.clone());
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    Ok(ServeOpts {
+        mode: mode.ok_or("serve needs a mode: --tcp <addr> | --stdin | --smoke")?,
+        threads,
+        queue_cap,
+        cache_cap,
+        artifact_dir,
+    })
+}
+
+fn service_config(opts: &ServeOpts) -> ServiceConfig {
+    let mut cfg = ServiceConfig::default();
+    if let Some(t) = opts.threads {
+        cfg.threads = t.max(1);
+    }
+    if let Some(q) = opts.queue_cap {
+        cfg.queue_cap = q.max(1);
+    }
+    if let Some(c) = opts.cache_cap {
+        cfg.cache_cap = c.max(1);
+    }
+    if let Some(d) = &opts.artifact_dir {
+        cfg.artifact_dir = d.clone();
+    }
+    cfg
+}
+
+/// `risc1 serve --tcp <addr> | --stdin | --smoke [tuning flags]`.
+///
+/// # Errors
+/// Flag errors, bind failures, or (in smoke mode) any transcript check
+/// that fails.
+pub fn run(rest: &[String]) -> CliResult {
+    let opts = parse_opts(rest)?;
+    let cfg = service_config(&opts);
+    match &opts.mode {
+        Mode::Tcp(addr) => {
+            let listener =
+                TcpListener::bind(addr.as_str()).map_err(|e| format!("bind {addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            // Announce the bound address immediately (port 0 resolves here)
+            // so scripted clients can connect before the server returns.
+            eprintln!("serving on {local}");
+            let service = ExecService::start(cfg);
+            serve_tcp(&service, listener).map_err(|e| format!("serve: {e}"))?;
+            Ok(format!("serve: clean shutdown ({local})\n"))
+        }
+        Mode::Stdin => {
+            let service = ExecService::start(cfg);
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let shut = serve_lines(&service, stdin.lock(), stdout.lock())
+                .map_err(|e| format!("serve: {e}"))?;
+            if !shut {
+                service.shutdown();
+            }
+            Ok("serve: clean shutdown (stdin)\n".to_owned())
+        }
+        Mode::Smoke => smoke(cfg),
+    }
+}
+
+/// One request/response exchange over the smoke connection, appended to
+/// the transcript.
+fn exchange(
+    out: &mut String,
+    tx: &mut TcpStream,
+    rx: &mut BufReader<TcpStream>,
+    request: &str,
+) -> Result<Json, String> {
+    tx.write_all(request.as_bytes())
+        .and_then(|()| tx.write_all(b"\n"))
+        .map_err(|e| format!("send: {e}"))?;
+    let mut line = String::new();
+    rx.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+    let _ = writeln!(out, "> {request}");
+    let _ = writeln!(out, "< {}", line.trim_end());
+    Parser::new(line.trim_end())
+        .parse_document()
+        .map_err(|e| format!("response is not valid JSON: {e}"))
+}
+
+fn job_ids(response: &Json) -> Result<Vec<(u64, u64, bool)>, String> {
+    let obj = response.as_obj("response").map_err(|e| e.to_string())?;
+    let jobs = get(obj, "jobs")
+        .and_then(|j| j.as_arr("jobs"))
+        .map_err(|e| e.to_string())?;
+    jobs.iter()
+        .map(|j| {
+            let j = j.as_obj("job")?;
+            Ok((
+                get(j, "seed")?.as_u64("seed")?,
+                get(j, "id")?.as_u64("id")?,
+                get(j, "dedup")?.as_bool("dedup")?,
+            ))
+        })
+        .collect::<Result<Vec<_>, risc1_core::json::JsonError>>()
+        .map_err(|e| e.to_string())
+}
+
+fn done_digest(response: &Json) -> Result<String, String> {
+    let obj = response.as_obj("response").map_err(|e| e.to_string())?;
+    let state = get(obj, "state")
+        .and_then(|s| s.as_str("state"))
+        .map_err(|e| e.to_string())?;
+    if state != "done" {
+        return Err(format!("job not done after wait: state {state}"));
+    }
+    let result = get(obj, "result")
+        .and_then(|r| r.as_obj("result"))
+        .map_err(|e| e.to_string())?;
+    get(result, "digest")
+        .and_then(|d| d.as_str("digest"))
+        .map(str::to_owned)
+        .map_err(|e| e.to_string())
+}
+
+/// The CI smoke gate: start a real TCP server, drive a 3-job mixed
+/// campaign (one clean, two injected — faults included) through sockets,
+/// assert every result is bit-identical to direct execution, exercise
+/// dedup, and shut down cleanly. The transcript is the output.
+fn smoke(mut cfg: ServiceConfig) -> CliResult {
+    let w = risc1_workloads::by_id("fib").ok_or("smoke workload `fib` missing")?;
+    let prog = compile_risc(&w.module, RiscOpts::default()).map_err(|e| e.to_string())?;
+    let (_, base) = run_risc(&prog, &w.small_args).map_err(|e| e.to_string())?;
+    let sim = SimConfig {
+        fuel: base.instructions * 3 + 10_000,
+        ..SimConfig::default()
+    };
+    let rate = (4 * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32;
+
+    cfg.queue_cap = cfg.queue_cap.min(16);
+    let service = ExecService::start(cfg);
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "smoke: serving on {addr}");
+    let result = std::thread::scope(|scope| -> CliResult {
+        let server = scope.spawn(|| serve_tcp(&service, listener));
+
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+        let mut rx = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut tx = stream;
+
+        // 1 clean job + 2 injected jobs (all modes, recovery on).
+        let clean_req = wire::submit_request(
+            "smoke",
+            1,
+            &prog,
+            &w.small_args,
+            &sim,
+            &[0],
+            false,
+            0,
+            "none",
+            false,
+            "direct",
+            None,
+        );
+        let inject_req = wire::submit_request(
+            "smoke",
+            1,
+            &prog,
+            &w.small_args,
+            &sim,
+            &[3, 11],
+            true,
+            rate,
+            "all",
+            true,
+            "direct",
+            None,
+        );
+        let clean = exchange(&mut out, &mut tx, &mut rx, &clean_req)?;
+        let injected = exchange(&mut out, &mut tx, &mut rx, &inject_req)?;
+        let mut jobs = job_ids(&clean)?;
+        jobs.extend(job_ids(&injected)?);
+        if jobs.len() != 3 || jobs.iter().any(|&(_, _, dedup)| dedup) {
+            return Err(format!("expected 3 fresh jobs, got {jobs:?}\n{out}"));
+        }
+
+        // Expected digests from direct, in-process execution.
+        let clean_direct =
+            run_risc_deadline(&prog, &w.small_args, sim.clone(), None, false, None, None)
+                .map_err(|e| e.to_string())?;
+        let TimedOutcome::Finished(clean_report) = clean_direct else {
+            return Err("clean direct run timed out without a deadline".into());
+        };
+        let mut expected = vec![JobOutput::Finished(clean_report).digest()];
+        for &(seed, _, _) in &jobs[1..] {
+            let report = run_risc_injected(
+                &prog,
+                &w.small_args,
+                sim.clone(),
+                InjectConfig {
+                    seed,
+                    rate,
+                    modes: risc1_core::inject::InjectModes::all(),
+                },
+                true,
+            )
+            .map_err(|e| e.to_string())?;
+            expected.push(JobOutput::Finished(report).digest());
+        }
+
+        for (&(seed, id, _), want) in jobs.iter().zip(&expected) {
+            let poll = format!("{{\"op\":\"poll\",\"id\":{id},\"wait_ms\":60000}}");
+            let response = exchange(&mut out, &mut tx, &mut rx, &poll)?;
+            let got = done_digest(&response)?;
+            let want = format!("{want:016x}");
+            if got != want {
+                return Err(format!(
+                    "seed {seed}: served digest {got} != direct digest {want}\n{out}"
+                ));
+            }
+        }
+
+        // Duplicate submission: every ticket must be a dedup hit.
+        let dup = exchange(&mut out, &mut tx, &mut rx, &inject_req)?;
+        if !job_ids(&dup)?.iter().all(|&(_, _, dedup)| dedup) {
+            return Err(format!("duplicate submission was not deduped\n{out}"));
+        }
+
+        let status = exchange(&mut out, &mut tx, &mut rx, "{\"op\":\"status\"}")?;
+        let sobj = status.as_obj("status").map_err(|e| e.to_string())?;
+        let counters = get(sobj, "counters")
+            .and_then(|c| c.as_obj("counters"))
+            .map_err(|e| e.to_string())?;
+        let completed = get(counters, "completed")
+            .and_then(|v| v.as_u64("completed"))
+            .map_err(|e| e.to_string())?;
+        let panics = get(counters, "panics")
+            .and_then(|v| v.as_u64("panics"))
+            .map_err(|e| e.to_string())?;
+        if completed != 3 || panics != 0 {
+            return Err(format!(
+                "status: expected 3 completed / 0 panics, got {completed}/{panics}\n{out}"
+            ));
+        }
+
+        let bye = exchange(&mut out, &mut tx, &mut rx, "{\"op\":\"shutdown\"}")?;
+        let bobj = bye.as_obj("shutdown").map_err(|e| e.to_string())?;
+        if get(bobj, "ok").and_then(|v| v.as_bool("ok")) != Ok(true) {
+            return Err(format!("shutdown not acknowledged\n{out}"));
+        }
+        server
+            .join()
+            .map_err(|_| "server thread panicked".to_owned())?
+            .map_err(|e| format!("server: {e}"))?;
+        let _ = writeln!(out, "smoke: 3 jobs bit-identical, dedup ok, clean shutdown");
+        Ok(out.clone())
+    });
+    result
+}

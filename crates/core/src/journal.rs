@@ -19,6 +19,7 @@
 use crate::config::{BranchModel, ExecEngine, FusionConfig, SimConfig};
 use crate::cpu::Cpu;
 use crate::inject::InjectKind;
+use crate::json::{get, Json, JsonError, Parser, Writer};
 use crate::program::Program;
 use crate::trap::TrapKind;
 use std::collections::HashMap;
@@ -261,7 +262,9 @@ impl Journal {
     }
 }
 
-fn write_config(w: &mut Writer, cfg: &SimConfig) {
+/// Writes a [`SimConfig`] as a JSON object (shared by journals and the
+/// serve wire format).
+pub fn write_config(w: &mut Writer, cfg: &SimConfig) {
     w.obj_open();
     w.key("windows");
     w.num(cfg.windows as i128);
@@ -309,7 +312,12 @@ fn write_config(w: &mut Writer, cfg: &SimConfig) {
     w.obj_close();
 }
 
-fn read_config(obj: &[(String, Json)]) -> Result<SimConfig, JournalError> {
+/// Reads a [`SimConfig`] written by [`write_config`] (tolerating the
+/// documented legacy field spellings).
+///
+/// # Errors
+/// [`JsonError`] on a malformed or unknown field.
+pub fn read_config(obj: &[(String, Json)]) -> Result<SimConfig, JsonError> {
     Ok(SimConfig {
         windows: get(obj, "windows")?.as_u64("windows")? as usize,
         mem_bytes: get(obj, "mem_bytes")?.as_u64("mem_bytes")? as usize,
@@ -321,7 +329,7 @@ fn read_config(obj: &[(String, Json)]) -> Result<SimConfig, JournalError> {
             "delayed" => BranchModel::Delayed,
             "suspended" => BranchModel::Suspended,
             other => {
-                return Err(JournalError::schema(&format!(
+                return Err(JsonError::schema(&format!(
                     "unknown branch_model {other:?}"
                 )))
             }
@@ -361,11 +369,11 @@ fn read_config(obj: &[(String, Json)]) -> Result<SimConfig, JournalError> {
 /// Reads the execution-engine field, accepting the legacy `"predecode"`
 /// boolean of pre-superblock journals (`true` → cached, `false` →
 /// uncached) so old recordings stay replayable.
-fn read_engine(obj: &[(String, Json)]) -> Result<ExecEngine, JournalError> {
+fn read_engine(obj: &[(String, Json)]) -> Result<ExecEngine, JsonError> {
     if let Ok(v) = get(obj, "engine") {
         let name = v.as_str("engine")?;
         return ExecEngine::from_name(name)
-            .ok_or_else(|| JournalError::schema(&format!("unknown engine {name:?}")));
+            .ok_or_else(|| JsonError::schema(&format!("unknown engine {name:?}")));
     }
     match get(obj, "predecode")?.as_bool("predecode")? {
         true => Ok(ExecEngine::Cached),
@@ -373,7 +381,8 @@ fn read_engine(obj: &[(String, Json)]) -> Result<ExecEngine, JournalError> {
     }
 }
 
-fn write_event(w: &mut Writer, ev: &JournalEvent) {
+/// Writes one [`JournalEvent`] as a JSON object.
+pub fn write_event(w: &mut Writer, ev: &JournalEvent) {
     w.obj_open();
     w.key("step");
     w.num(i128::from(ev.step));
@@ -407,7 +416,11 @@ fn write_event(w: &mut Writer, ev: &JournalEvent) {
     w.obj_close();
 }
 
-fn read_event(obj: &[(String, Json)]) -> Result<JournalEvent, JournalError> {
+/// Reads one [`JournalEvent`] written by [`write_event`].
+///
+/// # Errors
+/// [`JsonError`] on a malformed or unknown event.
+pub fn read_event(obj: &[(String, Json)]) -> Result<JournalEvent, JsonError> {
     let kind = match get(obj, "kind")?.as_str("kind")? {
         "bit-flip" => InjectKind::BitFlip {
             addr: get(obj, "addr")?.as_u32("addr")?,
@@ -423,11 +436,7 @@ fn read_event(obj: &[(String, Json)]) -> Result<JournalEvent, JournalError> {
             addr: get(obj, "addr")?.as_u32("addr")?,
             bit: get(obj, "bit")?.as_u8("bit")?,
         },
-        other => {
-            return Err(JournalError::schema(&format!(
-                "unknown event kind {other:?}"
-            )))
-        }
+        other => return Err(JsonError::schema(&format!("unknown event kind {other:?}"))),
     };
     Ok(JournalEvent {
         step: get(obj, "step")?.as_u64("step")?,
@@ -459,11 +468,13 @@ impl JournalError {
     fn schema(msg: &str) -> JournalError {
         JournalError::Schema(msg.to_owned())
     }
+}
 
-    fn in_context(self, ctx: &str) -> JournalError {
-        match self {
-            JournalError::Schema(m) => JournalError::Schema(format!("{ctx}: {m}")),
-            other => other,
+impl From<JsonError> for JournalError {
+    fn from(e: JsonError) -> JournalError {
+        match e {
+            JsonError::Parse { pos, msg } => JournalError::Parse { pos, msg },
+            JsonError::Schema(m) => JournalError::Schema(m),
         }
     }
 }
@@ -482,394 +493,6 @@ impl fmt::Display for JournalError {
 }
 
 impl std::error::Error for JournalError {}
-
-// ---------------------------------------------------------------------
-// Minimal JSON machinery (the workspace has no external dependencies).
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value. Numbers are integers — the journal format uses no
-/// floats — held as `i128` so the full `u64` range round-trips.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(i128),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn as_obj(&self, what: &str) -> Result<&[(String, Json)], JournalError> {
-        match self {
-            Json::Obj(o) => Ok(o),
-            _ => Err(JournalError::schema(&format!("{what}: expected an object"))),
-        }
-    }
-
-    fn as_arr(&self, what: &str) -> Result<&[Json], JournalError> {
-        match self {
-            Json::Arr(a) => Ok(a),
-            _ => Err(JournalError::schema(&format!("{what}: expected an array"))),
-        }
-    }
-
-    fn as_str(&self, what: &str) -> Result<&str, JournalError> {
-        match self {
-            Json::Str(s) => Ok(s),
-            _ => Err(JournalError::schema(&format!("{what}: expected a string"))),
-        }
-    }
-
-    fn as_bool(&self, what: &str) -> Result<bool, JournalError> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            _ => Err(JournalError::schema(&format!("{what}: expected a bool"))),
-        }
-    }
-
-    fn as_num(&self, what: &str) -> Result<i128, JournalError> {
-        match self {
-            Json::Num(n) => Ok(*n),
-            _ => Err(JournalError::schema(&format!("{what}: expected a number"))),
-        }
-    }
-
-    fn as_u64(&self, what: &str) -> Result<u64, JournalError> {
-        u64::try_from(self.as_num(what)?)
-            .map_err(|_| JournalError::schema(&format!("{what}: out of u64 range")))
-    }
-
-    fn as_u32(&self, what: &str) -> Result<u32, JournalError> {
-        u32::try_from(self.as_num(what)?)
-            .map_err(|_| JournalError::schema(&format!("{what}: out of u32 range")))
-    }
-
-    fn as_u8(&self, what: &str) -> Result<u8, JournalError> {
-        u8::try_from(self.as_num(what)?)
-            .map_err(|_| JournalError::schema(&format!("{what}: out of u8 range")))
-    }
-
-    fn as_i32(&self, what: &str) -> Result<i32, JournalError> {
-        i32::try_from(self.as_num(what)?)
-            .map_err(|_| JournalError::schema(&format!("{what}: out of i32 range")))
-    }
-}
-
-fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, JournalError> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| JournalError::schema(&format!("missing key {key:?}")))
-}
-
-/// Compact JSON writer.
-struct Writer {
-    out: String,
-    /// Whether the next emission at the current nesting level needs a
-    /// comma separator before it.
-    need_comma: bool,
-}
-
-impl Writer {
-    fn new() -> Writer {
-        Writer {
-            out: String::new(),
-            need_comma: false,
-        }
-    }
-
-    fn sep(&mut self) {
-        if self.need_comma {
-            self.out.push(',');
-        }
-        self.need_comma = true;
-    }
-
-    fn obj_open(&mut self) {
-        self.sep();
-        self.out.push('{');
-        self.need_comma = false;
-    }
-
-    fn obj_close(&mut self) {
-        self.out.push('}');
-        self.need_comma = true;
-    }
-
-    fn arr_open(&mut self) {
-        self.sep();
-        self.out.push('[');
-        self.need_comma = false;
-    }
-
-    fn arr_close(&mut self) {
-        self.out.push(']');
-        self.need_comma = true;
-    }
-
-    fn key(&mut self, k: &str) {
-        self.sep();
-        self.push_string(k);
-        self.out.push(':');
-        self.need_comma = false;
-    }
-
-    fn num(&mut self, n: i128) {
-        self.sep();
-        self.out.push_str(&n.to_string());
-    }
-
-    fn bool(&mut self, b: bool) {
-        self.sep();
-        self.out.push_str(if b { "true" } else { "false" });
-    }
-
-    fn null(&mut self) {
-        self.sep();
-        self.out.push_str("null");
-    }
-
-    fn str(&mut self, s: &str) {
-        self.sep();
-        self.push_string(s);
-    }
-
-    fn push_string(&mut self, s: &str) {
-        self.out.push('"');
-        for ch in s.chars() {
-            match ch {
-                '"' => self.out.push_str("\\\""),
-                '\\' => self.out.push_str("\\\\"),
-                '\n' => self.out.push_str("\\n"),
-                '\r' => self.out.push_str("\\r"),
-                '\t' => self.out.push_str("\\t"),
-                c if (c as u32) < 0x20 => {
-                    self.out.push_str(&format!("\\u{:04x}", c as u32));
-                }
-                c => self.out.push(c),
-            }
-        }
-        self.out.push('"');
-    }
-
-    fn finish(self) -> String {
-        self.out
-    }
-}
-
-/// Recursive-descent JSON parser, just large enough for the journal
-/// format (integers only; no floats, no exponents).
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, msg: &str) -> JournalError {
-        JournalError::Parse {
-            pos: self.pos,
-            msg: msg.to_owned(),
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JournalError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn eat_keyword(&mut self, kw: &str) -> bool {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
-            self.pos += kw.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<Json, JournalError> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(self.err("trailing characters after document"));
-        }
-        Ok(v)
-    }
-
-    fn parse_value(&mut self) -> Result<Json, JournalError> {
-        match self.peek() {
-            Some(b'{') => self.parse_obj(),
-            Some(b'[') => self.parse_arr(),
-            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
-            Some(b'-') | Some(b'0'..=b'9') => self.parse_num(),
-            Some(b't') | Some(b'f') => {
-                if self.eat_keyword("true") {
-                    Ok(Json::Bool(true))
-                } else if self.eat_keyword("false") {
-                    Ok(Json::Bool(false))
-                } else {
-                    Err(self.err("expected a value"))
-                }
-            }
-            Some(b'n') => {
-                if self.eat_keyword("null") {
-                    Ok(Json::Null)
-                } else {
-                    Err(self.err("expected a value"))
-                }
-            }
-            _ => Err(self.err("expected a value")),
-        }
-    }
-
-    fn parse_obj(&mut self) -> Result<Json, JournalError> {
-        self.expect(b'{')?;
-        let mut entries = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(entries));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            entries.push((key, self.parse_value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(entries));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn parse_arr(&mut self) -> Result<Json, JournalError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, JournalError> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let start = self.pos;
-            // Fast path: a run of plain UTF-8 up to the next quote/escape.
-            while let Some(&b) = self.bytes.get(self.pos) {
-                if b == b'"' || b == b'\\' || b < 0x20 {
-                    break;
-                }
-                self.pos += 1;
-            }
-            s.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
-            );
-            match self.bytes.get(self.pos) {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(s);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| self.err("unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'b' => s.push('\u{8}'),
-                        b'f' => s.push('\u{c}'),
-                        b'n' => s.push('\n'),
-                        b'r' => s.push('\r'),
-                        b't' => s.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("invalid \\u escape"))?;
-                            self.pos += 4;
-                            s.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
-                            );
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                _ => return Err(self.err("unterminated string")),
-            }
-        }
-    }
-
-    fn parse_num(&mut self) -> Result<Json, JournalError> {
-        self.skip_ws();
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if self.pos == start || (self.pos == start + 1 && self.bytes[start] == b'-') {
-            return Err(self.err("expected digits"));
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
-        text.parse::<i128>()
-            .map(Json::Num)
-            .map_err(|_| self.err("number out of range"))
-    }
-}
 
 #[cfg(test)]
 mod tests {

@@ -37,10 +37,12 @@
 
 pub mod config;
 pub mod cpu;
+pub mod deadline;
 pub mod exec;
 mod icache;
 pub mod inject;
 pub mod journal;
+pub mod json;
 pub mod mem;
 pub mod pipeline;
 pub mod program;
@@ -52,13 +54,15 @@ pub mod windows;
 
 pub use config::{BranchModel, ExecEngine, FusionConfig, SimConfig};
 pub use cpu::{Cpu, ExecError, Halt, ReplayContext, TooManyArgs, TRAP_VECTOR_STRIDE};
+pub use deadline::Deadline;
 pub use icache::prepared_base_cycles;
 pub use inject::{FaultInjector, InjectConfig, InjectEvent, InjectKind, XorShift64};
 pub use journal::{Journal, JournalError, JournalEvent, RecordedOutcome, JOURNAL_VERSION};
 pub use mem::{MemError, Memory, CODE_DIRTY_PENDING_CAP, PAGE_BYTES};
 pub use program::Program;
 pub use snapshot::{
-    CheckpointStats, Checkpointer, RestoreError, Snapshot, CKPT_BASE_CYCLES, SNAPSHOT_VERSION,
+    config_hash, CheckpointStats, Checkpointer, RestoreError, Snapshot, CKPT_BASE_CYCLES,
+    SNAPSHOT_VERSION,
 };
 pub use stats::{ExecStats, FuseKind, OpcodeCounts};
 pub use trap::{TrapCause, TrapKind};

@@ -202,6 +202,17 @@ impl CpuState {
     }
 }
 
+/// Stable FNV-1a digest of a complete [`SimConfig`] — every field that
+/// affects simulated behaviour, including the engine tier and fusion
+/// toggles. Used three ways: inside snapshot checksums, in
+/// [`RestoreError::ConfigMismatch`] diagnostics (expected-vs-found), and
+/// as the `config_hash` component of the serve layer's job-dedup key.
+pub fn config_hash(cfg: &SimConfig) -> u64 {
+    let mut h = Fnv64::new();
+    hash_config(&mut h, cfg);
+    h.finish()
+}
+
 fn hash_config(h: &mut Fnv64, cfg: &SimConfig) {
     h.write_u64(cfg.windows as u64);
     h.write_u64(cfg.mem_bytes as u64);
@@ -242,8 +253,22 @@ pub enum RestoreError {
         expected: u32,
     },
     /// The snapshot was captured under a different [`SimConfig`] than the
-    /// CPU being restored (window count, memory size, timing model…).
-    ConfigMismatch,
+    /// CPU being restored (window count, memory size, timing model…). The
+    /// digests are [`config_hash`] values; the engine names are carried
+    /// separately because an engine-tier mismatch is by far the most
+    /// common way to hit this in practice, and the hash alone cannot say
+    /// which field diverged.
+    ConfigMismatch {
+        /// [`config_hash`] of the configuration the snapshot was captured
+        /// under (what the restore expected to find on the CPU).
+        expected: u64,
+        /// [`config_hash`] of the CPU the restore was attempted on.
+        found: u64,
+        /// Engine tier recorded in the snapshot.
+        expected_engine: &'static str,
+        /// Engine tier of the CPU being restored.
+        found_engine: &'static str,
+    },
     /// The snapshot's contents no longer match its checksum.
     Corrupt {
         /// Checksum stored at capture time.
@@ -262,8 +287,18 @@ impl fmt::Display for RestoreError {
                     "snapshot version {found} (this build restores {expected})"
                 )
             }
-            RestoreError::ConfigMismatch => {
-                write!(f, "snapshot was captured under a different configuration")
+            RestoreError::ConfigMismatch {
+                expected,
+                found,
+                expected_engine,
+                found_engine,
+            } => {
+                write!(
+                    f,
+                    "snapshot was captured under a different configuration: \
+                     config hash {expected:#018x} (engine {expected_engine}) \
+                     vs this CPU's {found:#018x} (engine {found_engine})"
+                )
             }
             RestoreError::Corrupt { expected, found } => write!(
                 f,
@@ -378,7 +413,12 @@ impl Snapshot {
             });
         }
         if *cpu.config() != self.cfg {
-            return Err(RestoreError::ConfigMismatch);
+            return Err(RestoreError::ConfigMismatch {
+                expected: config_hash(&self.cfg),
+                found: config_hash(cpu.config()),
+                expected_engine: self.cfg.engine.name(),
+                found_engine: cpu.config().engine.name(),
+            });
         }
         self.verify()?;
         cpu.apply_state(&self.state);
@@ -579,7 +619,31 @@ mod tests {
         let mut snap = cpu.snapshot();
 
         let mut other = Cpu::new(SimConfig::with_windows(4));
-        assert_eq!(other.restore(&snap), Err(RestoreError::ConfigMismatch));
+        match other.restore(&snap) {
+            Err(RestoreError::ConfigMismatch {
+                expected,
+                found,
+                expected_engine,
+                found_engine,
+            }) => {
+                assert_eq!(expected, config_hash(&SimConfig::default()));
+                assert_eq!(found, config_hash(&SimConfig::with_windows(4)));
+                assert_eq!(expected_engine, "superblock");
+                assert_eq!(found_engine, "superblock");
+                assert_ne!(expected, found, "differing configs must hash apart");
+            }
+            other => panic!("expected a config mismatch, got {other:?}"),
+        }
+        // An engine-tier mismatch names both tiers in the diagnostic.
+        let mut cached = Cpu::new(SimConfig {
+            engine: ExecEngine::Cached,
+            ..SimConfig::default()
+        });
+        let msg = cached.restore(&snap).unwrap_err().to_string();
+        assert!(
+            msg.contains("engine superblock") && msg.contains("engine cached"),
+            "{msg}"
+        );
 
         // Tamper with the captured state: verification must fail.
         snap.state.pc ^= 4;

@@ -6,7 +6,8 @@ use crate::rasm::RasmError;
 use risc1_cisc::{BuildError, CxConfig, CxCpu, CxProgram, CxStats};
 use risc1_core::inject::RECOVERY_STUB_BASE;
 use risc1_core::{
-    Cpu, ExecError, ExecStats, FaultInjector, Halt, InjectConfig, InjectEvent, Program, SimConfig,
+    Cpu, Deadline, ExecError, ExecStats, FaultInjector, Halt, InjectConfig, InjectEvent,
+    JournalEvent, Program, SimConfig,
 };
 use risc1_m68::{McBuildError, McConfig, McCpu, McProgram, McStats};
 use std::fmt;
@@ -205,6 +206,108 @@ pub fn run_risc_injected(
         stats: cpu.stats(),
         events: injector.events().to_vec(),
     })
+}
+
+/// How a deadline-watched run ended: either the full [`InjectReport`] of a
+/// completed execution, or a timeout with the partial statistics and
+/// injection schedule gathered before the wall clock ran out.
+///
+/// This deliberately wraps — rather than extends — [`InjectOutcome`]: the
+/// trichotomy (recovered / structured fault / clean halt) is a determinism
+/// law, and a wall-clock expiry is host-dependent, so it lives one layer
+/// out where nothing bit-compares it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimedOutcome {
+    /// The run completed before the deadline (or had none).
+    Finished(InjectReport),
+    /// The wall-clock deadline passed mid-run.
+    TimedOut {
+        /// Simulator statistics at the moment the run was stopped.
+        stats: ExecStats,
+        /// Faults the injector had applied so far.
+        events: Vec<InjectEvent>,
+    },
+}
+
+impl TimedOutcome {
+    /// The completed report, if the run finished.
+    pub fn finished(self) -> Option<InjectReport> {
+        match self {
+            TimedOutcome::Finished(report) => Some(report),
+            TimedOutcome::TimedOut { .. } => None,
+        }
+    }
+}
+
+/// [`run_risc_injected`] generalised for the serve layer: optional
+/// injection (`None` runs the pristine program), an optional wall-clock
+/// [`Deadline`] polled between steps (every
+/// [`risc1_core::deadline::DEADLINE_POLL_STEPS`] steps, so the check never
+/// perturbs the machine), and an optional journal-event sink filled the
+/// way [`record_risc_injected`](crate::record_risc_injected) fills a
+/// [`Journal`] — the sink is caller-owned so events survive even if the
+/// caller later has to abandon the run.
+///
+/// When the deadline does not fire, the returned report is bit-identical
+/// to [`run_risc_injected`] of the same `(prog, args, cfg, inject,
+/// recovery)` — the chaos test in `tests/serve_chaos.rs` holds the serve
+/// stack to exactly this law.
+///
+/// # Errors
+/// [`InjectSetupError`] when the run could not be arranged at all.
+pub fn run_risc_deadline(
+    prog: &Program,
+    args: &[i32],
+    cfg: SimConfig,
+    inject: Option<InjectConfig>,
+    recovery: bool,
+    deadline: Option<Deadline>,
+    mut journal_events: Option<&mut Vec<JournalEvent>>,
+) -> Result<TimedOutcome, InjectSetupError> {
+    let mut injector = inject.map(FaultInjector::new);
+    let mut cpu = setup_injected_cpu(prog, args, cfg, recovery)?;
+    let mut step: u64 = 0;
+    let outcome = loop {
+        if let Some(d) = deadline {
+            if Deadline::should_poll(step) && d.expired() {
+                let events = injector.map_or_else(Vec::new, |i| i.events().to_vec());
+                return Ok(TimedOutcome::TimedOut {
+                    stats: cpu.stats(),
+                    events,
+                });
+            }
+        }
+        if let Some(injector) = injector.as_mut() {
+            let before = injector.events().len();
+            injector.pre_step(&mut cpu);
+            if injector.events().len() > before {
+                if let Some(sink) = journal_events.as_deref_mut() {
+                    let ev = injector.events()[before];
+                    sink.push(JournalEvent {
+                        step,
+                        at_instruction: ev.at_instruction,
+                        kind: ev.kind,
+                    });
+                }
+            }
+        }
+        let halt = cpu.step();
+        step += 1;
+        match halt {
+            Ok(Halt::Running) => {}
+            Ok(Halt::Returned) => {
+                break InjectOutcome::Halted {
+                    result: cpu.result(),
+                }
+            }
+            Err(error) => break InjectOutcome::Faulted { error },
+        }
+    };
+    Ok(TimedOutcome::Finished(InjectReport {
+        outcome,
+        stats: cpu.stats(),
+        events: injector.map_or_else(Vec::new, |i| i.events().to_vec()),
+    }))
 }
 
 /// Arranges a CPU for an injected / recorded / replayed / supervised run:

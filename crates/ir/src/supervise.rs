@@ -33,8 +33,8 @@
 
 use crate::runner::{setup_injected_cpu, InjectSetupError};
 use risc1_core::{
-    CheckpointStats, Checkpointer, ExecError, ExecStats, FaultInjector, Halt, InjectConfig,
-    InjectEvent, Program, SimConfig,
+    CheckpointStats, Checkpointer, Deadline, ExecError, ExecStats, FaultInjector, Halt,
+    InjectConfig, InjectEvent, Program, SimConfig,
 };
 
 /// Default checkpoint interval, in retired instructions.
@@ -53,6 +53,12 @@ pub struct SupervisorConfig {
     /// Total instruction budget across all attempts (discarded work
     /// included). `None` leaves only the per-run fuel limit.
     pub watchdog_fuel: Option<u64>,
+    /// Wall-clock deadline across all attempts, polled between steps
+    /// (every [`risc1_core::deadline::DEADLINE_POLL_STEPS`] steps, so it
+    /// never perturbs the simulated machine). `None` leaves the run
+    /// unbounded in host time. Setting it trades determinism of the
+    /// *outcome kind* for liveness — the serve layer's per-job watchdog.
+    pub deadline: Option<Deadline>,
 }
 
 impl Default for SupervisorConfig {
@@ -62,6 +68,7 @@ impl Default for SupervisorConfig {
             max_retries: 8,
             backoff_base: 64,
             watchdog_fuel: None,
+            deadline: None,
         }
     }
 }
@@ -81,6 +88,9 @@ pub enum SupervisorOutcome {
     },
     /// The cross-attempt instruction budget ran out.
     WatchdogExpired,
+    /// The cross-attempt wall-clock deadline passed
+    /// ([`SupervisorConfig::deadline`]).
+    DeadlineExceeded,
 }
 
 /// Everything a supervised run produced.
@@ -95,6 +105,10 @@ pub struct SupervisorReport {
     pub attempts: u32,
     /// Rollbacks performed (`attempts - 1`, unless setup failed).
     pub rollbacks: u32,
+    /// Rollbacks that escalated past the latest checkpoint to the campaign
+    /// baseline because a retry made no forward progress (the latest
+    /// checkpoint may hold poisoned state). Always ≤ `rollbacks`.
+    pub escalations: u32,
     /// Instructions discarded by rollbacks across all attempts.
     pub lost_instructions: u64,
     /// Checkpoint cost accounting (modeled cycles, pages/bytes copied).
@@ -154,11 +168,13 @@ pub fn run_risc_supervised(
     let mut injector = inject.map(|c| attempt_injector(c, 1));
     let mut attempts: u32 = 1;
     let mut rollbacks: u32 = 0;
+    let mut escalations: u32 = 0;
     let mut lost: u64 = 0;
     let mut suppress: u64 = 0;
     let mut prev_fault_at: Option<u64> = None;
     let mut events: Vec<InjectEvent> = Vec::new();
 
+    let mut polls: u64 = 0;
     let outcome = loop {
         let retired = cpu.stats().instructions;
         if let Some(budget) = sup.watchdog_fuel {
@@ -166,6 +182,12 @@ pub fn run_risc_supervised(
                 break SupervisorOutcome::WatchdogExpired;
             }
         }
+        if let Some(d) = sup.deadline {
+            if Deadline::should_poll(polls) && d.expired() {
+                break SupervisorOutcome::DeadlineExceeded;
+            }
+        }
+        polls += 1;
         if retired >= ckpt.latest().at_instruction() + sup.ckpt_every {
             ckpt.checkpoint(&mut cpu);
         }
@@ -195,6 +217,7 @@ pub fn run_risc_supervised(
                 let stuck = prev_fault_at.is_some_and(|prev| fault_at <= prev);
                 prev_fault_at = if stuck { None } else { Some(fault_at) };
                 let restored = if stuck {
+                    escalations += 1;
                     lost += fault_at.saturating_sub(baseline.at_instruction());
                     ckpt.revert_to(&mut cpu, &baseline)
                 } else {
@@ -224,6 +247,7 @@ pub fn run_risc_supervised(
         stats: cpu.stats(),
         attempts,
         rollbacks,
+        escalations,
         lost_instructions: lost,
         checkpoints: ckpt.stats(),
         events,
@@ -330,6 +354,7 @@ mod tests {
                 max_retries: u32::MAX,
                 backoff_base: 1,
                 watchdog_fuel: Some(30_000),
+                deadline: None,
             },
         )
         .unwrap();
@@ -338,8 +363,11 @@ mod tests {
                 assert!(report.stats.instructions + report.lost_instructions >= 30_000);
             }
             // Acceptable alternates under extreme rates: the machine dies
-            // of its own fuel, or even squeaks through.
-            SupervisorOutcome::Faulted { .. } | SupervisorOutcome::Halted { .. } => {}
+            // of its own fuel, or even squeaks through. No deadline is
+            // configured here, so that arm is unreachable.
+            SupervisorOutcome::Faulted { .. }
+            | SupervisorOutcome::Halted { .. }
+            | SupervisorOutcome::DeadlineExceeded => {}
         }
     }
 }

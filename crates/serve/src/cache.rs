@@ -1,0 +1,112 @@
+//! Bounded LRU cache of finished job outputs, keyed by [`JobKey`].
+//!
+//! The idempotency half of dedup: a resubmission whose key is already
+//! cached is served from here without re-executing — safe because equal
+//! keys imply bit-identical outputs (the key folds every input that
+//! determines the result). The cache is hard-bounded; inserting past
+//! capacity evicts the least-recently-used entry, so a long-running
+//! server's memory stays flat.
+
+use crate::job::{JobKey, JobOutput};
+use std::collections::HashMap;
+
+/// A bounded least-recently-used map from job key to finished output.
+pub struct ResultCache {
+    capacity: usize,
+    /// Logical clock; bumped on every touch so eviction can find the LRU
+    /// entry without a linked list (eviction is O(n), n ≤ capacity).
+    tick: u64,
+    map: HashMap<JobKey, (u64, JobOutput)>,
+}
+
+impl ResultCache {
+    /// An empty cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The cached output for `key`, refreshing its recency.
+    pub fn get(&mut self, key: &JobKey) -> Option<&JobOutput> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(t, out)| {
+            *t = tick;
+            &*out
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&mut self, key: JobKey, out: JobOutput) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(&victim) = self.map.iter().min_by_key(|(_, (t, _))| *t).map(|(k, _)| k) {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (self.tick, out));
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> JobKey {
+        JobKey {
+            program: 1,
+            config: 2,
+            seed,
+        }
+    }
+
+    fn out(msg: &str) -> JobOutput {
+        JobOutput::SetupFailed {
+            message: msg.into(),
+        }
+    }
+
+    fn msg(o: &JobOutput) -> &str {
+        match o {
+            JobOutput::SetupFailed { message } => message,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), out("one"));
+        c.insert(key(2), out("two"));
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(msg(c.get(&key(1)).unwrap()), "one");
+        c.insert(key(3), out("three"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(2)).is_none(), "LRU entry was evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growing() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), out("one"));
+        c.insert(key(1), out("one again"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(msg(c.get(&key(1)).unwrap()), "one again");
+    }
+}

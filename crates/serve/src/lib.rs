@@ -1,0 +1,45 @@
+//! # `risc1-serve` — fault-tolerant batch execution service
+//!
+//! The serving layer over the simulator stack: a long-running,
+//! dependency-free service that accepts campaign jobs (program + seed
+//! range + [`SimConfig`](risc1_core::SimConfig) + fuel/deadline budget),
+//! schedules them with per-client fair-share weighted queuing over the
+//! deterministic campaign runner, and executes each job either directly
+//! or under the checkpoint/rollback/escalate supervisor.
+//!
+//! The design is crash-only and semantically transparent:
+//!
+//! * **Transparency law** — a direct job's result is bit-identical to
+//!   [`run_risc_injected`](risc1_ir::run_risc_injected) of the same
+//!   `(program, args, cfg, inject, recovery)`; `tests/serve_chaos.rs`
+//!   drives concurrent clients against a mixed clean/injected workload
+//!   and checks every accepted job against a local rerun.
+//! * **Load shedding, never silent drops** — per-client queues are
+//!   bounded; an overflowing submission is rejected atomically with a
+//!   structured [`Overloaded`], and the shed count is visible in
+//!   [`status`](ExecService::status).
+//! * **Idempotent dedup** — jobs are keyed by `(program hash, config
+//!   hash, seed)`; duplicate submissions are served from the in-flight
+//!   map or a bounded LRU [result cache](cache::ResultCache).
+//! * **Crash-only workers** — a panicking job is caught, journaled to
+//!   the replay-artifacts funnel for offline `risc1 replay`, and reported
+//!   as a structured [`JobOutput::Panicked`].
+//! * **Watchdogs** — per-job wall-clock [`Deadline`](risc1_core::Deadline)s
+//!   layered on the simulator's fuel preemption.
+//!
+//! Transports: in-process (library calls), TCP, or stdin/stdout — all
+//! speaking the newline-delimited JSON protocol in [`wire`].
+
+pub mod cache;
+pub mod job;
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use job::{JobKey, JobMode, JobOutput, JobSpec};
+pub use queue::{Overloaded, QueueDepth};
+pub use server::{handle_line, serve_lines, serve_tcp};
+pub use service::{
+    Counters, ExecService, PollState, ServiceConfig, StatusReport, SubmitError, SubmitTicket,
+};

@@ -1,0 +1,209 @@
+//! Per-client bounded queues with fair-share weighted round-robin draining.
+//!
+//! Every client gets its own FIFO with a hard capacity; a submission that
+//! would overflow it is rejected with a structured [`Overloaded`] — load is
+//! shed at the front door, never by panicking or silently dropping queued
+//! work. The scheduler drains jobs in weighted round-robin order: each
+//! drain pass visits the clients cyclically and takes up to `weight` jobs
+//! from each per round, so a client with weight 2 gets twice the service
+//! of a weight-1 client under contention, and no client can starve another
+//! by flooding.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A structured admission rejection: the client's queue cannot take the
+/// submission. The whole submission is rejected atomically (no partial
+/// enqueue), so the client can back off and retry it as a unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The client whose queue is full.
+    pub client: String,
+    /// Jobs currently queued for that client.
+    pub depth: usize,
+    /// The per-client queue capacity.
+    pub capacity: usize,
+    /// Jobs in the rejected submission.
+    pub rejected: usize,
+}
+
+impl fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "overloaded: client {:?} queue at {}/{} cannot take {} more job(s)",
+            self.client, self.depth, self.capacity, self.rejected
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+struct ClientQueue {
+    name: String,
+    weight: u32,
+    jobs: VecDeque<u64>,
+}
+
+/// The set of per-client queues plus the round-robin cursor.
+pub struct QueueSet {
+    queues: Vec<ClientQueue>,
+    capacity: usize,
+    /// Index of the client the next drain pass starts from.
+    cursor: usize,
+}
+
+/// One row of [`QueueSet::depths`]: client name, weight, queued jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueDepth {
+    /// Client name.
+    pub client: String,
+    /// Fair-share weight.
+    pub weight: u32,
+    /// Jobs currently queued.
+    pub depth: usize,
+}
+
+impl QueueSet {
+    /// An empty queue set with the given per-client capacity.
+    pub fn new(capacity: usize) -> QueueSet {
+        QueueSet {
+            queues: Vec::new(),
+            capacity: capacity.max(1),
+            cursor: 0,
+        }
+    }
+
+    fn client_index(&mut self, name: &str, weight: u32) -> usize {
+        if let Some(i) = self.queues.iter().position(|q| q.name == name) {
+            // The latest submission's weight wins — clients may retune.
+            self.queues[i].weight = weight.max(1);
+            return i;
+        }
+        self.queues.push(ClientQueue {
+            name: name.to_owned(),
+            weight: weight.max(1),
+            jobs: VecDeque::new(),
+        });
+        self.queues.len() - 1
+    }
+
+    /// Enqueues `ids` for `client` atomically, or rejects the whole
+    /// submission when it would overflow the client's queue.
+    ///
+    /// # Errors
+    /// [`Overloaded`] with the queue's depth and capacity.
+    pub fn try_push(&mut self, client: &str, weight: u32, ids: &[u64]) -> Result<(), Overloaded> {
+        let cap = self.capacity;
+        let i = self.client_index(client, weight);
+        let depth = self.queues[i].jobs.len();
+        if depth + ids.len() > cap {
+            return Err(Overloaded {
+                client: client.to_owned(),
+                depth,
+                capacity: cap,
+                rejected: ids.len(),
+            });
+        }
+        self.queues[i].jobs.extend(ids.iter().copied());
+        Ok(())
+    }
+
+    /// Drains up to `max` job ids in weighted round-robin order: repeated
+    /// rounds over the clients (starting after where the last drain
+    /// started), taking up to `weight` jobs from each per round.
+    pub fn drain(&mut self, max: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        if self.queues.is_empty() || max == 0 {
+            return out;
+        }
+        let n = self.queues.len();
+        let start = self.cursor % n;
+        self.cursor = (self.cursor + 1) % n;
+        'rounds: loop {
+            let mut took_any = false;
+            for off in 0..n {
+                let q = &mut self.queues[(start + off) % n];
+                for _ in 0..q.weight {
+                    let Some(id) = q.jobs.pop_front() else { break };
+                    out.push(id);
+                    took_any = true;
+                    if out.len() >= max {
+                        break 'rounds;
+                    }
+                }
+            }
+            if !took_any {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Total jobs queued across all clients.
+    pub fn depth(&self) -> usize {
+        self.queues.iter().map(|q| q.jobs.len()).sum()
+    }
+
+    /// Per-client depths, in registration order.
+    pub fn depths(&self) -> Vec<QueueDepth> {
+        self.queues
+            .iter()
+            .map(|q| QueueDepth {
+                client: q.name.clone(),
+                weight: q.weight,
+                depth: q.jobs.len(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_is_rejected_atomically() {
+        let mut qs = QueueSet::new(4);
+        qs.try_push("a", 1, &[1, 2, 3]).unwrap();
+        let err = qs.try_push("a", 1, &[4, 5]).unwrap_err();
+        assert_eq!(
+            err,
+            Overloaded {
+                client: "a".into(),
+                depth: 3,
+                capacity: 4,
+                rejected: 2,
+            }
+        );
+        // Nothing from the rejected submission landed.
+        assert_eq!(qs.depth(), 3);
+        // A fitting submission still goes through.
+        qs.try_push("a", 1, &[4]).unwrap();
+        assert_eq!(qs.depth(), 4);
+        // Another client has its own capacity.
+        qs.try_push("b", 1, &[10, 11]).unwrap();
+        assert_eq!(qs.depth(), 6);
+    }
+
+    #[test]
+    fn drain_is_weighted_round_robin() {
+        let mut qs = QueueSet::new(16);
+        qs.try_push("a", 2, &[1, 2, 3, 4, 5, 6]).unwrap();
+        qs.try_push("b", 1, &[101, 102, 103]).unwrap();
+        // Round 1: two from a, one from b; round 2: the same again.
+        assert_eq!(qs.drain(6), vec![1, 2, 101, 3, 4, 102]);
+        // Cursor advanced: the next pass starts at b.
+        assert_eq!(qs.drain(10), vec![103, 5, 6]);
+        assert_eq!(qs.depth(), 0);
+        assert!(qs.drain(10).is_empty());
+    }
+
+    #[test]
+    fn drain_respects_max_and_empty_queues() {
+        let mut qs = QueueSet::new(16);
+        qs.try_push("solo", 3, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(qs.drain(2), vec![1, 2]);
+        assert_eq!(qs.drain(100), vec![3, 4]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Transport: the same newline-delimited protocol over TCP or any byte
+//! stream (stdin/stdout for `risc1 serve --stdin`).
+//!
+//! Each TCP connection gets its own thread; all of them share one
+//! [`ExecService`], whose single state lock is the only synchronisation.
+//! A `shutdown` request answers first, then stops the service (waiting
+//! for the in-flight batch) and unblocks the accept loop, so shutdown is
+//! always clean: no connection is severed mid-response.
+
+use crate::service::ExecService;
+use crate::wire::{self, Request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Handles one request line, returning the response and whether the
+/// server should shut down after sending it.
+pub fn handle_line(service: &ExecService, line: &str) -> (String, bool) {
+    match wire::parse_request(line) {
+        Err(e) => (wire::bad_request(&e.to_string()), false),
+        Ok(Request::Submit {
+            client,
+            weight,
+            specs,
+        }) => match service.submit(&client, weight, specs) {
+            Ok(tickets) => (wire::submit_response(&tickets), false),
+            Err(e) => (wire::submit_error_response(&e), false),
+        },
+        Ok(Request::Poll { id, wait_ms }) => {
+            let state = match wait_ms {
+                Some(ms) if ms > 0 => service.wait(id, Duration::from_millis(ms)),
+                _ => service.poll(id),
+            };
+            (wire::poll_response(state.as_ref(), id), false)
+        }
+        Ok(Request::Status) => (wire::status_response(&service.status()), false),
+        Ok(Request::Shutdown) => (wire::shutdown_response(), true),
+    }
+}
+
+/// Serves the protocol over any line stream until EOF or a `shutdown`
+/// request (stdin mode). Returns whether shutdown was requested.
+///
+/// # Errors
+/// Propagates I/O errors from the underlying stream.
+pub fn serve_lines(
+    service: &ExecService,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, stop) = handle_line(service, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if stop {
+            service.shutdown();
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Accepts connections on `listener` until a client sends `shutdown`.
+/// Each connection runs on its own thread; the service (and its queues,
+/// dedup map and counters) is shared across all of them.
+///
+/// # Errors
+/// Propagates fatal `accept` errors. Per-connection I/O errors only end
+/// that connection.
+pub fn serve_tcp(service: &ExecService, listener: TcpListener) -> std::io::Result<()> {
+    let stop = AtomicBool::new(false);
+    let addr = listener.local_addr()?;
+    std::thread::scope(|scope| {
+        loop {
+            let (stream, _) = listener.accept()?;
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stop = &stop;
+            scope.spawn(move || {
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(_) => return,
+                });
+                let mut writer = stream;
+                for line in reader.lines() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let (response, shutdown) = handle_line(service, &line);
+                    if writer.write_all(response.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                        || writer.flush().is_err()
+                    {
+                        break;
+                    }
+                    if shutdown {
+                        service.shutdown();
+                        stop.store(true, Ordering::SeqCst);
+                        // Unblock the accept loop so the server exits.
+                        let _ = TcpStream::connect(addr);
+                        return;
+                    }
+                }
+            });
+        }
+        Ok(())
+    })
+}

@@ -1,0 +1,626 @@
+//! The JSON wire protocol: newline-delimited request/response objects.
+//!
+//! Requests (one object per line):
+//!
+//! ```text
+//! {"op":"submit","client":"a","weight":2,"seeds":[0,1,2],
+//!  "program":{"words":[…],"entry_offset":0,"data":[{"addr":N,"bytes":[…]}]},
+//!  "args":[9],"cfg":{…},                      // cfg optional (defaults)
+//!  "inject":true,"rate":120,"modes":"all",    // campaign parameters
+//!  "recovery":true,"mode":"direct",           // or "supervised"
+//!  "timeout_ms":5000}                         // optional watchdog
+//! {"op":"poll","id":7,"wait_ms":200}          // wait_ms optional
+//! {"op":"status"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Every response carries `"ok"`; failures are structured, e.g. an
+//! overloaded queue answers
+//! `{"ok":false,"error":"overloaded","depth":64,"capacity":64,…}` — load
+//! shedding is a first-class reply, never a dropped connection. Finished
+//! jobs report a 64-bit FNV `digest` of (outcome signature, instructions,
+//! trap counts, event log) so clients can verify bit-identity against a
+//! local run without shipping the full report.
+//!
+//! The config object reuses the journal format's
+//! [`write_config`]/[`read_config`], so a journal's `cfg` block pastes
+//! directly into a submit request.
+
+use crate::job::{JobMode, JobOutput, JobSpec};
+use crate::queue::Overloaded;
+use crate::service::{PollState, StatusReport, SubmitError, SubmitTicket};
+use risc1_core::inject::InjectModes;
+use risc1_core::journal::{read_config, write_config};
+use risc1_core::json::{get, get_opt, Json, JsonError, Parser, Writer};
+use risc1_core::{InjectConfig, Program, SimConfig, TrapKind};
+use risc1_ir::{outcome_signature, InjectOutcome, SupervisorOutcome};
+
+/// Most seeds one submit may carry: bounds parse-time allocation before
+/// admission control can see the request at all.
+pub const MAX_SEEDS_PER_SUBMIT: usize = 4096;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Run a campaign: one [`JobSpec`] per requested seed.
+    Submit {
+        /// Client name (fair-share queue identity).
+        client: String,
+        /// Fair-share weight (≥ 1).
+        weight: u32,
+        /// One spec per seed, in request order.
+        specs: Vec<JobSpec>,
+    },
+    /// Ask where a job is.
+    Poll {
+        /// The job id from a submit ticket.
+        id: u64,
+        /// Block this long for completion (0/absent = non-blocking).
+        wait_ms: Option<u64>,
+    },
+    /// Ask for queue depths and counters.
+    Status,
+    /// Stop the server after answering.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// [`JsonError`] on malformed JSON or a request that does not match the
+/// schema above.
+pub fn parse_request(line: &str) -> Result<Request, JsonError> {
+    let doc = Parser::new(line).parse_document()?;
+    let obj = doc.as_obj("request")?;
+    match get(obj, "op")?.as_str("op")? {
+        "submit" => parse_submit(obj),
+        "poll" => Ok(Request::Poll {
+            id: get(obj, "id")?.as_u64("id")?,
+            wait_ms: match get_opt(obj, "wait_ms") {
+                None => None,
+                Some(v) => Some(v.as_u64("wait_ms")?),
+            },
+        }),
+        "status" => Ok(Request::Status),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(JsonError::schema(&format!("unknown op {other:?}"))),
+    }
+}
+
+fn parse_submit(obj: &[(String, Json)]) -> Result<Request, JsonError> {
+    let client = get(obj, "client")?.as_str("client")?.to_owned();
+    let weight = match get_opt(obj, "weight") {
+        None => 1,
+        Some(v) => v.as_u32("weight")?.max(1),
+    };
+    let program = parse_program(get(obj, "program")?)?;
+    let args = get(obj, "args")?
+        .as_arr("args")?
+        .iter()
+        .map(|v| v.as_i32("args[..]"))
+        .collect::<Result<Vec<i32>, _>>()?;
+    let cfg = match get_opt(obj, "cfg") {
+        None => SimConfig::default(),
+        Some(v) => read_config(v.as_obj("cfg")?)?,
+    };
+    let seeds = get(obj, "seeds")?
+        .as_arr("seeds")?
+        .iter()
+        .map(|v| v.as_u64("seeds[..]"))
+        .collect::<Result<Vec<u64>, _>>()?;
+    if seeds.is_empty() {
+        return Err(JsonError::schema("seeds: must not be empty"));
+    }
+    if seeds.len() > MAX_SEEDS_PER_SUBMIT {
+        return Err(JsonError::schema(&format!(
+            "seeds: at most {MAX_SEEDS_PER_SUBMIT} per submit"
+        )));
+    }
+    let inject = match get_opt(obj, "inject") {
+        None => true,
+        Some(v) => v.as_bool("inject")?,
+    };
+    let rate = match get_opt(obj, "rate") {
+        None => InjectConfig::with_seed(0).rate,
+        Some(v) => v.as_u32("rate")?,
+    };
+    let modes = match get_opt(obj, "modes") {
+        None => InjectModes::all(),
+        Some(v) => match v.as_str("modes")? {
+            "all" => InjectModes::all(),
+            "transparent" => InjectModes::transparent(),
+            "none" => InjectModes::none(),
+            other => {
+                return Err(JsonError::schema(&format!(
+                    "modes: unknown set {other:?} (all | transparent | none)"
+                )))
+            }
+        },
+    };
+    let recovery = match get_opt(obj, "recovery") {
+        None => false,
+        Some(v) => v.as_bool("recovery")?,
+    };
+    let mode = match get_opt(obj, "mode") {
+        None => JobMode::Direct,
+        Some(v) => match v.as_str("mode")? {
+            "direct" => JobMode::Direct,
+            "supervised" => {
+                let dflt = risc1_ir::SupervisorConfig::default();
+                JobMode::Supervised {
+                    ckpt_every: match get_opt(obj, "ckpt_every") {
+                        None => dflt.ckpt_every,
+                        Some(v) => v.as_u64("ckpt_every")?,
+                    },
+                    max_retries: match get_opt(obj, "max_retries") {
+                        None => dflt.max_retries,
+                        Some(v) => v.as_u32("max_retries")?,
+                    },
+                }
+            }
+            other => {
+                return Err(JsonError::schema(&format!(
+                    "mode: unknown mode {other:?} (direct | supervised)"
+                )))
+            }
+        },
+    };
+    let timeout_ms = match get_opt(obj, "timeout_ms") {
+        None => None,
+        Some(v) => Some(v.as_u64("timeout_ms")?),
+    };
+    let specs = seeds
+        .into_iter()
+        .map(|seed| JobSpec {
+            program: program.clone(),
+            args: args.clone(),
+            cfg: cfg.clone(),
+            inject: inject.then_some(InjectConfig { seed, rate, modes }),
+            recovery,
+            mode,
+            timeout_ms,
+        })
+        .collect();
+    Ok(Request::Submit {
+        client,
+        weight,
+        specs,
+    })
+}
+
+fn parse_program(v: &Json) -> Result<Program, JsonError> {
+    let obj = v.as_obj("program")?;
+    let words = get(obj, "words")?
+        .as_arr("program.words")?
+        .iter()
+        .map(|w| w.as_u32("program.words[..]"))
+        .collect::<Result<Vec<u32>, _>>()?;
+    let entry_offset = get(obj, "entry_offset")?.as_u32("program.entry_offset")?;
+    let data = match get_opt(obj, "data") {
+        None => Vec::new(),
+        Some(v) => v
+            .as_arr("program.data")?
+            .iter()
+            .map(|d| {
+                let d = d.as_obj("program.data[..]")?;
+                let addr = get(d, "addr")?.as_u32("program.data[..].addr")?;
+                let bytes = get(d, "bytes")?
+                    .as_arr("program.data[..].bytes")?
+                    .iter()
+                    .map(|b| b.as_u8("program.data[..].bytes[..]"))
+                    .collect::<Result<Vec<u8>, _>>()?;
+                Ok((addr, bytes))
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?,
+    };
+    Ok(Program {
+        words,
+        entry_offset,
+        data,
+        symbols: Default::default(),
+    })
+}
+
+/// Serializes a program for a submit request (the client half; the CLI
+/// smoke gate and tests use this to talk to a real server).
+pub fn write_program(w: &mut Writer, prog: &Program) {
+    w.obj_open();
+    w.key("words");
+    w.arr_open();
+    for &word in &prog.words {
+        w.num(i128::from(word));
+    }
+    w.arr_close();
+    w.key("entry_offset");
+    w.num(i128::from(prog.entry_offset));
+    w.key("data");
+    w.arr_open();
+    for (addr, bytes) in &prog.data {
+        w.obj_open();
+        w.key("addr");
+        w.num(i128::from(*addr));
+        w.key("bytes");
+        w.arr_open();
+        for &b in bytes {
+            w.num(i128::from(b));
+        }
+        w.arr_close();
+        w.obj_close();
+    }
+    w.arr_close();
+    w.obj_close();
+}
+
+/// Builds a complete submit request line (client-side convenience).
+#[allow(clippy::too_many_arguments)]
+pub fn submit_request(
+    client: &str,
+    weight: u32,
+    prog: &Program,
+    args: &[i32],
+    cfg: &SimConfig,
+    seeds: &[u64],
+    inject: bool,
+    rate: u32,
+    modes: &str,
+    recovery: bool,
+    mode: &str,
+    timeout_ms: Option<u64>,
+) -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    w.key("op");
+    w.str("submit");
+    w.key("client");
+    w.str(client);
+    w.key("weight");
+    w.num(i128::from(weight));
+    w.key("program");
+    write_program(&mut w, prog);
+    w.key("args");
+    w.arr_open();
+    for &a in args {
+        w.num(i128::from(a));
+    }
+    w.arr_close();
+    w.key("cfg");
+    write_config(&mut w, cfg);
+    w.key("seeds");
+    w.arr_open();
+    for &s in seeds {
+        w.num(i128::from(s));
+    }
+    w.arr_close();
+    w.key("inject");
+    w.bool(inject);
+    w.key("rate");
+    w.num(i128::from(rate));
+    w.key("modes");
+    w.str(modes);
+    w.key("recovery");
+    w.bool(recovery);
+    w.key("mode");
+    w.str(mode);
+    if let Some(ms) = timeout_ms {
+        w.key("timeout_ms");
+        w.num(i128::from(ms));
+    }
+    w.obj_close();
+    w.finish()
+}
+
+/// The success response to a submit.
+pub fn submit_response(tickets: &[SubmitTicket]) -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    w.key("ok");
+    w.bool(true);
+    w.key("jobs");
+    w.arr_open();
+    for t in tickets {
+        w.obj_open();
+        w.key("seed");
+        w.num(i128::from(t.seed));
+        w.key("id");
+        w.num(i128::from(t.id));
+        w.key("dedup");
+        w.bool(t.dedup);
+        w.obj_close();
+    }
+    w.arr_close();
+    w.obj_close();
+    w.finish()
+}
+
+/// The structured failure response to a submit.
+pub fn submit_error_response(err: &SubmitError) -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    w.key("ok");
+    w.bool(false);
+    match err {
+        SubmitError::Overloaded(Overloaded {
+            client,
+            depth,
+            capacity,
+            rejected,
+        }) => {
+            w.key("error");
+            w.str("overloaded");
+            w.key("client");
+            w.str(client);
+            w.key("depth");
+            w.num(*depth as i128);
+            w.key("capacity");
+            w.num(*capacity as i128);
+            w.key("rejected");
+            w.num(*rejected as i128);
+        }
+        SubmitError::ShuttingDown => {
+            w.key("error");
+            w.str("shutting-down");
+        }
+    }
+    w.obj_close();
+    w.finish()
+}
+
+/// The response to a poll.
+pub fn poll_response(state: Option<&PollState>, id: u64) -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    match state {
+        None => {
+            w.key("ok");
+            w.bool(false);
+            w.key("error");
+            w.str("unknown-job");
+            w.key("id");
+            w.num(i128::from(id));
+        }
+        Some(PollState::Queued) => {
+            w.key("ok");
+            w.bool(true);
+            w.key("state");
+            w.str("queued");
+        }
+        Some(PollState::Running) => {
+            w.key("ok");
+            w.bool(true);
+            w.key("state");
+            w.str("running");
+        }
+        Some(PollState::Done(out)) => {
+            w.key("ok");
+            w.bool(true);
+            w.key("state");
+            w.str("done");
+            w.key("result");
+            write_output(&mut w, out);
+        }
+    }
+    w.obj_close();
+    w.finish()
+}
+
+fn write_output(w: &mut Writer, out: &JobOutput) {
+    w.obj_open();
+    w.key("kind");
+    w.str(out.kind());
+    match out {
+        JobOutput::Finished(r) => {
+            w.key("signature");
+            w.str(&outcome_signature(&r.outcome));
+            w.key("result");
+            match r.outcome {
+                InjectOutcome::Halted { result } => w.num(i128::from(result)),
+                InjectOutcome::Faulted { .. } => w.null(),
+            }
+            w.key("instructions");
+            w.num(i128::from(r.stats.instructions));
+            w.key("events");
+            w.num(r.events.len() as i128);
+        }
+        JobOutput::Supervised(r) => {
+            w.key("outcome");
+            w.str(&match &r.outcome {
+                SupervisorOutcome::Halted { result } => format!("halt {result}"),
+                SupervisorOutcome::Faulted { error } => format!("fault: {error}"),
+                SupervisorOutcome::WatchdogExpired => "watchdog".to_owned(),
+                SupervisorOutcome::DeadlineExceeded => "deadline".to_owned(),
+            });
+            w.key("attempts");
+            w.num(i128::from(r.attempts));
+            w.key("rollbacks");
+            w.num(i128::from(r.rollbacks));
+            w.key("escalations");
+            w.num(i128::from(r.escalations));
+            w.key("instructions");
+            w.num(i128::from(r.stats.instructions));
+            w.key("events");
+            w.num(r.events.len() as i128);
+        }
+        JobOutput::TimedOut { stats, events } => {
+            w.key("instructions");
+            w.num(i128::from(stats.instructions));
+            w.key("events");
+            w.num(events.len() as i128);
+        }
+        JobOutput::SetupFailed { message } => {
+            w.key("message");
+            w.str(message);
+        }
+        JobOutput::Panicked { message, artifact } => {
+            w.key("message");
+            w.str(message);
+            w.key("artifact");
+            match artifact {
+                None => w.null(),
+                Some(path) => w.str(path),
+            }
+        }
+    }
+    w.key("digest");
+    w.str(&format!("{:016x}", out.digest()));
+    w.obj_close();
+}
+
+/// The response to a status request.
+pub fn status_response(status: &StatusReport) -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    w.key("ok");
+    w.bool(true);
+    w.key("queues");
+    w.arr_open();
+    for q in &status.queues {
+        w.obj_open();
+        w.key("client");
+        w.str(&q.client);
+        w.key("weight");
+        w.num(i128::from(q.weight));
+        w.key("depth");
+        w.num(q.depth as i128);
+        w.obj_close();
+    }
+    w.arr_close();
+    w.key("queued");
+    w.num(status.queued as i128);
+    w.key("running");
+    w.num(status.running as i128);
+    w.key("cached");
+    w.num(status.cached as i128);
+    w.key("counters");
+    w.obj_open();
+    let c = &status.counters;
+    for (k, v) in [
+        ("submitted", c.submitted),
+        ("dedup_hits", c.dedup_hits),
+        ("shed", c.shed),
+        ("completed", c.completed),
+        ("panics", c.panics),
+        ("timeouts", c.timeouts),
+        ("setup_failures", c.setup_failures),
+        ("retries", c.retries),
+        ("escalations", c.escalations),
+    ] {
+        w.key(k);
+        w.num(i128::from(v));
+    }
+    w.obj_close();
+    w.key("trap_totals");
+    w.obj_open();
+    for kind in TrapKind::ALL {
+        w.key(&format!("{kind:?}"));
+        w.num(i128::from(c.trap_totals[kind.index()]));
+    }
+    w.obj_close();
+    w.obj_close();
+    w.finish()
+}
+
+/// The acknowledgement sent before the server stops.
+pub fn shutdown_response() -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    w.key("ok");
+    w.bool(true);
+    w.key("state");
+    w.str("shutting-down");
+    w.obj_close();
+    w.finish()
+}
+
+/// A structured parse/schema failure reply.
+pub fn bad_request(message: &str) -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    w.key("ok");
+    w.bool(false);
+    w.key("error");
+    w.str("bad-request");
+    w.key("message");
+    w.str(message);
+    w.obj_close();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_request_round_trips() {
+        let prog = Program {
+            words: vec![10, 20],
+            entry_offset: 4,
+            data: vec![(64, vec![1, 2, 3])],
+            symbols: Default::default(),
+        };
+        let line = submit_request(
+            "alice",
+            2,
+            &prog,
+            &[7, -3],
+            &SimConfig::default(),
+            &[0, 1, 5],
+            true,
+            120,
+            "all",
+            true,
+            "direct",
+            Some(500),
+        );
+        match parse_request(&line).unwrap() {
+            Request::Submit {
+                client,
+                weight,
+                specs,
+            } => {
+                assert_eq!(client, "alice");
+                assert_eq!(weight, 2);
+                assert_eq!(specs.len(), 3);
+                assert_eq!(specs[2].inject.unwrap().seed, 5);
+                assert_eq!(specs[0].inject.unwrap().rate, 120);
+                assert_eq!(specs[0].args, vec![7, -3]);
+                assert_eq!(specs[0].program.words, vec![10, 20]);
+                assert_eq!(specs[0].program.data, vec![(64, vec![1, 2, 3])]);
+                assert!(specs[0].recovery);
+                assert_eq!(specs[0].timeout_ms, Some(500));
+                assert_eq!(specs[0].mode, JobMode::Direct);
+                assert_eq!(specs[0].cfg, SimConfig::default());
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_schema_errors() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("{\"op\":\"warp\"}").is_err());
+        assert!(parse_request("{\"op\":\"poll\"}").is_err(), "missing id");
+        // Empty seed lists are rejected before touching the queues.
+        let line = "{\"op\":\"submit\",\"client\":\"c\",\"args\":[],\"seeds\":[],\
+                    \"program\":{\"words\":[1],\"entry_offset\":0}}";
+        assert!(parse_request(line).is_err());
+    }
+
+    #[test]
+    fn poll_and_control_requests_parse() {
+        match parse_request("{\"op\":\"poll\",\"id\":9,\"wait_ms\":50}").unwrap() {
+            Request::Poll { id, wait_ms } => {
+                assert_eq!(id, 9);
+                assert_eq!(wait_ms, Some(50));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(matches!(
+            parse_request("{\"op\":\"status\"}").unwrap(),
+            Request::Status
+        ));
+        assert!(matches!(
+            parse_request("{\"op\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        ));
+    }
+}

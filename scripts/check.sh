@@ -32,6 +32,14 @@ echo "==> cargo test --test spec_differential (spec-vs-engines differential fuzz
 echo "    fixed-seed quick profile: 200 generated + 48 injected cases)"
 cargo test -q --release --test spec_differential
 
+echo "==> cargo test --test serve_chaos (service transparency law under load)"
+cargo test -q --test serve_chaos
+
+echo "==> risc1 serve --smoke (TCP round trip: 3-job mixed campaign incl. one"
+echo "    injected-fault job, digests bit-identical to direct runs, dedup,"
+echo "    clean shutdown)"
+cargo run -q --release -p risc1-cli --bin risc1 -- serve --smoke
+
 echo "==> risc1 bench --quick (perf gate: each tier must beat the one below,"
 echo "    and geomeans must stay within 10% of the checked-in baseline)"
 cargo run -q --release -p risc1-cli --bin risc1 -- bench --quick \

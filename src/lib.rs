@@ -12,6 +12,7 @@ pub use risc1_ir as ir;
 pub use risc1_isa as isa;
 pub use risc1_lint as lint;
 pub use risc1_m68 as m68;
+pub use risc1_serve as serve;
 pub use risc1_stats as stats;
 pub use risc1_workloads as workloads;
 
@@ -23,7 +24,11 @@ pub use risc1_core::{
     ReplayContext, RestoreError, Snapshot,
 };
 pub use risc1_ir::{
-    minimize_journal, record_risc_injected, recorded_outcome, replay_journal, run_risc_injected,
-    run_risc_supervised, InjectOutcome, InjectReport, InjectSetupError, SupervisorConfig,
-    SupervisorOutcome, SupervisorReport,
+    minimize_journal, record_risc_injected, recorded_outcome, replay_journal, run_risc_deadline,
+    run_risc_injected, run_risc_supervised, InjectOutcome, InjectReport, InjectSetupError,
+    SupervisorConfig, SupervisorOutcome, SupervisorReport, TimedOutcome,
+};
+pub use risc1_serve::{
+    ExecService, JobMode, JobOutput, JobSpec, Overloaded, PollState, ServiceConfig, SubmitError,
+    SubmitTicket,
 };

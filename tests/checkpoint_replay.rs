@@ -212,6 +212,56 @@ fn replay_is_deterministic_for_16_seeds_per_workload() {
     assert!(minimized_some, "at least one journal must get minimized");
 }
 
+/// Under a double-fault storm — an injection rate an order of magnitude
+/// past the sweep's — retries stop making forward progress, and the
+/// supervisor must take its escalate arm (revert past the latest
+/// checkpoint to the campaign baseline) instead of burning retries on
+/// poisoned state. The escalation is visible in the report, and the
+/// applied-event log survives it: escalating must not lose the journal.
+#[test]
+fn escalation_fires_under_a_double_fault_storm_without_losing_the_event_log() {
+    let mut escalated = None;
+    'search: for w in suite() {
+        for seed in 0..32u64 {
+            let icfg = InjectConfig {
+                seed,
+                rate: 2000, // ~20% of steps perturbed: a storm, not a drizzle
+                modes: InjectModes::all(),
+            };
+            let report = run_risc_supervised(
+                &w.prog,
+                &w.args,
+                w.cfg.clone(),
+                Some(icfg),
+                true,
+                SupervisorConfig {
+                    ckpt_every: (w.instructions / 16).max(200),
+                    max_retries: 12,
+                    ..SupervisorConfig::default()
+                },
+            )
+            .expect("setup is valid");
+            if report.escalations >= 1 {
+                assert!(
+                    report.rollbacks >= report.escalations,
+                    "{} seed {seed}: escalations are a subset of rollbacks",
+                    w.id
+                );
+                assert!(
+                    !report.events.is_empty(),
+                    "{} seed {seed}: escalation must not lose the applied-event log",
+                    w.id
+                );
+                escalated = Some((w.id, seed, report.escalations));
+                break 'search;
+            }
+        }
+    }
+    let (id, seed, escalations) = escalated
+        .expect("no campaign escalated across the whole storm sweep — the stuck arm is dead code");
+    assert!(escalations >= 1, "{id} seed {seed}");
+}
+
 /// Law 3 (the PR's acceptance criterion): at least one workload that
 /// terminates with a structured fault under plain injection completes
 /// cleanly — with the correct result — under the supervisor's

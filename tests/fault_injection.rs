@@ -192,6 +192,61 @@ fn different_seeds_produce_different_schedules() {
 }
 
 #[test]
+fn the_service_path_is_bit_identical_to_direct_execution() {
+    // The same transparency law the serve chaos test enforces, wired into
+    // this sweep's conventions: eight seeds of a call-heavy workload routed
+    // through the execution service must reproduce `run_risc_injected`
+    // report for report — outcome, full `ExecStats`, and applied-event log.
+    use risc1::{ExecService, JobMode, JobOutput, JobSpec, PollState, ServiceConfig};
+    use std::time::Duration;
+
+    let suite = compiled_suite();
+    let w = suite
+        .iter()
+        .find(|w| w.id == "qsort")
+        .expect("suite workload");
+    let specs: Vec<JobSpec> = (0..8u64)
+        .map(|seed| JobSpec {
+            program: w.prog.clone(),
+            args: w.args.clone(),
+            cfg: w.cfg.clone(),
+            inject: Some(InjectConfig {
+                seed,
+                rate: w.rate,
+                modes: InjectModes::all(),
+            }),
+            recovery: seed % 2 == 0,
+            mode: JobMode::Direct,
+            timeout_ms: None,
+        })
+        .collect();
+
+    let service = ExecService::start(ServiceConfig::default());
+    let tickets = service
+        .submit("sweep", 1, specs.clone())
+        .expect("8 distinct seeds fit the default queue");
+    for (t, spec) in tickets.iter().zip(&specs) {
+        let state = service
+            .wait(t.id, Duration::from_secs(120))
+            .expect("ticketed jobs are pollable");
+        let PollState::Done(JobOutput::Finished(served)) = state else {
+            panic!("seed {}: job did not finish", t.seed);
+        };
+        let direct = run_risc_injected(
+            &spec.program,
+            &spec.args,
+            spec.cfg.clone(),
+            spec.inject.expect("all specs inject"),
+            spec.recovery,
+        )
+        .expect("setup is valid");
+        assert_eq!(served, direct, "seed {}: service/direct divergence", t.seed);
+    }
+    assert_eq!(service.status().counters.panics, 0);
+    service.shutdown();
+}
+
+#[test]
 fn handler_that_faults_terminates_with_a_structured_double_fault() {
     // End-to-end through the assembler: the misalignment handler itself
     // performs a misaligned load, so the trap unit must refuse to recurse
