@@ -19,6 +19,8 @@
 //!     [--max-retries K]          rollback attempts before the fault surfaces
 //! risc1 replay <trace.json>      re-execute a recorded campaign bit for bit
 //!   [--minimize [--out <path>]]  delta-debug the journal to a minimal subset
+//!   [--fetch <addr> --job <id>]  pull the journal in chunks from a running
+//!                                serve instance instead of a local file
 //! risc1 trace <file.s> [args…]   execute with the pipeline timing diagram
 //! risc1 bench [<workload>]       one workload: RISC I vs CX; no id: time
 //!   [--quick] [--out <path>]     the suite superblock vs. cached vs.
@@ -28,6 +30,8 @@
 //! risc1 serve <--tcp addr|--stdin|--smoke>
 //!                                fault-tolerant batch execution service
 //!                                (JSON jobs, fair-share queues, dedup)
+//!   [--wal-dir <dir>]            crash-safe write-ahead job log
+//!   [--recover <dir>]            replay the WAL on startup (warm restart)
 //! risc1 exp <id|all>             print an experiment report (e1…e15)
 //! risc1 list                     list suite workloads and experiments
 //! ```
@@ -73,7 +77,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
         }
         Some("lint") => cmd_lint(args.get(1).ok_or(USAGE)?, &args[2..]),
         Some("run") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], false),
-        Some("replay") => cmd_replay(args.get(1).ok_or(USAGE)?, &args[2..]),
+        Some("replay") => cmd_replay(&args[1..]),
         Some("trace") => cmd_run(args.get(1).ok_or(USAGE)?, &args[2..], true),
         Some("bench") => cmd_bench(&args[1..]),
         Some("serve") => serve_cmd::run(&args[1..]),
@@ -116,6 +120,10 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
   risc1 replay <trace.json>     re-execute a recorded campaign bit for bit
        [--minimize]             delta-debug to a minimal failing event set
        [--out <path>]           write the minimized journal here
+       [--fetch <addr>]         pull the journal from a running serve
+                                instance over TCP (sequence-numbered
+                                chunks) instead of reading a local file
+       [--job <id>]             the service job id to fetch (with --fetch)
   risc1 trace <file.s> [args…]  execute with a pipeline diagram
   risc1 bench [<workload-id>]   with an id: run one suite workload on
                                 RISC I and CX; without: time the whole
@@ -139,6 +147,12 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
        [--cache-cap N]          dedup result-cache entries (default 256)
        [--artifact-dir <dir>]   panic-journal funnel (default
                                 target/replay-artifacts)
+       [--wal-dir <dir>]        append every admission and completion to a
+                                crash-safe write-ahead log in <dir>
+       [--recover <dir>]        replay the WAL in <dir> on startup:
+                                completed results re-seed the cache,
+                                incomplete jobs re-enqueue (implies
+                                --wal-dir <dir>)
   risc1 exp <e1…e15|all>        print an experiment report
   risc1 list                    available workloads and experiments
 
@@ -563,11 +577,16 @@ fn cmd_run_recorded(
     }
 }
 
-/// `replay <trace.json>`: re-execute a recorded campaign bit for bit,
-/// optionally delta-debugging it down to a minimal failing event set.
-fn cmd_replay(path: &str, rest: &[String]) -> CliResult {
+/// `replay <trace.json>` / `replay --fetch <addr> --job <id>`: re-execute
+/// a recorded campaign bit for bit — from a local journal file or from a
+/// running serve instance's chunked journal stream — optionally
+/// delta-debugging it down to a minimal failing event set.
+fn cmd_replay(rest: &[String]) -> CliResult {
     let mut minimize = false;
     let mut out_path: Option<String> = None;
+    let mut fetch: Option<String> = None;
+    let mut job: Option<u64> = None;
+    let mut path: Option<String> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -576,13 +595,45 @@ fn cmd_replay(path: &str, rest: &[String]) -> CliResult {
                 let v = it.next().ok_or("--out needs a file path")?;
                 out_path = Some(v.clone());
             }
-            other => return Err(format!("unknown replay flag `{other}`\n{USAGE}")),
+            "--fetch" => {
+                let v = it.next().ok_or("--fetch needs an address (host:port)")?;
+                fetch = Some(v.clone());
+            }
+            "--job" => {
+                let v = it.next().ok_or("--job needs a job id")?;
+                job = Some(
+                    v.parse::<u64>()
+                        .map_err(|e| format!("bad --job id `{v}`: {e}"))?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown replay flag `{other}`\n{USAGE}"))
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err(format!("replay takes one journal file\n{USAGE}"));
+                }
+            }
         }
     }
     if out_path.is_some() && !minimize {
         return Err("--out only makes sense with --minimize".to_string());
     }
-    let journal = Journal::from_json(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    if job.is_some() && fetch.is_none() {
+        return Err("--job only makes sense with --fetch".to_string());
+    }
+    let (text, origin) = match (fetch, path) {
+        (Some(addr), None) => {
+            let id = job.ok_or("--fetch needs --job <id>")?;
+            (fetch_journal(&addr, id)?, format!("{addr} job {id}"))
+        }
+        (None, Some(p)) => (read(&p)?, p),
+        (Some(_), Some(_)) => {
+            return Err("give either a journal file or --fetch, not both".to_string())
+        }
+        (None, None) => return Err(format!("replay needs a journal file or --fetch\n{USAGE}")),
+    };
+    let journal = Journal::from_json(&text).map_err(|e| format!("{origin}: {e}"))?;
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -626,6 +677,43 @@ fn cmd_replay(path: &str, rest: &[String]) -> CliResult {
         }
     }
     Ok(out)
+}
+
+/// Pulls job `id`'s replay journal from a serve instance at `addr`, one
+/// bounded sequence-numbered chunk per request, and reassembles the text.
+fn fetch_journal(addr: &str, id: u64) -> Result<String, String> {
+    use risc1_core::json::{get, Parser};
+    use std::io::{BufRead, BufReader, Write};
+    let mut tx = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut rx = BufReader::new(tx.try_clone().map_err(|e| e.to_string())?);
+    let mut text = String::new();
+    let mut seq = 0u64;
+    loop {
+        let req = format!("{{\"op\":\"journal\",\"id\":{id},\"seq\":{seq}}}\n");
+        tx.write_all(req.as_bytes())
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        rx.read_line(&mut line).map_err(|e| format!("recv: {e}"))?;
+        let v = Parser::new(line.trim_end())
+            .parse_document()
+            .map_err(|e| format!("chunk {seq} is not valid JSON: {e}"))?;
+        let obj = v.as_obj("journal chunk").map_err(|e| e.to_string())?;
+        if get(obj, "ok").and_then(|o| o.as_bool("ok")) != Ok(true) {
+            return Err(format!(
+                "server refused journal chunk {seq}: {}",
+                line.trim_end()
+            ));
+        }
+        text.push_str(
+            get(obj, "data")
+                .and_then(|d| d.as_str("data"))
+                .map_err(|e| e.to_string())?,
+        );
+        if get(obj, "last").and_then(|l| l.as_bool("last")) == Ok(true) {
+            return Ok(text);
+        }
+        seq += 1;
+    }
 }
 
 fn cmd_bench(args: &[String]) -> CliResult {

@@ -242,6 +242,15 @@ impl Writer {
         self.push_string(s);
     }
 
+    /// Emits pre-serialized JSON verbatim as one value. The caller is
+    /// responsible for `text` being a well-formed document — used to embed
+    /// stored blobs (WAL result summaries, snapshot bodies) without a
+    /// parse/re-emit round-trip that could perturb byte identity.
+    pub fn raw(&mut self, text: &str) {
+        self.sep();
+        self.out.push_str(text);
+    }
+
     fn push_string(&mut self, s: &str) {
         self.out.push('"');
         for ch in s.chars() {

@@ -16,17 +16,33 @@
 
 use crate::config::{BranchModel, ExecEngine, SimConfig};
 use crate::cpu::{Cpu, PhysId, Retired};
-use crate::mem::Memory;
+use crate::journal::{read_config, write_config};
+use crate::json::{get, Json, JsonError, Parser, Writer};
+use crate::mem::{MemTraffic, Memory, PAGE_BYTES};
 use crate::stats::ExecStats;
 use crate::trap::TrapKind;
 use crate::windows::WindowFile;
 use risc1_isa::psw::Flags;
-use risc1_isa::Opcode;
+use risc1_isa::{Instruction, Opcode};
 use std::fmt;
 
 /// Snapshot format version; bumped whenever the captured state changes
 /// shape. Restore refuses snapshots from a different version.
 pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Admission limit on the simulated-memory size a *deserialized* snapshot
+/// may declare. Wire snapshots are untrusted; without this bound a
+/// one-line frame could make the server allocate arbitrary memory.
+pub const MAX_SNAPSHOT_MEM_BYTES: usize = 64 << 20;
+
+/// Admission limit on the register-window count a deserialized snapshot's
+/// configuration may declare (the paper built 8; experiments sweep a few
+/// dozen).
+pub const MAX_SNAPSHOT_WINDOWS: usize = 1024;
+
+/// Admission limit on the retired-instruction trace a deserialized
+/// snapshot may carry.
+pub const MAX_SNAPSHOT_TRACE: usize = 1 << 20;
 
 /// Modeled fixed cost of one incremental checkpoint, in cycles: the
 /// register file (138 words), the processor state words, and bookkeeping.
@@ -429,6 +445,486 @@ impl Snapshot {
         cpu.mem.mark_all_dirty();
         Ok(())
     }
+
+    /// Serializes the snapshot into the current position of `w` as one
+    /// JSON object. Memory is sparse — only pages with a nonzero byte are
+    /// emitted — so snapshots of mostly-empty address spaces stay small.
+    pub fn write_json(&self, w: &mut Writer) {
+        w.obj_open();
+        w.key("version");
+        w.num(i128::from(self.version));
+        w.key("id");
+        w.num(i128::from(self.id));
+        w.key("at_instruction");
+        w.num(i128::from(self.at_instruction));
+        w.key("cfg");
+        write_config(w, &self.cfg);
+        w.key("state");
+        self.write_state(w);
+        w.key("mem_bytes");
+        w.num(self.mem.size() as i128);
+        w.key("traffic");
+        w.obj_open();
+        w.key("reads");
+        w.num(i128::from(self.mem.traffic().reads));
+        w.key("writes");
+        w.num(i128::from(self.mem.traffic().writes));
+        w.obj_close();
+        w.key("pages");
+        w.arr_open();
+        for idx in 0..self.mem.page_count() {
+            let page = self.mem.page(idx);
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            w.arr_open();
+            w.num(idx as i128);
+            w.arr_open();
+            for &b in page {
+                w.num(i128::from(b));
+            }
+            w.arr_close();
+            w.arr_close();
+        }
+        w.arr_close();
+        w.key("checksum");
+        w.num(i128::from(self.checksum));
+        w.obj_close();
+    }
+
+    fn write_state(&self, w: &mut Writer) {
+        let s = &self.state;
+        w.obj_open();
+        w.key("store");
+        w.arr_open();
+        for &word in s.regs.export_store() {
+            w.num(i128::from(word));
+        }
+        w.arr_close();
+        let (cwp, resident, depth, spilled, max_depth, overflows, underflows) =
+            s.regs.export_counters();
+        for (key, v) in [
+            ("cwp", cwp),
+            ("resident", resident),
+            ("depth", depth),
+            ("spilled", spilled),
+            ("max_depth", max_depth),
+            ("overflows", overflows),
+            ("underflows", underflows),
+        ] {
+            w.key(key);
+            w.num(i128::from(v));
+        }
+        w.key("pc");
+        w.num(i128::from(s.pc));
+        w.key("last_pc");
+        w.num(i128::from(s.last_pc));
+        let Flags { z, n, v, c } = s.flags;
+        w.key("flags");
+        w.num(i128::from(
+            u8::from(z) | u8::from(n) << 1 | u8::from(v) << 2 | u8::from(c) << 3,
+        ));
+        w.key("interrupts_enabled");
+        w.bool(s.interrupts_enabled);
+        w.key("wstack_ptr");
+        w.num(i128::from(s.wstack_ptr));
+        w.key("pending_target");
+        write_opt_num(w, s.pending_target.map(u64::from));
+        w.key("last_write");
+        match s.last_write {
+            None => w.null(),
+            Some((id, load)) => {
+                w.obj_open();
+                w.key("kind");
+                w.str(match id {
+                    PhysId::Global(_) => "global",
+                    PhysId::Ring(_) => "ring",
+                });
+                w.key("index");
+                w.num(match id {
+                    PhysId::Global(g) => i128::from(g),
+                    PhysId::Ring(i) => i as i128,
+                });
+                w.key("load");
+                w.bool(load);
+                w.obj_close();
+            }
+        }
+        w.key("halted");
+        w.bool(s.halted);
+        w.key("stats");
+        write_stats(w, &s.stats);
+        w.key("trace");
+        w.arr_open();
+        for r in &s.trace {
+            w.arr_open();
+            w.num(i128::from(r.pc));
+            w.num(i128::from(r.insn.encode()));
+            w.num(i128::from(r.start_cycle));
+            w.num(i128::from(r.cycles));
+            w.bool(r.in_delay_slot);
+            w.arr_close();
+        }
+        w.arr_close();
+        w.key("interrupt_handler");
+        write_opt_num(w, s.interrupt_handler.map(u64::from));
+        w.key("interrupt_pending");
+        w.bool(s.interrupt_pending);
+        w.key("trap_handlers");
+        w.arr_open();
+        for t in s.trap_handlers {
+            write_opt_num(w, t.map(u64::from));
+        }
+        w.arr_close();
+        w.key("active_trap");
+        write_opt_num(w, s.active_trap.map(|k| u64::from(k.code())));
+        w.key("pending_probe");
+        write_opt_num(w, s.pending_probe.map(|k| u64::from(k.code())));
+        w.key("fuel_limit");
+        w.num(i128::from(s.fuel_limit));
+        w.key("last_snapshot");
+        write_opt_num(w, s.last_snapshot);
+        w.key("journal_pos");
+        write_opt_num(w, s.journal_pos);
+        w.obj_close();
+    }
+
+    /// The snapshot as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = Writer::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Deserializes a snapshot from a parsed JSON value. The input is
+    /// untrusted: structural problems and admission-limit violations
+    /// ([`MAX_SNAPSHOT_MEM_BYTES`], [`MAX_SNAPSHOT_WINDOWS`],
+    /// [`MAX_SNAPSHOT_TRACE`]) surface as [`JsonError`] before anything
+    /// large is allocated. The stored checksum is carried as-is — call
+    /// [`Snapshot::verify`] (or restore, which verifies) to detect
+    /// byte-level corruption.
+    ///
+    /// # Errors
+    /// [`JsonError`] on any shape or limit violation.
+    pub fn from_json_value(v: &Json) -> Result<Snapshot, JsonError> {
+        let obj = v.as_obj("snapshot")?;
+        let version = get(obj, "version")?.as_u32("version")?;
+        let id = get(obj, "id")?.as_u64("id")?;
+        let at_instruction = get(obj, "at_instruction")?.as_u64("at_instruction")?;
+        let cfg = read_config(get(obj, "cfg")?.as_obj("cfg")?)?;
+        if cfg.windows < 2 || cfg.windows > MAX_SNAPSHOT_WINDOWS {
+            return Err(JsonError::schema(&format!(
+                "cfg.windows {} outside 2..={MAX_SNAPSHOT_WINDOWS}",
+                cfg.windows
+            )));
+        }
+        let declared = get(obj, "mem_bytes")?.as_usize("mem_bytes")?;
+        if cfg.mem_bytes > MAX_SNAPSHOT_MEM_BYTES || declared != cfg.mem_bytes {
+            return Err(JsonError::schema(&format!(
+                "mem_bytes {declared} (cfg {}) exceeds the {MAX_SNAPSHOT_MEM_BYTES}-byte \
+                 admission limit or disagrees with the configuration",
+                cfg.mem_bytes
+            )));
+        }
+        let state = read_state(get(obj, "state")?, &cfg)?;
+        let mut mem = Memory::new(declared);
+        let traffic = get(obj, "traffic")?.as_obj("traffic")?;
+        for entry in get(obj, "pages")?.as_arr("pages")? {
+            let pair = entry.as_arr("page entry")?;
+            if pair.len() != 2 {
+                return Err(JsonError::schema("page entry: expected [index, bytes]"));
+            }
+            let (idx, bytes) = (&pair[0], &pair[1]);
+            let i = idx.as_usize("page index")?;
+            if i >= mem.page_count() {
+                return Err(JsonError::schema(&format!(
+                    "page index {i} out of range ({} pages)",
+                    mem.page_count()
+                )));
+            }
+            let want = mem.page(i).len();
+            let raw = bytes.as_arr("page bytes")?;
+            if raw.len() != want {
+                return Err(JsonError::schema(&format!(
+                    "page {i} holds {} bytes, expected {want}",
+                    raw.len()
+                )));
+            }
+            let mut buf = Vec::with_capacity(want);
+            for b in raw {
+                buf.push(b.as_u8("page byte")?);
+            }
+            mem.load_image((i * PAGE_BYTES) as u32, &buf)
+                .map_err(|e| JsonError::schema(&format!("page {i}: {e}")))?;
+        }
+        mem.set_traffic(MemTraffic {
+            reads: get(traffic, "reads")?.as_u64("traffic.reads")?,
+            writes: get(traffic, "writes")?.as_u64("traffic.writes")?,
+        });
+        // Page digests are recomputed from the rebuilt memory (they are
+        // derivable); byte corruption then lands in `verify()` as a
+        // checksum mismatch rather than a trusted-but-wrong digest.
+        let page_sums = (0..mem.page_count())
+            .map(|i| page_sum(mem.page(i)))
+            .collect();
+        Ok(Snapshot {
+            version,
+            id,
+            at_instruction,
+            cfg,
+            state,
+            mem,
+            page_sums,
+            checksum: get(obj, "checksum")?.as_u64("checksum")?,
+        })
+    }
+
+    /// Deserializes a snapshot from JSON text (see
+    /// [`Snapshot::from_json_value`]).
+    ///
+    /// # Errors
+    /// [`JsonError`] on malformed text or any shape/limit violation.
+    pub fn from_json(text: &str) -> Result<Snapshot, JsonError> {
+        Snapshot::from_json_value(&Parser::new(text).parse_document()?)
+    }
+}
+
+fn write_opt_num(w: &mut Writer, v: Option<u64>) {
+    match v {
+        None => w.null(),
+        Some(x) => w.num(i128::from(x)),
+    }
+}
+
+fn read_opt_u64(v: &Json, what: &str) -> Result<Option<u64>, JsonError> {
+    match v {
+        Json::Null => Ok(None),
+        other => other.as_u64(what).map(Some),
+    }
+}
+
+fn write_stats(w: &mut Writer, s: &ExecStats) {
+    w.obj_open();
+    for (key, v) in [
+        ("instructions", s.instructions),
+        ("cycles", s.cycles),
+        ("bubble_cycles", s.bubble_cycles),
+        ("ifetches", s.ifetches),
+        ("data_reads", s.data_reads),
+        ("data_writes", s.data_writes),
+        ("calls", s.calls),
+        ("rets", s.rets),
+        ("taken_transfers", s.taken_transfers),
+        ("window_overflows", s.window_overflows),
+        ("window_underflows", s.window_underflows),
+        ("trap_cycles", s.trap_cycles),
+        ("delay_slots", s.delay_slots),
+        ("delay_slot_nops", s.delay_slot_nops),
+        ("max_depth", s.max_depth),
+        ("trap_entries", s.trap_entries),
+        ("trap_returns", s.trap_returns),
+        ("trap_entry_cycles", s.trap_entry_cycles),
+        ("interrupts_taken", s.interrupts_taken),
+    ] {
+        w.key(key);
+        w.num(i128::from(v));
+    }
+    w.key("trap_counts");
+    w.arr_open();
+    for &c in &s.trap_counts {
+        w.num(i128::from(c));
+    }
+    w.arr_close();
+    // Sparse histogram: `[opcode code, count]` pairs, nonzero only. The
+    // engine-telemetry fields (fused pairs, block counters) are host-side
+    // and excluded from snapshot identity, so they are not serialized.
+    w.key("opcodes");
+    w.arr_open();
+    for (op, n) in s.opcode_counts.iter() {
+        w.arr_open();
+        w.num(i128::from(op as u8));
+        w.num(i128::from(n));
+        w.arr_close();
+    }
+    w.arr_close();
+    w.obj_close();
+}
+
+fn read_stats(v: &Json) -> Result<ExecStats, JsonError> {
+    let obj = v.as_obj("stats")?;
+    let f = |key: &str| -> Result<u64, JsonError> { get(obj, key)?.as_u64(key) };
+    let mut s = ExecStats {
+        instructions: f("instructions")?,
+        cycles: f("cycles")?,
+        bubble_cycles: f("bubble_cycles")?,
+        ifetches: f("ifetches")?,
+        data_reads: f("data_reads")?,
+        data_writes: f("data_writes")?,
+        calls: f("calls")?,
+        rets: f("rets")?,
+        taken_transfers: f("taken_transfers")?,
+        window_overflows: f("window_overflows")?,
+        window_underflows: f("window_underflows")?,
+        trap_cycles: f("trap_cycles")?,
+        delay_slots: f("delay_slots")?,
+        delay_slot_nops: f("delay_slot_nops")?,
+        max_depth: f("max_depth")?,
+        trap_entries: f("trap_entries")?,
+        trap_returns: f("trap_returns")?,
+        trap_entry_cycles: f("trap_entry_cycles")?,
+        interrupts_taken: f("interrupts_taken")?,
+        ..ExecStats::default()
+    };
+    let counts = get(obj, "trap_counts")?.as_arr("trap_counts")?;
+    if counts.len() != TrapKind::COUNT {
+        return Err(JsonError::schema(&format!(
+            "trap_counts holds {} entries, expected {}",
+            counts.len(),
+            TrapKind::COUNT
+        )));
+    }
+    for (i, c) in counts.iter().enumerate() {
+        s.trap_counts[i] = c.as_u64("trap_counts entry")?;
+    }
+    for pair in get(obj, "opcodes")?.as_arr("opcodes")? {
+        let pair = pair.as_arr("opcode pair")?;
+        if pair.len() != 2 {
+            return Err(JsonError::schema("opcode pair: expected [code, count]"));
+        }
+        let code = pair[0].as_u8("opcode code")?;
+        let op = Opcode::from_code(code)
+            .ok_or_else(|| JsonError::schema(&format!("unknown opcode code {code}")))?;
+        s.opcode_counts.set(op, pair[1].as_u64("opcode count")?);
+    }
+    Ok(s)
+}
+
+fn read_state(v: &Json, cfg: &SimConfig) -> Result<CpuState, JsonError> {
+    let obj = v.as_obj("state")?;
+    let u = |key: &str| -> Result<u64, JsonError> { get(obj, key)?.as_u64(key) };
+    let store_raw = get(obj, "store")?.as_arr("store")?;
+    let mut store = Vec::with_capacity(store_raw.len());
+    for word in store_raw {
+        store.push(word.as_u32("store word")?);
+    }
+    let regs = WindowFile::import(
+        cfg.windows,
+        &store,
+        u("cwp")?,
+        u("resident")?,
+        u("depth")?,
+        u("spilled")?,
+        u("max_depth")?,
+        u("overflows")?,
+        u("underflows")?,
+    )
+    .map_err(|e| JsonError::schema(&format!("register file: {e}")))?;
+    let packed = get(obj, "flags")?.as_u8("flags")?;
+    if packed > 0b1111 {
+        return Err(JsonError::schema(&format!(
+            "flags byte {packed} out of range"
+        )));
+    }
+    let flags = Flags {
+        z: packed & 1 != 0,
+        n: packed & 2 != 0,
+        v: packed & 4 != 0,
+        c: packed & 8 != 0,
+    };
+    let last_write = match get(obj, "last_write")? {
+        Json::Null => None,
+        lw => {
+            let lw = lw.as_obj("last_write")?;
+            let index = get(lw, "index")?;
+            let id = match get(lw, "kind")?.as_str("last_write.kind")? {
+                "global" => PhysId::Global(index.as_u8("last_write.index")?),
+                "ring" => PhysId::Ring(index.as_usize("last_write.index")?),
+                other => {
+                    return Err(JsonError::schema(&format!(
+                        "last_write.kind {other:?} (expected global|ring)"
+                    )))
+                }
+            };
+            Some((id, get(lw, "load")?.as_bool("last_write.load")?))
+        }
+    };
+    let trace_raw = get(obj, "trace")?.as_arr("trace")?;
+    if trace_raw.len() > MAX_SNAPSHOT_TRACE {
+        return Err(JsonError::schema(&format!(
+            "trace holds {} entries, admission limit is {MAX_SNAPSHOT_TRACE}",
+            trace_raw.len()
+        )));
+    }
+    let mut trace = Vec::with_capacity(trace_raw.len());
+    for entry in trace_raw {
+        let t = entry.as_arr("trace entry")?;
+        if t.len() != 5 {
+            return Err(JsonError::schema(
+                "trace entry: expected [pc, word, start_cycle, cycles, delay]",
+            ));
+        }
+        let word = t[1].as_u32("trace word")?;
+        let insn = Instruction::decode(word)
+            .map_err(|e| JsonError::schema(&format!("trace word {word:#010x}: {e}")))?;
+        trace.push(Retired {
+            pc: t[0].as_u32("trace pc")?,
+            insn,
+            start_cycle: t[2].as_u64("trace start_cycle")?,
+            cycles: t[3].as_u64("trace cycles")?,
+            in_delay_slot: t[4].as_bool("trace delay")?,
+        });
+    }
+    let handlers_raw = get(obj, "trap_handlers")?.as_arr("trap_handlers")?;
+    if handlers_raw.len() != TrapKind::COUNT {
+        return Err(JsonError::schema(&format!(
+            "trap_handlers holds {} entries, expected {}",
+            handlers_raw.len(),
+            TrapKind::COUNT
+        )));
+    }
+    let mut trap_handlers = [None; TrapKind::COUNT];
+    for (i, h) in handlers_raw.iter().enumerate() {
+        trap_handlers[i] = read_opt_u64(h, "trap handler")?
+            .map(|x| u32::try_from(x).map_err(|_| JsonError::schema("trap handler out of u32")))
+            .transpose()?;
+    }
+    let trap_kind = |v: &Json, what: &str| -> Result<Option<TrapKind>, JsonError> {
+        read_opt_u64(v, what)?
+            .map(|code| {
+                u32::try_from(code)
+                    .ok()
+                    .and_then(TrapKind::from_code)
+                    .ok_or_else(|| JsonError::schema(&format!("{what}: unknown trap code {code}")))
+            })
+            .transpose()
+    };
+    Ok(CpuState {
+        regs,
+        pc: get(obj, "pc")?.as_u32("pc")?,
+        last_pc: get(obj, "last_pc")?.as_u32("last_pc")?,
+        flags,
+        interrupts_enabled: get(obj, "interrupts_enabled")?.as_bool("interrupts_enabled")?,
+        wstack_ptr: get(obj, "wstack_ptr")?.as_u32("wstack_ptr")?,
+        pending_target: read_opt_u64(get(obj, "pending_target")?, "pending_target")?
+            .map(|x| u32::try_from(x).map_err(|_| JsonError::schema("pending_target out of u32")))
+            .transpose()?,
+        last_write,
+        halted: get(obj, "halted")?.as_bool("halted")?,
+        stats: read_stats(get(obj, "stats")?)?,
+        trace,
+        interrupt_handler: read_opt_u64(get(obj, "interrupt_handler")?, "interrupt_handler")?
+            .map(|x| {
+                u32::try_from(x).map_err(|_| JsonError::schema("interrupt_handler out of u32"))
+            })
+            .transpose()?,
+        interrupt_pending: get(obj, "interrupt_pending")?.as_bool("interrupt_pending")?,
+        trap_handlers,
+        active_trap: trap_kind(get(obj, "active_trap")?, "active_trap")?,
+        pending_probe: trap_kind(get(obj, "pending_probe")?, "pending_probe")?,
+        fuel_limit: u("fuel_limit")?,
+        last_snapshot: read_opt_u64(get(obj, "last_snapshot")?, "last_snapshot")?,
+        journal_pos: read_opt_u64(get(obj, "journal_pos")?, "journal_pos")?,
+    })
 }
 
 /// Cost accounting of a [`Checkpointer`].
@@ -720,6 +1216,65 @@ mod tests {
             let mut m = mark.clone();
             m.id = 0;
             m.compute_checksum()
+        }
+    }
+
+    #[test]
+    fn snapshot_json_round_trips_bit_identically() {
+        let mut cpu = fresh_cpu();
+        for _ in 0..100 {
+            cpu.step().unwrap();
+        }
+        let snap = cpu.snapshot();
+        let text = snap.to_json();
+        let back = Snapshot::from_json(&text).unwrap();
+        back.verify().unwrap();
+        assert_eq!(back.checksum(), snap.checksum());
+        assert_eq!(back.at_instruction(), snap.at_instruction());
+
+        // A CPU restored from the deserialized snapshot finishes exactly
+        // like an uninterrupted run.
+        let mut reference = fresh_cpu();
+        reference.run().unwrap();
+        let mut twin = Cpu::new(SimConfig::default());
+        twin.restore(&back).unwrap();
+        twin.run().unwrap();
+        assert_eq!(twin.result(), reference.result());
+        assert_eq!(twin.stats(), reference.stats());
+
+        // Serializing again is byte-identical (stable key order).
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn snapshot_json_rejects_corruption_and_oversized_declarations() {
+        let mut cpu = fresh_cpu();
+        for _ in 0..20 {
+            cpu.step().unwrap();
+        }
+        let text = cpu.snapshot().to_json();
+
+        // Field tampering parses fine but fails checksum verification.
+        let tampered = text.replace("\"halted\":false", "\"halted\":true");
+        assert_ne!(tampered, text);
+        let snap = Snapshot::from_json(&tampered).unwrap();
+        assert!(matches!(snap.verify(), Err(RestoreError::Corrupt { .. })));
+        let mut twin = Cpu::new(SimConfig::default());
+        assert!(matches!(
+            twin.restore(&snap),
+            Err(RestoreError::Corrupt { .. })
+        ));
+
+        // A declared memory size beyond the admission limit is refused
+        // before any allocation (both the cfg and the outer declaration
+        // carry the same number, so a global replace keeps them agreeing).
+        let huge = (MAX_SNAPSHOT_MEM_BYTES + 1).to_string();
+        let oversized = text.replace("\"mem_bytes\":1048576", &format!("\"mem_bytes\":{huge}"));
+        assert!(Snapshot::from_json(&oversized).is_err());
+
+        // Garbage documents are structured errors, never panics.
+        for bad in ["", "{}", "[1,2]", "{\"version\":1}", "not json at all"] {
+            assert!(Snapshot::from_json(bad).is_err(), "{bad:?}");
         }
     }
 

@@ -45,6 +45,12 @@ impl OpcodeCounts {
         self.0[op as u8 as usize]
     }
 
+    /// Overwrites the count for one opcode (snapshot deserialization).
+    #[inline]
+    pub fn set(&mut self, op: Opcode, n: u64) {
+        self.0[op as u8 as usize] = n;
+    }
+
     /// Iterates over `(opcode, count)` pairs with non-zero counts, in
     /// Table II order.
     pub fn iter(&self) -> impl Iterator<Item = (Opcode, u64)> + '_ {

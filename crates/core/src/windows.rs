@@ -178,6 +178,77 @@ impl WindowFile {
         sink(self.underflows);
     }
 
+    /// The raw counter half of the file's state, in `for_each_word` order
+    /// after the store: `(cwp, resident, depth, spilled, max_depth,
+    /// overflows, underflows)`. Snapshot-serialization primitive.
+    pub(crate) fn export_counters(&self) -> (u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.cwp as u64,
+            self.resident as u64,
+            self.depth,
+            self.spilled,
+            self.max_depth,
+            self.overflows,
+            self.underflows,
+        )
+    }
+
+    /// The flat store (globals then ring), for snapshot serialization.
+    pub(crate) fn export_store(&self) -> &[u32] {
+        &self.store
+    }
+
+    /// Rebuilds a file from serialized state: a `new(windows)` skeleton
+    /// (which recomputes the translation tables) refilled with the stored
+    /// words and counters. The inline `cur` map is refreshed from the
+    /// restored `cwp`.
+    ///
+    /// # Errors
+    /// A message when `store` does not match the geometry or a counter is
+    /// out of range for it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn import(
+        windows: usize,
+        store: &[u32],
+        cwp: u64,
+        resident: u64,
+        depth: u64,
+        spilled: u64,
+        max_depth: u64,
+        overflows: u64,
+        underflows: u64,
+    ) -> Result<WindowFile, String> {
+        if windows < 2 {
+            return Err(format!("{windows} register windows (need at least 2)"));
+        }
+        if store.len() != GLOBALS + WINDOW_STRIDE * windows {
+            return Err(format!(
+                "store holds {} words, geometry needs {}",
+                store.len(),
+                GLOBALS + WINDOW_STRIDE * windows
+            ));
+        }
+        if cwp >= windows as u64 {
+            return Err(format!("cwp {cwp} out of range for {windows} windows"));
+        }
+        if resident == 0 || resident >= windows as u64 {
+            return Err(format!(
+                "{resident} resident windows out of range (1..{windows})"
+            ));
+        }
+        let mut f = WindowFile::new(windows);
+        f.store.copy_from_slice(store);
+        f.cwp = cwp as usize;
+        f.cur = f.maps[f.cwp];
+        f.resident = resident as usize;
+        f.depth = depth;
+        f.spilled = spilled;
+        f.max_depth = max_depth;
+        f.overflows = overflows;
+        f.underflows = underflows;
+        Ok(f)
+    }
+
     /// Physical ring index of `offset` within the 16 slots owned by
     /// `window`.
     fn slot(&self, window: usize, offset: usize) -> usize {

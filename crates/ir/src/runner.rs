@@ -5,9 +5,10 @@ use crate::layout::ARGV_BASE;
 use crate::rasm::RasmError;
 use risc1_cisc::{BuildError, CxConfig, CxCpu, CxProgram, CxStats};
 use risc1_core::inject::RECOVERY_STUB_BASE;
+use risc1_core::snapshot::RestoreError;
 use risc1_core::{
     Cpu, Deadline, ExecError, ExecStats, FaultInjector, Halt, InjectConfig, InjectEvent,
-    JournalEvent, Program, SimConfig,
+    JournalEvent, Program, SimConfig, Snapshot,
 };
 use risc1_m68::{McBuildError, McConfig, McCpu, McProgram, McStats};
 use std::fmt;
@@ -308,6 +309,82 @@ pub fn run_risc_deadline(
         stats: cpu.stats(),
         events: injector.map_or_else(Vec::new, |i| i.events().to_vec()),
     }))
+}
+
+/// Warm start: restores `snap` into a fresh CPU and runs the remaining
+/// suffix to completion (under an optional wall-clock deadline, polled the
+/// same way [`run_risc_deadline`] polls). The snapshot carries the full
+/// architectural statistics of its prefix, so the finished report is
+/// bit-identical to a cold run of the same program and configuration —
+/// while the host only executes `final − at_instruction` instructions.
+///
+/// Injection is deliberately unsupported on this path: the injector's PRNG
+/// schedule is keyed by absolute step index from reset, which a warm start
+/// cannot reproduce.
+///
+/// # Errors
+/// [`RestoreError`] when the snapshot fails verification (corruption,
+/// version skew, or a configuration mismatch).
+pub fn run_risc_resumed(
+    snap: &Snapshot,
+    deadline: Option<Deadline>,
+) -> Result<TimedOutcome, RestoreError> {
+    let mut cpu = Cpu::new(snap.config().clone());
+    cpu.restore(snap)?;
+    let mut step: u64 = 0;
+    let outcome = loop {
+        if let Some(d) = deadline {
+            if Deadline::should_poll(step) && d.expired() {
+                return Ok(TimedOutcome::TimedOut {
+                    stats: cpu.stats(),
+                    events: Vec::new(),
+                });
+            }
+        }
+        let halt = cpu.step();
+        step += 1;
+        match halt {
+            Ok(Halt::Running) => {}
+            Ok(Halt::Returned) => {
+                break InjectOutcome::Halted {
+                    result: cpu.result(),
+                }
+            }
+            Err(error) => break InjectOutcome::Faulted { error },
+        }
+    };
+    Ok(TimedOutcome::Finished(InjectReport {
+        outcome,
+        stats: cpu.stats(),
+        events: Vec::new(),
+    }))
+}
+
+/// Captures a checksummed snapshot of a pristine (no-injection) run after
+/// exactly `steps` machine steps — the producer side of warm starts:
+/// campaigns over a common prefix snapshot it once and submit the
+/// remainder as [`run_risc_resumed`] jobs.
+///
+/// # Errors
+/// [`InjectSetupError`] when the run could not be arranged;
+/// `Err(InjectSetupError::Load)` never occurs from stepping itself — a
+/// program that halts or faults before `steps` simply yields the snapshot
+/// at that earlier point.
+pub fn snapshot_risc_prefix(
+    prog: &Program,
+    args: &[i32],
+    cfg: SimConfig,
+    recovery: bool,
+    steps: u64,
+) -> Result<Snapshot, InjectSetupError> {
+    let mut cpu = setup_injected_cpu(prog, args, cfg, recovery)?;
+    for _ in 0..steps {
+        match cpu.step() {
+            Ok(Halt::Running) => {}
+            Ok(Halt::Returned) | Err(_) => break,
+        }
+    }
+    Ok(cpu.snapshot())
 }
 
 /// Arranges a CPU for an injected / recorded / replayed / supervised run:

@@ -2,7 +2,7 @@
 //! the service recognises a duplicate, and everything a finished job can
 //! report back.
 
-use risc1_core::snapshot::{config_hash, Fnv64};
+use risc1_core::snapshot::{config_hash, Fnv64, Snapshot};
 use risc1_core::{ExecStats, InjectConfig, InjectEvent, Program, SimConfig, TrapKind};
 use risc1_ir::{outcome_signature, InjectReport, SupervisorReport};
 
@@ -44,6 +44,16 @@ pub struct JobSpec {
     /// [`Deadline`](risc1_core::Deadline) is armed when the job *starts
     /// executing*, not when it is queued.
     pub timeout_ms: Option<u64>,
+    /// Warm start: resume from this checkpointed state instead of reset.
+    /// Wire snapshots are untrusted — they pass the codec's admission
+    /// limits at parse time and full checksum verification at restore
+    /// time; any mismatch surfaces as [`JobOutput::SnapshotRejected`].
+    /// Mutually exclusive with injection, supervision and journal
+    /// recording (enforced at parse time).
+    pub snapshot: Option<Box<Snapshot>>,
+    /// Record a replay journal of the run and retain it for streamed
+    /// download (`journal` wire requests). Direct mode only.
+    pub journal: bool,
 }
 
 /// The idempotency key of a job: `(program hash, config hash, seed)`.
@@ -112,6 +122,20 @@ impl JobSpec {
                 c.write_u64(ms);
             }
         }
+        match &self.snapshot {
+            None => c.write_u8(0),
+            Some(s) => {
+                // Identity of the prefix being skipped: fold the full
+                // canonical serialization, not the snapshot's self-declared
+                // checksum. Wire snapshots are untrusted — a tampered body
+                // that keeps the original's stored checksum must not share
+                // a key with the original, or dedup would serve it the
+                // cached result instead of a restore-time rejection.
+                c.write_u8(1);
+                c.write_bytes(s.to_json().as_bytes());
+            }
+        }
+        c.write_u8(u8::from(self.journal));
 
         JobKey {
             program: p.finish(),
@@ -152,17 +176,39 @@ pub enum JobOutput {
         /// succeeded.
         artifact: Option<String>,
     },
+    /// The warm-start snapshot failed restore-time verification
+    /// (corruption, version skew, or a configuration mismatch). Always a
+    /// structured rejection, never a panic.
+    SnapshotRejected {
+        /// The rendered [`RestoreError`](risc1_core::RestoreError).
+        message: String,
+    },
+    /// Re-seeded from the write-ahead log after a restart. The summary is
+    /// the stored wire rendering of the original result, replayed
+    /// verbatim, so responses are byte-identical across the restart.
+    Recovered {
+        /// The original output's kind tag.
+        kind: String,
+        /// The original output's digest.
+        digest: u64,
+        /// The original result object exactly as it was serialized.
+        summary: String,
+    },
 }
 
 impl JobOutput {
-    /// A short machine-readable tag for wire responses and logs.
-    pub fn kind(&self) -> &'static str {
+    /// A short machine-readable tag for wire responses and logs. For a
+    /// recovered result this is the *original* output's tag, so clients
+    /// cannot tell a re-seeded result from a live one.
+    pub fn kind(&self) -> &str {
         match self {
             JobOutput::Finished(_) => "finished",
             JobOutput::Supervised(_) => "supervised",
             JobOutput::TimedOut { .. } => "timeout",
             JobOutput::SetupFailed { .. } => "setup-error",
             JobOutput::Panicked { .. } => "panic",
+            JobOutput::SnapshotRejected { .. } => "snapshot-rejected",
+            JobOutput::Recovered { kind, .. } => kind,
         }
     }
 
@@ -196,6 +242,13 @@ impl JobOutput {
                 h.write_u8(5);
                 h.write_bytes(message.as_bytes());
             }
+            JobOutput::SnapshotRejected { message } => {
+                h.write_u8(6);
+                h.write_bytes(message.as_bytes());
+            }
+            // A recovered result keeps the original execution's digest —
+            // the restart bit-identity law on the wire.
+            JobOutput::Recovered { digest, .. } => return *digest,
         }
         h.finish()
     }
@@ -232,6 +285,8 @@ mod tests {
             recovery: true,
             mode: JobMode::Direct,
             timeout_ms: None,
+            snapshot: None,
+            journal: false,
         }
     }
 
@@ -267,5 +322,20 @@ mod tests {
         let mut other = spec(7);
         other.cfg.fuel += 1;
         assert_ne!(base, other.key(), "config");
+
+        let mut other = spec(7);
+        other.journal = true;
+        assert_ne!(base, other.key(), "journal");
+    }
+
+    #[test]
+    fn recovered_output_keeps_the_original_digest_and_kind() {
+        let out = JobOutput::Recovered {
+            kind: "finished".to_owned(),
+            digest: 0xdead_beef_cafe_f00d,
+            summary: "{\"kind\":\"finished\"}".to_owned(),
+        };
+        assert_eq!(out.digest(), 0xdead_beef_cafe_f00d);
+        assert_eq!(out.kind(), "finished");
     }
 }

@@ -27,6 +27,19 @@
 //! * **Watchdogs** — per-job wall-clock [`Deadline`](risc1_core::Deadline)s
 //!   layered on the simulator's fuel preemption.
 //!
+//! * **Durability** — with a [`wal_dir`](ServiceConfig::wal_dir), every
+//!   admission and completion hits a crash-safe [write-ahead log](wal)
+//!   before the client hears about it; `--recover` replays the log on
+//!   restart so a `kill -9` mid-campaign loses nothing and every digest
+//!   stays bit-identical.
+//! * **Warm starts** — a job may carry a checksummed
+//!   [`Snapshot`](risc1_core::Snapshot) and resume from it; wire
+//!   snapshots are untrusted and every corruption/version/config mismatch
+//!   is a structured [`JobOutput::SnapshotRejected`].
+//! * **Streamed replay journals** — `journal:true` jobs retain a replay
+//!   journal the client can pull in bounded, acked chunks and replay
+//!   bit for bit with `risc1 replay`, no server filesystem access needed.
+//!
 //! Transports: in-process (library calls), TCP, or stdin/stdout — all
 //! speaking the newline-delimited JSON protocol in [`wire`].
 
@@ -35,11 +48,13 @@ pub mod job;
 pub mod queue;
 pub mod server;
 pub mod service;
+pub mod wal;
 pub mod wire;
 
 pub use job::{JobKey, JobMode, JobOutput, JobSpec};
 pub use queue::{Overloaded, QueueDepth};
-pub use server::{handle_line, serve_lines, serve_tcp};
+pub use server::{handle_line, serve_lines, serve_tcp, MAX_WIRE_LINE_BYTES};
 pub use service::{
     Counters, ExecService, PollState, ServiceConfig, StatusReport, SubmitError, SubmitTicket,
 };
+pub use wal::{replay_wal, WalRecord, WalScan, WalWriter};

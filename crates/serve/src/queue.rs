@@ -109,6 +109,14 @@ impl QueueSet {
         Ok(())
     }
 
+    /// Enqueues one recovered job, bypassing the capacity check: write-
+    /// ahead-log replay must never shed work the pre-crash service had
+    /// already admitted, even if it briefly overfills a queue.
+    pub fn force_push(&mut self, client: &str, weight: u32, id: u64) {
+        let i = self.client_index(client, weight);
+        self.queues[i].jobs.push_back(id);
+    }
+
     /// Drains up to `max` job ids in weighted round-robin order: repeated
     /// rounds over the clients (starting after where the last drain
     /// started), taking up to `weight` jobs from each per round.

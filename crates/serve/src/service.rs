@@ -23,19 +23,30 @@
 //!                      └─ panic ──▶ journal to artifacts ──▶ Done(Panicked)
 //! ```
 //!
+//! With a [`wal_dir`](ServiceConfig::wal_dir) configured, every admission
+//! and completion is appended to a [write-ahead log](crate::wal) before
+//! the client hears about it, and [`recover`](ServiceConfig::recover)
+//! replays that log on startup: completed results re-seed the cache and
+//! job table (byte-identical to the pre-crash responses), incomplete jobs
+//! re-enqueue under their original ids, and the idempotent job keys make
+//! re-execution safe — a `kill -9` mid-campaign loses nothing.
+//!
 //! [`submit`]: ExecService::submit
 
 use crate::cache::ResultCache;
 use crate::job::{JobKey, JobMode, JobOutput, JobSpec};
 use crate::queue::{Overloaded, QueueDepth, QueueSet};
+use crate::wal::{replay_wal, WalRecord, WalWriter};
+use risc1_core::json::{get, Parser};
 use risc1_core::{Deadline, Journal, JournalEvent, TrapKind, JOURNAL_VERSION};
 use risc1_ir::{
-    default_threads, parallel_map, run_risc_deadline, run_risc_supervised, SupervisorConfig,
-    TimedOutcome,
+    default_threads, parallel_map, recorded_outcome, run_risc_deadline, run_risc_resumed,
+    run_risc_supervised, SupervisorConfig, TimedOutcome,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -55,6 +66,13 @@ pub struct ServiceConfig {
     pub batch_max: usize,
     /// Where panicking jobs journal their campaigns for offline replay.
     pub artifact_dir: String,
+    /// Directory of the crash-safe write-ahead job log; `None` runs the
+    /// service without durability.
+    pub wal_dir: Option<String>,
+    /// Replay an existing log in [`wal_dir`](Self::wal_dir) on startup,
+    /// re-seeding completed results and re-enqueueing incomplete jobs
+    /// under their original ids.
+    pub recover: bool,
 }
 
 impl Default for ServiceConfig {
@@ -66,6 +84,8 @@ impl Default for ServiceConfig {
             cache_cap: 256,
             batch_max: threads.max(1) * 4,
             artifact_dir: "target/replay-artifacts".to_owned(),
+            wal_dir: None,
+            recover: false,
         }
     }
 }
@@ -138,6 +158,13 @@ pub struct Counters {
     pub retries: u64,
     /// Supervisor escalations to the campaign baseline.
     pub escalations: u64,
+    /// Incomplete jobs re-enqueued from the write-ahead log at startup.
+    pub wal_replayed: u64,
+    /// Completed results re-seeded from the write-ahead log at startup.
+    pub wal_reseeded: u64,
+    /// Warm-start snapshots rejected at restore time (corruption, version
+    /// skew, config mismatch).
+    pub snapshots_rejected: u64,
     /// Per-cause trap totals accumulated from every finished job, indexed
     /// by [`TrapKind::index`].
     pub trap_totals: [u64; TrapKind::COUNT],
@@ -155,6 +182,9 @@ impl Default for Counters {
             setup_failures: 0,
             retries: 0,
             escalations: 0,
+            wal_replayed: 0,
+            wal_reseeded: 0,
+            snapshots_rejected: 0,
             trap_totals: [0; TrapKind::COUNT],
         }
     }
@@ -199,6 +229,12 @@ struct State {
     shutdown: bool,
     /// Finished job ids, oldest first, so retention stays bounded.
     completed_order: VecDeque<u64>,
+    /// The write-ahead log's append half, when durability is on. Written
+    /// under this state lock so log order matches admission order.
+    wal: Option<WalWriter>,
+    /// Recorded replay journals of finished `journal:true` jobs, retained
+    /// (and evicted) alongside the job table for streamed download.
+    journals: HashMap<u64, Arc<String>>,
 }
 
 struct Inner {
@@ -222,20 +258,42 @@ pub struct ExecService {
 
 impl ExecService {
     /// Starts a service (and its scheduler thread) with the given config.
+    ///
+    /// # Panics
+    /// When [`wal_dir`](ServiceConfig::wal_dir) is set but the log cannot
+    /// be opened (or, with [`recover`](ServiceConfig::recover), read) —
+    /// starting a service that silently drops its durability guarantee
+    /// would be worse than not starting.
     pub fn start(cfg: ServiceConfig) -> ExecService {
+        let mut state = State {
+            queues: QueueSet::new(cfg.queue_cap),
+            specs: HashMap::new(),
+            jobs: HashMap::new(),
+            keys: HashMap::new(),
+            dedup: HashMap::new(),
+            cache: ResultCache::new(cfg.cache_cap),
+            counters: Counters::default(),
+            next_id: 1,
+            shutdown: false,
+            completed_order: VecDeque::new(),
+            wal: None,
+            journals: HashMap::new(),
+        };
+        if let Some(dir) = cfg.wal_dir.as_deref() {
+            let dir = Path::new(dir);
+            if cfg.recover {
+                let (records, _) = replay_wal(dir)
+                    .unwrap_or_else(|e| panic!("cannot replay WAL in {}: {e}", dir.display()));
+                seed_from_wal(&mut state, records);
+                evict_retained(&mut state, cfg.cache_cap);
+            }
+            state.wal = Some(
+                WalWriter::open(dir)
+                    .unwrap_or_else(|e| panic!("cannot open WAL in {}: {e}", dir.display())),
+            );
+        }
         let inner = Arc::new(Inner {
-            state: Mutex::new(State {
-                queues: QueueSet::new(cfg.queue_cap),
-                specs: HashMap::new(),
-                jobs: HashMap::new(),
-                keys: HashMap::new(),
-                dedup: HashMap::new(),
-                cache: ResultCache::new(cfg.cache_cap),
-                counters: Counters::default(),
-                next_id: 1,
-                shutdown: false,
-                completed_order: VecDeque::new(),
-            }),
+            state: Mutex::new(state),
             work: Condvar::new(),
             done: Condvar::new(),
             cfg,
@@ -326,6 +384,14 @@ impl ExecService {
             } else {
                 let id = st.next_id;
                 st.next_id += 1;
+                // Log the admission before the ticket exists: a crash after
+                // this line re-runs the job, a crash before it means the
+                // client never got a ticket to lose.
+                if let Some(wal) = st.wal.as_mut() {
+                    if let Err(e) = wal.append_admit(id, client, weight, &spec) {
+                        eprintln!("risc1-serve: WAL admit append failed: {e}");
+                    }
+                }
                 st.specs.insert(id, spec);
                 st.jobs.insert(id, JobState::Queued);
                 st.keys.insert(id, key);
@@ -381,6 +447,15 @@ impl ExecService {
                 .expect("service state");
             st = guard;
         }
+    }
+
+    /// The recorded replay journal of job `id`, when the job was submitted
+    /// with `journal:true`, finished, and is still retained. The text is
+    /// the standard [`Journal`] JSON document, replayable by
+    /// `risc1 replay`.
+    pub fn journal(&self, id: u64) -> Option<Arc<String>> {
+        let st = self.inner.state.lock().expect("service state");
+        st.journals.get(&id).cloned()
     }
 
     /// A point-in-time status snapshot: queue depths, retry/dedup/shed
@@ -458,11 +533,15 @@ fn scheduler_loop(inner: &Inner) {
         // Execute outside the lock; the deterministic runner keeps results
         // independent of the worker count.
         let outs = parallel_map(&batch, inner.cfg.threads, |_, (id, spec, key)| {
-            (*id, *key, execute(spec, *key, &inner.cfg.artifact_dir))
+            let (out, journal) = execute(spec, *key, &inner.cfg.artifact_dir);
+            (*id, *key, out, journal)
         });
         let mut st = inner.state.lock().expect("service state");
-        for (id, key, out) in outs {
+        for (id, key, out, journal) in outs {
             record_completion(&mut st, id, key, out);
+            if let Some(text) = journal {
+                st.journals.insert(id, Arc::new(text));
+            }
         }
         evict_retained(&mut st, inner.cfg.cache_cap);
         drop(st);
@@ -484,11 +563,84 @@ fn record_completion(st: &mut State, id: u64, key: JobKey, out: JobOutput) {
         }
         JobOutput::SetupFailed { .. } => st.counters.setup_failures += 1,
         JobOutput::Panicked { .. } => st.counters.panics += 1,
+        JobOutput::SnapshotRejected { .. } => st.counters.snapshots_rejected += 1,
+        // Only created by WAL replay, which never routes through here.
+        JobOutput::Recovered { .. } => {}
     }
     st.counters.completed += 1;
+    if let Some(wal) = st.wal.as_mut() {
+        if let Err(e) = wal.append_done(id, &out) {
+            eprintln!("risc1-serve: WAL done append failed: {e}");
+        }
+    }
     st.cache.insert(key, out.clone());
     st.jobs.insert(id, JobState::Done(out));
     st.completed_order.push_back(id);
+}
+
+/// Rebuilds service state from a replayed write-ahead log: admits with a
+/// matching done record become [`JobOutput::Recovered`] results (cache,
+/// dedup and job table re-seeded, responses byte-identical); admits
+/// without one re-enqueue under their original ids for idempotent
+/// re-execution.
+fn seed_from_wal(st: &mut State, records: Vec<WalRecord>) {
+    let mut admits = Vec::new();
+    let mut dones: HashMap<u64, (u64, String)> = HashMap::new();
+    for rec in records {
+        match rec {
+            WalRecord::Admit {
+                id,
+                client,
+                weight,
+                spec,
+            } => admits.push((id, client, weight, spec)),
+            WalRecord::Done { id, digest, result } => {
+                // Duplicate done records (a recovered-then-re-executed
+                // job) carry identical digests; last wins either way.
+                dones.insert(id, (digest, result));
+            }
+        }
+    }
+    for (id, client, weight, spec) in admits {
+        st.next_id = st.next_id.max(id + 1);
+        let key = spec.key();
+        if let Some((digest, summary)) = dones.remove(&id) {
+            let kind = result_kind(&summary);
+            let out = JobOutput::Recovered {
+                kind,
+                digest,
+                summary,
+            };
+            st.cache.insert(key, out.clone());
+            st.jobs.insert(id, JobState::Done(out));
+            st.keys.insert(id, key);
+            st.dedup.insert(key, id);
+            st.completed_order.push_back(id);
+            st.counters.wal_reseeded += 1;
+        } else {
+            st.specs.insert(id, *spec);
+            st.jobs.insert(id, JobState::Queued);
+            st.keys.insert(id, key);
+            st.dedup.insert(key, id);
+            st.queues.force_push(&client, weight, id);
+            st.counters.wal_replayed += 1;
+        }
+    }
+}
+
+/// The `kind` tag of a stored result rendering, for the recovered
+/// output's own tag. The log wrote this JSON itself, so a parse failure
+/// means on-disk corruption that slipped past record parsing; surface it
+/// as a tag rather than guessing.
+fn result_kind(summary: &str) -> String {
+    Parser::new(summary)
+        .parse_document()
+        .ok()
+        .and_then(|doc| {
+            let obj = doc.as_obj("result").ok()?;
+            Some(get(obj, "kind").ok()?.as_str("kind").ok()?.to_owned())
+        })
+        .unwrap_or_else(|| "unreadable".to_owned())
 }
 
 /// Keeps the finished-job table bounded: only the most recent `retain`
@@ -500,6 +652,7 @@ fn evict_retained(st: &mut State, retain: usize) {
             break;
         };
         st.jobs.remove(&old);
+        st.journals.remove(&old);
         if let Some(key) = st.keys.remove(&old) {
             if st.dedup.get(&key) == Some(&old) {
                 st.dedup.remove(&key);
@@ -514,12 +667,34 @@ fn add_traps(counters: &mut Counters, trap_counts: &[u64; TrapKind::COUNT]) {
     }
 }
 
-/// Runs one job to a structured [`JobOutput`]. Never panics: the simulator
-/// call is wrapped in `catch_unwind`, and a caught panic journals the
-/// events applied so far to the replay-artifacts funnel.
-fn execute(spec: &JobSpec, key: JobKey, artifact_dir: &str) -> JobOutput {
+/// Runs one job to a structured [`JobOutput`], plus the recorded journal
+/// text when the spec asked for one and the run finished. Never panics:
+/// the simulator call is wrapped in `catch_unwind`, and a caught panic
+/// journals the events applied so far to the replay-artifacts funnel.
+fn execute(spec: &JobSpec, key: JobKey, artifact_dir: &str) -> (JobOutput, Option<String>) {
     let deadline = spec.timeout_ms.map(Deadline::after_ms);
     match spec.mode {
+        JobMode::Direct if spec.snapshot.is_some() => {
+            // Warm start: resume from the validated snapshot and execute
+            // only the suffix. The restored statistics cover the prefix,
+            // so a finished report is bit-identical to a cold run.
+            let snap = spec.snapshot.as_deref().expect("checked above");
+            let run = catch_unwind(AssertUnwindSafe(|| run_risc_resumed(snap, deadline)));
+            let out = match run {
+                Ok(Ok(TimedOutcome::Finished(report))) => JobOutput::Finished(report),
+                Ok(Ok(TimedOutcome::TimedOut { stats, events })) => {
+                    JobOutput::TimedOut { stats, events }
+                }
+                Ok(Err(e)) => JobOutput::SnapshotRejected {
+                    message: e.to_string(),
+                },
+                Err(payload) => JobOutput::Panicked {
+                    message: panic_message(&payload),
+                    artifact: None,
+                },
+            };
+            (out, None)
+        }
         JobMode::Direct => {
             // The event sink lives outside `catch_unwind` so a panicking
             // job still yields the schedule it applied before dying.
@@ -536,21 +711,30 @@ fn execute(spec: &JobSpec, key: JobKey, artifact_dir: &str) -> JobOutput {
                     Some(&mut events),
                 )
             }));
+            let recorded = sink.into_inner().unwrap_or_else(|e| e.into_inner());
             match run {
-                Ok(Ok(TimedOutcome::Finished(report))) => JobOutput::Finished(report),
-                Ok(Ok(TimedOutcome::TimedOut { stats, events })) => {
-                    JobOutput::TimedOut { stats, events }
+                Ok(Ok(TimedOutcome::Finished(report))) => {
+                    let journal = spec
+                        .journal
+                        .then(|| build_journal(spec, recorded, &report).to_json());
+                    (JobOutput::Finished(report), journal)
                 }
-                Ok(Err(e)) => JobOutput::SetupFailed {
-                    message: e.to_string(),
-                },
-                Err(payload) => {
-                    let events = sink.into_inner().unwrap_or_else(|e| e.into_inner());
+                Ok(Ok(TimedOutcome::TimedOut { stats, events })) => {
+                    (JobOutput::TimedOut { stats, events }, None)
+                }
+                Ok(Err(e)) => (
+                    JobOutput::SetupFailed {
+                        message: e.to_string(),
+                    },
+                    None,
+                ),
+                Err(payload) => (
                     JobOutput::Panicked {
                         message: panic_message(&payload),
-                        artifact: journal_panic(spec, events, artifact_dir, key),
-                    }
-                }
+                        artifact: journal_panic(spec, recorded, artifact_dir, key),
+                    },
+                    None,
+                ),
             }
         }
         JobMode::Supervised {
@@ -573,7 +757,7 @@ fn execute(spec: &JobSpec, key: JobKey, artifact_dir: &str) -> JobOutput {
                     sup,
                 )
             }));
-            match run {
+            let out = match run {
                 Ok(Ok(report)) => JobOutput::Supervised(report),
                 Ok(Err(e)) => JobOutput::SetupFailed {
                     message: e.to_string(),
@@ -582,8 +766,32 @@ fn execute(spec: &JobSpec, key: JobKey, artifact_dir: &str) -> JobOutput {
                     message: panic_message(&payload),
                     artifact: journal_panic(spec, Vec::new(), artifact_dir, key),
                 },
-            }
+            };
+            (out, None)
         }
+    }
+}
+
+/// The replay journal of a finished direct run: the spec's campaign plus
+/// the step-keyed events the deadline runner recorded and the comparable
+/// outcome triple — exactly what `risc1 replay` consumes.
+fn build_journal(
+    spec: &JobSpec,
+    events: Vec<JournalEvent>,
+    report: &risc1_ir::InjectReport,
+) -> Journal {
+    Journal {
+        version: JOURNAL_VERSION,
+        seed: spec.inject.map_or(0, |i| i.seed),
+        rate: spec.inject.map_or(0, |i| i.rate),
+        recovery: spec.recovery,
+        cfg: spec.cfg.clone(),
+        words: spec.program.words.clone(),
+        entry_offset: spec.program.entry_offset,
+        data: spec.program.data.clone(),
+        args: spec.args.clone(),
+        events,
+        outcome: Some(recorded_outcome(report)),
     }
 }
 

@@ -10,9 +10,21 @@
 //!  "recovery":true,"mode":"direct",           // or "supervised"
 //!  "timeout_ms":5000}                         // optional watchdog
 //! {"op":"poll","id":7,"wait_ms":200}          // wait_ms optional
+//! {"op":"journal","id":7,"seq":0}             // stream a recorded journal
 //! {"op":"status"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! A submit may also carry `"journal":true` (record a replay journal and
+//! retain it for `journal` requests) or `"snapshot":{…}` (a warm-start
+//! checkpoint in the [`Snapshot`] JSON format; the run resumes from it
+//! instead of reset). Snapshots are untrusted wire input: they pass the
+//! codec's admission limits at parse time, full checksum verification at
+//! restore time, and every failure is a structured rejection.
+//!
+//! Journals stream in bounded, sequence-numbered chunks
+//! ([`JOURNAL_CHUNK_BYTES`]); each request for chunk `seq` acknowledges
+//! everything before it, so a slow client backpressures itself.
 //!
 //! Every response carries `"ok"`; failures are structured, e.g. an
 //! overloaded queue answers
@@ -32,12 +44,19 @@ use crate::service::{PollState, StatusReport, SubmitError, SubmitTicket};
 use risc1_core::inject::InjectModes;
 use risc1_core::journal::{read_config, write_config};
 use risc1_core::json::{get, get_opt, Json, JsonError, Parser, Writer};
+use risc1_core::snapshot::Snapshot;
 use risc1_core::{InjectConfig, Program, SimConfig, TrapKind};
 use risc1_ir::{outcome_signature, InjectOutcome, SupervisorOutcome};
 
 /// Most seeds one submit may carry: bounds parse-time allocation before
 /// admission control can see the request at all.
 pub const MAX_SEEDS_PER_SUBMIT: usize = 4096;
+
+/// Bytes of journal text per streamed chunk. Small enough that one
+/// response line stays far under the wire frame cap even after JSON
+/// string escaping, large enough that a megabyte journal moves in a few
+/// dozen round trips.
+pub const JOURNAL_CHUNK_BYTES: usize = 32 * 1024;
 
 /// A parsed client request.
 #[derive(Debug, Clone)]
@@ -57,6 +76,14 @@ pub enum Request {
         id: u64,
         /// Block this long for completion (0/absent = non-blocking).
         wait_ms: Option<u64>,
+    },
+    /// Fetch one chunk of a recorded replay journal.
+    Journal {
+        /// The job id (must have been submitted with `"journal":true`).
+        id: u64,
+        /// Zero-based chunk index; requesting chunk `seq` acknowledges
+        /// receipt of every chunk before it.
+        seq: u64,
     },
     /// Ask for queue depths and counters.
     Status,
@@ -79,6 +106,13 @@ pub fn parse_request(line: &str) -> Result<Request, JsonError> {
             wait_ms: match get_opt(obj, "wait_ms") {
                 None => None,
                 Some(v) => Some(v.as_u64("wait_ms")?),
+            },
+        }),
+        "journal" => Ok(Request::Journal {
+            id: get(obj, "id")?.as_u64("id")?,
+            seq: match get_opt(obj, "seq") {
+                None => 0,
+                Some(v) => v.as_u64("seq")?,
             },
         }),
         "status" => Ok(Request::Status),
@@ -116,8 +150,14 @@ fn parse_submit(obj: &[(String, Json)]) -> Result<Request, JsonError> {
             "seeds: at most {MAX_SEEDS_PER_SUBMIT} per submit"
         )));
     }
+    let snapshot = match get_opt(obj, "snapshot") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(Box::new(Snapshot::from_json_value(v)?)),
+    };
+    // A submit is a campaign by default — unless it warm-starts from a
+    // snapshot, which cannot replay an injector schedule keyed from reset.
     let inject = match get_opt(obj, "inject") {
-        None => true,
+        None => snapshot.is_none(),
         Some(v) => v.as_bool("inject")?,
     };
     let rate = match get_opt(obj, "rate") {
@@ -169,6 +209,34 @@ fn parse_submit(obj: &[(String, Json)]) -> Result<Request, JsonError> {
         None => None,
         Some(v) => Some(v.as_u64("timeout_ms")?),
     };
+    let journal = match get_opt(obj, "journal") {
+        None => false,
+        Some(v) => v.as_bool("journal")?,
+    };
+    if snapshot.is_some() {
+        if inject {
+            return Err(JsonError::schema(
+                "snapshot: warm starts cannot be combined with injection \
+                 (the injector's schedule is keyed by absolute step from reset)",
+            ));
+        }
+        if !matches!(mode, JobMode::Direct) {
+            return Err(JsonError::schema(
+                "snapshot: warm starts run in direct mode only",
+            ));
+        }
+        if journal {
+            return Err(JsonError::schema(
+                "snapshot: a resumed run cannot record a replay journal \
+                 (journals replay from reset)",
+            ));
+        }
+    }
+    if journal && !matches!(mode, JobMode::Direct) {
+        return Err(JsonError::schema(
+            "journal: recording is supported in direct mode only",
+        ));
+    }
     let specs = seeds
         .into_iter()
         .map(|seed| JobSpec {
@@ -179,6 +247,8 @@ fn parse_submit(obj: &[(String, Json)]) -> Result<Request, JsonError> {
             recovery,
             mode,
             timeout_ms,
+            snapshot: snapshot.clone(),
+            journal,
         })
         .collect();
     Ok(Request::Submit {
@@ -266,6 +336,8 @@ pub fn submit_request(
     recovery: bool,
     mode: &str,
     timeout_ms: Option<u64>,
+    journal: bool,
+    snapshot: Option<&Snapshot>,
 ) -> String {
     let mut w = Writer::new();
     w.obj_open();
@@ -305,8 +377,162 @@ pub fn submit_request(
         w.key("timeout_ms");
         w.num(i128::from(ms));
     }
+    if journal {
+        w.key("journal");
+        w.bool(true);
+    }
+    if let Some(snap) = snapshot {
+        w.key("snapshot");
+        snap.write_json(&mut w);
+    }
     w.obj_close();
     w.finish()
+}
+
+/// Serializes a full [`JobSpec`] — the write-ahead log's admit-record
+/// payload. Everything that determines the job's identity is here, so a
+/// replayed spec produces the same [`JobKey`](crate::job::JobKey) and a
+/// re-execution after a crash is idempotent.
+pub fn write_spec(w: &mut Writer, spec: &JobSpec) {
+    w.obj_open();
+    w.key("program");
+    write_program(w, &spec.program);
+    w.key("args");
+    w.arr_open();
+    for &a in &spec.args {
+        w.num(i128::from(a));
+    }
+    w.arr_close();
+    w.key("cfg");
+    write_config(w, &spec.cfg);
+    w.key("inject");
+    match spec.inject {
+        None => w.null(),
+        Some(i) => {
+            w.obj_open();
+            w.key("seed");
+            w.num(i128::from(i.seed));
+            w.key("rate");
+            w.num(i128::from(i.rate));
+            w.key("modes");
+            w.arr_open();
+            for on in [
+                i.modes.bit_flips,
+                i.modes.spurious_interrupts,
+                i.modes.decode_probes,
+                i.modes.misalign_probes,
+                i.modes.fuel_jitter,
+                i.modes.wstack_corruption,
+            ] {
+                w.bool(on);
+            }
+            w.arr_close();
+            w.obj_close();
+        }
+    }
+    w.key("recovery");
+    w.bool(spec.recovery);
+    w.key("mode");
+    match spec.mode {
+        JobMode::Direct => w.str("direct"),
+        JobMode::Supervised {
+            ckpt_every,
+            max_retries,
+        } => {
+            w.obj_open();
+            w.key("ckpt_every");
+            w.num(i128::from(ckpt_every));
+            w.key("max_retries");
+            w.num(i128::from(max_retries));
+            w.obj_close();
+        }
+    }
+    w.key("timeout_ms");
+    match spec.timeout_ms {
+        None => w.null(),
+        Some(ms) => w.num(i128::from(ms)),
+    }
+    w.key("journal");
+    w.bool(spec.journal);
+    w.key("snapshot");
+    match &spec.snapshot {
+        None => w.null(),
+        Some(s) => s.write_json(w),
+    }
+    w.obj_close();
+}
+
+/// Parses a [`write_spec`] document back into a [`JobSpec`].
+///
+/// # Errors
+/// [`JsonError`] on malformed JSON or a spec that does not match the
+/// schema (including a snapshot failing its admission limits).
+pub fn parse_spec(v: &Json) -> Result<JobSpec, JsonError> {
+    let obj = v.as_obj("spec")?;
+    let program = parse_program(get(obj, "program")?)?;
+    let args = get(obj, "args")?
+        .as_arr("spec.args")?
+        .iter()
+        .map(|a| a.as_i32("spec.args[..]"))
+        .collect::<Result<Vec<i32>, _>>()?;
+    let cfg = read_config(get(obj, "cfg")?.as_obj("spec.cfg")?)?;
+    let inject = match get(obj, "inject")? {
+        Json::Null => None,
+        v => {
+            let i = v.as_obj("spec.inject")?;
+            let flags = get(i, "modes")?
+                .as_arr("spec.inject.modes")?
+                .iter()
+                .map(|b| b.as_bool("spec.inject.modes[..]"))
+                .collect::<Result<Vec<bool>, _>>()?;
+            let [bit_flips, spurious_interrupts, decode_probes, misalign_probes, fuel_jitter, wstack_corruption] =
+                flags[..]
+            else {
+                return Err(JsonError::schema("spec.inject.modes: expected 6 flags"));
+            };
+            Some(InjectConfig {
+                seed: get(i, "seed")?.as_u64("spec.inject.seed")?,
+                rate: get(i, "rate")?.as_u32("spec.inject.rate")?,
+                modes: InjectModes {
+                    bit_flips,
+                    spurious_interrupts,
+                    decode_probes,
+                    misalign_probes,
+                    fuel_jitter,
+                    wstack_corruption,
+                },
+            })
+        }
+    };
+    let recovery = get(obj, "recovery")?.as_bool("spec.recovery")?;
+    let mode = match get(obj, "mode")? {
+        Json::Str(s) if s == "direct" => JobMode::Direct,
+        Json::Obj(m) => JobMode::Supervised {
+            ckpt_every: get(m, "ckpt_every")?.as_u64("spec.mode.ckpt_every")?,
+            max_retries: get(m, "max_retries")?.as_u32("spec.mode.max_retries")?,
+        },
+        _ => return Err(JsonError::schema("spec.mode: expected \"direct\" or {…}")),
+    };
+    let timeout_ms = match get(obj, "timeout_ms")? {
+        Json::Null => None,
+        v => Some(v.as_u64("spec.timeout_ms")?),
+    };
+    let journal = get(obj, "journal")?.as_bool("spec.journal")?;
+    let snapshot = match get(obj, "snapshot")? {
+        Json::Null => None,
+        v => Some(Box::new(Snapshot::from_json_value(v)?)),
+    };
+    Ok(JobSpec {
+        program,
+        args,
+        cfg,
+        inject,
+        recovery,
+        mode,
+        timeout_ms,
+        snapshot,
+        journal,
+    })
 }
 
 /// The success response to a submit.
@@ -403,7 +629,22 @@ pub fn poll_response(state: Option<&PollState>, id: u64) -> String {
     w.finish()
 }
 
+/// One job result as a standalone JSON document — what a poll response
+/// embeds under `"result"`, and what the write-ahead log stores so a
+/// recovered result can be replayed to clients byte for byte.
+pub fn output_json(out: &JobOutput) -> String {
+    let mut w = Writer::new();
+    write_output(&mut w, out);
+    w.finish()
+}
+
 fn write_output(w: &mut Writer, out: &JobOutput) {
+    if let JobOutput::Recovered { summary, .. } = out {
+        // The stored wire rendering of the original result, verbatim: a
+        // client polling across a server restart sees identical bytes.
+        w.raw(summary);
+        return;
+    }
     w.obj_open();
     w.key("kind");
     w.str(out.kind());
@@ -459,10 +700,84 @@ fn write_output(w: &mut Writer, out: &JobOutput) {
                 Some(path) => w.str(path),
             }
         }
+        JobOutput::SnapshotRejected { message } => {
+            w.key("message");
+            w.str(message);
+        }
+        JobOutput::Recovered { .. } => unreachable!("handled above"),
     }
     w.key("digest");
     w.str(&format!("{:016x}", out.digest()));
     w.obj_close();
+}
+
+/// The response to a journal request: one chunk of the recorded journal
+/// text, or a structured refusal when the job has no retained journal or
+/// the sequence number is out of range.
+pub fn journal_response(id: u64, seq: u64, journal: Option<&str>) -> String {
+    let mut w = Writer::new();
+    w.obj_open();
+    let Some(text) = journal else {
+        w.key("ok");
+        w.bool(false);
+        w.key("error");
+        w.str("no-journal");
+        w.key("id");
+        w.num(i128::from(id));
+        w.obj_close();
+        return w.finish();
+    };
+    let bounds = chunk_bounds(text, JOURNAL_CHUNK_BYTES);
+    let chunks = bounds.len() as u64;
+    let Some(&(start, end)) = usize::try_from(seq).ok().and_then(|i| bounds.get(i)) else {
+        w.key("ok");
+        w.bool(false);
+        w.key("error");
+        w.str("bad-seq");
+        w.key("id");
+        w.num(i128::from(id));
+        w.key("seq");
+        w.num(i128::from(seq));
+        w.key("chunks");
+        w.num(i128::from(chunks));
+        w.obj_close();
+        return w.finish();
+    };
+    w.key("ok");
+    w.bool(true);
+    w.key("id");
+    w.num(i128::from(id));
+    w.key("seq");
+    w.num(i128::from(seq));
+    w.key("chunks");
+    w.num(i128::from(chunks));
+    w.key("bytes");
+    w.num(text.len() as i128);
+    w.key("data");
+    w.str(&text[start..end]);
+    w.key("last");
+    w.bool(seq + 1 == chunks);
+    w.obj_close();
+    w.finish()
+}
+
+/// Chunk boundaries over `text`, each at most `chunk` bytes, split on
+/// char boundaries so every chunk is valid UTF-8. An empty text still has
+/// one (empty) chunk, so `chunks` is never zero.
+fn chunk_bounds(text: &str, chunk: usize) -> Vec<(usize, usize)> {
+    let mut bounds = Vec::new();
+    let mut start = 0usize;
+    loop {
+        let mut end = (start + chunk.max(1)).min(text.len());
+        while !text.is_char_boundary(end) {
+            end -= 1;
+        }
+        bounds.push((start, end));
+        if end == text.len() {
+            return bounds;
+        }
+        start = end;
+    }
 }
 
 /// The response to a status request.
@@ -503,6 +818,9 @@ pub fn status_response(status: &StatusReport) -> String {
         ("setup_failures", c.setup_failures),
         ("retries", c.retries),
         ("escalations", c.escalations),
+        ("wal_replayed", c.wal_replayed),
+        ("wal_reseeded", c.wal_reseeded),
+        ("snapshots_rejected", c.snapshots_rejected),
     ] {
         w.key(k);
         w.num(i128::from(v));
@@ -533,12 +851,19 @@ pub fn shutdown_response() -> String {
 
 /// A structured parse/schema failure reply.
 pub fn bad_request(message: &str) -> String {
+    frame_error("bad-request", message)
+}
+
+/// A structured transport-level failure reply: oversized frames,
+/// truncated frames, invalid UTF-8. Malformed input is always answered,
+/// never dropped or panicked on.
+pub fn frame_error(error: &str, message: &str) -> String {
     let mut w = Writer::new();
     w.obj_open();
     w.key("ok");
     w.bool(false);
     w.key("error");
-    w.str("bad-request");
+    w.str(error);
     w.key("message");
     w.str(message);
     w.obj_close();
@@ -570,6 +895,8 @@ mod tests {
             true,
             "direct",
             Some(500),
+            false,
+            None,
         );
         match parse_request(&line).unwrap() {
             Request::Submit {
@@ -622,5 +949,79 @@ mod tests {
             parse_request("{\"op\":\"shutdown\"}").unwrap(),
             Request::Shutdown
         ));
+        match parse_request("{\"op\":\"journal\",\"id\":4,\"seq\":2}").unwrap() {
+            Request::Journal { id, seq } => {
+                assert_eq!((id, seq), (4, 2));
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_the_wal_format() {
+        let spec = JobSpec {
+            program: Program {
+                words: vec![7, 8, 9],
+                entry_offset: 4,
+                data: vec![(128, vec![1, 2])],
+                symbols: Default::default(),
+            },
+            args: vec![3, -4],
+            cfg: SimConfig::default(),
+            inject: Some(InjectConfig::with_seed(11)),
+            recovery: true,
+            mode: JobMode::Supervised {
+                ckpt_every: 500,
+                max_retries: 2,
+            },
+            timeout_ms: Some(750),
+            snapshot: None,
+            journal: true,
+        };
+        let mut w = Writer::new();
+        write_spec(&mut w, &spec);
+        let text = w.finish();
+        let back = parse_spec(&Parser::new(&text).parse_document().unwrap()).unwrap();
+        assert_eq!(back.key(), spec.key(), "identity survives the round trip");
+        assert_eq!(back.args, spec.args);
+        assert_eq!(back.inject, spec.inject);
+        assert_eq!(back.mode, spec.mode);
+        assert_eq!(back.timeout_ms, spec.timeout_ms);
+        assert!(back.journal);
+        // And serialization is stable: a second round trip is byte-equal.
+        let mut w2 = Writer::new();
+        write_spec(&mut w2, &back);
+        assert_eq!(w2.finish(), text);
+    }
+
+    #[test]
+    fn journal_chunks_cover_the_text_and_reject_bad_seqs() {
+        let text = "j".repeat(JOURNAL_CHUNK_BYTES + 17);
+        let bounds = chunk_bounds(&text, JOURNAL_CHUNK_BYTES);
+        assert_eq!(bounds.len(), 2);
+        assert_eq!(bounds[0], (0, JOURNAL_CHUNK_BYTES));
+        assert_eq!(bounds[1], (JOURNAL_CHUNK_BYTES, text.len()));
+        // Empty journals still answer one (empty, last) chunk.
+        assert_eq!(chunk_bounds("", JOURNAL_CHUNK_BYTES), vec![(0, 0)]);
+
+        let last = journal_response(9, 1, Some(&text));
+        assert!(last.contains("\"last\":true"), "{last}");
+        let bad = journal_response(9, 2, Some(&text));
+        assert!(bad.contains("\"error\":\"bad-seq\""), "{bad}");
+        let none = journal_response(9, 0, None);
+        assert!(none.contains("\"error\":\"no-journal\""), "{none}");
+    }
+
+    #[test]
+    fn snapshot_submits_reject_incompatible_modes() {
+        // A malformed snapshot value is a schema error, not a panic.
+        let bad = "{\"op\":\"submit\",\"client\":\"c\",\"args\":[],\"seeds\":[1],\
+                   \"program\":{\"words\":[1],\"entry_offset\":0},\"snapshot\":7}";
+        assert!(parse_request(bad).is_err());
+        // journal recording is direct-mode only.
+        let sup = "{\"op\":\"submit\",\"client\":\"c\",\"args\":[],\"seeds\":[1],\
+                   \"program\":{\"words\":[1],\"entry_offset\":0},\
+                   \"journal\":true,\"mode\":\"supervised\"}";
+        assert!(parse_request(sup).is_err());
     }
 }

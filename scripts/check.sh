@@ -35,9 +35,20 @@ cargo test -q --release --test spec_differential
 echo "==> cargo test --test serve_chaos (service transparency law under load)"
 cargo test -q --test serve_chaos
 
-echo "==> risc1 serve --smoke (TCP round trip: 3-job mixed campaign incl. one"
-echo "    injected-fault job, digests bit-identical to direct runs, dedup,"
-echo "    clean shutdown)"
+echo "==> cargo test --test serve_durable (WAL recovery, warm-start snapshots,"
+echo "    retained replay journals)"
+cargo test -q --test serve_durable
+
+echo "==> cargo test --test serve_wire_fuzz (500+ malformed frames, zero panics)"
+cargo test -q --test serve_wire_fuzz
+
+echo "==> cargo test --test deadline_edges (watchdog edge cases and tie-breaks)"
+cargo test -q --test deadline_edges
+
+echo "==> risc1 serve --smoke (TCP round trip: mixed campaign digests vs direct"
+echo "    runs, dedup, streamed journal replay, warm start, tampered-snapshot"
+echo "    rejection, and the kill -9 / --recover restart bit-identity gate;"
+echo "    a failed recovery leaves its WAL under target/wal-artifacts/)"
 cargo run -q --release -p risc1-cli --bin risc1 -- serve --smoke
 
 echo "==> risc1 bench --quick (perf gate: each tier must beat the one below,"

@@ -218,6 +218,8 @@ fn the_service_path_is_bit_identical_to_direct_execution() {
             recovery: seed % 2 == 0,
             mode: JobMode::Direct,
             timeout_ms: None,
+            snapshot: None,
+            journal: false,
         })
         .collect();
 

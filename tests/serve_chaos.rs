@@ -69,6 +69,8 @@ fn campaign(workloads: &[&Compiled]) -> Vec<JobSpec> {
                 recovery: seed % 2 == 0,
                 mode: JobMode::Direct,
                 timeout_ms: None,
+                snapshot: None,
+                journal: false,
             });
         }
         specs.push(JobSpec {
@@ -79,6 +81,8 @@ fn campaign(workloads: &[&Compiled]) -> Vec<JobSpec> {
             recovery: false,
             mode: JobMode::Direct,
             timeout_ms: None,
+            snapshot: None,
+            journal: false,
         });
         specs.push(JobSpec {
             program: w.prog.clone(),
@@ -95,6 +99,8 @@ fn campaign(workloads: &[&Compiled]) -> Vec<JobSpec> {
                 max_retries: 4,
             },
             timeout_ms: None,
+            snapshot: None,
+            journal: false,
         });
     }
     // Doomed: a zero-millisecond watchdog expires before the first step,
@@ -112,6 +118,8 @@ fn campaign(workloads: &[&Compiled]) -> Vec<JobSpec> {
         recovery: true,
         mode: JobMode::Direct,
         timeout_ms: Some(0),
+        snapshot: None,
+        journal: false,
     });
     specs
 }
@@ -299,6 +307,8 @@ fn overload_is_a_structured_rejection_not_a_silent_drop() {
             recovery: false,
             mode: JobMode::Direct,
             timeout_ms: None,
+            snapshot: None,
+            journal: false,
         })
         .collect();
 
@@ -372,6 +382,8 @@ fn the_wire_protocol_round_trips_over_real_sockets() {
             "all",
             true,
             "direct",
+            None,
+            false,
             None,
         );
         let reply = roundtrip(&submit);
