@@ -9,7 +9,8 @@
 //!                                executable ISA spec table
 //! risc1 run <file.s> [args…]     assemble and execute; prints result + stats
 //!   --fuel N                     instruction budget (default 200M)
-//!   --engine <tier>              uncached | cached | superblock (default)
+//!   --engine <tier>              uncached | cached | superblock (default) |
+//!                                trace
 //!   --trap-handlers              install recovery stubs for vectorable faults
 //!   --inject <seed> [--rate N]   deterministic fault injection (N per 10000
 //!                                steps; default 20)
@@ -23,8 +24,8 @@
 //!                                serve instance instead of a local file
 //! risc1 trace <file.s> [args…]   execute with the pipeline timing diagram
 //! risc1 bench [<workload>]       one workload: RISC I vs CX; no id: time
-//!   [--quick] [--out <path>]     the suite superblock vs. cached vs.
-//!   [--baseline <file>]          uncached and write BENCH_interp.json
+//!   [--quick] [--out <path>]     the suite trace vs. superblock vs. cached
+//!   [--baseline <file>]          vs. uncached and write BENCH_interp.json
 //!                                (CI perf gate; --baseline also fails on
 //!                                >10% regression vs. a stored report)
 //! risc1 serve <--tcp addr|--stdin|--smoke>
@@ -105,8 +106,9 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
        [--timeout-ms N]         wall-clock budget; polled between steps,
                                 so it never perturbs the machine
        [--engine <tier>]        interpreter tier: uncached | cached |
-                                superblock (default; fastest — all tiers
-                                are architecturally bit-identical)
+                                superblock (default) | trace (fastest —
+                                all tiers are architecturally
+                                bit-identical)
        [--trap-handlers]        install recovery stubs: vectorable faults
                                 enter handlers instead of ending the run
        [--inject <seed>]        deterministic fault injection from <seed>
@@ -127,9 +129,9 @@ pub const USAGE: &str = "usage: risc1 <asm|lint|run|trace|bench|exp|list> …
   risc1 trace <file.s> [args…]  execute with a pipeline diagram
   risc1 bench [<workload-id>]   with an id: run one suite workload on
                                 RISC I and CX; without: time the whole
-                                suite superblock vs. cached vs. uncached
-                                and write BENCH_interp.json (CI perf
-                                gate: both ratios must beat 1.0)
+                                suite trace vs. superblock vs. cached
+                                vs. uncached and write BENCH_interp.json
+                                (CI perf gate: all ratios must beat 1.0)
        [--quick]                small arguments + short timing budget
        [--out <path>]           where to write the JSON (suite mode;
                                 default BENCH_interp.json)
@@ -356,7 +358,7 @@ fn parse_run_opts(rest: &[String]) -> Result<RunOpts, String> {
 
 fn parse_engine(v: &str) -> Result<ExecEngine, String> {
     ExecEngine::from_name(v)
-        .ok_or_else(|| format!("bad --engine `{v}` (uncached | cached | superblock)"))
+        .ok_or_else(|| format!("bad --engine `{v}` (uncached | cached | superblock | trace)"))
 }
 
 fn cmd_run(path: &str, rest: &[String], trace: bool) -> CliResult {
@@ -754,10 +756,12 @@ fn cmd_bench_suite(args: &[String]) -> CliResult {
     std::fs::write(&out_path, report.to_json()).map_err(|e| format!("{out_path}: {e}"))?;
     let sb = report.geomean_superblock_speedup();
     let cached = report.geomean_cached_speedup();
+    let trace = report.geomean_trace_speedup();
     let mut out = report.render();
     let _ = writeln!(out, "\nwrote {out_path}");
     // The CI perf gate: each tier must pay for itself in aggregate — the
-    // decode cache over raw stepping, and superblocks over the cache.
+    // decode cache over raw stepping, and superblocks and traces over the
+    // cache.
     if cached <= 1.0 {
         return Err(format!(
             "{out}\nperf gate failed: cached geomean speedup {cached:.2}x is not > 1.0"
@@ -766,6 +770,11 @@ fn cmd_bench_suite(args: &[String]) -> CliResult {
     if sb <= 1.0 {
         return Err(format!(
             "{out}\nperf gate failed: superblock geomean speedup {sb:.2}x over cached is not > 1.0"
+        ));
+    }
+    if trace <= 1.0 {
+        return Err(format!(
+            "{out}\nperf gate failed: trace geomean speedup {trace:.2}x over cached is not > 1.0"
         ));
     }
     if let Some(path) = baseline {
@@ -930,19 +939,22 @@ mod tests {
         assert!(out.contains("geomean"), "{out}");
         let json = std::fs::read_to_string(p).unwrap();
         assert!(
-            json.contains("\"schema\": \"risc1-bench-interp/v2\""),
+            json.contains("\"schema\": \"risc1-bench-interp/v3\""),
             "{json}"
         );
         assert!(json.contains("\"id\": \"fib\""));
         assert!(json.contains("\"superblock_ips\""), "{json}");
+        assert!(json.contains("\"trace_ips\""), "{json}");
+        assert!(json.contains("\"trace_coverage\""), "{json}");
         assert!(json.contains("\"geomean_superblock_speedup\""), "{json}");
+        assert!(json.contains("\"geomean_trace_speedup\""), "{json}");
         // A self-baseline never regresses by >10%, so the comparison
         // passes whenever the primary >1.0 gate does; a baseline with
         // absurdly high stored aggregates must fail the run outright.
         let absurd = dir.join("absurd_baseline.json");
         std::fs::write(
             &absurd,
-            "{\"geomean_cached_speedup\": 1000.0,\n \"geomean_superblock_speedup\": 1000.0}\n",
+            "{\"geomean_cached_speedup\": 1000.0,\n \"geomean_superblock_speedup\": 1000.0,\n \"geomean_trace_speedup\": 1000.0}\n",
         )
         .unwrap();
         let vs_absurd = dispatch(&s(&[
@@ -978,14 +990,14 @@ mod tests {
         let run = dispatch(&s(&["run", p, "40"])).unwrap();
         assert!(run.contains("result: 42"), "{run}");
         // The engine tier is a pure speed knob — architectural output is
-        // identical (only the superblock telemetry line may appear).
+        // identical (only the superblock/trace telemetry lines may appear).
         let arch = |t: &str| {
             t.lines()
-                .filter(|l| !l.starts_with("superblocks"))
+                .filter(|l| !l.starts_with("superblocks") && !l.starts_with("traces"))
                 .collect::<Vec<_>>()
                 .join("\n")
         };
-        for engine in ["uncached", "cached", "superblock"] {
+        for engine in ["uncached", "cached", "superblock", "trace"] {
             let tier = dispatch(&s(&["run", p, "40", "--engine", engine])).unwrap();
             assert_eq!(arch(&run), arch(&tier), "--engine {engine}");
         }

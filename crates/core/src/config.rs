@@ -63,8 +63,8 @@ pub struct SimConfig {
     pub record_trace: bool,
     /// Which execution engine drives the interpreter loop. Purely a speed
     /// knob: architectural state, statistics and trap behaviour are
-    /// bit-identical across all three tiers, which the `interp_equivalence`
-    /// suite asserts three ways.
+    /// bit-identical across all four tiers, which the `interp_equivalence`
+    /// suite asserts four ways.
     pub engine: ExecEngine,
     /// Per-kind macro-op fusion toggles, consulted only by the superblock
     /// engine (see `crate::superblock`). All on by default; experiment e15
@@ -73,9 +73,11 @@ pub struct SimConfig {
 }
 
 /// The interpreter tier driving instruction execution. Each tier is strictly
-/// a host-speed optimisation over the one below it; all three funnel through
-/// the same `exec_prepared` executor, so architectural behaviour is
-/// bit-identical (the three-way equivalence law in `interp_equivalence`).
+/// a host-speed optimisation over the one below it; all four funnel through
+/// the same `exec_prepared` executor (or, for the trace tier, through IR
+/// lowered from the same prepared lines with bit-exact side exits), so
+/// architectural behaviour is bit-identical (the four-way equivalence law in
+/// `interp_equivalence`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExecEngine {
     /// Fetch → decode → prepare → execute, one instruction at a time. The
@@ -89,6 +91,12 @@ pub enum ExecEngine {
     /// fusion of common adjacent pairs (see `crate::superblock`).
     #[default]
     Superblock,
+    /// Hot chained superblock sequences compiled to register-allocated
+    /// trace IR: window-relative registers resolved to flat physical
+    /// indices at build time, stats sunk to trace exit, guarded side exits
+    /// falling back to the superblock engine bit-exactly (see
+    /// `crate::trace`).
+    Trace,
 }
 
 impl ExecEngine {
@@ -98,6 +106,7 @@ impl ExecEngine {
             ExecEngine::Uncached => "uncached",
             ExecEngine::Cached => "cached",
             ExecEngine::Superblock => "superblock",
+            ExecEngine::Trace => "trace",
         }
     }
 
@@ -107,6 +116,7 @@ impl ExecEngine {
             "uncached" => Some(ExecEngine::Uncached),
             "cached" => Some(ExecEngine::Cached),
             "superblock" => Some(ExecEngine::Superblock),
+            "trace" => Some(ExecEngine::Trace),
             _ => None,
         }
     }
@@ -213,6 +223,7 @@ mod tests {
             ExecEngine::Uncached,
             ExecEngine::Cached,
             ExecEngine::Superblock,
+            ExecEngine::Trace,
         ] {
             assert_eq!(ExecEngine::from_name(e.name()), Some(e));
         }

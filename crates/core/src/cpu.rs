@@ -27,6 +27,7 @@ use crate::program::Program;
 use crate::snapshot::{CpuState, RestoreError, Snapshot};
 use crate::stats::{ExecStats, FuseKind};
 use crate::superblock::{BOp, BlockCache};
+use crate::trace::{self, TExit, TMeta, TOp, TraceCache};
 use crate::trap::{TrapCause, TrapKind};
 use crate::windows::{WindowFile, SPILL_REGS};
 use risc1_isa::psw::Flags;
@@ -300,6 +301,10 @@ pub struct Cpu {
     /// snapshot/checksum exemption as the icache. Invalidated in lockstep
     /// with it by [`Cpu::drain_code_invalidations`].
     blocks: BlockCache,
+    /// Compiled trace cache (engine `Trace` only) — derived state like the
+    /// icache and block cache, and the third consumer of the code-dirty
+    /// channel.
+    traces: TraceCache,
 }
 
 impl Cpu {
@@ -318,6 +323,7 @@ impl Cpu {
         let fuel_limit = cfg.fuel;
         let icache = ICache::new(mem.page_count());
         let blocks = BlockCache::new(mem.page_count());
+        let traces = TraceCache::new(mem.page_count());
         Cpu {
             cfg,
             mem,
@@ -342,6 +348,7 @@ impl Cpu {
             journal_pos: None,
             icache,
             blocks,
+            traces,
         }
     }
 
@@ -690,7 +697,7 @@ impl Cpu {
             // fuel, never overrun it).
             let burst = left.min(self.fuel_limit - self.stats.instructions);
             let mut done = 0;
-            if self.cfg.engine == ExecEngine::Superblock {
+            if matches!(self.cfg.engine, ExecEngine::Superblock | ExecEngine::Trace) {
                 if self.exec_block_burst(burst, &mut done)? == Halt::Returned {
                     return Ok(Halt::Returned);
                 }
@@ -722,6 +729,13 @@ impl Cpu {
     /// boundary to be recomputed by the caller — after any vectored trap,
     /// mirroring the cached burst's `break`.
     fn exec_block_burst(&mut self, burst: u64, done: &mut u64) -> Result<Halt, ExecError> {
+        // The trace engine rides the superblock burst: blocks accumulate
+        // heat here, and hot entries promote to compiled traces. Tracing
+        // needs the same preconditions as fusion (no hazard bookkeeping,
+        // no retirement trace), so it degrades to plain superblock
+        // execution under `--no-forwarding` or recording.
+        let tracing =
+            self.cfg.engine == ExecEngine::Trace && self.cfg.forwarding && !self.cfg.record_trace;
         while *done < burst {
             // A delayed jump in flight means the next instruction is a
             // delay slot whose successor depends on the pending target:
@@ -735,6 +749,28 @@ impl Cpu {
             }
             self.drain_code_invalidations();
             let pc = self.pc;
+            if tracing {
+                // A miss — wrong window, demoted trace, or never promoted —
+                // falls straight through to the superblock path: building
+                // aggressively on misses (e.g. per-window variants for
+                // recursive code) costs more in build walks than the short
+                // per-window loops ever repay.
+                if let Some(tidx) = self.traces.resolve(pc, self.regs.cwp()) {
+                    let insns = u64::from(self.traces.trace(tidx).insns);
+                    // Budget-insufficient entries fall through to the block
+                    // path, preserving the exact `n`-step contract.
+                    if insns <= burst - *done {
+                        // A trace run breaks the block-to-block succession
+                        // the chain hinting assumes; drop the hint rather
+                        // than record a false edge.
+                        self.blocks.forget_last();
+                        match self.exec_trace_burst(tidx, burst, done) {
+                            Ok(()) => continue,
+                            other => return self.finish_exec(other.map(|()| Halt::Running)),
+                        }
+                    }
+                }
+            }
             let idx = match self.blocks.resolve(pc) {
                 Some(idx) => Some(idx),
                 None => self.blocks.build(&mut self.mem, pc, &self.cfg),
@@ -829,9 +865,220 @@ impl Cpu {
             } else {
                 let taken = self.pending_target.is_some() || self.pc != end;
                 self.blocks.note_exit(idx, taken);
+                if tracing {
+                    // Exact equality: one promotion attempt per block, so a
+                    // declined build (too short, untraceable text) is never
+                    // retried on every subsequent pass.
+                    let heat = self.blocks.bump_heat(idx, taken);
+                    if heat == trace::HOT_THRESHOLD {
+                        let built = self.traces.build(
+                            &mut self.mem,
+                            &self.blocks,
+                            &self.regs,
+                            &self.cfg,
+                            pc,
+                        );
+                        self.stats.traces_built += u64::from(built.is_some());
+                    }
+                }
             }
         }
         Ok(Halt::Running)
+    }
+
+    /// Runs one compiled trace (engine `Trace`): loads the live registers
+    /// into the virtual register file, executes the IR with *no*
+    /// per-instruction statistics or PC maintenance, and settles everything
+    /// at exit — a complete pass applies the precomputed bulk aggregate and
+    /// the final PC/pending/`last_pc` in O(1); self-loop traces iterate in
+    /// place while the step budget allows, paying the register traffic only
+    /// once per entry.
+    ///
+    /// Side exits (guard mismatches, faults, code-dirty stores) replay the
+    /// committed prefix's per-op accounting from the trace's static
+    /// metadata and restore exactly the architectural state the superblock
+    /// engine would hold at that point; faults return the identical
+    /// [`StepEvent`] the per-instruction executor would have raised, so the
+    /// caller funnels them through the same `finish_exec` (lastpc rule and
+    /// all).
+    ///
+    /// Caller guarantees: no delayed jump in flight, the whole trace fits
+    /// in `burst - *done`, and `forwarding && !record_trace` (so
+    /// `last_write` is constantly `None` and no retirement trace is due).
+    fn exec_trace_burst(&mut self, tidx: u32, burst: u64, done: &mut u64) -> Result<(), StepEvent> {
+        // Borrowing the trace directly (no `Arc` clone per entry) is the
+        // point of this routine's shape: all the state it touches lives in
+        // *other* fields of `self`, so the borrows stay disjoint as long as
+        // no whole-`self` method is called while `t` is alive — which is
+        // why the load/store and replay helpers are free functions.
+        let t = self.traces.trace(tidx);
+        let insns = u64::from(t.insns);
+        let self_loop = t.self_loop;
+        let finals = (t.final_pc, t.final_pending, t.final_last_pc);
+        let before = self.stats.instructions;
+        let avail = burst - *done;
+        // Operand indices are u8 and the array covers the full index space,
+        // so every access below is in bounds by construction — the hot loop
+        // carries no bounds checks and touches no statistics.
+        let mut v = [0u32; trace::VREG_SLOTS];
+        for &(vr, value) in t.consts.iter() {
+            v[vr as usize] = value;
+        }
+        for &(vr, flat) in t.live_in.iter() {
+            v[vr as usize] = self.regs.load_flat(flat);
+        }
+        let mut flags = self.flags;
+        let mut passes: u64 = 0;
+        let exit = 'run: loop {
+            for (k, op) in t.ops.iter().enumerate() {
+                match *op {
+                    TOp::Alu { op, d, a, b } => {
+                        // `.value` alone: the flag computation inside the
+                        // inlined ALU is dead code on this arm.
+                        v[d as usize] = alu(op, v[a as usize], v[b as usize], flags.c).value;
+                    }
+                    TOp::AluScc { op, d, a, b } => {
+                        let out = alu(op, v[a as usize], v[b as usize], flags.c);
+                        v[d as usize] = out.value;
+                        flags = out.flags;
+                    }
+                    TOp::Const { d, value } => v[d as usize] = value,
+                    TOp::Load { op, d, a, b } => {
+                        let addr = v[a as usize].wrapping_add(v[b as usize]);
+                        match load_op(&mut self.mem, op, addr) {
+                            Ok(val) => v[d as usize] = val,
+                            Err(err) => break 'run TExit::Fault { k, addr, err },
+                        }
+                    }
+                    TOp::Store { op, data, a, b } => {
+                        let addr = v[a as usize].wrapping_add(v[b as usize]);
+                        match store_op(&mut self.mem, op, addr, v[data as usize]) {
+                            Ok(()) => {
+                                if self.mem.code_dirty_pending() {
+                                    break 'run TExit::Dirty { k };
+                                }
+                            }
+                            Err(err) => break 'run TExit::Fault { k, addr, err },
+                        }
+                    }
+                    TOp::Branch {
+                        cond,
+                        target,
+                        expect,
+                    } => {
+                        let taken = cond.eval(flags);
+                        if taken != expect {
+                            break 'run TExit::Mismatch { k, taken, target };
+                        }
+                    }
+                    TOp::Jump => {}
+                }
+            }
+            passes += 1;
+            if self_loop && (passes + 1) * insns <= avail {
+                continue;
+            }
+            break TExit::Complete;
+        };
+        // All completed passes settle as one bulk update; only a partial
+        // final pass (a side exit) needs the per-op metadata replay below.
+        if passes > 0 {
+            t.agg.apply_n(&mut self.stats, passes);
+        }
+        self.stats.trace_entries += passes + u64::from(!matches!(exit, TExit::Complete));
+        let fault = match exit {
+            TExit::Complete => {
+                (self.pc, self.pending_target, self.last_pc) = finals;
+                self.stats.trace_exits += 1;
+                None
+            }
+            TExit::Dirty { k } => {
+                // The store committed; account it and everything before it,
+                // then exit where its PC dance lands. Stores produce no
+                // target, so nothing is in flight afterwards.
+                replay_meta(&mut self.stats, &t.meta, k + 1);
+                let m = t.meta[k];
+                self.pc = m.pending_before.unwrap_or(m.pc.wrapping_add(INSN_BYTES));
+                self.pending_target = None;
+                self.last_pc = m.pc;
+                self.stats.trace_side_exits += 1;
+                None
+            }
+            TExit::Mismatch { k, taken, target } => {
+                // The guard *is* the branch: retire it with its actual
+                // direction (branches never sit in delay slots inside a
+                // trace, so no slot accounting applies).
+                replay_meta(&mut self.stats, &t.meta, k);
+                let m = t.meta[k];
+                self.stats.retire(m.op);
+                let mut cycles = u64::from(m.base);
+                if taken {
+                    self.stats.taken_transfers += 1;
+                    if self.cfg.branch_model == BranchModel::Suspended {
+                        cycles += 1;
+                        self.stats.bubble_cycles += 1;
+                    }
+                }
+                self.stats.cycles += cycles;
+                self.pc = m.pc.wrapping_add(INSN_BYTES);
+                self.pending_target = taken.then_some(target);
+                self.last_pc = m.pc;
+                self.stats.trace_side_exits += 1;
+                None
+            }
+            TExit::Fault { k, addr, err } => {
+                // Mirror `exec_prepared` mid-fault exactly: the op retired
+                // (with delay-slot accounting) but charged no cycles and
+                // committed nothing else; PC/pending/`last_pc` still
+                // describe the attempt, so `finish_exec`'s lastpc rule sees
+                // the same state the per-instruction engines would have.
+                replay_meta(&mut self.stats, &t.meta, k);
+                let m = t.meta[k];
+                self.stats.retire(m.op);
+                if m.pending_before.is_some() {
+                    self.stats.delay_slots += 1;
+                    if m.nop {
+                        self.stats.delay_slot_nops += 1;
+                    }
+                }
+                self.pc = m.pc;
+                self.pending_target = m.pending_before;
+                if k > 0 {
+                    self.last_pc = t.meta[k - 1].pc;
+                }
+                self.stats.trace_side_exits += 1;
+                Some((m.pc, addr, err))
+            }
+        };
+        for &(vr, flat) in t.live_out.iter() {
+            self.regs.store_flat(flat, v[vr as usize]);
+        }
+        self.flags = flags;
+        // Tracing requires forwarding, under which `note_write` never
+        // records anything — constant, like the fused-pair handlers.
+        self.last_write = None;
+        let used = self.stats.instructions - before;
+        self.stats.trace_instructions += used;
+        *done += used;
+        // Productivity bookkeeping: the per-entry overhead (register file
+        // traffic in and out, aggregate settle) only amortises when a visit
+        // retires well past it. A self-loop trace must actually *loop* —
+        // two completed passes — to count; the common failure mode is a
+        // short-trip-count loop that side-exits on its first backedge every
+        // visit, which beats the half-a-pass yardstick while losing to the
+        // superblock engine outright. Straight traces are productive when
+        // they retire at least half their body. Enough strikes demote the
+        // trace and the superblock tier takes the entry back.
+        let productive = if self_loop {
+            passes >= 2
+        } else {
+            2 * used >= insns
+        };
+        self.traces.note_run(tidx, productive);
+        match fault {
+            Some((pc, addr, err)) => Err(data_trap(pc, addr, err)),
+            None => Ok(()),
+        }
     }
 
     /// Executes one instruction (or delivers one pending trap/interrupt).
@@ -929,18 +1176,24 @@ impl Cpu {
     }
 
     /// Drains the code-dirty channel, fanning every invalidation event out
-    /// to the predecode cache *and* the superblock cache. Always combined:
-    /// the drain clears page registrations as it goes, so a one-sided
-    /// drain would silently starve the other consumer.
+    /// to the predecode cache, the superblock cache *and* the trace cache.
+    /// Always combined: the drain clears page registrations as it goes, so
+    /// a one-sided drain would silently starve the other consumers.
     #[inline]
     fn drain_code_invalidations(&mut self) {
         if !self.mem.code_dirty_pending() {
             return;
         }
-        let (mem, icache, blocks) = (&mut self.mem, &mut self.icache, &mut self.blocks);
+        let (mem, icache, blocks, traces) = (
+            &mut self.mem,
+            &mut self.icache,
+            &mut self.blocks,
+            &mut self.traces,
+        );
         mem.drain_code_dirty(|d| {
             icache.invalidate(d);
             blocks.invalidate(d);
+            traces.invalidate(d);
         });
     }
 
@@ -957,7 +1210,7 @@ impl Cpu {
         // unblockable text, `step()` calls).
         let line = match self.cfg.engine {
             ExecEngine::Uncached => Line::prepare(self.fetch_decode(pc)?),
-            ExecEngine::Cached | ExecEngine::Superblock => {
+            ExecEngine::Cached | ExecEngine::Superblock | ExecEngine::Trace => {
                 self.drain_code_invalidations();
                 match self.icache.fetch(&mut self.mem, pc) {
                     Some(line) => line,
@@ -1374,23 +1627,11 @@ impl Cpu {
     }
 
     fn load_value(&mut self, op: Opcode, addr: u32) -> Result<u32, MemError> {
-        Ok(match op {
-            Opcode::Ldl => self.mem.read_u32(addr)?,
-            Opcode::Ldsu => self.mem.read_u16(addr)? as u32,
-            Opcode::Ldss => self.mem.read_u16(addr)? as i16 as i32 as u32,
-            Opcode::Ldbu => self.mem.read_u8(addr)? as u32,
-            Opcode::Ldbs => self.mem.read_u8(addr)? as i8 as i32 as u32,
-            _ => unreachable!("not a load"),
-        })
+        load_op(&mut self.mem, op, addr)
     }
 
     fn store_value(&mut self, op: Opcode, addr: u32, v: u32) -> Result<(), MemError> {
-        match op {
-            Opcode::Stl => self.mem.write_u32(addr, v),
-            Opcode::Sts => self.mem.write_u16(addr, v as u16),
-            Opcode::Stb => self.mem.write_u8(addr, v as u8),
-            _ => unreachable!("not a store"),
-        }
+        store_op(&mut self.mem, op, addr, v)
     }
 
     /// Hazard-model bookkeeping for a register write: the physical
@@ -1615,6 +1856,52 @@ impl Cpu {
         let cost = self.cfg.trap_overhead_cycles + SPILL_REGS as u64 * 2;
         self.stats.trap_cycles += cost;
         Ok(cost)
+    }
+}
+
+/// The memory access for a load opcode, with its width and sign extension.
+/// Free-standing (not a `Cpu` method) so the trace executor can call it
+/// while holding a borrow of the trace cache.
+#[inline]
+fn load_op(mem: &mut Memory, op: Opcode, addr: u32) -> Result<u32, MemError> {
+    Ok(match op {
+        Opcode::Ldl => mem.read_u32(addr)?,
+        Opcode::Ldsu => mem.read_u16(addr)? as u32,
+        Opcode::Ldss => mem.read_u16(addr)? as i16 as i32 as u32,
+        Opcode::Ldbu => mem.read_u8(addr)? as u32,
+        Opcode::Ldbs => mem.read_u8(addr)? as i8 as i32 as u32,
+        _ => unreachable!("not a load"),
+    })
+}
+
+/// The memory access for a store opcode at its width.
+#[inline]
+fn store_op(mem: &mut Memory, op: Opcode, addr: u32, v: u32) -> Result<(), MemError> {
+    match op {
+        Opcode::Stl => mem.write_u32(addr, v),
+        Opcode::Sts => mem.write_u16(addr, v as u16),
+        Opcode::Stb => mem.write_u8(addr, v as u8),
+        _ => unreachable!("not a store"),
+    }
+}
+
+/// Replays the per-instruction statistics of `meta[..n]` — the committed
+/// prefix of a side-exiting trace run. Field for field what
+/// `exec_prepared` bumps per op (tracing preconditions pin the rest:
+/// forwarding ⇒ no hazard bubbles, and traced ops are never calls,
+/// returns or window traps).
+fn replay_meta(stats: &mut ExecStats, meta: &[TMeta], n: usize) {
+    for m in &meta[..n] {
+        stats.retire(m.op);
+        if m.pending_before.is_some() {
+            stats.delay_slots += 1;
+            stats.delay_slot_nops += u64::from(m.nop);
+        }
+        stats.cycles += u64::from(m.base) + u64::from(m.bubble);
+        stats.bubble_cycles += u64::from(m.bubble);
+        stats.data_reads += u64::from(m.is_load);
+        stats.data_writes += u64::from(m.is_store);
+        stats.taken_transfers += u64::from(m.taken);
     }
 }
 
@@ -2340,7 +2627,8 @@ mod tests {
 
     /// A loop dense in fusable idioms: LDHI+imm constant, ALU→load address
     /// feed, compare+branch, and a bare transfer+slot, iterated enough to
-    /// exercise block chaining.
+    /// exercise block chaining *and* clear the trace tier's promotion
+    /// threshold.
     fn fusion_workout() -> Vec<Instruction> {
         let mut p = vec![
             // r16 := 0x2000 + 8 (LDHI + imm pair), seed [r16] with 7.
@@ -2356,7 +2644,7 @@ mod tests {
             Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, Short2::reg(Reg::R19)),
             Instruction::reg(Opcode::Add, Reg::R20, Reg::R20, imm(1)),
             // compare + conditional branch back to loop (8 insns up).
-            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R20, imm(25)),
+            Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R20, imm(100)),
             Instruction::jmpr(Cond::Lt, -5 * INSN_BYTES as i32),
             Instruction::nop(), // the branch's delay slot
         ];
@@ -2376,31 +2664,45 @@ mod tests {
         let unc = run_engine(ExecEngine::Uncached);
         let cac = run_engine(ExecEngine::Cached);
         let sup = run_engine(ExecEngine::Superblock);
-        assert_eq!(unc.result(), 7 * 25);
+        let trc = run_engine(ExecEngine::Trace);
+        assert_eq!(unc.result(), 7 * 100);
         assert_eq!(unc.stats(), cac.stats());
         assert_eq!(cac.stats(), sup.stats());
+        assert_eq!(sup.stats(), trc.stats());
         for r in [Reg::R16, Reg::R18, Reg::R19, Reg::R20, Reg::R26] {
             assert_eq!(unc.reg(r), sup.reg(r), "{r:?}");
+            assert_eq!(unc.reg(r), trc.reg(r), "{r:?} (trace)");
         }
         // And the superblock engine actually engaged.
         assert!(sup.stats().blocks_entered > 0, "blocks formed");
         assert!(sup.stats().mean_block_len().unwrap() > 1.0);
         assert!(
-            sup.stats().fused(FuseKind::CmpBranch) >= 25,
+            sup.stats().fused(FuseKind::CmpBranch) >= 100,
             "loop branch fused each iteration"
         );
-        assert!(sup.stats().fused(FuseKind::AddrFeed) >= 25);
+        assert!(sup.stats().fused(FuseKind::AddrFeed) >= 100);
         assert!(sup.stats().fused(FuseKind::LdhiImm) >= 1);
         assert_eq!(unc.stats().fused_total(), 0, "uncached engine never fuses");
+        // The trace tier promoted the hot loop and ran it from trace IR.
+        assert!(trc.stats().traces_built >= 1, "loop promoted to a trace");
+        assert!(trc.stats().trace_entries >= 1, "trace entered");
+        assert!(
+            trc.stats().trace_instructions > 0,
+            "instructions retired from trace IR"
+        );
     }
 
-    /// The superblock engine must be exact under any chopping of the
-    /// timeline: `step()` one at a time, odd `step_n` sizes, and one
-    /// straight `run()` all retire the same architectural stats.
+    /// The superblock and trace engines must be exact under any chopping
+    /// of the timeline: `step()` one at a time, odd `step_n` sizes, and
+    /// one straight `run()` all retire the same architectural stats.
     #[test]
     fn superblock_is_exact_under_any_step_chopping() {
-        let run_chopped = |chunk: u64| {
-            let mut cpu = Cpu::new(SimConfig::default());
+        let run_chopped = |engine, chunk: u64| {
+            let cfg = SimConfig {
+                engine,
+                ..SimConfig::default()
+            };
+            let mut cpu = Cpu::new(cfg);
             cpu.load_program(&Program::from_instructions(fusion_workout()))
                 .unwrap();
             loop {
@@ -2416,27 +2718,47 @@ mod tests {
             cpu
         };
         let straight = run_program(fusion_workout());
-        for chunk in [0, 1, 3, 7, 100] {
-            let chopped = run_chopped(chunk);
-            assert_eq!(chopped.stats(), straight.stats(), "chunk {chunk}");
-            assert_eq!(chopped.result(), straight.result(), "chunk {chunk}");
+        for engine in [ExecEngine::Superblock, ExecEngine::Trace] {
+            for chunk in [0, 1, 3, 7, 100] {
+                let chopped = run_chopped(engine, chunk);
+                assert_eq!(
+                    chopped.stats(),
+                    straight.stats(),
+                    "{engine:?} chunk {chunk}"
+                );
+                assert_eq!(
+                    chopped.result(),
+                    straight.result(),
+                    "{engine:?} chunk {chunk}"
+                );
+            }
         }
     }
 
     /// Exact-`n` contract: `step_n(n)` performs exactly `n` step units
-    /// even when blocks would overrun the budget mid-block.
+    /// even when blocks (or whole traces) would overrun the budget
+    /// mid-flight.
     #[test]
     fn step_n_is_exact_about_n_under_superblock() {
-        let mut a = Cpu::new(SimConfig::default());
-        a.load_program(&Program::from_instructions(fusion_workout()))
-            .unwrap();
-        let mut b = a.clone();
-        // 17 deliberately lands mid-block.
-        assert_eq!(a.step_n(17).unwrap(), Halt::Running);
-        for _ in 0..17 {
-            b.step().unwrap();
+        for engine in [ExecEngine::Superblock, ExecEngine::Trace] {
+            let cfg = SimConfig {
+                engine,
+                ..SimConfig::default()
+            };
+            let mut a = Cpu::new(cfg);
+            a.load_program(&Program::from_instructions(fusion_workout()))
+                .unwrap();
+            let mut b = a.clone();
+            // 17 deliberately lands mid-block; under the trace engine the
+            // second call lands mid-trace once the loop is promoted.
+            for _ in 0..8 {
+                assert_eq!(a.step_n(17).unwrap(), Halt::Running, "{engine:?}");
+            }
+            for _ in 0..8 * 17 {
+                b.step().unwrap();
+            }
+            assert_eq!(a.stats(), b.stats(), "{engine:?}");
+            assert_eq!(a.pc(), b.pc(), "{engine:?}");
         }
-        assert_eq!(a.stats(), b.stats());
-        assert_eq!(a.pc(), b.pc());
     }
 }

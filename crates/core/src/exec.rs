@@ -15,6 +15,7 @@ pub struct AluOut {
     pub flags: Flags,
 }
 
+#[inline]
 fn add_with(a: u32, b: u32, carry_in: bool) -> AluOut {
     let (s1, c1) = a.overflowing_add(b);
     let (value, c2) = s1.overflowing_add(carry_in as u32);
@@ -32,6 +33,7 @@ fn add_with(a: u32, b: u32, carry_in: bool) -> AluOut {
     }
 }
 
+#[inline]
 fn sub_with(a: u32, b: u32, no_borrow_in: bool) -> AluOut {
     // a − b − borrow, computed as a + !b + (1 − borrow); the adder's carry
     // out is then C = "no borrow" (C = 1 ⟺ a ≥ b + borrow unsigned), the
@@ -46,6 +48,7 @@ fn sub_with(a: u32, b: u32, no_borrow_in: bool) -> AluOut {
     }
 }
 
+#[inline]
 fn logic(value: u32) -> AluOut {
     AluOut {
         value,
@@ -63,6 +66,7 @@ fn logic(value: u32) -> AluOut {
 ///
 /// # Panics
 /// Panics if `op` is not an arithmetic or shift opcode.
+#[inline]
 pub fn alu(op: Opcode, a: u32, b: u32, carry: bool) -> AluOut {
     match op {
         Opcode::Add => add_with(a, b, false),

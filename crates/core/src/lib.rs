@@ -49,6 +49,7 @@ pub mod program;
 pub mod snapshot;
 pub mod stats;
 mod superblock;
+mod trace;
 pub mod trap;
 pub mod windows;
 

@@ -248,6 +248,7 @@ fn hash_config(h: &mut Fnv64, cfg: &SimConfig) {
         ExecEngine::Uncached => 0,
         ExecEngine::Cached => 1,
         ExecEngine::Superblock => 2,
+        ExecEngine::Trace => 3,
     });
     h.write_u8(
         u8::from(cfg.fusion.cmp_branch)

@@ -39,6 +39,13 @@ impl OpcodeCounts {
         self.0[op as u8 as usize] += 1;
     }
 
+    /// Adds `n` retirements of one opcode in a single update — the trace
+    /// engine's bulk stat sink at trace exit.
+    #[inline]
+    pub fn add(&mut self, op: Opcode, n: u64) {
+        self.0[op as u8 as usize] += n;
+    }
+
     /// The count for one opcode (zero if never retired).
     #[inline]
     pub fn get(&self, op: Opcode) -> u64 {
@@ -142,15 +149,16 @@ impl FuseKind {
 
 /// Counters accumulated over one simulation run.
 ///
-/// Everything except the final three fields is *architectural*: a function
-/// of the program and `SimConfig` alone, identical across execution engines
-/// and across any chopping of the run into `step_n` bursts. The final three
-/// (`fused_pairs`, `blocks_entered`, `block_instructions`) are **host-engine
-/// telemetry**: they describe what the superblock machinery did, which
-/// legitimately depends on how the timeline was sliced (a `step()` prefix
-/// forms different blocks than a straight `run()`). `PartialEq` therefore
-/// compares only the architectural fields — the equivalence and
-/// snapshot-round-trip laws stay exact while telemetry remains observable.
+/// Everything except the trailing telemetry block is *architectural*: a
+/// function of the program and `SimConfig` alone, identical across execution
+/// engines and across any chopping of the run into `step_n` bursts. The
+/// trailing fields (`fused_pairs`, `blocks_entered`, `block_instructions`,
+/// and the `trace*` counters) are **host-engine telemetry**: they describe
+/// what the superblock/trace machinery did, which legitimately depends on
+/// how the timeline was sliced (a `step()` prefix forms different blocks and
+/// traces than a straight `run()`). `PartialEq` therefore compares only the
+/// architectural fields — the equivalence and snapshot-round-trip laws stay
+/// exact while telemetry remains observable.
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     /// Instructions retired (delay-slot instructions included).
@@ -207,12 +215,29 @@ pub struct ExecStats {
     /// Host telemetry: instructions retired inside superblock bodies (the
     /// numerator of mean block length). Excluded from `PartialEq`.
     pub block_instructions: u64,
+    /// Host telemetry: traces compiled by the trace engine. Excluded from
+    /// `PartialEq`.
+    pub traces_built: u64,
+    /// Host telemetry: trace bodies entered (each self-loop iteration
+    /// counts once). Excluded from `PartialEq`.
+    pub trace_entries: u64,
+    /// Host telemetry: complete trace exits (the trace ran to its static
+    /// end). Excluded from `PartialEq`.
+    pub trace_exits: u64,
+    /// Host telemetry: guarded side exits taken mid-trace (guard failures,
+    /// faults, budget and code-dirty exits). Excluded from `PartialEq`.
+    pub trace_side_exits: u64,
+    /// Host telemetry: instructions retired inside compiled traces (the
+    /// numerator of trace coverage). Excluded from `PartialEq`.
+    pub trace_instructions: u64,
 }
 
 /// Architectural fields only — see the type docs. Telemetry fields
-/// (`fused_pairs`, `blocks_entered`, `block_instructions`) are excluded on
-/// purpose: block formation depends on how the timeline is chopped into
-/// bursts, and the equivalence laws quantify over choppings.
+/// (`fused_pairs`, `blocks_entered`, `block_instructions`, `traces_built`,
+/// `trace_entries`, `trace_exits`, `trace_side_exits`,
+/// `trace_instructions`) are excluded on purpose: block and trace formation
+/// depend on how the timeline is chopped into bursts, and the equivalence
+/// laws quantify over choppings.
 impl PartialEq for ExecStats {
     fn eq(&self, other: &Self) -> bool {
         self.instructions == other.instructions
@@ -322,6 +347,16 @@ impl ExecStats {
         (self.blocks_entered > 0)
             .then(|| self.block_instructions as f64 / self.blocks_entered as f64)
     }
+
+    /// Fraction of all retired instructions that ran inside compiled traces
+    /// (telemetry; trace engine only). Zero when nothing retired.
+    pub fn trace_coverage(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.trace_instructions as f64 / self.instructions as f64
+        }
+    }
 }
 
 impl fmt::Display for ExecStats {
@@ -379,6 +414,17 @@ impl fmt::Display for ExecStats {
                 self.mean_block_len().unwrap_or(0.0),
                 self.fused_total(),
                 by_kind
+            )?;
+        }
+        if self.trace_entries > 0 {
+            write!(
+                f,
+                "\ntraces {:>10} built (entries {}, exits {}, side exits {}, coverage {:.1}%)",
+                self.traces_built,
+                self.trace_entries,
+                self.trace_exits,
+                self.trace_side_exits,
+                100.0 * self.trace_coverage()
             )?;
         }
         Ok(())
@@ -466,6 +512,33 @@ mod tests {
             ..ExecStats::new()
         };
         assert_ne!(a, c, "architectural fields still compare");
+    }
+
+    #[test]
+    fn equality_ignores_trace_telemetry() {
+        // Pins the satellite requirement: the trace engine's counters are
+        // host telemetry exactly like `fused_pairs` — never part of the
+        // equivalence laws or snapshot checksums (snapshots serialize an
+        // explicit architectural field list, so any field excluded here is
+        // automatically excluded there).
+        let a = ExecStats {
+            instructions: 10,
+            cycles: 40,
+            ..ExecStats::new()
+        };
+        let b = ExecStats {
+            instructions: 10,
+            cycles: 40,
+            traces_built: 3,
+            trace_entries: 1000,
+            trace_exits: 990,
+            trace_side_exits: 10,
+            trace_instructions: 9,
+            ..ExecStats::new()
+        };
+        assert_eq!(a, b, "trace telemetry must not affect equivalence laws");
+        assert!((b.trace_coverage() - 0.9).abs() < 1e-12);
+        assert_eq!(ExecStats::new().trace_coverage(), 0.0);
     }
 
     #[test]

@@ -123,6 +123,12 @@ pub(crate) struct Block {
     pub ops: Arc<[BOp]>,
     /// Total instructions if every op completes (= `end − start` in words).
     pub insns: u32,
+    /// Completed executions since build — the trace engine's promotion
+    /// heat. Bumped only under `--engine trace`; dies with the block.
+    pub heat: u32,
+    /// Completed executions by exit direction (`[fall-through, taken]`) —
+    /// the trace builder's branch-direction profile. Bumped with `heat`.
+    pub hot_exits: [u32; 2],
     /// Cleared when a page the block spans is invalidated.
     pub alive: bool,
     /// Cached successor block indices: `succ[1]` for a taken exit,
@@ -177,6 +183,31 @@ impl BlockCache {
     #[inline]
     pub(crate) fn block(&self, idx: u32) -> &Block {
         &self.blocks[idx as usize]
+    }
+
+    /// Bumps the promotion heat of the block at `idx` and records the exit
+    /// direction it just took, returning the new heat (saturating; a
+    /// promoted block's heat is left saturated so it is never re-promoted
+    /// while the trace lives).
+    #[inline]
+    pub(crate) fn bump_heat(&mut self, idx: u32, taken: bool) -> u32 {
+        let b = &mut self.blocks[idx as usize];
+        let d = &mut b.hot_exits[taken as usize];
+        *d = d.saturating_add(1);
+        b.heat = b.heat.saturating_add(1);
+        b.heat
+    }
+
+    /// Finds a live block starting at `pc` without touching chaining state —
+    /// the trace builder's read-only resolver.
+    #[inline]
+    pub(crate) fn lookup(&self, pc: u32) -> Option<u32> {
+        let idx = *self.map.get(pc as usize / 4)?;
+        if idx == NO_BLOCK {
+            return None;
+        }
+        let b = &self.blocks[idx as usize];
+        (b.alive && b.start == pc).then_some(idx)
     }
 
     /// Finds a live block starting at `pc`: first via the previous block's
@@ -307,6 +338,8 @@ impl BlockCache {
             end,
             ops: ops.into(),
             insns,
+            heat: 0,
+            hot_exits: [0; 2],
             alive: true,
             succ: [NO_BLOCK; 2],
         });
@@ -329,8 +362,9 @@ impl BlockCache {
 /// Collects the prepared lines of one superblock: consecutive decodable
 /// words from `start`, ending after a transfer (and, when safe, its delay
 /// slot) or at a page boundary. Returns `None` if not even the first word
-/// prepares.
-fn collect_lines(mem: &Memory, start: u32) -> Option<Vec<Line>> {
+/// prepares. Shared with the trace builder, which re-collects the lines of
+/// each chained block.
+pub(crate) fn collect_lines(mem: &Memory, start: u32) -> Option<Vec<Line>> {
     if start & 3 != 0 {
         return None;
     }
@@ -379,11 +413,16 @@ fn reads_carry(op: Opcode) -> bool {
     risc1_isa::spec::entry(op).reads_carry()
 }
 
-/// The greedy left-to-right fusion pass: non-overlapping adjacent pairs,
-/// first matching kind wins. Fusion is attempted only under the default
-/// datapath (forwarding on, no trace recording): the fused handlers elide
-/// the hazard bookkeeping and trace pushes those modes need, and gating
-/// here keeps them exact rather than conditional.
+/// The left-to-right fusion pass: non-overlapping adjacent pairs, first
+/// matching kind wins, with one pair of lookahead so the catch-all never
+/// *steals* the left half of a specialised pair — greedy pairing used to
+/// let `alu_pair` consume the address-forming ALU (or flag-setter, or
+/// LDHI) that the *next* pair would have fused as `addr_feed`/`cmp_branch`/
+/// `ldhi_imm`, which is why whole workloads reported zero `addr_feed`
+/// pairs. Fusion is attempted only under the default datapath (forwarding
+/// on, no trace recording): the fused handlers elide the hazard bookkeeping
+/// and trace pushes those modes need, and gating here keeps them exact
+/// rather than conditional.
 fn fuse(lines: &[Line], cfg: &SimConfig) -> Vec<BOp> {
     let fusable = cfg.forwarding && !cfg.record_trace;
     let mut ops = Vec::with_capacity(lines.len());
@@ -391,9 +430,18 @@ fn fuse(lines: &[Line], cfg: &SimConfig) -> Vec<BOp> {
     while i < lines.len() {
         if fusable && i + 1 < lines.len() {
             if let Some(op) = try_fuse(&lines[i], &lines[i + 1], cfg) {
-                ops.push(op);
-                i += 2;
-                continue;
+                // Lookahead: a catch-all pair here yields exactly one fused
+                // pair either way, but a specialised pair starting at the
+                // *second* element is a strictly better handler (and what
+                // e15 ablates). Defer when one is available.
+                let steals_specialised = matches!(op, BOp::AluPair { .. })
+                    && i + 2 < lines.len()
+                    && try_fuse_specialised(&lines[i + 1], &lines[i + 2], cfg).is_some();
+                if !steals_specialised {
+                    ops.push(op);
+                    i += 2;
+                    continue;
+                }
             }
         }
         ops.push(BOp::One(lines[i]));
@@ -402,8 +450,27 @@ fn fuse(lines: &[Line], cfg: &SimConfig) -> Vec<BOp> {
     ops
 }
 
-/// Attempts to fuse the adjacent pair `(a, b)`.
+/// Attempts to fuse the adjacent pair `(a, b)`: every specialised kind
+/// first, then the catch-all.
 fn try_fuse(a: &Line, b: &Line, cfg: &SimConfig) -> Option<BOp> {
+    if let Some(op) = try_fuse_specialised(a, b, cfg) {
+        return Some(op);
+    }
+    let f = &cfg.fusion;
+    // Catch-all: any two adjacent plain ALU/LDHI ops. Tried last so the
+    // specialised kinds keep their matches; neither half can fault.
+    if f.alu_pair
+        && (is_alu(a.op) || a.op == Opcode::Ldhi)
+        && (is_alu(b.op) || b.op == Opcode::Ldhi)
+    {
+        return Some(BOp::AluPair { a: *a, b: *b });
+    }
+    None
+}
+
+/// Attempts the four specialised fusion kinds on `(a, b)` — everything but
+/// the `alu_pair` catch-all, which `fuse` also consults for lookahead.
+fn try_fuse_specialised(a: &Line, b: &Line, cfg: &SimConfig) -> Option<BOp> {
     let f = &cfg.fusion;
     // Compare + conditional jump: `a` deterministically latches the flags
     // `b` tests, and nothing between them can fault.
@@ -440,14 +507,6 @@ fn try_fuse(a: &Line, b: &Line, cfg: &SimConfig) -> Option<BOp> {
     // ALU feeding the address register of the next load.
     if f.addr_feed && is_alu(a.op) && b.op.is_load() && b.rs1 == a.dest && !a.dest.is_zero() {
         return Some(BOp::AddrFeed { a: *a, b: *b });
-    }
-    // Catch-all: any two adjacent plain ALU/LDHI ops. Tried last so the
-    // specialised kinds above keep their matches; neither half can fault.
-    if f.alu_pair
-        && (is_alu(a.op) || a.op == Opcode::Ldhi)
-        && (is_alu(b.op) || b.op == Opcode::Ldhi)
-    {
-        return Some(BOp::AluPair { a: *a, b: *b });
     }
     None
 }
@@ -544,6 +603,36 @@ mod tests {
         ]);
         let ops2 = fuse(&collect_lines(&mem2, 0).unwrap(), &cfg);
         assert!(matches!(ops2[1], BOp::TransferSlot { .. }));
+    }
+
+    #[test]
+    fn catch_all_defers_to_a_following_specialised_pair() {
+        let cfg = SimConfig::default();
+        let ldl = Instruction::reg(Opcode::Ldl, Reg::R18, Reg::R17, Short2::imm(0).unwrap());
+        // add; add (address-forming); ldl — greedy pairing used to emit
+        // AluPair(add, add) + One(ldl), hiding the addr_feed shape that
+        // whole workloads then reported as zero.
+        let mem = mem_with(&[
+            add(Reg::R16, Reg::R0, 1),
+            add(Reg::R17, Reg::R16, 8),
+            ldl.encode(),
+        ]);
+        let lines = collect_lines(&mem, 0).unwrap();
+        let ops = fuse(&lines, &cfg);
+        assert!(matches!(ops[0], BOp::One(_)), "first ALU yields");
+        assert!(matches!(ops[1], BOp::AddrFeed { .. }), "addr_feed wins");
+        // With addr_feed knocked out the catch-all reclaims the pair, so
+        // the e15 monotonicity invariant (knockouts never fuse more) holds.
+        let no_feed = SimConfig {
+            fusion: crate::config::FusionConfig {
+                addr_feed: false,
+                ..crate::config::FusionConfig::default()
+            },
+            ..SimConfig::default()
+        };
+        let ops2 = fuse(&lines, &no_feed);
+        assert!(matches!(ops2[0], BOp::AluPair { .. }));
+        assert!(matches!(ops2[1], BOp::One(_)));
     }
 
     #[test]

@@ -294,6 +294,28 @@ impl WindowFile {
         self.store[i as usize] = v;
     }
 
+    /// Flat `store` index backing visible register `r` at window `window` —
+    /// the trace engine's build-time register resolution (the same formula
+    /// the `maps` tables are built from). The caller special-cases r0.
+    pub(crate) fn flat_index(&self, window: usize, r: Reg) -> u16 {
+        match self.physical_slot(window, r) {
+            None => r.number() as u16,
+            Some(i) => (GLOBALS + i) as u16,
+        }
+    }
+
+    /// Reads the flat `store` word at `idx` (a [`Self::flat_index`] result).
+    #[inline]
+    pub(crate) fn load_flat(&self, idx: u16) -> u32 {
+        self.store[idx as usize]
+    }
+
+    /// Writes the flat `store` word at `idx` (a [`Self::flat_index`] result).
+    #[inline]
+    pub(crate) fn store_flat(&mut self, idx: u16, v: u32) {
+        self.store[idx as usize] = v;
+    }
+
     /// All 32 visible registers of the current window, r0 first.
     pub fn visible(&self) -> [u32; 32] {
         let mut out = [0; 32];

@@ -1,13 +1,17 @@
 //! Offline interpreter benchmark — the execution engines' receipt.
 //!
 //! PR 4 added a predecoded instruction cache to the simulator core
-//! (DESIGN.md §11) and PR 5 layered a superblock engine over it
+//! (DESIGN.md §11), PR 5 layered a superblock engine over it
 //! (DESIGN.md §12): straight-line blocks formed over the cached lines,
 //! chained block-to-block so hot loops re-enter without a map lookup,
 //! with macro-op fusion collapsing adjacent pair idioms into one
-//! handler. This module measures what each tier buys, *host-side*,
-//! against the interpreter's canonical baseline:
+//! handler, and PR 9 added the trace tier (DESIGN.md §16): hot chained
+//! superblocks compiled to register-allocated trace IR with statistics
+//! sunk to trace exit. This module measures what each tier buys,
+//! *host-side*, against the interpreter's canonical baseline:
 //!
+//! - **trace**: `engine: trace` — hot-path execution from compiled
+//!   traces, falling back to the superblock engine everywhere else;
 //! - **superblock**: `engine: superblock` (the default) driven through
 //!   the batched `run_to_halt` fast path — blocks, chaining, fusion;
 //! - **cached**: `engine: cached` through the same batched path — the
@@ -19,14 +23,14 @@
 //! No external benchmarking crate is involved — plain
 //! `std::time::Instant`, best-of-N — so the numbers regenerate in the
 //! offline CI image. The machine-readable output, `BENCH_interp.json`
-//! (schema `risc1-bench-interp/v2`), is the repo's canonical perf gate:
-//! CI runs `risc1 bench --quick` and fails unless *both* ratios beat
-//! 1.0 in aggregate — cached over uncached, and superblock over cached.
-//! An optional `--baseline <file>` comparison additionally fails the
-//! gate if either aggregate regressed more than 10% against a stored
-//! report.
+//! (schema `risc1-bench-interp/v3`), is the repo's canonical perf gate:
+//! CI runs `risc1 bench --quick` and fails unless *every* tier's ratio
+//! beats 1.0 in aggregate — cached over uncached, superblock over
+//! cached, and trace over cached. An optional `--baseline <file>`
+//! comparison additionally fails the gate if any aggregate regressed
+//! more than 10% against a stored report.
 //!
-//! The three engines are *bit-identical* in simulated behaviour (same
+//! The four engines are *bit-identical* in simulated behaviour (same
 //! result, stats, memory image — `tests/interp_equivalence.rs` is the
 //! proof); only host wall time may differ. The harness asserts the
 //! result/stats agreement outright on every run.
@@ -38,13 +42,18 @@ use risc1_stats::Table;
 use risc1_workloads::all;
 use std::time::{Duration, Instant};
 
-/// One workload's three-engine timing.
+/// One workload's four-engine timing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// Workload id.
     pub id: &'static str,
     /// Simulated instructions one run retires (identical in all modes).
     pub instructions: u64,
+    /// Simulated instructions per host second, trace engine.
+    pub trace_ips: f64,
+    /// Fraction of the trace run's retired instructions executed from
+    /// compiled trace IR (0.0 when nothing promoted).
+    pub trace_coverage: f64,
     /// Simulated instructions per host second, superblock engine.
     pub superblock_ips: f64,
     /// Simulated instructions per host second, plain decode cache.
@@ -69,6 +78,13 @@ impl BenchRow {
     /// the tier PR 5 adds, measured against the tier it builds on.
     pub fn superblock_speedup(&self) -> f64 {
         self.superblock_ips / self.cached_ips.max(1e-9)
+    }
+
+    /// Host-time speedup of the trace engine over the cached one — the
+    /// tier PR 9 adds, measured against the same reference the superblock
+    /// ratio uses so the two tiers are directly comparable.
+    pub fn trace_speedup(&self) -> f64 {
+        self.trace_ips / self.cached_ips.max(1e-9)
     }
 
     /// Fraction of retired instructions covered by fused pairs.
@@ -111,12 +127,17 @@ impl BenchReport {
         geomean(self.rows.iter().map(BenchRow::superblock_speedup))
     }
 
+    /// Geometric mean of the per-workload trace-over-cached speedups.
+    pub fn geomean_trace_speedup(&self) -> f64 {
+        geomean(self.rows.iter().map(BenchRow::trace_speedup))
+    }
+
     /// Renders the report as the `BENCH_interp.json` document. The
     /// writer is hand-rolled (no serde in the offline image); the schema
     /// is documented in README.md §Benchmarks.
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
-        s.push_str("  \"schema\": \"risc1-bench-interp/v2\",\n");
+        s.push_str("  \"schema\": \"risc1-bench-interp/v3\",\n");
         s.push_str(&format!("  \"quick\": {},\n", self.quick));
         s.push_str("  \"unit\": \"simulated instructions per host second\",\n");
         s.push_str("  \"workloads\": [\n");
@@ -127,17 +148,21 @@ impl BenchReport {
                 .collect();
             s.push_str(&format!(
                 "    {{\"id\": \"{}\", \"instructions\": {}, \
-                 \"superblock_ips\": {:.1}, \"cached_ips\": {:.1}, \
-                 \"uncached_ips\": {:.1}, \"cached_speedup\": {:.3}, \
-                 \"superblock_speedup\": {:.3}, \"mean_block_len\": {:.2}, \
-                 \"fused\": {{{}}}}}{}\n",
+                 \"trace_ips\": {:.1}, \"superblock_ips\": {:.1}, \
+                 \"cached_ips\": {:.1}, \"uncached_ips\": {:.1}, \
+                 \"cached_speedup\": {:.3}, \"superblock_speedup\": {:.3}, \
+                 \"trace_speedup\": {:.3}, \"trace_coverage\": {:.3}, \
+                 \"mean_block_len\": {:.2}, \"fused\": {{{}}}}}{}\n",
                 r.id,
                 r.instructions,
+                r.trace_ips,
                 r.superblock_ips,
                 r.cached_ips,
                 r.uncached_ips,
                 r.cached_speedup(),
                 r.superblock_speedup(),
+                r.trace_speedup(),
+                r.trace_coverage,
                 r.mean_block_len,
                 fused.join(", "),
                 if i + 1 == self.rows.len() { "" } else { "," }
@@ -149,8 +174,12 @@ impl BenchReport {
             self.geomean_cached_speedup()
         ));
         s.push_str(&format!(
-            "  \"geomean_superblock_speedup\": {:.3}\n",
+            "  \"geomean_superblock_speedup\": {:.3},\n",
             self.geomean_superblock_speedup()
+        ));
+        s.push_str(&format!(
+            "  \"geomean_trace_speedup\": {:.3}\n",
+            self.geomean_trace_speedup()
         ));
         s.push_str("}\n");
         s
@@ -161,33 +190,39 @@ impl BenchReport {
         let mut t = Table::new(&[
             "benchmark",
             "instructions",
+            "trace (insns/s)",
             "superblock (insns/s)",
             "cached (insns/s)",
             "uncached (insns/s)",
+            "trace/cached",
             "sb/cached",
             "cached/unc",
-            "blk len",
+            "trace cov",
             "fused",
         ]);
         for r in &self.rows {
             t.row(vec![
                 r.id.to_string(),
                 r.instructions.to_string(),
+                format!("{:.2e}", r.trace_ips),
                 format!("{:.2e}", r.superblock_ips),
                 format!("{:.2e}", r.cached_ips),
                 format!("{:.2e}", r.uncached_ips),
+                format!("{:.2}x", r.trace_speedup()),
                 format!("{:.2}x", r.superblock_speedup()),
                 format!("{:.2}x", r.cached_speedup()),
-                format!("{:.1}", r.mean_block_len),
+                format!("{:.0}%", 100.0 * r.trace_coverage),
                 format!("{:.0}%", 100.0 * r.fused_fraction()),
             ]);
         }
         format!(
-            "Interpreter benchmark — superblock vs. cached vs. uncached\n\
+            "Interpreter benchmark — trace vs. superblock vs. cached vs. uncached\n\
              ({} arguments; best-of-N host timing, simulated behaviour is\n\
              bit-identical across all engines)\n\n{t}\n\
-             geomean superblock/cached: {:.2}x   geomean cached/uncached: {:.2}x\n",
+             geomean trace/cached: {:.2}x   geomean superblock/cached: {:.2}x   \
+             geomean cached/uncached: {:.2}x\n",
             if self.quick { "small" } else { "paper-scale" },
+            self.geomean_trace_speedup(),
             self.geomean_superblock_speedup(),
             self.geomean_cached_speedup()
         )
@@ -218,6 +253,7 @@ pub fn check_against_baseline(report: &BenchReport, baseline_json: &str) -> Resu
             "geomean_superblock_speedup",
             report.geomean_superblock_speedup(),
         ),
+        ("geomean_trace_speedup", report.geomean_trace_speedup()),
     ];
     let mut parts = Vec::new();
     for (key, now) in checks {
@@ -261,11 +297,11 @@ fn timed_run(prog: &Program, args: &[i32], engine: ExecEngine) -> (ExecStats, i3
     (cpu.stats(), cpu.result(), dt)
 }
 
-/// Reps per same-engine block (see [`best_trio`]).
+/// Reps per same-engine block (see [`best_quad`]).
 const BLOCK: u32 = 3;
 
-/// Best-of-N timing for one program, all three engines at once: after a
-/// warmup, repeat alternating *blocks* of superblock, cached, and
+/// Best-of-N timing for one program, all four engines at once: after a
+/// warmup, repeat alternating *blocks* of trace, superblock, cached, and
 /// uncached reps until `budget` host time is spent (always at least two
 /// block rounds), keeping each engine's fastest rep. The block structure
 /// matters twice over on a shared host: alternating the engines exposes
@@ -277,16 +313,17 @@ const BLOCK: u32 = 3;
 /// out of the reading by discarding each block's cold lap. Asserts the
 /// engines agree on simulated behaviour; returns the finished
 /// [`BenchRow`].
-fn best_trio(id: &'static str, prog: &Program, args: &[i32], budget: Duration) -> BenchRow {
-    let mut best = [Duration::MAX; 3];
+fn best_quad(id: &'static str, prog: &Program, args: &[i32], budget: Duration) -> BenchRow {
+    let mut best = [Duration::MAX; 4];
     let mut spent = Duration::ZERO;
     let mut rounds = 0u32;
     let engines = [
+        ExecEngine::Trace,
         ExecEngine::Superblock,
         ExecEngine::Cached,
         ExecEngine::Uncached,
     ];
-    let mut last: [Option<(ExecStats, i32)>; 3] = [None, None, None];
+    let mut last: [Option<(ExecStats, i32)>; 4] = [None, None, None, None];
     while rounds < 2 || (spent < budget && rounds < 200) {
         for (slot, &engine) in engines.iter().enumerate() {
             for _ in 0..BLOCK {
@@ -296,28 +333,31 @@ fn best_trio(id: &'static str, prog: &Program, args: &[i32], budget: Duration) -
                 spent += dt;
             }
         }
-        let sb = last[0].as_ref().unwrap();
+        let trc = last[0].as_ref().unwrap();
         for other in &last[1..] {
             // ExecStats equality is architectural (host-side telemetry
-            // like fused-pair counts is excluded by design), so this is
-            // exactly the cross-engine law.
+            // like fused-pair and trace counts is excluded by design), so
+            // this is exactly the cross-engine law.
             assert_eq!(
-                Some(sb),
+                Some(trc),
                 other.as_ref(),
                 "{id}: engines must agree on simulated behaviour"
             );
         }
         rounds += 1;
     }
-    let (sb_stats, _) = last[0].clone().unwrap();
+    let (trace_stats, _) = last[0].clone().unwrap();
+    let (sb_stats, _) = last[1].clone().unwrap();
     let instructions = sb_stats.instructions;
     let ips = |d: Duration| instructions as f64 / d.as_secs_f64().max(1e-9);
     BenchRow {
         id,
         instructions,
-        superblock_ips: ips(best[0]),
-        cached_ips: ips(best[1]),
-        uncached_ips: ips(best[2]),
+        trace_ips: ips(best[0]),
+        trace_coverage: trace_stats.trace_coverage(),
+        superblock_ips: ips(best[1]),
+        cached_ips: ips(best[2]),
+        uncached_ips: ips(best[3]),
         fused: std::array::from_fn(|i| sb_stats.fused(FuseKind::ALL[i])),
         mean_block_len: sb_stats.mean_block_len().unwrap_or(0.0),
     }
@@ -338,7 +378,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
         .map(|w| {
             let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
             let args = if quick { &w.small_args } else { &w.args };
-            best_trio(w.id, &prog, args, budget)
+            best_quad(w.id, &prog, args, budget)
         })
         .collect();
     BenchReport { quick, rows }
@@ -348,10 +388,12 @@ pub fn run_suite(quick: bool) -> BenchReport {
 mod tests {
     use super::*;
 
-    fn row(id: &'static str, sb: f64, c: f64, u: f64) -> BenchRow {
+    fn row(id: &'static str, t: f64, sb: f64, c: f64, u: f64) -> BenchRow {
         BenchRow {
             id,
             instructions: 1000,
+            trace_ips: t,
+            trace_coverage: 0.8,
             superblock_ips: sb,
             cached_ips: c,
             uncached_ips: u,
@@ -367,16 +409,30 @@ mod tests {
         for r in &rep.rows {
             assert!(r.instructions > 0, "{}", r.id);
             assert!(
-                r.superblock_ips > 0.0 && r.cached_ips > 0.0 && r.uncached_ips > 0.0,
+                r.trace_ips > 0.0
+                    && r.superblock_ips > 0.0
+                    && r.cached_ips > 0.0
+                    && r.uncached_ips > 0.0,
                 "{}",
                 r.id
             );
             assert!(r.mean_block_len > 1.0, "{}: superblocks never formed", r.id);
+            assert!(
+                (0.0..=1.0).contains(&r.trace_coverage),
+                "{}: coverage is a fraction",
+                r.id
+            );
         }
         // Host timing is noisy in debug tests, so only sanity-bound the
         // aggregates here; the real ≥-gate runs in release via the CLI.
         assert!(rep.geomean_cached_speedup() > 0.0);
         assert!(rep.geomean_superblock_speedup() > 0.0);
+        assert!(rep.geomean_trace_speedup() > 0.0);
+        // The trace tier must engage somewhere in the suite.
+        assert!(
+            rep.rows.iter().any(|r| r.trace_coverage > 0.0),
+            "no workload ever ran from trace IR"
+        );
     }
 
     #[test]
@@ -384,18 +440,21 @@ mod tests {
         let rep = BenchReport {
             quick: true,
             rows: vec![
-                row("fib", 8.0e7, 4.0e7, 1.0e7),
-                row("qsort", 4.5e7, 3.0e7, 1.5e7),
+                row("fib", 1.6e8, 8.0e7, 4.0e7, 1.0e7),
+                row("qsort", 9.0e7, 4.5e7, 3.0e7, 1.5e7),
             ],
         };
         let json = rep.to_json();
-        assert!(json.contains("\"schema\": \"risc1-bench-interp/v2\""));
+        assert!(json.contains("\"schema\": \"risc1-bench-interp/v3\""));
         assert!(json.contains("\"id\": \"fib\""));
         assert!(json.contains("\"cached_speedup\": 4.000"));
         assert!(json.contains("\"superblock_speedup\": 2.000"));
+        assert!(json.contains("\"trace_speedup\": 4.000"));
+        assert!(json.contains("\"trace_coverage\": 0.800"));
         assert!(json.contains("\"fused\": {\"cmp_branch\": 10, \"ldhi_imm\": 2"));
         assert!(json.contains("\"geomean_cached_speedup\": 2.828"));
         assert!(json.contains("\"geomean_superblock_speedup\": 1.732"));
+        assert!(json.contains("\"geomean_trace_speedup\": 3.464"));
         // Balanced braces/brackets — the document parses as JSON.
         assert_eq!(
             json.matches('{').count(),
@@ -413,15 +472,16 @@ mod tests {
         };
         assert_eq!(rep.geomean_cached_speedup(), 1.0);
         assert_eq!(rep.geomean_superblock_speedup(), 1.0);
+        assert_eq!(rep.geomean_trace_speedup(), 1.0);
     }
 
     #[test]
     fn baseline_comparison_accepts_parity_and_rejects_regressions() {
         let now = BenchReport {
             quick: true,
-            rows: vec![row("fib", 8.0e7, 4.0e7, 1.0e7)],
+            rows: vec![row("fib", 1.6e8, 8.0e7, 4.0e7, 1.0e7)],
         };
-        // cached 4.0x, superblock 2.0x.
+        // cached 4.0x, superblock 2.0x, trace 4.0x.
         let same = now.to_json();
         assert!(check_against_baseline(&now, &same).is_ok());
         // Modest improvement over the stored numbers also passes.

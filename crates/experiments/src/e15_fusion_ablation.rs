@@ -118,6 +118,15 @@ pub fn compute_with_threads(threads: usize) -> Vec<FusionRow> {
                 w.id,
                 kind.name()
             );
+            // The one hard law per ablation: a disabled kind must
+            // contribute zero pairs, whatever the others reclaim.
+            assert_eq!(
+                stats.fused(kind),
+                0,
+                "{}: {} fused while disabled",
+                w.id,
+                kind.name()
+            );
             pairs_without[kind.index()] = stats.fused_total();
         }
         let (none_stats, none_result) = run_one(&prog, &w.small_args, FusionConfig::none());
@@ -194,7 +203,10 @@ fn render(rows: &[FusionRow]) -> String {
          fused pair of each kind, all kinds enabled.\n\n{coverage}\n\
          Ablation: total fused pairs when one kind is switched off. The\n\
          shapes overlap, so pairs lost to one kind are partly reclaimed by\n\
-         another — the drop is what that kind uniquely contributes.\n\n{ablation}\n\
+         another — and because a fused pair blocks candidates on both its\n\
+         flanks, the realigned boundaries occasionally fuse *more* pairs\n\
+         than the all-on pass. The delta is what that kind's presence\n\
+         changes, not a strict lower bound.\n\n{ablation}\n\
          Across the suite, fused pairs cover {} of {} dynamic instructions\n\
          ({}). Every ablation above was verified bit-identical to the\n\
          all-on run in architectural state and statistics; fusion is a\n\
@@ -219,18 +231,19 @@ mod tests {
         for r in &serial {
             assert!(r.instructions > 0, "{}", r.id);
             assert!(r.mean_block_len > 1.0, "{}: blocks never formed", r.id);
-            for k in FuseKind::ALL {
-                // Knocking a kind out can only lose pairs overall — the
-                // other kinds may reclaim some, never more than the
-                // all-on fuser found (it is greedy over the same pairs).
-                assert!(
-                    r.pairs_without[k.index()] <= r.pairs(),
-                    "{}: -{} gained pairs",
-                    r.id,
-                    k.name()
-                );
-            }
         }
+        // Knocking a kind out realigns the greedy pair boundaries, so the
+        // ablation totals can move in either direction (one fused pair can
+        // block two candidate pairs on its flanks); the hard per-ablation
+        // law — a disabled kind contributes zero pairs — is asserted
+        // inside `compute`. What must hold suite-wide is that the
+        // ALU → dependent-load address feed actually fires now that the
+        // one-line fuser no longer shadows it behind the generic ALU pair.
+        let addr_feed: u64 = serial
+            .iter()
+            .map(|r| r.fused[FuseKind::AddrFeed.index()])
+            .sum();
+        assert!(addr_feed > 0, "addr_feed never fused suite-wide");
     }
 
     #[test]

@@ -197,6 +197,31 @@ pub struct SpecEntry {
     pub effect: EffectFn,
 }
 
+/// How the trace-compilation tier lowers one instruction into trace IR.
+///
+/// Derived purely from the spec row's effect fields, so the trace builder
+/// never keeps a private opcode list that could drift from the table: any
+/// row that moves a window, touches the PSW, reads `lastpc`, or transfers
+/// anywhere but PC-relative is `Excluded` and ends trace formation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lowering {
+    /// Plain ALU/shift row: lowers to a virtual-register ALU op.
+    Alu,
+    /// LDHI: lowers to a build-time constant move.
+    Const,
+    /// Memory read: lowers to a guarded load (faults side-exit the trace).
+    Load,
+    /// Memory write: lowers to a guarded store (faults and code-dirty
+    /// writes side-exit the trace).
+    Store,
+    /// PC-relative transfer (JMPR): lowers to a direction guard with a
+    /// statically predicted target.
+    RelBranch,
+    /// Everything else — window motion, PSW/lastpc access, indexed or
+    /// trapping transfers. Traces stop before these.
+    Excluded,
+}
+
 impl SpecEntry {
     /// Whether this row is in the ALU/shift group (the fusion candidates of
     /// the superblock builder).
@@ -208,6 +233,29 @@ impl SpecEntry {
     /// rows cannot be fused across a flag-setting instruction.
     pub fn reads_carry(&self) -> bool {
         matches!(self.reads_flags, FlagsRead::Carry)
+    }
+
+    /// The trace-IR class of this row (see [`Lowering`]). Computed from the
+    /// row's declared effects, not from the opcode, so new table rows are
+    /// conservatively excluded until their effects say otherwise.
+    pub fn lowering(&self) -> Lowering {
+        if self.window != WindowMotion::None
+            || self.writes_psw
+            || self.reads_psw
+            || self.reads_last_pc
+        {
+            return Lowering::Excluded;
+        }
+        match (self.transfer, self.mem) {
+            (Transfer::None, MemEffect::Read { .. }) => Lowering::Load,
+            (Transfer::None, MemEffect::Write { .. }) => Lowering::Store,
+            (Transfer::Relative, MemEffect::None) => Lowering::RelBranch,
+            (Transfer::None, MemEffect::None) if self.is_alu() => Lowering::Alu,
+            (Transfer::None, MemEffect::None) if self.shape == OperandShape::Long => {
+                Lowering::Const
+            }
+            _ => Lowering::Excluded,
+        }
     }
 
     /// Canonical sample instructions covering every operand shape this row
@@ -1426,6 +1474,43 @@ mod tests {
             assert_eq!(e.transfer != Transfer::None, op.is_transfer(), "{op}");
             assert_eq!(e.has_delay_slot, op.has_delay_slot(), "{op}");
         }
+    }
+
+    #[test]
+    fn lowering_classes_match_trace_rules() {
+        for e in &ENTRIES {
+            let op = e.opcode;
+            let want = match op {
+                Opcode::Ldhi => Lowering::Const,
+                Opcode::Jmpr => Lowering::RelBranch,
+                _ if e.is_alu() => Lowering::Alu,
+                _ if op.is_load() => Lowering::Load,
+                _ if op.is_store() => Lowering::Store,
+                _ => Lowering::Excluded,
+            };
+            assert_eq!(e.lowering(), want, "{op}");
+        }
+        // The excluded set is exactly the rows a trace cannot cross:
+        // window motion, PSW/lastpc access, and non-relative transfers.
+        let excluded: Vec<Opcode> = ENTRIES
+            .iter()
+            .filter(|e| e.lowering() == Lowering::Excluded)
+            .map(|e| e.opcode)
+            .collect();
+        assert_eq!(
+            excluded,
+            vec![
+                Opcode::Jmp,
+                Opcode::Call,
+                Opcode::Callr,
+                Opcode::Ret,
+                Opcode::Calli,
+                Opcode::Reti,
+                Opcode::Gtlpc,
+                Opcode::Getpsw,
+                Opcode::Putpsw,
+            ]
+        );
     }
 
     #[test]

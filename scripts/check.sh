@@ -10,11 +10,11 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -q -- -D warnings
 
-echo "==> cargo build --release"
-cargo build --release -q
+echo "==> cargo build --release --workspace"
+cargo build --release -q --workspace
 
-echo "==> cargo test"
-cargo test -q
+echo "==> cargo test --workspace"
+cargo test -q --workspace
 
 echo "==> cargo test --test fault_injection (robustness sweep)"
 cargo test -q --test fault_injection
@@ -22,14 +22,14 @@ cargo test -q --test fault_injection
 echo "==> cargo test --test checkpoint_replay (replay determinism gate)"
 cargo test -q --test checkpoint_replay
 
-echo "==> cargo test --test interp_equivalence (three-engine equivalence law)"
+echo "==> cargo test --test interp_equivalence (four-engine equivalence law)"
 cargo test -q --test interp_equivalence
 
 echo "==> risc1 lint --spec-audit (ISA spec table vs metadata/codec/assembler/icache)"
 cargo run -q --release -p risc1-cli --bin risc1 -- lint --spec-audit
 
-echo "==> cargo test --test spec_differential (spec-vs-engines differential fuzz,"
-echo "    fixed-seed quick profile: 200 generated + 48 injected cases)"
+echo "==> cargo test --test spec_differential (spec-vs-four-engines differential"
+echo "    fuzz, fixed-seed quick profile: 200 generated + 48 injected cases)"
 cargo test -q --release --test spec_differential
 
 echo "==> cargo test --test serve_chaos (service transparency law under load)"

@@ -1,25 +1,30 @@
 //! The execution engines' correctness law: acceleration is invisible.
 //!
-//! PR 4 added a predecoded instruction cache (`crates/core/src/icache.rs`)
-//! and PR 5 layered a superblock engine over it
+//! PR 4 added a predecoded instruction cache (`crates/core/src/icache.rs`),
+//! PR 5 layered a superblock engine over it
 //! (`crates/core/src/superblock.rs`): straight-line blocks formed over
-//! the cached lines, chained block-to-block, with macro-op fusion inside.
-//! All of that is pure derived state — under any of the three engines
-//! (`uncached`, `cached`, `superblock`), every simulated observable must
-//! be bit-identical: final result, `ExecStats` (instruction mix, cycles,
-//! traps, spills), the entire memory image, the visible register window,
-//! and the window-file position. This suite holds all engines to that
-//! bar five ways:
+//! the cached lines, chained block-to-block, with macro-op fusion inside,
+//! and PR 9 added the trace tier (`crates/core/src/trace.rs`): hot chained
+//! superblocks compiled to register-allocated trace IR with bulk
+//! statistics applied at trace exit. All of that is pure derived state —
+//! under any of the four engines (`uncached`, `cached`, `superblock`,
+//! `trace`), every simulated observable must be bit-identical: final
+//! result, `ExecStats` (instruction mix, cycles, traps, spills), the
+//! entire memory image, the visible register window, and the window-file
+//! position. This suite holds all engines to that bar six ways:
 //!
-//! 1. deterministically across all eleven suite workloads (three-way),
+//! 1. deterministically across all eleven suite workloads (four-way),
 //! 2. property-style under seed-driven fault injection (where traps,
 //!    recovery stubs, and snapshot restores stress the invalidation
 //!    paths),
 //! 3. with a hand-assembled self-modifying program that overwrites its
 //!    own already-executed-and-cached text,
 //! 4. with a program that patches the middle of an already-chained hot
-//!    loop while it runs — the store must kill the formed blocks, and
-//! 5. by dirtying more registered code pages than the pending channel
+//!    loop while it runs — the store must kill the formed blocks,
+//! 5. with a long-running hot loop that patches its own text only *after*
+//!    the trace tier has compiled and entered a trace for it — the store
+//!    side-exits the trace and kills it, and
+//! 6. by dirtying more registered code pages than the pending channel
 //!    can hold, forcing the overflow → flush-everything fallback.
 //!
 //! Snapshot checksums deliberately cover `SimConfig` (so a restore
@@ -106,19 +111,22 @@ fn run_mode(prog: &Program, args: &[i32], engine: ExecEngine) -> FinalState {
 }
 
 #[test]
-fn every_workload_is_bit_identical_across_all_three_engines() {
+fn every_workload_is_bit_identical_across_all_four_engines() {
     let mut fused_anywhere = 0u64;
+    let mut traced_anywhere = 0u64;
     for w in all() {
         let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
         let uncached = run_mode(&prog, &w.small_args, ExecEngine::Uncached);
         let cached = run_mode(&prog, &w.small_args, ExecEngine::Cached);
         let superblock = run_mode(&prog, &w.small_args, ExecEngine::Superblock);
+        let trace = run_mode(&prog, &w.small_args, ExecEngine::Trace);
         assert_eq!(cached, uncached, "{}: cache must be invisible", w.id);
         assert_eq!(
             superblock, uncached,
             "{}: superblocks must be invisible",
             w.id
         );
+        assert_eq!(trace, uncached, "{}: traces must be invisible", w.id);
         // The superblock engine must actually engage (not silently fall
         // back to single-stepping), and must never fuse elsewhere.
         assert!(
@@ -129,10 +137,20 @@ fn every_workload_is_bit_identical_across_all_three_engines() {
         assert_eq!(uncached.stats.fused_total(), 0, "{}", w.id);
         assert_eq!(cached.stats.fused_total(), 0, "{}", w.id);
         fused_anywhere += superblock.stats.fused_total();
+        traced_anywhere += trace.stats.trace_instructions;
+        assert_eq!(
+            superblock.stats.trace_instructions, 0,
+            "{}: only the trace engine may run traces",
+            w.id
+        );
     }
     assert!(
         fused_anywhere > 0,
         "macro-op fusion never fired across the whole suite"
+    );
+    assert!(
+        traced_anywhere > 0,
+        "the trace tier never compiled and ran a trace across the whole suite"
     );
 }
 
@@ -171,7 +189,7 @@ proptest! {
     /// The law under fire: a seed-driven fault campaign — register and
     /// memory corruption, forced traps, recovery re-execution — produces
     /// the *exact same* `InjectReport` (outcome, stats, and the full
-    /// event log) under all three engines. Injected memory writes land
+    /// event log) under all four engines. Injected memory writes land
     /// through the same dirty-channel stores use, so this leans hard on
     /// invalidation.
     #[test]
@@ -189,7 +207,8 @@ proptest! {
         };
         let uncached = run(ExecEngine::Uncached);
         prop_assert_eq!(run(ExecEngine::Cached), uncached.clone());
-        prop_assert_eq!(run(ExecEngine::Superblock), uncached);
+        prop_assert_eq!(run(ExecEngine::Superblock), uncached.clone());
+        prop_assert_eq!(run(ExecEngine::Trace), uncached);
     }
 }
 
@@ -259,12 +278,14 @@ fn self_modifying_code_invalidates_already_executed_text() {
     let uncached = run_mode(&prog, &[], ExecEngine::Uncached);
     let cached = run_mode(&prog, &[], ExecEngine::Cached);
     let superblock = run_mode(&prog, &[], ExecEngine::Superblock);
+    let trace = run_mode(&prog, &[], ExecEngine::Trace);
     assert_eq!(
         cached.result, 10,
         "stale cached line survived the overwrite (20 = add ran twice)"
     );
     assert_eq!(cached, uncached, "cache must be invisible");
     assert_eq!(superblock, uncached, "superblocks must be invisible");
+    assert_eq!(trace, uncached, "traces must be invisible");
 }
 
 #[test]
@@ -305,15 +326,72 @@ fn patching_the_middle_of_a_chained_hot_loop_is_observed() {
     let uncached = run_mode(&prog, &[], ExecEngine::Uncached);
     let cached = run_mode(&prog, &[], ExecEngine::Cached);
     let superblock = run_mode(&prog, &[], ExecEngine::Superblock);
+    let trace = run_mode(&prog, &[], ExecEngine::Trace);
     assert_eq!(
         superblock.result, 60,
         "a stale superblock replayed the pre-patch loop body"
     );
     assert_eq!(cached, uncached, "cache must be invisible");
     assert_eq!(superblock, uncached, "superblocks must be invisible");
+    assert_eq!(trace, uncached, "traces must be invisible");
     assert!(
         superblock.stats.blocks_entered >= 5,
         "the loop never got hot under the superblock engine"
+    );
+}
+
+#[test]
+fn patching_a_running_trace_mid_flight_is_observed() {
+    let imm = |v: i32| Short2::imm(v).expect("fits imm13");
+    let patch_word = Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(1)).encode();
+
+    // Same shape as the hot-loop patch test, but run long enough that the
+    // trace tier has *compiled and entered* a trace over the loop before
+    // the patch lands: 200 iterations, patching at i == 100 (block heat
+    // promotes at 64 completed executions, so by iteration 100 the loop
+    // is running from trace IR). The patch store takes the trace's cold
+    // branch direction — a guard mismatch exits the trace, the store runs
+    // under the block path, the dirty channel kills the stale trace, and
+    // iterations 101..200 run (and re-promote) the patched text.
+    // acc = 100*11 + 100*1 = 1200 only if all of that is observed.
+    let mut insns = patch_prologue(patch_word);
+    let l = insns.len(); // loop head / patch target
+    insns.extend([
+        Instruction::reg(Opcode::Add, Reg::R26, Reg::R26, imm(11)), // PATCHED at i == 100
+        Instruction::reg(Opcode::Add, Reg::R17, Reg::R17, imm(1)),  // i += 1
+        Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R17, imm(100)),
+        Instruction::jmpr(Cond::Ne, 3 * 4), // i != 100: skip the patch store
+        Instruction::nop(),                 // delay slot
+        Instruction::reg(Opcode::Stl, Reg::R21, Reg::R20, imm(0)), // text[L] = add #1
+        Instruction::reg_scc(Opcode::Sub, Reg::R0, Reg::R17, imm(200)),
+    ]);
+    let j = insns.len();
+    insns.extend([
+        Instruction::jmpr(Cond::Lt, 4 * (l as i32 - j as i32)),
+        Instruction::nop(), // delay slot
+        Instruction::ret(Reg::R0, imm(0)),
+        Instruction::nop(), // return delay slot
+    ]);
+    insns[2] = Instruction::reg(Opcode::Add, Reg::R20, Reg::R20, imm(4 * l as i32));
+    assert_eq!(SimConfig::default().code_base, 0x1000, "address math above");
+
+    let prog = Program::from_instructions(insns);
+    let uncached = run_mode(&prog, &[], ExecEngine::Uncached);
+    let trace = run_mode(&prog, &[], ExecEngine::Trace);
+    assert_eq!(
+        trace.result, 1200,
+        "a stale trace replayed the pre-patch loop body"
+    );
+    assert_eq!(trace, uncached, "traces must be invisible");
+    assert!(
+        trace.stats.traces_built >= 2,
+        "the loop must promote before the patch and re-promote after \
+         (built {} traces)",
+        trace.stats.traces_built
+    );
+    assert!(
+        trace.stats.trace_side_exits >= 1,
+        "the patch must leave the trace through a side exit"
     );
 }
 
@@ -380,6 +458,7 @@ fn dirty_channel_overflow_falls_back_to_flushing_everything() {
     let uncached = run(ExecEngine::Uncached);
     let cached = run(ExecEngine::Cached);
     let superblock = run(ExecEngine::Superblock);
+    let trace = run(ExecEngine::Trace);
     assert_eq!(
         uncached.result,
         3 * body_len as i32,
@@ -387,4 +466,5 @@ fn dirty_channel_overflow_falls_back_to_flushing_everything() {
     );
     assert_eq!(cached, uncached, "cache must be invisible");
     assert_eq!(superblock, uncached, "superblocks must be invisible");
+    assert_eq!(trace, uncached, "traces must be invisible");
 }

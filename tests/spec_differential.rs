@@ -6,9 +6,9 @@
 //! `risc1-core` (independent window-ring indexing, independent flag algebra).
 //! This suite generates random *valid* programs from the spec table — every
 //! opcode and operand shape is reachable through some gadget — and asserts
-//! that the uncached, cached, and superblock engines all produce the exact
-//! state the spec interpreter does: result, final PC, the visible window,
-//! window position and depth, a digest of all of memory, and the
+//! that the uncached, cached, superblock, and trace engines all produce the
+//! exact state the spec interpreter does: result, final PC, the visible
+//! window, window position and depth, a digest of all of memory, and the
 //! stats-visible counters.
 //!
 //! Program shape: a prologue pins `r9` at a scratch data region, then a
@@ -19,10 +19,10 @@
 //! the halting `ret`. Gadgets keep call depth far below the window count
 //! (the spec machine has no spill/fill and faults on overflow) and keep all
 //! memory traffic inside an aligned scratch window, so every generated
-//! program halts cleanly on all four machines.
+//! program halts cleanly on all five machines.
 //!
 //! A seeded fault-injection variant reruns the same generated programs under
-//! a deterministic injection campaign and holds the three production engines
+//! a deterministic injection campaign and holds the four production engines
 //! to bit-identical `InjectReport`s (the spec machine models no injection,
 //! so it sits that variant out).
 
@@ -572,8 +572,13 @@ proptest! {
     fn generated_programs_agree_with_the_spec_on_every_engine(gp in arb_gen_program()) {
         let prog = build(&gp);
         let spec = run_spec(&prog);
-        let engines = [ExecEngine::Uncached, ExecEngine::Cached, ExecEngine::Superblock];
-        // The three engines are independent jobs — run them through the
+        let engines = [
+            ExecEngine::Uncached,
+            ExecEngine::Cached,
+            ExecEngine::Superblock,
+            ExecEngine::Trace,
+        ];
+        // The engines are independent jobs — run them through the
         // campaign runner's parallel map, honouring `RISC1_THREADS` via the
         // shared parsed accessor.
         let finals = parallel_map(&engines, default_threads().min(engines.len()), |_, &engine| {
@@ -599,13 +604,19 @@ proptest! {
     ) {
         let prog = build(&gp);
         let inject = InjectConfig { seed, rate: 50, modes: InjectModes::all() };
-        let engines = [ExecEngine::Uncached, ExecEngine::Cached, ExecEngine::Superblock];
+        let engines = [
+            ExecEngine::Uncached,
+            ExecEngine::Cached,
+            ExecEngine::Superblock,
+            ExecEngine::Trace,
+        ];
         let reports = parallel_map(&engines, default_threads().min(engines.len()), |_, &engine| {
             let cfg = SimConfig { engine, fuel: 200_000, ..SimConfig::default() };
             run_risc_injected(&prog, &[], cfg, inject, recovery).expect("setup succeeds")
         });
         prop_assert_eq!(&reports[1], &reports[0], "cached vs uncached");
         prop_assert_eq!(&reports[2], &reports[0], "superblock vs uncached");
+        prop_assert_eq!(&reports[3], &reports[0], "trace vs uncached");
     }
 }
 
