@@ -62,7 +62,7 @@ pub use journal::{Journal, JournalError, JournalEvent, RecordedOutcome, JOURNAL_
 pub use mem::{MemError, Memory, CODE_DIRTY_PENDING_CAP, PAGE_BYTES};
 pub use program::Program;
 pub use snapshot::{
-    config_hash, CheckpointStats, Checkpointer, RestoreError, Snapshot, CKPT_BASE_CYCLES,
+    config_hash, page_sum, CheckpointStats, Checkpointer, RestoreError, Snapshot, CKPT_BASE_CYCLES,
     MAX_SNAPSHOT_MEM_BYTES, MAX_SNAPSHOT_TRACE, MAX_SNAPSHOT_WINDOWS, SNAPSHOT_VERSION,
 };
 pub use stats::{ExecStats, FuseKind, OpcodeCounts};

@@ -92,8 +92,10 @@ impl Default for Fnv64 {
     }
 }
 
-/// FNV-1a digest of one memory page.
-fn page_sum(bytes: &[u8]) -> u64 {
+/// FNV-1a digest of one memory page — the per-page unit the snapshot
+/// checksum, the incremental checkpointer and the shard stitcher's
+/// dirty-page overlay law all agree on.
+pub fn page_sum(bytes: &[u8]) -> u64 {
     let mut h = Fnv64::new();
     h.write_bytes(bytes);
     h.finish()
@@ -174,6 +176,23 @@ fn hash_stats(h: &mut Fnv64, s: &ExecStats) {
 
 impl CpuState {
     fn hash_into(&self, h: &mut Fnv64) {
+        self.hash_arch_into(h);
+        // Host-side bookkeeping: which checkpoint/journal position was
+        // last noted. Part of the full snapshot checksum (a restore brings
+        // them back bit-for-bit) but deliberately *not* part of
+        // `hash_arch_into` — see `Snapshot::arch_digest`.
+        hash_opt_u64(h, self.last_snapshot);
+        hash_opt_u64(h, self.journal_pos);
+    }
+
+    /// Hashes every field that belongs to the simulated machine itself:
+    /// registers, pc/lastpc, PSW, window stack, pending delayed transfer,
+    /// trap unit, fuel, architectural statistics and the retirement trace.
+    /// Excludes `last_snapshot`/`journal_pos`, which describe what the
+    /// *host* did around the run (checkpoint ids, journal cursors) and
+    /// legitimately differ between a checkpointed first pass and a shard
+    /// re-executing the same instructions.
+    pub(crate) fn hash_arch_into(&self, h: &mut Fnv64) {
         self.regs.for_each_word(|w| h.write_u64(w));
         h.write_u64(u64::from(self.pc));
         h.write_u64(u64::from(self.last_pc));
@@ -213,9 +232,20 @@ impl CpuState {
         hash_opt_u64(h, self.active_trap.map(|k| u64::from(k.code())));
         hash_opt_u64(h, self.pending_probe.map(|k| u64::from(k.code())));
         h.write_u64(self.fuel_limit);
-        hash_opt_u64(h, self.last_snapshot);
-        hash_opt_u64(h, self.journal_pos);
     }
+}
+
+/// [`Snapshot::arch_digest`] computed straight off a live CPU, without
+/// cloning its memory into a full snapshot first (the implementation
+/// behind [`Cpu::arch_digest`]).
+pub(crate) fn arch_digest_of(cpu: &Cpu) -> u64 {
+    let mut h = Fnv64::new();
+    cpu.capture_state().hash_arch_into(&mut h);
+    h.write_u64(cpu.mem.page_count() as u64);
+    for i in 0..cpu.mem.page_count() {
+        h.write_u64(page_sum(cpu.mem.page(i)));
+    }
+    h.finish()
 }
 
 /// Stable FNV-1a digest of a complete [`SimConfig`] — every field that
@@ -388,6 +418,14 @@ impl Snapshot {
         &self.cfg
     }
 
+    /// Per-page [`page_sum`] digests of the captured memory, in page
+    /// order. The shard stitcher's overlay law folds per-shard dirty-page
+    /// digests over a baseline's sums and compares against the final
+    /// capture's sums.
+    pub fn page_sums(&self) -> &[u64] {
+        &self.page_sums
+    }
+
     /// Digest of version, id, configuration, register/trap state, and the
     /// per-page memory digests.
     fn compute_checksum(&self) -> u64 {
@@ -402,6 +440,42 @@ impl Snapshot {
             h.write_u64(s);
         }
         h.finish()
+    }
+
+    /// Digest of the *simulated machine* alone: architectural register and
+    /// trap state, architectural statistics, and the per-page memory
+    /// digests. Excludes the snapshot id, the capture configuration and
+    /// the host bookkeeping fields (`last_snapshot`/`journal_pos`).
+    ///
+    /// Two snapshots with equal `arch_digest` describe the same machine at
+    /// the same point of the same run, no matter which engine tier got it
+    /// there, whether checkpoints were taken along the way, or what id the
+    /// capture carries. This is the equality the shard stitcher checks at
+    /// every shard boundary (see `risc1-ir`'s `shard` module).
+    pub fn arch_digest(&self) -> u64 {
+        let mut h = Fnv64::new();
+        self.state.hash_arch_into(&mut h);
+        h.write_u64(self.page_sums.len() as u64);
+        for &s in &self.page_sums {
+            h.write_u64(s);
+        }
+        h.finish()
+    }
+
+    /// Rewrites the engine tier the snapshot restores into, recomputing
+    /// the checksum so the result still verifies.
+    ///
+    /// This is sound because the engine tiers are architecturally
+    /// bit-identical (the repository's four-engine equivalence law): no
+    /// captured field depends on the tier, and the predecode/superblock/
+    /// trace caches a tier maintains are derived state rebuilt after any
+    /// restore. Rebinding only changes which `SimConfig` the snapshot
+    /// expects at [`Cpu::restore`] time — it is how a trace-engine
+    /// planning pass hands snapshots to shards running a different tier,
+    /// and how the cross-engine resume law is stated.
+    pub fn rebind_engine(&mut self, engine: ExecEngine) {
+        self.cfg.engine = engine;
+        self.checksum = self.compute_checksum();
     }
 
     /// Verifies the snapshot against its stored checksum.

@@ -1,0 +1,4 @@
+//! Prints the e16_shard_scaling experiment report (see `risc1_experiments::e16_shard_scaling`).
+fn main() {
+    print!("{}", risc1_experiments::e16_shard_scaling::run());
+}

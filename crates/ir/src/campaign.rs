@@ -32,16 +32,18 @@ pub fn default_threads() -> usize {
 /// campaign runner, the differential fuzz harness) shares one definition
 /// of what a valid override is — and so the logic is testable without
 /// mutating process state. Malformed or non-positive values fall back to
-/// the machine's available parallelism.
+/// the machine's available parallelism; positive values are clamped to
+/// it, so `RISC1_THREADS=1000000` asks for every core rather than a
+/// million OS threads (thread count never changes results, so clamping
+/// is always safe).
 pub fn parse_threads(env: Option<&str>) -> usize {
-    if let Some(n) = env.and_then(|v| v.trim().parse::<usize>().ok()) {
-        if n >= 1 {
-            return n;
-        }
-    }
-    std::thread::available_parallelism()
+    let avail = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(1)
+        .unwrap_or(1);
+    match env.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(avail),
+        _ => avail,
+    }
 }
 
 /// Applies `f` to every item, on `threads` worker threads, returning the
@@ -128,14 +130,25 @@ mod tests {
 
     #[test]
     fn thread_override_parses_positive_integers_and_ignores_junk() {
-        assert_eq!(parse_threads(Some("3")), 3);
-        assert_eq!(parse_threads(Some(" 12 ")), 12);
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // Valid overrides pass through, capped at the machine's cores.
+        assert_eq!(parse_threads(Some("1")), 1);
+        assert_eq!(parse_threads(Some("3")), 3.min(avail));
+        assert_eq!(parse_threads(Some(" 12 ")), 12.min(avail));
         let fallback = parse_threads(None);
-        assert!(fallback >= 1);
+        assert_eq!(fallback, avail);
+        // Non-positive, huge and junk values all fall back safely: a bad
+        // environment must never translate into a million OS threads.
         assert_eq!(parse_threads(Some("0")), fallback);
+        assert_eq!(parse_threads(Some("1000000")), avail);
+        assert_eq!(parse_threads(Some("18446744073709551615")), avail);
+        assert_eq!(parse_threads(Some("99999999999999999999999")), fallback);
         assert_eq!(parse_threads(Some("-2")), fallback);
         assert_eq!(parse_threads(Some("lots")), fallback);
         assert_eq!(parse_threads(Some("")), fallback);
+        assert_eq!(parse_threads(Some("3 threads")), fallback);
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! Sharded checkpoint-parallel execution of one long run.
+//!
+//! A single long simulation occupies exactly one host thread, no matter
+//! how fast the engine tiers get. Both related zkVM executors (Ziren,
+//! zkMIPS) break that wall the same way: a fast first pass emits periodic
+//! checkpoints, then *shards* re-execute from those checkpoints in
+//! parallel, and the shard results are stitched back into the whole-run
+//! answer. This module is that trick for RISC I, built entirely from
+//! primitives the repository already trusts:
+//!
+//! * **Planning pass** — the program runs once under the trace engine
+//!   (the fastest tier), and an incremental [`Checkpointer`] captures a
+//!   [`Snapshot`] every `shard_cycles` retired instructions. Instruction
+//!   counts make exact boundaries because [`Cpu::run_until_instructions`]
+//!   never overshoots and the stopping condition is purely architectural
+//!   — a boundary may legitimately land *inside a delay slot* (the
+//!   pending transfer is part of the snapshot).
+//! * **Shard execution** — each snapshot is rebound to the caller's
+//!   engine ([`Snapshot::rebind_engine`], sound because the tiers are
+//!   bit-identical) and [`parallel_map`] re-executes every shard from its
+//!   snapshot to the next boundary on worker threads.
+//! * **Stitching** — the stitcher re-derives the whole-run result from
+//!   the shard parts and *proves* it equals the sequential run: chained
+//!   boundary digests, per-shard statistics deltas folded back together,
+//!   and a dirty-page overlay law for memory. Any mismatch is a
+//!   [`StitchError`], not a wrong answer.
+//!
+//! Equality throughout is [`Cpu::arch_digest`] equality: the simulated
+//! machine alone. Host telemetry (superblock/fusion counters, checkpoint
+//! ids, journal cursors, wall-clock) depends on how the timeline was
+//! chopped and which tier executed it, so it is excluded — the same
+//! exclusion the snapshot round-trip and four-engine equivalence laws
+//! already make. DESIGN.md §17 spells out the boundary rules and the
+//! stitch law.
+
+use crate::campaign::{default_threads, parallel_map};
+use crate::runner::{setup_injected_cpu, InjectOutcome, InjectReport, InjectSetupError};
+use risc1_core::snapshot::RestoreError;
+use risc1_core::{
+    page_sum, Checkpointer, Cpu, ExecEngine, ExecStats, FaultInjector, Halt, InjectConfig,
+    InjectEvent, Program, SimConfig, Snapshot,
+};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Admission cap on the number of shards one plan may hold. Each shard
+/// carries a full materialized [`Snapshot`] (default config: ~1 MiB of
+/// memory image), so an unbounded plan of a billion-instruction run at a
+/// tiny `shard_cycles` would exhaust host memory long before it exhausted
+/// the simulator. Callers who hit the cap should raise `shard_cycles`.
+pub const MAX_SHARDS: usize = 256;
+
+/// Why a sharded run could not be arranged or proven.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// `shard_cycles` was zero.
+    BadShardCycles,
+    /// The program could not be loaded / argument setup failed.
+    Setup(InjectSetupError),
+    /// The run needs more than [`MAX_SHARDS`] shards at this
+    /// `shard_cycles`.
+    TooManyShards {
+        /// Shards the plan had already accumulated when it gave up.
+        planned: usize,
+    },
+    /// A shard worker failed to restore its start snapshot.
+    Restore(RestoreError),
+    /// The stitcher could not prove the shard results equal the
+    /// sequential run.
+    Stitch(StitchError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::BadShardCycles => write!(f, "--shard-cycles must be at least 1"),
+            ShardError::Setup(e) => write!(f, "sharded run setup: {e}"),
+            ShardError::TooManyShards { planned } => write!(
+                f,
+                "run needs more than {MAX_SHARDS} shards (planned {planned}); \
+                 raise shard_cycles"
+            ),
+            ShardError::Restore(e) => write!(f, "shard restore: {e}"),
+            ShardError::Stitch(e) => write!(f, "stitch: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<InjectSetupError> for ShardError {
+    fn from(e: InjectSetupError) -> Self {
+        ShardError::Setup(e)
+    }
+}
+
+/// A stitch-law violation: which shard broke which invariant. Every
+/// variant means the parallel re-execution did *not* reproduce the
+/// planning pass — by construction this cannot happen on deterministic
+/// hardware, so any occurrence is a simulator bug worth the detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StitchError {
+    /// A shard's end state digest does not match the next shard's start
+    /// snapshot.
+    Boundary {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Digest the plan recorded at this boundary.
+        expected: u64,
+        /// Digest the shard re-execution produced.
+        found: u64,
+    },
+    /// A shard stopped at the wrong instruction count.
+    BoundaryInstruction {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Boundary the plan assigned.
+        expected: u64,
+        /// Instruction count the shard actually stopped at.
+        found: u64,
+    },
+    /// The folded per-shard statistics deltas disagree with the final
+    /// shard's cumulative statistics.
+    Stats,
+    /// The dirty-page overlay of all shards does not reproduce the final
+    /// memory page digests.
+    Memory {
+        /// Digest of the overlay fold.
+        expected: u64,
+        /// Digest of the final shard's memory.
+        found: u64,
+    },
+    /// The final shard's outcome differs from the planning pass.
+    Outcome,
+    /// An injected run's replayed event schedule differs from the
+    /// planning pass.
+    Events,
+}
+
+impl fmt::Display for StitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StitchError::Boundary {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {shard} ended with arch digest {found:#018x}, \
+                 plan recorded {expected:#018x} at that boundary"
+            ),
+            StitchError::BoundaryInstruction {
+                shard,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shard {shard} stopped at instruction {found}, plan assigned {expected}"
+            ),
+            StitchError::Stats => write!(
+                f,
+                "folded per-shard statistics deltas disagree with the final cumulative statistics"
+            ),
+            StitchError::Memory { expected, found } => write!(
+                f,
+                "dirty-page overlay digest {expected:#018x} != final memory digest {found:#018x}"
+            ),
+            StitchError::Outcome => write!(f, "final shard outcome differs from the planning pass"),
+            StitchError::Events => write!(
+                f,
+                "replayed injection schedule differs from the planning pass"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StitchError {}
+
+/// One planned shard: where it starts (a full snapshot, plus the
+/// injector's mid-schedule state for injected runs) and where it must
+/// stop.
+#[derive(Debug, Clone)]
+struct Shard {
+    snap: Snapshot,
+    injector: Option<FaultInjector>,
+    /// Boundary this shard must run to (`instructions == end`); the final
+    /// shard instead runs to the plan's recorded end of program.
+    end: u64,
+    /// Whether this is the final shard (ends by halting/faulting rather
+    /// than at a boundary).
+    last: bool,
+}
+
+/// The product of the planning pass: shard start points plus everything
+/// the stitcher needs to hold the parallel re-execution to the sequential
+/// answer.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    shards: Vec<Shard>,
+    /// Arch digest the plan recorded at each shard's *end* (index i =
+    /// digest at the end of shard i; the last entry is the final state).
+    end_digests: Vec<u64>,
+    /// The planning pass's whole-run report — outcome, cumulative stats,
+    /// applied injection events.
+    final_report: InjectReport,
+    /// Page digests of the initial memory (shard 0's start).
+    baseline_page_sums: Vec<u64>,
+    /// Wall-clock the planning pass took (host telemetry).
+    plan_wall: Duration,
+}
+
+impl ShardPlan {
+    /// Number of shards in the plan.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The instruction boundaries the plan cut at (end of each shard).
+    pub fn boundaries(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.end).collect()
+    }
+}
+
+/// What one shard worker brought back.
+struct ShardRun {
+    stats_at_start: ExecStats,
+    stats: ExecStats,
+    end_instruction: u64,
+    end_digest: u64,
+    /// `page_sum` of every page this shard wrote, by page index.
+    dirty: Vec<(usize, u64)>,
+    /// FNV digest over the shard's final full page-digest vector.
+    mem_digest: u64,
+    outcome: Option<InjectOutcome>,
+    events: Vec<InjectEvent>,
+}
+
+/// A sharded run, proven equal to its sequential counterpart.
+#[derive(Debug, Clone)]
+pub struct ShardedReport {
+    /// Outcome, cumulative statistics and injection events — bit-identical
+    /// to the sequential run of the same `(program, args, config,
+    /// injection)`.
+    pub report: InjectReport,
+    /// FNV-1a digest over the final memory's page digests.
+    pub mem_digest: u64,
+    /// Final [`Cpu::arch_digest`] of the whole run.
+    pub arch_digest: u64,
+    /// Instruction boundaries the run was cut at.
+    pub boundaries: Vec<u64>,
+    /// Worker threads the shard phase actually used.
+    pub threads: usize,
+    /// Wall-clock of the planning pass (host telemetry — excluded from
+    /// every equality above).
+    pub plan_wall: Duration,
+    /// Wall-clock of the parallel shard phase plus stitching.
+    pub exec_wall: Duration,
+}
+
+impl ShardedReport {
+    /// Number of shards executed.
+    pub fn shards(&self) -> usize {
+        self.boundaries.len()
+    }
+}
+
+/// Runs `prog` sharded under the default configuration: plan under the
+/// trace engine, re-execute `shard_cycles`-instruction shards on
+/// `threads` workers (0 = [`default_threads`]), stitch, and prove the
+/// stitched result equals sequential execution.
+///
+/// # Errors
+/// [`ShardError`] when the run cannot be arranged, a shard cannot
+/// restore, or the stitch law fails.
+pub fn run_sharded(
+    prog: &Program,
+    args: &[i32],
+    shard_cycles: u64,
+    threads: usize,
+) -> Result<ShardedReport, ShardError> {
+    run_sharded_with(prog, args, SimConfig::default(), shard_cycles, threads)
+}
+
+/// [`run_sharded`] with an explicit simulator configuration. Shards
+/// execute under `cfg.engine`; the planning pass always uses the trace
+/// engine and rebinds its snapshots.
+///
+/// # Errors
+/// As [`run_sharded`].
+pub fn run_sharded_with(
+    prog: &Program,
+    args: &[i32],
+    cfg: SimConfig,
+    shard_cycles: u64,
+    threads: usize,
+) -> Result<ShardedReport, ShardError> {
+    let plan = plan_shards(prog, args, &cfg, None, false, shard_cycles)?;
+    execute_plan(plan, threads)
+}
+
+/// Sharded execution of a *fault-injected* run: the planning pass applies
+/// the seeded schedule step by step (capturing the injector's mid-stream
+/// state at every boundary), shards resume both the machine and the
+/// injector, and the stitcher additionally proves the replayed event
+/// schedule matches the plan. `recovery` installs the trap-unit recovery
+/// stubs exactly as [`crate::run_risc_injected`] would.
+///
+/// # Errors
+/// As [`run_sharded`].
+pub fn run_sharded_injected(
+    prog: &Program,
+    args: &[i32],
+    cfg: SimConfig,
+    inject: InjectConfig,
+    recovery: bool,
+    shard_cycles: u64,
+    threads: usize,
+) -> Result<ShardedReport, ShardError> {
+    let plan = plan_shards(prog, args, &cfg, Some(inject), recovery, shard_cycles)?;
+    execute_plan(plan, threads)
+}
+
+/// The planning pass: one sequential execution that drops a checkpoint
+/// every `shard_cycles` retired instructions.
+///
+/// Uninjected plans run under the trace engine regardless of `cfg.engine`
+/// — planning is pure execution, the tiers are bit-identical, and trace
+/// is the fastest — and every captured snapshot is rebound to the
+/// caller's engine. Injected plans run under `cfg.engine` directly: the
+/// injector needs a `pre_step` hook before every step anyway, which
+/// forfeits burst execution.
+fn plan_shards(
+    prog: &Program,
+    args: &[i32],
+    cfg: &SimConfig,
+    inject: Option<InjectConfig>,
+    recovery: bool,
+    shard_cycles: u64,
+) -> Result<ShardPlan, ShardError> {
+    if shard_cycles == 0 {
+        return Err(ShardError::BadShardCycles);
+    }
+    let started = Instant::now();
+    let mut plan_cfg = cfg.clone();
+    if inject.is_none() {
+        plan_cfg.engine = ExecEngine::Trace;
+    }
+    let mut injector = inject.map(FaultInjector::new);
+    let mut cpu = setup_injected_cpu(prog, args, plan_cfg, recovery)?;
+    let mut ckpt = Checkpointer::new(&mut cpu);
+
+    let new_shard = |snap: &Snapshot, injector: &Option<FaultInjector>| {
+        let mut snap = snap.clone();
+        snap.rebind_engine(cfg.engine);
+        Shard {
+            snap,
+            injector: injector.clone(),
+            end: 0,
+            last: false,
+        }
+    };
+
+    let mut shards = vec![new_shard(ckpt.latest(), &injector)];
+    let mut end_digests = Vec::new();
+    let mut next_boundary = shard_cycles;
+    let outcome = loop {
+        let stopped = match &mut injector {
+            // Uninjected: burst straight to the boundary.
+            None => cpu.run_until_instructions(next_boundary),
+            // Injected: the canonical one-step loop with a `pre_step`
+            // roll before every step, bit-identical to
+            // `run_risc_injected`; the boundary check sits between
+            // steps, exactly where the worker's check will sit.
+            Some(inj) => loop {
+                if cpu.instructions_retired() >= next_boundary {
+                    break Ok(Halt::Running);
+                }
+                inj.pre_step(&mut cpu);
+                match cpu.step() {
+                    Ok(Halt::Running) => {}
+                    other => break other,
+                }
+            },
+        };
+        match stopped {
+            Ok(Halt::Running) => {
+                // Clean boundary: close the current shard and open the
+                // next one from a fresh checkpoint.
+                shards.last_mut().expect("nonempty").end = next_boundary;
+                end_digests.push(cpu.arch_digest());
+                if shards.len() >= MAX_SHARDS {
+                    return Err(ShardError::TooManyShards {
+                        planned: shards.len(),
+                    });
+                }
+                ckpt.checkpoint(&mut cpu);
+                shards.push(new_shard(ckpt.latest(), &injector));
+                next_boundary += shard_cycles;
+            }
+            Ok(Halt::Returned) => {
+                break InjectOutcome::Halted {
+                    result: cpu.result(),
+                }
+            }
+            Err(error) => break InjectOutcome::Faulted { error },
+        }
+    };
+    {
+        let last = shards.last_mut().expect("nonempty");
+        last.end = cpu.instructions_retired();
+        last.last = true;
+    }
+    end_digests.push(cpu.arch_digest());
+    let baseline_page_sums = shards[0].snap.page_sums().to_vec();
+    Ok(ShardPlan {
+        shards,
+        end_digests,
+        final_report: InjectReport {
+            outcome,
+            stats: cpu.stats(),
+            events: injector.map(|i| i.events().to_vec()).unwrap_or_default(),
+        },
+        baseline_page_sums,
+        plan_wall: started.elapsed(),
+    })
+}
+
+/// One shard worker: restore, run to the boundary, report what happened.
+fn run_shard(shard: &Shard) -> Result<ShardRun, ShardError> {
+    let mut cpu = Cpu::new(shard.snap.config().clone());
+    cpu.restore(&shard.snap).map_err(ShardError::Restore)?;
+    // Restore marks every page dirty (the snapshot baseline is gone);
+    // re-arm tracking so `dirty_pages` afterwards means "pages this
+    // shard wrote".
+    cpu.mem.clear_dirty();
+    let stats_at_start = cpu.stats();
+    let mut injector = shard.injector.clone();
+    // Interior shards stop dead on their boundary. The final shard runs
+    // to the program's own end instead — a halt, a structured fault, or
+    // fuel exhaustion — so a terminal fault *after* the last boundary is
+    // reproduced rather than skipped.
+    let target = if shard.last { u64::MAX } else { shard.end };
+    let stopped = match &mut injector {
+        None => cpu.run_until_instructions(target),
+        Some(inj) => loop {
+            if cpu.instructions_retired() >= target {
+                break Ok(Halt::Running);
+            }
+            inj.pre_step(&mut cpu);
+            match cpu.step() {
+                Ok(Halt::Running) => {}
+                other => break other,
+            }
+        },
+    };
+    let outcome = match stopped {
+        Ok(Halt::Running) => None,
+        Ok(Halt::Returned) => Some(InjectOutcome::Halted {
+            result: cpu.result(),
+        }),
+        Err(error) => Some(InjectOutcome::Faulted { error }),
+    };
+    let dirty: Vec<(usize, u64)> = cpu
+        .mem
+        .dirty_pages()
+        .map(|idx| (idx, page_sum(cpu.mem.page(idx))))
+        .collect();
+    let mut h = risc1_core::snapshot::Fnv64::new();
+    h.write_u64(cpu.mem.page_count() as u64);
+    for idx in 0..cpu.mem.page_count() {
+        h.write_u64(page_sum(cpu.mem.page(idx)));
+    }
+    Ok(ShardRun {
+        stats_at_start,
+        stats: cpu.stats(),
+        end_instruction: cpu.instructions_retired(),
+        end_digest: cpu.arch_digest(),
+        dirty,
+        mem_digest: h.finish(),
+        outcome,
+        events: injector.map(|i| i.events().to_vec()).unwrap_or_default(),
+    })
+}
+
+/// Adds `end − start` of every architectural counter onto `acc`.
+/// `max_depth` is a running maximum, not a sum, so it folds as the max of
+/// cumulative values (each shard's cumulative max already includes its
+/// predecessors' history via the restored window file).
+fn fold_delta(acc: &mut ExecStats, start: &ExecStats, end: &ExecStats) {
+    macro_rules! add {
+        ($($f:ident),*) => { $( acc.$f += end.$f - start.$f; )* };
+    }
+    add!(
+        instructions,
+        cycles,
+        bubble_cycles,
+        ifetches,
+        data_reads,
+        data_writes,
+        calls,
+        rets,
+        taken_transfers,
+        window_overflows,
+        window_underflows,
+        trap_cycles,
+        delay_slots,
+        delay_slot_nops,
+        trap_entries,
+        trap_returns,
+        trap_entry_cycles,
+        interrupts_taken
+    );
+    acc.max_depth = acc.max_depth.max(end.max_depth);
+    for i in 0..end.trap_counts.len() {
+        acc.trap_counts[i] += end.trap_counts[i] - start.trap_counts[i];
+    }
+    for (op, n) in end.opcode_counts.iter() {
+        let delta = n - start.opcode_counts.get(op);
+        if delta > 0 {
+            acc.opcode_counts.add(op, delta);
+        }
+    }
+}
+
+/// The architectural projection of [`ExecStats`] equality (its
+/// `PartialEq` already ignores host telemetry).
+fn stats_equal(a: &ExecStats, b: &ExecStats) -> bool {
+    a == b
+}
+
+/// Fans the plan's shards across `threads` workers and stitches the
+/// results, holding every stitch invariant.
+fn execute_plan(plan: ShardPlan, threads: usize) -> Result<ShardedReport, ShardError> {
+    let started = Instant::now();
+    let threads = if threads == 0 {
+        default_threads()
+    } else {
+        threads
+    };
+    let effective = threads.clamp(1, plan.shards.len());
+    let runs = parallel_map(&plan.shards, effective, |_, shard| run_shard(shard));
+    let runs: Vec<ShardRun> = runs.into_iter().collect::<Result<_, _>>()?;
+
+    // Stitch law 1 — boundary chaining: every shard stopped exactly on
+    // its assigned instruction boundary, in exactly the machine state the
+    // plan recorded there; and each non-final shard's end state is the
+    // next shard's start snapshot.
+    for (i, run) in runs.iter().enumerate() {
+        if run.end_instruction != plan.shards[i].end {
+            return Err(ShardError::Stitch(StitchError::BoundaryInstruction {
+                shard: i,
+                expected: plan.shards[i].end,
+                found: run.end_instruction,
+            }));
+        }
+        if run.end_digest != plan.end_digests[i] {
+            return Err(ShardError::Stitch(StitchError::Boundary {
+                shard: i,
+                expected: plan.end_digests[i],
+                found: run.end_digest,
+            }));
+        }
+        if i + 1 < runs.len() && run.end_digest != plan.shards[i + 1].snap.arch_digest() {
+            return Err(ShardError::Stitch(StitchError::Boundary {
+                shard: i,
+                expected: plan.shards[i + 1].snap.arch_digest(),
+                found: run.end_digest,
+            }));
+        }
+    }
+
+    // Stitch law 2 — statistics: the per-shard deltas, folded in shard
+    // order onto the first shard's starting statistics, must reproduce
+    // the final shard's cumulative statistics (and those must equal the
+    // planning pass's, which law 1 already pins via the digest).
+    let last = runs.last().expect("plans have at least one shard");
+    let mut folded = runs[0].stats_at_start.clone();
+    for run in &runs {
+        fold_delta(&mut folded, &run.stats_at_start, &run.stats);
+    }
+    if !stats_equal(&folded, &last.stats) || !stats_equal(&last.stats, &plan.final_report.stats) {
+        return Err(ShardError::Stitch(StitchError::Stats));
+    }
+
+    // Stitch law 3 — memory: overlaying each shard's dirty-page digests
+    // in shard order onto the baseline page digests must reproduce the
+    // final memory, page for page.
+    let mut overlay = plan.baseline_page_sums.clone();
+    for run in &runs {
+        for &(idx, sum) in &run.dirty {
+            overlay[idx] = sum;
+        }
+    }
+    let mut h = risc1_core::snapshot::Fnv64::new();
+    h.write_u64(overlay.len() as u64);
+    for &s in &overlay {
+        h.write_u64(s);
+    }
+    let overlay_digest = h.finish();
+    if overlay_digest != last.mem_digest {
+        return Err(ShardError::Stitch(StitchError::Memory {
+            expected: overlay_digest,
+            found: last.mem_digest,
+        }));
+    }
+
+    // Stitch law 4 — outcome and injection schedule: the final shard
+    // ends the run the same way the plan did, having applied the same
+    // fault events.
+    if last.outcome.as_ref() != Some(&plan.final_report.outcome) {
+        return Err(ShardError::Stitch(StitchError::Outcome));
+    }
+    if last.events != plan.final_report.events {
+        return Err(ShardError::Stitch(StitchError::Events));
+    }
+
+    let boundaries = plan.boundaries();
+    Ok(ShardedReport {
+        report: InjectReport {
+            outcome: plan.final_report.outcome,
+            stats: last.stats.clone(),
+            events: last.events.clone(),
+        },
+        mem_digest: last.mem_digest,
+        arch_digest: last.end_digest,
+        boundaries,
+        threads: effective,
+        plan_wall: plan.plan_wall,
+        exec_wall: started.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_risc_injected, run_risc_with};
+    use crate::{compile_risc, RiscOpts};
+    use risc1_core::inject::InjectModes;
+
+    fn sieve_prog() -> Program {
+        let w = risc1_workloads_stub::sieve_module();
+        compile_risc(&w, RiscOpts::default()).expect("sieve compiles")
+    }
+
+    /// A tiny self-contained loop program so the unit tests do not need
+    /// the workloads crate (a dependency cycle): sums 1..=n.
+    mod risc1_workloads_stub {
+        use crate::ast::dsl::*;
+        use crate::Module;
+
+        pub fn sieve_module() -> Module {
+            let main = function(
+                "main",
+                1,
+                3,
+                vec![
+                    assign(1, konst(0)),
+                    assign(2, konst(1)),
+                    while_loop(
+                        le(local(2), local(0)),
+                        vec![
+                            assign(1, add(local(1), local(2))),
+                            assign(2, add(local(2), konst(1))),
+                        ],
+                    ),
+                    ret(local(1)),
+                ],
+            );
+            module(vec![main], vec![])
+        }
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_every_engine_and_thread_count() {
+        let prog = sieve_prog();
+        let args = [600];
+        let (seq_result, seq_stats) =
+            run_risc_with(&prog, &args, SimConfig::default()).expect("sequential runs");
+        for engine in [ExecEngine::Uncached, ExecEngine::Superblock] {
+            let cfg = SimConfig {
+                engine,
+                ..SimConfig::default()
+            };
+            for threads in [1, 4] {
+                for shard_cycles in [700, 4096] {
+                    let sharded =
+                        run_sharded_with(&prog, &args, cfg.clone(), shard_cycles, threads)
+                            .expect("sharded runs");
+                    assert!(sharded.shards() > 1, "run long enough to actually shard");
+                    assert_eq!(
+                        sharded.report.outcome,
+                        InjectOutcome::Halted { result: seq_result }
+                    );
+                    assert_eq!(sharded.report.stats, seq_stats, "{engine:?} t{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_report_is_thread_count_invariant() {
+        let prog = sieve_prog();
+        let one = run_sharded(&prog, &[400], 500, 1).expect("t1");
+        let many = run_sharded(&prog, &[400], 500, 8).expect("t8");
+        assert_eq!(one.arch_digest, many.arch_digest);
+        assert_eq!(one.mem_digest, many.mem_digest);
+        assert_eq!(one.report, many.report);
+        assert_eq!(one.boundaries, many.boundaries);
+    }
+
+    #[test]
+    fn short_runs_become_a_single_shard() {
+        let prog = sieve_prog();
+        let sharded = run_sharded(&prog, &[3], 1_000_000, 4).expect("runs");
+        assert_eq!(sharded.shards(), 1);
+        let (seq, _) = run_risc_with(&prog, &[3], SimConfig::default()).expect("seq");
+        assert_eq!(
+            sharded.report.outcome,
+            InjectOutcome::Halted { result: seq }
+        );
+    }
+
+    #[test]
+    fn tiny_shard_cycles_hit_delay_slot_boundaries() {
+        // With a 7-instruction shard grain, boundaries land on every
+        // alignment relative to delayed transfers, including inside
+        // delay slots with a pending target.
+        let prog = sieve_prog();
+        let (seq_result, seq_stats) =
+            run_risc_with(&prog, &[40], SimConfig::default()).expect("seq");
+        let sharded = run_sharded(&prog, &[40], 7, 3).expect("sharded");
+        assert!(sharded.shards() > 10);
+        assert_eq!(
+            sharded.report.outcome,
+            InjectOutcome::Halted { result: seq_result }
+        );
+        assert_eq!(sharded.report.stats, seq_stats);
+    }
+
+    #[test]
+    fn injected_sharding_replays_the_exact_schedule() {
+        let prog = sieve_prog();
+        let cfg = SimConfig::default();
+        let inject = InjectConfig {
+            seed: 0xfeed,
+            rate: 40,
+            modes: InjectModes::transparent(),
+        };
+        let seq = run_risc_injected(&prog, &[400], cfg.clone(), inject, true)
+            .expect("sequential injected");
+        let sharded = run_sharded_injected(&prog, &[400], cfg, inject, true, 900, 4)
+            .expect("sharded injected");
+        assert_eq!(sharded.report, seq, "outcome + stats + events all match");
+        assert!(sharded.shards() > 1);
+    }
+
+    #[test]
+    fn zero_shard_cycles_is_rejected() {
+        let prog = sieve_prog();
+        assert_eq!(
+            run_sharded(&prog, &[5], 0, 1).unwrap_err(),
+            ShardError::BadShardCycles
+        );
+    }
+
+    #[test]
+    fn shard_cap_is_enforced() {
+        let prog = sieve_prog();
+        match run_sharded(&prog, &[2000], 1, 1) {
+            Err(ShardError::TooManyShards { planned }) => assert_eq!(planned, MAX_SHARDS),
+            other => panic!("expected TooManyShards, got {other:?}"),
+        }
+    }
+}

@@ -23,6 +23,18 @@ pub enum JobMode {
         /// Rollback attempts before the fault surfaces.
         max_retries: u32,
     },
+    /// Checkpoint-parallel execution
+    /// ([`run_sharded_with`](risc1_ir::run_sharded_with)): plan, shard,
+    /// re-execute on worker threads, stitch, and prove bit-identity with
+    /// the sequential run. The output is a [`JobOutput::Finished`] whose
+    /// report — and therefore wire digest — equals the same job run
+    /// [`Direct`](JobMode::Direct), so clients can mix modes freely.
+    Sharded {
+        /// Shard length in retired instructions.
+        shard_cycles: u64,
+        /// Worker threads for the shard phase (0 = available parallelism).
+        threads: u32,
+    },
 }
 
 /// One unit of work: a program plus everything that determines its result.
@@ -113,6 +125,14 @@ impl JobSpec {
                 c.write_u8(1);
                 c.write_u64(ckpt_every);
                 c.write_u64(u64::from(max_retries));
+            }
+            JobMode::Sharded {
+                shard_cycles,
+                threads,
+            } => {
+                c.write_u8(2);
+                c.write_u64(shard_cycles);
+                c.write_u64(u64::from(threads));
             }
         }
         match self.timeout_ms {
@@ -310,6 +330,19 @@ mod tests {
             max_retries: 3,
         };
         assert_ne!(base, other.key(), "mode");
+
+        let mut other = spec(7);
+        other.mode = JobMode::Sharded {
+            shard_cycles: 1000,
+            threads: 3,
+        };
+        assert_ne!(base, other.key(), "sharded mode");
+        let mut again = spec(7);
+        again.mode = JobMode::Sharded {
+            shard_cycles: 1000,
+            threads: 4,
+        };
+        assert_ne!(other.key(), again.key(), "sharded thread count");
 
         let mut other = spec(7);
         other.timeout_ms = Some(50);

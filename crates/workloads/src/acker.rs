@@ -17,6 +17,21 @@ pub fn workload() -> Workload {
         args: vec![6],
         small_args: vec![3],
         call_heavy: true,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`: the call count of `ackermann(3, n)` roughly
+/// quadruples per increment of `n` (it is `Θ(4^n)`), so `⌈log4 scale⌉`
+/// extra levels run at least `scale` times longer. Scales beyond ~25
+/// exceed the default [`risc1_core::SimConfig::fuel`] budget — raise it
+/// when running deep Ackermann scales.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    Workload {
+        scale,
+        args: vec![(6 + crate::growth_levels(scale, 4, 1)) as i32],
+        ..workload()
     }
 }
 

@@ -16,10 +16,36 @@ pub fn workload() -> Workload {
         args: vec![180],
         small_args: vec![40],
         call_heavy: false,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`. Bubble sort is quadratic, so the element
+/// count grows with `√scale` (capped at 2048 words) and whole
+/// fill-sort-verify repetitions absorb the remainder. The scaled module
+/// takes `(n, reps)` and returns the summed checksum across repetitions.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    if scale == 1 {
+        return workload();
+    }
+    let n = (180 * crate::isqrt(u64::from(scale))).min(2048);
+    let total = u64::from(scale) * 180 * 180;
+    let reps = total.div_ceil(n * n);
+    Workload {
+        module: build_scaled(n as usize),
+        args: vec![n as i32, reps as i32],
+        small_args: vec![40, 1],
+        scale,
+        ..workload()
     }
 }
 
 fn build() -> Module {
+    build_sized(N)
+}
+
+fn build_sized(arr_words: usize) -> Module {
     // locals: n=0, i=1, j=2, t=3, seed_then_sum=4
     let main = function(
         "main",
@@ -83,7 +109,35 @@ fn build() -> Module {
             ret(local(4)),
         ],
     );
-    module(vec![main], vec![global_words("arr", N)])
+    module(vec![main], vec![global_words("arr", arr_words)])
+}
+
+fn build_scaled(arr_words: usize) -> Module {
+    // Reuse the paper-scale `main` (sized up) as a procedure and drive it
+    // from a trivial repetition loop: the hot code keeps its exact
+    // register budget. locals: n=0, reps=1, r=2, acc=3, t=4
+    let sized = build_sized(arr_words);
+    let mut pass = sized.functions[0].clone();
+    pass.name = "pass".into();
+    let main = function(
+        "main",
+        2,
+        5,
+        vec![
+            assign(3, konst(0)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(2), local(1)),
+                vec![
+                    assign(4, call(1, vec![local(0)])),
+                    assign(3, add(local(3), local(4))),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(3)),
+        ],
+    );
+    module(vec![main, pass], sized.globals)
 }
 
 #[cfg(test)]
@@ -112,5 +166,18 @@ mod tests {
             let g = &r.globals[0][..n as usize];
             assert!(g.windows(2).all(|w| w[0] <= w[1]));
         }
+    }
+
+    #[test]
+    fn scaled_builder_sums_repetitions() {
+        for (n, reps) in [(17, 1), (17, 4), (60, 2)] {
+            let r = interpret(&build_scaled(n as usize), &[n, reps]).unwrap();
+            assert_eq!(r.value, reference(n as usize) * reps, "n={n} reps={reps}");
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_paper_workload() {
+        assert_eq!(scaled(1).args, workload().args);
     }
 }

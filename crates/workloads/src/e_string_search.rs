@@ -17,6 +17,18 @@ pub fn workload() -> Workload {
         args: vec![400],
         small_args: vec![25],
         call_heavy: false,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`: the argument is already a repetition count
+/// and the cost is linear in it, so scaling is exact.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    Workload {
+        scale,
+        args: vec![400 * scale as i32],
+        ..workload()
     }
 }
 

@@ -14,6 +14,18 @@ pub fn workload() -> Workload {
         args: vec![5000],
         small_args: vec![300],
         call_heavy: false,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`: the argument is a repetition count and the
+/// cost is linear in it, so scaling is exact.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    Workload {
+        scale,
+        args: vec![5000 * scale as i32],
+        ..workload()
     }
 }
 

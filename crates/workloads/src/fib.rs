@@ -13,6 +13,30 @@ pub fn workload() -> Workload {
         args: vec![20],
         small_args: vec![12],
         call_heavy: true,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`. The call tree of `fib(n)` grows like the
+/// Fibonacci numbers themselves, so the smallest `k` with
+/// `Fib(20+k) >= scale · Fib(20)` runs at least `scale` times longer.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    let fib_at = |n: u32| -> u128 {
+        let (mut a, mut b) = (0u128, 1u128);
+        for _ in 0..n {
+            (a, b) = (b, a + b);
+        }
+        a
+    };
+    let mut extra = 0u32;
+    while fib_at(20 + extra) < u128::from(scale) * fib_at(20) {
+        extra += 1;
+    }
+    Workload {
+        scale,
+        args: vec![(20 + extra) as i32],
+        ..workload()
     }
 }
 

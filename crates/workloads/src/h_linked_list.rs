@@ -17,11 +17,68 @@ pub fn workload() -> Workload {
         args: vec![220],
         small_args: vec![40],
         call_heavy: false,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`. Sorted insertion walks the list on every
+/// insert, so the cost is quadratic in the node count. The node count
+/// grows with `√scale` but caps at 1000: the `val` array must start
+/// within the 13-bit load displacement off the global pointer, and the
+/// insertion walk has no temp register to spare for a far-global
+/// address. Outer repetitions (a tiny driver `main` calling the
+/// insertion pass as a procedure) absorb the rest; the scaled module
+/// takes `(n, reps)`.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    if scale == 1 {
+        return workload();
+    }
+    let n = (220 * crate::isqrt(u64::from(scale))).min(1000);
+    let reps = (u64::from(scale) * 220 * 220).div_ceil(n * n);
+    Workload {
+        module: build_scaled(n as usize),
+        args: vec![n as i32, reps as i32],
+        small_args: vec![40, 1],
+        scale,
+        ..workload()
     }
 }
 
 fn build() -> Module {
-    // globals: 0 = next[N], 1 = val[N]
+    build_sized(N)
+}
+
+fn build_scaled(cap: usize) -> Module {
+    // Reuse the paper-scale `main` (sized up) as a procedure and drive it
+    // from a trivial repetition loop: the hot code keeps its exact
+    // register budget. locals: n=0, reps=1, r=2, acc=3, t=4
+    let sized = build_sized(cap);
+    let mut pass = sized.functions[0].clone();
+    pass.name = "pass".into();
+    let main = function(
+        "main",
+        2,
+        5,
+        vec![
+            assign(3, konst(0)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(2), local(1)),
+                vec![
+                    assign(4, call(1, vec![local(0)])),
+                    assign(3, add(local(3), local(4))),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(3)),
+        ],
+    );
+    module(vec![main, pass], sized.globals)
+}
+
+fn build_sized(cap: usize) -> Module {
+    // globals: 0 = next[cap], 1 = val[cap]
     // locals: n=0, head=1, k=2, seed=3, p=4, t=5, go=6
     let main = function(
         "main",
@@ -89,7 +146,7 @@ fn build() -> Module {
     );
     module(
         vec![main],
-        vec![global_words("next", N), global_words("val", N)],
+        vec![global_words("next", cap), global_words("val", cap)],
     )
 }
 
@@ -145,5 +202,26 @@ mod tests {
             p = next[p as usize];
         }
         assert_eq!(seen, 50, "all nodes reachable");
+    }
+
+    #[test]
+    fn sized_builder_matches_reference() {
+        for (cap, n) in [(400, 350), (1000, 900)] {
+            let r = interpret(&build_sized(cap), &[n]).unwrap();
+            assert_eq!(r.value, reference(n as usize), "cap={cap} n={n}");
+        }
+    }
+
+    #[test]
+    fn scaled_builder_sums_repetitions() {
+        for (n, reps) in [(25, 1), (25, 4), (80, 3)] {
+            let r = interpret(&build_scaled(100), &[n, reps]).unwrap();
+            assert_eq!(r.value, reference(n as usize) * reps, "n={n} reps={reps}");
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_paper_workload() {
+        assert_eq!(scaled(1).args, workload().args);
     }
 }

@@ -13,6 +13,18 @@ pub fn workload() -> Workload {
         args: vec![14],
         small_args: vec![8],
         call_heavy: true,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`: each extra disc doubles the move count, so
+/// `⌈log2 scale⌉` extra discs run at least `scale` times longer.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    Workload {
+        scale,
+        args: vec![(14 + crate::growth_levels(scale, 2, 1)) as i32],
+        ..workload()
     }
 }
 

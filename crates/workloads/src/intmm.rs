@@ -8,8 +8,6 @@ use crate::Workload;
 use risc1_ir::ast::dsl::*;
 use risc1_ir::{Expr, Module};
 
-const DIM: usize = 16; // fixed row stride (arrays are 16×16)
-
 /// Builds the workload.
 pub fn workload() -> Workload {
     Workload {
@@ -19,12 +17,41 @@ pub fn workload() -> Workload {
         args: vec![14],
         small_args: vec![6],
         call_heavy: false,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`. Matrix multiply is cubic, so the dimension
+/// grows with `∛scale` — rounded up to a power of two because the row
+/// stride is a shift, and capped at 128 (three 128×128 word arrays =
+/// 192 KiB). The cap tops out around 760x the paper-scale instruction
+/// count, the upper end of the supported scale range.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    if scale == 1 {
+        return workload();
+    }
+    let target = 14u64 * 14 * 14 * u64::from(scale);
+    let mut shift = 4u32;
+    while (1u64 << (3 * shift)) < target && shift < 7 {
+        shift += 1;
+    }
+    Workload {
+        module: build_shifted(shift as i32),
+        args: vec![1 << shift],
+        scale,
+        ..workload()
     }
 }
 
 fn build() -> Module {
+    build_shifted(4)
+}
+
+fn build_shifted(shift: i32) -> Module {
+    let dim = 1usize << shift;
     // locals: n=0, i=1, j=2, k=3, s=4  (≤5 so the deep mul expression fits)
-    let row = |i: usize, j_expr: Expr| add(shl(local(i), konst(4)), j_expr);
+    let row = move |i: usize, j_expr: Expr| add(shl(local(i), konst(shift)), j_expr);
     let main = function(
         "main",
         1,
@@ -78,7 +105,7 @@ fn build() -> Module {
                                             local(4),
                                             mul(
                                                 loadw(0, row(1, local(3))),
-                                                loadw(1, add(shl(local(3), konst(4)), local(2))),
+                                                loadw(1, row(3, local(2))),
                                             ),
                                         ),
                                     ),
@@ -115,9 +142,9 @@ fn build() -> Module {
     module(
         vec![main],
         vec![
-            global_words("a", DIM * DIM),
-            global_words("b", DIM * DIM),
-            global_words("c", DIM * DIM),
+            global_words("a", dim * dim),
+            global_words("b", dim * dim),
+            global_words("c", dim * dim),
         ],
     )
 }
@@ -126,6 +153,8 @@ fn build() -> Module {
 mod tests {
     use super::*;
     use risc1_ir::interpret;
+
+    const DIM: usize = 16; // the paper-scale row stride
 
     fn reference(n: usize) -> i32 {
         let mut a = [[0i32; DIM]; DIM];
@@ -158,6 +187,27 @@ mod tests {
         for n in [1, 4, 9] {
             let r = interpret(&build(), &[n]).unwrap();
             assert_eq!(r.value, reference(n as usize), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn wider_strides_compute_the_same_products() {
+        // The fill and product only depend on (i, j, n), not the stride,
+        // so a 32- or 64-wide build must agree with the 16-wide reference
+        // for any n that fits in both.
+        for shift in [5, 6] {
+            let r = interpret(&build_shifted(shift), &[9]).unwrap();
+            assert_eq!(r.value, reference(9), "shift = {shift}");
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_paper_workload() {
+        assert_eq!(scaled(1).args, workload().args);
+        // scaled dims are powers of two (the row stride is a shift)
+        for s in [2, 10, 100, 1000] {
+            let d = scaled(s).args[0];
+            assert_eq!(d & (d - 1), 0, "dim {d} at scale {s}");
         }
     }
 }

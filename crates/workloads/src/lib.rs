@@ -45,6 +45,13 @@ pub struct Workload {
     /// Whether the workload is dominated by procedure calls (the paper
     /// splits its analysis along this axis).
     pub call_heavy: bool,
+    /// The scale knob this instance was built at: `args` runs roughly
+    /// `scale` times the instruction count of the paper-scale (scale 1)
+    /// workload. Scale 1 is exactly the historical suite; larger scales
+    /// grow the data structures where memory allows (bigger sieve
+    /// bounds, more qsort elements, wider matrices) and fall back to
+    /// deterministic outer repetitions or deeper recursion beyond that.
+    pub scale: u32,
 }
 
 /// The full suite, in the order the evaluation tables print it.
@@ -64,9 +71,61 @@ pub fn all() -> Vec<Workload> {
     ]
 }
 
+/// The full suite at a given scale (see [`Workload::scale`]); scale 0
+/// and 1 both mean the historical paper-scale suite.
+pub fn all_scaled(scale: u32) -> Vec<Workload> {
+    vec![
+        e_string_search::scaled(scale),
+        f_bit_test::scaled(scale),
+        h_linked_list::scaled(scale),
+        sieve::scaled(scale),
+        bubble::scaled(scale),
+        qsort::scaled(scale),
+        intmm::scaled(scale),
+        puzzle::scaled(scale),
+        acker::scaled(scale),
+        fib::scaled(scale),
+        hanoi::scaled(scale),
+    ]
+}
+
 /// Looks a workload up by id.
 pub fn by_id(id: &str) -> Option<Workload> {
     all().into_iter().find(|w| w.id == id)
+}
+
+/// Looks a workload up by id at a given scale.
+pub fn by_id_scaled(id: &str, scale: u32) -> Option<Workload> {
+    all_scaled(scale).into_iter().find(|w| w.id == id)
+}
+
+/// Integer square root (floor), for quadratic workloads that grow their
+/// data size as `base · √scale`.
+pub(crate) fn isqrt(n: u64) -> u64 {
+    let mut r = (n as f64).sqrt() as u64;
+    while (r + 1) * (r + 1) <= n {
+        r += 1;
+    }
+    while r * r > n {
+        r -= 1;
+    }
+    r
+}
+
+/// The smallest number of extra recursion levels `k` such that
+/// `num^k >= scale · den^k` — i.e. how much deeper an exponential
+/// workload whose cost multiplies by `num/den` per level must recurse to
+/// run `scale` times longer. Pure integer arithmetic so every platform
+/// agrees.
+pub(crate) fn growth_levels(scale: u32, num: u128, den: u128) -> u32 {
+    let mut k = 0u32;
+    let (mut grown, mut base) = (1u128, 1u128);
+    while grown < u128::from(scale) * base {
+        grown *= num;
+        base *= den;
+        k += 1;
+    }
+    k
 }
 
 #[cfg(test)]
@@ -128,6 +187,53 @@ mod tests {
             assert_eq!(by_id(w.id).unwrap().id, w.id);
         }
         assert!(by_id("nope").is_none());
+    }
+
+    #[test]
+    fn scale_one_suite_is_the_paper_suite() {
+        for (s, w) in all_scaled(1).iter().zip(all()) {
+            assert_eq!(s.id, w.id);
+            assert_eq!(s.args, w.args, "{}", w.id);
+            assert_eq!(s.module, w.module, "{}", w.id);
+            assert_eq!(s.scale, 1);
+        }
+        // scale 0 normalizes to 1
+        for (s, w) in all_scaled(0).iter().zip(all()) {
+            assert_eq!(s.args, w.args, "{}", w.id);
+        }
+    }
+
+    #[test]
+    fn scaled_suite_validates_and_compiles_for_both_targets() {
+        for scale in [25, 400] {
+            for w in all_scaled(scale) {
+                assert_eq!(w.scale, scale, "{}", w.id);
+                w.module
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{}@x{scale}: {e}", w.id));
+                compile_risc(&w.module, RiscOpts::default())
+                    .unwrap_or_else(|e| panic!("{}@x{scale} risc: {e}", w.id));
+                compile_cx(&w.module).unwrap_or_else(|e| panic!("{}@x{scale} cx: {e}", w.id));
+                compile_mc(&w.module).unwrap_or_else(|e| panic!("{}@x{scale} mc: {e}", w.id));
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_grows_the_instruction_count() {
+        // Cheap spot check on the exactly-linear workload: scale 3 must
+        // run at least ~3x the paper-scale instruction count.
+        let base = e_string_search::workload();
+        let scaled = e_string_search::scaled(3);
+        let risc = compile_risc(&base.module, RiscOpts::default()).unwrap();
+        let (_, s1) = run_risc(&risc, &base.args).unwrap();
+        let (_, s3) = run_risc(&risc, &scaled.args).unwrap();
+        assert!(
+            s3.instructions as f64 >= 2.5 * s1.instructions as f64,
+            "x1 = {}, x3 = {}",
+            s1.instructions,
+            s3.instructions
+        );
     }
 
     #[test]

@@ -17,6 +17,20 @@ pub fn workload() -> Workload {
         args: vec![7],
         small_args: vec![5],
         call_heavy: true,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`: the N-queens search tree grows roughly 4.5x
+/// per extra queen, so `⌈log4.5 scale⌉` extra board columns run at least
+/// `scale` times longer. The board arrays are fixed at 16/32 words (the
+/// diagonal index is offset by 16), so `n` is capped at 15.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    Workload {
+        scale,
+        args: vec![(7 + crate::growth_levels(scale, 9, 2)).min(15) as i32],
+        ..workload()
     }
 }
 

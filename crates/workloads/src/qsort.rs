@@ -16,10 +16,35 @@ pub fn workload() -> Workload {
         args: vec![300],
         small_args: vec![40],
         call_heavy: true,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`. Quicksort is `n log n`, so growing the array
+/// linearly (capped at 64 Ki words = 256 KiB) runs at least `scale` times
+/// longer; repetitions absorb anything past the cap. The scaled module
+/// takes `(n, reps)` and returns the summed checksum across repetitions.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    if scale == 1 {
+        return workload();
+    }
+    let n = (300u64 * u64::from(scale)).min(65_536);
+    let reps = (300u64 * u64::from(scale)).div_ceil(n);
+    Workload {
+        module: build_scaled(n as usize),
+        args: vec![n as i32, reps as i32],
+        small_args: vec![40, 1],
+        scale,
+        ..workload()
     }
 }
 
 fn build() -> Module {
+    build_sized(N)
+}
+
+fn build_sized(arr_words: usize) -> Module {
     // main: locals n=0, i=1, seed_then_sum=2, t=3
     let main = function(
         "main",
@@ -93,7 +118,37 @@ fn build() -> Module {
             ret(konst(0)),
         ],
     );
-    module(vec![main, qs], vec![global_words("arr", N)])
+    module(vec![main, qs], vec![global_words("arr", arr_words)])
+}
+
+fn build_scaled(arr_words: usize) -> Module {
+    // Reuse the paper-scale `main` (sized up) as a procedure and drive it
+    // from a trivial repetition loop. `qs` must stay at function index 1
+    // so its self-calls keep resolving, which puts `pass` at index 2.
+    // driver locals: n=0, reps=1, r=2, acc=3, t=4
+    let sized = build_sized(arr_words);
+    let mut pass = sized.functions[0].clone();
+    pass.name = "pass".into();
+    let qs = sized.functions[1].clone();
+    let main = function(
+        "main",
+        2,
+        5,
+        vec![
+            assign(3, konst(0)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(2), local(1)),
+                vec![
+                    assign(4, call(2, vec![local(0)])),
+                    assign(3, add(local(3), local(4))),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(3)),
+        ],
+    );
+    module(vec![main, qs, pass], sized.globals)
 }
 
 #[cfg(test)]
@@ -127,5 +182,18 @@ mod tests {
     fn recursion_happens() {
         let r = interpret(&build(), &[64]).unwrap();
         assert!(r.calls > 40, "quicksort recursed ({} calls)", r.calls);
+    }
+
+    #[test]
+    fn scaled_builder_sums_repetitions() {
+        for (n, reps) in [(33, 1), (33, 3), (100, 2)] {
+            let r = interpret(&build_scaled(n as usize), &[n, reps]).unwrap();
+            assert_eq!(r.value, reference(n as usize) * reps, "n={n} reps={reps}");
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_paper_workload() {
+        assert_eq!(scaled(1).args, workload().args);
     }
 }

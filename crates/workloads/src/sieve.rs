@@ -17,6 +17,29 @@ pub fn workload() -> Workload {
         args: vec![8190],
         small_args: vec![600],
         call_heavy: false,
+        scale: 1,
+    }
+}
+
+/// The workload at `scale`. The flag array grows with the sieve bound, so
+/// scaling splits the extra work between a larger bound (up to 256 KiB of
+/// byte flags, comfortably inside the 1 MiB machine) and whole-sieve
+/// repetitions once the bound caps out. The scaled module takes
+/// `(n, reps)` and returns the summed prime count across repetitions.
+pub fn scaled(scale: u32) -> Workload {
+    let scale = scale.max(1);
+    if scale == 1 {
+        return workload();
+    }
+    let total = 8190u64 * u64::from(scale);
+    let n = total.min(262_144);
+    let reps = total.div_ceil(n);
+    Workload {
+        module: build_scaled(n as usize + 2),
+        args: vec![n as i32, reps as i32],
+        small_args: vec![600, 1],
+        scale,
+        ..workload()
     }
 }
 
@@ -63,6 +86,58 @@ fn build() -> Module {
     module(vec![main], vec![global_bytes("flags", FLAGS)])
 }
 
+fn build_scaled(flags: usize) -> Module {
+    // locals: n=0, reps=1, r=2, acc=3, i=4, count=5, j=6
+    let main = function(
+        "main",
+        2,
+        7,
+        vec![
+            assign(3, konst(0)),
+            assign(2, konst(0)),
+            while_loop(
+                lt(local(2), local(1)),
+                vec![
+                    assign(4, konst(2)),
+                    while_loop(
+                        lt(local(4), local(0)),
+                        vec![
+                            storeb(0, local(4), konst(1)),
+                            assign(4, add(local(4), konst(1))),
+                        ],
+                    ),
+                    assign(4, konst(2)),
+                    assign(5, konst(0)),
+                    while_loop(
+                        lt(local(4), local(0)),
+                        vec![
+                            if_then(
+                                eq(loadb(0, local(4)), konst(1)),
+                                vec![
+                                    assign(5, add(local(5), konst(1))),
+                                    assign(6, add(local(4), local(4))),
+                                    while_loop(
+                                        lt(local(6), local(0)),
+                                        vec![
+                                            storeb(0, local(6), konst(0)),
+                                            assign(6, add(local(6), local(4))),
+                                        ],
+                                    ),
+                                ],
+                            ),
+                            assign(4, add(local(4), konst(1))),
+                        ],
+                    ),
+                    assign(3, add(local(3), local(5))),
+                    assign(2, add(local(2), konst(1))),
+                ],
+            ),
+            ret(local(3)),
+        ],
+    );
+    module(vec![main], vec![global_bytes("flags", flags)])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +167,20 @@ mod tests {
         }
         // π(100) = 25 as a hard anchor
         assert_eq!(interpret(&build(), &[100]).unwrap().value, 25);
+    }
+
+    #[test]
+    fn scaled_builder_sums_repetitions() {
+        for (n, reps) in [(100, 1), (100, 3), (600, 2)] {
+            let r = interpret(&build_scaled(n as usize + 2), &[n, reps]).unwrap();
+            assert_eq!(r.value, reference(n as usize) * reps, "n={n} reps={reps}");
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_paper_workload() {
+        let w = scaled(1);
+        assert_eq!(w.args, workload().args);
+        assert_eq!(w.scale, 1);
     }
 }

@@ -49,10 +49,10 @@ fn compiled(id: &str) -> Compiled {
     }
 }
 
-/// The 13-job campaign one client runs against one pair of workloads:
-/// per workload, four injected direct runs (recovery alternating), one
-/// clean run, one supervised run — plus one run doomed by a zero-budget
-/// watchdog.
+/// The campaign one client runs against one pair of workloads: per
+/// workload, four injected direct runs (recovery alternating), one clean
+/// run, one supervised run and two checkpoint-parallel (sharded) runs —
+/// plus one run doomed by a zero-budget watchdog.
 fn campaign(workloads: &[&Compiled]) -> Vec<JobSpec> {
     let mut specs = Vec::new();
     for w in workloads {
@@ -98,6 +98,39 @@ fn campaign(workloads: &[&Compiled]) -> Vec<JobSpec> {
                 ckpt_every: (w.instructions / 8).max(500),
                 max_retries: 4,
             },
+            timeout_ms: None,
+            snapshot: None,
+            journal: false,
+        });
+        // Checkpoint-parallel: one clean, one injected with recovery.
+        // Both must come back bit-identical to the *direct* run of the
+        // same spec — sharding is a pure host-speed knob.
+        let sharded = JobMode::Sharded {
+            shard_cycles: (w.instructions / 6).max(200),
+            threads: 2,
+        };
+        specs.push(JobSpec {
+            program: w.prog.clone(),
+            args: w.args.clone(),
+            cfg: w.cfg.clone(),
+            inject: None,
+            recovery: false,
+            mode: sharded,
+            timeout_ms: None,
+            snapshot: None,
+            journal: false,
+        });
+        specs.push(JobSpec {
+            program: w.prog.clone(),
+            args: w.args.clone(),
+            cfg: w.cfg.clone(),
+            inject: Some(InjectConfig {
+                seed: 6,
+                rate: w.rate,
+                modes: InjectModes::all(),
+            }),
+            recovery: true,
+            mode: sharded,
             timeout_ms: None,
             snapshot: None,
             journal: false,
@@ -165,6 +198,44 @@ fn assert_transparent(spec: &JobSpec, out: &JobOutput) {
                 panic!("direct job must finish, got {}", out.kind());
             };
             assert_eq!(served, &direct, "served report diverged from direct run");
+        }
+        (JobMode::Sharded { .. }, _) => {
+            // Sharding is a host-speed knob: the served report's wire
+            // digest must equal the plain direct run of the same spec.
+            let direct = match spec.inject {
+                Some(icfg) => run_risc_injected(
+                    &spec.program,
+                    &spec.args,
+                    spec.cfg.clone(),
+                    icfg,
+                    spec.recovery,
+                )
+                .expect("setup is valid"),
+                None => {
+                    match run_risc_deadline(
+                        &spec.program,
+                        &spec.args,
+                        spec.cfg.clone(),
+                        None,
+                        spec.recovery,
+                        None,
+                        None,
+                    )
+                    .expect("setup is valid")
+                    {
+                        TimedOutcome::Finished(r) => r,
+                        TimedOutcome::TimedOut { .. } => unreachable!("no deadline configured"),
+                    }
+                }
+            };
+            let JobOutput::Finished(_) = out else {
+                panic!("sharded job must finish, got {}", out.kind());
+            };
+            assert_eq!(
+                out.digest(),
+                JobOutput::Finished(direct).digest(),
+                "served sharded report diverged from direct run"
+            );
         }
         (
             JobMode::Supervised {

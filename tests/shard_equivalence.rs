@@ -1,0 +1,242 @@
+//! The checkpoint-parallel (sharded) execution law, enforced end to end.
+//!
+//! PR 10's tentpole splits a run into `shard_cycles`-instruction shards:
+//! a fast planning pass snapshots every boundary, the shards re-execute
+//! in parallel from those snapshots, and a stitcher folds the pieces back
+//! together while proving the folded result equals sequential execution.
+//! Three laws pin that down:
+//!
+//! 1. **Shard transparency**: for every suite workload, every combination
+//!    of shard size, worker-thread count and execution engine produces a
+//!    report bit-identical to the plain sequential run — result, full
+//!    `ExecStats`, architectural digest — and every combination agrees on
+//!    the final memory digest.
+//! 2. **Injected transparency**: under seeded fault injection (with and
+//!    without recovery handlers), the sharded run replays the *exact*
+//!    sequential event schedule and ends in the identical outcome,
+//!    statistics and event list.
+//! 3. **Cross-engine resume** (property test): a snapshot taken at an
+//!    arbitrary instruction boundary under one engine, rebound to a
+//!    *different* engine, continues bit-identically — the foundation the
+//!    planner's rebind-to-caller-engine step rests on. Random boundaries
+//!    land mid-delay-slot and mid-window-overflow, which is the point.
+
+use proptest::prelude::*;
+use risc1::core::inject::{InjectConfig, InjectModes};
+use risc1::core::{Cpu, ExecEngine, Halt, Program, SimConfig};
+use risc1::ir::layout::ARGV_BASE;
+use risc1::ir::{
+    compile_risc, run_risc, run_risc_injected, run_sharded_injected, run_sharded_with,
+    InjectOutcome, RiscOpts,
+};
+use risc1::workloads::all;
+use std::sync::OnceLock;
+
+/// One compiled workload: id, program, args, clean result, fuel-bounded
+/// config, and an injection rate tuned to ~4 perturbations per run.
+struct Compiled {
+    id: &'static str,
+    prog: Program,
+    args: Vec<i32>,
+    expect: i32,
+    cfg: SimConfig,
+    rate: u32,
+    instructions: u64,
+}
+
+fn suite() -> &'static Vec<Compiled> {
+    static SUITE: OnceLock<Vec<Compiled>> = OnceLock::new();
+    SUITE.get_or_init(|| {
+        all()
+            .iter()
+            .map(|w| {
+                let prog = compile_risc(&w.module, RiscOpts::default()).expect("suite compiles");
+                let (expect, base) = run_risc(&prog, &w.small_args).expect("suite runs clean");
+                let cfg = SimConfig {
+                    fuel: base.instructions * 3 + 10_000,
+                    ..SimConfig::default()
+                };
+                let rate = (4 * 10_000 / base.instructions.max(1)).clamp(1, 500) as u32;
+                Compiled {
+                    id: w.id,
+                    prog,
+                    args: w.small_args.clone(),
+                    expect,
+                    cfg,
+                    rate,
+                    instructions: base.instructions,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Sets a CPU up exactly like `run_risc_with` does (register args + ARGV
+/// mirror), so sequential references run the real execution path.
+fn fresh_cpu(w: &Compiled, engine: ExecEngine) -> Cpu {
+    let mut cpu = Cpu::new(SimConfig {
+        engine,
+        ..w.cfg.clone()
+    });
+    cpu.load_program(&w.prog).expect("fits");
+    cpu.set_args(&w.args);
+    for (i, &a) in w.args.iter().enumerate() {
+        let _ = cpu
+            .mem
+            .load_image(ARGV_BASE + 4 * i as u32, &(a as u32).to_le_bytes());
+    }
+    cpu
+}
+
+/// Law 1: for every workload, shard size × thread count × engine is
+/// invisible — each combination matches the sequential run bit for bit,
+/// and all combinations agree on the final memory digest.
+#[test]
+fn every_workload_shards_bit_identically_across_engines_and_threads() {
+    for w in suite() {
+        for engine in [ExecEngine::Uncached, ExecEngine::Trace] {
+            // Sequential reference under this engine.
+            let mut reference = fresh_cpu(w, engine);
+            reference.run().expect("clean run");
+            assert_eq!(reference.result(), w.expect, "{}", w.id);
+
+            let cfg = SimConfig {
+                engine,
+                ..w.cfg.clone()
+            };
+            let mut digests = Vec::new();
+            for shard_cycles in [(w.instructions / 7).max(64), (w.instructions / 3).max(128)] {
+                for threads in [1usize, 4] {
+                    let rep =
+                        run_sharded_with(&w.prog, &w.args, cfg.clone(), shard_cycles, threads)
+                            .expect("sharded run arranges and stitches");
+                    assert_eq!(
+                        rep.report.outcome,
+                        InjectOutcome::Halted { result: w.expect },
+                        "{} {engine:?} sc={shard_cycles} t={threads}",
+                        w.id
+                    );
+                    assert_eq!(
+                        rep.report.stats,
+                        reference.stats(),
+                        "{} {engine:?} sc={shard_cycles} t={threads}: ExecStats divergence",
+                        w.id
+                    );
+                    assert_eq!(
+                        rep.arch_digest,
+                        reference.arch_digest(),
+                        "{} {engine:?} sc={shard_cycles} t={threads}: architectural divergence",
+                        w.id
+                    );
+                    assert!(
+                        rep.report.events.is_empty(),
+                        "{}: nothing was injected",
+                        w.id
+                    );
+                    digests.push(rep.mem_digest);
+                }
+            }
+            // The cut points and worker counts varied; the memory image
+            // must not have.
+            assert!(
+                digests.windows(2).all(|d| d[0] == d[1]),
+                "{} {engine:?}: memory digest depends on the sharding",
+                w.id
+            );
+        }
+    }
+}
+
+/// Law 2: a fault-injected sharded run replays the sequential schedule —
+/// identical outcome, statistics and applied-event list — for every
+/// workload, several seeds, recovery alternating.
+#[test]
+fn injected_shards_replay_the_sequential_schedule() {
+    let mut any_events = false;
+    for w in suite() {
+        for seed in 1..=3u64 {
+            let recovery = seed % 2 == 0;
+            let icfg = InjectConfig {
+                seed,
+                rate: w.rate,
+                modes: InjectModes::all(),
+            };
+            let plain = run_risc_injected(&w.prog, &w.args, w.cfg.clone(), icfg, recovery)
+                .expect("setup is valid");
+            let rep = run_sharded_injected(
+                &w.prog,
+                &w.args,
+                w.cfg.clone(),
+                icfg,
+                recovery,
+                (w.instructions / 5).max(200),
+                2,
+            )
+            .expect("sharded setup is valid");
+            assert_eq!(
+                rep.report, plain,
+                "{} seed {seed} recovery={recovery}: sharded report diverged",
+                w.id
+            );
+            any_events |= !plain.events.is_empty();
+        }
+    }
+    assert!(
+        any_events,
+        "some campaign must inject (else nothing was tested)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Law 3: a snapshot captured at an arbitrary boundary under one
+    /// engine, rebound to a different engine, continues bit-identically —
+    /// result, `ExecStats` and architectural digest all match a run that
+    /// never left the destination engine.
+    #[test]
+    fn snapshots_resume_bit_identically_under_a_different_engine(
+        widx in 0usize..11,
+        frac_permille in 0u64..1000,
+        pair in 0usize..4,
+    ) {
+        const PAIRS: [(ExecEngine, ExecEngine); 4] = [
+            (ExecEngine::Trace, ExecEngine::Superblock),
+            (ExecEngine::Cached, ExecEngine::Uncached),
+            (ExecEngine::Uncached, ExecEngine::Trace),
+            (ExecEngine::Superblock, ExecEngine::Cached),
+        ];
+        let (from, to) = PAIRS[pair];
+        let w = &suite()[widx];
+        let boundary = w.instructions * frac_permille / 1000;
+
+        // Reference: the whole run under the destination engine.
+        let mut reference = fresh_cpu(w, to);
+        reference.run().expect("clean run");
+        prop_assert_eq!(reference.result(), w.expect);
+
+        // Capture under `from` at the boundary, rebind, resume under `to`.
+        let mut origin = fresh_cpu(w, from);
+        while origin.stats().instructions < boundary {
+            match origin.step().expect("clean workloads do not fault") {
+                Halt::Running => {}
+                Halt::Returned => break,
+            }
+        }
+        let mut snap = origin.snapshot();
+        snap.rebind_engine(to);
+        snap.verify().expect("rebinding recomputes the checksum");
+
+        let mut twin = Cpu::new(SimConfig { engine: to, ..w.cfg.clone() });
+        twin.restore(&snap).expect("restore succeeds");
+        twin.run().expect("restored continuation");
+
+        prop_assert_eq!(twin.result(), w.expect, "{} {:?}->{:?}", w.id, from, to);
+        prop_assert_eq!(&twin.stats(), &reference.stats(), "{} {:?}->{:?}", w.id, from, to);
+        prop_assert_eq!(
+            twin.arch_digest(),
+            reference.arch_digest(),
+            "{} {:?}->{:?}", w.id, from, to
+        );
+    }
+}
